@@ -1,0 +1,148 @@
+// Package branchprof reproduces the system of Fisher & Freudenberger,
+// "Predicting Conditional Branch Directions From Previous Runs of a
+// Program" (ASPLOS 1992): profile-guided static branch prediction,
+// measured in instructions per break in control.
+//
+// The package is a facade over the substrates in internal/:
+//
+//   - a compiler for MF, a small C-like language, standing in for the
+//     Multiflow trace-scheduling compiler (internal/mfc);
+//   - a Trace-like scalar RISC virtual machine that counts every
+//     instruction and every branch outcome (internal/vm);
+//   - IFPROBBER-style branch profiling with an accumulating database
+//     and source-level feedback directives (internal/ifprob);
+//   - static predictors — self/oracle, single-profile, scaled and
+//     unscaled sums, polling, loop heuristics (internal/predict);
+//   - break-in-control accounting (internal/breaks);
+//   - analogues of the paper's 15 benchmark programs (internal/workloads)
+//     and the experiment harness regenerating each table and figure
+//     (internal/exp).
+//
+// Typical use:
+//
+//	prog, _ := branchprof.Compile("demo", src, branchprof.Options{})
+//	run, _ := branchprof.Run(prog, input)
+//	pred, _ := branchprof.PredictFromProfile(prog, run.Profile)
+//	ipb, _, _ := branchprof.InstructionsPerBreak(run, pred)
+package branchprof
+
+import (
+	"branchprof/internal/breaks"
+	"branchprof/internal/ifprob"
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc"
+	"branchprof/internal/predict"
+	"branchprof/internal/vm"
+	"branchprof/internal/workloads"
+)
+
+// Prelude returns the MF runtime prelude (puti, puts, geti, getf,
+// srand/rnd, …). Prepend it to source that wants those helpers:
+//
+//	prog, err := branchprof.Compile("demo", branchprof.Prelude()+src, opts)
+func Prelude() string { return workloads.Prelude() }
+
+// Options controls compilation; see mfc.Options.
+type Options = mfc.Options
+
+// Program is a compiled MF program.
+type Program = isa.Program
+
+// Profile holds per-branch taken/total counts for one or more runs.
+type Profile = ifprob.Profile
+
+// Prediction assigns a static direction to every branch site.
+type Prediction = predict.Prediction
+
+// Breakdown reports what contributed to a run's breaks in control.
+type Breakdown = breaks.Breakdown
+
+// RunResult couples a VM run with its extracted branch profile.
+type RunResult struct {
+	Result  *vm.Result
+	Profile *Profile
+}
+
+// Compile builds an MF source unit into an executable program. name
+// labels the program in profiles and reports.
+func Compile(name, src string, opts Options) (*Program, error) {
+	return mfc.Compile(name, src, opts)
+}
+
+// Run executes the program on input, collecting instruction counts
+// and branch outcomes.
+func Run(p *Program, input []byte) (*RunResult, error) {
+	res, err := vm.Run(p, input, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Result: res, Profile: ifprob.FromRun(p.Source, "input", res)}, nil
+}
+
+// PredictSelf returns the oracle prediction: the run predicts itself,
+// every branch in its majority direction — the best any static
+// predictor can do.
+func PredictSelf(p *Program, r *RunResult) (*Prediction, error) {
+	return predict.FromProfile(r.Profile, p.Sites, predict.LoopHeuristic)
+}
+
+// PredictFromProfile predicts from a previously gathered profile
+// (typically of *other* datasets), falling back to the loop heuristic
+// on never-executed branches.
+func PredictFromProfile(p *Program, prof *Profile) (*Prediction, error) {
+	return predict.FromProfile(prof, p.Sites, predict.LoopHeuristic)
+}
+
+// PredictScaledSum combines several profiles with equal per-dataset
+// weight — the predictor the paper reports.
+func PredictScaledSum(p *Program, profs []*Profile) (*Prediction, error) {
+	return predict.Combine(profs, predict.Scaled, p.Sites, predict.LoopHeuristic)
+}
+
+// PredictHeuristic predicts with no profile at all: loop back edges
+// taken, everything else not taken.
+func PredictHeuristic(p *Program) *Prediction {
+	return predict.FromHeuristic(p.Sites, predict.LoopHeuristic)
+}
+
+// InstructionsPerBreak evaluates the prediction against the run and
+// returns the paper's measure — instructions executed per mispredicted
+// branch or unavoidable transfer — plus the break composition.
+func InstructionsPerBreak(r *RunResult, pred *Prediction) (float64, Breakdown, error) {
+	return breaks.WithPrediction(r.Result, r.Profile, pred)
+}
+
+// InstructionsPerBreakUnpredicted returns the measure with every
+// conditional branch counted as a break; includeCalls additionally
+// counts direct calls and returns (Figure 1's two bar styles).
+func InstructionsPerBreakUnpredicted(r *RunResult, includeCalls bool) float64 {
+	return breaks.Unpredicted(r.Result, includeCalls)
+}
+
+// PercentCorrect returns the fraction of the run's executed branches
+// the prediction got right — the traditional measure the paper argues
+// is insufficient.
+func PercentCorrect(r *RunResult, pred *Prediction) (float64, error) {
+	ev, err := predict.Evaluate(pred, r.Profile)
+	if err != nil {
+		return 0, err
+	}
+	return ev.PercentCorrect(), nil
+}
+
+// AnnotateSource re-emits MF source with IFPROB feedback directives
+// from the profile, the way the IFPROBBER utility fed accumulated
+// counts back to the user.
+func AnnotateSource(src string, p *Program, prof *Profile) (string, error) {
+	return ifprob.AnnotateSource(src, p, prof)
+}
+
+// ProfileFromSource recovers the branch profile embedded in annotated
+// source (the consuming half of the feedback loop: the recompiling
+// compiler reads the directives a previous run's counts produced).
+// Directives are comments, so the annotated source compiles to the
+// same site table as the original; p should be the program compiled
+// from src.
+func ProfileFromSource(src string, p *Program) *Profile {
+	return ifprob.ProfileFromDirectives(p, ifprob.ParseDirectives(src))
+}

@@ -1,0 +1,159 @@
+package branchprof
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoSrc = `
+func main() int {
+	var i int;
+	var odd int = 0;
+	var c int = getc();
+	while (c != -1) {
+		if ((c & 1) == 1) {
+			odd = odd + 1;
+		}
+		for (i = 0; i < 3; i = i + 1) {
+			odd = odd + 0;
+		}
+		c = getc();
+	}
+	return odd;
+}
+`
+
+func compileDemo(t *testing.T) *Program {
+	t.Helper()
+	p, err := Compile("demo", demoSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prog := compileDemo(t)
+	train, err := Run(prog, []byte("aaabbbccc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := Run(prog, []byte("xyzxyzxyzxyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	selfPred, err := PredictSelf(prog, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfIPB, bd, err := InstructionsPerBreak(target, selfPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Instrs != target.Result.Instrs {
+		t.Errorf("breakdown instrs %d != run %d", bd.Instrs, target.Result.Instrs)
+	}
+
+	crossPred, err := PredictFromProfile(prog, train.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossIPB, _, err := InstructionsPerBreak(target, crossPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossIPB > selfIPB {
+		t.Errorf("cross prediction (%v) beat the self oracle (%v)", crossIPB, selfIPB)
+	}
+	unpred := InstructionsPerBreakUnpredicted(target, false)
+	if unpred > selfIPB {
+		t.Errorf("no prediction (%v) beat self prediction (%v)", unpred, selfIPB)
+	}
+	pct, err := PercentCorrect(target, selfPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct <= 0.5 || pct > 1 {
+		t.Errorf("self percent correct = %v", pct)
+	}
+}
+
+func TestFacadeScaledSumAndHeuristic(t *testing.T) {
+	prog := compileDemo(t)
+	var profs []*Profile
+	for _, in := range []string{"hello world", "AAAA", "mixed Case Input 123"} {
+		r, err := Run(prog, []byte(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		profs = append(profs, r.Profile)
+	}
+	pred, err := PredictScaledSum(prog, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Sites() != len(prog.Sites) {
+		t.Errorf("prediction covers %d sites, program has %d", pred.Sites(), len(prog.Sites))
+	}
+	h := PredictHeuristic(prog)
+	// The demo's loops mean the heuristic must predict at least one
+	// site taken (the back edges) and at least one not taken.
+	var taken, notTaken bool
+	for _, d := range h.Dir {
+		if d.String() == "taken" {
+			taken = true
+		} else {
+			notTaken = true
+		}
+	}
+	if !taken || !notTaken {
+		t.Error("loop heuristic should mix directions on a program with loops and ifs")
+	}
+}
+
+func TestFacadeAnnotate(t *testing.T) {
+	prog := compileDemo(t)
+	r, err := Run(prog, []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := AnnotateSource(demoSrc, prog, r.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IFPROB") {
+		t.Error("annotated source has no directives")
+	}
+	if len(strings.Split(out, "\n")) != len(strings.Split(demoSrc, "\n")) {
+		t.Error("annotation changed the line count")
+	}
+}
+
+func TestPreludeCompiles(t *testing.T) {
+	src := Prelude() + `
+func main() int {
+	puti(-42);
+	putc('\n');
+	putf(3.25);
+	putc('\n');
+	puts("done");
+	return geti();
+}
+`
+	prog, err := Compile("preludedemo", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(prog, []byte("  123 "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(r.Result.Output)
+	if !strings.Contains(out, "-42") || !strings.Contains(out, "3.250") || !strings.Contains(out, "done") {
+		t.Errorf("output = %q", out)
+	}
+	if r.Result.ExitCode != 123 {
+		t.Errorf("geti = %d, want 123", r.Result.ExitCode)
+	}
+}

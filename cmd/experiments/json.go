@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"branchprof/internal/exp"
+	"branchprof/internal/workloads"
+)
+
+// emitJSON regenerates every artifact and writes one JSON document to
+// stdout, for downstream tooling (plotting, regression tracking).
+func emitJSON() error {
+	out := make(map[string]any)
+
+	t1, err := exp.Table1()
+	if err != nil {
+		return err
+	}
+	out["table1_dead_code"] = t1
+	out["table2_inventory"] = exp.Table2()
+
+	inl, err := exp.InlineAblation()
+	if err != nil {
+		return err
+	}
+	out["ext_inline_ablation"] = inl
+
+	sel, err := exp.SelectStudy()
+	if err != nil {
+		return err
+	}
+	out["ext_select_study"] = sel
+
+	s, err := exp.Shared()
+	if err != nil {
+		return err
+	}
+	t3, err := exp.Table3(s)
+	if err != nil {
+		return err
+	}
+	out["table3_fortran_instrs_per_break"] = t3
+	out["figure1a_fortran"] = exp.Figure1(s, workloads.Fortran)
+	out["figure1b_c"] = exp.Figure1(s, workloads.C)
+
+	f2a, err := exp.Figure2(s, []string{"spice2g6"})
+	if err != nil {
+		return err
+	}
+	out["figure2a_spice"] = f2a
+	f2b, err := exp.Figure2(s, exp.CProgramNames(s))
+	if err != nil {
+		return err
+	}
+	out["figure2b_c"] = f2b
+
+	f3a, err := exp.Figure3(s, []string{"spice2g6"})
+	if err != nil {
+		return err
+	}
+	out["figure3a_spice"] = f3a
+	f3b, err := exp.Figure3(s, exp.CProgramNames(s))
+	if err != nil {
+		return err
+	}
+	out["figure3b_c"] = f3b
+
+	out["taken_constancy"] = exp.TakenConstancy(s)
+
+	comb, err := exp.CombinedComparison(s)
+	if err != nil {
+		return err
+	}
+	out["combined_modes"] = comb
+
+	heur, err := exp.HeuristicComparison(s)
+	if err != nil {
+		return err
+	}
+	out["heuristics"] = heur
+
+	mot, err := exp.Motivation(s)
+	if err != nil {
+		return err
+	}
+	out["motivation_fpppp_vs_li"] = mot
+
+	cm, err := exp.CrossMode(s)
+	if err != nil {
+		return err
+	}
+	out["crossmode_compress"] = cm
+
+	dyn, err := exp.StaticVsDynamic(s)
+	if err != nil {
+		return err
+	}
+	out["ext_static_vs_dynamic"] = dyn
+
+	rl, err := exp.RunLengths(s)
+	if err != nil {
+		return err
+	}
+	// Histograms are bulky text; strip them for the JSON form.
+	type rlRow struct {
+		Program string
+		Dataset string
+		Stats   any
+	}
+	slim := make([]rlRow, len(rl))
+	for i, r := range rl {
+		slim[i] = rlRow{Program: r.Program, Dataset: r.Dataset, Stats: r.Stats}
+	}
+	out["ext_run_lengths"] = slim
+
+	cov, err := exp.Coverage(s)
+	if err != nil {
+		return err
+	}
+	out["ext_coverage"] = map[string]any{
+		"pairs":     cov,
+		"pearson_r": exp.CoverageCorrelation(cov),
+	}
+
+	dis, err := exp.DisagreementStudy(s)
+	if err != nil {
+		return err
+	}
+	out["ext_disagreement"] = dis
+
+	hot, err := exp.HotSites(s, 3)
+	if err != nil {
+		return err
+	}
+	out["diag_hot_sites"] = hot
+
+	tr, err := exp.TraceStudy(s)
+	if err != nil {
+		return err
+	}
+	out["ext_trace_selection"] = tr
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("encoding: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+// Command experiments regenerates every table and figure from Fisher
+// & Freudenberger (ASPLOS 1992) on the simulated substrate. With no
+// flags it prints everything; individual flags select single
+// artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchprof/internal/exp"
+	"branchprof/internal/workloads"
+)
+
+func main() {
+	var (
+		table1     = flag.Bool("table1", false, "Table 1: dynamically dead code")
+		table2     = flag.Bool("table2", false, "Table 2: program sample base")
+		table3     = flag.Bool("table3", false, "Table 3: FORTRAN instrs/break")
+		fig1a      = flag.Bool("fig1a", false, "Figure 1a: unpredicted breaks, FORTRAN")
+		fig1b      = flag.Bool("fig1b", false, "Figure 1b: unpredicted breaks, C")
+		fig2a      = flag.Bool("fig2a", false, "Figure 2a: predicted breaks, spice2g6")
+		fig2b      = flag.Bool("fig2b", false, "Figure 2b: predicted breaks, C programs")
+		fig3a      = flag.Bool("fig3a", false, "Figure 3a: best/worst predictors, spice2g6")
+		fig3b      = flag.Bool("fig3b", false, "Figure 3b: best/worst predictors, C programs")
+		taken      = flag.Bool("taken", false, "percent-taken constancy")
+		combined   = flag.Bool("combined", false, "scaled vs unscaled vs polling")
+		heuristic  = flag.Bool("heuristic", false, "profile feedback vs heuristics")
+		motivation = flag.Bool("motivation", false, "fpppp vs li percent-correct contrast")
+		crossmode  = flag.Bool("crossmode", false, "compress vs uncompress cross-prediction")
+		dynamic    = flag.Bool("dynamic", false, "extension: static vs 1/2-bit dynamic predictors")
+		runlens    = flag.Bool("runlengths", false, "extension: run-length distribution between breaks")
+		coverage   = flag.Bool("coverage", false, "extension: predictor coverage vs quality")
+		inline     = flag.Bool("inline", false, "extension: inlining ablation")
+		selects    = flag.Bool("selects", false, "extension: if-conversion to selects")
+		disagree   = flag.Bool("disagree", false, "extension: why worst predictors fail (coverage conjecture)")
+		hotsites   = flag.Bool("hotsites", false, "diagnostic: hottest mispredicting branches")
+		traces     = flag.Bool("traces", false, "extension: trace-selection lengths (block vs heuristic vs profile)")
+		chart      = flag.Bool("chart", false, "render figures as bar charts instead of tables")
+		jsonOut    = flag.Bool("json", false, "emit every artifact as one JSON document")
+	)
+	flag.Parse()
+
+	if *jsonOut {
+		if err := emitJSON(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	any := *table1 || *table2 || *table3 || *fig1a || *fig1b || *fig2a || *fig2b ||
+		*fig3a || *fig3b || *taken || *combined || *heuristic || *motivation || *crossmode ||
+		*dynamic || *runlens || *coverage || *inline || *selects || *disagree || *hotsites || *traces
+	all := !any
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if all || *table2 {
+		fmt.Println(exp.RenderTable2(exp.Table2()))
+	}
+	if all || *table1 {
+		rows, err := exp.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderTable1(rows))
+	}
+	if all || *inline {
+		rows, err := exp.InlineAblation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderInlineAblation(rows))
+	}
+	if all || *selects {
+		rows, err := exp.SelectStudy()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderSelectStudy(rows))
+	}
+
+	needSuite := all || *table3 || *fig1a || *fig1b || *fig2a || *fig2b || *fig3a ||
+		*fig3b || *taken || *combined || *heuristic || *motivation || *crossmode ||
+		*dynamic || *runlens || *coverage || *disagree || *hotsites || *traces
+	if !needSuite {
+		return
+	}
+	s, err := exp.Shared()
+	if err != nil {
+		fail(err)
+	}
+
+	renderFig1 := exp.RenderFigure1
+	if *chart {
+		renderFig1 = exp.ChartFigure1
+	}
+	if all || *fig1a {
+		fmt.Println(renderFig1("Figure 1a (FORTRAN/FP)", exp.Figure1(s, workloads.Fortran)))
+	}
+	if all || *fig1b {
+		fmt.Println(renderFig1("Figure 1b (C/Integer)", exp.Figure1(s, workloads.C)))
+	}
+	if all || *table3 {
+		rows, err := exp.Table3(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderTable3(rows))
+	}
+	renderFig2 := exp.RenderFigure2
+	if *chart {
+		renderFig2 = exp.ChartFigure2
+	}
+	if all || *fig2a {
+		rows, err := exp.Figure2(s, []string{"spice2g6"})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(renderFig2("Figure 2a (spice2g6)", rows))
+	}
+	if all || *fig2b {
+		rows, err := exp.Figure2(s, exp.CProgramNames(s))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(renderFig2("Figure 2b (C/Integer)", rows))
+	}
+	renderFig3 := exp.RenderFigure3
+	if *chart {
+		renderFig3 = exp.ChartFigure3
+	}
+	if all || *fig3a {
+		rows, err := exp.Figure3(s, []string{"spice2g6"})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(renderFig3("Figure 3a (spice2g6)", rows))
+	}
+	if all || *fig3b {
+		rows, err := exp.Figure3(s, exp.CProgramNames(s))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(renderFig3("Figure 3b (C/Integer)", rows))
+	}
+	if all || *taken {
+		fmt.Println(exp.RenderTaken(exp.TakenConstancy(s)))
+	}
+	if all || *combined {
+		rows, err := exp.CombinedComparison(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderCombined(rows))
+	}
+	if all || *heuristic {
+		rows, err := exp.HeuristicComparison(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderHeuristic(rows))
+	}
+	if all || *motivation {
+		rows, err := exp.Motivation(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderMotivation(rows))
+	}
+	if all || *crossmode {
+		rows, err := exp.CrossMode(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderCrossMode(rows))
+	}
+	if all || *dynamic {
+		rows, err := exp.StaticVsDynamic(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderStaticVsDynamic(rows))
+	}
+	if all || *runlens {
+		rows, err := exp.RunLengths(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderRunLengths(rows))
+	}
+	if all || *coverage {
+		rows, err := exp.Coverage(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderCoverage(rows))
+	}
+	if all || *disagree {
+		rows, err := exp.DisagreementStudy(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderDisagreement(rows))
+	}
+	if all || *hotsites {
+		rows, err := exp.HotSites(s, 3)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderHotSites(rows))
+	}
+	if all || *traces {
+		rows, err := exp.TraceStudy(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderTraceStudy(rows))
+	}
+}

@@ -1,0 +1,103 @@
+// Command ifprobber is the profile-collection loop: it compiles an MF
+// program, runs it on a dataset, and accumulates the branch counts
+// into a JSON database (creating it if absent) — one invocation per
+// run, like the paper's instrumented binaries updating their counter
+// database. With -annotate it instead reads the database and re-emits
+// the source with IFPROB feedback directives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+	"branchprof/internal/workloads"
+)
+
+func main() {
+	var (
+		prelude  = flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
+		dbPath   = flag.String("db", "ifprob.json", "profile database path")
+		inPath   = flag.String("input", "", "dataset file (default: stdin)")
+		dataset  = flag.String("dataset", "stdin", "dataset name recorded in the database")
+		annotate = flag.Bool("annotate", false, "emit source annotated with accumulated IFPROB directives")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ifprobber [-db file] [-input data] [-annotate] file.mf")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	srcBytes, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifprobber:", err)
+		os.Exit(1)
+	}
+	src := string(srcBytes)
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	if *prelude {
+		src = workloads.Prelude() + src
+	}
+	prog, err := mfc.Compile(name, src, mfc.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifprobber:", err)
+		os.Exit(1)
+	}
+
+	db, err := ifprob.Load(*dbPath)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "ifprobber:", err)
+			os.Exit(1)
+		}
+		db = ifprob.NewDB()
+	}
+
+	if *annotate {
+		prof := db.Get(name)
+		if prof == nil {
+			fmt.Fprintf(os.Stderr, "ifprobber: no accumulated profile for %s in %s\n", name, *dbPath)
+			os.Exit(1)
+		}
+		out, err := ifprob.AnnotateSource(src, prog, prof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ifprobber:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	var input []byte
+	if *inPath != "" {
+		input, err = os.ReadFile(*inPath)
+	} else {
+		input, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifprobber:", err)
+		os.Exit(1)
+	}
+	res, err := vm.Run(prog, input, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifprobber:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(res.Output)
+	if err := db.Add(ifprob.FromRun(name, *dataset, res)); err != nil {
+		fmt.Fprintln(os.Stderr, "ifprobber:", err)
+		os.Exit(1)
+	}
+	if err := db.Save(*dbPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ifprobber:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ifprobber: accumulated %d branch executions for %s into %s\n",
+		res.CondBranches(), name, *dbPath)
+}

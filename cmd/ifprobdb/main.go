@@ -1,0 +1,75 @@
+// Command ifprobdb inspects and combines IFPROBBER profile databases:
+// list programs, dump a program's accumulated counts, or merge several
+// databases into one (the cross-machine accumulation a team running
+// the paper's methodology would need).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchprof/internal/ifprob"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list programs in the database(s)")
+		dump  = flag.String("dump", "", "dump the named program's accumulated profile")
+		merge = flag.String("merge", "", "merge all argument databases into this output path")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ifprobdb [-list] [-dump prog] [-merge out.json] db.json...")
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ifprobdb:", err)
+		os.Exit(1)
+	}
+
+	merged := ifprob.NewDB()
+	for _, path := range flag.Args() {
+		db, err := ifprob.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		for _, name := range db.Programs() {
+			if err := merged.Add(db.Get(name)); err != nil {
+				fail(fmt.Errorf("merging %s from %s: %w", name, path, err))
+			}
+		}
+	}
+
+	switch {
+	case *merge != "":
+		if err := merged.Save(*merge); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ifprobdb: wrote %d programs to %s\n", len(merged.Programs()), *merge)
+	case *dump != "":
+		p := merged.Get(*dump)
+		if p == nil {
+			fail(fmt.Errorf("no program %q in the database(s)", *dump))
+		}
+		fmt.Printf("program %s (datasets: %s)\n", p.Program, p.Dataset)
+		fmt.Printf("instructions %d, branches %d, taken %.1f%%, coverage %.1f%%\n",
+			p.Instrs, p.Executed(), 100*p.PercentTaken(), 100*p.Coverage())
+		for i := range p.Total {
+			if p.Total[i] == 0 {
+				continue
+			}
+			fmt.Printf("  site %4d: %10d / %-10d (%.1f%% taken)\n",
+				i, p.Taken[i], p.Total[i], 100*float64(p.Taken[i])/float64(p.Total[i]))
+		}
+	default:
+		*list = true
+		fallthrough
+	case *list:
+		for _, name := range merged.Programs() {
+			p := merged.Get(name)
+			fmt.Printf("%-20s %12d branches over %d sites (%s)\n",
+				name, p.Executed(), p.Sites(), p.Dataset)
+		}
+	}
+}

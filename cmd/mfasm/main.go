@@ -1,0 +1,61 @@
+// Command mfasm assembles a textual machine program (see
+// internal/asm for the syntax) and runs it, printing its output and
+// run statistics — the low-level counterpart to mfrun for experiments
+// that need precise control over the instruction stream.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"branchprof/internal/asm"
+	"branchprof/internal/isa"
+	"branchprof/internal/vm"
+)
+
+func main() {
+	var (
+		inPath = flag.String("input", "", "input file (default: stdin)")
+		list   = flag.Bool("list", false, "print the assembled listing instead of running")
+		fuel   = flag.Uint64("fuel", 0, "instruction limit (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mfasm [-input data] [-list] file.mfs")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfasm:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfasm:", err)
+		os.Exit(1)
+	}
+	if *list {
+		fmt.Print(isa.Disasm(prog))
+		return
+	}
+	var input []byte
+	if *inPath != "" {
+		input, err = os.ReadFile(*inPath)
+	} else {
+		input, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfasm:", err)
+		os.Exit(1)
+	}
+	res, err := vm.Run(prog, input, &vm.Config{Fuel: *fuel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfasm:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(res.Output)
+	fmt.Fprintf(os.Stderr, "exit %d after %d instructions, %d branches (%d taken)\n",
+		res.ExitCode, res.Instrs, res.CondBranches(), res.TakenBranches())
+}

@@ -1,0 +1,59 @@
+// Command mfc compiles an MF source file and prints the assembler
+// listing, the static branch-site table, or both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc"
+	"branchprof/internal/workloads"
+)
+
+func main() {
+	var (
+		prelude = flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
+		dce     = flag.Bool("dce", false, "enable dead-branch elimination")
+		sites   = flag.Bool("sites", false, "print the static branch-site table")
+		asm     = flag.Bool("asm", true, "print the assembler listing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mfc [-dce] [-sites] [-asm=false] file.mf")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfc:", err)
+		os.Exit(1)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	source := string(src)
+	if *prelude {
+		source = workloads.Prelude() + source
+	}
+	prog, err := mfc.Compile(name, source, mfc.Options{DeadBranchElim: *dce})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfc:", err)
+		os.Exit(1)
+	}
+	if *asm {
+		fmt.Print(isa.Disasm(prog))
+	}
+	if *sites {
+		fmt.Printf("\n%d static branch sites:\n", len(prog.Sites))
+		for _, s := range prog.Sites {
+			back := ""
+			if s.LoopBack {
+				back = " loop-back"
+			}
+			fmt.Printf("  site %3d: %s at %d:%d in %s (depth %d)%s\n",
+				s.ID, s.Label, s.Line, s.Col, s.Func, s.LoopDepth, back)
+		}
+	}
+}

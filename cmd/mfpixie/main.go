@@ -1,0 +1,65 @@
+// Command mfpixie runs an MF program with per-instruction counting
+// and prints the detailed dynamic report: total instructions, hottest
+// functions, instruction mix, and branch density.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"branchprof/internal/mfc"
+	"branchprof/internal/pixie"
+	"branchprof/internal/vm"
+	"branchprof/internal/workloads"
+)
+
+func main() {
+	prelude := flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
+	inPath := flag.String("input", "", "dataset file (default: stdin)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mfpixie [-input data] file.mf")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfpixie:", err)
+		os.Exit(1)
+	}
+	var input []byte
+	if *inPath != "" {
+		input, err = os.ReadFile(*inPath)
+	} else {
+		input, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfpixie:", err)
+		os.Exit(1)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	source := string(src)
+	if *prelude {
+		source = workloads.Prelude() + source
+	}
+	prog, err := mfc.Compile(name, source, mfc.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfpixie:", err)
+		os.Exit(1)
+	}
+	res, err := vm.Run(prog, input, &vm.Config{PerPC: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfpixie:", err)
+		os.Exit(1)
+	}
+	rep, err := pixie.Analyze(prog, res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfpixie:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+}

@@ -1,0 +1,82 @@
+// Command mfrun compiles and runs an MF source file, feeding it a
+// dataset file (or stdin) and reporting the run statistics the VM
+// collects: instructions, branch outcomes, and control transfers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"branchprof/internal/mfc"
+	"branchprof/internal/pixie"
+	"branchprof/internal/vm"
+	"branchprof/internal/workloads"
+)
+
+func main() {
+	var (
+		prelude = flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
+		inPath  = flag.String("input", "", "input file (default: stdin)")
+		dce     = flag.Bool("dce", false, "enable dead-branch elimination")
+		stats   = flag.Bool("stats", true, "print run statistics to stderr")
+		mix     = flag.Bool("pixie", false, "print the full pixie report to stderr")
+		fuel    = flag.Uint64("fuel", 0, "instruction limit (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mfrun [-input data] [-dce] [-pixie] file.mf")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfrun:", err)
+		os.Exit(1)
+	}
+	var input []byte
+	if *inPath != "" {
+		input, err = os.ReadFile(*inPath)
+	} else {
+		input, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfrun:", err)
+		os.Exit(1)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	source := string(src)
+	if *prelude {
+		source = workloads.Prelude() + source
+	}
+	prog, err := mfc.Compile(name, source, mfc.Options{DeadBranchElim: *dce})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfrun:", err)
+		os.Exit(1)
+	}
+	cfg := &vm.Config{Fuel: *fuel, PerPC: *mix}
+	res, err := vm.Run(prog, input, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfrun:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(res.Output)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "exit %d after %d instructions\n", res.ExitCode, res.Instrs)
+		fmt.Fprintf(os.Stderr, "conditional branches %d (taken %d), jumps %d\n",
+			res.CondBranches(), res.TakenBranches(), res.Jumps)
+		fmt.Fprintf(os.Stderr, "calls direct %d indirect %d, returns direct %d indirect %d, max depth %d\n",
+			res.DirectCalls, res.IndirectCalls, res.DirectReturns, res.IndirectReturns, res.MaxDepth)
+	}
+	if *mix {
+		rep, err := pixie.Analyze(prog, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mfrun:", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, rep.String())
+	}
+}

@@ -1,0 +1,127 @@
+package branchprof_test
+
+import (
+	"fmt"
+	"log"
+
+	"branchprof"
+)
+
+// ExampleCompile compiles a two-branch program, runs it, and prints
+// the measured branch behaviour.
+func ExampleCompile() {
+	src := `
+func main() int {
+	var i int;
+	var odd int = 0;
+	for (i = 0; i < 8; i = i + 1) {
+		if ((i & 1) == 1) {
+			odd = odd + 1;
+		}
+	}
+	return odd;
+}
+`
+	prog, err := branchprof.Compile("demo", src, branchprof.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := branchprof.Run(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exit %d, %d static sites, %d branches executed\n",
+		run.Result.ExitCode, len(prog.Sites), run.Result.CondBranches())
+	// Output: exit 4, 2 static sites, 17 branches executed
+}
+
+// ExamplePredictFromProfile uses one run's profile to predict another
+// and reports the paper's measure.
+func ExamplePredictFromProfile() {
+	src := `
+func main() int {
+	var vowels int = 0;
+	var c int = getc();
+	while (c != -1) {
+		if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') {
+			vowels = vowels + 1;
+		}
+		c = getc();
+	}
+	return vowels;
+}
+`
+	prog, err := branchprof.Compile("vowels", src, branchprof.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, err := branchprof.Run(prog, []byte("the paper asks whether previous runs predict future ones"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := branchprof.Run(prog, []byte("and finds that they usually do"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := branchprof.PredictFromProfile(prog, train.Profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pct, err := branchprof.PercentCorrect(target, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("previous run predicts %.0f%% of the target's branches\n", 100*pct)
+	// Output: previous run predicts 85% of the target's branches
+}
+
+// ExampleAnnotateSource shows the IFPROBBER feedback directives.
+func ExampleAnnotateSource() {
+	src := `func main() int {
+	var n int = 0;
+	var c int = getc();
+	while (c != -1) {
+		n = n + 1;
+		c = getc();
+	}
+	return n;
+}`
+	prog, err := branchprof.Compile("count", src, branchprof.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := branchprof.Run(prog, []byte("abc"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	annotated, err := branchprof.AnnotateSource(src, prog, run.Profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Print just the annotated line.
+	fmt.Println(lineContaining(annotated, "IFPROB"))
+	// Output: 	while (c != -1) {  //!MF! IFPROB(while@4:2, 3, 4)
+}
+
+func lineContaining(s, sub string) string {
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			line := s[start:i]
+			if containsStr(line, sub) {
+				return line
+			}
+			start = i + 1
+		}
+	}
+	return ""
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+// Customworkload: the full IFPROBBER feedback loop on a program you
+// bring yourself. It writes a small MF benchmark (a hash-table
+// exercise), profiles three runs into an accumulating database, emits
+// the source annotated with IFPROB directives, and shows the
+// prediction quality of the accumulated profile on a fresh dataset —
+// the workflow a Multiflow user would have followed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"branchprof"
+	"branchprof/internal/ifprob"
+)
+
+const src = `
+const SZ = 1024;
+var keys[SZ] int;
+var vals[SZ] int;
+
+func insert(k int, v int) {
+	var h int = (k * 2654435761) & (SZ - 1);
+	while (keys[h] != 0 && keys[h] != k) {
+		h = (h + 1) & (SZ - 1);
+	}
+	keys[h] = k;
+	vals[h] = v;
+}
+
+func find(k int) int {
+	var h int = (k * 2654435761) & (SZ - 1);
+	while (keys[h] != 0) {
+		if (keys[h] == k) {
+			return vals[h];
+		}
+		h = (h + 1) & (SZ - 1);
+	}
+	return -1;
+}
+
+func main() int {
+	srand(7);
+	var n int = geti();
+	var i int;
+	for (i = 1; i <= n; i = i + 1) {
+		insert(i * 3 + 1, i);
+	}
+	var hits int = 0;
+	for (i = 0; i < n * 4; i = i + 1) {
+		if (find(rnd() % (n * 4) + 1) >= 0) {
+			hits = hits + 1;
+		}
+	}
+	puts("hits "); puti(hits); putc('\n');
+	return hits;
+}
+`
+
+func main() {
+	prog, err := branchprof.Compile("hashbench", branchprof.Prelude()+src, branchprof.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile three "previous runs" into the accumulating database.
+	db := ifprob.NewDB()
+	for _, n := range []string{"120", "250", "400"} {
+		run, err := branchprof.Run(prog, []byte(n+"\n"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof := run.Profile
+		prof.Dataset = "n=" + n
+		if err := db.Add(prof); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("profiled n=%s: %d branch executions\n", n, prof.Executed())
+	}
+
+	accumulated := db.Get("hashbench")
+
+	// Feed the counts back into the source as directives.
+	annotated, err := branchprof.AnnotateSource(branchprof.Prelude()+src, prog, accumulated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlines that gained IFPROB feedback directives:")
+	for _, line := range strings.Split(annotated, "\n") {
+		if strings.Contains(line, "IFPROB") {
+			fmt.Println(strings.TrimSpace(line))
+		}
+	}
+
+	// Use the accumulated profile to predict a run it has never seen.
+	fresh, err := branchprof.Run(prog, []byte("777\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := branchprof.PredictFromProfile(prog, accumulated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ipb, _, err := branchprof.InstructionsPerBreak(fresh, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selfPred, err := branchprof.PredictSelf(prog, fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selfIPB, _, err := branchprof.InstructionsPerBreak(fresh, selfPred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfresh dataset n=777: accumulated profile gives %.0f instrs/break (self bound %.0f, %.0f%%)\n",
+		ipb, selfIPB, 100*ipb/selfIPB)
+}

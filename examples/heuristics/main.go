@@ -1,0 +1,62 @@
+// Heuristics: compares profile feedback against the static heuristics
+// a compiler could use with no profile at all — the paper's informal
+// observation that simple loop/non-loop heuristics give up about a
+// factor of two in instructions per break. Runs the comparison over
+// every benchmark in the sample base.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchprof"
+	"branchprof/internal/predict"
+	"branchprof/internal/workloads"
+)
+
+func main() {
+	fmt.Println("instructions per break: profile feedback vs static heuristics")
+	fmt.Printf("%-12s %-12s %9s %9s %9s %7s\n",
+		"program", "dataset", "profile", "loop-heur", "taken", "factor")
+	var worstFactor, bestFactor float64
+	for _, w := range workloads.All() {
+		prog, err := branchprof.Compile(w.Name, w.Source, branchprof.Options{})
+		if err != nil {
+			log.Fatalf("%s: %v", w.Name, err)
+		}
+		ds := w.Datasets[0]
+		run, err := branchprof.Run(prog, ds.Gen())
+		if err != nil {
+			log.Fatalf("%s/%s: %v", w.Name, ds.Name, err)
+		}
+		profPred, err := branchprof.PredictSelf(prog, run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profIPB, _, err := branchprof.InstructionsPerBreak(run, profPred)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loopPred := branchprof.PredictHeuristic(prog)
+		loopIPB, _, err := branchprof.InstructionsPerBreak(run, loopPred)
+		if err != nil {
+			log.Fatal(err)
+		}
+		takenPred := predict.FromHeuristic(prog.Sites, predict.AlwaysTaken)
+		takenIPB, _, err := branchprof.InstructionsPerBreak(run, takenPred)
+		if err != nil {
+			log.Fatal(err)
+		}
+		factor := profIPB / loopIPB
+		if worstFactor == 0 || factor < worstFactor {
+			worstFactor = factor
+		}
+		if factor > bestFactor {
+			bestFactor = factor
+		}
+		fmt.Printf("%-12s %-12s %9.0f %9.0f %9.0f %6.1fx\n",
+			w.Name, ds.Name, profIPB, loopIPB, takenIPB, factor)
+	}
+	fmt.Printf("\nprofile feedback beats the loop heuristic by %.1fx-%.1fx across the sample\n",
+		worstFactor, bestFactor)
+}

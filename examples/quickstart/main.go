@@ -1,0 +1,100 @@
+// Quickstart: compile a small MF program, run it twice on different
+// inputs, use the first run's branch profile to predict the second,
+// and compare against the self oracle and the no-prediction baseline
+// — the paper's whole methodology on one toy program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchprof"
+)
+
+// src counts word and line totals — data-dependent branching on the
+// input's characters.
+const src = `
+func isword(c int) int {
+	if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+		return 1;
+	}
+	return 0;
+}
+
+func main() int {
+	var words int = 0;
+	var lines int = 0;
+	var inword int = 0;
+	var c int = getc();
+	while (c != -1) {
+		if (c == '\n') {
+			lines = lines + 1;
+		}
+		if (isword(c) == 1) {
+			if (inword == 0) {
+				words = words + 1;
+			}
+			inword = 1;
+		} else {
+			inword = 0;
+		}
+		c = getc();
+	}
+	puts("words "); puti(words); putc('\n');
+	puts("lines "); puti(lines); putc('\n');
+	return words;
+}
+`
+
+func main() {
+	prog, err := branchprof.Compile("wordcount", branchprof.Prelude()+src, branchprof.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trainInput := []byte("the quick brown fox\njumps over the lazy dog\npack my box with five dozen jugs\n")
+	targetInput := []byte("now is the time for all good people to come to the aid of their country\nagain and again\n")
+
+	train, err := branchprof.Run(prog, trainInput)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := branchprof.Run(prog, targetInput)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training run output:\n%s", train.Result.Output)
+	fmt.Printf("target run output:\n%s", target.Result.Output)
+
+	// No prediction: every conditional branch is a break in control.
+	fmt.Printf("\ninstructions per break, unpredicted:      %6.1f\n",
+		branchprof.InstructionsPerBreakUnpredicted(target, false))
+
+	// The oracle: the target run predicts itself.
+	selfPred, err := branchprof.PredictSelf(prog, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selfIPB, _, err := branchprof.InstructionsPerBreak(target, selfPred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instructions per break, self (best case): %6.1f\n", selfIPB)
+
+	// The paper's question: how close does a *previous run* come?
+	crossPred, err := branchprof.PredictFromProfile(prog, train.Profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crossIPB, bd, err := branchprof.InstructionsPerBreak(target, crossPred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pct, err := branchprof.PercentCorrect(target, crossPred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instructions per break, previous run:     %6.1f (%.1f%% branches correct, %d mispredicts)\n",
+		crossIPB, 100*pct, bd.Mispredicts)
+	fmt.Printf("previous-run prediction achieves %.0f%% of the best case\n", 100*crossIPB/selfIPB)
+}

@@ -1,0 +1,100 @@
+// Staticvsdynamic: attaches simulated hardware branch predictors
+// (1-bit last-direction and 2-bit saturating counter) to a run and
+// compares their mispredict rates with static profile prediction on
+// the identical branch stream — the trade-off the paper's "Static vs.
+// Dynamic Branch Prediction" section frames.
+//
+// The demo program is a binary search over a sorted table: its
+// compare branch is the classic hard case for static prediction
+// (near 50/50) while its loop branches are easy, so the schemes
+// separate visibly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchprof"
+	"branchprof/internal/dynpred"
+	"branchprof/internal/mfc"
+	"branchprof/internal/predict"
+	"branchprof/internal/vm"
+)
+
+const src = `
+const N = 512;
+var table[N] int;
+
+func search(key int) int {
+	var lo int = 0;
+	var hi int = N - 1;
+	while (lo <= hi) {
+		var mid int = (lo + hi) / 2;
+		if (table[mid] == key) {
+			return mid;
+		}
+		if (table[mid] < key) {
+			lo = mid + 1;
+		} else {
+			hi = mid - 1;
+		}
+	}
+	return -1;
+}
+
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		table[i] = i * 7;
+	}
+	srand(42);
+	var hits int = 0;
+	for (i = 0; i < 4000; i = i + 1) {
+		if (search(rnd() % (N * 7)) >= 0) {
+			hits = hits + 1;
+		}
+	}
+	putiln(hits);
+	return hits;
+}
+`
+
+func main() {
+	prog, err := mfc.Compile("bsearch", branchprof.Prelude()+src, mfc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First run: gather the profile for the static predictor.
+	profRun, err := branchprof.Run(prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selfPred, err := branchprof.PredictSelf(prog, profRun)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dirs := make([]bool, len(selfPred.Dir))
+	for i, d := range selfPred.Dir {
+		dirs[i] = d == predict.Taken
+	}
+
+	// Second run: measure every scheme on one branch stream.
+	static := dynpred.NewStatic("static-profile", dirs)
+	oneBit := dynpred.NewOneBit(len(prog.Sites))
+	twoBit := dynpred.NewTwoBit(len(prog.Sites))
+	multi := &dynpred.Multi{Predictors: []dynpred.Predictor{static, oneBit, twoBit}}
+	if _, err := vm.Run(prog, nil, &vm.Config{Trace: multi}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("binary search over a sorted table: mispredict rates")
+	for _, p := range []dynpred.Predictor{static, oneBit, twoBit} {
+		fmt.Printf("  %-16s %6.2f%%  (%d of %d branches)\n",
+			p.Name(), 100*float64(p.Mispredicts())/float64(p.Executed()),
+			p.Mispredicts(), p.Executed())
+	}
+	fmt.Println("\nthe compare branch is ~50/50, so every scheme pays there;")
+	fmt.Println("static profile prediction matches the 2-bit hardware scheme on")
+	fmt.Println("the loop branches without any hardware at all — the paper's point.")
+}

@@ -1,0 +1,3 @@
+module branchprof
+
+go 1.22

@@ -1,0 +1,180 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"branchprof/internal/isa"
+)
+
+// Format renders a program in the assembler's own syntax, such that
+// Assemble(Format(p)) reproduces an equivalent program: same code,
+// same site metadata, same memory images. Register frame sizes are
+// re-derived by the assembler (never smaller than the original's
+// usage), and call result registers may widen a frame by one — both
+// invisible to execution, which the round-trip tests verify.
+func Format(p *isa.Program) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Source)
+	fmt.Fprintf(&b, "imem %d\nfmem %d\n", p.IntMem, p.FloatMem)
+	if len(p.IntData) > 0 {
+		b.WriteString("idata 0:")
+		for _, v := range p.IntData {
+			fmt.Fprintf(&b, " %d", v)
+		}
+		b.WriteString("\n")
+	}
+	if len(p.FloatData) > 0 {
+		b.WriteString("fdata 0:")
+		for _, v := range p.FloatData {
+			b.WriteString(" ")
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		b.WriteString("\n")
+	}
+	// The assembler resolves call targets by name after all functions
+	// are declared, so original declaration order is preserved — and
+	// with it the program-wide ordering of branch instructions, which
+	// keeps site ids stable across the round trip.
+	for fi := range p.Funcs {
+		if err := formatFunc(&b, p, fi); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+func formatFunc(b *strings.Builder, p *isa.Program, fi int) error {
+	f := &p.Funcs[fi]
+	var params []string
+	for _, fp := range f.FParams {
+		if fp {
+			params = append(params, "float")
+		} else {
+			params = append(params, "int")
+		}
+	}
+	ret := "int"
+	switch f.Kind {
+	case isa.FuncFloat:
+		ret = "float"
+	case isa.FuncVoid:
+		ret = "void"
+	}
+	fmt.Fprintf(b, "\nfunc %s (%s) %s\n", f.Name, strings.Join(params, ","), ret)
+
+	// Collect branch/jump targets needing labels.
+	labels := map[int]string{}
+	for _, in := range f.Code {
+		if in.Op == isa.OpBr || in.Op == isa.OpJmp {
+			if _, ok := labels[int(in.Target)]; !ok {
+				labels[int(in.Target)] = fmt.Sprintf("L%d", in.Target)
+			}
+		}
+	}
+	for pc, in := range f.Code {
+		if l, ok := labels[pc]; ok {
+			fmt.Fprintf(b, "%s:\n", l)
+		}
+		line, err := formatInstr(p, f, in, labels)
+		if err != nil {
+			return fmt.Errorf("%s+%d: %w", f.Name, pc, err)
+		}
+		fmt.Fprintf(b, "    %s\n", line)
+	}
+	return nil
+}
+
+func formatInstr(p *isa.Program, f *isa.Func, in isa.Instr, labels map[int]string) (string, error) {
+	op := in.Op.String()
+	switch in.Op {
+	case isa.OpNop:
+		return "nop", nil
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem, isa.OpAnd,
+		isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpSle,
+		isa.OpSeq, isa.OpSne:
+		return fmt.Sprintf("%s r%d, r%d, r%d", op, in.C, in.A, in.B), nil
+	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv, isa.OpPow:
+		return fmt.Sprintf("%s f%d, f%d, f%d", op, in.C, in.A, in.B), nil
+	case isa.OpFSlt, isa.OpFSle, isa.OpFSeq, isa.OpFSne:
+		return fmt.Sprintf("%s r%d, f%d, f%d", op, in.C, in.A, in.B), nil
+	case isa.OpNeg, isa.OpNot, isa.OpMov:
+		return fmt.Sprintf("%s r%d, r%d", op, in.C, in.A), nil
+	case isa.OpFNeg, isa.OpFMov, isa.OpSqrt, isa.OpSin, isa.OpCos, isa.OpExp,
+		isa.OpLog, isa.OpFAbs, isa.OpFloor:
+		return fmt.Sprintf("%s f%d, f%d", op, in.C, in.A), nil
+	case isa.OpCvtIF:
+		return fmt.Sprintf("cvtif f%d, r%d", in.C, in.A), nil
+	case isa.OpCvtFI:
+		return fmt.Sprintf("cvtfi r%d, f%d", in.C, in.A), nil
+	case isa.OpLdi:
+		return fmt.Sprintf("ldi r%d, %d", in.C, in.Imm), nil
+	case isa.OpLdf:
+		return fmt.Sprintf("ldf f%d, %s", in.C, strconv.FormatFloat(in.FImm, 'g', -1, 64)), nil
+	case isa.OpLd:
+		return fmt.Sprintf("ld r%d, %d(r%d)", in.C, in.Imm, in.A), nil
+	case isa.OpSt:
+		return fmt.Sprintf("st %d(r%d), r%d", in.Imm, in.A, in.B), nil
+	case isa.OpFLd:
+		return fmt.Sprintf("fld f%d, %d(r%d)", in.C, in.Imm, in.A), nil
+	case isa.OpFSt:
+		return fmt.Sprintf("fst %d(r%d), f%d", in.Imm, in.A, in.B), nil
+	case isa.OpBr:
+		s := p.Sites[in.Site]
+		attrs := []string{fmt.Sprintf("label=%s", sanitizeLabel(s.Label))}
+		if s.LoopBack {
+			attrs = append(attrs, "back")
+		}
+		if s.LoopDepth != 0 {
+			attrs = append(attrs, fmt.Sprintf("depth=%d", s.LoopDepth))
+		}
+		return fmt.Sprintf("br r%d, %s [%s]", in.A, labels[int(in.Target)], strings.Join(attrs, " ")), nil
+	case isa.OpJmp:
+		return fmt.Sprintf("jmp %s", labels[int(in.Target)]), nil
+	case isa.OpCall:
+		res := "-"
+		if in.C >= 0 {
+			callee := &p.Funcs[in.Target]
+			if callee.Kind == isa.FuncFloat {
+				res = fmt.Sprintf("f%d", in.C)
+			} else {
+				res = fmt.Sprintf("r%d", in.C)
+			}
+		}
+		return fmt.Sprintf("call %s, r%d, f%d, %s", p.Funcs[in.Target].Name, in.A, in.B, res), nil
+	case isa.OpICall:
+		return fmt.Sprintf("icall r%d, r%d, r%d", in.A, in.B, in.C), nil
+	case isa.OpRet:
+		if f.Kind == isa.FuncVoid {
+			return "ret", nil
+		}
+		if f.Kind == isa.FuncFloat {
+			return fmt.Sprintf("ret f%d", in.A), nil
+		}
+		return fmt.Sprintf("ret r%d", in.A), nil
+	case isa.OpGetc:
+		return fmt.Sprintf("getc r%d", in.C), nil
+	case isa.OpPutc:
+		return fmt.Sprintf("putc r%d", in.A), nil
+	case isa.OpHalt:
+		return fmt.Sprintf("halt r%d", in.A), nil
+	}
+	return "", fmt.Errorf("asm: operation %v has no textual form", in.Op)
+}
+
+// sanitizeLabel keeps site labels attribute-safe (no spaces or
+// brackets).
+func sanitizeLabel(s string) string {
+	if s == "" {
+		return "br"
+	}
+	s = strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '[', ']', ',', '=':
+			return '_'
+		}
+		return r
+	}, s)
+	return s
+}

@@ -1,0 +1,164 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+	"branchprof/internal/workloads"
+)
+
+// TestFormatRoundTripSimple: Format ∘ Assemble preserves code and
+// behaviour on a hand-written program.
+func TestFormatRoundTripSimple(t *testing.T) {
+	src := `
+program rt
+imem 8
+idata 2: 7 9
+
+func helper (int) int
+    ldi r1, 3
+    add r2, r0, r1
+    ret r2
+
+func main () int
+    ldi r0, 0
+    ld  r1, 2(r0)
+    call helper, r1, f0, r2
+loop:
+    ldi r3, 1
+    sub r2, r2, r3
+    slt r4, r0, r2
+    br  r4, loop [back depth=1 label=while]
+    ret r2
+`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Format(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	r1, err := vm.Run(p1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := vm.Run(p2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExitCode != r2.ExitCode || r1.Instrs != r2.Instrs {
+		t.Errorf("round trip changed behaviour: exit %d/%d instrs %d/%d",
+			r1.ExitCode, r2.ExitCode, r1.Instrs, r2.Instrs)
+	}
+}
+
+// TestFormatRoundTripWorkloads: every compiled workload survives
+// Format -> Assemble with identical code, sites and behaviour —
+// recursion, indirect calls, floats, string data and all.
+func TestFormatRoundTripWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p1, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			text, err := Format(p1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := Assemble(text)
+			if err != nil {
+				t.Fatalf("reassembly failed: %v", err)
+			}
+			if len(p2.Funcs) != len(p1.Funcs) {
+				t.Fatalf("function count %d -> %d", len(p1.Funcs), len(p2.Funcs))
+			}
+			if len(p2.Sites) != len(p1.Sites) {
+				t.Fatalf("site count %d -> %d", len(p1.Sites), len(p2.Sites))
+			}
+			for i := range p1.Sites {
+				s1, s2 := p1.Sites[i], p2.Sites[i]
+				if s1.LoopBack != s2.LoopBack || s1.LoopDepth != s2.LoopDepth {
+					t.Fatalf("site %d metadata changed: %+v -> %+v", i, s1, s2)
+				}
+			}
+			for fi := range p1.Funcs {
+				f1, f2 := &p1.Funcs[fi], &p2.Funcs[fi]
+				if len(f1.Code) != len(f2.Code) {
+					t.Fatalf("%s: code length %d -> %d", f1.Name, len(f1.Code), len(f2.Code))
+				}
+				for pc := range f1.Code {
+					i1, i2 := f1.Code[pc], f2.Code[pc]
+					if i1.Op != i2.Op || i1.A != i2.A || i1.B != i2.B || i1.C != i2.C ||
+						i1.Imm != i2.Imm || i1.FImm != i2.FImm || i1.Target != i2.Target ||
+						i1.Site != i2.Site {
+						t.Fatalf("%s+%d: instruction changed:\n %+v\n %+v", f1.Name, pc, i1, i2)
+					}
+				}
+			}
+			// Behaviour on the smallest dataset.
+			input := w.Datasets[0].Gen()
+			if w.Name == "spice2g6" {
+				input = w.Datasets[1].Gen() // circuit2, the short one
+			}
+			r1, err := vm.Run(p1, input, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := vm.Run(p2, input, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.ExitCode != r2.ExitCode || r1.Instrs != r2.Instrs || !bytes.Equal(r1.Output, r2.Output) {
+				t.Errorf("behaviour changed: exit %d/%d instrs %d/%d",
+					r1.ExitCode, r2.ExitCode, r1.Instrs, r2.Instrs)
+			}
+		})
+	}
+}
+
+func TestFormatForwardAndRecursiveCalls(t *testing.T) {
+	// main calls a function declared after it; fib recurses.
+	src := `
+program fwd
+
+func main () int
+    ldi r0, 10
+    call fib, r0, f0, r1
+    ret r1
+
+func fib (int) int
+    ldi r1, 2
+    slt r2, r0, r1
+    br  r2, base [label=if]
+    ldi r3, 1
+    sub r4, r0, r3
+    call fib, r4, f0, r5
+    ldi r6, 2
+    sub r7, r0, r6
+    call fib, r7, f0, r8
+    add r9, r5, r8
+    ret r9
+base:
+    ret r0
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 55 {
+		t.Errorf("fib(10) = %d, want 55", res.ExitCode)
+	}
+}

@@ -1,0 +1,116 @@
+// Package breaks computes the paper's central measure: instructions
+// per break in control.
+//
+// A "break in control" is anything that stops an ILP compiler from
+// moving instructions freely. The paper classifies transfers as:
+//
+//   - unavoidable: indirect calls and their returns (and indirect
+//     jumps / assigned GOTOs, which our compiler never generates) —
+//     always breaks;
+//   - avoidable: direct calls and returns (an inlining compiler can
+//     remove them; Figure 1 reports both with and without them),
+//     unconditional jumps (assumed eliminated by code layout — never
+//     counted), and multi-way branches (lowered to cascaded
+//     conditional branches by the compiler, so they appear as
+//     ordinary sites);
+//   - conditional branches: all of them when no prediction is used
+//     (Figure 1), or just the mispredicted ones when a predictor is
+//     applied (Figures 2-3, Table 3).
+package breaks
+
+import (
+	"fmt"
+	"math"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/predict"
+	"branchprof/internal/vm"
+)
+
+// Policy selects which events count as breaks.
+type Policy struct {
+	// PredictBranches applies a predictor so only mispredicted
+	// conditional branches break; when false every conditional branch
+	// is a break.
+	PredictBranches bool
+	// IncludeDirectCalls adds direct calls and their returns to the
+	// breaks (Figure 1's white bars). The paper's predicted results
+	// assume inlining, so Figures 2-3 leave these out.
+	IncludeDirectCalls bool
+}
+
+// Standard policies used by the experiments.
+var (
+	// UnpredictedNoCalls: Figure 1 black bars.
+	UnpredictedNoCalls = Policy{}
+	// UnpredictedWithCalls: Figure 1 white bars.
+	UnpredictedWithCalls = Policy{IncludeDirectCalls: true}
+	// Predicted: Figures 2-3 and Table 3.
+	Predicted = Policy{PredictBranches: true}
+)
+
+// Breakdown reports the composition of the break count for one run.
+type Breakdown struct {
+	Instrs          uint64
+	CondBranches    uint64 // executed conditional branches
+	Mispredicts     uint64 // only meaningful under PredictBranches
+	IndirectCalls   uint64
+	IndirectReturns uint64
+	DirectCalls     uint64
+	DirectReturns   uint64
+	Breaks          uint64 // total per the policy
+}
+
+// InstrsPerBreak returns the headline measure. With zero breaks it
+// returns +Inf (a run with no barriers at all).
+func (b Breakdown) InstrsPerBreak() float64 {
+	if b.Breaks == 0 {
+		return math.Inf(1)
+	}
+	return float64(b.Instrs) / float64(b.Breaks)
+}
+
+// Count computes the break composition of a run under a policy.
+// mispredicts is consulted only when the policy predicts branches;
+// pass 0 otherwise.
+func Count(res *vm.Result, mispredicts uint64, pol Policy) Breakdown {
+	b := Breakdown{
+		Instrs:          res.Instrs,
+		CondBranches:    res.CondBranches(),
+		Mispredicts:     mispredicts,
+		IndirectCalls:   res.IndirectCalls,
+		IndirectReturns: res.IndirectReturns,
+		DirectCalls:     res.DirectCalls,
+		DirectReturns:   res.DirectReturns,
+	}
+	b.Breaks = b.IndirectCalls + b.IndirectReturns
+	if pol.PredictBranches {
+		b.Breaks += mispredicts
+	} else {
+		b.Breaks += b.CondBranches
+	}
+	if pol.IncludeDirectCalls {
+		b.Breaks += b.DirectCalls + b.DirectReturns
+	}
+	return b
+}
+
+// Unpredicted returns instructions per break with every conditional
+// branch counted as a break.
+func Unpredicted(res *vm.Result, includeCalls bool) float64 {
+	pol := UnpredictedNoCalls
+	pol.IncludeDirectCalls = includeCalls
+	return Count(res, 0, pol).InstrsPerBreak()
+}
+
+// WithPrediction evaluates a prediction against the run's own branch
+// behaviour and returns instructions per (mispredicted or
+// unavoidable) break — the quantity in Figures 2-3 and Table 3.
+func WithPrediction(res *vm.Result, target *ifprob.Profile, pr *predict.Prediction) (float64, Breakdown, error) {
+	ev, err := predict.Evaluate(pr, target)
+	if err != nil {
+		return 0, Breakdown{}, fmt.Errorf("breaks: %w", err)
+	}
+	b := Count(res, ev.Mispredicts, Predicted)
+	return b.InstrsPerBreak(), b, nil
+}

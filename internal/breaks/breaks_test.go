@@ -1,0 +1,128 @@
+package breaks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/predict"
+	"branchprof/internal/vm"
+)
+
+func result() *vm.Result {
+	return &vm.Result{
+		Instrs:          10000,
+		SiteTaken:       []uint64{90, 10},
+		SiteTotal:       []uint64{100, 100},
+		Jumps:           500, // never counted: the compiler eliminates them
+		DirectCalls:     40,
+		DirectReturns:   40,
+		IndirectCalls:   5,
+		IndirectReturns: 5,
+	}
+}
+
+func TestUnpredictedPolicies(t *testing.T) {
+	res := result()
+	// no calls: 200 branches + 10 indirect events = 210 breaks
+	if got := Unpredicted(res, false); got != 10000.0/210 {
+		t.Errorf("no-calls = %v, want %v", got, 10000.0/210)
+	}
+	// with calls: + 80 direct events = 290 breaks
+	if got := Unpredicted(res, true); got != 10000.0/290 {
+		t.Errorf("with-calls = %v, want %v", got, 10000.0/290)
+	}
+}
+
+func TestPredictedPolicy(t *testing.T) {
+	res := result()
+	b := Count(res, 25, Predicted)
+	if b.Breaks != 25+10 {
+		t.Errorf("breaks = %d, want 35", b.Breaks)
+	}
+	if b.InstrsPerBreak() != 10000.0/35 {
+		t.Errorf("ipb = %v", b.InstrsPerBreak())
+	}
+}
+
+func TestJumpsNeverCount(t *testing.T) {
+	res := result()
+	res.Jumps = 1 << 40
+	a := Count(res, 0, UnpredictedWithCalls)
+	res.Jumps = 0
+	b := Count(res, 0, UnpredictedWithCalls)
+	if a.Breaks != b.Breaks {
+		t.Error("jumps leaked into the break count")
+	}
+}
+
+func TestZeroBreaksIsInf(t *testing.T) {
+	res := &vm.Result{Instrs: 100}
+	b := Count(res, 0, Predicted)
+	if !math.IsInf(b.InstrsPerBreak(), 1) {
+		t.Errorf("ipb with no breaks = %v, want +Inf", b.InstrsPerBreak())
+	}
+}
+
+func TestWithPrediction(t *testing.T) {
+	res := result()
+	prof := ifprob.FromRun("p", "d", res)
+	// Predict both sites taken: site0 misses 10, site1 misses 90.
+	pr := &predict.Prediction{
+		Dir:         []predict.Direction{predict.Taken, predict.Taken},
+		FromProfile: []bool{true, true},
+	}
+	ipb, bd, err := WithPrediction(res, prof, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Mispredicts != 100 {
+		t.Errorf("mispredicts = %d, want 100", bd.Mispredicts)
+	}
+	if ipb != 10000.0/110 {
+		t.Errorf("ipb = %v, want %v", ipb, 10000.0/110)
+	}
+	// A mismatched prediction is an error.
+	if _, _, err := WithPrediction(res, prof, &predict.Prediction{Dir: make([]predict.Direction, 1)}); err == nil {
+		t.Error("mismatched prediction accepted")
+	}
+}
+
+// TestPredictionNeverWorseThanUnpredicted: under the same policy,
+// predicted breaks can never exceed unpredicted ones, because
+// mispredicts <= executed branches.
+func TestPredictionNeverWorseThanUnpredicted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(12) + 1
+		res := &vm.Result{
+			Instrs:          uint64(rng.Intn(100000) + 1),
+			SiteTaken:       make([]uint64, k),
+			SiteTotal:       make([]uint64, k),
+			IndirectCalls:   uint64(rng.Intn(50)),
+			IndirectReturns: uint64(rng.Intn(50)),
+		}
+		pr := &predict.Prediction{Dir: make([]predict.Direction, k), FromProfile: make([]bool, k)}
+		for i := 0; i < k; i++ {
+			res.SiteTotal[i] = uint64(rng.Intn(1000))
+			if res.SiteTotal[i] > 0 {
+				res.SiteTaken[i] = uint64(rng.Intn(int(res.SiteTotal[i]) + 1))
+			}
+			if rng.Intn(2) == 1 {
+				pr.Dir[i] = predict.Taken
+			}
+		}
+		prof := ifprob.FromRun("p", "d", res)
+		ipbPred, _, err := WithPrediction(res, prof, pr)
+		if err != nil {
+			return false
+		}
+		ipbUnpred := Unpredicted(res, false)
+		return ipbPred >= ipbUnpred || math.IsInf(ipbPred, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package cfg reconstructs basic-block control-flow graphs from
+// compiled programs and implements Fisher-style trace selection over
+// them — the consumer the paper's predictions were for: "code
+// generation techniques like trace scheduling ... must rely on branch
+// predictions to select candidate instructions."
+//
+// Blocks are rebuilt from the instruction stream (leaders at branch
+// targets and after control transfers); edge weights come either from
+// a run's exact per-PC execution counts and branch outcome profile,
+// or from a static prediction (probability-1 edges along the
+// predicted directions).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"branchprof/internal/isa"
+)
+
+// EdgeKind classifies a control-flow edge.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	EdgeFall  EdgeKind = iota // fallthrough (branch not taken, or past a call)
+	EdgeTaken                 // conditional branch taken
+	EdgeJump                  // unconditional jump
+)
+
+// Edge is a weighted successor link.
+type Edge struct {
+	To     int // successor block index within the function; -1 = exit
+	Kind   EdgeKind
+	Weight uint64
+}
+
+// Block is one basic block of a function.
+type Block struct {
+	Start, End int // instruction index range [Start, End)
+	Count      uint64
+	Succs      []Edge
+}
+
+// Instrs returns the block size in instructions.
+func (b *Block) Instrs() int { return b.End - b.Start }
+
+// Graph is one function's CFG.
+type Graph struct {
+	Func   string
+	Blocks []Block
+}
+
+// Build reconstructs the static CFG of function fi.
+func Build(p *isa.Program, fi int) (*Graph, error) {
+	f := &p.Funcs[fi]
+	n := len(f.Code)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: %s has no code", f.Name)
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc, in := range f.Code {
+		switch in.Op {
+		case isa.OpBr, isa.OpJmp:
+			leader[in.Target] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case isa.OpRet, isa.OpHalt:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	g := &Graph{Func: f.Name}
+	blockAt := make([]int, n)
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, Block{Start: pc})
+		}
+		blockAt[pc] = len(g.Blocks) - 1
+	}
+	for i := range g.Blocks {
+		if i+1 < len(g.Blocks) {
+			g.Blocks[i].End = g.Blocks[i+1].Start
+		} else {
+			g.Blocks[i].End = n
+		}
+	}
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		last := f.Code[b.End-1]
+		switch last.Op {
+		case isa.OpBr:
+			b.Succs = append(b.Succs,
+				Edge{To: blockAt[last.Target], Kind: EdgeTaken},
+				Edge{To: fallTo(b.End, n, blockAt), Kind: EdgeFall})
+		case isa.OpJmp:
+			b.Succs = append(b.Succs, Edge{To: blockAt[last.Target], Kind: EdgeJump})
+		case isa.OpRet, isa.OpHalt:
+			// exit: no successors
+		default:
+			b.Succs = append(b.Succs, Edge{To: fallTo(b.End, n, blockAt), Kind: EdgeFall})
+		}
+	}
+	return g, nil
+}
+
+func fallTo(end, n int, blockAt []int) int {
+	if end >= n {
+		return -1
+	}
+	return blockAt[end]
+}
+
+// AttachRunCounts weights the graph with a run's measurements: block
+// counts from per-PC execution counts, taken/fallthrough edge weights
+// from the branch site profile, and jump/fall edges from the
+// successor block's entry count. perPC must come from the same
+// program (vm.Config.PerPC).
+func (g *Graph) AttachRunCounts(p *isa.Program, fi int, perPC []uint64, siteTaken, siteTotal []uint64) {
+	f := &p.Funcs[fi]
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		b.Count = perPC[b.Start]
+		last := f.Code[b.End-1]
+		for e := range b.Succs {
+			edge := &b.Succs[e]
+			switch {
+			case last.Op == isa.OpBr && edge.Kind == EdgeTaken:
+				edge.Weight = siteTaken[last.Site]
+			case last.Op == isa.OpBr && edge.Kind == EdgeFall:
+				edge.Weight = siteTotal[last.Site] - siteTaken[last.Site]
+			default:
+				// Unconditional: all executions flow along it.
+				edge.Weight = perPC[b.End-1]
+			}
+		}
+	}
+}
+
+// AttachPrediction weights edges from a static prediction instead of
+// measurements: the predicted direction of each branch gets the
+// block's weight, the other direction zero. dirs[i] is true when site
+// i is predicted taken. Block counts must already be set (or are
+// taken as 1 when zero, for purely static analysis).
+func (g *Graph) AttachPrediction(p *isa.Program, fi int, dirs []bool) {
+	f := &p.Funcs[fi]
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		w := b.Count
+		if w == 0 {
+			w = 1
+		}
+		last := f.Code[b.End-1]
+		for e := range b.Succs {
+			edge := &b.Succs[e]
+			if last.Op == isa.OpBr {
+				predictedTaken := dirs[last.Site]
+				if (edge.Kind == EdgeTaken) == predictedTaken {
+					edge.Weight = w
+				} else {
+					edge.Weight = 0
+				}
+			} else {
+				edge.Weight = w
+			}
+		}
+	}
+}
+
+// Trace is one selected trace: a sequence of block indices.
+type Trace struct {
+	Blocks []int
+	Instrs int    // total instructions along the trace
+	Seed   uint64 // execution count of the seed block
+}
+
+// SelectTraces runs the classic greedy trace selection: repeatedly
+// seed at the hottest unvisited block and grow forward along the
+// most likely (heaviest) successor edge, stopping at visited blocks,
+// exits, or zero-weight edges. Every block lands in exactly one
+// trace.
+func (g *Graph) SelectTraces() []Trace {
+	order := make([]int, len(g.Blocks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Blocks[order[a]].Count > g.Blocks[order[b]].Count
+	})
+	visited := make([]bool, len(g.Blocks))
+	var traces []Trace
+	for _, seed := range order {
+		if visited[seed] {
+			continue
+		}
+		tr := Trace{Seed: g.Blocks[seed].Count}
+		cur := seed
+		for cur >= 0 && !visited[cur] {
+			visited[cur] = true
+			tr.Blocks = append(tr.Blocks, cur)
+			tr.Instrs += g.Blocks[cur].Instrs()
+			// Most likely successor.
+			next := -1
+			var best uint64
+			hasAny := false
+			for _, e := range g.Blocks[cur].Succs {
+				if e.To >= 0 && (!hasAny || e.Weight > best) {
+					// Prefer nonzero weights; a zero-weight edge only
+					// continues a trace when nothing better exists
+					// and the block was never executed anyway.
+					if e.Weight > 0 || g.Blocks[cur].Count == 0 {
+						next, best, hasAny = e.To, e.Weight, true
+					}
+				}
+			}
+			cur = next
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}
+
+// WeightedMeanLength returns the execution-weighted mean trace length
+// in instructions: hot traces dominate, matching what a trace
+// scheduler actually compiles.
+func WeightedMeanLength(traces []Trace) float64 {
+	var num, den float64
+	for _, t := range traces {
+		w := float64(t.Seed)
+		num += w * float64(t.Instrs)
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

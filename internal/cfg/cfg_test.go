@@ -1,0 +1,198 @@
+package cfg
+
+import (
+	"testing"
+
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+)
+
+const src = `
+func main() int {
+	var i int = 0;
+	var n int = 0;
+	while (i < 100) {
+		if (i % 10 == 0) {
+			n = n + 2;
+		} else {
+			n = n + 1;
+		}
+		i = i + 1;
+	}
+	return n;
+}
+`
+
+func buildMain(t *testing.T) (*Graph, *vm.Result, int) {
+	t.Helper()
+	p, err := mfc.Compile("cfgtest", src, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, nil, &vm.Config{PerPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := p.Main
+	g, err := Build(p, fi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AttachRunCounts(p, fi, res.PerPC[fi], res.SiteTaken, res.SiteTotal)
+	return g, res, fi
+}
+
+func TestBuildStructure(t *testing.T) {
+	g, _, _ := buildMain(t)
+	if len(g.Blocks) < 5 {
+		t.Fatalf("expected several blocks, got %d", len(g.Blocks))
+	}
+	// Blocks partition the code with no gaps or overlaps.
+	end := 0
+	for i, b := range g.Blocks {
+		if b.Start != end {
+			t.Errorf("block %d starts at %d, previous ended at %d", i, b.Start, end)
+		}
+		if b.End <= b.Start {
+			t.Errorf("block %d empty: [%d,%d)", i, b.Start, b.End)
+		}
+		end = b.End
+		for _, e := range b.Succs {
+			if e.To >= len(g.Blocks) {
+				t.Errorf("block %d has successor %d out of range", i, e.To)
+			}
+		}
+	}
+}
+
+func TestCountsConsistent(t *testing.T) {
+	g, res, _ := buildMain(t)
+	// Total instructions from block counts must equal the run total.
+	var sum uint64
+	for _, b := range g.Blocks {
+		sum += b.Count * uint64(b.Instrs())
+	}
+	if sum != res.Instrs {
+		t.Errorf("block-count reconstruction %d != run total %d", sum, res.Instrs)
+	}
+	// Edge weights out of an executed branch block sum to its count.
+	for i, b := range g.Blocks {
+		if len(b.Succs) == 2 && b.Count > 0 {
+			w := b.Succs[0].Weight + b.Succs[1].Weight
+			if w != b.Count {
+				t.Errorf("block %d: branch edges sum %d, block count %d", i, w, b.Count)
+			}
+		}
+	}
+}
+
+func TestSelectTracesPartition(t *testing.T) {
+	g, _, _ := buildMain(t)
+	traces := g.SelectTraces()
+	seen := make(map[int]bool)
+	total := 0
+	for _, tr := range traces {
+		for _, b := range tr.Blocks {
+			if seen[b] {
+				t.Fatalf("block %d in two traces", b)
+			}
+			seen[b] = true
+		}
+		total += len(tr.Blocks)
+	}
+	if total != len(g.Blocks) {
+		t.Errorf("traces cover %d of %d blocks", total, len(g.Blocks))
+	}
+	if WeightedMeanLength(traces) <= 0 {
+		t.Error("weighted mean length should be positive")
+	}
+	// The hottest trace should include the loop body: several blocks.
+	if len(traces[0].Blocks) < 3 {
+		t.Errorf("hot trace has only %d blocks", len(traces[0].Blocks))
+	}
+}
+
+func TestPredictionWeights(t *testing.T) {
+	p, err := mfc.Compile("cfgtest", src, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := p.Main
+	g, err := Build(p, fi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]bool, len(p.Sites))
+	for i, s := range p.Sites {
+		dirs[i] = s.LoopBack // loop heuristic
+	}
+	g.AttachPrediction(p, fi, dirs)
+	for i, b := range g.Blocks {
+		if len(b.Succs) == 2 {
+			nz := 0
+			for _, e := range b.Succs {
+				if e.Weight > 0 {
+					nz++
+				}
+			}
+			if nz != 1 {
+				t.Errorf("block %d: prediction should weight exactly one branch edge, got %d", i, nz)
+			}
+		}
+	}
+}
+
+// TestProfileBeatsHeuristicOnBiasedBranch: when a branch is usually
+// taken but is not a loop back edge, the heuristic grows the trace the
+// wrong way and profile-guided selection wins.
+func TestProfileBeatsHeuristicOnBiasedBranch(t *testing.T) {
+	src := `
+func main() int {
+	var i int;
+	var n int = 0;
+	for (i = 0; i < 1000; i = i + 1) {
+		if (i % 100 != 0) {
+			// hot arm: taken 99% of the time, but a plain "if"
+			n = n + 1;
+			n = n + 2;
+			n = n + 3;
+		} else {
+			n = n - 1;
+		}
+	}
+	return n;
+}
+`
+	p, err := mfc.Compile("bias", src, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, nil, &vm.Config{PerPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := p.Main
+	g, err := Build(p, fi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AttachRunCounts(p, fi, res.PerPC[fi], res.SiteTaken, res.SiteTotal)
+	profile := WeightedMeanLength(g.SelectTraces())
+
+	dirs := make([]bool, len(p.Sites))
+	for i, s := range p.Sites {
+		dirs[i] = s.LoopBack // heuristic: predicts the hot if not-taken
+	}
+	g2, err := Build(p, fi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.AttachRunCounts(p, fi, res.PerPC[fi], res.SiteTaken, res.SiteTotal)
+	g2.AttachPrediction(p, fi, dirs)
+	heuristic := WeightedMeanLength(g2.SelectTraces())
+
+	if profile <= heuristic {
+		t.Errorf("profile traces (%v) should beat heuristic traces (%v) on a biased non-loop branch",
+			profile, heuristic)
+	}
+}

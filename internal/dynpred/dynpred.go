@@ -1,0 +1,163 @@
+// Package dynpred simulates the hardware dynamic branch predictors
+// the paper contrasts with static prediction: "dynamic methods
+// usually involve attaching 1 or 2 bits to each branch and setting or
+// incrementing those bits, as the program runs, to reflect the
+// direction the branch most recently went in."
+//
+// The predictors implement vm.Tracer, so attaching one to a run
+// measures its misprediction behaviour on exactly the branch stream
+// the static predictors are evaluated against. This supports the
+// extension experiment comparing profile-fed static prediction with
+// the hardware schemes of [Smith 81] and [Lee and Smith 84].
+package dynpred
+
+import "branchprof/internal/vm"
+
+// Predictor is a dynamic branch predictor simulated over a run.
+type Predictor interface {
+	vm.Tracer
+	// Name identifies the scheme in reports.
+	Name() string
+	// Executed returns the number of conditional branches seen.
+	Executed() uint64
+	// Mispredicts returns how many were predicted wrongly.
+	Mispredicts() uint64
+}
+
+// OneBit is the classic last-direction predictor: one bit per static
+// branch, predicting the direction the branch went last time. Initial
+// prediction is not-taken.
+type OneBit struct {
+	last        []bool
+	executed    uint64
+	mispredicts uint64
+}
+
+// NewOneBit returns a one-bit predictor for a program with sites
+// static branches.
+func NewOneBit(sites int) *OneBit {
+	return &OneBit{last: make([]bool, sites)}
+}
+
+// Name implements Predictor.
+func (p *OneBit) Name() string { return "1-bit" }
+
+// Branch implements vm.Tracer.
+func (p *OneBit) Branch(site int32, taken bool, _ uint64) {
+	p.executed++
+	if p.last[site] != taken {
+		p.mispredicts++
+	}
+	p.last[site] = taken
+}
+
+// Transfer implements vm.Tracer (ignored).
+func (p *OneBit) Transfer(vm.TransferKind, uint64) {}
+
+// Executed implements Predictor.
+func (p *OneBit) Executed() uint64 { return p.executed }
+
+// Mispredicts implements Predictor.
+func (p *OneBit) Mispredicts() uint64 { return p.mispredicts }
+
+// TwoBit is the saturating two-bit counter predictor [Smith 81]: per
+// static branch a counter in [0,3]; >=2 predicts taken; taken
+// increments, not-taken decrements, saturating. Counters start at 1
+// (weakly not-taken).
+type TwoBit struct {
+	state       []uint8
+	executed    uint64
+	mispredicts uint64
+}
+
+// NewTwoBit returns a two-bit predictor for sites static branches.
+func NewTwoBit(sites int) *TwoBit {
+	s := &TwoBit{state: make([]uint8, sites)}
+	for i := range s.state {
+		s.state[i] = 1
+	}
+	return s
+}
+
+// Name implements Predictor.
+func (p *TwoBit) Name() string { return "2-bit" }
+
+// Branch implements vm.Tracer.
+func (p *TwoBit) Branch(site int32, taken bool, _ uint64) {
+	p.executed++
+	s := p.state[site]
+	if (s >= 2) != taken {
+		p.mispredicts++
+	}
+	if taken {
+		if s < 3 {
+			p.state[site] = s + 1
+		}
+	} else if s > 0 {
+		p.state[site] = s - 1
+	}
+}
+
+// Transfer implements vm.Tracer (ignored).
+func (p *TwoBit) Transfer(vm.TransferKind, uint64) {}
+
+// Executed implements Predictor.
+func (p *TwoBit) Executed() uint64 { return p.executed }
+
+// Mispredicts implements Predictor.
+func (p *TwoBit) Mispredicts() uint64 { return p.mispredicts }
+
+// Static adapts a fixed per-site direction table to the Predictor
+// interface so static and dynamic schemes can be measured by the same
+// machinery. dirs[i] is true when site i is predicted taken.
+type Static struct {
+	name        string
+	dirs        []bool
+	executed    uint64
+	mispredicts uint64
+}
+
+// NewStatic wraps a direction table.
+func NewStatic(name string, dirs []bool) *Static {
+	return &Static{name: name, dirs: dirs}
+}
+
+// Name implements Predictor.
+func (p *Static) Name() string { return p.name }
+
+// Branch implements vm.Tracer.
+func (p *Static) Branch(site int32, taken bool, _ uint64) {
+	p.executed++
+	if p.dirs[site] != taken {
+		p.mispredicts++
+	}
+}
+
+// Transfer implements vm.Tracer (ignored).
+func (p *Static) Transfer(vm.TransferKind, uint64) {}
+
+// Executed implements Predictor.
+func (p *Static) Executed() uint64 { return p.executed }
+
+// Mispredicts implements Predictor.
+func (p *Static) Mispredicts() uint64 { return p.mispredicts }
+
+// Multi fans one branch stream out to several predictors so a single
+// (expensive) VM run measures every scheme at once.
+type Multi struct {
+	Predictors []Predictor
+}
+
+// Branch implements vm.Tracer.
+func (m *Multi) Branch(site int32, taken bool, instrs uint64) {
+	for _, p := range m.Predictors {
+		p.Branch(site, taken, instrs)
+	}
+}
+
+// Transfer implements vm.Tracer.
+func (m *Multi) Transfer(kind vm.TransferKind, instrs uint64) {
+	for _, p := range m.Predictors {
+		p.Transfer(kind, instrs)
+	}
+}

@@ -1,0 +1,153 @@
+package dynpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"branchprof/internal/vm"
+)
+
+func feed(p Predictor, outcomes []bool) {
+	for _, o := range outcomes {
+		p.Branch(0, o, 0)
+	}
+}
+
+func TestOneBitTracksLastDirection(t *testing.T) {
+	p := NewOneBit(1)
+	// T T T N N: initial prediction N (miss), then hits, then the
+	// flip misses once, then a hit.
+	feed(p, []bool{true, true, true, false, false})
+	if p.Executed() != 5 {
+		t.Errorf("executed = %d", p.Executed())
+	}
+	if p.Mispredicts() != 2 {
+		t.Errorf("mispredicts = %d, want 2", p.Mispredicts())
+	}
+}
+
+func TestOneBitAlternatingIsWorstCase(t *testing.T) {
+	p := NewOneBit(1)
+	outcomes := make([]bool, 100)
+	for i := range outcomes {
+		outcomes[i] = i%2 == 0
+	}
+	feed(p, outcomes)
+	// Alternating defeats a last-direction predictor completely.
+	if p.Mispredicts() != 100 {
+		t.Errorf("alternating mispredicts = %d, want 100", p.Mispredicts())
+	}
+}
+
+func TestTwoBitHysteresis(t *testing.T) {
+	p := NewTwoBit(1)
+	// Train strongly taken, then a single not-taken blip costs one
+	// miss but does not flip the prediction: the following taken is
+	// still predicted correctly.
+	feed(p, []bool{true, true, true, true}) // state saturates at 3
+	before := p.Mispredicts()
+	feed(p, []bool{false})
+	feed(p, []bool{true})
+	if p.Mispredicts() != before+1 {
+		t.Errorf("blip cost %d misses, want 1 (hysteresis)", p.Mispredicts()-before)
+	}
+}
+
+func TestTwoBitBeatsOneBitOnLoopExits(t *testing.T) {
+	// Classic loop pattern: T T T ... N, repeated. The 1-bit scheme
+	// misses twice per loop (exit + re-entry); 2-bit misses once.
+	one := NewOneBit(1)
+	two := NewTwoBit(1)
+	for loop := 0; loop < 50; loop++ {
+		for i := 0; i < 9; i++ {
+			one.Branch(0, true, 0)
+			two.Branch(0, true, 0)
+		}
+		one.Branch(0, false, 0)
+		two.Branch(0, false, 0)
+	}
+	if two.Mispredicts() >= one.Mispredicts() {
+		t.Errorf("2-bit (%d) should beat 1-bit (%d) on loop patterns",
+			two.Mispredicts(), one.Mispredicts())
+	}
+}
+
+func TestStaticMatchesEvaluate(t *testing.T) {
+	// Static adapter must count exactly outcomes disagreeing with the
+	// table.
+	p := NewStatic("x", []bool{true, false})
+	p.Branch(0, true, 0)  // hit
+	p.Branch(0, false, 0) // miss
+	p.Branch(1, false, 0) // hit
+	p.Branch(1, true, 0)  // miss
+	if p.Mispredicts() != 2 || p.Executed() != 4 {
+		t.Errorf("static = %d/%d", p.Mispredicts(), p.Executed())
+	}
+	if p.Name() != "x" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a := NewOneBit(1)
+	b := NewTwoBit(1)
+	m := &Multi{Predictors: []Predictor{a, b}}
+	m.Branch(0, true, 1)
+	m.Transfer(vm.TransferCall, 2)
+	if a.Executed() != 1 || b.Executed() != 1 {
+		t.Error("multi did not fan out")
+	}
+}
+
+// TestMispredictsNeverExceedExecuted holds for any outcome stream and
+// any scheme.
+func TestMispredictsNeverExceedExecuted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sites := rng.Intn(8) + 1
+		preds := []Predictor{
+			NewOneBit(sites),
+			NewTwoBit(sites),
+			NewStatic("s", make([]bool, sites)),
+		}
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			site := int32(rng.Intn(sites))
+			taken := rng.Intn(2) == 1
+			for _, p := range preds {
+				p.Branch(site, taken, uint64(i))
+			}
+		}
+		for _, p := range preds {
+			if p.Executed() != uint64(n) || p.Mispredicts() > p.Executed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTwoBitOptimalOnBiasedStream: on a heavily biased stream the
+// 2-bit scheme's miss rate approaches the minority rate.
+func TestTwoBitOptimalOnBiasedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewTwoBit(1)
+	minority := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		taken := rng.Intn(10) != 0 // 90% taken
+		if !taken {
+			minority++
+		}
+		p.Branch(0, taken, uint64(i))
+	}
+	// The 2-bit predictor should miss at most ~2x the minority count.
+	if p.Mispredicts() > uint64(2*minority+10) {
+		t.Errorf("2-bit missed %d of %d on a 90/10 stream (minority %d)",
+			p.Mispredicts(), n, minority)
+	}
+}

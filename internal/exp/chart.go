@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The paper presents Figures 1-3 as paired horizontal bar charts
+// (black and white bars per dataset). These renderers produce the
+// same presentation in text: '#' bars for the first series and '.'
+// bars for the second, scaled to a common width.
+
+const chartWidth = 48
+
+// bar renders one value as a proportional bar.
+func bar(v, max float64, fill byte) string {
+	if max <= 0 || v <= 0 || math.IsInf(v, 1) {
+		return ""
+	}
+	n := int(v / max * chartWidth)
+	if n == 0 {
+		n = 1
+	}
+	if n > chartWidth {
+		n = chartWidth
+	}
+	return strings.Repeat(string(fill), n)
+}
+
+// pairChart renders two series per row with a shared scale.
+func pairChart(title, label1, label2 string, names []string, s1, s2 []float64, logScale bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  (%c = %s, %c = %s", title, '#', label1, '.', label2)
+	if logScale {
+		b.WriteString("; log scale")
+	}
+	b.WriteString(")\n")
+	xform := func(v float64) float64 {
+		if !logScale {
+			return v
+		}
+		if v <= 1 {
+			return 0
+		}
+		return math.Log10(v)
+	}
+	var max float64
+	for i := range s1 {
+		if v := xform(s1[i]); v > max && !math.IsInf(v, 1) {
+			max = v
+		}
+		if v := xform(s2[i]); v > max && !math.IsInf(v, 1) {
+			max = v
+		}
+	}
+	for i, name := range names {
+		fmt.Fprintf(&b, "  %-22s %8.1f |%s\n", name, s1[i], bar(xform(s1[i]), max, '#'))
+		fmt.Fprintf(&b, "  %-22s %8.1f |%s\n", "", s2[i], bar(xform(s2[i]), max, '.'))
+	}
+	return b.String()
+}
+
+// ChartFigure1 renders a Figure 1 panel as paired bars (black =
+// without call breaks, white = with).
+func ChartFigure1(title string, rows []Fig1Row) string {
+	names := make([]string, len(rows))
+	s1 := make([]float64, len(rows))
+	s2 := make([]float64, len(rows))
+	for i, r := range rows {
+		names[i] = r.Program + "/" + r.Dataset
+		s1[i] = r.NoCalls
+		s2[i] = r.WithCalls
+	}
+	return pairChart(title+" — instrs/break, no prediction", "branches+indirect", "+calls/returns", names, s1, s2, false)
+}
+
+// ChartFigure2 renders a Figure 2 panel (black = self, white = sum of
+// others), on a log scale since the values span decades.
+func ChartFigure2(title string, rows []Fig2Row) string {
+	names := make([]string, len(rows))
+	s1 := make([]float64, len(rows))
+	s2 := make([]float64, len(rows))
+	for i, r := range rows {
+		names[i] = r.Program + "/" + r.Dataset
+		s1[i] = r.Self
+		s2[i] = r.Others
+	}
+	return pairChart(title+" — instrs/break, predicted", "self (best possible)", "scaled sum of others", names, s1, s2, true)
+}
+
+// ChartFigure3 renders a Figure 3 panel (black = best other dataset
+// as % of self, white = worst).
+func ChartFigure3(title string, rows []Fig3Row) string {
+	names := make([]string, len(rows))
+	s1 := make([]float64, len(rows))
+	s2 := make([]float64, len(rows))
+	for i, r := range rows {
+		names[i] = r.Program + "/" + r.Dataset
+		s1[i] = r.BestPct
+		s2[i] = r.WorstPct
+	}
+	return pairChart(title+" — single-dataset predictors, % of self", "best other dataset", "worst other dataset", names, s1, s2, false)
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartFigure1(t *testing.T) {
+	rows := []Fig1Row{
+		{Program: "a", Dataset: "x", NoCalls: 100, WithCalls: 50},
+		{Program: "b", Dataset: "y", NoCalls: 10, WithCalls: 5},
+	}
+	out := ChartFigure1("t", rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+4 {
+		t.Fatalf("expected header + 4 bar lines, got %d:\n%s", len(lines), out)
+	}
+	// Largest value gets the full-width bar.
+	if !strings.Contains(lines[2], strings.Repeat("#", chartWidth)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	// Smaller values get proportionally shorter bars.
+	if strings.Count(lines[4], "#") >= strings.Count(lines[2], "#") {
+		t.Errorf("bars not proportional:\n%s", out)
+	}
+}
+
+func TestChartHandlesInfAndZero(t *testing.T) {
+	rows := []Fig2Row{
+		{Program: "a", Dataset: "x", Self: math.Inf(1), Others: 0},
+		{Program: "b", Dataset: "y", Self: 100, Others: 50},
+	}
+	out := ChartFigure2("t", rows)
+	if strings.Count(out, "|") != 4 {
+		t.Errorf("chart malformed:\n%s", out)
+	}
+}
+
+func TestChartFigure3(t *testing.T) {
+	rows := []Fig3Row{{Program: "p", Dataset: "d", SelfIPB: 40, BestPct: 100, WorstPct: 25}}
+	out := ChartFigure3("t", rows)
+	if !strings.Contains(out, "best other dataset") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Worst bar should be about a quarter of best.
+	lines := strings.Split(out, "\n")
+	best := strings.Count(lines[2], "#")
+	worst := strings.Count(lines[3], ".")
+	if worst < best/5 || worst > best/3 {
+		t.Errorf("bar proportions off: best=%d worst=%d\n%s", best, worst, out)
+	}
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"branchprof/internal/predict"
+)
+
+// The paper's authors "felt that when a dataset predictor did poorly,
+// it was usually because it emphasized a different part of the program
+// than the target dataset, rather than that the branches changed
+// direction" — but could not find a measurable quantity confirming it.
+// DisagreementStudy tests the hypothesis directly: for each target,
+// take its *worst* single-dataset predictor (Figure 3's white bar) and
+// split its excess mispredicts (beyond the self oracle's) by cause:
+//
+//   - unseen: the branch never executed under the predictor dataset,
+//     so its direction came from the fallback heuristic — "a
+//     different part of the program";
+//   - flipped: the predictor saw the branch but its majority
+//     direction there disagrees with the target's — "the branches
+//     changed direction";
+//   - residual: sites where predictor and target agree on the
+//     majority direction (these mispredicts match the oracle's).
+
+// DisagreeRow is the decomposition for one (target, worst predictor)
+// pair.
+type DisagreeRow struct {
+	Program     string
+	Target      string
+	Predictor   string
+	SelfMiss    uint64 // oracle mispredicts (lower bound)
+	TotalMiss   uint64 // worst predictor's mispredicts
+	UnseenMiss  uint64 // excess at sites the predictor never executed
+	FlippedMiss uint64 // excess at sites whose majority flipped
+}
+
+// Excess is the mispredicts beyond the oracle's.
+func (r DisagreeRow) Excess() uint64 { return r.TotalMiss - r.SelfMiss }
+
+// UnseenShare is the fraction of the excess explained by unseen sites.
+func (r DisagreeRow) UnseenShare() float64 {
+	if ex := r.Excess(); ex > 0 {
+		return float64(r.UnseenMiss) / float64(ex)
+	}
+	return 0
+}
+
+// DisagreementStudy decomposes the worst pair for every multi-dataset
+// program's every target dataset.
+func DisagreementStudy(s *Suite) ([]DisagreeRow, error) {
+	var rows []DisagreeRow
+	for _, p := range s.Programs {
+		if !p.Workload.MultiDataset() {
+			continue
+		}
+		for i, target := range p.Runs {
+			selfPred, err := selfPrediction(p, target)
+			if err != nil {
+				return nil, err
+			}
+			selfEval, err := predict.Evaluate(selfPred, target.Prof)
+			if err != nil {
+				return nil, err
+			}
+			// Find the worst single predictor for this target.
+			var worst *Run
+			var worstEval predict.Eval
+			var worstPred *predict.Prediction
+			for j, other := range p.Runs {
+				if i == j {
+					continue
+				}
+				pr, err := predict.FromProfile(other.Prof, p.Prog.Sites, predict.LoopHeuristic)
+				if err != nil {
+					return nil, err
+				}
+				ev, err := predict.Evaluate(pr, target.Prof)
+				if err != nil {
+					return nil, err
+				}
+				if worst == nil || ev.Mispredicts > worstEval.Mispredicts {
+					worst, worstEval, worstPred = other, ev, pr
+				}
+			}
+			row := DisagreeRow{
+				Program: p.Workload.Name, Target: target.Dataset, Predictor: worst.Dataset,
+				SelfMiss: selfEval.Mispredicts, TotalMiss: worstEval.Mispredicts,
+			}
+			// Attribute each site's excess mispredicts.
+			for site := range target.Prof.Total {
+				tt, tk := target.Prof.Total[site], target.Prof.Taken[site]
+				if tt == 0 {
+					continue
+				}
+				oracleMiss := min64(tk, tt-tk)
+				var predMiss uint64
+				if worstPred.Dir[site] == predict.Taken {
+					predMiss = tt - tk
+				} else {
+					predMiss = tk
+				}
+				if predMiss <= oracleMiss {
+					continue
+				}
+				excess := predMiss - oracleMiss
+				if worst.Prof.Total[site] == 0 {
+					row.UnseenMiss += excess
+				} else {
+					row.FlippedMiss += excess
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RenderDisagreement formats the study with an aggregate verdict on
+// the paper's hypothesis.
+func RenderDisagreement(rows []DisagreeRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: why do the worst predictors fail? (paper's 'coverage' conjecture)\n")
+	fmt.Fprintf(&b, "%-12s %-12s %-12s %9s %9s %9s %9s %8s\n",
+		"PROGRAM", "TARGET", "WORST-PRED", "SELF-MISS", "MISS", "UNSEEN", "FLIPPED", "UNSEEN%")
+	var totalExcess, totalUnseen uint64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %-12s %9d %9d %9d %9d %7.0f%%\n",
+			r.Program, r.Target, r.Predictor, r.SelfMiss, r.TotalMiss,
+			r.UnseenMiss, r.FlippedMiss, 100*r.UnseenShare())
+		totalExcess += r.Excess()
+		totalUnseen += r.UnseenMiss
+	}
+	if totalExcess > 0 {
+		fmt.Fprintf(&b, "aggregate: %.0f%% of excess mispredicts come from branches the predictor never saw\n",
+			100*float64(totalUnseen)/float64(totalExcess))
+	}
+	return b.String()
+}

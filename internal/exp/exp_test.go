@@ -1,0 +1,357 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"branchprof/internal/workloads"
+)
+
+// suite fetches the shared measured matrix (built once per process).
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := Shared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSuiteCoversSampleBase(t *testing.T) {
+	s := suite(t)
+	if len(s.Programs) != len(workloads.All()) {
+		t.Fatalf("suite has %d programs, registry has %d", len(s.Programs), len(workloads.All()))
+	}
+	for _, p := range s.Programs {
+		if len(p.Runs) != len(p.Workload.Datasets) {
+			t.Errorf("%s: %d runs for %d datasets", p.Workload.Name, len(p.Runs), len(p.Workload.Datasets))
+		}
+		for _, r := range p.Runs {
+			if r.Res.Instrs == 0 || r.Prof.Executed() == 0 {
+				t.Errorf("%s/%s: empty run", r.Workload, r.Dataset)
+			}
+		}
+	}
+	if _, err := s.Program("nonexistent"); err == nil {
+		t.Error("unknown program lookup should fail")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	s := suite(t)
+	rows, err := Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProg := map[string]float64{}
+	for _, r := range rows {
+		byProg[r.Program] = r.InstrsPerBreak
+		if r.InstrsPerBreak < 50 {
+			t.Errorf("%s/%s: instrs/break %v is implausibly low for a FORTRAN program",
+				r.Program, r.Dataset, r.InstrsPerBreak)
+		}
+	}
+	// The paper's qualitative ordering: the big numeric codes sit in
+	// the hundreds-to-thousands, well above every C program.
+	for _, name := range []string{"tomcatv", "matrix300", "fpppp"} {
+		if byProg[name] < 500 {
+			t.Errorf("%s: instrs/break %v, want >500", name, byProg[name])
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	s := suite(t)
+	fortran := Figure1(s, workloads.Fortran)
+	c := Figure1(s, workloads.C)
+	if len(fortran) == 0 || len(c) == 0 {
+		t.Fatal("empty figure 1 panels")
+	}
+	for _, r := range append(fortran, c...) {
+		if r.WithCalls > r.NoCalls {
+			t.Errorf("%s/%s: including call breaks increased instrs/break (%v > %v)",
+				r.Program, r.Dataset, r.WithCalls, r.NoCalls)
+		}
+		if r.NoCalls < 3 || r.NoCalls > 2000 {
+			t.Errorf("%s/%s: unpredicted instrs/break %v out of plausible range", r.Program, r.Dataset, r.NoCalls)
+		}
+	}
+	// C programs cluster low (the paper: about 5-17); check the panel
+	// average rather than each row.
+	var cSum float64
+	for _, r := range c {
+		cSum += r.NoCalls
+	}
+	if avg := cSum / float64(len(c)); avg > 25 {
+		t.Errorf("average C unpredicted instrs/break = %v, expected the paper's low range", avg)
+	}
+}
+
+func TestFigure2SelfIsUpperBound(t *testing.T) {
+	s := suite(t)
+	progs := append([]string{"spice2g6"}, CProgramNames(s)...)
+	rows, err := Figure2(s, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no figure 2 rows")
+	}
+	for _, r := range rows {
+		if r.Others > r.Self*1.0001 {
+			t.Errorf("%s/%s: others (%v) beat the self oracle (%v)", r.Program, r.Dataset, r.Others, r.Self)
+		}
+		if r.Self < r.Others*0.5 && r.Others > 0 {
+			t.Errorf("%s/%s: inconsistent self/others: %v vs %v", r.Program, r.Dataset, r.Self, r.Others)
+		}
+		// Prediction must beat no-prediction substantially.
+		p, err := s.Program(r.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range p.Runs {
+			if run.Dataset == r.Dataset {
+				unpred := Figure1(s, p.Workload.Lang)
+				for _, u := range unpred {
+					if u.Program == r.Program && u.Dataset == r.Dataset && r.Self < u.NoCalls {
+						t.Errorf("%s/%s: self prediction (%v) worse than no prediction (%v)",
+							r.Program, r.Dataset, r.Self, u.NoCalls)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFigure3BestWorstBounds(t *testing.T) {
+	s := suite(t)
+	rows, err := Figure3(s, append([]string{"spice2g6"}, CProgramNames(s)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.BestPct < r.WorstPct {
+			t.Errorf("%s/%s: best %v%% < worst %v%%", r.Program, r.Dataset, r.BestPct, r.WorstPct)
+		}
+		if r.BestPct > 100.0001 {
+			t.Errorf("%s/%s: single predictor beat the self oracle: %v%%", r.Program, r.Dataset, r.BestPct)
+		}
+		if r.WorstPct <= 0 {
+			t.Errorf("%s/%s: worst percentage %v", r.Program, r.Dataset, r.WorstPct)
+		}
+	}
+}
+
+func TestTable1DeadCodeSpread(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max float64 = 2, -1
+	byProg := map[string]float64{}
+	for _, r := range rows {
+		if r.DeadPct < 0 || r.DeadPct > 0.6 {
+			t.Errorf("%s: dead fraction %v out of range", r.Program, r.DeadPct)
+		}
+		if r.DeadPct < min {
+			min = r.DeadPct
+		}
+		if r.DeadPct > max {
+			max = r.DeadPct
+		}
+		byProg[r.Program] = r.DeadPct
+		if !r.OutputsEqual {
+			t.Errorf("%s: dead-branch elimination changed observable behaviour", r.Program)
+		}
+	}
+	if min > 0.005 {
+		t.Errorf("some program should have ~0%% dead code; min is %v", min)
+	}
+	if max < 0.05 {
+		t.Errorf("some program should have substantial dead code; max is %v", max)
+	}
+	if byProg["li"] > 0.01 {
+		t.Errorf("li should have ~0%% dead code (paper: 0%%), got %v", byProg["li"])
+	}
+	if byProg["matrix300"] < byProg["li"] {
+		t.Error("matrix300 should have more dead code than li (paper: 29% vs 0%)")
+	}
+}
+
+func TestTakenConstancy(t *testing.T) {
+	s := suite(t)
+	rows := TakenConstancy(s)
+	for _, r := range rows {
+		if r.MinPct < 0 || r.MaxPct > 1 || r.MinPct > r.MaxPct {
+			t.Errorf("%s: taken range [%v,%v]", r.Program, r.MinPct, r.MaxPct)
+		}
+	}
+	// compress vs uncompress (one binary, two modes) should differ a
+	// lot more than datasets within one mode — that is the paper's
+	// "no correlation between modes" observation in miniature.
+	var compressRow, uncompressRow *TakenRow
+	for i := range rows {
+		switch rows[i].Program {
+		case "compress":
+			compressRow = &rows[i]
+		case "uncompress":
+			uncompressRow = &rows[i]
+		}
+	}
+	if compressRow == nil || uncompressRow == nil {
+		t.Fatal("missing compress rows")
+	}
+}
+
+func TestHeuristicsLose(t *testing.T) {
+	s := suite(t)
+	rows, err := HeuristicComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if math.IsInf(r.Profile, 1) || math.IsInf(r.LoopHeur, 1) {
+			continue
+		}
+		sum += r.Factor()
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no finite heuristic rows")
+	}
+	avg := sum / float64(n)
+	// The paper: heuristics give up "about a factor of two".
+	if avg < 1.15 {
+		t.Errorf("profile feedback should clearly beat the loop heuristic on average; factor = %v", avg)
+	}
+}
+
+func TestMotivationContrast(t *testing.T) {
+	s := suite(t)
+	rows, err := Motivation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	fpppp, li := rows[0], rows[1]
+	// Percent correct is close (within ~15 points) while instructions
+	// per mispredict differ by more than an order of magnitude — the
+	// paper's argument that percent-correct is the wrong measure.
+	if diff := math.Abs(fpppp.PctCorrect - li.PctCorrect); diff > 0.15 {
+		t.Errorf("percent-correct gap %v too large to make the paper's point", diff)
+	}
+	if fpppp.InstrsPerMispred < 10*li.InstrsPerMispred {
+		t.Errorf("instrs/mispredict should differ by >10x: %v vs %v",
+			fpppp.InstrsPerMispred, li.InstrsPerMispred)
+	}
+	if fpppp.InstrsPerBranch < 10*li.InstrsPerBranch {
+		t.Errorf("branch densities should differ by >10x: %v vs %v",
+			fpppp.InstrsPerBranch, li.InstrsPerBranch)
+	}
+}
+
+func TestCrossModePoor(t *testing.T) {
+	s := suite(t)
+	rows, err := CrossMode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	self, other, cross := rows[0], rows[1], rows[2]
+	if cross.IPB > other.IPB {
+		t.Errorf("uncompress profile (%v) should predict compress worse than another compress dataset (%v)",
+			cross.IPB, other.IPB)
+	}
+	if cross.IPB > 0.8*self.IPB {
+		t.Errorf("cross-mode prediction (%v) suspiciously close to self (%v)", cross.IPB, self.IPB)
+	}
+}
+
+func TestCombinedModesClose(t *testing.T) {
+	s := suite(t)
+	rows, err := CombinedComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: scaled and unscaled "appeared to perform as well as
+	// each other" on average.
+	var scaledSum, unscaledSum float64
+	for _, r := range rows {
+		scaledSum += r.Scaled
+		unscaledSum += r.Unscaled
+	}
+	ratio := scaledSum / unscaledSum
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("scaled vs unscaled aggregate ratio = %v, expected near parity", ratio)
+	}
+}
+
+func TestRendersNonEmpty(t *testing.T) {
+	s := suite(t)
+	t3, err := Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Figure2(s, []string{"spice2g6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := Figure3(s, []string{"li"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{
+		"table2": RenderTable2(Table2()),
+		"table3": RenderTable3(t3),
+		"fig1":   RenderFigure1("t", Figure1(s, workloads.C)),
+		"fig2":   RenderFigure2("t", f2),
+		"fig3":   RenderFigure3("t", f3),
+		"taken":  RenderTaken(TakenConstancy(s)),
+	} {
+		if len(out) < 40 {
+			t.Errorf("%s render too short: %q", name, out)
+		}
+	}
+}
+
+func TestTable2AndProgramNames(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 15 {
+		t.Fatalf("inventory has %d programs, want 15", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		if names[r.Program] {
+			t.Errorf("duplicate program %s", r.Program)
+		}
+		names[r.Program] = true
+		if len(r.Datasets) == 0 || r.Desc == "" {
+			t.Errorf("%s: incomplete inventory row %+v", r.Program, r)
+		}
+	}
+	for _, want := range []string{
+		"spice2g6", "doduc", "nasa7", "matrix300", "fpppp", "tomcatv", "lfk",
+		"gcc", "espresso", "li", "eqntott", "compress", "uncompress", "mfcom", "spiff",
+	} {
+		if !names[want] {
+			t.Errorf("paper program %s missing from the inventory", want)
+		}
+	}
+
+	s := suite(t)
+	cnames := CProgramNames(s)
+	if len(cnames) < 6 {
+		t.Errorf("expected at least 6 multi-dataset C programs, got %v", cnames)
+	}
+	for _, n := range cnames {
+		if n == "spice2g6" || n == "tomcatv" {
+			t.Errorf("FORTRAN program %s in the C panel", n)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"branchprof/internal/dynpred"
+	"branchprof/internal/predict"
+	"branchprof/internal/runlength"
+	"branchprof/internal/vm"
+)
+
+// Extension experiments: not tables or figures from the paper itself,
+// but quantifications of two claims its argument leans on — that
+// static profile-fed prediction is competitive with the 1/2-bit
+// hardware schemes (§1, "Static vs. Dynamic Branch Prediction"), and
+// that run lengths between breaks are unevenly distributed (§3, "The
+// distribution of runs of instructions between mispredicted branches
+// will not be constant").
+
+// DynRow compares mispredict rates of static and dynamic schemes on
+// one run. Rates are mispredicts per executed conditional branch.
+type DynRow struct {
+	Program    string
+	Dataset    string
+	SelfRate   float64 // static, profile of the run itself (best static)
+	OthersRate float64 // static, scaled sum of the other datasets
+	OneBitRate float64
+	TwoBitRate float64
+}
+
+// StaticVsDynamic replays each program's first dataset through the
+// VM with every predictor attached, measuring them on an identical
+// branch stream. Programs with several datasets also get the
+// sum-of-others static predictor; single-dataset programs reuse self.
+func StaticVsDynamic(s *Suite) ([]DynRow, error) {
+	var rows []DynRow
+	for _, p := range s.Programs {
+		r := p.Runs[0]
+		self, err := selfPrediction(p, r)
+		if err != nil {
+			return nil, err
+		}
+		others := self
+		if p.Workload.MultiDataset() {
+			others, err = predict.Combine(p.OtherProfiles(0), predict.Scaled, p.Prog.Sites, predict.LoopHeuristic)
+			if err != nil {
+				return nil, err
+			}
+		}
+		toDirs := func(pr *predict.Prediction) []bool {
+			dirs := make([]bool, len(pr.Dir))
+			for i, d := range pr.Dir {
+				dirs[i] = d == predict.Taken
+			}
+			return dirs
+		}
+		selfP := dynpred.NewStatic("self", toDirs(self))
+		othersP := dynpred.NewStatic("others", toDirs(others))
+		oneBit := dynpred.NewOneBit(len(p.Prog.Sites))
+		twoBit := dynpred.NewTwoBit(len(p.Prog.Sites))
+		multi := &dynpred.Multi{Predictors: []dynpred.Predictor{selfP, othersP, oneBit, twoBit}}
+		if _, err := vm.Run(p.Prog, p.Workload.Datasets[0].Gen(), &vm.Config{Trace: multi}); err != nil {
+			return nil, fmt.Errorf("exp: dynamic replay of %s: %w", p.Workload.Name, err)
+		}
+		rate := func(pr dynpred.Predictor) float64 {
+			if pr.Executed() == 0 {
+				return 0
+			}
+			return float64(pr.Mispredicts()) / float64(pr.Executed())
+		}
+		rows = append(rows, DynRow{
+			Program: p.Workload.Name, Dataset: r.Dataset,
+			SelfRate:   rate(selfP),
+			OthersRate: rate(othersP),
+			OneBitRate: rate(oneBit),
+			TwoBitRate: rate(twoBit),
+		})
+	}
+	return rows, nil
+}
+
+// RenderStaticVsDynamic formats the comparison.
+func RenderStaticVsDynamic(rows []DynRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: static (profile) vs dynamic (1/2-bit) mispredict rates\n")
+	fmt.Fprintf(&b, "%-12s %-12s %8s %8s %8s %8s\n", "PROGRAM", "DATASET", "SELF", "OTHERS", "1-BIT", "2-BIT")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+			r.Program, r.Dataset, 100*r.SelfRate, 100*r.OthersRate, 100*r.OneBitRate, 100*r.TwoBitRate)
+	}
+	return b.String()
+}
+
+// RunLengthRow summarizes the break-to-break run-length distribution
+// of one run under self prediction.
+type RunLengthRow struct {
+	Program string
+	Dataset string
+	Stats   runlength.Stats
+	Hist    string
+}
+
+// RunLengths replays each program's first dataset with a run-length
+// recorder under the self prediction.
+func RunLengths(s *Suite) ([]RunLengthRow, error) {
+	var rows []RunLengthRow
+	for _, p := range s.Programs {
+		r := p.Runs[0]
+		self, err := selfPrediction(p, r)
+		if err != nil {
+			return nil, err
+		}
+		rec := runlength.New(self)
+		if _, err := vm.Run(p.Prog, p.Workload.Datasets[0].Gen(), &vm.Config{Trace: rec}); err != nil {
+			return nil, fmt.Errorf("exp: run-length replay of %s: %w", p.Workload.Name, err)
+		}
+		rows = append(rows, RunLengthRow{
+			Program: p.Workload.Name,
+			Dataset: r.Dataset,
+			Stats:   rec.Summarize(),
+			Hist:    rec.Histogram(16),
+		})
+	}
+	return rows, nil
+}
+
+// RenderRunLengths formats the distribution summary.
+func RenderRunLengths(rows []RunLengthRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: run lengths between breaks (self prediction)\n")
+	fmt.Fprintf(&b, "%-12s %-12s %8s %8s %8s %8s %8s %6s\n",
+		"PROGRAM", "DATASET", "BREAKS", "MEAN", "MEDIAN", "P90", "P99", "CV")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %8d %8.1f %8.0f %8.0f %8.0f %6.2f\n",
+			r.Program, r.Dataset, r.Stats.Count, r.Stats.Mean, r.Stats.Median,
+			r.Stats.P90, r.Stats.P99, r.Stats.CV)
+	}
+	return b.String()
+}
+
+// CoverageRow quantifies the paper's "Coverage" conjecture for one
+// (predictor dataset, target dataset) pair: the fraction of the
+// target's dynamic branches whose site the predictor saw, against the
+// prediction quality obtained.
+type CoverageRow struct {
+	Program   string
+	Predictor string
+	Target    string
+	// Coverage is the fraction of the target's executed branches at
+	// sites the predictor dataset also executed.
+	Coverage float64
+	// PctOfSelf is the predictor's instrs/break as a fraction of the
+	// target's self-prediction instrs/break.
+	PctOfSelf float64
+}
+
+// Coverage computes every cross-dataset pair for multi-dataset
+// programs. The paper tried to correlate such measures with predictor
+// quality and reported failure ("nothing we tried seemed to correlate
+// well"); CoverageCorrelation quantifies that.
+func Coverage(s *Suite) ([]CoverageRow, error) {
+	var rows []CoverageRow
+	for _, p := range s.Programs {
+		if !p.Workload.MultiDataset() {
+			continue
+		}
+		for i, target := range p.Runs {
+			self, err := selfPrediction(p, target)
+			if err != nil {
+				return nil, err
+			}
+			selfIPB, err := ipb(target, self)
+			if err != nil {
+				return nil, err
+			}
+			for j, pred := range p.Runs {
+				if i == j {
+					continue
+				}
+				pr, err := predict.FromProfile(pred.Prof, p.Prog.Sites, predict.LoopHeuristic)
+				if err != nil {
+					return nil, err
+				}
+				v, err := ipb(target, pr)
+				if err != nil {
+					return nil, err
+				}
+				var covered, executed uint64
+				for site, n := range target.Prof.Total {
+					executed += n
+					if pred.Prof.Total[site] > 0 {
+						covered += n
+					}
+				}
+				cov := 0.0
+				if executed > 0 {
+					cov = float64(covered) / float64(executed)
+				}
+				rows = append(rows, CoverageRow{
+					Program:   p.Workload.Name,
+					Predictor: pred.Dataset,
+					Target:    target.Dataset,
+					Coverage:  cov,
+					PctOfSelf: v / selfIPB,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// CoverageCorrelation returns the Pearson correlation between
+// coverage and prediction quality across all pairs.
+func CoverageCorrelation(rows []CoverageRow) float64 {
+	n := float64(len(rows))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for _, r := range rows {
+		sx += r.Coverage
+		sy += r.PctOfSelf
+		sxx += r.Coverage * r.Coverage
+		syy += r.PctOfSelf * r.PctOfSelf
+		sxy += r.Coverage * r.PctOfSelf
+	}
+	num := n*sxy - sx*sy
+	den := (n*sxx - sx*sx) * (n*syy - sy*sy)
+	if den <= 0 {
+		return 0
+	}
+	return num / math.Sqrt(den)
+}
+
+// RenderCoverage formats the coverage study with its correlation.
+func RenderCoverage(rows []CoverageRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: predictor coverage vs prediction quality\n")
+	fmt.Fprintf(&b, "%-12s %-12s %-12s %9s %9s\n", "PROGRAM", "PREDICTOR", "TARGET", "COVERAGE", "%OF-SELF")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %-12s %8.1f%% %8.1f%%\n",
+			r.Program, r.Predictor, r.Target, 100*r.Coverage, 100*r.PctOfSelf)
+	}
+	fmt.Fprintf(&b, "Pearson correlation (coverage vs quality): %.3f\n", CoverageCorrelation(rows))
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStaticVsDynamicShape(t *testing.T) {
+	s := suite(t)
+	rows, err := StaticVsDynamic(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Programs) {
+		t.Fatalf("got %d rows for %d programs", len(rows), len(s.Programs))
+	}
+	var selfBeats2bit, twoBitBeats1bit int
+	for _, r := range rows {
+		for _, rate := range []float64{r.SelfRate, r.OthersRate, r.OneBitRate, r.TwoBitRate} {
+			if rate < 0 || rate > 1 {
+				t.Errorf("%s: rate %v out of [0,1]", r.Program, rate)
+			}
+		}
+		// The self profile is the optimal *static* table; sum-of-others
+		// can never beat it on the same run.
+		if r.OthersRate < r.SelfRate-1e-9 {
+			t.Errorf("%s: others (%v) beat self (%v)", r.Program, r.OthersRate, r.SelfRate)
+		}
+		if r.SelfRate <= r.TwoBitRate {
+			selfBeats2bit++
+		}
+		if r.TwoBitRate <= r.OneBitRate {
+			twoBitBeats1bit++
+		}
+	}
+	// The paper's framing: static profiles are competitive with the
+	// hardware schemes. Require that on most programs self-static is
+	// at least as good as 2-bit, and 2-bit at least as good as 1-bit.
+	if selfBeats2bit < len(rows)/2 {
+		t.Errorf("static self beat 2-bit on only %d/%d programs", selfBeats2bit, len(rows))
+	}
+	if twoBitBeats1bit < len(rows)*2/3 {
+		t.Errorf("2-bit beat 1-bit on only %d/%d programs", twoBitBeats1bit, len(rows))
+	}
+	out := RenderStaticVsDynamic(rows)
+	if !strings.Contains(out, "2-BIT") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunLengthsShape(t *testing.T) {
+	s := suite(t)
+	rows, err := RunLengths(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Stats.Count == 0 {
+			t.Errorf("%s: no breaks recorded", r.Program)
+			continue
+		}
+		// The distribution summary must be internally consistent.
+		if r.Stats.Median > r.Stats.P90+1e-9 || r.Stats.P90 > r.Stats.P99+1e-9 {
+			t.Errorf("%s: quantiles out of order: %+v", r.Program, r.Stats)
+		}
+		if float64(r.Stats.Max) < r.Stats.Mean {
+			t.Errorf("%s: max below mean: %+v", r.Program, r.Stats)
+		}
+		// The mean run length must agree with instrs/break from the
+		// suite within the truncation of the final partial run.
+		if r.Stats.Mean <= 1 {
+			t.Errorf("%s: mean run length %v", r.Program, r.Stats.Mean)
+		}
+		if r.Hist == "" {
+			t.Errorf("%s: empty histogram", r.Program)
+		}
+	}
+	// The paper's point: branches are NOT evenly spaced. At least some
+	// programs must show strong clustering (CV well above 1).
+	var maxCV float64
+	for _, r := range rows {
+		if r.Stats.CV > maxCV {
+			maxCV = r.Stats.CV
+		}
+	}
+	if maxCV < 1.2 {
+		t.Errorf("max run-length CV = %v; expected clustering somewhere", maxCV)
+	}
+}
+
+func TestCoverageStudy(t *testing.T) {
+	s := suite(t)
+	rows, err := Coverage(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no coverage rows")
+	}
+	for _, r := range rows {
+		if r.Coverage < 0 || r.Coverage > 1 {
+			t.Errorf("%s %s->%s: coverage %v", r.Program, r.Predictor, r.Target, r.Coverage)
+		}
+		if r.PctOfSelf <= 0 || r.PctOfSelf > 1.0001 {
+			t.Errorf("%s %s->%s: pct-of-self %v", r.Program, r.Predictor, r.Target, r.PctOfSelf)
+		}
+	}
+	corr := CoverageCorrelation(rows)
+	if math.IsNaN(corr) || corr < -1 || corr > 1 {
+		t.Errorf("correlation = %v", corr)
+	}
+	out := RenderCoverage(rows)
+	if !strings.Contains(out, "Pearson") {
+		t.Error("render missing correlation line")
+	}
+}
+
+func TestInlineAblation(t *testing.T) {
+	rows, err := InlineAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no ablation rows")
+	}
+	var anyBigGain bool
+	for _, r := range rows {
+		if r.InlinedCalls > r.PlainCalls {
+			t.Errorf("%s: inlining increased calls %d -> %d", r.Program, r.PlainCalls, r.InlinedCalls)
+		}
+		// Inlining must never make the break density worse.
+		if r.Speedup() < 0.97 {
+			t.Errorf("%s: inlining hurt instrs/break: %v -> %v", r.Program, r.PlainIPB, r.InlinedIPB)
+		}
+		if r.Speedup() > 2 {
+			anyBigGain = true
+		}
+	}
+	if !anyBigGain {
+		t.Error("expected at least one call-heavy program to gain >2x from inlining")
+	}
+	if out := RenderInlineAblation(rows); !strings.Contains(out, "GAIN") {
+		t.Error("render missing header")
+	}
+}
+
+func TestSelectStudy(t *testing.T) {
+	rows, err := SelectStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anyConverted bool
+	for _, r := range rows {
+		if r.SelectPct < 0 || r.SelectPct > 0.1 {
+			t.Errorf("%s: select share %v out of plausible range", r.Program, r.SelectPct)
+		}
+		if r.SitesSelect > r.SitesPlain {
+			t.Errorf("%s: if-conversion added sites %d -> %d", r.Program, r.SitesPlain, r.SitesSelect)
+		}
+		if r.BranchesCut < -0.001 {
+			t.Errorf("%s: branches increased by %v", r.Program, r.BranchesCut)
+		}
+		if r.SelectPct > 0 {
+			anyConverted = true
+		}
+	}
+	if !anyConverted {
+		t.Error("no workload had convertible ifs")
+	}
+	if out := RenderSelectStudy(rows); !strings.Contains(out, "SELECT%") {
+		t.Error("render missing header")
+	}
+}
+
+func TestDisagreementStudy(t *testing.T) {
+	s := suite(t)
+	rows, err := DisagreementStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no disagreement rows")
+	}
+	for _, r := range rows {
+		if r.TotalMiss < r.SelfMiss {
+			t.Errorf("%s/%s: worst predictor (%d) beat the oracle (%d)",
+				r.Program, r.Target, r.TotalMiss, r.SelfMiss)
+		}
+		// The decomposition must not exceed the excess.
+		if r.UnseenMiss+r.FlippedMiss > r.Excess() {
+			t.Errorf("%s/%s: decomposition %d+%d exceeds excess %d",
+				r.Program, r.Target, r.UnseenMiss, r.FlippedMiss, r.Excess())
+		}
+		if sh := r.UnseenShare(); sh < 0 || sh > 1 {
+			t.Errorf("%s/%s: unseen share %v", r.Program, r.Target, sh)
+		}
+	}
+	if out := RenderDisagreement(rows); !strings.Contains(out, "aggregate") {
+		t.Error("render missing aggregate line")
+	}
+}
+
+func TestHotSites(t *testing.T) {
+	s := suite(t)
+	rows, err := HotSites(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no hot sites")
+	}
+	perProg := map[string]int{}
+	for _, r := range rows {
+		perProg[r.Program]++
+		if r.Mispredicts > r.Executed {
+			t.Errorf("%s %s:%d: mispredicts %d > executed %d", r.Program, r.Func, r.Line, r.Mispredicts, r.Executed)
+		}
+		if r.Intrinsic > r.Mispredicts {
+			// intrinsic (oracle) misses at a site cannot exceed the
+			// cross-dataset predictor's misses... unless the
+			// cross-predictor happens to pick the minority direction
+			// better by luck — impossible: oracle is per-site optimal.
+			t.Errorf("%s %s:%d: intrinsic %d > mispredicts %d", r.Program, r.Func, r.Line, r.Intrinsic, r.Mispredicts)
+		}
+	}
+	for prog, n := range perProg {
+		if n > 3 {
+			t.Errorf("%s: %d rows, cap is 3", prog, n)
+		}
+	}
+	if out := RenderHotSites(rows); !strings.Contains(out, "INTRINSIC") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTraceStudy(t *testing.T) {
+	s := suite(t)
+	rows, err := TraceStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Programs) {
+		t.Fatalf("got %d rows for %d programs", len(rows), len(s.Programs))
+	}
+	var profWins int
+	for _, r := range rows {
+		if r.Block <= 0 || r.Heuristic <= 0 || r.Profile <= 0 {
+			t.Errorf("%s: nonpositive lengths %+v", r.Program, r)
+		}
+		// Trace selection can only join blocks, never split them.
+		if r.Profile < r.Block || r.Heuristic < r.Block*0.99 {
+			t.Errorf("%s: traces shorter than blocks: %+v", r.Program, r)
+		}
+		if r.Profile >= r.Heuristic {
+			profWins++
+		}
+	}
+	// Profile-guided selection should be at least as good as the
+	// heuristic almost everywhere.
+	if profWins < len(rows)-2 {
+		t.Errorf("profile-guided traces beat heuristic on only %d/%d programs", profWins, len(rows))
+	}
+	if out := RenderTraceStudy(rows); !strings.Contains(out, "PROFILE") {
+		t.Error("render missing header")
+	}
+}

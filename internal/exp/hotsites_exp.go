@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"branchprof/internal/predict"
+)
+
+// HotSiteRow identifies the static branches that cost the most under
+// the paper's recommended predictor (scaled sum of other datasets;
+// self when there is only one). This is the diagnostic a compiler
+// writer would reach for after seeing a bad instructions-per-break
+// number: which source branches are responsible, and are they
+// intrinsically unpredictable or merely mistrained?
+type HotSiteRow struct {
+	Program     string
+	Dataset     string
+	Func        string
+	Line, Col   int
+	Label       string
+	Executed    uint64
+	Mispredicts uint64
+	// Intrinsic is the oracle's mispredicts at this site — the part
+	// no static predictor can remove.
+	Intrinsic uint64
+}
+
+// HotSites returns, for each program's first dataset, the topN sites
+// by mispredicts under the cross-dataset predictor.
+func HotSites(s *Suite, topN int) ([]HotSiteRow, error) {
+	var rows []HotSiteRow
+	for _, p := range s.Programs {
+		r := p.Runs[0]
+		var pred *predict.Prediction
+		var err error
+		if p.Workload.MultiDataset() {
+			pred, err = predict.Combine(p.OtherProfiles(0), predict.Scaled, p.Prog.Sites, predict.LoopHeuristic)
+		} else {
+			pred, err = selfPrediction(p, r)
+		}
+		if err != nil {
+			return nil, err
+		}
+		per, err := predict.EvaluatePerSite(pred, r.Prof, p.Prog.Sites)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(per, func(i, j int) bool { return per[i].Mispredicts > per[j].Mispredicts })
+		for i := 0; i < topN && i < len(per); i++ {
+			se := per[i]
+			if se.Mispredicts == 0 {
+				break
+			}
+			intrinsic := r.Prof.Taken[se.Site.ID]
+			if notTaken := r.Prof.Total[se.Site.ID] - intrinsic; notTaken < intrinsic {
+				intrinsic = notTaken
+			}
+			rows = append(rows, HotSiteRow{
+				Program: p.Workload.Name, Dataset: r.Dataset,
+				Func: se.Site.Func, Line: se.Site.Line, Col: se.Site.Col,
+				Label:    se.Site.Label,
+				Executed: se.Executed, Mispredicts: se.Mispredicts,
+				Intrinsic: intrinsic,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderHotSites formats the diagnostic.
+func RenderHotSites(rows []HotSiteRow) string {
+	var b strings.Builder
+	b.WriteString("Diagnostic: hottest mispredicting branches (cross-dataset predictor)\n")
+	fmt.Fprintf(&b, "%-12s %-22s %-10s %10s %10s %10s\n",
+		"PROGRAM", "SITE", "KIND", "EXECUTED", "MISPRED", "INTRINSIC")
+	last := ""
+	for _, r := range rows {
+		name := r.Program
+		if name == last {
+			name = ""
+		} else {
+			last = name
+		}
+		site := fmt.Sprintf("%s:%d:%d", r.Func, r.Line, r.Col)
+		fmt.Fprintf(&b, "%-12s %-22s %-10s %10d %10d %10d\n",
+			name, site, r.Label, r.Executed, r.Mispredicts, r.Intrinsic)
+	}
+	return b.String()
+}

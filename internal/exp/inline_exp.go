@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"branchprof/internal/breaks"
+	"branchprof/internal/ifprob"
+	"branchprof/internal/mfc"
+	"branchprof/internal/predict"
+	"branchprof/internal/vm"
+	"branchprof/internal/workloads"
+)
+
+// InlineRow is the inlining ablation for one run: instructions per
+// break with direct calls and returns counted as breaks, under each
+// image's own self prediction, for the plain and the inlined
+// compilation. The paper's Figure 1 approximates inlining by simply
+// not counting call breaks; this experiment performs the inlining and
+// measures what actually remains.
+type InlineRow struct {
+	Program       string
+	Dataset       string
+	PlainIPB      float64
+	InlinedIPB    float64
+	PlainCalls    uint64 // direct calls executed
+	InlinedCalls  uint64
+	PlainInstrs   uint64
+	InlinedInstrs uint64
+}
+
+// Speedup is the instrs/break improvement from real inlining.
+func (r InlineRow) Speedup() float64 {
+	if r.PlainIPB == 0 {
+		return 0
+	}
+	return r.InlinedIPB / r.PlainIPB
+}
+
+// InlineAblation compiles every workload with and without the
+// inliner and measures the first dataset.
+func InlineAblation() ([]InlineRow, error) {
+	var rows []InlineRow
+	pol := breaks.Policy{PredictBranches: true, IncludeDirectCalls: true}
+	measure := func(w *workloads.Workload, opts mfc.Options, input []byte) (float64, uint64, uint64, error) {
+		prog, err := mfc.Compile(w.Name, w.Source, opts)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("exp: inline ablation compiling %s: %w", w.Name, err)
+		}
+		res, err := vm.Run(prog, input, nil)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("exp: inline ablation running %s: %w", w.Name, err)
+		}
+		prof := ifprob.FromRun(w.Name, w.Datasets[0].Name, res)
+		pred, err := predict.FromProfile(prof, prog.Sites, predict.LoopHeuristic)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		ev, err := predict.Evaluate(pred, prof)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		bd := breaks.Count(res, ev.Mispredicts, pol)
+		return bd.InstrsPerBreak(), res.DirectCalls, res.Instrs, nil
+	}
+	for _, w := range workloads.All() {
+		input := w.Datasets[0].Gen()
+		plainIPB, plainCalls, plainInstrs, err := measure(w, mfc.Options{}, input)
+		if err != nil {
+			return nil, err
+		}
+		inlIPB, inlCalls, inlInstrs, err := measure(w, mfc.Options{InlineCalls: true}, input)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, InlineRow{
+			Program: w.Name, Dataset: w.Datasets[0].Name,
+			PlainIPB: plainIPB, InlinedIPB: inlIPB,
+			PlainCalls: plainCalls, InlinedCalls: inlCalls,
+			PlainInstrs: plainInstrs, InlinedInstrs: inlInstrs,
+		})
+	}
+	return rows, nil
+}
+
+// RenderInlineAblation formats the ablation.
+func RenderInlineAblation(rows []InlineRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: inlining ablation (instrs/break with call breaks counted, self prediction)\n")
+	fmt.Fprintf(&b, "%-12s %-12s %9s %9s %8s %10s %10s\n",
+		"PROGRAM", "DATASET", "PLAIN", "INLINED", "GAIN", "CALLS", "CALLS-INL")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %9.0f %9.0f %7.2fx %10d %10d\n",
+			r.Program, r.Dataset, r.PlainIPB, r.InlinedIPB, r.Speedup(),
+			r.PlainCalls, r.InlinedCalls)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderTable1 formats the dead-code table, sorted ascending like the
+// paper's presentation.
+func RenderTable1(rows []DeadCodeRow) string {
+	sorted := append([]DeadCodeRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].DeadPct < sorted[j].DeadPct })
+	var b strings.Builder
+	b.WriteString("Table 1. Dynamically dead code the compiler would eliminate\n")
+	fmt.Fprintf(&b, "%-12s %-10s %6s %14s %14s\n", "PROGRAM", "DATASET", "DEAD", "INSTRS(plain)", "INSTRS(dce)")
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-12s %-10s %5.0f%% %14d %14d\n", r.Program, r.Dataset, 100*r.DeadPct, r.Plain, r.DCE)
+	}
+	return b.String()
+}
+
+// RenderTable2 formats the program inventory.
+func RenderTable2(rows []InventoryRow) string {
+	var b strings.Builder
+	b.WriteString("Table 2. The programs tested and their datasets\n")
+	fmt.Fprintf(&b, "%-12s %-12s %-28s %s\n", "PROGRAM", "CLASS", "DATASETS", "DESCRIPTION")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %-28s %s\n", r.Program, r.Class, strings.Join(r.Datasets, ","), r.Desc)
+	}
+	return b.String()
+}
+
+// RenderTable3 formats the low-variability FORTRAN results.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3. Instructions/break (FORTRAN programs, self prediction)\n")
+	fmt.Fprintf(&b, "%-12s %-10s %12s\n", "PROGRAM", "DATASET", "INSTRS/BREAK")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-10s %12.0f\n", r.Program, r.Dataset, r.InstrsPerBreak)
+	}
+	return b.String()
+}
+
+// RenderFigure1 formats one Figure 1 panel.
+func RenderFigure1(title string, rows []Fig1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: instructions per break, no prediction\n", title)
+	fmt.Fprintf(&b, "%-12s %-12s %10s %10s\n", "PROGRAM", "DATASET", "NO-CALLS", "W/CALLS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %10.1f %10.1f\n", r.Program, r.Dataset, r.NoCalls, r.WithCalls)
+	}
+	return b.String()
+}
+
+// RenderFigure2 formats one Figure 2 panel.
+func RenderFigure2(title string, rows []Fig2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: instructions per break, predicted\n", title)
+	fmt.Fprintf(&b, "%-12s %-12s %10s %10s %8s %8s\n", "PROGRAM", "DATASET", "SELF", "OTHERS", "SELF%", "OTHERS%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %10.0f %10.0f %7.1f%% %7.1f%%\n",
+			r.Program, r.Dataset, r.Self, r.Others, 100*r.SelfPct, 100*r.OthersPct)
+	}
+	return b.String()
+}
+
+// RenderFigure3 formats one Figure 3 panel.
+func RenderFigure3(title string, rows []Fig3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: best/worst single other dataset as %% of self\n", title)
+	fmt.Fprintf(&b, "%-12s %-12s %10s %6s %-12s %6s %-12s\n", "PROGRAM", "DATASET", "SELF-IPB", "BEST", "(ds)", "WORST", "(ds)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %10.0f %5.0f%% %-12s %5.0f%% %-12s\n",
+			r.Program, r.Dataset, r.SelfIPB, r.BestPct, r.BestDS, r.WorstPct, r.WorstDS)
+	}
+	return b.String()
+}
+
+// RenderTaken formats the percent-taken constancy observation.
+func RenderTaken(rows []TakenRow) string {
+	var b strings.Builder
+	b.WriteString("Branch percent taken as a program constant\n")
+	fmt.Fprintf(&b, "%-12s %7s %-12s %7s %-12s %7s\n", "PROGRAM", "MIN", "(ds)", "MAX", "(ds)", "SPREAD")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6.1f%% %-12s %6.1f%% %-12s %6.1fpp\n",
+			r.Program, 100*r.MinPct, r.MinDS, 100*r.MaxPct, r.MaxDS, r.Spread())
+	}
+	return b.String()
+}
+
+// RenderCombined formats the combination-mode comparison.
+func RenderCombined(rows []CombinedRow) string {
+	var b strings.Builder
+	b.WriteString("Scaled vs unscaled vs polling summary predictors (instrs/break)\n")
+	fmt.Fprintf(&b, "%-12s %-12s %10s %10s %10s\n", "PROGRAM", "DATASET", "SCALED", "UNSCALED", "POLLING")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %10.0f %10.0f %10.0f\n", r.Program, r.Dataset, r.Scaled, r.Unscaled, r.Polling)
+	}
+	return b.String()
+}
+
+// RenderHeuristic formats the heuristics comparison.
+func RenderHeuristic(rows []HeuristicRow) string {
+	var b strings.Builder
+	b.WriteString("Profile feedback vs simple heuristics (instrs/break)\n")
+	fmt.Fprintf(&b, "%-12s %-12s %9s %9s %9s %9s %7s\n", "PROGRAM", "DATASET", "PROFILE", "LOOP", "TAKEN", "NOTTAKEN", "FACTOR")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %9.0f %9.0f %9.0f %9.0f %6.1fx\n",
+			r.Program, r.Dataset, r.Profile, r.LoopHeur, r.AlwaysTaken, r.AlwaysNot, r.Factor())
+	}
+	return b.String()
+}
+
+// RenderMotivation formats the fpppp/li contrast.
+func RenderMotivation(rows []MotivationRow) string {
+	var b strings.Builder
+	b.WriteString("Why percent-correct is the wrong measure (fpppp vs li)\n")
+	fmt.Fprintf(&b, "%-8s %-8s %9s %14s %14s\n", "PROGRAM", "DATASET", "CORRECT", "INSTRS/BRANCH", "INSTRS/MISPRED")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-8s %8.1f%% %14.1f %14.0f\n",
+			r.Program, r.Dataset, 100*r.PctCorrect, r.InstrsPerBranch, r.InstrsPerMispred)
+	}
+	return b.String()
+}
+
+// RenderCrossMode formats the compress/uncompress observation.
+func RenderCrossMode(rows []CrossModeRow) string {
+	var b strings.Builder
+	b.WriteString("compress predicted by its own mode vs the other mode (instrs/break)\n")
+	fmt.Fprintf(&b, "%-20s %-24s %10s\n", "TARGET", "PREDICTOR", "IPB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %-24s %10.0f\n", r.Target, r.Predictor, r.IPB)
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+	"branchprof/internal/workloads"
+)
+
+// SelectRow quantifies footnote 2 of the paper: when the compiler
+// if-converts simple ifs into select instructions, what fraction of
+// executed instructions are selects ("typically less than 0.2%,
+// sometimes up to 0.3%, and in one case 0.7%"), and how many static
+// branch sites disappear.
+type SelectRow struct {
+	Program     string
+	Dataset     string
+	SelectPct   float64 // selects / executed instructions
+	SitesPlain  int
+	SitesSelect int
+	BranchesCut float64 // fraction of executed branches removed
+}
+
+// SelectStudy compiles each workload with if-conversion and measures
+// its first dataset.
+func SelectStudy() ([]SelectRow, error) {
+	var rows []SelectRow
+	for _, w := range workloads.All() {
+		input := w.Datasets[0].Gen()
+		plainProg, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("exp: select study compiling %s: %w", w.Name, err)
+		}
+		selProg, err := mfc.Compile(w.Name, w.Source, mfc.Options{UseSelects: true})
+		if err != nil {
+			return nil, fmt.Errorf("exp: select study compiling %s (selects): %w", w.Name, err)
+		}
+		plain, err := vm.Run(plainProg, input, nil)
+		if err != nil {
+			return nil, fmt.Errorf("exp: select study running %s: %w", w.Name, err)
+		}
+		res, err := vm.Run(selProg, input, &vm.Config{PerPC: true})
+		if err != nil {
+			return nil, fmt.Errorf("exp: select study running %s (selects): %w", w.Name, err)
+		}
+		var selects uint64
+		for fi := range selProg.Funcs {
+			for pc, in := range selProg.Funcs[fi].Code {
+				if in.Op == isa.OpSel || in.Op == isa.OpFSel {
+					selects += res.PerPC[fi][pc]
+				}
+			}
+		}
+		row := SelectRow{
+			Program: w.Name, Dataset: w.Datasets[0].Name,
+			SitesPlain:  len(plainProg.Sites),
+			SitesSelect: len(selProg.Sites),
+		}
+		if res.Instrs > 0 {
+			row.SelectPct = float64(selects) / float64(res.Instrs)
+		}
+		if pb := plain.CondBranches(); pb > 0 {
+			row.BranchesCut = 1 - float64(res.CondBranches())/float64(pb)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSelectStudy formats the study.
+func RenderSelectStudy(rows []SelectRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: if-conversion to selects (paper footnote 2)\n")
+	fmt.Fprintf(&b, "%-12s %-12s %9s %10s %11s %12s\n",
+		"PROGRAM", "DATASET", "SELECT%", "SITES", "SITES-SEL", "BRANCHES-CUT")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s %8.2f%% %10d %11d %11.1f%%\n",
+			r.Program, r.Dataset, 100*r.SelectPct, r.SitesPlain, r.SitesSelect, 100*r.BranchesCut)
+	}
+	return b.String()
+}

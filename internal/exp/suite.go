@@ -1,0 +1,127 @@
+// Package exp runs the paper's experiments: it executes the full
+// program × dataset matrix once (cached), then derives every table
+// and figure from the recorded profiles and instruction counts.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+	"branchprof/internal/workloads"
+)
+
+// Run is one completed (program, dataset) execution with its profile.
+type Run struct {
+	Workload string
+	Dataset  string
+	Res      *vm.Result
+	Prof     *ifprob.Profile
+}
+
+// ProgramRuns groups a compiled workload with all its dataset runs.
+type ProgramRuns struct {
+	Workload *workloads.Workload
+	Prog     *isa.Program
+	Runs     []*Run
+}
+
+// OtherProfiles returns the profiles of every dataset except index i —
+// the paper's "sum of all the other datasets" predictor inputs.
+func (p *ProgramRuns) OtherProfiles(i int) []*ifprob.Profile {
+	out := make([]*ifprob.Profile, 0, len(p.Runs)-1)
+	for j, r := range p.Runs {
+		if j != i {
+			out = append(out, r.Prof)
+		}
+	}
+	return out
+}
+
+// Suite is the complete measured matrix.
+type Suite struct {
+	Programs []*ProgramRuns // in report order
+	byName   map[string]*ProgramRuns
+}
+
+// Program returns the measured runs of one workload.
+func (s *Suite) Program(name string) (*ProgramRuns, error) {
+	if p, ok := s.byName[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("exp: no measured program %q", name)
+}
+
+// Collect compiles every workload (dead-branch elimination off, the
+// paper's measurement configuration) and runs every dataset. Runs are
+// independent and deterministic, so they execute in parallel; the
+// assembled suite is identical to a sequential collection.
+func Collect() (*Suite, error) {
+	all := workloads.All()
+	s := &Suite{
+		Programs: make([]*ProgramRuns, len(all)),
+		byName:   make(map[string]*ProgramRuns),
+	}
+	var wg sync.WaitGroup
+	// One error slot per (workload, dataset) goroutine: no slot is
+	// shared, so failure reporting is race-free.
+	var errs [][]error = make([][]error, len(all))
+	for wi, w := range all {
+		wi, w := wi, w
+		prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("exp: compiling %s: %w", w.Name, err)
+		}
+		pr := &ProgramRuns{Workload: w, Prog: prog, Runs: make([]*Run, len(w.Datasets))}
+		s.Programs[wi] = pr
+		errs[wi] = make([]error, len(w.Datasets))
+		for di, ds := range w.Datasets {
+			di, ds := di, ds
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := vm.Run(prog, ds.Gen(), nil)
+				if err != nil {
+					errs[wi][di] = fmt.Errorf("exp: running %s/%s: %w", w.Name, ds.Name, err)
+					return
+				}
+				pr.Runs[di] = &Run{
+					Workload: w.Name,
+					Dataset:  ds.Name,
+					Res:      res,
+					Prof:     ifprob.FromRun(w.Name, ds.Name, res),
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	for _, we := range errs {
+		for _, err := range we {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, pr := range s.Programs {
+		s.byName[pr.Workload.Name] = pr
+	}
+	return s, nil
+}
+
+var (
+	sharedOnce  sync.Once
+	sharedSuite *Suite
+	sharedErr   error
+)
+
+// Shared returns a process-wide cached suite; the heavy matrix runs
+// only once per process no matter how many experiments ask for it.
+func Shared() (*Suite, error) {
+	sharedOnce.Do(func() {
+		sharedSuite, sharedErr = Collect()
+	})
+	return sharedSuite, sharedErr
+}

@@ -1,0 +1,112 @@
+package ifprob
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// DB is the accumulating branch-count database. The paper's
+// instrumented binaries added each run's counters into a per-program
+// database; a utility later fed the accumulated counts back into the
+// source as directives. DB is safe for concurrent use.
+type DB struct {
+	mu       sync.Mutex
+	profiles map[string]*Profile // keyed by program name
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{profiles: make(map[string]*Profile)}
+}
+
+// Add accumulates a run's profile into the database.
+func (db *DB) Add(p *Profile) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur, ok := db.profiles[p.Program]
+	if !ok {
+		db.profiles[p.Program] = p.Clone()
+		return nil
+	}
+	return cur.Merge(p)
+}
+
+// Get returns a copy of the accumulated profile for program, or nil.
+func (db *DB) Get(program string) *Profile {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if p, ok := db.profiles[program]; ok {
+		return p.Clone()
+	}
+	return nil
+}
+
+// Programs lists the programs with accumulated profiles, sorted.
+func (db *DB) Programs() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.profiles))
+	for n := range db.profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// dbFile is the serialized database layout.
+type dbFile struct {
+	Version  int        `json:"version"`
+	Profiles []*Profile `json:"profiles"`
+}
+
+const dbVersion = 1
+
+// Save writes the database to path as JSON.
+func (db *DB) Save(path string) error {
+	db.mu.Lock()
+	f := dbFile{Version: dbVersion}
+	for _, name := range db.programsLocked() {
+		f.Profiles = append(f.Profiles, db.profiles[name])
+	}
+	db.mu.Unlock()
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ifprob: encoding database: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func (db *DB) programsLocked() []string {
+	names := make([]string, 0, len(db.profiles))
+	for n := range db.profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load reads a database previously written with Save.
+func Load(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f dbFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("ifprob: decoding database %s: %w", path, err)
+	}
+	if f.Version != dbVersion {
+		return nil, fmt.Errorf("ifprob: database %s has version %d, want %d", path, f.Version, dbVersion)
+	}
+	db := NewDB()
+	for _, p := range f.Profiles {
+		if len(p.Taken) != len(p.Total) {
+			return nil, fmt.Errorf("ifprob: database %s: corrupt profile for %s", path, p.Program)
+		}
+		db.profiles[p.Program] = p
+	}
+	return db, nil
+}

@@ -1,0 +1,166 @@
+package ifprob
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"branchprof/internal/isa"
+)
+
+// Directive is the feedback the paper's utility inserted into source:
+// for one source-level branch, how often it was taken out of how many
+// executions on the accumulated previous runs.
+type Directive struct {
+	Line  int
+	Col   int
+	Label string
+	Taken uint64
+	Total uint64
+}
+
+// String renders the directive in the spirit of the Multiflow
+// compiler's C!MF! IFPROB comments.
+func (d Directive) String() string {
+	return fmt.Sprintf("//!MF! IFPROB(%s@%d:%d, %d, %d)", d.Label, d.Line, d.Col, d.Taken, d.Total)
+}
+
+// Directives converts an accumulated profile into per-branch feedback
+// directives, ordered by source position.
+func Directives(prog *isa.Program, p *Profile) ([]Directive, error) {
+	stats, err := p.Stats(prog)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Directive, 0, len(stats))
+	for _, s := range stats {
+		out = append(out, Directive{
+			Line:  s.Site.Line,
+			Col:   s.Site.Col,
+			Label: s.Site.Label,
+			Taken: s.Taken,
+			Total: s.Total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out, nil
+}
+
+// ParseDirectives extracts IFPROB directives previously embedded in
+// annotated source — the consuming half of the feedback loop: "a call
+// to a utility feeds the branch counts back into the source in the
+// form of the above directives", which the recompiling compiler then
+// uses as predictions. Directives are comments, so the annotated
+// source compiles to the same site table as the original, and each
+// directive re-attaches to its site by label, line and column.
+func ParseDirectives(src string) []Directive {
+	var out []Directive
+	for _, line := range strings.Split(src, "\n") {
+		rest := line
+		for {
+			idx := strings.Index(rest, "//!MF! IFPROB(")
+			if idx < 0 {
+				break
+			}
+			rest = rest[idx+len("//!MF! IFPROB("):]
+			end := strings.IndexByte(rest, ')')
+			if end < 0 {
+				break
+			}
+			if d, ok := parseDirectiveBody(rest[:end]); ok {
+				out = append(out, d)
+			}
+			rest = rest[end+1:]
+		}
+	}
+	return out
+}
+
+// parseDirectiveBody parses "label@line:col, taken, total".
+func parseDirectiveBody(s string) (Directive, bool) {
+	var d Directive
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return d, false
+	}
+	head := strings.TrimSpace(parts[0])
+	at := strings.LastIndexByte(head, '@')
+	if at < 0 {
+		return d, false
+	}
+	d.Label = head[:at]
+	if _, err := fmt.Sscanf(head[at+1:], "%d:%d", &d.Line, &d.Col); err != nil {
+		return d, false
+	}
+	if _, err := fmt.Sscanf(strings.TrimSpace(parts[1]), "%d", &d.Taken); err != nil {
+		return d, false
+	}
+	if _, err := fmt.Sscanf(strings.TrimSpace(parts[2]), "%d", &d.Total); err != nil {
+		return d, false
+	}
+	return d, true
+}
+
+// ProfileFromDirectives rebuilds a branch profile from directives by
+// matching each to a site with the same label, line and column.
+// Directives that match no site are ignored (the source may have been
+// edited since annotation); sites with no directive stay at zero so
+// predictors fall back to their heuristic.
+func ProfileFromDirectives(prog *isa.Program, dirs []Directive) *Profile {
+	p := &Profile{
+		Program: prog.Source,
+		Dataset: "directives",
+		Taken:   make([]uint64, len(prog.Sites)),
+		Total:   make([]uint64, len(prog.Sites)),
+	}
+	type key struct {
+		label     string
+		line, col int
+	}
+	bySite := make(map[key]int, len(prog.Sites))
+	for i, s := range prog.Sites {
+		bySite[key{s.Label, s.Line, s.Col}] = i
+	}
+	for _, d := range dirs {
+		if i, ok := bySite[key{d.Label, d.Line, d.Col}]; ok {
+			p.Taken[i] += d.Taken
+			p.Total[i] += d.Total
+		}
+	}
+	return p
+}
+
+// AnnotateSource re-emits MF source with each branch-bearing line
+// suffixed by its IFPROB directives — the user-visible form of the
+// feedback loop ("the user sees everything occurring at the source
+// level").
+func AnnotateSource(src string, prog *isa.Program, p *Profile) (string, error) {
+	dirs, err := Directives(prog, p)
+	if err != nil {
+		return "", err
+	}
+	byLine := make(map[int][]Directive)
+	for _, d := range dirs {
+		byLine[d.Line] = append(byLine[d.Line], d)
+	}
+	lines := strings.Split(src, "\n")
+	var b strings.Builder
+	for i, line := range lines {
+		b.WriteString(line)
+		if ds, ok := byLine[i+1]; ok {
+			for _, d := range ds {
+				b.WriteString("  ")
+				b.WriteString(d.String())
+			}
+		}
+		if i < len(lines)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,245 @@
+package ifprob
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/vm"
+)
+
+func mkProfile(program, dataset string, taken, total []uint64, instrs uint64) *Profile {
+	return &Profile{Program: program, Dataset: dataset, Taken: taken, Total: total, Instrs: instrs}
+}
+
+func TestFromRunCopies(t *testing.T) {
+	res := &vm.Result{
+		Instrs:    500,
+		SiteTaken: []uint64{1, 2},
+		SiteTotal: []uint64{3, 4},
+	}
+	p := FromRun("prog", "ds", res)
+	res.SiteTaken[0] = 99 // must not alias
+	if p.Taken[0] != 1 || p.Total[1] != 4 || p.Instrs != 500 {
+		t.Errorf("profile = %+v", p)
+	}
+	if p.Executed() != 7 || p.TakenCount() != 3 {
+		t.Errorf("executed/taken = %d/%d", p.Executed(), p.TakenCount())
+	}
+	if p.PercentTaken() != 3.0/7 {
+		t.Errorf("percent taken = %v", p.PercentTaken())
+	}
+	if p.Coverage() != 1.0 {
+		t.Errorf("coverage = %v", p.Coverage())
+	}
+}
+
+func TestMergeAccumulates(t *testing.T) {
+	a := mkProfile("p", "d1", []uint64{1, 0}, []uint64{2, 0}, 100)
+	b := mkProfile("p", "d2", []uint64{3, 5}, []uint64{4, 10}, 200)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Taken[0] != 4 || a.Total[1] != 10 || a.Instrs != 300 {
+		t.Errorf("merged = %+v", a)
+	}
+	if !strings.Contains(a.Dataset, "d1") || !strings.Contains(a.Dataset, "d2") {
+		t.Errorf("dataset label = %q", a.Dataset)
+	}
+}
+
+func TestMergeRejectsMismatch(t *testing.T) {
+	a := mkProfile("p", "d", []uint64{1}, []uint64{1}, 0)
+	if err := a.Merge(mkProfile("q", "d", []uint64{1}, []uint64{1}, 0)); err == nil {
+		t.Error("cross-program merge accepted")
+	}
+	if err := a.Merge(mkProfile("p", "d", []uint64{1, 2}, []uint64{1, 2}, 0)); err == nil {
+		t.Error("mismatched site-count merge accepted")
+	}
+}
+
+// TestMergeOrderIndependent: accumulating runs in any order yields the
+// same counts — the database property the IFPROBBER relied on.
+func TestMergeOrderIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(8) + 1
+		mk := func(ds string) *Profile {
+			taken := make([]uint64, k)
+			total := make([]uint64, k)
+			for i := range total {
+				total[i] = uint64(rng.Intn(100))
+				if total[i] > 0 {
+					taken[i] = uint64(rng.Intn(int(total[i]) + 1))
+				}
+			}
+			return mkProfile("p", ds, taken, total, uint64(rng.Intn(10000)))
+		}
+		ps := []*Profile{mk("a"), mk("b"), mk("c")}
+		ab := ps[0].Clone()
+		if ab.Merge(ps[1]) != nil || ab.Merge(ps[2]) != nil {
+			return false
+		}
+		cb := ps[2].Clone()
+		if cb.Merge(ps[0]) != nil || cb.Merge(ps[1]) != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if ab.Taken[i] != cb.Taken[i] || ab.Total[i] != cb.Total[i] {
+				return false
+			}
+		}
+		return ab.Instrs == cb.Instrs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBAccumulateAndRoundTrip(t *testing.T) {
+	db := NewDB()
+	if err := db.Add(mkProfile("p", "d1", []uint64{1}, []uint64{2}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(mkProfile("p", "d2", []uint64{3}, []uint64{4}, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(mkProfile("q", "d1", []uint64{5}, []uint64{6}, 30)); err != nil {
+		t.Fatal(err)
+	}
+	got := db.Get("p")
+	if got.Taken[0] != 4 || got.Total[0] != 6 {
+		t.Errorf("accumulated = %+v", got)
+	}
+	if db.Get("missing") != nil {
+		t.Error("missing program returned a profile")
+	}
+	if names := db.Programs(); len(names) != 2 || names[0] != "p" || names[1] != "q" {
+		t.Errorf("programs = %v", names)
+	}
+
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := loaded.Get("p")
+	if got2.Taken[0] != 4 || got2.Total[0] != 6 || got2.Instrs != 30 {
+		t.Errorf("loaded = %+v", got2)
+	}
+
+	// Mutating the returned copy must not affect the database.
+	got2.Taken[0] = 999
+	if loaded.Get("p").Taken[0] != 4 {
+		t.Error("Get returned an aliased profile")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func siteProg() *isa.Program {
+	return &isa.Program{
+		Source: "p",
+		Sites: []isa.BranchSite{
+			{ID: 0, Func: "main", Line: 2, Col: 1, Label: "if"},
+			{ID: 1, Func: "main", Line: 3, Col: 5, Label: "while", LoopBack: true},
+			{ID: 2, Func: "main", Line: 3, Col: 12, Label: "&&"},
+		},
+	}
+}
+
+func TestDirectivesOrdered(t *testing.T) {
+	prog := siteProg()
+	p := mkProfile("p", "d", []uint64{1, 2, 3}, []uint64{4, 5, 6}, 0)
+	dirs, err := Directives(prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("got %d directives", len(dirs))
+	}
+	if dirs[0].Line != 2 || dirs[1].Col != 5 || dirs[2].Col != 12 {
+		t.Errorf("directive order wrong: %+v", dirs)
+	}
+	if !strings.Contains(dirs[0].String(), "IFPROB") {
+		t.Errorf("directive format: %s", dirs[0])
+	}
+}
+
+func TestAnnotateSource(t *testing.T) {
+	prog := siteProg()
+	p := mkProfile("p", "d", []uint64{1, 2, 3}, []uint64{4, 5, 6}, 0)
+	src := "line one\nif (x) {\nwhile (a && b) {\nlast"
+	out, err := AnnotateSource(src, prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count changed: %d", len(lines))
+	}
+	if strings.Contains(lines[0], "IFPROB") {
+		t.Error("line 1 should be unannotated")
+	}
+	if !strings.Contains(lines[1], "IFPROB(if@2:1, 1, 4)") {
+		t.Errorf("line 2 = %q", lines[1])
+	}
+	if strings.Count(lines[2], "IFPROB") != 2 {
+		t.Errorf("line 3 should carry two directives: %q", lines[2])
+	}
+}
+
+func TestStatsMismatch(t *testing.T) {
+	p := mkProfile("p", "d", []uint64{1}, []uint64{1}, 0)
+	if _, err := p.Stats(siteProg()); err == nil {
+		t.Error("mismatched stats accepted")
+	}
+}
+
+// TestDirectiveRoundTrip is the full feedback loop: annotate source
+// with a profile, parse the directives back, and rebuild an identical
+// profile against the same program.
+func TestDirectiveRoundTrip(t *testing.T) {
+	prog := siteProg()
+	p := mkProfile("p", "d", []uint64{1, 2, 3}, []uint64{4, 5, 6}, 0)
+	src := "line one\nif (x) {\nwhile (a && b) {\nlast"
+	annotated, err := AnnotateSource(src, prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := ParseDirectives(annotated)
+	if len(dirs) != 3 {
+		t.Fatalf("parsed %d directives, want 3", len(dirs))
+	}
+	rebuilt := ProfileFromDirectives(prog, dirs)
+	for i := range p.Total {
+		if rebuilt.Taken[i] != p.Taken[i] || rebuilt.Total[i] != p.Total[i] {
+			t.Errorf("site %d: rebuilt %d/%d, want %d/%d",
+				i, rebuilt.Taken[i], rebuilt.Total[i], p.Taken[i], p.Total[i])
+		}
+	}
+}
+
+// TestParseDirectivesIgnoresGarbage: malformed directives and stale
+// positions are skipped, not errors.
+func TestParseDirectivesIgnoresGarbage(t *testing.T) {
+	dirs := ParseDirectives("x //!MF! IFPROB(bogus) y //!MF! IFPROB(if@9:9, 1, 2)")
+	if len(dirs) != 1 {
+		t.Fatalf("parsed %d directives, want 1", len(dirs))
+	}
+	prog := siteProg()
+	rebuilt := ProfileFromDirectives(prog, dirs) // 9:9 matches nothing
+	if rebuilt.Executed() != 0 {
+		t.Errorf("stale directive contributed counts: %+v", rebuilt)
+	}
+}

@@ -1,0 +1,75 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmInstr renders one instruction in assembler syntax.
+func DisasmInstr(in Instr) string {
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpSlt, OpSle, OpSeq, OpSne:
+		return fmt.Sprintf("%-5s r%d, r%d, r%d", in.Op, in.C, in.A, in.B)
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpPow:
+		return fmt.Sprintf("%-5s f%d, f%d, f%d", in.Op, in.C, in.A, in.B)
+	case OpFSlt, OpFSle, OpFSeq, OpFSne:
+		return fmt.Sprintf("%-5s r%d, f%d, f%d", in.Op, in.C, in.A, in.B)
+	case OpNeg, OpNot, OpMov:
+		return fmt.Sprintf("%-5s r%d, r%d", in.Op, in.C, in.A)
+	case OpFNeg, OpFMov, OpSqrt, OpSin, OpCos, OpExp, OpLog, OpFAbs, OpFloor:
+		return fmt.Sprintf("%-5s f%d, f%d", in.Op, in.C, in.A)
+	case OpCvtIF:
+		return fmt.Sprintf("%-5s f%d, r%d", in.Op, in.C, in.A)
+	case OpCvtFI:
+		return fmt.Sprintf("%-5s r%d, f%d", in.Op, in.C, in.A)
+	case OpLdi:
+		return fmt.Sprintf("%-5s r%d, %d", in.Op, in.C, in.Imm)
+	case OpLdf:
+		return fmt.Sprintf("%-5s f%d, %g", in.Op, in.C, in.FImm)
+	case OpLd:
+		return fmt.Sprintf("%-5s r%d, %d(r%d)", in.Op, in.C, in.Imm, in.A)
+	case OpSt:
+		return fmt.Sprintf("%-5s %d(r%d), r%d", in.Op, in.Imm, in.A, in.B)
+	case OpFLd:
+		return fmt.Sprintf("%-5s f%d, %d(r%d)", in.Op, in.C, in.Imm, in.A)
+	case OpFSt:
+		return fmt.Sprintf("%-5s %d(r%d), f%d", in.Op, in.Imm, in.A, in.B)
+	case OpBr:
+		return fmt.Sprintf("%-5s r%d, @%d  ; site %d", in.Op, in.A, in.Target, in.Site)
+	case OpJmp:
+		return fmt.Sprintf("%-5s @%d", in.Op, in.Target)
+	case OpCall:
+		return fmt.Sprintf("%-5s fn%d (args from r%d, result r%d)", in.Op, in.Target, in.A, in.C)
+	case OpICall:
+		return fmt.Sprintf("%-5s [r%d] (args from r%d, result r%d)", in.Op, in.A, in.B, in.C)
+	case OpRet:
+		return fmt.Sprintf("%-5s r%d", in.Op, in.A)
+	case OpGetc:
+		return fmt.Sprintf("%-5s r%d", in.Op, in.C)
+	case OpPutc:
+		return fmt.Sprintf("%-5s r%d", in.Op, in.A)
+	case OpSel:
+		return fmt.Sprintf("%-5s r%d, r%d ? r%d : r%d", in.Op, in.C, in.A, in.B, in.Imm)
+	case OpFSel:
+		return fmt.Sprintf("%-5s f%d, r%d ? f%d : f%d", in.Op, in.C, in.A, in.B, in.Imm)
+	}
+	return fmt.Sprintf("%s a=%d b=%d c=%d imm=%d tgt=%d", in.Op, in.A, in.B, in.C, in.Imm, in.Target)
+}
+
+// Disasm renders a whole program as an assembler listing.
+func Disasm(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s: %d funcs, %d sites, imem %d, fmem %d\n",
+		p.Source, len(p.Funcs), len(p.Sites), p.IntMem, p.FloatMem)
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		fmt.Fprintf(&b, "\nfn%d %s: params=%d iregs=%d fregs=%d\n", fi, f.Name, f.NumParams, f.NumIRegs, f.NumFRegs)
+		for pc, in := range f.Code {
+			fmt.Fprintf(&b, "  %4d: %s\n", pc, DisasmInstr(in))
+		}
+	}
+	return b.String()
+}

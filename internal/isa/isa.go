@@ -1,0 +1,274 @@
+// Package isa defines the instruction set of the Trace-like scalar RISC
+// virtual machine used throughout this repository.
+//
+// The machine is deliberately close in spirit to the RISC-level
+// "operations" of the Multiflow Trace 14/300 that Fisher and
+// Freudenberger counted: fixed-cost three-register operations, memory
+// reached only through explicit loads and stores, and a small set of
+// control-transfer operations whose dynamic behaviour is exactly what
+// the paper's IFPROBBER and MFPixie tools measured.
+//
+// Integer and floating-point state are separate, word-addressed
+// memories (FORTRAN style). Each function owns a private register
+// frame; calls push a new frame. Conditional branches test a single
+// register against zero, so a compare feeds a branch as two
+// instructions, as on most RISCs.
+package isa
+
+import "fmt"
+
+// Op enumerates the machine operations.
+type Op uint8
+
+// Operation codes. The groups matter to the measurement machinery:
+// OpBr is the only conditional branch; OpJmp/OpCall/OpICall/OpRet are
+// the other control transfers the paper classifies as avoidable or
+// unavoidable breaks in control.
+const (
+	OpNop Op = iota
+
+	// Integer ALU: C = A op B (register indices).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // traps (halts with error) on divide by zero
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // arithmetic shift right
+	OpNeg // C = -A
+	OpNot // C = ^A
+
+	// Integer comparisons: C = A cmp B ? 1 : 0.
+	OpSlt
+	OpSle
+	OpSeq
+	OpSne
+
+	// Floating point ALU.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+
+	// Floating comparisons: integer register C = FA cmp FB ? 1 : 0.
+	OpFSlt
+	OpFSle
+	OpFSeq
+	OpFSne
+
+	// Conversions.
+	OpCvtIF // float C = float(int A)
+	OpCvtFI // int C = int(float A), truncating toward zero
+
+	// Constants and moves.
+	OpLdi  // int C = Imm
+	OpLdf  // float C = FImm
+	OpMov  // int C = A
+	OpFMov // float C = A
+
+	// Memory. Address = int reg A + Imm, word granularity.
+	OpLd  // int C = imem[A+Imm]
+	OpSt  // imem[A+Imm] = B
+	OpFLd // float C = fmem[A+Imm]
+	OpFSt // fmem[A+Imm] = FB (float reg B)
+
+	// Control transfer.
+	OpBr    // if int A != 0 jump to Target (taken) else fall through; Site identifies the static branch
+	OpJmp   // unconditional jump to Target
+	OpCall  // direct call of Funcs[Target]; args copied from caller regs
+	OpICall // indirect call: callee = function index in int reg A
+	OpRet   // return; int reg A (or float reg A) holds the value per callee kind
+
+	// System.
+	OpGetc // int C = next input byte, or -1 at end of input
+	OpPutc // append low byte of int A to the output
+	OpHalt // stop execution
+
+	// Math intrinsics (single instructions, as transcendental units).
+	OpSqrt
+	OpSin
+	OpCos
+	OpExp
+	OpLog
+	OpFAbs
+	OpFloor
+	OpPow // float C = pow(A, B)
+
+	// Conditional selects (the Trace front ends' if-conversion target:
+	// both operands are evaluated and one is selected, with no branch).
+	// The fourth operand — the else-value register — rides in Imm.
+	OpSel  // int C = (int A != 0) ? int B : int reg Imm
+	OpFSel // float C = (int A != 0) ? float B : float reg Imm
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop: "nop",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpNeg: "neg", OpNot: "not",
+	OpSlt: "slt", OpSle: "sle", OpSeq: "seq", OpSne: "sne",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv", OpFNeg: "fneg",
+	OpFSlt: "fslt", OpFSle: "fsle", OpFSeq: "fseq", OpFSne: "fsne",
+	OpCvtIF: "cvtif", OpCvtFI: "cvtfi",
+	OpLdi: "ldi", OpLdf: "ldf", OpMov: "mov", OpFMov: "fmov",
+	OpLd: "ld", OpSt: "st", OpFLd: "fld", OpFSt: "fst",
+	OpBr: "br", OpJmp: "jmp", OpCall: "call", OpICall: "icall", OpRet: "ret",
+	OpGetc: "getc", OpPutc: "putc", OpHalt: "halt",
+	OpSqrt: "sqrt", OpSin: "sin", OpCos: "cos", OpExp: "exp", OpLog: "log",
+	OpFAbs: "fabs", OpFloor: "floor", OpPow: "pow",
+	OpSel: "sel", OpFSel: "fsel",
+}
+
+// String returns the assembler mnemonic for the operation.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return op < opCount && (op == OpNop || opNames[op] != "") }
+
+// IsControl reports whether the operation can transfer control.
+func (op Op) IsControl() bool {
+	switch op {
+	case OpBr, OpJmp, OpCall, OpICall, OpRet, OpHalt:
+		return true
+	}
+	return false
+}
+
+// Instr is one machine operation. All operands are explicit fields
+// rather than a packed encoding; the VM interprets these directly.
+type Instr struct {
+	Op      Op
+	A, B, C int32   // register operands (meaning depends on Op)
+	Imm     int64   // integer immediate / address offset
+	FImm    float64 // floating immediate (OpLdf)
+	Target  int32   // branch target (instruction index) or callee function index
+	Site    int32   // static conditional branch site id for OpBr; -1 otherwise
+}
+
+// BranchSite describes one static conditional branch in the compiled
+// program. Site ids are dense and assigned in source order, which is
+// what lets profiles gathered on one compilation predict another.
+type BranchSite struct {
+	ID        int
+	Func      string // enclosing function name
+	Line      int    // source line
+	Col       int    // source column
+	LoopDepth int    // number of enclosing loops at the branch
+	LoopBack  bool   // true when the taken direction is a loop back edge
+	Label     string // short description, e.g. "while", "if", "&&", "switch-arm"
+}
+
+// FuncKind says whether a function returns an int or a float value;
+// the VM uses it to route OpRet.
+type FuncKind uint8
+
+// Function return kinds.
+const (
+	FuncInt FuncKind = iota
+	FuncFloat
+	FuncVoid
+)
+
+// Func is one compiled function.
+type Func struct {
+	Name      string
+	Kind      FuncKind
+	NumParams int    // parameters occupy registers [0,NumParams)
+	NumFRegs  int    // size of the float register frame
+	NumIRegs  int    // size of the int register frame (includes params)
+	FParams   []bool // per-parameter: true if the parameter is a float
+	Code      []Instr
+}
+
+// Program is a complete executable image.
+type Program struct {
+	Funcs     []Func
+	Main      int       // index of the entry function
+	IntMem    int       // words of int memory
+	FloatMem  int       // words of float memory
+	IntData   []int64   // initial contents of int memory (prefix)
+	FloatData []float64 // initial contents of float memory (prefix)
+	Sites     []BranchSite
+	Source    string // name of the source unit, for reports
+}
+
+// FuncIndex returns the index of the named function, or -1.
+func (p *Program) FuncIndex(name string) int {
+	for i := range p.Funcs {
+		if p.Funcs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// StaticInstrs returns the total static instruction count.
+func (p *Program) StaticInstrs() int {
+	n := 0
+	for i := range p.Funcs {
+		n += len(p.Funcs[i].Code)
+	}
+	return n
+}
+
+// Validate checks structural invariants: operand registers within the
+// declared frames, branch targets inside the owning function, call
+// targets naming real functions, and branch sites consistently
+// numbered. The compiler calls this after codegen, and tests rely on
+// it to reject malformed hand-built programs.
+func (p *Program) Validate() error {
+	if p.Main < 0 || p.Main >= len(p.Funcs) {
+		return fmt.Errorf("isa: main index %d out of range (%d funcs)", p.Main, len(p.Funcs))
+	}
+	seen := make(map[int32]bool)
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		if f.NumParams > f.NumIRegs+f.NumFRegs {
+			return fmt.Errorf("isa: %s: %d params exceed register frame", f.Name, f.NumParams)
+		}
+		for pc, in := range f.Code {
+			if !in.Op.Valid() {
+				return fmt.Errorf("isa: %s+%d: invalid op %d", f.Name, pc, uint8(in.Op))
+			}
+			switch in.Op {
+			case OpBr, OpJmp:
+				if in.Target < 0 || int(in.Target) >= len(f.Code) {
+					return fmt.Errorf("isa: %s+%d: %v target %d out of range", f.Name, pc, in.Op, in.Target)
+				}
+				if in.Op == OpBr {
+					if in.Site < 0 || int(in.Site) >= len(p.Sites) {
+						return fmt.Errorf("isa: %s+%d: branch site %d out of range", f.Name, pc, in.Site)
+					}
+					if seen[in.Site] {
+						return fmt.Errorf("isa: %s+%d: branch site %d reused", f.Name, pc, in.Site)
+					}
+					seen[in.Site] = true
+				}
+			case OpCall:
+				if in.Target < 0 || int(in.Target) >= len(p.Funcs) {
+					return fmt.Errorf("isa: %s+%d: call target %d out of range", f.Name, pc, in.Target)
+				}
+			}
+		}
+		if n := len(f.Code); n == 0 || !f.Code[n-1].Op.IsControl() {
+			return fmt.Errorf("isa: %s: function does not end in a control transfer", f.Name)
+		}
+	}
+	for i, s := range p.Sites {
+		if s.ID != i {
+			return fmt.Errorf("isa: site %d has id %d", i, s.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func validProgram() *Program {
+	return &Program{
+		Funcs: []Func{{
+			Name: "main", Kind: FuncInt, NumIRegs: 2,
+			Code: []Instr{
+				{Op: OpLdi, C: 0, Imm: 1},
+				{Op: OpBr, A: 0, Target: 3, Site: 0},
+				{Op: OpLdi, C: 0, Imm: 2},
+				{Op: OpRet, A: 0},
+			},
+		}},
+		Main: 0, IntMem: 1, FloatMem: 1,
+		Sites: []BranchSite{{ID: 0, Func: "main"}},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+		want   string
+	}{
+		{"bad main", func(p *Program) { p.Main = 5 }, "main index"},
+		{"branch target out of range", func(p *Program) { p.Funcs[0].Code[1].Target = 99 }, "target"},
+		{"branch site out of range", func(p *Program) { p.Funcs[0].Code[1].Site = 7 }, "site"},
+		{"call target out of range", func(p *Program) {
+			p.Funcs[0].Code[0] = Instr{Op: OpCall, Target: 9}
+		}, "call target"},
+		{"no trailing control", func(p *Program) {
+			p.Funcs[0].Code[3] = Instr{Op: OpLdi, C: 0}
+		}, "control transfer"},
+		{"site id mismatch", func(p *Program) { p.Sites[0].ID = 3 }, "has id"},
+		{"reused site", func(p *Program) {
+			p.Funcs[0].Code[2] = Instr{Op: OpBr, A: 0, Target: 3, Site: 0}
+		}, "reused"},
+	}
+	for _, c := range cases {
+		p := validProgram()
+		c.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := OpNop; op < opCount; op++ {
+		if !op.Valid() {
+			t.Errorf("op %d has no name", uint8(op))
+		}
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d renders as %s", uint8(op), op)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("op 200 should be invalid")
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	control := []Op{OpBr, OpJmp, OpCall, OpICall, OpRet, OpHalt}
+	for _, op := range control {
+		if !op.IsControl() {
+			t.Errorf("%v should be control", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLd, OpGetc, OpSqrt} {
+		if op.IsControl() {
+			t.Errorf("%v should not be control", op)
+		}
+	}
+}
+
+func TestDisasmCoversProgram(t *testing.T) {
+	p := validProgram()
+	out := Disasm(p)
+	for _, want := range []string{"main", "ldi", "br", "ret", "site 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncIndexAndStaticInstrs(t *testing.T) {
+	p := validProgram()
+	if got := p.FuncIndex("main"); got != 0 {
+		t.Errorf("FuncIndex(main) = %d", got)
+	}
+	if got := p.FuncIndex("nope"); got != -1 {
+		t.Errorf("FuncIndex(nope) = %d", got)
+	}
+	if got := p.StaticInstrs(); got != 4 {
+		t.Errorf("StaticInstrs = %d, want 4", got)
+	}
+}

@@ -1,0 +1,293 @@
+// Package ast defines the abstract syntax tree for the MF language.
+package ast
+
+import "branchprof/internal/mfc/token"
+
+// Type is an MF scalar type.
+type Type uint8
+
+// MF has exactly two scalar types.
+const (
+	Int Type = iota
+	Float
+	Void // function return "type" only
+)
+
+// String returns the source spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	}
+	return "void"
+}
+
+// Node is implemented by every AST node.
+type Node interface{ Pos() token.Pos }
+
+// ---- Expressions ----
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	P     token.Pos
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	P     token.Pos
+	Value float64
+}
+
+// StrLit is a string literal; its value is the int-memory address of
+// the NUL-terminated byte sequence the compiler places in global data.
+type StrLit struct {
+	P     token.Pos
+	Value string
+}
+
+// Ident names a variable or constant.
+type Ident struct {
+	P    token.Pos
+	Name string
+}
+
+// Index is arr[i] on a global array.
+type Index struct {
+	P     token.Pos
+	Array string
+	Idx   Expr
+}
+
+// Call invokes a function or builtin.
+type Call struct {
+	P    token.Pos
+	Name string
+	Args []Expr
+}
+
+// FuncRef is &name: the function's index, usable with the icallN builtins.
+type FuncRef struct {
+	P    token.Pos
+	Name string
+}
+
+// Unary is -x, !x or ~x.
+type Unary struct {
+	P  token.Pos
+	Op token.Kind
+	X  Expr
+}
+
+// Binary is x op y, including the short-circuit && and ||.
+type Binary struct {
+	P    token.Pos
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Cast is int(x) or float(x).
+type Cast struct {
+	P  token.Pos
+	To Type
+	X  Expr
+}
+
+func (e *IntLit) Pos() token.Pos   { return e.P }
+func (e *FloatLit) Pos() token.Pos { return e.P }
+func (e *StrLit) Pos() token.Pos   { return e.P }
+func (e *Ident) Pos() token.Pos    { return e.P }
+func (e *Index) Pos() token.Pos    { return e.P }
+func (e *Call) Pos() token.Pos     { return e.P }
+func (e *FuncRef) Pos() token.Pos  { return e.P }
+func (e *Unary) Pos() token.Pos    { return e.P }
+func (e *Binary) Pos() token.Pos   { return e.P }
+func (e *Cast) Pos() token.Pos     { return e.P }
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*StrLit) exprNode()   {}
+func (*Ident) exprNode()    {}
+func (*Index) exprNode()    {}
+func (*Call) exprNode()     {}
+func (*FuncRef) exprNode()  {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Cast) exprNode()     {}
+
+// ---- Statements ----
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// VarStmt declares a local scalar, optionally initialized.
+type VarStmt struct {
+	P    token.Pos
+	Name string
+	Type Type
+	Init Expr // may be nil
+}
+
+// AssignStmt assigns to a scalar or an array element.
+type AssignStmt struct {
+	P     token.Pos
+	Name  string
+	Idx   Expr // nil for scalar targets
+	Value Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	P    token.Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	P    token.Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is for(init; cond; post).
+type ForStmt struct {
+	P    token.Pos
+	Init Stmt // nil, *VarStmt or *AssignStmt
+	Cond Expr // nil means true
+	Post Stmt // nil or *AssignStmt
+	Body *BlockStmt
+}
+
+// SwitchCase is one arm of a switch.
+type SwitchCase struct {
+	P      token.Pos
+	Values []Expr // constant expressions; nil for default
+	Body   []Stmt
+}
+
+// SwitchStmt is a switch over an int expression; arms do not fall
+// through (the compiler lowers the whole thing to cascaded
+// conditional branches, as the Multiflow compiler did).
+type SwitchStmt struct {
+	P       token.Pos
+	Subject Expr
+	Cases   []SwitchCase
+}
+
+// BreakStmt exits the nearest loop or switch.
+type BreakStmt struct{ P token.Pos }
+
+// ContinueStmt continues the nearest loop.
+type ContinueStmt struct{ P token.Pos }
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	P     token.Pos
+	Value Expr // nil for void returns
+}
+
+// ExprStmt evaluates a call for its effect.
+type ExprStmt struct {
+	P token.Pos
+	X Expr
+}
+
+// BlockStmt is { ... } with its own scope.
+type BlockStmt struct {
+	P    token.Pos
+	List []Stmt
+}
+
+func (s *VarStmt) Pos() token.Pos      { return s.P }
+func (s *AssignStmt) Pos() token.Pos   { return s.P }
+func (s *IfStmt) Pos() token.Pos       { return s.P }
+func (s *WhileStmt) Pos() token.Pos    { return s.P }
+func (s *ForStmt) Pos() token.Pos      { return s.P }
+func (s *SwitchStmt) Pos() token.Pos   { return s.P }
+func (s *BreakStmt) Pos() token.Pos    { return s.P }
+func (s *ContinueStmt) Pos() token.Pos { return s.P }
+func (s *ReturnStmt) Pos() token.Pos   { return s.P }
+func (s *ExprStmt) Pos() token.Pos     { return s.P }
+func (s *BlockStmt) Pos() token.Pos    { return s.P }
+
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+
+// ---- Declarations ----
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// GlobalVar declares a global scalar (Size == nil) or array. Sizes
+// and initializer elements must be constant expressions; the semantic
+// pass folds them.
+type GlobalVar struct {
+	P       token.Pos
+	Name    string
+	Type    Type
+	Size    Expr   // nil for scalars
+	Init    []Expr // optional element initializers
+	InitStr string // optional string initializer for int arrays
+	IsStr   bool
+}
+
+// ConstDecl is a named compile-time constant; Value must fold to a
+// constant.
+type ConstDecl struct {
+	P     token.Pos
+	Name  string
+	Value Expr
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	P      token.Pos
+	Name   string
+	Params []Param
+	Ret    Type // Void when absent
+	Body   *BlockStmt
+}
+
+func (d *GlobalVar) Pos() token.Pos { return d.P }
+func (d *ConstDecl) Pos() token.Pos { return d.P }
+func (d *FuncDecl) Pos() token.Pos  { return d.P }
+
+func (*GlobalVar) declNode() {}
+func (*ConstDecl) declNode() {}
+func (*FuncDecl) declNode()  {}
+
+// File is a parsed compilation unit.
+type File struct {
+	Decls []Decl
+}

@@ -1,0 +1,140 @@
+package mfc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"branchprof/internal/vm"
+)
+
+// These tests pin the central constant-folding invariant: evaluating
+// an expression at compile time must produce exactly the value the VM
+// computes at run time. Each random expression is compiled twice —
+// once over literals (folds to a single ldi) and once over variables
+// initialized to the same values (computed by the machine) — and both
+// programs must return the same result.
+
+// exprGen builds random int expressions with two spellings: one using
+// literals, one using variables a/b/c.
+type exprGen struct {
+	rng  *rand.Rand
+	vals [3]int64
+}
+
+func (g *exprGen) operand() (lit, varr string) {
+	i := g.rng.Intn(3)
+	return fmt.Sprintf("%d", g.vals[i]), string(rune('a' + i))
+}
+
+func (g *exprGen) expr(d int) (lit, varr string) {
+	if d <= 0 || g.rng.Intn(100) < 25 {
+		return g.operand()
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+	op := ops[g.rng.Intn(len(ops))]
+	l1, v1 := g.expr(d - 1)
+	l2, v2 := g.expr(d - 1)
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(-%s)", l1), fmt.Sprintf("(-%s)", v1)
+	case 1:
+		return fmt.Sprintf("(~%s)", l1), fmt.Sprintf("(~%s)", v1)
+	case 2:
+		return fmt.Sprintf("(!%s)", l1), fmt.Sprintf("(!%s)", v1)
+	case 3:
+		// Guarded division/remainder/shift: fold and runtime must
+		// agree on guarded forms too.
+		d := []string{"/", "%"}[g.rng.Intn(2)]
+		return fmt.Sprintf("(%s %s (1 + (%s & 7)))", l1, d, l2),
+			fmt.Sprintf("(%s %s (1 + (%s & 7)))", v1, d, v2)
+	case 4:
+		sh := []string{"<<", ">>"}[g.rng.Intn(2)]
+		return fmt.Sprintf("(%s %s (%s & 15))", l1, sh, l2),
+			fmt.Sprintf("(%s %s (%s & 15))", v1, sh, v2)
+	}
+	return fmt.Sprintf("(%s %s %s)", l1, op, l2), fmt.Sprintf("(%s %s %s)", v1, op, v2)
+}
+
+func evalProgram(t *testing.T, src string) int64 {
+	t.Helper()
+	p, err := Compile("fold", src, Options{})
+	if err != nil {
+		t.Fatalf("compile failed: %v\nsource:\n%s", err, src)
+	}
+	res, err := vm.Run(p, nil, &vm.Config{Fuel: 1_000_000})
+	if err != nil {
+		t.Fatalf("run failed: %v\nsource:\n%s", err, src)
+	}
+	return res.ExitCode
+}
+
+func TestFoldMatchesRuntime(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := &exprGen{rng: rng}
+		for i := range g.vals {
+			g.vals[i] = int64(rng.Intn(41) - 20)
+		}
+		lit, varr := g.expr(4)
+
+		folded := evalProgram(t, fmt.Sprintf(
+			"func main() int { return (%s) & 0xffff; }", lit))
+		computed := evalProgram(t, fmt.Sprintf(`
+func main() int {
+	var a int = %d;
+	var b int = %d;
+	var c int = %d;
+	return (%s) & 0xffff;
+}`, g.vals[0], g.vals[1], g.vals[2], varr))
+		if folded != computed {
+			t.Fatalf("seed %d: folded %d != computed %d\nexpr: %s",
+				seed, folded, computed, lit)
+		}
+	}
+}
+
+// TestFoldedProgramIsSmall confirms the literal spelling actually
+// folded (no arithmetic ops survive).
+func TestFoldedProgramIsSmall(t *testing.T) {
+	p, err := Compile("fold", "func main() int { return ((3 + 4) * (5 - 2)) << 2; }", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(p.Funcs[p.Main].Code); n > 3 {
+		t.Errorf("constant expression left %d instructions", n)
+	}
+	res, err := vm.Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 84 {
+		t.Errorf("exit = %d, want 84", res.ExitCode)
+	}
+}
+
+// TestFloatFoldMatchesRuntime does the same for float arithmetic.
+func TestFloatFoldMatchesRuntime(t *testing.T) {
+	cases := []string{
+		"(1.5 + 2.25) * 4.0",
+		"(10.0 / 4.0) - 0.5",
+		"-(3.5 * 2.0)",
+		"(1.0 / 3.0) * 3.0",
+	}
+	for _, e := range cases {
+		ve := strings.NewReplacer("1.5", "x", "2.25", "y", "4.0", "z").Replace(e)
+		folded := evalProgram(t, fmt.Sprintf(
+			"func main() int { return int((%s) * 1000.0); }", e))
+		computed := evalProgram(t, fmt.Sprintf(`
+func main() int {
+	var x float = 1.5;
+	var y float = 2.25;
+	var z float = 4.0;
+	return int((%s) * 1000.0);
+}`, ve))
+		if folded != computed {
+			t.Errorf("%s: folded %d != computed %d", e, folded, computed)
+		}
+	}
+}

@@ -1,0 +1,1200 @@
+package mfc
+
+import (
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc/ast"
+	"branchprof/internal/mfc/token"
+)
+
+// builtins maps builtin names to a marker; they are handled in
+// genCall and may not be redefined.
+var builtins = map[string]bool{
+	"getc": true, "putc": true,
+	"sqrt": true, "sin": true, "cos": true, "exp": true, "log": true,
+	"fabs": true, "floor": true, "pow": true,
+	"icall0": true, "icall1": true, "icall2": true, "icall3": true,
+	"peek": true, "poke": true, "fpeek": true, "fpoke": true,
+}
+
+func isBuiltin(name string) bool { return builtins[name] }
+
+// regAlloc is a first-fit register allocator for one register file.
+type regAlloc struct {
+	used []bool
+	max  int
+}
+
+func (r *regAlloc) alloc() int {
+	for i, u := range r.used {
+		if !u {
+			r.used[i] = true
+			return i
+		}
+	}
+	r.used = append(r.used, true)
+	if len(r.used) > r.max {
+		r.max = len(r.used)
+	}
+	return len(r.used) - 1
+}
+
+// allocRun reserves n consecutive registers (for call argument
+// staging) and returns the base index. n may be zero.
+func (r *regAlloc) allocRun(n int) int {
+	if n == 0 {
+		return 0
+	}
+outer:
+	for i := 0; ; i++ {
+		for j := 0; j < n; j++ {
+			if i+j < len(r.used) && r.used[i+j] {
+				continue outer
+			}
+		}
+		for len(r.used) < i+n {
+			r.used = append(r.used, false)
+		}
+		for j := 0; j < n; j++ {
+			r.used[i+j] = true
+		}
+		if len(r.used) > r.max {
+			r.max = len(r.used)
+		}
+		return i
+	}
+}
+
+func (r *regAlloc) free(i int) { r.used[i] = false }
+
+// localVar is a scoped local scalar bound to a register.
+type localVar struct {
+	typ ast.Type
+	reg int
+}
+
+// label is a branch target with backpatching.
+type label struct {
+	pc      int
+	patches []int
+}
+
+// value is the result of expression codegen: a register in the file
+// selected by typ. owned values are temporaries the consumer frees.
+type value struct {
+	reg   int
+	typ   ast.Type
+	owned bool
+}
+
+// inlineCtx redirects return statements while a callee's body is
+// being expanded in place.
+type inlineCtx struct {
+	retType ast.Type
+	resReg  int // caller register receiving the value; unused for void
+	end     *label
+}
+
+type funcCompiler struct {
+	m  *module
+	fd *ast.FuncDecl
+
+	code []isa.Instr
+	ir   regAlloc
+	fr   regAlloc
+
+	scopes    []map[string]localVar
+	breaks    []*label
+	conts     []*label
+	loopDepth int
+	zero      int // register that is always 0 (frames are zeroed on entry)
+
+	inlines     []inlineCtx
+	inlineDepth int
+}
+
+func newFuncCompiler(m *module, fd *ast.FuncDecl) *funcCompiler {
+	return &funcCompiler{m: m, fd: fd}
+}
+
+func (fc *funcCompiler) compile() (isa.Func, error) {
+	f := isa.Func{Name: fc.fd.Name, NumParams: len(fc.fd.Params)}
+	switch fc.fd.Ret {
+	case ast.Int:
+		f.Kind = isa.FuncInt
+	case ast.Float:
+		f.Kind = isa.FuncFloat
+	default:
+		f.Kind = isa.FuncVoid
+	}
+	fc.pushScope()
+	for _, p := range fc.fd.Params {
+		f.FParams = append(f.FParams, p.Type == ast.Float)
+		var reg int
+		if p.Type == ast.Float {
+			reg = fc.fr.alloc()
+		} else {
+			reg = fc.ir.alloc()
+		}
+		if _, exists := fc.scopes[0][p.Name]; exists {
+			return f, errf(fc.fd.P, "duplicate parameter %s", p.Name)
+		}
+		fc.scopes[0][p.Name] = localVar{typ: p.Type, reg: reg}
+	}
+	fc.zero = fc.ir.alloc() // never written; the VM zeroes fresh frames
+	if err := fc.genBlock(fc.fd.Body); err != nil {
+		return f, err
+	}
+	// Fall-off-the-end return.
+	switch f.Kind {
+	case isa.FuncInt:
+		fc.emit(isa.Instr{Op: isa.OpRet, A: int32(fc.zero), Site: -1})
+	case isa.FuncFloat:
+		t := fc.fr.alloc()
+		fc.emit(isa.Instr{Op: isa.OpLdf, C: int32(t), Site: -1})
+		fc.emit(isa.Instr{Op: isa.OpRet, A: int32(t), Site: -1})
+	default:
+		fc.emit(isa.Instr{Op: isa.OpRet, Site: -1})
+	}
+	f.Code = fc.code
+	f.NumIRegs = fc.ir.max
+	f.NumFRegs = fc.fr.max
+	return f, nil
+}
+
+// ---- low-level emission ----
+
+func (fc *funcCompiler) emit(in isa.Instr) int {
+	if in.Op != isa.OpBr {
+		in.Site = -1
+	}
+	fc.code = append(fc.code, in)
+	return len(fc.code) - 1
+}
+
+func (fc *funcCompiler) newLabel() *label { return &label{pc: -1} }
+
+func (fc *funcCompiler) bind(l *label) {
+	l.pc = len(fc.code)
+	for _, idx := range l.patches {
+		fc.code[idx].Target = int32(l.pc)
+	}
+	l.patches = nil
+}
+
+func (fc *funcCompiler) target(l *label, at int) {
+	if l.pc >= 0 {
+		fc.code[at].Target = int32(l.pc)
+	} else {
+		l.patches = append(l.patches, at)
+	}
+}
+
+func (fc *funcCompiler) emitJmp(l *label) {
+	at := fc.emit(isa.Instr{Op: isa.OpJmp, Site: -1})
+	fc.target(l, at)
+}
+
+// emitBr emits a conditional branch to l taken when reg is nonzero,
+// registering a new static branch site.
+func (fc *funcCompiler) emitBr(reg int, l *label, siteLabel string, loopBack bool, pos token.Pos) {
+	site := fc.m.newSite(isa.BranchSite{
+		Func:      fc.fd.Name,
+		Line:      pos.Line,
+		Col:       pos.Col,
+		LoopDepth: fc.loopDepth,
+		LoopBack:  loopBack,
+		Label:     siteLabel,
+	})
+	at := fc.emit(isa.Instr{Op: isa.OpBr, A: int32(reg), Site: site})
+	fc.target(l, at)
+}
+
+// ---- values and scopes ----
+
+func (fc *funcCompiler) allocT(typ ast.Type) value {
+	if typ == ast.Float {
+		return value{reg: fc.fr.alloc(), typ: ast.Float, owned: true}
+	}
+	return value{reg: fc.ir.alloc(), typ: ast.Int, owned: true}
+}
+
+func (fc *funcCompiler) release(v value) {
+	if !v.owned {
+		return
+	}
+	if v.typ == ast.Float {
+		fc.fr.free(v.reg)
+	} else {
+		fc.ir.free(v.reg)
+	}
+}
+
+func (fc *funcCompiler) pushScope() {
+	fc.scopes = append(fc.scopes, make(map[string]localVar))
+}
+
+func (fc *funcCompiler) popScope() {
+	fc.scopes = fc.scopes[:len(fc.scopes)-1]
+}
+
+func (fc *funcCompiler) lookupLocal(name string) (localVar, bool) {
+	for i := len(fc.scopes) - 1; i >= 0; i-- {
+		if lv, ok := fc.scopes[i][name]; ok {
+			return lv, true
+		}
+	}
+	return localVar{}, false
+}
+
+// ---- statements ----
+
+func (fc *funcCompiler) genBlock(b *ast.BlockStmt) error {
+	fc.pushScope()
+	defer fc.popScope()
+	for _, s := range b.List {
+		if err := fc.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *funcCompiler) genStmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return fc.genBlock(s)
+	case *ast.VarStmt:
+		return fc.genVar(s)
+	case *ast.AssignStmt:
+		return fc.genAssign(s)
+	case *ast.IfStmt:
+		return fc.genIf(s)
+	case *ast.WhileStmt:
+		return fc.genWhile(s)
+	case *ast.ForStmt:
+		return fc.genFor(s)
+	case *ast.SwitchStmt:
+		return fc.genSwitch(s)
+	case *ast.BreakStmt:
+		if len(fc.breaks) == 0 {
+			return errf(s.P, "break outside loop or switch")
+		}
+		fc.emitJmp(fc.breaks[len(fc.breaks)-1])
+		return nil
+	case *ast.ContinueStmt:
+		if len(fc.conts) == 0 {
+			return errf(s.P, "continue outside loop")
+		}
+		fc.emitJmp(fc.conts[len(fc.conts)-1])
+		return nil
+	case *ast.ReturnStmt:
+		return fc.genReturn(s)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.Call)
+		if !ok {
+			return errf(s.P, "expression statement must be a call")
+		}
+		v, typ, err := fc.genCall(call)
+		if err != nil {
+			return err
+		}
+		if typ != ast.Void {
+			fc.release(v)
+		}
+		return nil
+	}
+	return errf(s.Pos(), "unsupported statement")
+}
+
+func (fc *funcCompiler) genVar(s *ast.VarStmt) error {
+	cur := fc.scopes[len(fc.scopes)-1]
+	if _, ok := cur[s.Name]; ok {
+		return errf(s.P, "%s redeclared in this block", s.Name)
+	}
+	var reg int
+	if s.Type == ast.Float {
+		reg = fc.fr.alloc()
+	} else {
+		reg = fc.ir.alloc()
+	}
+	cur[s.Name] = localVar{typ: s.Type, reg: reg}
+	if s.Init == nil {
+		// Frames are zeroed by the VM, but an explicit initialization
+		// keeps reuse of a freed register from leaking stale values.
+		if s.Type == ast.Float {
+			fc.emit(isa.Instr{Op: isa.OpLdf, C: int32(reg)})
+		} else {
+			fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(reg)})
+		}
+		return nil
+	}
+	v, err := fc.genExpect(s.Init, s.Type)
+	if err != nil {
+		return err
+	}
+	fc.moveInto(reg, v)
+	return nil
+}
+
+// moveInto copies v into register reg of v's file and releases v.
+func (fc *funcCompiler) moveInto(reg int, v value) {
+	if v.reg != reg {
+		if v.typ == ast.Float {
+			fc.emit(isa.Instr{Op: isa.OpFMov, C: int32(reg), A: int32(v.reg)})
+		} else {
+			fc.emit(isa.Instr{Op: isa.OpMov, C: int32(reg), A: int32(v.reg)})
+		}
+	}
+	fc.release(v)
+}
+
+func (fc *funcCompiler) genAssign(s *ast.AssignStmt) error {
+	if s.Idx == nil {
+		if lv, ok := fc.lookupLocal(s.Name); ok {
+			v, err := fc.genExpect(s.Value, lv.typ)
+			if err != nil {
+				return err
+			}
+			fc.moveInto(lv.reg, v)
+			return nil
+		}
+		g, ok := fc.m.globals[s.Name]
+		if !ok {
+			return errf(s.P, "undefined variable %s", s.Name)
+		}
+		if g.array {
+			return errf(s.P, "%s is an array; assign to an element", s.Name)
+		}
+		v, err := fc.genExpect(s.Value, g.typ)
+		if err != nil {
+			return err
+		}
+		if g.typ == ast.Float {
+			fc.emit(isa.Instr{Op: isa.OpFSt, A: int32(fc.zero), B: int32(v.reg), Imm: g.base})
+		} else {
+			fc.emit(isa.Instr{Op: isa.OpSt, A: int32(fc.zero), B: int32(v.reg), Imm: g.base})
+		}
+		fc.release(v)
+		return nil
+	}
+	g, ok := fc.m.globals[s.Name]
+	if !ok {
+		return errf(s.P, "undefined array %s", s.Name)
+	}
+	if !g.array {
+		return errf(s.P, "%s is not an array", s.Name)
+	}
+	idx, err := fc.genExpect(s.Idx, ast.Int)
+	if err != nil {
+		return err
+	}
+	v, err := fc.genExpect(s.Value, g.typ)
+	if err != nil {
+		return err
+	}
+	if g.typ == ast.Float {
+		fc.emit(isa.Instr{Op: isa.OpFSt, A: int32(idx.reg), B: int32(v.reg), Imm: g.base})
+	} else {
+		fc.emit(isa.Instr{Op: isa.OpSt, A: int32(idx.reg), B: int32(v.reg), Imm: g.base})
+	}
+	fc.release(v)
+	fc.release(idx)
+	return nil
+}
+
+func (fc *funcCompiler) genIf(s *ast.IfStmt) error {
+	cv, err := fc.m.fold(s.Cond)
+	if err != nil {
+		return err
+	}
+	if cv != nil && cv.typ != ast.Int {
+		return errf(s.Cond.Pos(), "if condition must be int")
+	}
+	if cv != nil && fc.m.opts.DeadBranchElim {
+		if cv.i != 0 {
+			return fc.genBlock(s.Then)
+		}
+		if s.Else != nil {
+			return fc.genStmt(s.Else)
+		}
+		return nil
+	}
+	if cv == nil && fc.m.opts.UseSelects {
+		if cand, ok := fc.matchSelect(s); ok {
+			return fc.genSelect(s, cand)
+		}
+	}
+	var cond value
+	if cv != nil {
+		cond = fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(cond.reg), Imm: cv.i})
+	} else {
+		cond, err = fc.genExpect(s.Cond, ast.Int)
+		if err != nil {
+			return err
+		}
+	}
+	thenL := fc.newLabel()
+	endL := fc.newLabel()
+	fc.emitBr(cond.reg, thenL, "if", false, s.P)
+	fc.release(cond)
+	if s.Else != nil {
+		if err := fc.genStmt(s.Else); err != nil {
+			return err
+		}
+	}
+	fc.emitJmp(endL)
+	fc.bind(thenL)
+	if err := fc.genBlock(s.Then); err != nil {
+		return err
+	}
+	fc.bind(endL)
+	return nil
+}
+
+// genLoop emits the shared bottom-tested loop shape:
+//
+//	     jmp test
+//	body: <body>
+//	cont: <post>
+//	test: <cond>; br cond @body   <- back edge, taken while looping
+//	end:
+//
+// cond==nil (or a constant-true condition under dead-branch
+// elimination) degenerates to an unconditional back edge with no
+// branch site, matching how compilers treat unconditional loops.
+func (fc *funcCompiler) genLoop(cond ast.Expr, post ast.Stmt, body *ast.BlockStmt, siteLabel string, pos token.Pos) error {
+	cv := (*constVal)(nil)
+	var err error
+	if cond != nil {
+		cv, err = fc.m.fold(cond)
+		if err != nil {
+			return err
+		}
+		if cv != nil && cv.typ != ast.Int {
+			return errf(cond.Pos(), "loop condition must be int")
+		}
+	}
+	if cv != nil && cv.i == 0 && fc.m.opts.DeadBranchElim {
+		return nil // loop never entered, body eliminated
+	}
+	bodyL := fc.newLabel()
+	contL := fc.newLabel()
+	testL := fc.newLabel()
+	endL := fc.newLabel()
+	fc.emitJmp(testL)
+	fc.bind(bodyL)
+	fc.breaks = append(fc.breaks, endL)
+	fc.conts = append(fc.conts, contL)
+	fc.loopDepth++
+	err = fc.genBlock(body)
+	fc.loopDepth--
+	fc.breaks = fc.breaks[:len(fc.breaks)-1]
+	fc.conts = fc.conts[:len(fc.conts)-1]
+	if err != nil {
+		return err
+	}
+	fc.bind(contL)
+	if post != nil {
+		if err := fc.genStmt(post); err != nil {
+			return err
+		}
+	}
+	fc.bind(testL)
+	switch {
+	case cond == nil, cv != nil && cv.i != 0 && fc.m.opts.DeadBranchElim:
+		fc.emitJmp(bodyL)
+	case cv != nil:
+		fc.loopDepth++
+		v := fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(v.reg), Imm: cv.i})
+		fc.emitBr(v.reg, bodyL, siteLabel, true, pos)
+		fc.release(v)
+		fc.loopDepth--
+	default:
+		fc.loopDepth++
+		v, err := fc.genExpect(cond, ast.Int)
+		if err != nil {
+			return err
+		}
+		fc.emitBr(v.reg, bodyL, siteLabel, true, pos)
+		fc.release(v)
+		fc.loopDepth--
+	}
+	fc.bind(endL)
+	return nil
+}
+
+func (fc *funcCompiler) genWhile(s *ast.WhileStmt) error {
+	return fc.genLoop(s.Cond, nil, s.Body, "while", s.P)
+}
+
+func (fc *funcCompiler) genFor(s *ast.ForStmt) error {
+	fc.pushScope() // for-init variables scope over the loop
+	defer fc.popScope()
+	if s.Init != nil {
+		if err := fc.genStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	return fc.genLoop(s.Cond, s.Post, s.Body, "for", s.P)
+}
+
+func (fc *funcCompiler) genSwitch(s *ast.SwitchStmt) error {
+	// Fold every case value up front, keeping each value's own source
+	// position so every lowered compare-and-branch gets a distinct
+	// site identity (directives re-attach by label/line/col).
+	type arm struct {
+		vals []int64
+		poss []token.Pos
+		body []ast.Stmt
+		lbl  *label
+		def  bool
+	}
+	arms := make([]arm, 0, len(s.Cases))
+	seen := make(map[int64]bool)
+	for _, c := range s.Cases {
+		a := arm{body: c.Body, def: c.Values == nil}
+		for _, ve := range c.Values {
+			cv, err := fc.m.fold(ve)
+			if err != nil {
+				return err
+			}
+			if cv == nil || cv.typ != ast.Int {
+				return errf(ve.Pos(), "case value must be an int constant")
+			}
+			if seen[cv.i] {
+				return errf(ve.Pos(), "duplicate case value %d", cv.i)
+			}
+			seen[cv.i] = true
+			a.vals = append(a.vals, cv.i)
+			a.poss = append(a.poss, ve.Pos())
+		}
+		arms = append(arms, a)
+	}
+
+	subjCV, err := fc.m.fold(s.Subject)
+	if err != nil {
+		return err
+	}
+	if subjCV != nil && subjCV.typ != ast.Int {
+		return errf(s.Subject.Pos(), "switch subject must be int")
+	}
+	endL := fc.newLabel()
+	if subjCV != nil && fc.m.opts.DeadBranchElim {
+		// Constant subject: only the matching arm survives.
+		var chosen []ast.Stmt
+		for _, a := range arms {
+			if a.def && chosen == nil {
+				chosen = a.body
+			}
+			for _, v := range a.vals {
+				if v == subjCV.i {
+					chosen = a.body
+				}
+			}
+		}
+		fc.breaks = append(fc.breaks, endL)
+		for _, st := range chosen {
+			if err := fc.genStmt(st); err != nil {
+				return err
+			}
+		}
+		fc.breaks = fc.breaks[:len(fc.breaks)-1]
+		fc.bind(endL)
+		return nil
+	}
+
+	var subj value
+	if subjCV != nil {
+		subj = fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(subj.reg), Imm: subjCV.i})
+	} else {
+		subj, err = fc.genExpect(s.Subject, ast.Int)
+		if err != nil {
+			return err
+		}
+	}
+	// Cascade of compare-and-branch, one site per case value — the
+	// linear lowering of multi-way branches the paper describes.
+	var defL *label
+	for i := range arms {
+		arms[i].lbl = fc.newLabel()
+		if arms[i].def {
+			defL = arms[i].lbl
+		}
+		for vi, v := range arms[i].vals {
+			t := fc.allocT(ast.Int)
+			fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(t.reg), Imm: v})
+			c := fc.allocT(ast.Int)
+			fc.emit(isa.Instr{Op: isa.OpSeq, C: int32(c.reg), A: int32(subj.reg), B: int32(t.reg)})
+			fc.emitBr(c.reg, arms[i].lbl, "switch-arm", false, arms[i].poss[vi])
+			fc.release(c)
+			fc.release(t)
+		}
+	}
+	fc.release(subj)
+	if defL != nil {
+		fc.emitJmp(defL)
+	} else {
+		fc.emitJmp(endL)
+	}
+	fc.breaks = append(fc.breaks, endL)
+	for _, a := range arms {
+		fc.bind(a.lbl)
+		for _, st := range a.body {
+			if err := fc.genStmt(st); err != nil {
+				return err
+			}
+		}
+		fc.emitJmp(endL)
+	}
+	fc.breaks = fc.breaks[:len(fc.breaks)-1]
+	fc.bind(endL)
+	return nil
+}
+
+func (fc *funcCompiler) genReturn(s *ast.ReturnStmt) error {
+	// Inside an inlined body, return becomes "store the result and
+	// jump past the expansion".
+	if n := len(fc.inlines); n > 0 {
+		ctx := fc.inlines[n-1]
+		if ctx.retType == ast.Void {
+			if s.Value != nil {
+				return errf(s.P, "void function returns a value")
+			}
+			fc.emitJmp(ctx.end)
+			return nil
+		}
+		if s.Value == nil {
+			return errf(s.P, "function must return %s", ctx.retType)
+		}
+		v, err := fc.genExpect(s.Value, ctx.retType)
+		if err != nil {
+			return err
+		}
+		fc.moveInto(ctx.resReg, v)
+		fc.emitJmp(ctx.end)
+		return nil
+	}
+	switch fc.fd.Ret {
+	case ast.Void:
+		if s.Value != nil {
+			return errf(s.P, "void function %s returns a value", fc.fd.Name)
+		}
+		fc.emit(isa.Instr{Op: isa.OpRet})
+		return nil
+	default:
+		if s.Value == nil {
+			return errf(s.P, "%s must return %s", fc.fd.Name, fc.fd.Ret)
+		}
+		v, err := fc.genExpect(s.Value, fc.fd.Ret)
+		if err != nil {
+			return err
+		}
+		fc.emit(isa.Instr{Op: isa.OpRet, A: int32(v.reg)})
+		fc.release(v)
+		return nil
+	}
+}
+
+// ---- expressions ----
+
+// genExpect generates e and checks its type.
+func (fc *funcCompiler) genExpect(e ast.Expr, want ast.Type) (value, error) {
+	v, err := fc.gen(e)
+	if err != nil {
+		return value{}, err
+	}
+	if v.typ != want {
+		fc.release(v)
+		return value{}, errf(e.Pos(), "expected %s expression, got %s", want, v.typ)
+	}
+	return v, nil
+}
+
+func (fc *funcCompiler) gen(e ast.Expr) (value, error) {
+	// Constant folding first: any constant subexpression becomes a
+	// single load-immediate.
+	cv, err := fc.m.fold(e)
+	if err != nil {
+		return value{}, err
+	}
+	if cv != nil {
+		v := fc.allocT(cv.typ)
+		if cv.typ == ast.Float {
+			fc.emit(isa.Instr{Op: isa.OpLdf, C: int32(v.reg), FImm: cv.f})
+		} else {
+			fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(v.reg), Imm: cv.i})
+		}
+		return v, nil
+	}
+	switch e := e.(type) {
+	case *ast.StrLit:
+		addr := fc.m.internString(e.Value)
+		v := fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(v.reg), Imm: addr})
+		return v, nil
+	case *ast.Ident:
+		return fc.genIdent(e)
+	case *ast.Index:
+		return fc.genIndex(e)
+	case *ast.Call:
+		v, typ, err := fc.genCall(e)
+		if err != nil {
+			return value{}, err
+		}
+		if typ == ast.Void {
+			return value{}, errf(e.P, "%s returns no value", e.Name)
+		}
+		return v, nil
+	case *ast.FuncRef:
+		// &name yields a function's index (for icallN) or a global's
+		// base address in its memory (for peek/poke).
+		if fs, ok := fc.m.funcs[e.Name]; ok {
+			v := fc.allocT(ast.Int)
+			fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(v.reg), Imm: int64(fs.index)})
+			return v, nil
+		}
+		if g, ok := fc.m.globals[e.Name]; ok {
+			v := fc.allocT(ast.Int)
+			fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(v.reg), Imm: g.base})
+			return v, nil
+		}
+		return value{}, errf(e.P, "&%s: undefined function or global", e.Name)
+	case *ast.Unary:
+		return fc.genUnary(e)
+	case *ast.Binary:
+		return fc.genBinary(e)
+	case *ast.Cast:
+		return fc.genCast(e)
+	}
+	return value{}, errf(e.Pos(), "unsupported expression")
+}
+
+func (fc *funcCompiler) genIdent(e *ast.Ident) (value, error) {
+	if lv, ok := fc.lookupLocal(e.Name); ok {
+		return value{reg: lv.reg, typ: lv.typ, owned: false}, nil
+	}
+	if g, ok := fc.m.globals[e.Name]; ok {
+		if g.array {
+			return value{}, errf(e.P, "%s is an array; index it", e.Name)
+		}
+		v := fc.allocT(g.typ)
+		if g.typ == ast.Float {
+			fc.emit(isa.Instr{Op: isa.OpFLd, C: int32(v.reg), A: int32(fc.zero), Imm: g.base})
+		} else {
+			fc.emit(isa.Instr{Op: isa.OpLd, C: int32(v.reg), A: int32(fc.zero), Imm: g.base})
+		}
+		return v, nil
+	}
+	return value{}, errf(e.P, "undefined variable %s", e.Name)
+}
+
+func (fc *funcCompiler) genIndex(e *ast.Index) (value, error) {
+	g, ok := fc.m.globals[e.Array]
+	if !ok {
+		return value{}, errf(e.P, "undefined array %s", e.Array)
+	}
+	if !g.array {
+		return value{}, errf(e.P, "%s is not an array", e.Array)
+	}
+	idx, err := fc.genExpect(e.Idx, ast.Int)
+	if err != nil {
+		return value{}, err
+	}
+	v := fc.allocT(g.typ)
+	if g.typ == ast.Float {
+		fc.emit(isa.Instr{Op: isa.OpFLd, C: int32(v.reg), A: int32(idx.reg), Imm: g.base})
+	} else {
+		fc.emit(isa.Instr{Op: isa.OpLd, C: int32(v.reg), A: int32(idx.reg), Imm: g.base})
+	}
+	fc.release(idx)
+	return v, nil
+}
+
+func (fc *funcCompiler) genUnary(e *ast.Unary) (value, error) {
+	x, err := fc.gen(e.X)
+	if err != nil {
+		return value{}, err
+	}
+	switch e.Op {
+	case token.Minus:
+		v := fc.allocT(x.typ)
+		if x.typ == ast.Float {
+			fc.emit(isa.Instr{Op: isa.OpFNeg, C: int32(v.reg), A: int32(x.reg)})
+		} else {
+			fc.emit(isa.Instr{Op: isa.OpNeg, C: int32(v.reg), A: int32(x.reg)})
+		}
+		fc.release(x)
+		return v, nil
+	case token.Bang:
+		if x.typ != ast.Int {
+			fc.release(x)
+			return value{}, errf(e.P, "! requires an int operand")
+		}
+		v := fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: isa.OpSeq, C: int32(v.reg), A: int32(x.reg), B: int32(fc.zero)})
+		fc.release(x)
+		return v, nil
+	case token.Tilde:
+		if x.typ != ast.Int {
+			fc.release(x)
+			return value{}, errf(e.P, "~ requires an int operand")
+		}
+		v := fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: isa.OpNot, C: int32(v.reg), A: int32(x.reg)})
+		fc.release(x)
+		return v, nil
+	}
+	fc.release(x)
+	return value{}, errf(e.P, "unsupported unary operator %s", e.Op)
+}
+
+func (fc *funcCompiler) genCast(e *ast.Cast) (value, error) {
+	x, err := fc.gen(e.X)
+	if err != nil {
+		return value{}, err
+	}
+	if x.typ == e.To {
+		return x, nil
+	}
+	v := fc.allocT(e.To)
+	if e.To == ast.Float {
+		fc.emit(isa.Instr{Op: isa.OpCvtIF, C: int32(v.reg), A: int32(x.reg)})
+	} else {
+		fc.emit(isa.Instr{Op: isa.OpCvtFI, C: int32(v.reg), A: int32(x.reg)})
+	}
+	fc.release(x)
+	return v, nil
+}
+
+// intCmpOps maps comparison tokens to (op, swap-operands).
+var intCmpOps = map[token.Kind]struct {
+	op   isa.Op
+	swap bool
+}{
+	token.Lt: {isa.OpSlt, false}, token.Le: {isa.OpSle, false},
+	token.Gt: {isa.OpSlt, true}, token.Ge: {isa.OpSle, true},
+	token.Eq: {isa.OpSeq, false}, token.Ne: {isa.OpSne, false},
+}
+
+var fltCmpOps = map[token.Kind]struct {
+	op   isa.Op
+	swap bool
+}{
+	token.Lt: {isa.OpFSlt, false}, token.Le: {isa.OpFSle, false},
+	token.Gt: {isa.OpFSlt, true}, token.Ge: {isa.OpFSle, true},
+	token.Eq: {isa.OpFSeq, false}, token.Ne: {isa.OpFSne, false},
+}
+
+var intArithOps = map[token.Kind]isa.Op{
+	token.Plus: isa.OpAdd, token.Minus: isa.OpSub, token.Star: isa.OpMul,
+	token.Slash: isa.OpDiv, token.Percent: isa.OpRem,
+	token.Amp: isa.OpAnd, token.Pipe: isa.OpOr, token.Caret: isa.OpXor,
+	token.Shl: isa.OpShl, token.Shr: isa.OpShr,
+}
+
+var fltArithOps = map[token.Kind]isa.Op{
+	token.Plus: isa.OpFAdd, token.Minus: isa.OpFSub,
+	token.Star: isa.OpFMul, token.Slash: isa.OpFDiv,
+}
+
+func (fc *funcCompiler) genBinary(e *ast.Binary) (value, error) {
+	if e.Op == token.AndAnd || e.Op == token.OrOr {
+		return fc.genShortCircuit(e)
+	}
+	x, err := fc.gen(e.X)
+	if err != nil {
+		return value{}, err
+	}
+	y, err := fc.gen(e.Y)
+	if err != nil {
+		fc.release(x)
+		return value{}, err
+	}
+	if x.typ != y.typ {
+		fc.release(y)
+		fc.release(x)
+		return value{}, errf(e.P, "mismatched operand types %s and %s", x.typ, y.typ)
+	}
+	a, b := x, y
+	if x.typ == ast.Int {
+		if cmp, ok := intCmpOps[e.Op]; ok {
+			if cmp.swap {
+				a, b = y, x
+			}
+			v := fc.allocT(ast.Int)
+			fc.emit(isa.Instr{Op: cmp.op, C: int32(v.reg), A: int32(a.reg), B: int32(b.reg)})
+			fc.release(y)
+			fc.release(x)
+			return v, nil
+		}
+		op, ok := intArithOps[e.Op]
+		if !ok {
+			fc.release(y)
+			fc.release(x)
+			return value{}, errf(e.P, "operator %s not defined on int", e.Op)
+		}
+		v := fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: op, C: int32(v.reg), A: int32(x.reg), B: int32(y.reg)})
+		fc.release(y)
+		fc.release(x)
+		return v, nil
+	}
+	if cmp, ok := fltCmpOps[e.Op]; ok {
+		if cmp.swap {
+			a, b = y, x
+		}
+		v := fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: cmp.op, C: int32(v.reg), A: int32(a.reg), B: int32(b.reg)})
+		fc.release(y)
+		fc.release(x)
+		return v, nil
+	}
+	op, ok := fltArithOps[e.Op]
+	if !ok {
+		fc.release(y)
+		fc.release(x)
+		return value{}, errf(e.P, "operator %s not defined on float", e.Op)
+	}
+	v := fc.allocT(ast.Float)
+	fc.emit(isa.Instr{Op: op, C: int32(v.reg), A: int32(x.reg), B: int32(y.reg)})
+	fc.release(y)
+	fc.release(x)
+	return v, nil
+}
+
+// genShortCircuit lowers && and || with one conditional branch each,
+// producing a 0/1 value. These branches are real static sites: complex
+// conditions contribute several branches, as they did in the paper's
+// compiled code.
+func (fc *funcCompiler) genShortCircuit(e *ast.Binary) (value, error) {
+	x, err := fc.genExpect(e.X, ast.Int)
+	if err != nil {
+		return value{}, err
+	}
+	res := fc.allocT(ast.Int)
+	rhsOrSkip := fc.newLabel()
+	end := fc.newLabel()
+	if e.Op == token.AndAnd {
+		// taken = left true = evaluate right side.
+		fc.emitBr(x.reg, rhsOrSkip, "&&", false, e.P)
+		fc.release(x)
+		fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(res.reg), Imm: 0})
+		fc.emitJmp(end)
+		fc.bind(rhsOrSkip)
+		y, err := fc.genExpect(e.Y, ast.Int)
+		if err != nil {
+			return value{}, err
+		}
+		fc.emit(isa.Instr{Op: isa.OpSne, C: int32(res.reg), A: int32(y.reg), B: int32(fc.zero)})
+		fc.release(y)
+		fc.bind(end)
+		return res, nil
+	}
+	// ||: taken = left true = result is 1 without evaluating right.
+	fc.emitBr(x.reg, rhsOrSkip, "||", false, e.P)
+	fc.release(x)
+	y, err := fc.genExpect(e.Y, ast.Int)
+	if err != nil {
+		return value{}, err
+	}
+	fc.emit(isa.Instr{Op: isa.OpSne, C: int32(res.reg), A: int32(y.reg), B: int32(fc.zero)})
+	fc.release(y)
+	fc.emitJmp(end)
+	fc.bind(rhsOrSkip)
+	fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(res.reg), Imm: 1})
+	fc.bind(end)
+	return res, nil
+}
+
+// genCall handles builtins, indirect calls and user function calls.
+// It returns the result value and its type; typ==ast.Void means no
+// value (and an empty value).
+func (fc *funcCompiler) genCall(e *ast.Call) (value, ast.Type, error) {
+	switch e.Name {
+	case "getc":
+		if len(e.Args) != 0 {
+			return value{}, 0, errf(e.P, "getc takes no arguments")
+		}
+		v := fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: isa.OpGetc, C: int32(v.reg)})
+		return v, ast.Int, nil
+	case "putc":
+		if len(e.Args) != 1 {
+			return value{}, 0, errf(e.P, "putc takes one int argument")
+		}
+		x, err := fc.genExpect(e.Args[0], ast.Int)
+		if err != nil {
+			return value{}, 0, err
+		}
+		fc.emit(isa.Instr{Op: isa.OpPutc, A: int32(x.reg)})
+		fc.release(x)
+		return value{}, ast.Void, nil
+	case "sqrt", "sin", "cos", "exp", "log", "fabs", "floor":
+		if len(e.Args) != 1 {
+			return value{}, 0, errf(e.P, "%s takes one float argument", e.Name)
+		}
+		x, err := fc.genExpect(e.Args[0], ast.Float)
+		if err != nil {
+			return value{}, 0, err
+		}
+		op := map[string]isa.Op{
+			"sqrt": isa.OpSqrt, "sin": isa.OpSin, "cos": isa.OpCos,
+			"exp": isa.OpExp, "log": isa.OpLog, "fabs": isa.OpFAbs,
+			"floor": isa.OpFloor,
+		}[e.Name]
+		v := fc.allocT(ast.Float)
+		fc.emit(isa.Instr{Op: op, C: int32(v.reg), A: int32(x.reg)})
+		fc.release(x)
+		return v, ast.Float, nil
+	case "pow":
+		if len(e.Args) != 2 {
+			return value{}, 0, errf(e.P, "pow takes two float arguments")
+		}
+		x, err := fc.genExpect(e.Args[0], ast.Float)
+		if err != nil {
+			return value{}, 0, err
+		}
+		y, err := fc.genExpect(e.Args[1], ast.Float)
+		if err != nil {
+			fc.release(x)
+			return value{}, 0, err
+		}
+		v := fc.allocT(ast.Float)
+		fc.emit(isa.Instr{Op: isa.OpPow, C: int32(v.reg), A: int32(x.reg), B: int32(y.reg)})
+		fc.release(y)
+		fc.release(x)
+		return v, ast.Float, nil
+	case "peek", "fpeek":
+		// Raw word loads: peek(addr) reads int memory, fpeek(addr)
+		// float memory. String literals and cross-array pointers
+		// (e.g. a Lisp cons heap) use these.
+		if len(e.Args) != 1 {
+			return value{}, 0, errf(e.P, "%s takes one int address", e.Name)
+		}
+		a, err := fc.genExpect(e.Args[0], ast.Int)
+		if err != nil {
+			return value{}, 0, err
+		}
+		if e.Name == "fpeek" {
+			v := fc.allocT(ast.Float)
+			fc.emit(isa.Instr{Op: isa.OpFLd, C: int32(v.reg), A: int32(a.reg)})
+			fc.release(a)
+			return v, ast.Float, nil
+		}
+		v := fc.allocT(ast.Int)
+		fc.emit(isa.Instr{Op: isa.OpLd, C: int32(v.reg), A: int32(a.reg)})
+		fc.release(a)
+		return v, ast.Int, nil
+	case "poke", "fpoke":
+		if len(e.Args) != 2 {
+			return value{}, 0, errf(e.P, "%s takes an int address and a value", e.Name)
+		}
+		a, err := fc.genExpect(e.Args[0], ast.Int)
+		if err != nil {
+			return value{}, 0, err
+		}
+		want := ast.Int
+		if e.Name == "fpoke" {
+			want = ast.Float
+		}
+		x, err := fc.genExpect(e.Args[1], want)
+		if err != nil {
+			fc.release(a)
+			return value{}, 0, err
+		}
+		op := isa.OpSt
+		if e.Name == "fpoke" {
+			op = isa.OpFSt
+		}
+		fc.emit(isa.Instr{Op: op, A: int32(a.reg), B: int32(x.reg)})
+		fc.release(x)
+		fc.release(a)
+		return value{}, ast.Void, nil
+	case "icall0", "icall1", "icall2", "icall3":
+		n := int(e.Name[5] - '0')
+		if len(e.Args) != n+1 {
+			return value{}, 0, errf(e.P, "%s takes %d arguments", e.Name, n+1)
+		}
+		fp, err := fc.genExpect(e.Args[0], ast.Int)
+		if err != nil {
+			return value{}, 0, err
+		}
+		res := fc.allocT(ast.Int)
+		base := fc.ir.allocRun(n)
+		for i := 0; i < n; i++ {
+			a, err := fc.genExpect(e.Args[i+1], ast.Int)
+			if err != nil {
+				return value{}, 0, err
+			}
+			fc.emit(isa.Instr{Op: isa.OpMov, C: int32(base + i), A: int32(a.reg)})
+			fc.release(a)
+		}
+		// The callee's own signature determines how many staged
+		// arguments it consumes.
+		fc.emit(isa.Instr{Op: isa.OpICall, A: int32(fp.reg), B: int32(base), C: int32(res.reg)})
+		for i := n - 1; i >= 0; i-- {
+			fc.ir.free(base + i)
+		}
+		fc.release(fp)
+		return res, ast.Int, nil
+	}
+
+	fs, ok := fc.m.funcs[e.Name]
+	if !ok {
+		return value{}, 0, errf(e.P, "undefined function %s", e.Name)
+	}
+	fd := fs.decl
+	if len(e.Args) != len(fd.Params) {
+		return value{}, 0, errf(e.P, "%s takes %d arguments, got %d", e.Name, len(fd.Params), len(e.Args))
+	}
+	if fc.m.opts.InlineCalls && fc.inlineDepth < maxInlineDepth && fc.m.inlinable(fd) {
+		return fc.genInlineCall(e, fd)
+	}
+	var res value
+	if fd.Ret != ast.Void {
+		res = fc.allocT(fd.Ret)
+	}
+	ni, nf := 0, 0
+	for _, p := range fd.Params {
+		if p.Type == ast.Float {
+			nf++
+		} else {
+			ni++
+		}
+	}
+	iBase := fc.ir.allocRun(ni)
+	fBase := fc.fr.allocRun(nf)
+	iOff, fOff := 0, 0
+	for i, p := range fd.Params {
+		a, err := fc.genExpect(e.Args[i], p.Type)
+		if err != nil {
+			return value{}, 0, err
+		}
+		if p.Type == ast.Float {
+			fc.emit(isa.Instr{Op: isa.OpFMov, C: int32(fBase + fOff), A: int32(a.reg)})
+			fOff++
+		} else {
+			fc.emit(isa.Instr{Op: isa.OpMov, C: int32(iBase + iOff), A: int32(a.reg)})
+			iOff++
+		}
+		fc.release(a)
+	}
+	resReg := int32(-1)
+	if fd.Ret != ast.Void {
+		resReg = int32(res.reg)
+	}
+	fc.emit(isa.Instr{Op: isa.OpCall, A: int32(iBase), B: int32(fBase), C: resReg, Target: int32(fs.index)})
+	for i := ni - 1; i >= 0; i-- {
+		fc.ir.free(iBase + i)
+	}
+	for i := nf - 1; i >= 0; i-- {
+		fc.fr.free(fBase + i)
+	}
+	if fd.Ret == ast.Void {
+		return value{}, ast.Void, nil
+	}
+	return res, fd.Ret, nil
+}

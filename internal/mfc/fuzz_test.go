@@ -1,0 +1,285 @@
+package mfc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"branchprof/internal/vm"
+)
+
+// progGen generates random but well-typed MF programs: straight-line
+// arithmetic, bounded loops, conditionals with short-circuit
+// operators, switches, array traffic, calls, and constant-condition
+// branches (so dead-branch elimination has work to do). Loops are
+// always bounded by construction so every generated program
+// terminates.
+type progGen struct {
+	rng        *rand.Rand
+	sb         strings.Builder
+	depth      int
+	indent     int
+	intVars    []string // readable int variables (includes loop counters)
+	assignable []string // writable int variables (excludes loop counters)
+	funcs      []string // callable int(int) functions defined so far
+}
+
+func (g *progGen) w(format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+// intExpr produces a well-typed int expression of bounded depth.
+func (g *progGen) intExpr(d int) string {
+	if d <= 0 || g.rng.Intn(100) < 30 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(200)-100)
+		case 1:
+			if len(g.intVars) > 0 {
+				return g.intVars[g.rng.Intn(len(g.intVars))]
+			}
+			return fmt.Sprintf("%d", g.rng.Intn(10))
+		case 2:
+			return fmt.Sprintf("arr[%d]", g.rng.Intn(16))
+		default:
+			return "K0"
+		}
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(d-1), g.intExpr(d-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(d-1), g.intExpr(d-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.intExpr(d-1), g.intExpr(d-1))
+	case 3:
+		// Division guarded against zero by construction.
+		return fmt.Sprintf("(%s / (1 + (%s & 7)))", g.intExpr(d-1), g.intExpr(d-1))
+	case 4:
+		return fmt.Sprintf("(%s %% (1 + (%s & 15)))", g.intExpr(d-1), g.intExpr(d-1))
+	case 5:
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(d-1),
+			[]string{"&", "|", "^"}[g.rng.Intn(3)], g.intExpr(d-1))
+	case 6:
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(d-1),
+			[]string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)], g.intExpr(d-1))
+	default:
+		if len(g.funcs) > 0 && g.depth < 2 {
+			return fmt.Sprintf("%s(%s)", g.funcs[g.rng.Intn(len(g.funcs))], g.intExpr(d-1))
+		}
+		return fmt.Sprintf("(-%s)", g.intExpr(d-1))
+	}
+}
+
+// cond produces an int-typed condition, sometimes with short-circuit
+// operators and sometimes constant (dead-branch fodder).
+func (g *progGen) cond(d int) string {
+	switch g.rng.Intn(6) {
+	case 0:
+		return "DBG != 0" // constant false
+	case 1:
+		return "1 == 1" // constant true
+	case 2:
+		return fmt.Sprintf("(%s) && (%s)", g.cond(d-1), g.intExpr(1))
+	case 3:
+		return fmt.Sprintf("(%s) || (%s)", g.cond(d-1), g.intExpr(1))
+	default:
+		return g.intExpr(d)
+	}
+}
+
+func (g *progGen) stmt(d int) {
+	if d <= 0 {
+		g.assign()
+		return
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		g.assign()
+	case 3:
+		g.w("if (%s) {", g.cond(2))
+		g.indent++
+		g.block(d-1, 2)
+		g.indent--
+		if g.rng.Intn(2) == 0 {
+			g.w("} else {")
+			g.indent++
+			g.block(d-1, 2)
+			g.indent--
+		}
+		g.w("}")
+	case 4:
+		// Bounded loop over a fresh counter.
+		v := fmt.Sprintf("L%d", g.rng.Int31())
+		g.w("var %s int;", v)
+		g.w("for (%s = 0; %s < %d; %s = %s + 1) {", v, v, 1+g.rng.Intn(8), v, v)
+		g.indent++
+		g.intVars = append(g.intVars, v)
+		g.block(d-1, 2)
+		g.intVars = g.intVars[:len(g.intVars)-1]
+		g.indent--
+		g.w("}")
+	case 5:
+		g.w("switch (%s & 3) {", g.intExpr(1))
+		for k := 0; k <= g.rng.Intn(3); k++ {
+			g.w("case %d:", k)
+			g.indent++
+			g.assign()
+			if g.rng.Intn(3) == 0 {
+				g.w("break;")
+			}
+			g.indent--
+		}
+		if g.rng.Intn(2) == 0 {
+			g.w("default:")
+			g.indent++
+			g.assign()
+			g.indent--
+		}
+		g.w("}")
+	case 6:
+		g.w("arr[%d] = %s;", g.rng.Intn(16), g.intExpr(2))
+	case 7:
+		g.w("putc('a' + ((%s) & 15));", g.intExpr(1))
+	default:
+		g.assign()
+	}
+}
+
+func (g *progGen) assign() {
+	if len(g.assignable) == 0 {
+		g.w("arr[0] = %s;", g.intExpr(2))
+		return
+	}
+	v := g.assignable[g.rng.Intn(len(g.assignable))]
+	g.w("%s = %s;", v, g.intExpr(2))
+}
+
+func (g *progGen) block(d, n int) {
+	for i := 0; i <= g.rng.Intn(n+1); i++ {
+		g.stmt(d)
+	}
+}
+
+// generate builds a complete program.
+func generate(seed int64) string {
+	g := &progGen{rng: rand.New(rand.NewSource(seed))}
+	g.w("const DBG = 0;")
+	g.w("const K0 = %d;", g.rng.Intn(50))
+	g.w("var arr[16] int;")
+	nf := g.rng.Intn(3)
+	for f := 0; f < nf; f++ {
+		name := fmt.Sprintf("fn%d", f)
+		g.w("func %s(x int) int {", name)
+		g.indent++
+		g.intVars = []string{"x"}
+		g.assignable = []string{"x"}
+		g.block(2, 2)
+		g.w("return %s;", g.intExpr(2))
+		g.indent--
+		g.w("}")
+		g.intVars = nil
+		g.assignable = nil
+		g.funcs = append(g.funcs, name)
+	}
+	g.w("func main() int {")
+	g.indent++
+	g.w("var a int = %d;", g.rng.Intn(20))
+	g.w("var b int = %d;", g.rng.Intn(20))
+	g.intVars = []string{"a", "b"}
+	g.assignable = []string{"a", "b"}
+	g.block(3, 4)
+	g.w("return (a + b) & 0xffff;")
+	g.indent--
+	g.w("}")
+	return g.sb.String()
+}
+
+// TestFuzzCompileRunDeterministic: every generated program compiles,
+// validates, terminates within fuel, and is deterministic.
+func TestFuzzCompileRunDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		src := generate(seed)
+		prog, err := Compile(fmt.Sprintf("fuzz%d", seed), src, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: compile failed: %v\nsource:\n%s", seed, err, src)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid program: %v", seed, err)
+		}
+		cfg := &vm.Config{Fuel: 50_000_000}
+		r1, err := vm.Run(prog, nil, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: run failed: %v\nsource:\n%s", seed, err, src)
+		}
+		r2, err := vm.Run(prog, nil, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: rerun failed: %v", seed, err)
+		}
+		if r1.ExitCode != r2.ExitCode || r1.Instrs != r2.Instrs || !bytes.Equal(r1.Output, r2.Output) {
+			t.Fatalf("seed %d: nondeterministic run", seed)
+		}
+	}
+}
+
+// TestFuzzDCEEquivalence: dead-branch elimination never changes
+// observable behaviour on generated programs, and never increases the
+// dynamic instruction count.
+func TestFuzzDCEEquivalence(t *testing.T) {
+	for seed := int64(1000); seed < 1120; seed++ {
+		src := generate(seed)
+		plain, err := Compile("p", src, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dce, err := Compile("p", src, Options{DeadBranchElim: true})
+		if err != nil {
+			t.Fatalf("seed %d (dce): %v", seed, err)
+		}
+		cfg := &vm.Config{Fuel: 50_000_000}
+		rp, err := vm.Run(plain, nil, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rd, err := vm.Run(dce, nil, cfg)
+		if err != nil {
+			t.Fatalf("seed %d (dce): %v", seed, err)
+		}
+		if rp.ExitCode != rd.ExitCode || !bytes.Equal(rp.Output, rd.Output) {
+			t.Fatalf("seed %d: DCE changed behaviour: exit %d/%d out %q/%q\nsource:\n%s",
+				seed, rp.ExitCode, rd.ExitCode, rp.Output, rd.Output, src)
+		}
+		if rd.Instrs > rp.Instrs {
+			t.Errorf("seed %d: DCE increased instructions %d -> %d", seed, rp.Instrs, rd.Instrs)
+		}
+		if len(dce.Sites) > len(plain.Sites) {
+			t.Errorf("seed %d: DCE added sites", seed)
+		}
+	}
+}
+
+// TestFuzzSiteCountsConsistent: for every generated program, the sum
+// of per-site totals equals what a per-site census of branch
+// instructions would allow — no site lost or double-counted.
+func TestFuzzSiteCountsConsistent(t *testing.T) {
+	for seed := int64(2000); seed < 2060; seed++ {
+		src := generate(seed)
+		prog, err := Compile("p", src, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := vm.Run(prog, nil, &vm.Config{Fuel: 50_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range res.SiteTotal {
+			if res.SiteTaken[i] > res.SiteTotal[i] {
+				t.Fatalf("seed %d: site %d taken %d > total %d", seed, i, res.SiteTaken[i], res.SiteTotal[i])
+			}
+		}
+	}
+}

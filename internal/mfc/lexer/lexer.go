@@ -1,0 +1,342 @@
+// Package lexer turns MF source text into tokens.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+
+	"branchprof/internal/mfc/token"
+)
+
+// Error is a lexical error with its position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans MF source.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) errf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(pos, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token.Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: k, Pos: pos, Text: text}, nil
+		}
+		return token.Token{Kind: token.Ident, Pos: pos, Text: text}, nil
+	case isDigit(c):
+		return l.number(pos)
+	case c == '\'':
+		return l.charLit(pos)
+	case c == '"':
+		return l.stringLit(pos)
+	}
+	l.advance()
+	two := func(second byte, twoKind, oneKind token.Kind) token.Token {
+		if l.peek() == second {
+			l.advance()
+			return token.Token{Kind: twoKind, Pos: pos}
+		}
+		return token.Token{Kind: oneKind, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return token.Token{Kind: token.LParen, Pos: pos}, nil
+	case ')':
+		return token.Token{Kind: token.RParen, Pos: pos}, nil
+	case '{':
+		return token.Token{Kind: token.LBrace, Pos: pos}, nil
+	case '}':
+		return token.Token{Kind: token.RBrace, Pos: pos}, nil
+	case '[':
+		return token.Token{Kind: token.LBracket, Pos: pos}, nil
+	case ']':
+		return token.Token{Kind: token.RBracket, Pos: pos}, nil
+	case ',':
+		return token.Token{Kind: token.Comma, Pos: pos}, nil
+	case ';':
+		return token.Token{Kind: token.Semicolon, Pos: pos}, nil
+	case ':':
+		return token.Token{Kind: token.Colon, Pos: pos}, nil
+	case '+':
+		return token.Token{Kind: token.Plus, Pos: pos}, nil
+	case '-':
+		return token.Token{Kind: token.Minus, Pos: pos}, nil
+	case '*':
+		return token.Token{Kind: token.Star, Pos: pos}, nil
+	case '/':
+		return token.Token{Kind: token.Slash, Pos: pos}, nil
+	case '%':
+		return token.Token{Kind: token.Percent, Pos: pos}, nil
+	case '^':
+		return token.Token{Kind: token.Caret, Pos: pos}, nil
+	case '~':
+		return token.Token{Kind: token.Tilde, Pos: pos}, nil
+	case '&':
+		return two('&', token.AndAnd, token.Amp), nil
+	case '|':
+		return two('|', token.OrOr, token.Pipe), nil
+	case '=':
+		return two('=', token.Eq, token.Assign), nil
+	case '!':
+		return two('=', token.Ne, token.Bang), nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.Shl, Pos: pos}, nil
+		}
+		return two('=', token.Le, token.Lt), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.Shr, Pos: pos}, nil
+		}
+		return two('=', token.Ge, token.Gt), nil
+	}
+	return token.Token{}, l.errf(pos, "unexpected character %q", c)
+}
+
+func (l *Lexer) number(pos token.Pos) (token.Token, error) {
+	start := l.off
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseInt(text[2:], 16, 64)
+		if err != nil {
+			return token.Token{}, l.errf(pos, "bad hex literal %q: %v", text, err)
+		}
+		return token.Token{Kind: token.Int, Pos: pos, Text: text, IVal: v}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		saveLine, saveCol := l.line, l.col
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off, l.line, l.col = save, saveLine, saveCol
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token.Token{}, l.errf(pos, "bad float literal %q: %v", text, err)
+		}
+		return token.Token{Kind: token.Float, Pos: pos, Text: text, FVal: v}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token.Token{}, l.errf(pos, "bad int literal %q: %v", text, err)
+	}
+	return token.Token{Kind: token.Int, Pos: pos, Text: text, IVal: v}, nil
+}
+
+func (l *Lexer) escape(pos token.Pos) (byte, error) {
+	if l.off >= len(l.src) {
+		return 0, l.errf(pos, "unterminated escape")
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, l.errf(pos, "unknown escape \\%c", c)
+}
+
+func (l *Lexer) charLit(pos token.Pos) (token.Token, error) {
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		return token.Token{}, l.errf(pos, "unterminated char literal")
+	}
+	var v byte
+	c := l.advance()
+	if c == '\\' {
+		e, err := l.escape(pos)
+		if err != nil {
+			return token.Token{}, err
+		}
+		v = e
+	} else {
+		v = c
+	}
+	if l.off >= len(l.src) || l.advance() != '\'' {
+		return token.Token{}, l.errf(pos, "unterminated char literal")
+	}
+	return token.Token{Kind: token.Char, Pos: pos, Text: string(v), IVal: int64(v)}, nil
+}
+
+func (l *Lexer) stringLit(pos token.Pos) (token.Token, error) {
+	l.advance() // opening quote
+	var buf []byte
+	for {
+		if l.off >= len(l.src) {
+			return token.Token{}, l.errf(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			return token.Token{}, l.errf(pos, "newline in string literal")
+		}
+		if c == '\\' {
+			e, err := l.escape(pos)
+			if err != nil {
+				return token.Token{}, err
+			}
+			buf = append(buf, e)
+			continue
+		}
+		buf = append(buf, c)
+	}
+	s := string(buf)
+	return token.Token{Kind: token.String, Pos: pos, Text: s, SVal: s}, nil
+}
+
+// All scans the entire source, returning every token up to and
+// including EOF.
+func All(src string) ([]token.Token, error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}

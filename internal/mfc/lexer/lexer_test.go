@@ -1,0 +1,121 @@
+package lexer
+
+import (
+	"testing"
+
+	"branchprof/internal/mfc/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := All(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "+ - * / % & | ^ ~ ! << >> && || == != < <= > >= = ; : , ( ) { } [ ]")
+	want := []token.Kind{
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Amp, token.Pipe, token.Caret, token.Tilde, token.Bang,
+		token.Shl, token.Shr, token.AndAnd, token.OrOr,
+		token.Eq, token.Ne, token.Lt, token.Le, token.Gt, token.Ge,
+		token.Assign, token.Semicolon, token.Colon, token.Comma,
+		token.LParen, token.RParen, token.LBrace, token.RBrace,
+		token.LBracket, token.RBracket, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := All("42 0x2a 3.5 1e3 2.5e-2 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.Int || toks[0].IVal != 42 {
+		t.Errorf("42 lexed as %v %d", toks[0].Kind, toks[0].IVal)
+	}
+	if toks[1].Kind != token.Int || toks[1].IVal != 42 {
+		t.Errorf("0x2a lexed as %v %d", toks[1].Kind, toks[1].IVal)
+	}
+	if toks[2].Kind != token.Float || toks[2].FVal != 3.5 {
+		t.Errorf("3.5 lexed as %v %g", toks[2].Kind, toks[2].FVal)
+	}
+	if toks[3].Kind != token.Float || toks[3].FVal != 1000 {
+		t.Errorf("1e3 lexed as %v %g", toks[3].Kind, toks[3].FVal)
+	}
+	if toks[4].Kind != token.Float || toks[4].FVal != 0.025 {
+		t.Errorf("2.5e-2 lexed as %v %g", toks[4].Kind, toks[4].FVal)
+	}
+}
+
+func TestIdentifierVsKeyword(t *testing.T) {
+	toks, err := All("while whiles iff if _x int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Kind{token.KwWhile, token.Ident, token.Ident, token.KwIf, token.Ident, token.KwInt}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestCharAndStringLiterals(t *testing.T) {
+	toks, err := All(`'a' '\n' '\'' "ab\tc" ""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].IVal != 'a' || toks[1].IVal != '\n' || toks[2].IVal != '\'' {
+		t.Errorf("char literals = %d %d %d", toks[0].IVal, toks[1].IVal, toks[2].IVal)
+	}
+	if toks[3].SVal != "ab\tc" {
+		t.Errorf("string = %q", toks[3].SVal)
+	}
+	if toks[4].SVal != "" {
+		t.Errorf("empty string = %q", toks[4].SVal)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // line comment\nb /* block\ncomment */ c")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := All("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "'ab'", "\"unterminated", "/* unterminated", "'"} {
+		if _, err := All(src); err == nil {
+			t.Errorf("lexing %q should fail", src)
+		}
+	}
+}

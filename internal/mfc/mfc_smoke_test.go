@@ -1,0 +1,181 @@
+package mfc
+
+import (
+	"testing"
+
+	"branchprof/internal/vm"
+)
+
+// runMF compiles and runs src, failing the test on any error.
+func runMF(t *testing.T, src string, input string, opts Options) *vm.Result {
+	t.Helper()
+	p, err := Compile("test", src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := vm.Run(p, []byte(input), nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestSmokeHello(t *testing.T) {
+	src := `
+func main() int {
+	var i int = 0;
+	while (i < 5) {
+		putc('a' + i);
+		i = i + 1;
+	}
+	return i;
+}
+`
+	res := runMF(t, src, "", Options{})
+	if got := string(res.Output); got != "abcde" {
+		t.Errorf("output = %q, want abcde", got)
+	}
+	if res.ExitCode != 5 {
+		t.Errorf("exit = %d, want 5", res.ExitCode)
+	}
+	if res.CondBranches() == 0 {
+		t.Error("expected conditional branches to be counted")
+	}
+}
+
+func TestSmokeFibRecursive(t *testing.T) {
+	src := `
+func fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+func main() int { return fib(12); }
+`
+	res := runMF(t, src, "", Options{})
+	if res.ExitCode != 144 {
+		t.Errorf("fib(12) = %d, want 144", res.ExitCode)
+	}
+	if res.DirectCalls == 0 || res.DirectReturns == 0 {
+		t.Error("expected direct call/return counts")
+	}
+}
+
+func TestSmokeFloatsAndArrays(t *testing.T) {
+	src := `
+const N = 10;
+var a[N] float;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		a[i] = float(i) * 1.5;
+	}
+	var s float = 0.0;
+	for (i = 0; i < N; i = i + 1) {
+		s = s + a[i];
+	}
+	return int(s);
+}
+`
+	res := runMF(t, src, "", Options{})
+	if res.ExitCode != 67 { // 1.5 * 45 = 67.5 truncated
+		t.Errorf("exit = %d, want 67", res.ExitCode)
+	}
+}
+
+func TestSmokeSwitchAndIO(t *testing.T) {
+	src := `
+func main() int {
+	var c int = getc();
+	var n int = 0;
+	while (c != -1) {
+		switch (c) {
+		case 'a', 'e', 'i', 'o', 'u':
+			n = n + 1;
+		case ' ':
+			putc('_');
+		default:
+			putc(c);
+		}
+		c = getc();
+	}
+	return n;
+}
+`
+	res := runMF(t, src, "hello world", Options{})
+	if res.ExitCode != 3 {
+		t.Errorf("vowels = %d, want 3", res.ExitCode)
+	}
+	if got := string(res.Output); got != "hll_wrld" {
+		t.Errorf("output = %q, want hll_wrld", got)
+	}
+}
+
+func TestSmokeIndirectCall(t *testing.T) {
+	src := `
+func double(x int) int { return x * 2; }
+func square(x int) int { return x * x; }
+func main() int {
+	var f int = &double;
+	var g int = &square;
+	return icall1(f, 10) + icall1(g, 5);
+}
+`
+	res := runMF(t, src, "", Options{})
+	if res.ExitCode != 45 {
+		t.Errorf("exit = %d, want 45", res.ExitCode)
+	}
+	if res.IndirectCalls != 2 || res.IndirectReturns != 2 {
+		t.Errorf("indirect calls/returns = %d/%d, want 2/2", res.IndirectCalls, res.IndirectReturns)
+	}
+}
+
+func TestSmokeShortCircuit(t *testing.T) {
+	src := `
+var calls[1] int;
+func sideEffect() int {
+	calls[0] = calls[0] + 1;
+	return 1;
+}
+func main() int {
+	var x int = 0;
+	if (x != 0 && sideEffect() != 0) { putc('A'); }
+	if (x == 0 || sideEffect() != 0) { putc('B'); }
+	return calls[0];
+}
+`
+	res := runMF(t, src, "", Options{})
+	if res.ExitCode != 0 {
+		t.Errorf("side effects = %d, want 0 (short circuit)", res.ExitCode)
+	}
+	if got := string(res.Output); got != "B" {
+		t.Errorf("output = %q, want B", got)
+	}
+}
+
+func TestDeadBranchElim(t *testing.T) {
+	src := `
+const DEBUG = 0;
+func main() int {
+	var i int;
+	var n int = 0;
+	for (i = 0; i < 100; i = i + 1) {
+		if (DEBUG != 0) {
+			putc('!');
+		}
+		n = n + i;
+	}
+	return n % 256;
+}
+`
+	plain := runMF(t, src, "", Options{})
+	dce := runMF(t, src, "", Options{DeadBranchElim: true})
+	if plain.ExitCode != dce.ExitCode {
+		t.Fatalf("exit codes differ: %d vs %d", plain.ExitCode, dce.ExitCode)
+	}
+	if dce.Instrs >= plain.Instrs {
+		t.Errorf("DCE did not shrink execution: %d vs %d", dce.Instrs, plain.Instrs)
+	}
+	if dce.CondBranches() >= plain.CondBranches() {
+		t.Errorf("DCE did not remove branch executions: %d vs %d", dce.CondBranches(), plain.CondBranches())
+	}
+}

@@ -1,0 +1,348 @@
+package mfc
+
+import (
+	"strings"
+	"testing"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/vm"
+)
+
+func compileErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := Compile("test", src, Options{})
+	return err
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no main", "func f() int { return 0; }", "no main"},
+		{"main with params", "func main(a int) int { return a; }", "main must be"},
+		{"main returns float", "func main() float { return 0.0; }", "main must be"},
+		{"undefined var", "func main() int { return x; }", "undefined variable"},
+		{"undefined func", "func main() int { return f(); }", "undefined function"},
+		{"type mismatch add", "func main() int { var f float; return 1 + int(f) + (2 + 0) % 1; }", ""},
+		{"int plus float", "func main() int { var f float; f = f + 1; return 0; }", "mismatched"},
+		{"float condition", "func main() int { if (1.5) { } return 0; }", "must be int"},
+		{"assign wrong type", "func main() int { var x int; x = 1.5; return x; }", "expected int"},
+		{"array as scalar", "var a[4] int; func main() int { return a; }", "index it"},
+		{"scalar indexed", "var s int; func main() int { return s[0]; }", "not an array"},
+		{"assign to array name", "var a[4] int; func main() int { a = 1; return 0; }", "assign to an element"},
+		{"break outside", "func main() int { break; return 0; }", "break outside"},
+		{"continue outside", "func main() int { continue; return 0; }", "continue outside"},
+		{"void returns value", "func f() { return 1; } func main() int { f(); return 0; }", "returns a value"},
+		{"missing return value", "func f() int { return; } func main() int { return f(); }", "must return"},
+		{"wrong arg count", "func f(a int) int { return a; } func main() int { return f(); }", "takes 1 arguments"},
+		{"wrong arg type", "func f(a float) int { return 0; } func main() int { return f(1); }", "expected float"},
+		{"redeclared local", "func main() int { var x int; var x int; return x; }", "redeclared in this block"},
+		{"redeclared global", "var g int; var g int; func main() int { return 0; }", "redeclared"},
+		{"builtin redefined", "func putc(c int) { } func main() int { return 0; }", "builtin"},
+		{"nonconst case", "func main() int { var v int; switch (1) { case v: } return 0; }", "constant"},
+		{"duplicate case", "func main() int { switch (1) { case 2: case 2: } return 0; }", "duplicate case"},
+		{"nonconst array size", "var n int; var a[n] int; func main() int { return 0; }", "not an int constant"},
+		{"negative array size", "var a[0 - 3] int; func main() int { return 0; }", "out of range"},
+		{"too many inits", "var a[2] int = {1,2,3}; func main() int { return 0; }", "exceed"},
+		{"string into float array", "var a[8] float = \"x\"; func main() int { return 0; }", "int array"},
+		{"bad funcref", "func main() int { return &nothing; }", "undefined function or global"},
+		{"void in expression", "func f() { } func main() int { return f(); }", "returns no value"},
+		{"not on float", "func main() int { var f float; return !int(f) + !0; }", ""},
+		{"bang float", "func main() int { var f float; if (!f) { } return 0; }", "int operand"},
+		{"mod on float", "func main() int { var f float; f = f % f; return 0; }", "not defined on float"},
+		{"const div zero", "const Z = 1 / 0; func main() int { return Z; }", "division by zero"},
+	}
+	for _, c := range cases {
+		err := compileErr(t, c.src)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBranchSiteMetadata(t *testing.T) {
+	src := `
+func main() int {
+	var i int;
+	var n int = 0;
+	while (i < 10) {
+		if (i % 2 == 0 && i != 4) {
+			n = n + 1;
+		}
+		i = i + 1;
+	}
+	switch (n) {
+	case 1:
+		n = 0;
+	}
+	return n;
+}
+`
+	p, err := Compile("meta", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whiles, ifs, ands, arms int
+	for _, s := range p.Sites {
+		switch s.Label {
+		case "while":
+			whiles++
+			if !s.LoopBack {
+				t.Error("while site should be a loop back edge")
+			}
+			if s.LoopDepth != 1 {
+				t.Errorf("while back edge depth = %d, want 1", s.LoopDepth)
+			}
+		case "if":
+			ifs++
+			if s.LoopBack {
+				t.Error("if site should not be a back edge")
+			}
+			if s.Line > 0 && s.Label == "if" && s.LoopDepth != 1 {
+				t.Errorf("if inside loop has depth %d, want 1", s.LoopDepth)
+			}
+		case "&&":
+			ands++
+		case "switch-arm":
+			arms++
+			if s.LoopDepth != 0 {
+				t.Errorf("switch arm depth = %d, want 0", s.LoopDepth)
+			}
+		}
+	}
+	if whiles != 1 || ifs != 1 || ands != 1 || arms != 1 {
+		t.Errorf("site mix: while=%d if=%d &&=%d arm=%d, want 1 each", whiles, ifs, ands, arms)
+	}
+	// Site ids must be dense and in order.
+	for i, s := range p.Sites {
+		if s.ID != i {
+			t.Errorf("site %d has id %d", i, s.ID)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := `
+const A = 6;
+const B = A * 7;
+func main() int { return B - 2 * (1 + 2); }
+`
+	p, err := Compile("fold", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole expression folds: the body should be ldi + ret.
+	main := p.Funcs[p.Main]
+	if len(main.Code) > 3 {
+		t.Errorf("folded main has %d instructions: %v", len(main.Code), main.Code)
+	}
+	res, err := vm.Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 36 {
+		t.Errorf("exit = %d, want 36", res.ExitCode)
+	}
+}
+
+func TestGlobalLayoutAndStrings(t *testing.T) {
+	src := `
+var a[4] int = { 10, 20 };
+var s int = 7;
+var f[2] float = { 1.5, 2.5 };
+var g float = 0.25;
+
+func main() int {
+	var msg int = "ok";
+	// Identical literals are interned to one address.
+	var msg2 int = "ok";
+	if (msg != msg2) {
+		return -1;
+	}
+	if (peek(msg) != 'o' || peek(msg + 1) != 'k' || peek(msg + 2) != 0) {
+		return -2;
+	}
+	return a[0] + a[1] + a[2] + s + int(f[0] + f[1] + g * 4.0);
+}
+`
+	p, err := Compile("glob", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 42 { // 10+20+0+7 + int(1.5+2.5+1.0)=5
+		t.Errorf("exit = %d, want 42", res.ExitCode)
+	}
+}
+
+// TestDCEEquivalence checks the core compiler invariant the paper's
+// methodology rests on: dead-branch elimination changes instruction
+// counts but never observable behaviour.
+func TestDCEEquivalence(t *testing.T) {
+	src := `
+const DEBUG = 0;
+const MODE = 3;
+func work(x int) int {
+	if (DEBUG == 1) {
+		putc('D');
+	}
+	switch (MODE) {
+	case 1:
+		return x;
+	case 3:
+		return x * 2;
+	default:
+		return -x;
+	}
+}
+func main() int {
+	var i int;
+	var n int = 0;
+	while (DEBUG != 0) {
+		putc('!');
+	}
+	for (i = 0; i < 50; i = i + 1) {
+		n = n + work(i);
+	}
+	putc('0' + n % 10);
+	return n;
+}
+`
+	plain, err := Compile("plain", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dce, err := Compile("dce", src, Options{DeadBranchElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := vm.Run(plain, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := vm.Run(dce, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ExitCode != rd.ExitCode || string(rp.Output) != string(rd.Output) {
+		t.Errorf("behaviour differs: exit %d/%d output %q/%q", rp.ExitCode, rd.ExitCode, rp.Output, rd.Output)
+	}
+	if rd.Instrs >= rp.Instrs {
+		t.Errorf("DCE did not reduce instructions: %d vs %d", rd.Instrs, rp.Instrs)
+	}
+	if len(dce.Sites) >= len(plain.Sites) {
+		t.Errorf("DCE did not remove static sites: %d vs %d", len(dce.Sites), len(plain.Sites))
+	}
+}
+
+func TestValidatePassesForAllSmokePrograms(t *testing.T) {
+	src := `
+var data[64] int;
+func fill(n int) {
+	var i int;
+	for (i = 0; i < n; i = i + 1) {
+		data[i] = i * i;
+	}
+}
+func main() int {
+	fill(64);
+	return data[63];
+}
+`
+	for _, opts := range []Options{{}, {DeadBranchElim: true}} {
+		p, err := Compile("v", src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("opts %+v: %v", opts, err)
+		}
+		_ = isa.Disasm(p) // must not panic
+	}
+}
+
+func TestForLoopSemantics(t *testing.T) {
+	res := runMF(t, `
+func main() int {
+	var total int = 0;
+	var i int;
+	for (i = 0; i < 10; i = i + 1) {
+		if (i == 3) { continue; }
+		if (i == 8) { break; }
+		total = total + i;
+	}
+	return total;
+}
+`, "", Options{})
+	// 0+1+2+4+5+6+7 = 25
+	if res.ExitCode != 25 {
+		t.Errorf("exit = %d, want 25", res.ExitCode)
+	}
+}
+
+func TestNestedLoopsAndShadowing(t *testing.T) {
+	res := runMF(t, `
+var x int = 100;
+func main() int {
+	var sum int = 0;
+	var i int;
+	for (i = 0; i < 3; i = i + 1) {
+		var x int = i * 10;
+		var j int;
+		for (j = 0; j < 2; j = j + 1) {
+			sum = sum + x + j;
+		}
+	}
+	return sum + x;
+}
+`, "", Options{})
+	// inner: sum over i of 2*(10i)+1 = (0+1)+(10+11)+(20+21)=63; +100
+	if res.ExitCode != 163 {
+		t.Errorf("exit = %d, want 163", res.ExitCode)
+	}
+}
+
+func TestFloatParamsAndReturns(t *testing.T) {
+	res := runMF(t, `
+func mix(a float, n int, b float) float {
+	if (n == 0) {
+		return a;
+	}
+	return (a + b) / 2.0;
+}
+func main() int {
+	return int(mix(1.0, 1, 3.0) * 10.0);
+}
+`, "", Options{})
+	if res.ExitCode != 20 {
+		t.Errorf("exit = %d, want 20", res.ExitCode)
+	}
+}
+
+func TestRecursionDeep(t *testing.T) {
+	res := runMF(t, `
+func sum(n int) int {
+	if (n == 0) { return 0; }
+	return n + sum(n - 1);
+}
+func main() int { return sum(1000); }
+`, "", Options{})
+	if res.ExitCode != 500500 {
+		t.Errorf("sum(1000) = %d, want 500500", res.ExitCode)
+	}
+}

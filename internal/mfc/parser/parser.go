@@ -1,0 +1,683 @@
+// Package parser builds MF abstract syntax trees from tokens.
+//
+// The grammar is a small C dialect with Go-flavoured declarations:
+//
+//	file      = { global | const | func }
+//	global    = "var" ident [ "[" expr "]" ] type [ "=" init ] ";"
+//	init      = "{" expr { "," expr } "}" | string | expr
+//	const     = "const" ident "=" expr ";"
+//	func      = "func" ident "(" [ params ] ")" [ type ] block
+//	params    = ident type { "," ident type }
+//	block     = "{" { stmt } "}"
+//	stmt      = varStmt | assign | callStmt | if | while | for | switch
+//	          | "break" ";" | "continue" ";" | "return" [ expr ] ";"
+//	          | block | ";"
+//	varStmt   = "var" ident type [ "=" expr ] ";"
+//	assign    = ident [ "[" expr "]" ] "=" expr ";"
+//	if        = "if" "(" expr ")" block [ "else" (if | block) ]
+//	while     = "while" "(" expr ")" block
+//	for       = "for" "(" [simple] ";" [expr] ";" [simple] ")" block
+//	switch    = "switch" "(" expr ")" "{" { case } "}"
+//	case      = ("case" expr {"," expr} | "default") ":" { stmt }
+//
+// Expressions use C precedence: || && | ^ & (== !=) (< <= > >=)
+// (<< >>) (+ -) (* / %), with unary - ! ~ and &func, casts
+// int(x)/float(x), calls, and array indexing.
+package parser
+
+import (
+	"fmt"
+
+	"branchprof/internal/mfc/ast"
+	"branchprof/internal/mfc/lexer"
+	"branchprof/internal/mfc/token"
+)
+
+// Error is a parse error with its position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+// Parse parses a complete MF source unit.
+func Parse(src string) (*ast.File, error) {
+	toks, err := lexer.All(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &ast.File{}
+	for p.cur().Kind != token.EOF {
+		d, err := p.decl()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, d)
+	}
+	return f, nil
+}
+
+// ParseExpr parses a single expression (used by tests and tools).
+func ParseExpr(src string) (ast.Expr, error) {
+	toks, err := lexer.All(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != token.EOF {
+		return nil, p.errf("unexpected %s after expression", p.cur())
+	}
+	return e, nil
+}
+
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) next() token.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if p.cur().Kind != k {
+		return token.Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseType() (ast.Type, error) {
+	switch p.cur().Kind {
+	case token.KwInt:
+		p.next()
+		return ast.Int, nil
+	case token.KwFloat:
+		p.next()
+		return ast.Float, nil
+	}
+	return ast.Int, p.errf("expected type, found %s", p.cur())
+}
+
+func (p *parser) decl() (ast.Decl, error) {
+	switch p.cur().Kind {
+	case token.KwVar:
+		return p.globalVar()
+	case token.KwConst:
+		return p.constDecl()
+	case token.KwFunc:
+		return p.funcDecl()
+	}
+	return nil, p.errf("expected declaration, found %s", p.cur())
+}
+
+func (p *parser) globalVar() (ast.Decl, error) {
+	start := p.next() // var
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	g := &ast.GlobalVar{P: start.Pos, Name: name.Text}
+	if p.cur().Kind == token.LBracket {
+		p.next()
+		g.Size, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBracket); err != nil {
+			return nil, err
+		}
+	}
+	g.Type, err = p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == token.Assign {
+		p.next()
+		switch p.cur().Kind {
+		case token.LBrace:
+			p.next()
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, e)
+				if p.cur().Kind == token.Comma {
+					p.next()
+					if p.cur().Kind == token.RBrace {
+						break
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(token.RBrace); err != nil {
+				return nil, err
+			}
+		case token.String:
+			s := p.next()
+			g.InitStr, g.IsStr = s.SVal, true
+		default:
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = append(g.Init, e)
+		}
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) constDecl() (ast.Decl, error) {
+	start := p.next() // const
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Assign); err != nil {
+		return nil, err
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	return &ast.ConstDecl{P: start.Pos, Name: name.Text, Value: v}, nil
+}
+
+func (p *parser) funcDecl() (ast.Decl, error) {
+	start := p.next() // func
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	fd := &ast.FuncDecl{P: start.Pos, Name: name.Text, Ret: ast.Void}
+	if p.cur().Kind != token.RParen {
+		for {
+			pn, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			fd.Params = append(fd.Params, ast.Param{Name: pn.Text, Type: pt})
+			if p.cur().Kind != token.Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == token.KwInt || p.cur().Kind == token.KwFloat {
+		fd.Ret, err = p.parseType()
+		if err != nil {
+			return nil, err
+		}
+	}
+	fd.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return fd, nil
+}
+
+func (p *parser) block() (*ast.BlockStmt, error) {
+	lb, err := p.expect(token.LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &ast.BlockStmt{P: lb.Pos}
+	for p.cur().Kind != token.RBrace {
+		if p.cur().Kind == token.EOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.List = append(b.List, s)
+		}
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) stmt() (ast.Stmt, error) {
+	switch p.cur().Kind {
+	case token.Semicolon:
+		p.next()
+		return nil, nil
+	case token.LBrace:
+		return p.block()
+	case token.KwVar:
+		s, err := p.varStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case token.KwIf:
+		return p.ifStmt()
+	case token.KwWhile:
+		return p.whileStmt()
+	case token.KwFor:
+		return p.forStmt()
+	case token.KwSwitch:
+		return p.switchStmt()
+	case token.KwBreak:
+		t := p.next()
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.BreakStmt{P: t.Pos}, nil
+	case token.KwContinue:
+		t := p.next()
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.ContinueStmt{P: t.Pos}, nil
+	case token.KwReturn:
+		t := p.next()
+		var v ast.Expr
+		var err error
+		if p.cur().Kind != token.Semicolon {
+			v, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.ReturnStmt{P: t.Pos, Value: v}, nil
+	case token.Ident:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return nil, p.errf("expected statement, found %s", p.cur())
+}
+
+// varStmt parses a local declaration without the trailing semicolon.
+func (p *parser) varStmt() (ast.Stmt, error) {
+	start := p.next() // var
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	s := &ast.VarStmt{P: start.Pos, Name: name.Text, Type: ty}
+	if p.cur().Kind == token.Assign {
+		p.next()
+		s.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// simpleStmt parses an assignment or call statement without the
+// trailing semicolon (shared by statement position and for-headers).
+func (p *parser) simpleStmt() (ast.Stmt, error) {
+	name := p.next() // Ident
+	switch p.cur().Kind {
+	case token.LParen:
+		call, err := p.finishCall(name)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ExprStmt{P: name.Pos, X: call}, nil
+	case token.LBracket:
+		p.next()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Assign); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{P: name.Pos, Name: name.Text, Idx: idx, Value: v}, nil
+	case token.Assign:
+		p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{P: name.Pos, Name: name.Text, Value: v}, nil
+	}
+	return nil, p.errf("expected assignment or call after %q, found %s", name.Text, p.cur())
+}
+
+func (p *parser) parenExpr() (ast.Expr, error) {
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	start := p.next() // if
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &ast.IfStmt{P: start.Pos, Cond: cond, Then: then}
+	if p.cur().Kind == token.KwElse {
+		p.next()
+		if p.cur().Kind == token.KwIf {
+			s.Else, err = p.ifStmt()
+		} else {
+			s.Else, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (ast.Stmt, error) {
+	start := p.next() // while
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WhileStmt{P: start.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) forStmt() (ast.Stmt, error) {
+	start := p.next() // for
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	s := &ast.ForStmt{P: start.Pos}
+	var err error
+	if p.cur().Kind != token.Semicolon {
+		if p.cur().Kind == token.KwVar {
+			s.Init, err = p.varStmt()
+		} else if p.cur().Kind == token.Ident {
+			s.Init, err = p.simpleStmt()
+		} else {
+			return nil, p.errf("expected for-init, found %s", p.cur())
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != token.Semicolon {
+		s.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != token.RParen {
+		if p.cur().Kind != token.Ident {
+			return nil, p.errf("expected for-post assignment, found %s", p.cur())
+		}
+		s.Post, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	s.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) switchStmt() (ast.Stmt, error) {
+	start := p.next() // switch
+	subj, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	s := &ast.SwitchStmt{P: start.Pos, Subject: subj}
+	sawDefault := false
+	for p.cur().Kind != token.RBrace {
+		var c ast.SwitchCase
+		c.P = p.cur().Pos
+		switch p.cur().Kind {
+		case token.KwCase:
+			p.next()
+			for {
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.Values = append(c.Values, v)
+				if p.cur().Kind != token.Comma {
+					break
+				}
+				p.next()
+			}
+		case token.KwDefault:
+			if sawDefault {
+				return nil, p.errf("duplicate default case")
+			}
+			sawDefault = true
+			p.next()
+		default:
+			return nil, p.errf("expected case or default, found %s", p.cur())
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		for p.cur().Kind != token.KwCase && p.cur().Kind != token.KwDefault && p.cur().Kind != token.RBrace {
+			st, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			if st != nil {
+				c.Body = append(c.Body, st)
+			}
+		}
+		s.Cases = append(s.Cases, c)
+	}
+	p.next() // }
+	return s, nil
+}
+
+// ---- Expressions ----
+
+// binaryLevels lists operator precedence from loosest to tightest.
+var binaryLevels = [][]token.Kind{
+	{token.OrOr},
+	{token.AndAnd},
+	{token.Pipe},
+	{token.Caret},
+	{token.Amp},
+	{token.Eq, token.Ne},
+	{token.Lt, token.Le, token.Gt, token.Ge},
+	{token.Shl, token.Shr},
+	{token.Plus, token.Minus},
+	{token.Star, token.Slash, token.Percent},
+}
+
+func (p *parser) expr() (ast.Expr, error) { return p.binary(0) }
+
+func (p *parser) binary(level int) (ast.Expr, error) {
+	if level >= len(binaryLevels) {
+		return p.unary()
+	}
+	x, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		match := false
+		for _, op := range binaryLevels[level] {
+			if k == op {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return x, nil
+		}
+		opTok := p.next()
+		y, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &ast.Binary{P: opTok.Pos, Op: opTok.Kind, X: x, Y: y}
+	}
+}
+
+func (p *parser) unary() (ast.Expr, error) {
+	switch p.cur().Kind {
+	case token.Minus, token.Bang, token.Tilde:
+		opTok := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{P: opTok.Pos, Op: opTok.Kind, X: x}, nil
+	case token.Amp:
+		opTok := p.next()
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.FuncRef{P: opTok.Pos, Name: name.Text}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.Int, token.Char:
+		p.next()
+		return &ast.IntLit{P: t.Pos, Value: t.IVal}, nil
+	case token.Float:
+		p.next()
+		return &ast.FloatLit{P: t.Pos, Value: t.FVal}, nil
+	case token.String:
+		p.next()
+		return &ast.StrLit{P: t.Pos, Value: t.SVal}, nil
+	case token.LParen:
+		return p.parenExpr()
+	case token.KwInt, token.KwFloat:
+		p.next()
+		x, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		to := ast.Int
+		if t.Kind == token.KwFloat {
+			to = ast.Float
+		}
+		return &ast.Cast{P: t.Pos, To: to, X: x}, nil
+	case token.Ident:
+		p.next()
+		switch p.cur().Kind {
+		case token.LParen:
+			return p.finishCall(t)
+		case token.LBracket:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBracket); err != nil {
+				return nil, err
+			}
+			return &ast.Index{P: t.Pos, Array: t.Text, Idx: idx}, nil
+		}
+		return &ast.Ident{P: t.Pos, Name: t.Text}, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}
+
+func (p *parser) finishCall(name token.Token) (ast.Expr, error) {
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	c := &ast.Call{P: name.Pos, Name: name.Text}
+	if p.cur().Kind != token.RParen {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			c.Args = append(c.Args, a)
+			if p.cur().Kind != token.Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

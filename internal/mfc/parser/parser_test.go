@@ -1,0 +1,177 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"branchprof/internal/mfc/ast"
+	"branchprof/internal/mfc/token"
+)
+
+func TestParseExprPrecedence(t *testing.T) {
+	// a + b * c parses as a + (b * c)
+	e, err := ParseExpr("a + b * c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := e.(*ast.Binary)
+	if !ok || top.Op != token.Plus {
+		t.Fatalf("top = %#v, want +", e)
+	}
+	rhs, ok := top.Y.(*ast.Binary)
+	if !ok || rhs.Op != token.Star {
+		t.Fatalf("rhs = %#v, want *", top.Y)
+	}
+}
+
+func TestParseExprAssociativity(t *testing.T) {
+	// a - b - c parses as (a - b) - c
+	e, err := ParseExpr("a - b - c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := e.(*ast.Binary)
+	if _, ok := top.X.(*ast.Binary); !ok {
+		t.Fatalf("left operand should be the nested subtraction, got %#v", top.X)
+	}
+}
+
+func TestParseExprShiftVsComparison(t *testing.T) {
+	// a << b < c parses as (a << b) < c (shift binds tighter)
+	e, err := ParseExpr("a << b < c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := e.(*ast.Binary)
+	if top.Op != token.Lt {
+		t.Fatalf("top = %v, want <", top.Op)
+	}
+}
+
+func TestParseUnaryAndCast(t *testing.T) {
+	e, err := ParseExpr("-int(x) + float(3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := e.(*ast.Binary)
+	u, ok := top.X.(*ast.Unary)
+	if !ok || u.Op != token.Minus {
+		t.Fatalf("left = %#v", top.X)
+	}
+	if _, ok := u.X.(*ast.Cast); !ok {
+		t.Fatalf("negated operand should be a cast, got %#v", u.X)
+	}
+}
+
+func TestParseFuncRefAndCalls(t *testing.T) {
+	e, err := ParseExpr("icall1(&f, g(1, 2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(*ast.Call)
+	if c.Name != "icall1" || len(c.Args) != 2 {
+		t.Fatalf("call = %#v", c)
+	}
+	if _, ok := c.Args[0].(*ast.FuncRef); !ok {
+		t.Fatalf("first arg = %#v, want &f", c.Args[0])
+	}
+}
+
+func TestParseFullProgram(t *testing.T) {
+	src := `
+const N = 4;
+var arr[N * 2] int = { 1, 2, 3 };
+var name[16] int = "hi";
+var scalar float;
+
+func helper(a int, b float) float {
+	var x float = b;
+	if (a > 0) {
+		x = x + float(a);
+	} else if (a < -1) {
+		x = -x;
+	} else {
+		x = 0.0;
+	}
+	return x;
+}
+
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		arr[i] = i;
+	}
+	while (i > 0) {
+		i = i - 1;
+		if (i == 2) { continue; }
+		if (i == 1) { break; }
+	}
+	switch (arr[0]) {
+	case 0, 1:
+		i = 10;
+	default:
+		i = 20;
+	}
+	return i;
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(f.Decls) != 6 {
+		t.Fatalf("got %d decls, want 6", len(f.Decls))
+	}
+	g := f.Decls[1].(*ast.GlobalVar)
+	if g.Name != "arr" || g.Size == nil || len(g.Init) != 3 {
+		t.Errorf("arr decl = %#v", g)
+	}
+	s := f.Decls[2].(*ast.GlobalVar)
+	if !s.IsStr || s.InitStr != "hi" {
+		t.Errorf("name decl = %#v", s)
+	}
+	fn := f.Decls[4].(*ast.FuncDecl)
+	if fn.Name != "helper" || len(fn.Params) != 2 || fn.Ret != ast.Float {
+		t.Errorf("helper decl = %#v", fn)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"func main() int { return 1 }", "expected ;"},
+		{"func main() int { if x { } }", "expected ("},
+		{"var a[0 int;", "expected ]"},
+		{"func f(,) {}", "expected identifier"},
+		{"func f(a string) {}", "expected type"},
+		{"func main() int { switch (x) { what: } }", "expected case or default"},
+		{"func main() int { switch (x) { default: default: } }", "duplicate default"},
+		{"garbage", "expected declaration"},
+		{"func main() int { x ++; }", "expected assignment or call"},
+		{"func main() int { return (1; }", "expected )"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("parsing %q should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parsing %q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	for _, src := range []string{
+		"func main() int { for (;;) { break; } return 0; }",
+		"func main() int { var i int; for (i = 0; ; i = i + 1) { break; } return 0; }",
+		"func main() int { for (var i int = 0; i < 3; i = i + 1) { } return 0; }",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("parse %q: %v", src, err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package mfc
+
+import (
+	"testing"
+)
+
+// These tests stress the register allocator's contiguity requirements
+// for call-argument staging: nested calls as arguments force staging
+// blocks to be allocated while other staging blocks and temporaries
+// are live.
+
+func TestNestedCallsAsArguments(t *testing.T) {
+	res := runMF(t, `
+func add3(a int, b int, c int) int { return a + b + c; }
+func twice(x int) int { return x * 2; }
+func main() int {
+	// Every argument is itself a call; staging for add3 must survive
+	// the inner calls' own staging.
+	return add3(twice(1), add3(twice(2), twice(3), 4), twice(add3(5, 6, 7)));
+}
+`, "", Options{})
+	// 2 + (4+6+4) + 2*(18) = 2 + 14 + 36 = 52
+	if res.ExitCode != 52 {
+		t.Errorf("exit = %d, want 52", res.ExitCode)
+	}
+}
+
+func TestMixedIntFloatArgStaging(t *testing.T) {
+	res := runMF(t, `
+func mix(a int, x float, b int, y float, c int) float {
+	return float(a + b + c) + x * y;
+}
+func half(v float) float { return v * 0.5; }
+func main() int {
+	// Int and float staging blocks are separate and interleaved.
+	return int(mix(1, half(4.0), 2, half(8.0), 3) * 10.0);
+}
+`, "", Options{})
+	// (1+2+3) + 2*4 = 14 -> 140
+	if res.ExitCode != 140 {
+		t.Errorf("exit = %d, want 140", res.ExitCode)
+	}
+}
+
+func TestCallInsideConditionAndIndex(t *testing.T) {
+	res := runMF(t, `
+var a[10] int = { 5, 10, 15, 20, 25, 30, 35, 40, 45, 50 };
+func pick(i int) int { return i % 10; }
+func main() int {
+	var n int = 0;
+	var i int;
+	for (i = 0; i < 20; i = i + 1) {
+		if (a[pick(i)] > 20 && pick(i + 1) != 3) {
+			n = n + a[pick(i * 3)];
+		}
+	}
+	return n;
+}
+`, "", Options{})
+	if res.ExitCode == 0 {
+		t.Error("expected nonzero accumulation")
+	}
+	// Run twice to confirm determinism of the allocation-heavy path.
+	res2 := runMF(t, `
+var a[10] int = { 5, 10, 15, 20, 25, 30, 35, 40, 45, 50 };
+func pick(i int) int { return i % 10; }
+func main() int {
+	var n int = 0;
+	var i int;
+	for (i = 0; i < 20; i = i + 1) {
+		if (a[pick(i)] > 20 && pick(i + 1) != 3) {
+			n = n + a[pick(i * 3)];
+		}
+	}
+	return n;
+}
+`, "", Options{})
+	if res.ExitCode != res2.ExitCode {
+		t.Errorf("nondeterministic: %d vs %d", res.ExitCode, res2.ExitCode)
+	}
+}
+
+func TestIndirectCallArgStaging(t *testing.T) {
+	res := runMF(t, `
+func sum3(a int, b int, c int) int { return a + b + c; }
+func id(x int) int { return x; }
+func main() int {
+	var f int = &sum3;
+	// icall3 staging interleaved with direct-call evaluation.
+	return icall3(f, id(10), icall1(&id, 20), id(30));
+}
+`, "", Options{})
+	if res.ExitCode != 60 {
+		t.Errorf("exit = %d, want 60", res.ExitCode)
+	}
+}
+
+func TestDeepExpressionTemporaries(t *testing.T) {
+	res := runMF(t, `
+func main() int {
+	var a int = 1;
+	var b int = 2;
+	var c int = 3;
+	var d int = 4;
+	// A deep tree forces many simultaneous temporaries.
+	return ((a + b) * (c + d) - (a * b + c * d)) *
+	       ((d - c) * (b - a) + (a + d) * (b + c)) +
+	       ((a | b) & (c ^ d)) << ((a + b) % 3);
+}
+`, "", Options{})
+	// (3*7 - (2+12)) * (1*1 + 5*5) + ((3 & 7) << 0) = 7*26 + 3 = 185
+	if res.ExitCode != 185 {
+		t.Errorf("exit = %d, want 185", res.ExitCode)
+	}
+}
+
+func TestFrameSizesAreTight(t *testing.T) {
+	p, err := Compile("p", `
+func tiny() int { return 1; }
+func main() int { return tiny(); }
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Funcs {
+		if f.NumIRegs > 8 {
+			t.Errorf("%s uses %d int registers for a trivial body", f.Name, f.NumIRegs)
+		}
+	}
+}

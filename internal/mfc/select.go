@@ -1,0 +1,153 @@
+package mfc
+
+import (
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc/ast"
+	"branchprof/internal/mfc/token"
+)
+
+// If-conversion: the Trace compiler front ends converted "some simple
+// if statements into a special select instruction that evaluates both
+// operands and selects one of them depending on a tested condition"
+// (paper footnote 2 — selects were typically under 0.2-0.7% of
+// executed instructions). With Options.UseSelects the MF compiler does
+// the same for ifs whose arms are single side-effect-free scalar
+// assignments to one local variable:
+//
+//	if (c) { x = e1; }              ->  x = sel(c, e1, x)
+//	if (c) { x = e1; } else { x = e2; } -> x = sel(c, e1, e2)
+//
+// Both arms are evaluated unconditionally, so e1/e2 (and nothing in
+// them) may have side effects or trap: calls, array accesses,
+// division, shifts and float-to-int casts disqualify a candidate.
+
+// selectCandidate describes a convertible if statement.
+type selectCandidate struct {
+	lv       localVar
+	thenExpr ast.Expr
+	elseExpr ast.Expr // nil for one-armed ifs (keep the old value)
+}
+
+// matchSelect recognizes convertible ifs. It needs the compiler for
+// scope lookups (only locals are convertible: global stores are
+// observable effects).
+func (fc *funcCompiler) matchSelect(s *ast.IfStmt) (selectCandidate, bool) {
+	var c selectCandidate
+	thenAsn, ok := singleAssign(s.Then)
+	if !ok || thenAsn.Idx != nil {
+		return c, false
+	}
+	lv, ok := fc.lookupLocal(thenAsn.Name)
+	if !ok {
+		return c, false
+	}
+	if !pureExpr(s.Cond) || !pureExpr(thenAsn.Value) {
+		return c, false
+	}
+	c.lv = lv
+	c.thenExpr = thenAsn.Value
+	if s.Else == nil {
+		return c, true
+	}
+	elseBlock, ok := s.Else.(*ast.BlockStmt)
+	if !ok {
+		return c, false
+	}
+	elseAsn, ok := singleAssign(elseBlock)
+	if !ok || elseAsn.Idx != nil || elseAsn.Name != thenAsn.Name {
+		return c, false
+	}
+	if !pureExpr(elseAsn.Value) {
+		return c, false
+	}
+	c.elseExpr = elseAsn.Value
+	return c, true
+}
+
+func singleAssign(b *ast.BlockStmt) (*ast.AssignStmt, bool) {
+	if len(b.List) != 1 {
+		return nil, false
+	}
+	a, ok := b.List[0].(*ast.AssignStmt)
+	return a, ok
+}
+
+// pureBuiltins never trap and have no effects.
+var pureBuiltins = map[string]bool{
+	"sqrt": true, "sin": true, "cos": true, "exp": true, "log": true,
+	"fabs": true, "floor": true, "pow": true,
+}
+
+// pureExpr reports whether evaluating e unconditionally is safe: no
+// side effects and no possible traps.
+func pureExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IntLit, *ast.FloatLit, *ast.StrLit, *ast.Ident, *ast.FuncRef:
+		return true
+	case *ast.Unary:
+		return pureExpr(e.X)
+	case *ast.Binary:
+		switch e.Op {
+		case token.Slash, token.Percent, token.Shl, token.Shr:
+			// Can trap on zero divisors / out-of-range shifts.
+			return false
+		}
+		return pureExpr(e.X) && pureExpr(e.Y)
+	case *ast.Cast:
+		if e.To == ast.Int {
+			// float->int conversion traps on non-finite values.
+			return false
+		}
+		return pureExpr(e.X)
+	case *ast.Call:
+		if !pureBuiltins[e.Name] {
+			return false
+		}
+		for _, a := range e.Args {
+			if !pureExpr(a) {
+				return false
+			}
+		}
+		return true
+	}
+	// Index (bounds traps) and anything unknown: not convertible.
+	return false
+}
+
+// genSelect emits the branch-free form.
+func (fc *funcCompiler) genSelect(s *ast.IfStmt, c selectCandidate) error {
+	cond, err := fc.genExpect(s.Cond, ast.Int)
+	if err != nil {
+		return err
+	}
+	thenV, err := fc.genExpect(c.thenExpr, c.lv.typ)
+	if err != nil {
+		fc.release(cond)
+		return err
+	}
+	elseReg := c.lv.reg // one-armed: keep the current value
+	var elseV value
+	if c.elseExpr != nil {
+		elseV, err = fc.genExpect(c.elseExpr, c.lv.typ)
+		if err != nil {
+			fc.release(thenV)
+			fc.release(cond)
+			return err
+		}
+		elseReg = elseV.reg
+	}
+	op := isa.OpSel
+	if c.lv.typ == ast.Float {
+		op = isa.OpFSel
+	}
+	fc.emit(isa.Instr{
+		Op: op, C: int32(c.lv.reg), A: int32(cond.reg), B: int32(thenV.reg),
+		Imm: int64(elseReg),
+	})
+	if c.elseExpr != nil {
+		fc.release(elseV)
+	}
+	fc.release(thenV)
+	fc.release(cond)
+	return nil
+}

@@ -1,0 +1,154 @@
+package mfc
+
+import (
+	"bytes"
+	"testing"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/vm"
+)
+
+func countOp(p *isa.Program, op isa.Op) int {
+	n := 0
+	for fi := range p.Funcs {
+		for _, in := range p.Funcs[fi].Code {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+const selectSrc = `
+func main() int {
+	var i int;
+	var best int = -1000;
+	var evens int = 0;
+	var f float = 0.0;
+	for (i = 0; i < 200; i = i + 1) {
+		var v int = (i * 37) % 101 - 50;
+		if (v > best) { best = v; }
+		if ((i & 1) == 0) { evens = evens + 1; } else { evens = evens - 1; }
+		var w float = float(v);
+		if (w < 0.0) { f = f + 1.0; }
+	}
+	return best * 1000 + evens + int(f);
+}
+`
+
+func TestSelectConversion(t *testing.T) {
+	plain, err := Compile("p", selectSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Compile("p", selectSrc, Options{UseSelects: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOp(plain, isa.OpSel)+countOp(plain, isa.OpFSel) != 0 {
+		t.Error("plain compilation emitted selects")
+	}
+	nSel := countOp(sel, isa.OpSel)
+	nFSel := countOp(sel, isa.OpFSel)
+	if nSel < 2 {
+		t.Errorf("expected at least 2 int selects, got %d", nSel)
+	}
+	if nFSel < 1 {
+		t.Errorf("expected a float select, got %d", nFSel)
+	}
+	if len(sel.Sites) >= len(plain.Sites) {
+		t.Errorf("if-conversion did not remove branch sites: %d vs %d", len(sel.Sites), len(plain.Sites))
+	}
+	rp, err := vm.Run(plain, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := vm.Run(sel, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ExitCode != rs.ExitCode {
+		t.Errorf("behaviour changed: %d vs %d", rp.ExitCode, rs.ExitCode)
+	}
+	if rs.CondBranches() >= rp.CondBranches() {
+		t.Errorf("if-conversion did not reduce executed branches: %d vs %d",
+			rs.CondBranches(), rp.CondBranches())
+	}
+}
+
+func TestSelectRefusesUnsafe(t *testing.T) {
+	cases := []string{
+		// call with side effects in the arm
+		`func eff() int { putc('x'); return 1; }
+		 func main() int { var x int; if (1 > 0 && x == 0) { x = eff(); } return x; }`,
+		// division can trap
+		`func main() int { var x int; var d int = 0; if (d != 0) { x = 10 / d; } return x; }`,
+		// array index can trap
+		`var a[4] int; func main() int { var x int; var i int = 9; if (i < 4) { x = a[i]; } return x; }`,
+		// global assignment is an observable store
+		`var g int; func main() int { var c int = 1; if (c == 1) { g = 5; } return g; }`,
+		// float->int cast can trap
+		`func main() int { var x int; var f float = 1.0; if (x == 0) { x = int(f / 0.0); } return 0; }`,
+	}
+	for i, src := range cases {
+		p, err := Compile("p", src, Options{UseSelects: true})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n := countOp(p, isa.OpSel) + countOp(p, isa.OpFSel); n != 0 {
+			t.Errorf("case %d: unsafe if was converted to %d selects", i, n)
+		}
+	}
+}
+
+func TestSelectPureBuiltinsConvert(t *testing.T) {
+	src := `
+func main() int {
+	var f float = -3.0;
+	var m float = 0.0;
+	var i int;
+	for (i = 0; i < 10; i = i + 1) {
+		var v float = sin(float(i));
+		if (fabs(v) > m) { m = fabs(v); }
+	}
+	return int(m * 100.0);
+}
+`
+	p, err := Compile("p", src, Options{UseSelects: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOp(p, isa.OpFSel) == 0 {
+		t.Error("pure-builtin arm should convert")
+	}
+	_ = p
+}
+
+// TestSelectFuzzEquivalence: if-conversion never changes behaviour on
+// the random corpus.
+func TestSelectFuzzEquivalence(t *testing.T) {
+	for seed := int64(4000); seed < 4100; seed++ {
+		src := generate(seed)
+		p1, err := Compile("p", src, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p2, err := Compile("p", src, Options{UseSelects: true})
+		if err != nil {
+			t.Fatalf("seed %d (sel): %v", seed, err)
+		}
+		cfg := &vm.Config{Fuel: 50_000_000}
+		r1, err := vm.Run(p1, nil, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, err := vm.Run(p2, nil, cfg)
+		if err != nil {
+			t.Fatalf("seed %d (sel): %v\nsource:\n%s", seed, err, src)
+		}
+		if r1.ExitCode != r2.ExitCode || !bytes.Equal(r1.Output, r2.Output) {
+			t.Fatalf("seed %d: if-conversion changed behaviour\nsource:\n%s", seed, src)
+		}
+	}
+}

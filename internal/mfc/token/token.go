@@ -1,0 +1,127 @@
+// Package token defines the lexical tokens of the MF language, the
+// small C-like language in which this repository's benchmark program
+// analogues are written (standing in for the C and FORTRAN sources the
+// paper compiled with the Multiflow compiler).
+package token
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Int    // 123, 0x7f
+	Float  // 1.5, 2e-3
+	Char   // 'a'
+	String // "abc"
+
+	// Keywords.
+	KwVar
+	KwConst
+	KwFunc
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+	KwInt
+	KwFloat
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Colon
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp    // & (bitwise and / function address)
+	Pipe   // |
+	Caret  // ^
+	Tilde  // ~
+	Bang   // !
+	Shl    // <<
+	Shr    // >>
+	AndAnd // &&
+	OrOr   // ||
+	Eq     // ==
+	Ne     // !=
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+var names = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Int: "int literal", Float: "float literal",
+	Char: "char literal", String: "string literal",
+	KwVar: "var", KwConst: "const", KwFunc: "func", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwSwitch: "switch", KwCase: "case",
+	KwDefault: "default", KwBreak: "break", KwContinue: "continue",
+	KwReturn: "return", KwInt: "int", KwFloat: "float",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semicolon: ";", Colon: ":",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Shl: "<<", Shr: ">>", AndAnd: "&&", OrOr: "||",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+}
+
+// String returns a readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Keywords maps keyword spellings to kinds.
+var Keywords = map[string]Kind{
+	"var": KwVar, "const": KwConst, "func": KwFunc, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "break": KwBreak, "continue": KwContinue,
+	"return": KwReturn, "int": KwInt, "float": KwFloat,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string  // identifier name or literal spelling
+	IVal int64   // value for Int and Char
+	FVal float64 // value for Float
+	SVal string  // decoded value for String
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int, Float, Char, String:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

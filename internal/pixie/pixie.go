@@ -1,0 +1,111 @@
+// Package pixie produces detailed dynamic instruction reports from VM
+// runs, modeled on MFPixie (Multiflow's internal Pixie-like tool): the
+// total RISC-level instruction count, per-function counts, the
+// instruction mix, and the branch density figures the paper's
+// motivation section turns on (li executes a conditional branch about
+// every 10 instructions, fpppp about every 170).
+package pixie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/vm"
+)
+
+// FuncCount is the dynamic instruction count of one function.
+type FuncCount struct {
+	Name   string
+	Instrs uint64
+}
+
+// MixEntry is one opcode's share of execution.
+type MixEntry struct {
+	Op    isa.Op
+	Count uint64
+}
+
+// Report is the full dynamic analysis of a run.
+type Report struct {
+	Program      string
+	Total        uint64
+	CondBranches uint64
+	PerFunc      []FuncCount // descending by count
+	Mix          []MixEntry  // descending by count
+}
+
+// BranchDensity returns instructions per executed conditional branch.
+func (r *Report) BranchDensity() float64 {
+	if r.CondBranches == 0 {
+		return float64(r.Total)
+	}
+	return float64(r.Total) / float64(r.CondBranches)
+}
+
+// Analyze builds a report. The run must have been made with
+// vm.Config.PerPC set; otherwise only totals are available and
+// Analyze reports an error.
+func Analyze(p *isa.Program, res *vm.Result) (*Report, error) {
+	if res.PerPC == nil {
+		return nil, fmt.Errorf("pixie: run was not made with per-PC counting enabled")
+	}
+	if len(res.PerPC) != len(p.Funcs) {
+		return nil, fmt.Errorf("pixie: run has %d functions of counts, program has %d", len(res.PerPC), len(p.Funcs))
+	}
+	r := &Report{Program: p.Source, Total: res.Instrs, CondBranches: res.CondBranches()}
+	var mix [256]uint64
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		var n uint64
+		for pc, c := range res.PerPC[fi] {
+			n += c
+			mix[f.Code[pc].Op] += c
+		}
+		if n > 0 {
+			r.PerFunc = append(r.PerFunc, FuncCount{Name: f.Name, Instrs: n})
+		}
+	}
+	sort.Slice(r.PerFunc, func(i, j int) bool {
+		if r.PerFunc[i].Instrs != r.PerFunc[j].Instrs {
+			return r.PerFunc[i].Instrs > r.PerFunc[j].Instrs
+		}
+		return r.PerFunc[i].Name < r.PerFunc[j].Name
+	})
+	for op, c := range mix {
+		if c > 0 {
+			r.Mix = append(r.Mix, MixEntry{Op: isa.Op(op), Count: c})
+		}
+	}
+	sort.Slice(r.Mix, func(i, j int) bool {
+		if r.Mix[i].Count != r.Mix[j].Count {
+			return r.Mix[i].Count > r.Mix[j].Count
+		}
+		return r.Mix[i].Op < r.Mix[j].Op
+	})
+	return r, nil
+}
+
+// String renders the report as text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pixie report for %s\n", r.Program)
+	fmt.Fprintf(&b, "  total instructions: %d\n", r.Total)
+	fmt.Fprintf(&b, "  conditional branches: %d (1 per %.1f instructions)\n", r.CondBranches, r.BranchDensity())
+	fmt.Fprintf(&b, "  hottest functions:\n")
+	for i, fcount := range r.PerFunc {
+		if i >= 10 {
+			break
+		}
+		fmt.Fprintf(&b, "    %-20s %12d (%.1f%%)\n", fcount.Name, fcount.Instrs, 100*float64(fcount.Instrs)/float64(r.Total))
+	}
+	fmt.Fprintf(&b, "  instruction mix:\n")
+	for i, me := range r.Mix {
+		if i >= 12 {
+			break
+		}
+		fmt.Fprintf(&b, "    %-8s %12d (%.1f%%)\n", me.Op, me.Count, 100*float64(me.Count)/float64(r.Total))
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package pixie
+
+import (
+	"strings"
+	"testing"
+
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+)
+
+const src = `
+func hot() int {
+	var i int;
+	var s int = 0;
+	for (i = 0; i < 200; i = i + 1) {
+		s = s + i;
+	}
+	return s;
+}
+func cold() int { return 1; }
+func main() int {
+	var r int = hot();
+	r = r + cold();
+	return r;
+}
+`
+
+func analyze(t *testing.T) *Report {
+	t.Helper()
+	prog, err := mfc.Compile("pixprog", src, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(prog, nil, &vm.Config{PerPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(prog, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != res.Instrs {
+		t.Errorf("report total %d != run total %d", rep.Total, res.Instrs)
+	}
+	return rep
+}
+
+func TestHottestFunctionFirst(t *testing.T) {
+	rep := analyze(t)
+	if len(rep.PerFunc) < 3 {
+		t.Fatalf("per-func entries: %d", len(rep.PerFunc))
+	}
+	if rep.PerFunc[0].Name != "hot" {
+		t.Errorf("hottest = %s, want hot", rep.PerFunc[0].Name)
+	}
+	var sum uint64
+	for _, f := range rep.PerFunc {
+		sum += f.Instrs
+	}
+	if sum != rep.Total {
+		t.Errorf("per-func sums to %d, total %d", sum, rep.Total)
+	}
+}
+
+func TestMixSumsToTotal(t *testing.T) {
+	rep := analyze(t)
+	var sum uint64
+	for _, m := range rep.Mix {
+		sum += m.Count
+	}
+	if sum != rep.Total {
+		t.Errorf("mix sums to %d, total %d", sum, rep.Total)
+	}
+}
+
+func TestBranchDensity(t *testing.T) {
+	rep := analyze(t)
+	d := rep.BranchDensity()
+	if d <= 1 || d > 100 {
+		t.Errorf("branch density = %v, expected a small loop-dominated value", d)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	rep := analyze(t)
+	out := rep.String()
+	for _, want := range []string{"pixprog", "total instructions", "hot", "instruction mix"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeRequiresPerPC(t *testing.T) {
+	prog, err := mfc.Compile("pixprog", src, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(prog, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, res); err == nil {
+		t.Error("Analyze should require per-PC counts")
+	}
+}

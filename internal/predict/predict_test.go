@@ -1,0 +1,269 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/isa"
+)
+
+func sites(n int) []isa.BranchSite {
+	out := make([]isa.BranchSite, n)
+	for i := range out {
+		out[i] = isa.BranchSite{ID: i, LoopBack: i%3 == 0}
+	}
+	return out
+}
+
+func profile(taken, total []uint64) *ifprob.Profile {
+	return &ifprob.Profile{Program: "p", Dataset: "d", Taken: taken, Total: total}
+}
+
+func TestFromProfileMajority(t *testing.T) {
+	p := profile([]uint64{9, 1, 5, 0}, []uint64{10, 10, 10, 0})
+	pr, err := FromProfile(p, sites(4), AlwaysNotTaken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Direction{Taken, NotTaken, Taken /* ties go taken */, NotTaken /* fallback */}
+	for i, d := range want {
+		if pr.Dir[i] != d {
+			t.Errorf("site %d = %v, want %v", i, pr.Dir[i], d)
+		}
+	}
+	if pr.FromProfile[3] {
+		t.Error("unseen site marked as profiled")
+	}
+	if !pr.FromProfile[0] {
+		t.Error("seen site not marked as profiled")
+	}
+}
+
+func TestHeuristics(t *testing.T) {
+	ss := sites(6)
+	pr := FromHeuristic(ss, LoopHeuristic)
+	for i, s := range ss {
+		want := NotTaken
+		if s.LoopBack {
+			want = Taken
+		}
+		if pr.Dir[i] != want {
+			t.Errorf("site %d = %v, want %v", i, pr.Dir[i], want)
+		}
+	}
+	if d := AlwaysTaken(ss[1]); d != Taken {
+		t.Errorf("AlwaysTaken = %v", d)
+	}
+	if d := AlwaysNotTaken(ss[0]); d != NotTaken {
+		t.Errorf("AlwaysNotTaken = %v", d)
+	}
+}
+
+func TestEvaluateCountsMispredicts(t *testing.T) {
+	target := profile([]uint64{8, 2}, []uint64{10, 10})
+	pr := &Prediction{Dir: []Direction{Taken, Taken}, FromProfile: []bool{true, true}}
+	ev, err := Evaluate(pr, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Executed != 20 {
+		t.Errorf("executed = %d", ev.Executed)
+	}
+	// site 0 predicted taken: 2 misses; site 1 predicted taken: 8 misses
+	if ev.Mispredicts != 10 {
+		t.Errorf("mispredicts = %d, want 10", ev.Mispredicts)
+	}
+	if ev.PercentCorrect() != 0.5 {
+		t.Errorf("percent = %v", ev.PercentCorrect())
+	}
+}
+
+func TestCombineScaledEqualizesDatasets(t *testing.T) {
+	// Dataset A is tiny but consistent (taken); dataset B is huge and
+	// opposite (not taken). Unscaled lets B win; scaled splits evenly
+	// and a third small dataset breaks the tie.
+	a := profile([]uint64{10}, []uint64{10})
+	b := profile([]uint64{0}, []uint64{100000})
+	c := profile([]uint64{4}, []uint64{5})
+	ss := sites(1)
+	ss[0].LoopBack = false
+
+	un, err := Combine([]*ifprob.Profile{a, b, c}, Unscaled, ss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.Dir[0] != NotTaken {
+		t.Error("unscaled should let the long run dominate (not taken)")
+	}
+	sc, err := Combine([]*ifprob.Profile{a, b, c}, Scaled, ss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Dir[0] != Taken {
+		t.Error("scaled should weight datasets equally (taken wins 2:1)")
+	}
+	po, err := Combine([]*ifprob.Profile{a, b, c}, Polling, ss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.Dir[0] != Taken {
+		t.Error("polling should count votes (2 taken vs 1 not)")
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	if _, err := Combine(nil, Scaled, sites(1), nil); err == nil {
+		t.Error("combining zero profiles should fail")
+	}
+	a := profile([]uint64{1}, []uint64{1})
+	if _, err := Combine([]*ifprob.Profile{a}, Scaled, sites(2), nil); err == nil {
+		t.Error("site count mismatch should fail")
+	}
+	if _, err := Evaluate(&Prediction{Dir: make([]Direction, 3)}, a); err == nil {
+		t.Error("evaluate with mismatched sites should fail")
+	}
+}
+
+// TestSelfPredictionOptimal is the key property: predicting each
+// branch in its own majority direction minimizes mispredicts, so no
+// other static prediction can beat the self oracle.
+func TestSelfPredictionOptimal(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%20) + 1
+		taken := make([]uint64, k)
+		total := make([]uint64, k)
+		for i := range total {
+			total[i] = uint64(rng.Intn(1000))
+			if total[i] > 0 {
+				taken[i] = uint64(rng.Intn(int(total[i] + 1)))
+			}
+		}
+		target := profile(taken, total)
+		ss := sites(k)
+		self, err := FromProfile(target, ss, nil)
+		if err != nil {
+			return false
+		}
+		selfEval, err := Evaluate(self, target)
+		if err != nil {
+			return false
+		}
+		// Compare against random predictions.
+		for trial := 0; trial < 20; trial++ {
+			pr := &Prediction{Dir: make([]Direction, k), FromProfile: make([]bool, k)}
+			for i := range pr.Dir {
+				if rng.Intn(2) == 1 {
+					pr.Dir[i] = Taken
+				}
+			}
+			ev, err := Evaluate(pr, target)
+			if err != nil {
+				return false
+			}
+			if ev.Mispredicts < selfEval.Mispredicts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvaluateConservation: correct + mispredicted = executed, under
+// arbitrary profiles and predictions.
+func TestEvaluateConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(30) + 1
+		taken := make([]uint64, k)
+		total := make([]uint64, k)
+		pr := &Prediction{Dir: make([]Direction, k), FromProfile: make([]bool, k)}
+		for i := 0; i < k; i++ {
+			total[i] = uint64(rng.Intn(500))
+			if total[i] > 0 {
+				taken[i] = uint64(rng.Intn(int(total[i] + 1)))
+			}
+			if rng.Intn(2) == 1 {
+				pr.Dir[i] = Taken
+			}
+		}
+		ev, err := Evaluate(pr, profile(taken, total))
+		if err != nil {
+			return false
+		}
+		return ev.Correct()+ev.Mispredicts == ev.Executed && ev.Mispredicts <= ev.Executed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScaledSumScaleInvariance: multiplying one dataset's counts by a
+// constant must not change the scaled-sum prediction.
+func TestScaledSumScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(10) + 1
+		mk := func() *ifprob.Profile {
+			taken := make([]uint64, k)
+			total := make([]uint64, k)
+			for i := 0; i < k; i++ {
+				total[i] = uint64(rng.Intn(50) + 1)
+				taken[i] = uint64(rng.Intn(int(total[i] + 1)))
+			}
+			return profile(taken, total)
+		}
+		a, b := mk(), mk()
+		scale := uint64(rng.Intn(100) + 2)
+		b2 := b.Clone()
+		for i := range b2.Total {
+			b2.Taken[i] *= scale
+			b2.Total[i] *= scale
+		}
+		ss := sites(k)
+		p1, err := Combine([]*ifprob.Profile{a, b}, Scaled, ss, nil)
+		if err != nil {
+			return false
+		}
+		p2, err := Combine([]*ifprob.Profile{a, b2}, Scaled, ss, nil)
+		if err != nil {
+			return false
+		}
+		for i := range p1.Dir {
+			if p1.Dir[i] != p2.Dir[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluatePerSite(t *testing.T) {
+	target := profile([]uint64{3, 7}, []uint64{10, 10})
+	ss := sites(2)
+	pr := &Prediction{Dir: []Direction{NotTaken, NotTaken}, FromProfile: []bool{true, true}}
+	per, err := EvaluatePerSite(pr, target, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per[0].Mispredicts != 3 || per[1].Mispredicts != 7 {
+		t.Errorf("per-site mispredicts = %d/%d, want 3/7", per[0].Mispredicts, per[1].Mispredicts)
+	}
+}
+
+func TestModeAndDirectionStrings(t *testing.T) {
+	if Scaled.String() != "scaled" || Unscaled.String() != "unscaled" || Polling.String() != "polling" {
+		t.Error("mode names wrong")
+	}
+	if Taken.String() != "taken" || NotTaken.String() != "not-taken" {
+		t.Error("direction names wrong")
+	}
+}

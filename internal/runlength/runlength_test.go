@@ -1,0 +1,94 @@
+package runlength
+
+import (
+	"strings"
+	"testing"
+
+	"branchprof/internal/predict"
+	"branchprof/internal/vm"
+)
+
+func recorder(dirs ...predict.Direction) *Recorder {
+	return New(&predict.Prediction{Dir: dirs, FromProfile: make([]bool, len(dirs))})
+}
+
+func TestRecordsMispredictGaps(t *testing.T) {
+	r := recorder(predict.Taken)
+	r.Branch(0, true, 10)  // correct: no break
+	r.Branch(0, false, 25) // mispredict: run of 25
+	r.Branch(0, false, 40) // mispredict: run of 15
+	r.Branch(0, true, 90)  // correct
+	runs := r.Runs()
+	if len(runs) != 2 || runs[0] != 25 || runs[1] != 15 {
+		t.Errorf("runs = %v, want [25 15]", runs)
+	}
+}
+
+func TestIndirectTransfersBreak(t *testing.T) {
+	r := recorder(predict.NotTaken)
+	r.Transfer(vm.TransferIndirectCall, 100)
+	r.Transfer(vm.TransferCall, 150)   // direct: not a break
+	r.Transfer(vm.TransferReturn, 180) // direct: not a break
+	r.Transfer(vm.TransferIndirectReturn, 200)
+	r.Transfer(vm.TransferJump, 220) // jumps never break
+	runs := r.Runs()
+	if len(runs) != 2 || runs[0] != 100 || runs[1] != 100 {
+		t.Errorf("runs = %v, want [100 100]", runs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := recorder(predict.NotTaken)
+	// Breaks at 10, 20, 30, ..., 100: ten runs of 10.
+	for i := uint64(1); i <= 10; i++ {
+		r.Branch(0, true, 10*i)
+	}
+	s := r.Summarize()
+	if s.Count != 10 || s.Mean != 10 || s.Median != 10 || s.Max != 10 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.CV != 0 {
+		t.Errorf("constant runs should have CV 0, got %v", s.CV)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	r := recorder(predict.NotTaken)
+	s := r.Summarize()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestSummarizeSkewed(t *testing.T) {
+	r := recorder(predict.NotTaken)
+	// 99 runs of 1 and one run of 1000: high CV, median 1, max 1000.
+	at := uint64(0)
+	for i := 0; i < 99; i++ {
+		at++
+		r.Branch(0, true, at)
+	}
+	at += 1000
+	r.Branch(0, true, at)
+	s := r.Summarize()
+	if s.Median != 1 || s.Max != 1000 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.CV < 5 {
+		t.Errorf("CV = %v, want high for a skewed distribution", s.CV)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := recorder(predict.NotTaken)
+	for _, at := range []uint64{1, 3, 7, 1007} {
+		r.Branch(0, true, at)
+	}
+	h := r.Histogram(12)
+	if !strings.Contains(h, "2^0") || !strings.Contains(h, "#") {
+		t.Errorf("histogram:\n%s", h)
+	}
+	if len(strings.Split(strings.TrimSpace(h), "\n")) != 13 {
+		t.Errorf("histogram should have 13 buckets:\n%s", h)
+	}
+}

@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"branchprof/internal/isa"
+)
+
+// evalBinary runs a single binary operation through the VM.
+func evalBinary(t *testing.T, op isa.Op, a, b int64) (int64, error) {
+	t.Helper()
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: a},
+		{Op: isa.OpLdi, C: 1, Imm: b},
+		{Op: op, C: 2, A: 0, B: 1},
+		{Op: isa.OpRet, A: 2},
+	}, 3, 0, 0)
+	res, err := Run(p, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.ExitCode, nil
+}
+
+// TestIntSemanticsMatchGo: every integer ALU op agrees with Go's
+// int64 semantics on random operands (Go and the VM both use two's
+// complement with wrapping).
+func TestIntSemanticsMatchGo(t *testing.T) {
+	f := func(a, b int64) bool {
+		cases := []struct {
+			op   isa.Op
+			want func(a, b int64) int64
+		}{
+			{isa.OpAdd, func(a, b int64) int64 { return a + b }},
+			{isa.OpSub, func(a, b int64) int64 { return a - b }},
+			{isa.OpMul, func(a, b int64) int64 { return a * b }},
+			{isa.OpAnd, func(a, b int64) int64 { return a & b }},
+			{isa.OpOr, func(a, b int64) int64 { return a | b }},
+			{isa.OpXor, func(a, b int64) int64 { return a ^ b }},
+			{isa.OpSlt, func(a, b int64) int64 { return b2i(a < b) }},
+			{isa.OpSle, func(a, b int64) int64 { return b2i(a <= b) }},
+			{isa.OpSeq, func(a, b int64) int64 { return b2i(a == b) }},
+			{isa.OpSne, func(a, b int64) int64 { return b2i(a != b) }},
+		}
+		for _, c := range cases {
+			got, err := evalBinary(t, c.op, a, b)
+			if err != nil || got != c.want(a, b) {
+				return false
+			}
+		}
+		// Division and remainder avoid the zero divisor; Go's
+		// truncated division is the reference.
+		if b != 0 && !(a == math.MinInt64 && b == -1) {
+			if got, err := evalBinary(t, isa.OpDiv, a, b); err != nil || got != a/b {
+				return false
+			}
+			if got, err := evalBinary(t, isa.OpRem, a, b); err != nil || got != a%b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShiftSemanticsMatchGo over the legal shift range.
+func TestShiftSemanticsMatchGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		a := rng.Int63() - rng.Int63()
+		sh := int64(rng.Intn(64))
+		if got, err := evalBinary(t, isa.OpShl, a, sh); err != nil || got != a<<uint(sh) {
+			t.Fatalf("%d << %d: got %d want %d (%v)", a, sh, got, a<<uint(sh), err)
+		}
+		if got, err := evalBinary(t, isa.OpShr, a, sh); err != nil || got != a>>uint(sh) {
+			t.Fatalf("%d >> %d: got %d want %d (%v)", a, sh, got, a>>uint(sh), err)
+		}
+	}
+}
+
+// TestFloatSemanticsMatchGo: float ops are IEEE doubles exactly as Go
+// computes them.
+func TestFloatSemanticsMatchGo(t *testing.T) {
+	evalF := func(op isa.Op, a, b float64) float64 {
+		p := prog([]isa.Instr{
+			{Op: isa.OpLdf, C: 0, FImm: a},
+			{Op: isa.OpLdf, C: 1, FImm: b},
+			{Op: op, C: 2, A: 0, B: 1},
+			{Op: isa.OpLdf, C: 3, FImm: 1e9},
+			{Op: isa.OpFMul, C: 2, A: 2, B: 3},
+			{Op: isa.OpCvtFI, C: 0, A: 2},
+			{Op: isa.OpRet, A: 0},
+		}, 1, 4, 0)
+		res, err := Run(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.ExitCode) / 1e9
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()*4 - 2
+		b := rng.Float64()*4 - 2
+		if got, want := evalF(isa.OpFAdd, a, b), a+b; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("fadd(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := evalF(isa.OpFMul, a, b), a*b; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("fmul(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+// TestDeterminismProperty: any short random instruction mix runs
+// identically twice.
+func TestDeterminismProperty(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var code []isa.Instr
+		for i := 0; i < 20; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				code = append(code, isa.Instr{Op: isa.OpLdi, C: int32(rng.Intn(4)), Imm: int64(rng.Intn(100))})
+			case 1:
+				code = append(code, isa.Instr{Op: isa.OpAdd, C: int32(rng.Intn(4)), A: int32(rng.Intn(4)), B: int32(rng.Intn(4))})
+			case 2:
+				code = append(code, isa.Instr{Op: isa.OpXor, C: int32(rng.Intn(4)), A: int32(rng.Intn(4)), B: int32(rng.Intn(4))})
+			case 3:
+				code = append(code, isa.Instr{Op: isa.OpGetc, C: int32(rng.Intn(4))})
+			default:
+				code = append(code, isa.Instr{Op: isa.OpPutc, A: int32(rng.Intn(4))})
+			}
+		}
+		code = append(code, isa.Instr{Op: isa.OpRet, A: 0})
+		p := prog(code, 4, 0, 0)
+		input := make([]byte, rng.Intn(16))
+		rng.Read(input)
+		r1, err1 := Run(p, input, nil)
+		r2, err2 := Run(p, input, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("seed %d: divergent errors %v / %v", seed, err1, err2)
+		}
+		if err1 == nil && (r1.ExitCode != r2.ExitCode || r1.Instrs != r2.Instrs || string(r1.Output) != string(r2.Output)) {
+			t.Fatalf("seed %d: nondeterministic", seed)
+		}
+	}
+}

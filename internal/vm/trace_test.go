@@ -1,0 +1,111 @@
+package vm
+
+import (
+	"testing"
+
+	"branchprof/internal/isa"
+)
+
+// recordingTracer captures every event the VM reports.
+type recordingTracer struct {
+	branches  []bool
+	sites     []int32
+	transfers []TransferKind
+	instrs    []uint64
+}
+
+func (r *recordingTracer) Branch(site int32, taken bool, instrs uint64) {
+	r.sites = append(r.sites, site)
+	r.branches = append(r.branches, taken)
+	r.instrs = append(r.instrs, instrs)
+}
+
+func (r *recordingTracer) Transfer(kind TransferKind, instrs uint64) {
+	r.transfers = append(r.transfers, kind)
+	r.instrs = append(r.instrs, instrs)
+}
+
+func TestTracerSeesEveryEvent(t *testing.T) {
+	callee := isa.Func{
+		Name: "f", Kind: isa.FuncInt, NumIRegs: 1,
+		Code: []isa.Instr{{Op: isa.OpRet, A: 0}},
+	}
+	main := isa.Func{
+		Name: "main", Kind: isa.FuncInt, NumIRegs: 4,
+		Code: []isa.Instr{
+			{Op: isa.OpLdi, C: 0, Imm: 0},            // 0: i = 0
+			{Op: isa.OpLdi, C: 1, Imm: 3},            // 1: n
+			{Op: isa.OpLdi, C: 3, Imm: 1},            // 2: one
+			{Op: isa.OpCall, C: 2, Target: 1},        // 3: call f (direct)
+			{Op: isa.OpAdd, C: 0, A: 0, B: 3},        // 4: i++
+			{Op: isa.OpSlt, C: 2, A: 0, B: 1},        // 5: i < n
+			{Op: isa.OpBr, A: 2, Target: 3, Site: 0}, // 6: loop
+			{Op: isa.OpJmp, Target: 8},               // 7: jump
+			{Op: isa.OpRet, A: 0},                    // 8
+		},
+	}
+	p := &isa.Program{
+		Funcs: []isa.Func{main, callee}, Main: 0, IntMem: 1, FloatMem: 1,
+		Sites: []isa.BranchSite{{ID: 0, Func: "main"}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := &recordingTracer{}
+	res, err := Run(p, nil, &Config{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 loop iterations: 3 branch events (2 taken, 1 not).
+	if len(tr.branches) != 3 {
+		t.Fatalf("branch events = %d, want 3", len(tr.branches))
+	}
+	taken := 0
+	for _, b := range tr.branches {
+		if b {
+			taken++
+		}
+	}
+	if taken != 2 {
+		t.Errorf("taken events = %d, want 2", taken)
+	}
+	// Tracer and counters must agree.
+	if uint64(len(tr.branches)) != res.CondBranches() {
+		t.Errorf("tracer saw %d branches, counters say %d", len(tr.branches), res.CondBranches())
+	}
+	// Transfers: 3 calls + 3 returns + 1 jump.
+	var calls, rets, jumps int
+	for _, k := range tr.transfers {
+		switch k {
+		case TransferCall:
+			calls++
+		case TransferReturn:
+			rets++
+		case TransferJump:
+			jumps++
+		}
+	}
+	if calls != 3 || rets != 3 || jumps != 1 {
+		t.Errorf("transfers = %d calls %d rets %d jumps, want 3/3/1", calls, rets, jumps)
+	}
+	// Event instruction stamps must be nondecreasing and within total.
+	var last uint64
+	for _, at := range tr.instrs {
+		if at < last || at > res.Instrs {
+			t.Fatalf("event stamp %d out of order (last %d, total %d)", at, last, res.Instrs)
+		}
+		last = at
+	}
+}
+
+func TestTransferKindStrings(t *testing.T) {
+	kinds := []TransferKind{TransferJump, TransferCall, TransferReturn, TransferIndirectCall, TransferIndirectReturn}
+	for _, k := range kinds {
+		if k.String() == "transfer(?)" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if TransferKind(99).String() != "transfer(?)" {
+		t.Error("unknown kind should render as placeholder")
+	}
+}

@@ -1,0 +1,311 @@
+package vm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"branchprof/internal/isa"
+)
+
+// prog wraps a single main function into a runnable program.
+func prog(code []isa.Instr, iregs, fregs int, sites int) *isa.Program {
+	p := &isa.Program{
+		Funcs: []isa.Func{{
+			Name: "main", Kind: isa.FuncInt,
+			NumIRegs: iregs, NumFRegs: fregs, Code: code,
+		}},
+		Main: 0, IntMem: 16, FloatMem: 16,
+	}
+	for i := 0; i < sites; i++ {
+		p.Sites = append(p.Sites, isa.BranchSite{ID: i, Func: "main"})
+	}
+	return p
+}
+
+func run(t *testing.T, p *isa.Program, input []byte, cfg *Config) *Result {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	res, err := Run(p, input, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestIntArithmetic(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b int64
+		want int64
+	}{
+		{isa.OpAdd, 7, 5, 12},
+		{isa.OpSub, 7, 5, 2},
+		{isa.OpMul, 7, 5, 35},
+		{isa.OpDiv, 7, 5, 1},
+		{isa.OpDiv, -7, 5, -1},
+		{isa.OpRem, 7, 5, 2},
+		{isa.OpRem, -7, 5, -2},
+		{isa.OpAnd, 0b1100, 0b1010, 0b1000},
+		{isa.OpOr, 0b1100, 0b1010, 0b1110},
+		{isa.OpXor, 0b1100, 0b1010, 0b0110},
+		{isa.OpShl, 3, 4, 48},
+		{isa.OpShr, -16, 2, -4},
+		{isa.OpSlt, 3, 4, 1},
+		{isa.OpSlt, 4, 3, 0},
+		{isa.OpSle, 4, 4, 1},
+		{isa.OpSeq, 4, 4, 1},
+		{isa.OpSne, 4, 4, 0},
+	}
+	for _, c := range cases {
+		p := prog([]isa.Instr{
+			{Op: isa.OpLdi, C: 0, Imm: c.a},
+			{Op: isa.OpLdi, C: 1, Imm: c.b},
+			{Op: c.op, C: 2, A: 0, B: 1},
+			{Op: isa.OpRet, A: 2},
+		}, 3, 0, 0)
+		res := run(t, p, nil, nil)
+		if res.ExitCode != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, res.ExitCode, c.want)
+		}
+		if res.Instrs != 4 {
+			t.Errorf("%v: executed %d instructions, want 4", c.op, res.Instrs)
+		}
+	}
+}
+
+func TestFloatOpsAndConversion(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdf, C: 0, FImm: 2.25},
+		{Op: isa.OpLdf, C: 1, FImm: 4.0},
+		{Op: isa.OpFMul, C: 2, A: 0, B: 1}, // 9.0
+		{Op: isa.OpSqrt, C: 3, A: 2},       // 3.0
+		{Op: isa.OpCvtFI, C: 0, A: 3},
+		{Op: isa.OpRet, A: 0},
+	}, 1, 4, 0)
+	res := run(t, p, nil, nil)
+	if res.ExitCode != 3 {
+		t.Errorf("sqrt(2.25*4) = %d, want 3", res.ExitCode)
+	}
+}
+
+func TestBranchCounting(t *testing.T) {
+	// Loop 5 times using a conditional branch; site 0 should be
+	// taken 5 times, not taken once.
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: 0},     // i = 0
+		{Op: isa.OpLdi, C: 1, Imm: 5},     // n = 5
+		{Op: isa.OpLdi, C: 3, Imm: 1},     // one
+		{Op: isa.OpAdd, C: 0, A: 0, B: 3}, // i++
+		{Op: isa.OpSlt, C: 2, A: 0, B: 1}, // i < n
+		{Op: isa.OpBr, A: 2, Target: 3, Site: 0},
+		{Op: isa.OpRet, A: 0},
+	}, 4, 0, 1)
+	res := run(t, p, nil, nil)
+	if res.ExitCode != 5 {
+		t.Fatalf("exit = %d, want 5", res.ExitCode)
+	}
+	if res.SiteTotal[0] != 5 || res.SiteTaken[0] != 4 {
+		t.Errorf("site 0 = %d/%d, want 4 taken of 5", res.SiteTaken[0], res.SiteTotal[0])
+	}
+}
+
+func TestMemoryAndIO(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpGetc, C: 0},
+		{Op: isa.OpLdi, C: 1, Imm: 0},
+		{Op: isa.OpSt, A: 1, B: 0, Imm: 3}, // imem[3] = input byte
+		{Op: isa.OpLd, C: 2, A: 1, Imm: 3},
+		{Op: isa.OpPutc, A: 2},
+		{Op: isa.OpGetc, C: 0}, // EOF -> -1
+		{Op: isa.OpRet, A: 0},
+	}, 3, 0, 0)
+	res := run(t, p, []byte("Q"), nil)
+	if string(res.Output) != "Q" {
+		t.Errorf("output = %q, want Q", res.Output)
+	}
+	if res.ExitCode != -1 {
+		t.Errorf("EOF getc = %d, want -1", res.ExitCode)
+	}
+}
+
+func TestTrapDivideByZero(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: 1},
+		{Op: isa.OpLdi, C: 1, Imm: 0},
+		{Op: isa.OpDiv, C: 2, A: 0, B: 1},
+		{Op: isa.OpRet, A: 2},
+	}, 3, 0, 0)
+	_, err := Run(p, nil, nil)
+	var re *RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected RuntimeError, got %v", err)
+	}
+	if !strings.Contains(re.Error(), "divide by zero") {
+		t.Errorf("error = %v, want divide by zero", re)
+	}
+}
+
+func TestTrapOutOfRangeLoad(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: 99999},
+		{Op: isa.OpLd, C: 1, A: 0},
+		{Op: isa.OpRet, A: 1},
+	}, 2, 0, 0)
+	if _, err := Run(p, nil, nil); err == nil {
+		t.Fatal("expected out-of-range trap")
+	}
+	p = prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: -1},
+		{Op: isa.OpSt, A: 0, B: 0},
+		{Op: isa.OpRet, A: 0},
+	}, 1, 0, 0)
+	if _, err := Run(p, nil, nil); err == nil {
+		t.Fatal("expected negative-address trap")
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpJmp, Target: 0},
+		{Op: isa.OpRet, A: 0},
+	}, 1, 0, 0)
+	_, err := Run(p, nil, &Config{Fuel: 1000})
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("expected ErrFuel, got %v", err)
+	}
+}
+
+func TestCallsAndReturns(t *testing.T) {
+	// main calls fn directly then indirectly; fn doubles its argument.
+	fn := isa.Func{
+		Name: "double", Kind: isa.FuncInt, NumParams: 1, NumIRegs: 2,
+		FParams: []bool{false},
+		Code: []isa.Instr{
+			{Op: isa.OpAdd, C: 1, A: 0, B: 0},
+			{Op: isa.OpRet, A: 1},
+		},
+	}
+	main := isa.Func{
+		Name: "main", Kind: isa.FuncInt, NumIRegs: 4,
+		Code: []isa.Instr{
+			{Op: isa.OpLdi, C: 0, Imm: 21},
+			{Op: isa.OpCall, A: 0, B: 0, C: 1, Target: 1}, // direct
+			{Op: isa.OpLdi, C: 2, Imm: 1},                 // function index of fn
+			{Op: isa.OpICall, A: 2, B: 1, C: 3},           // indirect: double(42)
+			{Op: isa.OpRet, A: 3},
+		},
+	}
+	p := &isa.Program{Funcs: []isa.Func{main, fn}, Main: 0, IntMem: 1, FloatMem: 1}
+	res := run(t, p, nil, nil)
+	if res.ExitCode != 84 {
+		t.Fatalf("exit = %d, want 84", res.ExitCode)
+	}
+	if res.DirectCalls != 1 || res.IndirectCalls != 1 {
+		t.Errorf("calls = %d direct %d indirect, want 1/1", res.DirectCalls, res.IndirectCalls)
+	}
+	if res.DirectReturns != 1 || res.IndirectReturns != 1 {
+		t.Errorf("returns = %d direct %d indirect, want 1/1", res.DirectReturns, res.IndirectReturns)
+	}
+	if res.MaxDepth != 2 {
+		t.Errorf("max depth = %d, want 2", res.MaxDepth)
+	}
+}
+
+func TestStackOverflowTrap(t *testing.T) {
+	// main calls itself forever.
+	p := &isa.Program{
+		Funcs: []isa.Func{{
+			Name: "main", Kind: isa.FuncInt, NumIRegs: 1,
+			Code: []isa.Instr{
+				{Op: isa.OpCall, C: 0, Target: 0},
+				{Op: isa.OpRet, A: 0},
+			},
+		}},
+		Main: 0, IntMem: 1, FloatMem: 1,
+	}
+	_, err := Run(p, nil, &Config{MaxDepth: 50})
+	if err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Fatalf("expected stack overflow, got %v", err)
+	}
+}
+
+func TestIndirectCallBadIndexTrap(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: 42},
+		{Op: isa.OpICall, A: 0, B: 0, C: 1},
+		{Op: isa.OpRet, A: 1},
+	}, 2, 0, 0)
+	if _, err := Run(p, nil, nil); err == nil {
+		t.Fatal("expected bad function index trap")
+	}
+}
+
+func TestPerPCCounts(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: 0},
+		{Op: isa.OpLdi, C: 1, Imm: 3},
+		{Op: isa.OpLdi, C: 3, Imm: 1},
+		{Op: isa.OpAdd, C: 0, A: 0, B: 3},
+		{Op: isa.OpSlt, C: 2, A: 0, B: 1},
+		{Op: isa.OpBr, A: 2, Target: 3, Site: 0},
+		{Op: isa.OpRet, A: 0},
+	}, 4, 0, 1)
+	res := run(t, p, nil, &Config{PerPC: true})
+	if res.PerPC == nil {
+		t.Fatal("expected per-PC counts")
+	}
+	if res.PerPC[0][3] != 3 {
+		t.Errorf("loop body executed %d times, want 3", res.PerPC[0][3])
+	}
+	var sum uint64
+	for _, c := range res.PerPC[0] {
+		sum += c
+	}
+	if sum != res.Instrs {
+		t.Errorf("per-PC counts sum to %d, total is %d", sum, res.Instrs)
+	}
+}
+
+func TestOutputLimit(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: 'x'},
+		{Op: isa.OpPutc, A: 0},
+		{Op: isa.OpJmp, Target: 1},
+		{Op: isa.OpRet, A: 0},
+	}, 1, 0, 0)
+	_, err := Run(p, nil, &Config{MaxOutput: 100})
+	if err == nil || !strings.Contains(err.Error(), "output limit") {
+		t.Fatalf("expected output limit trap, got %v", err)
+	}
+}
+
+func TestCvtFIOverflowTrap(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdf, C: 0, FImm: math.Inf(1)},
+		{Op: isa.OpCvtFI, C: 0, A: 0},
+		{Op: isa.OpRet, A: 0},
+	}, 1, 1, 0)
+	if _, err := Run(p, nil, nil); err == nil {
+		t.Fatal("expected conversion trap on +Inf")
+	}
+}
+
+func TestHaltStopsExecution(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: 9},
+		{Op: isa.OpHalt, A: 0},
+		{Op: isa.OpLdi, C: 0, Imm: 1},
+		{Op: isa.OpRet, A: 0},
+	}, 1, 0, 0)
+	res := run(t, p, nil, nil)
+	if res.ExitCode != 9 {
+		t.Errorf("exit = %d, want 9", res.ExitCode)
+	}
+	if res.Instrs != 2 {
+		t.Errorf("instrs = %d, want 2", res.Instrs)
+	}
+}

@@ -1,0 +1,192 @@
+package workloads
+
+// compress / uncompress: LZW file compression, the analogue of the
+// SPEC 3.0 compress the paper measured. As in the paper, compression
+// and decompression are one program selected by a switch — here the
+// first input byte, 'c' or 'd' — so the compress and uncompress
+// workloads share a compiled image, which is what let the paper
+// observe that one mode's profile is useless for predicting the other.
+const compressMF = `
+// LZW with 12-bit codes emitted as little-endian byte pairs.
+const HASHSIZE = 8192;
+const MAXCODES = 4096;
+
+var hkey[HASHSIZE] int;   // key+1; 0 = empty slot
+var hval[HASHSIZE] int;
+var prefix[MAXCODES] int; // decompressor tables
+var suffix[MAXCODES] int;
+var stack[MAXCODES] int;
+
+func hfind(key int) int {
+	var h int = (key * 2654435761) & (HASHSIZE - 1);
+	while (hkey[h] != 0) {
+		if (hkey[h] == key + 1) {
+			return hval[h];
+		}
+		h = (h + 1) & (HASHSIZE - 1);
+	}
+	return -1;
+}
+
+func hinsert(key int, code int) {
+	var h int = (key * 2654435761) & (HASHSIZE - 1);
+	while (hkey[h] != 0) {
+		h = (h + 1) & (HASHSIZE - 1);
+	}
+	hkey[h] = key + 1;
+	hval[h] = code;
+}
+
+func emit(code int) {
+	putc(code & 255);
+	putc(code >> 8);
+}
+
+func docompress() int {
+	var w int = getc();
+	if (w == -1) {
+		return 0;
+	}
+	var next int = 256;
+	var c int = getc();
+	var n int = 0;
+	while (c != -1) {
+		var key int = w * 256 + c;
+		var f int = hfind(key);
+		if (f >= 0) {
+			w = f;
+		} else {
+			emit(w);
+			n = n + 1;
+			if (next < MAXCODES) {
+				hinsert(key, next);
+				next = next + 1;
+			}
+			w = c;
+		}
+		c = getc();
+	}
+	emit(w);
+	return n + 1;
+}
+
+// getcode reads one little-endian code pair; -1 at end of input.
+func getcode() int {
+	var lo int = getc();
+	if (lo == -1) {
+		return -1;
+	}
+	var hi int = getc();
+	if (hi == -1) {
+		return -1;
+	}
+	return lo | (hi << 8);
+}
+
+// expand writes the string for code, returning its first byte.
+func expand(code int) int {
+	var sp int = 0;
+	while (code >= 256) {
+		stack[sp] = suffix[code];
+		sp = sp + 1;
+		code = prefix[code];
+	}
+	var first int = code;
+	putc(code);
+	while (sp > 0) {
+		sp = sp - 1;
+		putc(stack[sp]);
+	}
+	return first;
+}
+
+// firstbyte returns the first byte of code's string without output.
+func firstbyte(code int) int {
+	while (code >= 256) {
+		code = prefix[code];
+	}
+	return code;
+}
+
+func douncompress() int {
+	var prev int = getcode();
+	if (prev == -1) {
+		return 0;
+	}
+	var next int = 256;
+	var n int = 1;
+	expand(prev);
+	var code int = getcode();
+	while (code != -1) {
+		var first int = 0;
+		if (code < next) {
+			first = expand(code);
+		} else {
+			// KwKwK: the code being defined right now.
+			first = expand(prev);
+			putc(first);
+		}
+		if (next < MAXCODES) {
+			prefix[next] = prev;
+			suffix[next] = first;
+			next = next + 1;
+		}
+		prev = code;
+		n = n + 1;
+		code = getcode();
+	}
+	return n;
+}
+
+func main() int {
+	var mode int = getc();
+	if (mode == 'c') {
+		return docompress();
+	}
+	if (mode == 'd') {
+		return douncompress();
+	}
+	return -1;
+}
+`
+
+// compressDatasets mirrors the paper's five: C source, a compiled
+// image, the long reference text, FORTRAN source, and another
+// compiled image.
+func compressRawInputs() []Dataset {
+	return []Dataset{
+		{Name: "cmprssc", Desc: "C source text", Gen: func() []byte { return cSourceText(40000, 11) }},
+		{Name: "cmprss", Desc: "compiled image of compress", Gen: func() []byte { return binaryImage(40000, 12) }},
+		{Name: "long", Desc: "long English reference text", Gen: func() []byte { return englishText(90000, 13) }},
+		{Name: "spicef", Desc: "FORTRAN source for spice", Gen: func() []byte { return fortranSourceText(40000, 14) }},
+		{Name: "spice", Desc: "compiled image of spice", Gen: func() []byte { return binaryImage(60000, 15) }},
+	}
+}
+
+func init() {
+	raw := compressRawInputs()
+	cds := make([]Dataset, len(raw))
+	uds := make([]Dataset, len(raw))
+	for i, d := range raw {
+		gen := d.Gen
+		cds[i] = Dataset{Name: d.Name, Desc: d.Desc, Gen: func() []byte {
+			return append([]byte{'c'}, gen()...)
+		}}
+		uds[i] = Dataset{Name: d.Name, Desc: d.Desc + " (compressed)", Gen: func() []byte {
+			return append([]byte{'d'}, LZWCompress(gen())...)
+		}}
+	}
+	src := withPrelude(compressMF)
+	register(&Workload{
+		Name: "compress", Lang: C,
+		Desc:     "UNIX file compression (LZW), SPEC 3.0 analogue",
+		Source:   src,
+		Datasets: cds,
+	})
+	register(&Workload{
+		Name: "uncompress", Lang: C,
+		Desc:     "compress with the decompression switch set",
+		Source:   src,
+		Datasets: uds,
+	})
+}

@@ -1,0 +1,343 @@
+package workloads
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+)
+
+// outputOf compiles and runs a workload dataset and returns its text
+// output.
+func outputOf(t *testing.T, wname, dsname string) string {
+	t.Helper()
+	w, err := ByName(wname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mfc.Compile(wname, w.Source, mfc.Options{})
+	if err != nil {
+		t.Fatalf("compile %s: %v", wname, err)
+	}
+	for _, ds := range w.Datasets {
+		if ds.Name == dsname {
+			res, err := vm.Run(prog, ds.Gen(), nil)
+			if err != nil {
+				t.Fatalf("run %s/%s: %v", wname, dsname, err)
+			}
+			return string(res.Output)
+		}
+	}
+	t.Fatalf("no dataset %s", dsname)
+	return ""
+}
+
+// field extracts the integer after a labelled token ("label N").
+func field(t *testing.T, out, label string) int {
+	t.Helper()
+	idx := strings.Index(out, label+" ")
+	if idx < 0 {
+		t.Fatalf("output missing %q: %q", label, out)
+	}
+	rest := out[idx+len(label)+1:]
+	end := strings.IndexAny(rest, "\n ")
+	if end < 0 {
+		end = len(rest)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rest[:end]))
+	if err != nil {
+		t.Fatalf("bad %s field in %q: %v", label, out, err)
+	}
+	return n
+}
+
+// TestSpiffCountsMatchGoDiff cross-checks the MF LCS diff against a
+// straightforward Go implementation on the same inputs.
+func TestSpiffCountsMatchGoDiff(t *testing.T) {
+	w, err := ByName("spiff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range w.Datasets {
+		input := ds.Gen()
+		parts := strings.SplitN(string(input), "\x01", 2)
+		if len(parts) != 2 {
+			t.Fatalf("%s: malformed input", ds.Name)
+		}
+		a := nonEmptyLines(parts[0])
+		b := nonEmptyLines(parts[1])
+		common := lcsLen(a, b)
+		wantDeleted := len(a) - common
+		wantAdded := len(b) - common
+
+		out := outputOf(t, "spiff", ds.Name)
+		if got := field(t, out, "common"); got != common {
+			t.Errorf("%s: common = %d, want %d", ds.Name, got, common)
+		}
+		if got := field(t, out, "deleted"); got != wantDeleted {
+			t.Errorf("%s: deleted = %d, want %d", ds.Name, got, wantDeleted)
+		}
+		if got := field(t, out, "added"); got != wantAdded {
+			t.Errorf("%s: added = %d, want %d", ds.Name, got, wantAdded)
+		}
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func lcsLen(a, b []string) int {
+	dp := make([][]int, len(a)+1)
+	for i := range dp {
+		dp[i] = make([]int, len(b)+1)
+	}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				dp[i][j] = dp[i-1][j-1] + 1
+			} else if dp[i-1][j] > dp[i][j-1] {
+				dp[i][j] = dp[i-1][j]
+			} else {
+				dp[i][j] = dp[i][j-1]
+			}
+		}
+	}
+	return dp[len(a)][len(b)]
+}
+
+// TestEqntottRowCounts checks the truth-table sizes: 2^(2k) rows for
+// the k-bit adders, 2^10 for the priority circuit.
+func TestEqntottRowCounts(t *testing.T) {
+	for _, c := range []struct {
+		ds   string
+		rows int
+	}{
+		{"add4", 1 << 8}, {"add5", 1 << 10}, {"add6", 1 << 12}, {"intpri", 1 << 10},
+	} {
+		out := outputOf(t, "eqntott", c.ds)
+		if got := field(t, out, "rows"); got != c.rows {
+			t.Errorf("%s: rows = %d, want %d", c.ds, got, c.rows)
+		}
+	}
+}
+
+// TestEqntottAdderSemantics spot-checks the generated adder equations
+// against real addition by evaluating the RPN in Go.
+func TestEqntottAdderSemantics(t *testing.T) {
+	k := 4
+	eqs := strings.Split(strings.TrimSpace(string(adderEquations(k))), "\n")[1:]
+	for a := 0; a < 1<<k; a++ {
+		for b := 0; b < 1<<k; b++ {
+			assign := a | b<<k
+			outs := make([]int, 0, len(eqs))
+			for _, eq := range eqs {
+				outs = append(outs, evalRPN(t, eq, assign, outs))
+			}
+			// outs alternate s_i, c_i; reconstruct the sum.
+			sum := 0
+			for i := 0; i < k; i++ {
+				sum |= outs[2*i] << i
+			}
+			carry := outs[2*k-1]
+			want := a + b
+			if sum|carry<<k != want {
+				t.Fatalf("adder(%d,%d): got %d carry %d, want %d", a, b, sum, carry, want)
+			}
+		}
+	}
+}
+
+func evalRPN(t *testing.T, eq string, assign int, outs []int) int {
+	t.Helper()
+	var stack []int
+	push := func(v int) { stack = append(stack, v) }
+	pop := func() int {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	for _, tok := range strings.Fields(strings.TrimSuffix(strings.TrimSpace(eq), ";")) {
+		switch {
+		case strings.HasPrefix(tok, "v"):
+			bit, err := strconv.Atoi(tok[1:])
+			if err != nil {
+				t.Fatalf("bad token %q", tok)
+			}
+			push(assign >> bit & 1)
+		case strings.HasPrefix(tok, "o"):
+			idx, err := strconv.Atoi(tok[1:])
+			if err != nil {
+				t.Fatalf("bad token %q", tok)
+			}
+			push(outs[idx])
+		case tok == "&":
+			b := pop()
+			push(pop() & b)
+		case tok == "|":
+			b := pop()
+			push(pop() | b)
+		case tok == "!":
+			push(1 - pop())
+		default:
+			t.Fatalf("unknown token %q", tok)
+		}
+	}
+	if len(stack) != 1 {
+		t.Fatalf("stack depth %d after %q", len(stack), eq)
+	}
+	return stack[0]
+}
+
+// TestEspressoMinimizes checks the minimizer reduces every dataset's
+// cover and reports zero-size never.
+func TestEspressoMinimizes(t *testing.T) {
+	w, err := ByName("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range w.Datasets {
+		out := outputOf(t, "espresso", ds.Name)
+		in := field(t, out, "in")
+		cubes := field(t, out, "cubes")
+		if cubes <= 0 || cubes >= in {
+			t.Errorf("%s: %d cubes from %d inputs — no minimization", ds.Name, cubes, in)
+		}
+		if float64(cubes) > 0.8*float64(in) {
+			t.Errorf("%s: only reduced %d -> %d; generator should cluster more", ds.Name, in, cubes)
+		}
+	}
+}
+
+// TestMccCompilesCleanly checks the MF-hosted compiler accepts every
+// generated module without diagnostics and emits code.
+func TestMccCompilesCleanly(t *testing.T) {
+	for _, wname := range []string{"gcc", "mfcom"} {
+		w, err := ByName(wname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ds := range w.Datasets {
+			out := outputOf(t, wname, ds.Name)
+			if got := field(t, out, "errs"); got != 0 {
+				t.Errorf("%s/%s: %d compile errors", wname, ds.Name, got)
+			}
+			if got := field(t, out, "syms"); got <= 0 {
+				t.Errorf("%s/%s: no symbols interned", wname, ds.Name)
+			}
+			if !strings.Contains(out, "PUSH") && !strings.Contains(out, "LOAD") {
+				t.Errorf("%s/%s: no code emitted", wname, ds.Name)
+			}
+		}
+	}
+}
+
+// TestSpiceConverges checks every netlist reaches a converged
+// operating point (iteration counts well under the Newton cap).
+func TestSpiceConverges(t *testing.T) {
+	w, err := ByName("spice2g6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range w.Datasets {
+		res, err := vm.Run(prog, ds.Gen(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		out := string(res.Output)
+		if strings.Contains(out, "nan") || strings.Contains(out, "huge") {
+			t.Errorf("%s: non-finite node voltages: %q", ds.Name, out)
+		}
+		iters := field(t, out, "iters")
+		if iters <= 0 {
+			t.Errorf("%s: no Newton iterations", ds.Name)
+		}
+	}
+}
+
+// TestWorkloadOutputsStable pins a few golden outputs so accidental
+// workload changes (which would silently shift every experiment) are
+// caught.
+func TestWorkloadOutputsStable(t *testing.T) {
+	for _, c := range []struct{ w, ds, want string }{
+		{"li", "8queens", "92\n"},
+		{"li", "sievel", "55\n"},
+		{"eqntott", "add4", "rows 256\n"},
+	} {
+		out := outputOf(t, c.w, c.ds)
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s/%s: output %q missing %q", c.w, c.ds, out, c.want)
+		}
+	}
+}
+
+// TestDatasetSizesSpread verifies the deliberate run-length spread:
+// spice2g6's biggest dataset must dwarf its smallest by >1000x, the
+// paper's circuit2-vs-greybig situation.
+func TestDatasetSizesSpread(t *testing.T) {
+	w, err := ByName("spice2g6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max uint64
+	var minName, maxName string
+	for _, ds := range w.Datasets {
+		res, err := vm.Run(prog, ds.Gen(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if min == 0 || res.Instrs < min {
+			min, minName = res.Instrs, ds.Name
+		}
+		if res.Instrs > max {
+			max, maxName = res.Instrs, ds.Name
+		}
+	}
+	if max < 1000*min {
+		t.Errorf("spice dataset spread %s=%d vs %s=%d is below 1000x", minName, min, maxName, max)
+	}
+	if minName != "circuit2" {
+		t.Errorf("smallest dataset is %s, want circuit2", minName)
+	}
+}
+
+// TestSiteIdentitiesUnique: every workload's (label, line, col)
+// triples must be unique so feedback directives re-attach
+// unambiguously. This is the invariant the paper protected by
+// disabling dead code elimination.
+func TestSiteIdentitiesUnique(t *testing.T) {
+	for _, w := range All() {
+		prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		type key struct {
+			label     string
+			line, col int
+		}
+		seen := make(map[key]int)
+		for _, s := range prog.Sites {
+			k := key{s.Label, s.Line, s.Col}
+			if prev, dup := seen[k]; dup {
+				t.Errorf("%s: sites %d and %d share identity %v", w.Name, prev, s.ID, k)
+			}
+			seen[k] = s.ID
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package workloads
+
+// doduc: Monte Carlo simulation of a nuclear reactor component — the
+// analogue tracks neutrons through a two-region core/reflector
+// geometry with energy-dependent interaction sampling: scatter,
+// absorb, fission and leakage decisions drive nested data-dependent
+// conditionals over floating point state, the control character the
+// SPEC program is known for. The tiny/small/ref datasets set the
+// particle count, like the SPEC datasets that differ mainly in how
+// long they run.
+const doducMF = `
+const DODCHK = 0;
+
+var tally[8] int;
+
+// xsect returns an interaction cross-section that depends on energy
+// band and region.
+func xsect(e float, region int) float {
+	var base float = 0.3;
+	if (region == 1) {
+		base = 0.18;
+	}
+	if (e > 1.0) {
+		return base * 0.5 + 0.02 / e;
+	}
+	if (e > 0.1) {
+		return base + 0.05 * (1.0 - e);
+	}
+	return base * 2.0 + 0.1 * (0.1 - e);
+}
+
+func track1() {
+	var x float = 0.0;
+	var dir float = 1.0;
+	var e float = 2.0 + frnd() * 3.0;
+	var alive int = 1;
+	var steps int = 0;
+	while (alive == 1 && steps < 200) {
+		steps = steps + 1;
+		var region int = 0;
+		if (x > 5.0 || x < -5.0) {
+			region = 1;
+		}
+		var sigma float = xsect(e, region);
+		var dist float = -log(frnd() + 0.0000001) / sigma;
+		x = x + dir * dist * 0.3;
+		if (x > 9.0 || x < -9.0) {
+			tally[0] = tally[0] + 1; // leaked
+			alive = 0;
+		} else {
+			var u float = frnd();
+			if (u < 0.06 && region == 0) {
+				tally[1] = tally[1] + 1; // absorbed in core
+				alive = 0;
+			} else if (u < 0.09) {
+				tally[2] = tally[2] + 1; // absorbed in reflector
+				alive = 0;
+			} else if (u < 0.11 && e > 1.5 && region == 0) {
+				tally[3] = tally[3] + 1; // fission
+				alive = 0;
+			} else {
+				// scatter: mild energy loss and mostly forward
+				// scattering, so the per-step branches stay biased
+				e = e * (0.8 + 0.15 * frnd());
+				if (frnd() < 0.1) {
+					dir = -dir;
+				}
+				if (e < 0.001) {
+					tally[4] = tally[4] + 1; // thermalized
+					alive = 0;
+				}
+				tally[5] = tally[5] + 1;
+				if (DODCHK != 0) {
+					if (e != e) { puts("bad energy\n"); }
+				}
+			}
+		}
+	}
+	if (steps >= 200) {
+		tally[6] = tally[6] + 1;
+	}
+}
+
+func main() int {
+	srand(99991);
+	var n int = geti();
+	var i int;
+	for (i = 0; i < n; i = i + 1) {
+		track1();
+	}
+	puts("leak ");    putiln(tally[0]);
+	puts("abscore "); putiln(tally[1]);
+	puts("absrefl "); putiln(tally[2]);
+	puts("fission "); putiln(tally[3]);
+	puts("thermal "); putiln(tally[4]);
+	puts("scatter "); putiln(tally[5]);
+	puts("stuck ");   putiln(tally[6]);
+	return tally[0] % 1000;
+}
+`
+
+func init() {
+	register(&Workload{
+		Name: "doduc", Lang: Fortran,
+		Desc:   "Monte Carlo nuclear reactor component simulation",
+		Source: withPrelude(doducMF),
+		Datasets: []Dataset{
+			{Name: "tiny", Desc: "2,000 particles", Gen: func() []byte { return []byte("2000\n") }},
+			{Name: "small", Desc: "8,000 particles", Gen: func() []byte { return []byte("8000\n") }},
+			{Name: "ref", Desc: "20,000 particles", Gen: func() []byte { return []byte("20000\n") }},
+		},
+	})
+}

@@ -1,0 +1,208 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// eqntott: converts boolean equations to truth tables. The input is a
+// header "N M" (input variable count, output count) followed by M
+// equations in reverse-polish form — tokens vK (input variable K),
+// oK (previously computed output K), & | !, each equation ended by
+// ';'. The program enumerates all 2^N input assignments, evaluates
+// every output with a stack machine, sorts the rows of the resulting
+// truth table with quicksort, and prints a checksum — the same
+// enumerate/evaluate/sort structure as the SPEC program.
+const eqntottMF = `
+const MAXTOK = 4096;
+const MAXOUT = 32;
+const MAXROWS = 4096;
+
+var rop[MAXTOK] int;   // 0=var, 1=out-ref, 2=and, 3=or, 4=not
+var rarg[MAXTOK] int;
+var ostart[MAXOUT] int;
+var oend[MAXOUT] int;
+var outval[MAXOUT] int;
+var rows[MAXROWS] int;
+var stk[64] int;
+
+var ntok[1] int;
+
+// parse reads one equation's RPN into the token arrays; returns 0 at
+// end of input.
+func parse(out int) int {
+	ostart[out] = ntok[0];
+	var c int = getc();
+	while (c != -1 && c != ';') {
+		if (c == 'v' || c == 'o') {
+			var kind int = 0;
+			if (c == 'o') { kind = 1; }
+			var n int = 0;
+			c = getc();
+			while (c >= '0' && c <= '9') {
+				n = n * 10 + (c - '0');
+				c = getc();
+			}
+			rop[ntok[0]] = kind;
+			rarg[ntok[0]] = n;
+			ntok[0] = ntok[0] + 1;
+		} else {
+			if (c == '&') { rop[ntok[0]] = 2; ntok[0] = ntok[0] + 1; }
+			if (c == '|') { rop[ntok[0]] = 3; ntok[0] = ntok[0] + 1; }
+			if (c == '!') { rop[ntok[0]] = 4; ntok[0] = ntok[0] + 1; }
+			c = getc();
+		}
+	}
+	oend[out] = ntok[0];
+	if (c == -1 && ostart[out] == oend[out]) {
+		return 0;
+	}
+	return 1;
+}
+
+// eval runs one equation's RPN for the given input assignment.
+func eval(out int, assign int) int {
+	var sp int = 0;
+	var t int;
+	for (t = ostart[out]; t < oend[out]; t = t + 1) {
+		switch (rop[t]) {
+		case 0:
+			stk[sp] = (assign >> rarg[t]) & 1;
+			sp = sp + 1;
+		case 1:
+			stk[sp] = outval[rarg[t]];
+			sp = sp + 1;
+		case 2:
+			sp = sp - 1;
+			stk[sp - 1] = stk[sp - 1] & stk[sp];
+		case 3:
+			sp = sp - 1;
+			stk[sp - 1] = stk[sp - 1] | stk[sp];
+		case 4:
+			stk[sp - 1] = 1 - stk[sp - 1];
+		}
+	}
+	return stk[0];
+}
+
+// qsort sorts rows[lo..hi] ascending (Hoare partition).
+func qsort(lo int, hi int) {
+	if (lo >= hi) {
+		return;
+	}
+	var pivot int = rows[(lo + hi) / 2];
+	var i int = lo;
+	var j int = hi;
+	while (i <= j) {
+		while (rows[i] < pivot) { i = i + 1; }
+		while (rows[j] > pivot) { j = j - 1; }
+		if (i <= j) {
+			var t int = rows[i];
+			rows[i] = rows[j];
+			rows[j] = t;
+			i = i + 1;
+			j = j - 1;
+		}
+	}
+	qsort(lo, j);
+	qsort(i, hi);
+}
+
+func main() int {
+	var nin int = geti();
+	var nout int = geti();
+	var o int;
+	for (o = 0; o < nout; o = o + 1) {
+		if (parse(o) == 0) {
+			break;
+		}
+	}
+
+	var nrows int = 1 << nin;
+	var a int;
+	for (a = 0; a < nrows; a = a + 1) {
+		var bits int = 0;
+		for (o = 0; o < nout; o = o + 1) {
+			outval[o] = eval(o, a);
+			bits = (bits << 1) | outval[o];
+		}
+		rows[a] = (bits << nin) | a;
+	}
+
+	qsort(0, nrows - 1);
+
+	var sum int = 0;
+	for (a = 0; a < nrows; a = a + 1) {
+		sum = (sum * 131 + rows[a]) & 0xffffffff;
+	}
+	puts("rows ");
+	putiln(nrows);
+	puts("checksum ");
+	putiln(sum);
+	return nrows;
+}
+`
+
+// xorRPN emits RPN for x^y given RPN strings for x and y:
+// (x|y) & !(x&y).
+func xorRPN(x, y string) string {
+	return fmt.Sprintf("%s %s | %s %s & ! &", x, y, x, y)
+}
+
+// adderEquations builds the naive ripple-carry adder equation set for
+// k-bit operands: inputs a_i = v(i), b_i = v(k+i); outputs alternate
+// s_0, c_0, s_1, c_1, ... so carry references point at earlier
+// outputs.
+func adderEquations(k int) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %d\n", 2*k, 2*k)
+	out := 0
+	for i := 0; i < k; i++ {
+		a := fmt.Sprintf("v%d", i)
+		bb := fmt.Sprintf("v%d", k+i)
+		if i == 0 {
+			fmt.Fprintf(&b, "%s ;\n", xorRPN(a, bb)) // s_0
+			fmt.Fprintf(&b, "%s %s & ;\n", a, bb)    // c_0
+		} else {
+			carry := fmt.Sprintf("o%d", out-1)
+			fmt.Fprintf(&b, "%s ;\n", xorRPN(xorRPN(a, bb), carry))            // s_i
+			fmt.Fprintf(&b, "%s %s & %s %s | %s & | ;\n", a, bb, a, bb, carry) // c_i = ab | (a|b)c
+		}
+		out += 2
+	}
+	return []byte(b.String())
+}
+
+// priorityEquations builds a priority circuit over n request lines:
+// grant_i = req_i & !req_{i-1} & ... & !req_0, plus a valid output.
+func priorityEquations(n int) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %d\n", n, n+1)
+	for i := 0; i < n; i++ {
+		expr := fmt.Sprintf("v%d", i)
+		for j := 0; j < i; j++ {
+			expr = fmt.Sprintf("%s v%d ! &", expr, j)
+		}
+		fmt.Fprintf(&b, "%s ;\n", expr)
+	}
+	valid := "v0"
+	for i := 1; i < n; i++ {
+		valid = fmt.Sprintf("%s v%d |", valid, i)
+	}
+	fmt.Fprintf(&b, "%s ;\n", valid)
+	return []byte(b.String())
+}
+
+func init() {
+	register(&Workload{
+		Name: "eqntott", Lang: C,
+		Desc:   "boolean equations to truth tables (enumerate, evaluate, sort)",
+		Source: withPrelude(eqntottMF),
+		Datasets: []Dataset{
+			{Name: "add4", Desc: "naive 4-bit adder equations", Gen: func() []byte { return adderEquations(4) }},
+			{Name: "add5", Desc: "naive 5-bit adder equations", Gen: func() []byte { return adderEquations(5) }},
+			{Name: "add6", Desc: "naive 6-bit adder equations", Gen: func() []byte { return adderEquations(6) }},
+			{Name: "intpri", Desc: "priority circuit", Gen: func() []byte { return priorityEquations(10) }},
+		},
+	})
+}

@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// espresso: PLA (two-level boolean cover) minimization. The analogue
+// reads cubes in the classic PLA text format and runs the
+// minimizer's inner loop structure: repeated distance-1 merging and
+// single-cube containment passes over the cover until it stops
+// shrinking. Cubes are bit-pair encoded (care mask + value mask), so
+// the hot loops are pairwise mask comparisons — pointer-free but
+// exactly as data-dependent as the original's cube operations. The
+// constant ESPCHK guard in the pairwise loop mirrors espresso's 18%
+// dynamically dead code in Table 1.
+const espressoMF = `
+const MAXCUBES = 1024;
+const ESPCHK = 0;
+
+var care[MAXCUBES] int;
+var val[MAXCUBES] int;
+var live[MAXCUBES] int;
+var ncubes[1] int;
+var nvars[1] int;
+
+func popcount(x int) int {
+	var n int = 0;
+	while (x != 0) {
+		x = x & (x - 1);
+		n = n + 1;
+	}
+	return n;
+}
+
+// readpla parses ".i N" then cube lines of 0/1/- characters; lines
+// starting with '.' other than .i are skipped.
+func readpla() {
+	var c int = getc();
+	while (c != -1) {
+		if (c == '.') {
+			c = getc();
+			if (c == 'i') {
+				nvars[0] = geti();
+			} else {
+				while (c != -1 && c != '\n') {
+					c = getc();
+				}
+			}
+			c = getc();
+		} else if (c == '0' || c == '1' || c == '-') {
+			var cm int = 0;
+			var vm int = 0;
+			var bit int = 0;
+			while (c == '0' || c == '1' || c == '-') {
+				if (c == '0') {
+					cm = cm | (1 << bit);
+				}
+				if (c == '1') {
+					cm = cm | (1 << bit);
+					vm = vm | (1 << bit);
+				}
+				bit = bit + 1;
+				c = getc();
+			}
+			if (ncubes[0] < MAXCUBES) {
+				care[ncubes[0]] = cm;
+				val[ncubes[0]] = vm;
+				live[ncubes[0]] = 1;
+				ncubes[0] = ncubes[0] + 1;
+			}
+			while (c != -1 && c != '\n') {
+				c = getc();
+			}
+			c = getc();
+		} else {
+			c = getc();
+		}
+	}
+}
+
+// contains reports whether cube i covers cube j.
+func contains(i int, j int) int {
+	if ((care[i] & ~care[j]) != 0) {
+		return 0;
+	}
+	if (((val[i] ^ val[j]) & care[i]) != 0) {
+		return 0;
+	}
+	return 1;
+}
+
+// mergepass combines distance-1 pairs; returns number of merges.
+func mergepass() int {
+	var merges int = 0;
+	var i int;
+	var j int;
+	for (i = 0; i < ncubes[0]; i = i + 1) {
+		if (live[i] == 0) {
+			continue;
+		}
+		for (j = i + 1; j < ncubes[0]; j = j + 1) {
+			if (live[j] == 0) {
+				continue;
+			}
+			if (ESPCHK != 0) {
+				if (care[i] == 0 && care[j] == 0) {
+					puts("degenerate pair\n");
+				}
+			}
+			if (ESPCHK == 2) {
+				// dead cube-consistency audit
+				if ((val[i] & ~care[i]) != 0 || (val[j] & ~care[j]) != 0) {
+					puts("stray value bits\n");
+				}
+			}
+			if (care[i] == care[j]) {
+				var d int = (val[i] ^ val[j]) & care[i];
+				if (d != 0 && (d & (d - 1)) == 0) {
+					// distance one: drop the differing variable
+					care[i] = care[i] & ~d;
+					val[i] = val[i] & ~d;
+					live[j] = 0;
+					merges = merges + 1;
+				}
+			}
+		}
+	}
+	return merges;
+}
+
+// containpass removes covered cubes; returns removals.
+func containpass() int {
+	var removed int = 0;
+	var i int;
+	var j int;
+	for (i = 0; i < ncubes[0]; i = i + 1) {
+		if (live[i] == 0) {
+			continue;
+		}
+		for (j = 0; j < ncubes[0]; j = j + 1) {
+			if (i == j || live[j] == 0) {
+				continue;
+			}
+			if (contains(i, j) == 1) {
+				live[j] = 0;
+				removed = removed + 1;
+			}
+		}
+	}
+	return removed;
+}
+
+func main() int {
+	readpla();
+	var pass int = 0;
+	var changed int = 1;
+	while (changed != 0 && pass < 40) {
+		changed = mergepass() + containpass();
+		pass = pass + 1;
+	}
+	var count int = 0;
+	var sum int = 0;
+	var lits int = 0;
+	var i int;
+	for (i = 0; i < ncubes[0]; i = i + 1) {
+		if (live[i] == 1) {
+			count = count + 1;
+			lits = lits + popcount(care[i]);
+			sum = (sum * 31 + care[i] * 7 + val[i]) & 0xffffff;
+		}
+	}
+	puts("in ");     putiln(ncubes[0]);
+	puts("cubes ");  putiln(count);
+	puts("lits ");   putiln(lits);
+	puts("chk ");    putiln(sum);
+	return count;
+}
+`
+
+// plaInput synthesizes a PLA whose cubes come from expanding a few
+// generator cubes into minterm clusters, so minimization has real
+// merging work to do.
+func plaInput(nVars, nGenerators, expansionsPer int, seed uint64) []byte {
+	r := newRng(seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, ".i %d\n.o 1\n", nVars)
+	for g := 0; g < nGenerators; g++ {
+		gen := make([]byte, nVars)
+		for i := range gen {
+			gen[i] = "01-"[r.intn(3)]
+		}
+		for e := 0; e < expansionsPer; e++ {
+			cube := make([]byte, nVars)
+			copy(cube, gen)
+			for i := range cube {
+				if cube[i] == '-' && r.intn(100) < 65 {
+					cube[i] = "01"[r.intn(2)]
+				}
+			}
+			fmt.Fprintf(&b, "%s 1\n", cube)
+		}
+	}
+	b.WriteString(".e\n")
+	return []byte(b.String())
+}
+
+func init() {
+	register(&Workload{
+		Name: "espresso", Lang: C,
+		Desc:   "PLA optimizer (two-level cover minimization)",
+		Source: withPrelude(espressoMF),
+		Datasets: []Dataset{
+			{Name: "bca", Desc: "wide PLA, strong clustering", Gen: func() []byte { return plaInput(16, 20, 22, 51) }},
+			{Name: "cps", Desc: "medium PLA, moderate clustering", Gen: func() []byte { return plaInput(14, 26, 14, 52) }},
+			{Name: "ti", Desc: "narrow PLA, many cubes", Gen: func() []byte { return plaInput(12, 32, 16, 53) }},
+			{Name: "tial", Desc: "wide PLA, sparse clustering", Gen: func() []byte { return plaInput(18, 15, 24, 54) }},
+		},
+	})
+}

@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fpppp: the quantum chemistry two-electron integral kernel whose
+// inner loop is "a giant expression with no flow of control". The
+// analogue generates a straight-line basic block of several hundred
+// floating-point statements at registration time (deterministically)
+// and iterates it natoms^3-proportionally many times, so the 4atoms
+// and 8atoms datasets differ in trip count exactly as the SPEC
+// parameter settings did. Expressions are contractive (coefficients
+// below one) so values stay bounded. One constant-guarded branch per
+// block mirrors fpppp's 1% dead code in Table 1.
+const fppppHeaderMF = `
+const FPCHK = 0;
+
+var fel[512] float;
+
+func initfel() {
+	var i int;
+	for (i = 0; i < 512; i = i + 1) {
+		fel[i] = sin(float(i) * 0.113) * 0.4 + 0.5;
+	}
+}
+`
+
+// fppppBlock generates the giant basic block as an MF function taking
+// an index and returning a contribution.
+func fppppBlock(stmts int, seed uint64) string {
+	r := newRng(seed)
+	var b strings.Builder
+	b.WriteString("func block(base int) float {\n")
+	nt := 8
+	for i := 0; i < nt; i++ {
+		fmt.Fprintf(&b, "\tvar t%d float = fel[(base + %d) & 511];\n", i, r.intn(512))
+	}
+	for s := 0; s < stmts; s++ {
+		d := r.intn(nt)
+		a := r.intn(nt)
+		c := r.intn(nt)
+		k := r.intn(512)
+		coefA := float64(r.intn(800))/1000.0 + 0.05
+		coefB := float64(r.intn(800))/1000.0 + 0.05
+		switch r.intn(6) {
+		case 0:
+			fmt.Fprintf(&b, "\tt%d = t%d * %.3f + fel[(base + %d) & 511] * %.3f;\n", d, a, coefA, k, coefB)
+		case 1:
+			fmt.Fprintf(&b, "\tt%d = t%d * %.3f - t%d * %.3f;\n", d, a, coefA, c, coefB)
+		case 2:
+			fmt.Fprintf(&b, "\tt%d = (t%d + t%d) * %.3f;\n", d, a, c, coefA*0.5)
+		case 3:
+			fmt.Fprintf(&b, "\tt%d = t%d / (1.0 + t%d * t%d);\n", d, a, c, c)
+		case 4:
+			fmt.Fprintf(&b, "\tt%d = sqrt(fabs(t%d * %.3f + %.3f));\n", d, a, coefA, coefB)
+		default:
+			fmt.Fprintf(&b, "\tt%d = t%d * t%d * %.3f + fel[(base + %d) & 511] * %.3f;\n", d, a, c, coefA*0.6, k, coefB)
+		}
+	}
+	b.WriteString("\tif (FPCHK != 0) {\n\t\tif (t0 != t0) { puts(\"block nan\"); }\n\t}\n")
+	// A handful of biased data-dependent conditionals: fpppp's branch
+	// behaviour in the paper is ~83% majority-direction at roughly one
+	// branch per 170 instructions, not branch-free. Two integral-index
+	// screens (statically biased by construction), one threshold test
+	// and one near-even float comparison give a stable mix.
+	fmt.Fprintf(&b, "\tif ((base & 7) != 0) {\n\t\tt0 = t0 * 0.98 + 0.004;\n\t}\n")
+	fmt.Fprintf(&b, "\tif ((base & 15) < 13) {\n\t\tt1 = t1 * 0.99 + 0.002;\n\t}\n")
+	fmt.Fprintf(&b, "\tif (t2 > 0.05) {\n\t\tt3 = t3 * 0.97 + 0.01;\n\t}\n")
+	fmt.Fprintf(&b, "\tif (t4 > t5) {\n\t\tt6 = t6 * 0.98 + 0.005;\n\t}\n")
+	b.WriteString("\treturn (t0 + t1 + t2 + t3 + t4 + t5 + t6 + t7) * 0.125;\n}\n")
+	return b.String()
+}
+
+const fppppMainMF = `
+func main() int {
+	initfel();
+	var natoms int = geti();
+	var iters int = natoms * natoms * natoms * 12;
+	var it int;
+	var s float = 0.0;
+	for (it = 0; it < iters; it = it + 1) {
+		s = s + block(it * 7);
+		if (s > 1000000.0) {
+			s = s * 0.0001;
+		}
+	}
+	puts("fpppp energy ");
+	putf(s);
+	putc('\n');
+	return natoms;
+}
+`
+
+func init() {
+	src := withPrelude(fppppHeaderMF + fppppBlock(170, 424242) + fppppMainMF)
+	register(&Workload{
+		Name: "fpppp", Lang: Fortran,
+		Desc:   "quantum chemistry: giant straight-line basic block, iterated",
+		Source: src,
+		Datasets: []Dataset{
+			{Name: "4atoms", Desc: "4-atom parameter setting", Gen: func() []byte { return []byte("4\n") }},
+			{Name: "8atoms", Desc: "8-atom parameter setting", Gen: func() []byte { return []byte("8\n") }},
+		},
+	})
+}

@@ -1,0 +1,163 @@
+package workloads
+
+// lfk: a subset of the Livermore FORTRAN Kernels — the classic
+// collection of inner loops from production physics codes. Eight
+// kernels run in sequence under an outer repetition loop, mirroring
+// subroutine KERNEL: hydro fragment (k1), incomplete Cholesky style
+// sweep (k2), inner product (k3), banded linear equations (k4),
+// tridiagonal elimination (k5), first-order recurrence (k6), equation
+// of state (k7), and difference predictors (k10 in the original
+// numbering).
+const lfkMF = `
+const NN = 101;
+const REPS = 150;
+
+var u[NN] float;
+var v[NN] float;
+var w[NN] float;
+var x[NN] float;
+var y[NN] float;
+var z[NN] float;
+// kernel 2 (ICCG) works over the halving-partition layout, which
+// needs ~2*NN elements (sum of the halving partition sizes).
+var xx[256] float;
+var vv[256] float;
+
+func initarrays() {
+	var i int;
+	for (i = 0; i < NN; i = i + 1) {
+		// Coefficient arrays stay below 1 in magnitude so the
+		// recurrences remain stable across repetitions.
+		u[i] = float(i % 7) * 0.1 + 0.01;
+		v[i] = float(i % 11) * 0.05 + 0.02;
+		w[i] = float(i % 13) * 0.06 + 0.03;
+		x[i] = float(i % 5) * 0.1 + 0.04;
+		y[i] = float(i % 3) * 0.2 + 0.05;
+		z[i] = float(i % 17) * 0.05 + 0.06;
+	}
+}
+
+func k1hydro() float {
+	var q float = 0.5;
+	var r float = 0.3;
+	var t float = 0.02;
+	var k int;
+	for (k = 0; k < NN - 12; k = k + 1) {
+		x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+	}
+	return x[7];
+}
+
+func k2iccg() float {
+	var j int;
+	for (j = 0; j < 256; j = j + 1) {
+		xx[j] = float(j % 9) * 0.1 + 0.01;
+		vv[j] = float(j % 7) * 0.05 + 0.02;
+	}
+	var ii int = NN;
+	var ipntp int = 0;
+	while (ii > 1) {
+		var ipnt int = ipntp;
+		ipntp = ipntp + ii;
+		ii = ii / 2;
+		var i int = ipntp;
+		var k int;
+		for (k = ipnt + 1; k < ipntp - 1; k = k + 2) {
+			i = i + 1;
+			xx[i] = xx[k] - vv[k] * xx[k - 1] - vv[k + 1] * xx[k + 1];
+		}
+	}
+	return xx[ipntp];
+}
+
+func k3inner() float {
+	var q float = 0.0;
+	var k int;
+	for (k = 0; k < NN; k = k + 1) {
+		q = q + z[k] * x[k];
+	}
+	return q;
+}
+
+func k4banded() float {
+	var m int = 24;
+	var k int;
+	var j int;
+	for (j = 12; j < NN - 13; j = j + m) {
+		var temp float = 0.0;
+		for (k = 0; k < 12; k = k + 1) {
+			temp = temp + x[j + k] * y[k];
+		}
+		x[j - 1] = y[4] * (x[j - 1] - temp);
+	}
+	return x[23];
+}
+
+func k5tridiag() float {
+	var i int;
+	for (i = 1; i < NN; i = i + 1) {
+		x[i] = z[i] * (y[i] - x[i - 1]);
+	}
+	return x[NN - 1];
+}
+
+func k6recur() float {
+	var i int;
+	for (i = 1; i < NN; i = i + 1) {
+		w[i] = 0.01 + 0.5 * w[i - 1];
+	}
+	return w[NN - 1];
+}
+
+func k7state() float {
+	var r float = 0.4;
+	var t float = 0.025;
+	var k int;
+	for (k = 0; k < NN - 4; k = k + 1) {
+		x[k] = u[k] + r * (z[k] + r * y[k]) +
+			t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1]) +
+			t * (u[k + 2] + r * (u[k + 1] + r * u[k])));
+	}
+	return x[11];
+}
+
+func k10diff() float {
+	var k int;
+	for (k = 4; k < NN; k = k + 1) {
+		var br float = y[k] - v[k - 1];
+		v[k - 1] = y[k];
+		var cr float = br - w[k - 1];
+		w[k - 1] = br;
+		y[k] = cr * 1.0625 + u[k];
+	}
+	return y[NN - 1];
+}
+
+func main() int {
+	var rep int;
+	var sum float = 0.0;
+	for (rep = 0; rep < REPS; rep = rep + 1) {
+		initarrays();
+		sum = sum + k1hydro();
+		sum = sum + k2iccg();
+		sum = sum + k3inner();
+		sum = sum + k4banded();
+		sum = sum + k5tridiag();
+		sum = sum + k6recur();
+		sum = sum + k7state();
+		sum = sum + k10diff();
+	}
+	puts("lfk sum ");
+	putf(sum);
+	putc('\n');
+	return REPS;
+}
+`
+
+func init() {
+	register(&Workload{
+		Name: "lfk", Lang: Fortran,
+		Desc:   "Livermore FORTRAN Kernels subset (8 kernels, subroutine KERNEL only)",
+		Source: withPrelude(lfkMF),
+	})
+}

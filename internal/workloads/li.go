@@ -1,0 +1,515 @@
+package workloads
+
+// li: a Lisp interpreter in the XLISP mould, written in MF. It has a
+// cons heap, an s-expression reader with interned symbols, an
+// evaluator with shallow dynamic binding (the period-appropriate
+// XLISP strategy: apply saves a symbol's global value, binds the
+// argument, and restores on return), special forms (quote, if,
+// define, setq, while, begin), and builtins dispatched through a
+// function-pointer table — so executing Lisp exercises indirect
+// calls, exactly the unavoidable breaks the paper charges against li.
+//
+// Datasets: 8queens/9queens place queens via recursive bitmask
+// search; sieve counts primes with while/setq iteration generated the
+// way the paper's sievel dataset was (mechanical, flat code).
+const liMF = `
+const HEAP = 600000;
+const INTBASE = 16777216;  // values >= INTBASE and < SYMBASE are ints
+const ZOFF = 4194304;      // int encoding offset (value 0)
+const SYMBASE = 134217728; // values >= SYMBASE are symbols
+const MAXSYMS = 512;
+const NAMEBUF = 4096;
+const SAVEMAX = 4096;
+
+var car[HEAP] int;
+var cdr[HEAP] int;
+var hp[1] int = { 1 };  // cell 0 is reserved so NIL == 0
+
+var symname[MAXSYMS] int; // offset into names
+var symlen[MAXSYMS] int;
+var symval[MAXSYMS] int;
+var symfun[MAXSYMS] int;  // 0 none, >0 lambda pair, <0 builtin -(k+1)
+var nsyms[1] int;
+var names[NAMEBUF] int;
+var nameptr[1] int;
+
+var savesym[SAVEMAX] int; // shallow binding save stack
+var saveval[SAVEMAX] int;
+var savetop[1] int;
+
+var bfn[24] int;   // builtin function table (function refs)
+var errors[1] int;
+var ungot[1] int = { -2 };
+
+// special form symbol ids, filled by initsyms
+var sQuote[1] int;
+var sIf[1] int;
+var sDefine[1] int;
+var sSetq[1] int;
+var sWhile[1] int;
+var sBegin[1] int;
+var sT[1] int;
+
+func cons(a int, d int) int {
+	if (hp[0] >= HEAP) {
+		errors[0] = errors[0] + 1;
+		return 0;
+	}
+	var c int = hp[0];
+	car[c] = a;
+	cdr[c] = d;
+	hp[0] = c + 1;
+	return c;
+}
+
+func mkint(n int) int { return INTBASE + ZOFF + n; }
+func intval(x int) int { return x - INTBASE - ZOFF; }
+func isint(x int) int { if (x >= INTBASE && x < SYMBASE) { return 1; } return 0; }
+func issym(x int) int { if (x >= SYMBASE) { return 1; } return 0; }
+func ispair(x int) int { if (x > 0 && x < INTBASE) { return 1; } return 0; }
+
+// intern finds or creates the symbol whose name is in tokname.
+var tokname[64] int;
+var toklen[1] int;
+
+func intern() int {
+	var i int;
+	for (i = 0; i < nsyms[0]; i = i + 1) {
+		if (symlen[i] == toklen[0]) {
+			var j int = 0;
+			var same int = 1;
+			while (j < toklen[0] && same == 1) {
+				if (names[symname[i] + j] != tokname[j]) { same = 0; }
+				j = j + 1;
+			}
+			if (same == 1) { return SYMBASE + i; }
+		}
+	}
+	var s int = nsyms[0];
+	if (s >= MAXSYMS) { errors[0] = errors[0] + 1; return SYMBASE; }
+	symname[s] = nameptr[0];
+	symlen[s] = toklen[0];
+	symval[s] = 0;
+	symfun[s] = 0;
+	var k int;
+	for (k = 0; k < toklen[0]; k = k + 1) {
+		names[nameptr[0]] = tokname[k];
+		nameptr[0] = nameptr[0] + 1;
+	}
+	nsyms[0] = nsyms[0] + 1;
+	return SYMBASE + s;
+}
+
+// internstr interns the NUL-terminated name at address p.
+func internstr(p int) int {
+	var l int = 0;
+	var c int = peek(p);
+	while (c != 0) {
+		tokname[l] = c;
+		l = l + 1;
+		p = p + 1;
+		c = peek(p);
+	}
+	toklen[0] = l;
+	return intern();
+}
+
+func nextc() int {
+	if (ungot[0] != -2) {
+		var c int = ungot[0];
+		ungot[0] = -2;
+		return c;
+	}
+	return getc();
+}
+
+func pushback(c int) { ungot[0] = c; }
+
+func isdelim(c int) int {
+	if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '(' || c == ')' || c == -1) {
+		return 1;
+	}
+	return 0;
+}
+
+// readexpr parses one s-expression; returns -1 at end of input.
+func readexpr() int {
+	var c int = nextc();
+	while (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';') {
+		if (c == ';') {
+			while (c != -1 && c != '\n') { c = nextc(); }
+		}
+		c = nextc();
+	}
+	if (c == -1) { return -1; }
+	if (c == '(') { return readlist(); }
+	if (c == ')') { errors[0] = errors[0] + 1; return 0; }
+	if (c == 39) {
+		// quote shorthand
+		var q int = readexpr();
+		return cons(sQuote[0], cons(q, 0));
+	}
+	if ((c >= '0' && c <= '9') || c == '-') {
+		var neg int = 0;
+		if (c == '-') {
+			var d int = nextc();
+			if (d < '0' || d > '9') {
+				// bare minus: a symbol
+				pushback(d);
+				tokname[0] = '-';
+				toklen[0] = 1;
+				return intern();
+			}
+			neg = 1;
+			c = d;
+		}
+		var n int = 0;
+		while (c >= '0' && c <= '9') {
+			n = n * 10 + (c - '0');
+			c = nextc();
+		}
+		pushback(c);
+		if (neg == 1) { n = -n; }
+		return mkint(n);
+	}
+	var l int = 0;
+	while (isdelim(c) == 0) {
+		if (l < 63) { tokname[l] = c; l = l + 1; }
+		c = nextc();
+	}
+	pushback(c);
+	toklen[0] = l;
+	return intern();
+}
+
+// readlist parses after '(' up to the matching ')'.
+func readlist() int {
+	var c int = nextc();
+	while (c == ' ' || c == '\t' || c == '\n' || c == '\r') { c = nextc(); }
+	if (c == ')' || c == -1) { return 0; }
+	pushback(c);
+	var head int = readexpr();
+	return cons(head, readlist());
+}
+
+// printval writes a value the way li printed results.
+func printval(x int) {
+	if (x == 0) { puts("nil"); return; }
+	if (isint(x) == 1) { puti(intval(x)); return; }
+	if (issym(x) == 1) {
+		var s int = x - SYMBASE;
+		var k int;
+		for (k = 0; k < symlen[s]; k = k + 1) {
+			putc(names[symname[s] + k]);
+		}
+		return;
+	}
+	putc('(');
+	var first int = 1;
+	while (ispair(x) == 1) {
+		if (first == 0) { putc(' '); }
+		first = 0;
+		printval(car[x]);
+		x = cdr[x];
+	}
+	if (x != 0) {
+		puts(" . ");
+		printval(x);
+	}
+	putc(')');
+}
+
+// ---- builtins: each takes the evaluated argument list ----
+
+func arg1(a int) int { if (ispair(a) == 1) { return car[a]; } return 0; }
+func arg2(a int) int { if (ispair(a) == 1 && ispair(cdr[a]) == 1) { return car[cdr[a]]; } return 0; }
+
+func bi_add(a int) int {
+	var s int = 0;
+	while (ispair(a) == 1) {
+		s = s + intval(car[a]);
+		a = cdr[a];
+	}
+	return mkint(s);
+}
+
+func bi_sub(a int) int {
+	if (cdr[a] == 0) { return mkint(-intval(car[a])); }
+	return mkint(intval(arg1(a)) - intval(arg2(a)));
+}
+
+func bi_mul(a int) int {
+	var s int = 1;
+	while (ispair(a) == 1) {
+		s = s * intval(car[a]);
+		a = cdr[a];
+	}
+	return mkint(s);
+}
+
+func bi_div(a int) int {
+	var d int = intval(arg2(a));
+	if (d == 0) { errors[0] = errors[0] + 1; return mkint(0); }
+	return mkint(intval(arg1(a)) / d);
+}
+
+func bi_rem(a int) int {
+	var d int = intval(arg2(a));
+	if (d == 0) { errors[0] = errors[0] + 1; return mkint(0); }
+	return mkint(intval(arg1(a)) % d);
+}
+
+func bi_lt(a int) int { if (intval(arg1(a)) < intval(arg2(a))) { return sT[0]; } return 0; }
+func bi_gt(a int) int { if (intval(arg1(a)) > intval(arg2(a))) { return sT[0]; } return 0; }
+func bi_le(a int) int { if (intval(arg1(a)) <= intval(arg2(a))) { return sT[0]; } return 0; }
+func bi_eqn(a int) int { if (arg1(a) == arg2(a)) { return sT[0]; } return 0; }
+func bi_and(a int) int { return mkint(intval(arg1(a)) & intval(arg2(a))); }
+func bi_or(a int) int { return mkint(intval(arg1(a)) | intval(arg2(a))); }
+func bi_xor(a int) int { return mkint(intval(arg1(a)) ^ intval(arg2(a))); }
+func bi_not(a int) int { return mkint(~intval(arg1(a))); }
+func bi_shl(a int) int { return mkint(intval(arg1(a)) << intval(arg2(a))); }
+func bi_shr(a int) int { return mkint(intval(arg1(a)) >> intval(arg2(a))); }
+func bi_car(a int) int { var x int = arg1(a); if (ispair(x) == 1) { return car[x]; } return 0; }
+func bi_cdr(a int) int { var x int = arg1(a); if (ispair(x) == 1) { return cdr[x]; } return 0; }
+func bi_cons(a int) int { return cons(arg1(a), arg2(a)); }
+func bi_null(a int) int { if (arg1(a) == 0) { return sT[0]; } return 0; }
+func bi_print(a int) int {
+	printval(arg1(a));
+	putc('\n');
+	return arg1(a);
+}
+
+func defbuiltin(name int, k int, fn int) {
+	var s int = internstr(name) - SYMBASE;
+	symfun[s] = -(k + 1);
+	bfn[k] = fn;
+}
+
+func initsyms() {
+	sQuote[0] = internstr("quote");
+	sIf[0] = internstr("if");
+	sDefine[0] = internstr("define");
+	sSetq[0] = internstr("setq");
+	sWhile[0] = internstr("while");
+	sBegin[0] = internstr("begin");
+	sT[0] = internstr("t");
+	symval[sT[0] - SYMBASE] = sT[0];
+	defbuiltin("+", 0, &bi_add);
+	defbuiltin("-", 1, &bi_sub);
+	defbuiltin("*", 2, &bi_mul);
+	defbuiltin("/", 3, &bi_div);
+	defbuiltin("%", 4, &bi_rem);
+	defbuiltin("<", 5, &bi_lt);
+	defbuiltin(">", 6, &bi_gt);
+	defbuiltin("<=", 7, &bi_le);
+	defbuiltin("=", 8, &bi_eqn);
+	defbuiltin("logand", 9, &bi_and);
+	defbuiltin("logior", 10, &bi_or);
+	defbuiltin("logxor", 11, &bi_xor);
+	defbuiltin("lognot", 12, &bi_not);
+	defbuiltin("ash", 13, &bi_shl);
+	defbuiltin("asr", 14, &bi_shr);
+	defbuiltin("car", 15, &bi_car);
+	defbuiltin("cdr", 16, &bi_cdr);
+	defbuiltin("cons", 17, &bi_cons);
+	defbuiltin("null", 18, &bi_null);
+	defbuiltin("print", 19, &bi_print);
+}
+
+// evlist evaluates each element of a list into a fresh list.
+func evlist(a int) int {
+	if (ispair(a) == 0) { return 0; }
+	var h int = eval(car[a]);
+	return cons(h, evlist(cdr[a]));
+}
+
+// apply invokes a user lambda pair (params . body) with shallow
+// dynamic binding.
+func apply(fn int, args int) int {
+	var params int = car[fn];
+	var body int = cdr[fn];
+	var bound int = 0;
+	while (ispair(params) == 1) {
+		var s int = car[params] - SYMBASE;
+		if (savetop[0] >= SAVEMAX) {
+			errors[0] = errors[0] + 1;
+			return 0;
+		}
+		savesym[savetop[0]] = s;
+		saveval[savetop[0]] = symval[s];
+		savetop[0] = savetop[0] + 1;
+		if (ispair(args) == 1) {
+			symval[s] = car[args];
+			args = cdr[args];
+		} else {
+			symval[s] = 0;
+		}
+		params = cdr[params];
+		bound = bound + 1;
+	}
+	var r int = 0;
+	while (ispair(body) == 1) {
+		r = eval(car[body]);
+		body = cdr[body];
+	}
+	while (bound > 0) {
+		savetop[0] = savetop[0] - 1;
+		symval[savesym[savetop[0]]] = saveval[savetop[0]];
+		bound = bound - 1;
+	}
+	return r;
+}
+
+func eval(x int) int {
+	if (x == 0 || isint(x) == 1) { return x; }
+	if (issym(x) == 1) { return symval[x - SYMBASE]; }
+	var head int = car[x];
+	if (head == sQuote[0]) { return arg1(cdr[x]); }
+	if (head == sIf[0]) {
+		var c int = eval(car[cdr[x]]);
+		if (c != 0) {
+			return eval(car[cdr[cdr[x]]]);
+		}
+		var e int = cdr[cdr[cdr[x]]];
+		if (ispair(e) == 1) { return eval(car[e]); }
+		return 0;
+	}
+	if (head == sDefine[0]) {
+		var spec int = car[cdr[x]];
+		if (ispair(spec) == 1) {
+			// (define (f a b) body...)
+			var s int = car[spec] - SYMBASE;
+			symfun[s] = cons(cdr[spec], cdr[cdr[x]]);
+			return car[spec];
+		}
+		var s2 int = spec - SYMBASE;
+		symval[s2] = eval(car[cdr[cdr[x]]]);
+		return spec;
+	}
+	if (head == sSetq[0]) {
+		var s int = car[cdr[x]] - SYMBASE;
+		symval[s] = eval(car[cdr[cdr[x]]]);
+		return symval[s];
+	}
+	if (head == sWhile[0]) {
+		var cond int = car[cdr[x]];
+		var body int = cdr[cdr[x]];
+		while (eval(cond) != 0) {
+			var b int = body;
+			while (ispair(b) == 1) {
+				eval(car[b]);
+				b = cdr[b];
+			}
+		}
+		return 0;
+	}
+	if (head == sBegin[0]) {
+		var r int = 0;
+		var b int = cdr[x];
+		while (ispair(b) == 1) {
+			r = eval(car[b]);
+			b = cdr[b];
+		}
+		return r;
+	}
+	// function application
+	if (issym(head) == 0) { errors[0] = errors[0] + 1; return 0; }
+	var f int = symfun[head - SYMBASE];
+	if (f == 0) { errors[0] = errors[0] + 1; return 0; }
+	var args int = evlist(cdr[x]);
+	if (f < 0) {
+		return icall1(bfn[-f - 1], args);
+	}
+	return apply(f, args);
+}
+
+func main() int {
+	initsyms();
+	var x int = readexpr();
+	while (x != -1) {
+		eval(x);
+		x = readexpr();
+	}
+	puts("; cells ");
+	puti(hp[0]);
+	puts(" errs ");
+	puti(errors[0]);
+	putc('\n');
+	return errors[0];
+}
+`
+
+// queensLisp is the n-queens bitmask search program.
+func queensLisp(n int) []byte {
+	all := (1 << n) - 1
+	return []byte(`
+; place n queens with bitmask recursion
+(define (solve cols d1 d2)
+  (if (= cols ` + itoa(all) + `) 1
+      (try (logand (lognot (logior cols (logior d1 d2))) ` + itoa(all) + `) cols d1 d2)))
+(define (try poss cols d1 d2)
+  (if (= poss 0) 0
+      (+ (solve (logior cols (logand poss (- 0 poss)))
+                (logand (ash (logior d1 (logand poss (- 0 poss))) 1) ` + itoa(all) + `)
+                (asr (logior d2 (logand poss (- 0 poss))) 1))
+         (try (logand poss (- poss 1)) cols d1 d2))))
+(print (solve 0 0 0))
+`)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// sieveLisp is a flat, machine-generated-looking prime counter — the
+// analogue of the paper's "output of machine lang to lisp simulator"
+// dataset.
+func sieveLisp(limit int) []byte {
+	return []byte(`
+; prime counting by trial division (mechanically generated style)
+(setq count 0)
+(setq i 2)
+(while (< i ` + itoa(limit) + `)
+  (begin
+    (setq d 2)
+    (setq flag 1)
+    (while (<= (* d d) i)
+      (begin
+        (if (= (% i d) 0) (setq flag 0) 0)
+        (setq d (+ d 1))))
+    (if (= flag 1) (setq count (+ count 1)) 0)
+    (setq i (+ i 1))))
+(print count)
+`)
+}
+
+func init() {
+	register(&Workload{
+		Name: "li", Lang: C,
+		Desc:   "XLISP-style Lisp interpreter (reader, shallow-binding eval, builtin table)",
+		Source: withPrelude(liMF),
+		Datasets: []Dataset{
+			{Name: "8queens", Desc: "8 queens on a chessboard", Gen: func() []byte { return queensLisp(8) }},
+			{Name: "9queens", Desc: "9 queens on a chessboard", Gen: func() []byte { return queensLisp(9) }},
+			{Name: "sievel", Desc: "prime sieve, machine-generated flat lisp", Gen: func() []byte { return sieveLisp(260) }},
+		},
+	})
+}

@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+)
+
+func runWorkloadDataset(t *testing.T, wname, dsname string) *vm.Result {
+	t.Helper()
+	w, err := ByName(wname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mfc.Compile(wname, w.Source, mfc.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, ds := range w.Datasets {
+		if ds.Name == dsname {
+			res, err := vm.Run(prog, ds.Gen(), nil)
+			if err != nil {
+				t.Fatalf("run %s/%s: %v", wname, dsname, err)
+			}
+			return res
+		}
+	}
+	t.Fatalf("no dataset %s in %s", dsname, wname)
+	return nil
+}
+
+// TestLiQueensCorrect verifies the interpreter computes the known
+// n-queens solution counts.
+func TestLiQueensCorrect(t *testing.T) {
+	res := runWorkloadDataset(t, "li", "8queens")
+	if !strings.Contains(string(res.Output), "92\n") {
+		t.Errorf("8queens output = %q, want it to contain 92", res.Output)
+	}
+	if !strings.Contains(string(res.Output), "errs 0") {
+		t.Errorf("8queens reported interpreter errors: %q", res.Output)
+	}
+	res = runWorkloadDataset(t, "li", "9queens")
+	if !strings.Contains(string(res.Output), "352\n") {
+		t.Errorf("9queens output = %q, want it to contain 352", res.Output)
+	}
+}
+
+// TestLiSieveCorrect verifies the prime count below the sieve limit.
+func TestLiSieveCorrect(t *testing.T) {
+	res := runWorkloadDataset(t, "li", "sievel")
+	// primes below 260: there are 55 primes up to 257.
+	if !strings.Contains(string(res.Output), "55\n") {
+		t.Errorf("sieve output = %q, want it to contain 55", res.Output)
+	}
+	if res.IndirectCalls == 0 {
+		t.Error("li should perform indirect calls for builtin dispatch")
+	}
+}

@@ -1,0 +1,107 @@
+package workloads
+
+// LZW twin of the MF compress/uncompress workload. The dataset
+// generators use it to prepare compressed inputs for the uncompress
+// workload, and tests use it to validate the MF implementation
+// bit-for-bit. Both implementations share the same parameters: 12-bit
+// codes emitted as little-endian byte pairs, a 256-entry initial
+// dictionary, and no dictionary reset (growth simply stops at 4096).
+
+const (
+	lzwMaxCodes = 4096
+	lzwHashSize = 8192
+)
+
+// LZWCompress compresses data exactly as the MF workload does.
+func LZWCompress(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	hkey := make([]int32, lzwHashSize) // key+1; 0 = empty
+	hval := make([]int32, lzwHashSize)
+	find := func(key int32) int32 {
+		h := int32(int64(key) * 2654435761 & (lzwHashSize - 1))
+		for hkey[h] != 0 {
+			if hkey[h] == key+1 {
+				return hval[h]
+			}
+			h = (h + 1) & (lzwHashSize - 1)
+		}
+		return -1
+	}
+	insert := func(key, code int32) {
+		h := int32(int64(key) * 2654435761 & (lzwHashSize - 1))
+		for hkey[h] != 0 {
+			h = (h + 1) & (lzwHashSize - 1)
+		}
+		hkey[h] = key + 1
+		hval[h] = code
+	}
+	var out []byte
+	emit := func(code int32) {
+		out = append(out, byte(code&0xff), byte(code>>8))
+	}
+	next := int32(256)
+	w := int32(data[0])
+	for _, b := range data[1:] {
+		key := w*256 + int32(b)
+		if c := find(key); c >= 0 {
+			w = c
+			continue
+		}
+		emit(w)
+		if next < lzwMaxCodes {
+			insert(key, next)
+			next++
+		}
+		w = int32(b)
+	}
+	emit(w)
+	return out
+}
+
+// LZWDecompress reverses LZWCompress.
+func LZWDecompress(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	prefix := make([]int32, lzwMaxCodes)
+	suffix := make([]byte, lzwMaxCodes)
+	next := int32(256)
+	read := func(i int) int32 {
+		return int32(data[i]) | int32(data[i+1])<<8
+	}
+	expand := func(code int32) []byte {
+		var stack []byte
+		for code >= 256 {
+			stack = append(stack, suffix[code])
+			code = prefix[code]
+		}
+		stack = append(stack, byte(code))
+		for i, j := 0, len(stack)-1; i < j; i, j = i+1, j-1 {
+			stack[i], stack[j] = stack[j], stack[i]
+		}
+		return stack
+	}
+	var out []byte
+	prev := read(0)
+	out = append(out, expand(prev)...)
+	for i := 2; i+1 < len(data); i += 2 {
+		code := read(i)
+		var entry []byte
+		if code < next {
+			entry = expand(code)
+		} else {
+			// KwKwK: the code being defined right now.
+			entry = append(expand(prev), expand(prev)[0])
+		}
+		out = append(out, entry...)
+		if next < lzwMaxCodes {
+			prefix[next] = prev
+			suffix[next] = entry[0]
+			next++
+		}
+		prev = code
+	}
+	return out
+}

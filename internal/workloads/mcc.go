@@ -1,0 +1,375 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// mcc: a compiler written in MF, standing in for both gcc (run over
+// compiler-module-sized inputs) and mfcom (run over C-flavoured and
+// FORTRAN-flavoured source). It compiles the TL toy language —
+// let/print statements over +,-,*,/ expressions with parentheses,
+// integer literals and variables — into stack-machine assembly text.
+// The interesting behaviour for branch prediction is the compiler's
+// own: character-class scanning, keyword matching, linear symbol
+// table probes, and recursive-descent parsing, all data-dependent
+// control of exactly the kind the paper's sceptics expected to be
+// unpredictable.
+const mccMF = `
+const MAXSYMS = 512;
+const NAMEBUF = 8192;
+
+// token kinds
+const TEOF = 0;
+const TNUM = 1;
+const TIDENT = 2;
+const TLET = 3;
+const TPRINT = 4;
+const TPLUS = 5;
+const TMINUS = 6;
+const TSTAR = 7;
+const TSLASH = 8;
+const TLPAR = 9;
+const TRPAR = 10;
+const TEQ = 11;
+const TSEMI = 12;
+const TBAD = 13;
+
+var ungot[1] int = { -2 };
+var tok[1] int;        // current token kind
+var tokval[1] int;     // literal value
+var tokname[64] int;   // identifier characters
+var toklen[1] int;
+
+var symoff[MAXSYMS] int;  // offset of each symbol's name
+var symlen[MAXSYMS] int;
+var nsyms[1] int;
+var names[NAMEBUF] int;
+var nameptr[1] int;
+var errs[1] int;
+var emitted[1] int;
+
+func nextc() int {
+	if (ungot[0] != -2) {
+		var c int = ungot[0];
+		ungot[0] = -2;
+		return c;
+	}
+	return getc();
+}
+
+func ungetc2(c int) {
+	ungot[0] = c;
+}
+
+func isalpha(c int) int {
+	if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+		return 1;
+	}
+	return 0;
+}
+
+func isdigit(c int) int {
+	if (c >= '0' && c <= '9') {
+		return 1;
+	}
+	return 0;
+}
+
+// scan advances to the next token.
+func scan() {
+	var c int = nextc();
+	while (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+		c = nextc();
+	}
+	if (c == '#') {
+		// comment to end of line
+		while (c != -1 && c != '\n') {
+			c = nextc();
+		}
+		scan();
+		return;
+	}
+	if (c == -1) {
+		tok[0] = TEOF;
+		return;
+	}
+	if (isdigit(c) == 1) {
+		var n int = 0;
+		while (isdigit(c) == 1) {
+			n = n * 10 + (c - '0');
+			c = nextc();
+		}
+		ungetc2(c);
+		tok[0] = TNUM;
+		tokval[0] = n;
+		return;
+	}
+	if (isalpha(c) == 1) {
+		var l int = 0;
+		while (isalpha(c) == 1 || isdigit(c) == 1) {
+			if (l < 63) {
+				tokname[l] = c;
+				l = l + 1;
+			}
+			c = nextc();
+		}
+		ungetc2(c);
+		toklen[0] = l;
+		// keyword check
+		if (l == 3 && tokname[0] == 'l' && tokname[1] == 'e' && tokname[2] == 't') {
+			tok[0] = TLET;
+			return;
+		}
+		if (l == 5 && tokname[0] == 'p' && tokname[1] == 'r' && tokname[2] == 'i' && tokname[3] == 'n' && tokname[4] == 't') {
+			tok[0] = TPRINT;
+			return;
+		}
+		tok[0] = TIDENT;
+		return;
+	}
+	switch (c) {
+	case '+': tok[0] = TPLUS;
+	case '-': tok[0] = TMINUS;
+	case '*': tok[0] = TSTAR;
+	case '/': tok[0] = TSLASH;
+	case '(': tok[0] = TLPAR;
+	case ')': tok[0] = TRPAR;
+	case '=': tok[0] = TEQ;
+	case ';': tok[0] = TSEMI;
+	default:
+		tok[0] = TBAD;
+		errs[0] = errs[0] + 1;
+	}
+}
+
+// lookup interns the current identifier, returning its slot.
+func lookup() int {
+	var i int;
+	for (i = 0; i < nsyms[0]; i = i + 1) {
+		if (symlen[i] == toklen[0]) {
+			var j int = 0;
+			var same int = 1;
+			while (j < toklen[0] && same == 1) {
+				if (names[symoff[i] + j] != tokname[j]) {
+					same = 0;
+				}
+				j = j + 1;
+			}
+			if (same == 1) {
+				return i;
+			}
+		}
+	}
+	var s int = nsyms[0];
+	if (s >= MAXSYMS) {
+		errs[0] = errs[0] + 1;
+		return 0;
+	}
+	symoff[s] = nameptr[0];
+	symlen[s] = toklen[0];
+	var k int;
+	for (k = 0; k < toklen[0]; k = k + 1) {
+		names[nameptr[0]] = tokname[k];
+		nameptr[0] = nameptr[0] + 1;
+	}
+	nsyms[0] = nsyms[0] + 1;
+	return s;
+}
+
+func emitop(s int) {
+	puts(s);
+	putc('\n');
+	emitted[0] = emitted[0] + 1;
+}
+
+func emitarg(s int, n int) {
+	puts(s);
+	putc(' ');
+	puti(n);
+	putc('\n');
+	emitted[0] = emitted[0] + 1;
+}
+
+// expr := term (('+'|'-') term)*
+func expr() {
+	term();
+	while (tok[0] == TPLUS || tok[0] == TMINUS) {
+		var op int = tok[0];
+		scan();
+		term();
+		if (op == TPLUS) {
+			emitop("ADD");
+		} else {
+			emitop("SUB");
+		}
+	}
+}
+
+// term := factor (('*'|'/') factor)*
+func term() {
+	factor();
+	while (tok[0] == TSTAR || tok[0] == TSLASH) {
+		var op int = tok[0];
+		scan();
+		factor();
+		if (op == TSTAR) {
+			emitop("MUL");
+		} else {
+			emitop("DIV");
+		}
+	}
+}
+
+// factor := NUM | IDENT | '(' expr ')' | '-' factor
+func factor() {
+	if (tok[0] == TNUM) {
+		emitarg("PUSH", tokval[0]);
+		scan();
+		return;
+	}
+	if (tok[0] == TIDENT) {
+		emitarg("LOAD", lookup());
+		scan();
+		return;
+	}
+	if (tok[0] == TLPAR) {
+		scan();
+		expr();
+		if (tok[0] == TRPAR) {
+			scan();
+		} else {
+			errs[0] = errs[0] + 1;
+		}
+		return;
+	}
+	if (tok[0] == TMINUS) {
+		scan();
+		factor();
+		emitop("NEG");
+		return;
+	}
+	errs[0] = errs[0] + 1;
+	scan();
+}
+
+func stmt() {
+	if (tok[0] == TLET) {
+		scan();
+		var slot int = 0;
+		if (tok[0] == TIDENT) {
+			slot = lookup();
+			scan();
+		} else {
+			errs[0] = errs[0] + 1;
+		}
+		if (tok[0] == TEQ) {
+			scan();
+		} else {
+			errs[0] = errs[0] + 1;
+		}
+		expr();
+		emitarg("STORE", slot);
+	} else if (tok[0] == TPRINT) {
+		scan();
+		expr();
+		emitop("PRINT");
+	} else {
+		errs[0] = errs[0] + 1;
+		scan();
+	}
+	if (tok[0] == TSEMI) {
+		scan();
+	} else {
+		errs[0] = errs[0] + 1;
+	}
+}
+
+func main() int {
+	scan();
+	while (tok[0] != TEOF) {
+		stmt();
+	}
+	emitop("HALT");
+	puts("; syms ");
+	puti(nsyms[0]);
+	puts(" errs ");
+	puti(errs[0]);
+	putc('\n');
+	return emitted[0];
+}
+`
+
+// tlSource synthesizes TL source. identRatio (0-100) controls how
+// often factors are identifiers vs literals; depth controls expression
+// nesting; vars is the variable pool size.
+func tlSource(n int, seed uint64, identRatio, depth, vars int, comments bool) []byte {
+	r := newRng(seed)
+	pool := make([]string, vars)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("%s%d", []string{"reg", "tmp", "acc", "val", "idx", "ptr"}[r.intn(6)], i)
+	}
+	var b strings.Builder
+	var genExpr func(d int)
+	genExpr = func(d int) {
+		if d <= 0 || r.intn(100) < 35 {
+			if r.intn(100) < identRatio {
+				b.WriteString(pool[r.intn(vars)])
+			} else {
+				fmt.Fprintf(&b, "%d", r.intn(10000))
+			}
+			return
+		}
+		b.WriteString("(")
+		genExpr(d - 1)
+		b.WriteString([]string{" + ", " - ", " * ", " / "}[r.intn(4)])
+		genExpr(d - 1)
+		b.WriteString(")")
+	}
+	defined := 0
+	// Stop at a statement boundary once the size target is met — a
+	// byte-exact cut would truncate mid-token and make the compiled
+	// module end in a parse error.
+	for b.Len() < n {
+		if comments && r.intn(8) == 0 {
+			fmt.Fprintf(&b, "# %s pass over %s\n", pool[r.intn(vars)], pool[r.intn(vars)])
+		}
+		if defined == 0 || r.intn(100) < 70 {
+			fmt.Fprintf(&b, "let %s = ", pool[r.intn(vars)])
+			genExpr(depth)
+			b.WriteString(";\n")
+			defined++
+		} else {
+			b.WriteString("print ")
+			genExpr(depth)
+			b.WriteString(";\n")
+		}
+	}
+	return []byte(b.String())
+}
+
+func init() {
+	src := withPrelude(mccMF)
+	register(&Workload{
+		Name: "gcc", Lang: C,
+		Desc:   "compiler compiling compiler-module-sized inputs (mcc over 6 TL modules)",
+		Source: src,
+		Datasets: []Dataset{
+			{Name: "insn", Desc: "dense expressions, deep nesting", Gen: func() []byte { return tlSource(26000, 31, 70, 5, 40, true) }},
+			{Name: "expr", Desc: "literal-heavy arithmetic", Gen: func() []byte { return tlSource(24000, 32, 25, 4, 12, false) }},
+			{Name: "stmt", Desc: "many short statements", Gen: func() []byte { return tlSource(22000, 33, 55, 2, 60, true) }},
+			{Name: "flow", Desc: "medium nesting, few variables", Gen: func() []byte { return tlSource(20000, 34, 60, 3, 6, false) }},
+			{Name: "jump", Desc: "shallow, comment-heavy", Gen: func() []byte { return tlSource(18000, 35, 45, 2, 25, true) }},
+			{Name: "emit2", Desc: "deep nesting, large symbol pool", Gen: func() []byte { return tlSource(24000, 36, 65, 6, 120, false) }},
+		},
+	})
+	register(&Workload{
+		Name: "mfcom", Lang: C,
+		Desc:   "the compiler over its two profiling inputs (C-metric and FORTRAN-metric source)",
+		Source: src,
+		Datasets: []Dataset{
+			{Name: "c_metric", Desc: "systems-C flavoured TL source", Gen: func() []byte { return tlSource(30000, 41, 75, 4, 80, true) }},
+			{Name: "fortran_metric", Desc: "scientific flavoured TL source", Gen: func() []byte { return tlSource(30000, 42, 30, 3, 10, false) }},
+		},
+	})
+}

@@ -1,0 +1,266 @@
+package workloads
+
+// nasa7: the seven synthetic NASA Ames kernels. Each kernel is a
+// scaled-down but structurally faithful analogue: mxm (matrix
+// multiply), cfft2d (complex FFT, here radix-2 over 256 points with a
+// bit-reversal permutation), cholsky (Cholesky factorization), btrix
+// (block tridiagonal solve, scalarized), gmtry (Gaussian elimination
+// geometry setup), emit (vortex emission loops), and vpenta
+// (pentadiagonal inversion). The KERNCHK constant guards per-element
+// verification in the hottest loops — the dynamically dead code that
+// Table 1 reports at 20% for nasa7.
+const nasa7MF = `
+const M = 48;
+const FFTN = 512;
+const KERNCHK = 0;
+
+var ma[2304] float;
+var mb[2304] float;
+var mc[2304] float;
+var re[512] float;
+var im[512] float;
+var chol[2304] float;
+var diag[M] float;
+var pd1[256] float;
+var pd2[256] float;
+var pd3[256] float;
+var pd4[256] float;
+var pd5[256] float;
+var prhs[256] float;
+
+func kmxm() float {
+	var i int;
+	var j int;
+	var k int;
+	for (i = 0; i < M; i = i + 1) {
+		for (j = 0; j < M; j = j + 1) {
+			ma[i * M + j] = float((i + j * 3) % 9) * 0.11 + 0.1;
+			mb[i * M + j] = float((i * 5 + j) % 7) * 0.13 - 0.2;
+		}
+	}
+	for (i = 0; i < M; i = i + 1) {
+		for (j = 0; j < M; j = j + 1) {
+			var s float = 0.0;
+			for (k = 0; k < M; k = k + 1) {
+				s = s + ma[i * M + k] * mb[k * M + j];
+				if (KERNCHK != 0) {
+					if (s != s) { puts("mxm nan\n"); }
+				}
+				if (KERNCHK == 2) {
+					if (k < 0) { puts("mxm index\n"); }
+				}
+			}
+			mc[i * M + j] = s;
+		}
+	}
+	return mc[5 * M + 5];
+}
+
+func kfft() float {
+	var i int;
+	for (i = 0; i < FFTN; i = i + 1) {
+		re[i] = sin(float(i) * 0.1) + 0.5 * sin(float(i) * 0.05);
+		im[i] = 0.0;
+	}
+	// bit reversal permutation
+	var j int = 0;
+	for (i = 0; i < FFTN - 1; i = i + 1) {
+		if (i < j) {
+			var tr float = re[i]; re[i] = re[j]; re[j] = tr;
+			var ti float = im[i]; im[i] = im[j]; im[j] = ti;
+		}
+		var m int = FFTN / 2;
+		while (m >= 1 && j >= m) {
+			j = j - m;
+			m = m / 2;
+		}
+		j = j + m;
+	}
+	// butterflies
+	var le int = 1;
+	while (le < FFTN) {
+		var le2 int = le * 2;
+		var ang float = -3.14159265358979 / float(le);
+		var k int;
+		for (k = 0; k < le; k = k + 1) {
+			var wr float = cos(ang * float(k));
+			var wi float = sin(ang * float(k));
+			for (i = k; i < FFTN; i = i + le2) {
+				var p int = i + le;
+				var tr float = wr * re[p] - wi * im[p];
+				var ti float = wr * im[p] + wi * re[p];
+				re[p] = re[i] - tr;
+				im[p] = im[i] - ti;
+				re[i] = re[i] + tr;
+				im[i] = im[i] + ti;
+				if (KERNCHK != 0) {
+					if (re[i] != re[i]) { puts("fft nan\n"); }
+				}
+			}
+		}
+		le = le2;
+	}
+	return re[1];
+}
+
+func kcholsky() float {
+	var i int;
+	var j int;
+	var k int;
+	for (i = 0; i < M; i = i + 1) {
+		for (j = 0; j < M; j = j + 1) {
+			chol[i * M + j] = 0.0;
+			if (i == j) { chol[i * M + j] = float(M) + float(i % 3); }
+			if (i == j + 1 || j == i + 1) { chol[i * M + j] = 1.0; }
+		}
+	}
+	for (j = 0; j < M; j = j + 1) {
+		var s float = chol[j * M + j];
+		for (k = 0; k < j; k = k + 1) {
+			s = s - chol[j * M + k] * chol[j * M + k];
+		}
+		diag[j] = sqrt(s);
+		for (i = j + 1; i < M; i = i + 1) {
+			var t float = chol[i * M + j];
+			for (k = 0; k < j; k = k + 1) {
+				t = t - chol[i * M + k] * chol[j * M + k];
+			}
+			chol[i * M + j] = t / diag[j];
+		}
+	}
+	return diag[M - 1];
+}
+
+func kbtrix() float {
+	// scalarized block-tridiagonal sweep: forward eliminate, back
+	// substitute over 4 interleaved systems
+	var sys int;
+	var s float = 0.0;
+	for (sys = 0; sys < 4; sys = sys + 1) {
+		var i int;
+		for (i = 0; i < 200; i = i + 1) {
+			pd1[i] = 0.1 + float((i + sys) % 5) * 0.02;
+			pd2[i] = 1.0 + float(i % 3) * 0.1;
+			pd3[i] = 0.1 + float(i % 7) * 0.01;
+			prhs[i] = float(i % 11) * 0.3;
+		}
+		for (i = 1; i < 200; i = i + 1) {
+			var m float = pd1[i] / pd2[i - 1];
+			pd2[i] = pd2[i] - m * pd3[i - 1];
+			prhs[i] = prhs[i] - m * prhs[i - 1];
+		}
+		prhs[199] = prhs[199] / pd2[199];
+		for (i = 198; i >= 0; i = i - 1) {
+			prhs[i] = (prhs[i] - pd3[i] * prhs[i + 1]) / pd2[i];
+		}
+		s = s + prhs[0];
+	}
+	return s;
+}
+
+func kgmtry() float {
+	// Gaussian elimination on a dense, diagonally dominant system
+	var n int = 24;
+	var i int;
+	var j int;
+	var k int;
+	for (i = 0; i < n; i = i + 1) {
+		for (j = 0; j < n; j = j + 1) {
+			ma[i * M + j] = 1.0 / (float(i + j) + 1.0);
+		}
+		ma[i * M + i] = ma[i * M + i] + 2.0;
+		prhs[i] = 1.0;
+	}
+	for (k = 0; k < n; k = k + 1) {
+		for (i = k + 1; i < n; i = i + 1) {
+			var f float = ma[i * M + k] / ma[k * M + k];
+			for (j = k; j < n; j = j + 1) {
+				ma[i * M + j] = ma[i * M + j] - f * ma[k * M + j];
+			}
+			prhs[i] = prhs[i] - f * prhs[k];
+		}
+	}
+	var s float = 0.0;
+	for (i = n - 1; i >= 0; i = i - 1) {
+		var t float = prhs[i];
+		for (j = i + 1; j < n; j = j + 1) {
+			t = t - ma[i * M + j] * pd4[j];
+		}
+		pd4[i] = t / ma[i * M + i];
+		s = s + pd4[i];
+	}
+	return s;
+}
+
+func kemit() float {
+	// vortex emission: trigonometric updates over particle arrays
+	var i int;
+	var t int;
+	var s float = 0.0;
+	for (t = 0; t < 12; t = t + 1) {
+		for (i = 0; i < 200; i = i + 1) {
+			var th float = float(i) * 0.031 + float(t) * 0.5;
+			pd5[i] = pd5[i] + 0.01 * cos(th) / (1.0 + 0.001 * float(i));
+			s = s + pd5[i] * sin(th);
+		}
+	}
+	return s;
+}
+
+func kvpenta() float {
+	// pentadiagonal inversion, scalar form
+	var i int;
+	for (i = 0; i < 200; i = i + 1) {
+		pd1[i] = 0.05;
+		pd2[i] = 0.1;
+		pd3[i] = 1.0 + float(i % 2) * 0.2;
+		pd4[i] = 0.1;
+		pd5[i] = 0.05;
+		prhs[i] = float(i % 9) * 0.1;
+	}
+	for (i = 2; i < 200; i = i + 1) {
+		var m1 float = pd2[i] / pd3[i - 1];
+		pd3[i] = pd3[i] - m1 * pd4[i - 1];
+		pd4[i] = pd4[i] - m1 * pd5[i - 1];
+		prhs[i] = prhs[i] - m1 * prhs[i - 1];
+		var m2 float = pd1[i] / pd3[i - 2];
+		pd2[i] = pd2[i] - m2 * pd4[i - 2];
+		prhs[i] = prhs[i] - m2 * prhs[i - 2];
+		if (KERNCHK != 0) {
+			if (pd3[i] == 0.0) { puts("vpenta pivot\n"); }
+		}
+	}
+	prhs[199] = prhs[199] / pd3[199];
+	prhs[198] = (prhs[198] - pd4[198] * prhs[199]) / pd3[198];
+	for (i = 197; i >= 0; i = i - 1) {
+		prhs[i] = (prhs[i] - pd4[i] * prhs[i + 1] - pd5[i] * prhs[i + 2]) / pd3[i];
+	}
+	return prhs[0];
+}
+
+func main() int {
+	var rep int;
+	var sum float = 0.0;
+	for (rep = 0; rep < 4; rep = rep + 1) {
+		sum = sum + kmxm();
+		sum = sum + kfft();
+		sum = sum + kcholsky();
+		sum = sum + kbtrix();
+		sum = sum + kgmtry();
+		sum = sum + kemit();
+		sum = sum + kvpenta();
+	}
+	puts("nasa7 sum ");
+	putf(sum);
+	putc('\n');
+	return 7;
+}
+`
+
+func init() {
+	register(&Workload{
+		Name: "nasa7", Lang: Fortran,
+		Desc:   "seven synthetic NASA kernels (mxm, fft, cholsky, btrix, gmtry, emit, vpenta)",
+		Source: withPrelude(nasa7MF),
+	})
+}

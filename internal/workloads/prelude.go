@@ -1,0 +1,170 @@
+package workloads
+
+// preludeMF is a small runtime library prepended to every workload's
+// MF source: formatted output, input parsing, and a seeded linear
+// congruential generator. The compiler has no include mechanism;
+// concatenation at registration time plays that role.
+const preludeMF = `
+// ---- MF runtime prelude ----
+
+// puti prints n in decimal.
+func puti(n int) {
+	if (n < 0) {
+		putc('-');
+		n = -n;
+	}
+	if (n >= 10) {
+		puti(n / 10);
+	}
+	putc('0' + n % 10);
+}
+
+// puts prints the NUL-terminated string at int-memory address s.
+func puts(s int) {
+	var c int = peek(s);
+	while (c != 0) {
+		putc(c);
+		s = s + 1;
+		c = peek(s);
+	}
+}
+
+// putiln prints n followed by a newline.
+func putiln(n int) {
+	puti(n);
+	putc('\n');
+}
+
+// putf prints x with three decimal places. Non-finite or enormous
+// values print as symbolic tokens rather than trapping.
+func putf(x float) {
+	if (x != x) {
+		puts("nan");
+		return;
+	}
+	if (x < 0.0) {
+		putc('-');
+		x = -x;
+	}
+	if (x > 900000000000000.0) {
+		puts("huge");
+		return;
+	}
+	var ip int = int(x);
+	puti(ip);
+	putc('.');
+	var fr int = int((x - float(ip)) * 1000.0 + 0.5);
+	if (fr >= 1000) { fr = 999; }
+	putc('0' + fr / 100);
+	putc('0' + (fr / 10) % 10);
+	putc('0' + fr % 10);
+}
+
+// geti reads the next integer from the input, skipping anything that
+// is not a digit or minus sign. Returns -999999999 at end of input.
+func geti() int {
+	var c int = getc();
+	while (c != -1 && (c < '0' || c > '9') && c != '-') {
+		c = getc();
+	}
+	if (c == -1) {
+		return -999999999;
+	}
+	var neg int = 0;
+	if (c == '-') {
+		neg = 1;
+		c = getc();
+	}
+	var n int = 0;
+	while (c >= '0' && c <= '9') {
+		n = n * 10 + (c - '0');
+		c = getc();
+	}
+	if (neg != 0) {
+		return -n;
+	}
+	return n;
+}
+
+// getf reads a decimal float (digits, optional fraction, optional
+// leading minus). Returns -999999999.0 at end of input.
+func getf() float {
+	var c int = getc();
+	while (c != -1 && (c < '0' || c > '9') && c != '-') {
+		c = getc();
+	}
+	if (c == -1) {
+		return -999999999.0;
+	}
+	var neg int = 0;
+	if (c == '-') {
+		neg = 1;
+		c = getc();
+	}
+	var v float = 0.0;
+	while (c >= '0' && c <= '9') {
+		v = v * 10.0 + float(c - '0');
+		c = getc();
+	}
+	if (c == '.') {
+		c = getc();
+		var scale float = 0.1;
+		while (c >= '0' && c <= '9') {
+			v = v + float(c - '0') * scale;
+			scale = scale * 0.1;
+			c = getc();
+		}
+	}
+	if (c == 'e' || c == 'E') {
+		c = getc();
+		var eneg int = 0;
+		if (c == '-') { eneg = 1; c = getc(); }
+		var ex int = 0;
+		while (c >= '0' && c <= '9') {
+			ex = ex * 10 + (c - '0');
+			c = getc();
+		}
+		while (ex > 0) {
+			if (eneg != 0) { v = v * 0.1; } else { v = v * 10.0; }
+			ex = ex - 1;
+		}
+	}
+	if (neg != 0) {
+		return -v;
+	}
+	return v;
+}
+
+var __seed[1] int = { 12345 };
+
+// srand seeds the prelude's generator.
+func srand(s int) {
+	__seed[0] = s & 0x7fffffff;
+	if (__seed[0] == 0) { __seed[0] = 1; }
+}
+
+// rnd returns a pseudo-random int in [0, 2^31).
+func rnd() int {
+	__seed[0] = (__seed[0] * 1103515245 + 12345) & 0x7fffffff;
+	return __seed[0];
+}
+
+// frnd returns a pseudo-random float in [0, 1).
+func frnd() float {
+	return float(rnd()) / 2147483648.0;
+}
+
+// imin/imax/iabs: small integer helpers.
+func imin(a int, b int) int { if (a < b) { return a; } return b; }
+func imax(a int, b int) int { if (a > b) { return a; } return b; }
+func iabs(a int) int { if (a < 0) { return -a; } return a; }
+
+// ---- end prelude ----
+`
+
+// withPrelude returns the prelude followed by body.
+func withPrelude(body string) string { return preludeMF + body }
+
+// Prelude returns the MF runtime prelude so external programs (tools,
+// examples) can build sources with the same helpers the workloads use.
+func Prelude() string { return preludeMF }

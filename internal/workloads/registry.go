@@ -1,0 +1,94 @@
+// Package workloads holds the program sample base: MF-language
+// analogues of every program in the paper's Table 2, each with
+// datasets mirroring the paper's dataset spread. Proprietary SPEC
+// sources and the Multiflow compiler are unavailable, so each analogue
+// implements the same algorithmic core (see DESIGN.md §2 and §4); what
+// the experiments need preserved is the *class* of branch behaviour —
+// FORTRAN-style counted loops versus C-style data-dependent control —
+// and these re-implementations preserve it by construction.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lang classifies a workload the way the paper's figures split them.
+type Lang uint8
+
+// Classes.
+const (
+	Fortran Lang = iota // FORTRAN / floating point (figures 1a, 2a)
+	C                   // C / integer (figures 1b, 2b, 3b)
+)
+
+// String names the class as the paper does.
+func (l Lang) String() string {
+	if l == Fortran {
+		return "FORTRAN/FP"
+	}
+	return "C/Integer"
+}
+
+// Dataset is one input for a workload. Gen must be deterministic.
+type Dataset struct {
+	Name string
+	Desc string
+	Gen  func() []byte
+}
+
+// Workload is one benchmark program with its datasets.
+type Workload struct {
+	Name     string
+	Lang     Lang
+	Desc     string
+	Source   string // complete MF source (prelude included)
+	Datasets []Dataset
+}
+
+// MultiDataset reports whether the workload takes part in
+// cross-dataset prediction experiments (needs at least two datasets).
+func (w *Workload) MultiDataset() bool { return len(w.Datasets) >= 2 }
+
+var registry []*Workload
+
+func register(w *Workload) {
+	if len(w.Datasets) == 0 {
+		// Programs that read no dataset still need one run slot.
+		w.Datasets = []Dataset{{Name: "-", Desc: "program does not read a dataset", Gen: func() []byte { return nil }}}
+	}
+	registry = append(registry, w)
+}
+
+// All returns every workload, sorted FORTRAN-class first and by name
+// within a class (stable order for reports).
+func All() []*Workload {
+	out := append([]*Workload(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Lang != out[j].Lang {
+			return out[i].Lang < out[j].Lang
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names returns all workload names in report order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}

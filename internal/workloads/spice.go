@@ -1,0 +1,336 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// spice2g6: electronic circuit simulation by modified nodal analysis.
+// The analogue reads a netlist of resistors, current sources, diodes,
+// capacitors and pulse sources, finds the DC operating point with
+// Newton iteration over linearized device stamps (Gaussian
+// elimination each iteration), and optionally runs a transient with
+// backward-Euler companion models — the same solver skeleton as
+// spice's DC/transient analyses. The dataset spread copies the
+// paper's: five appendix-A-style example circuits (circuit2 is tiny —
+// the paper notes it runs 1/10,000th of greybig), two adder-style
+// nonlinear networks, and two gray-code-counter transients of very
+// different lengths.
+//
+// Netlist grammar (one device per line):
+//
+//	N <nodes>            node count (ground is node 0, not counted)
+//	R <a> <b> <ohms>
+//	I <a> <b> <amps>     current source a->b
+//	D <a> <b>            diode, anode a cathode b
+//	C <a> <b> <farads>
+//	P <a> <b> <amps> <halfperiod>   square-wave current source
+//	T <steps> <dt>       transient request
+//	E                    end
+const spiceMF = `
+const MAXN = 24;
+const MAXDEV = 128;
+const SPCHK = 0;
+
+var g[576] float;     // MAXN*MAXN conductance matrix
+var rhs[MAXN] float;
+var x[MAXN] float;
+var xold[MAXN] float;
+var xprev[MAXN] float; // previous timestep solution
+
+var dtype[MAXDEV] int; // 0 R, 1 I, 2 D, 3 C, 4 P
+var da[MAXDEV] int;
+var db[MAXDEV] int;
+var dval[MAXDEV] float;
+var dval2[MAXDEV] float;
+var ndev[1] int;
+var nn[1] int;        // nodes (excluding ground)
+var tsteps[1] int;
+var tdt[1] float;
+var iterstotal[1] int;
+
+func readnet() {
+	var c int = getc();
+	while (c != -1 && c != 'E') {
+		if (c == 'N') {
+			nn[0] = geti();
+		} else if (c == 'R' || c == 'I' || c == 'C') {
+			var k int = ndev[0];
+			if (c == 'R') { dtype[k] = 0; }
+			if (c == 'I') { dtype[k] = 1; }
+			if (c == 'C') { dtype[k] = 3; }
+			da[k] = geti();
+			db[k] = geti();
+			dval[k] = getf();
+			ndev[0] = k + 1;
+		} else if (c == 'D') {
+			dtype[ndev[0]] = 2;
+			da[ndev[0]] = geti();
+			db[ndev[0]] = geti();
+			ndev[0] = ndev[0] + 1;
+		} else if (c == 'P') {
+			dtype[ndev[0]] = 4;
+			da[ndev[0]] = geti();
+			db[ndev[0]] = geti();
+			dval[ndev[0]] = getf();
+			dval2[ndev[0]] = float(geti());
+			ndev[0] = ndev[0] + 1;
+		} else if (c == 'T') {
+			tsteps[0] = geti();
+			tdt[0] = getf();
+		}
+		c = getc();
+		while (c == ' ' || c == '\n' || c == '\r' || c == '\t') {
+			c = getc();
+		}
+	}
+}
+
+// stampG adds conductance gv between nodes a and b (0 = ground).
+func stampG(a int, b int, gv float) {
+	if (a > 0) { g[(a - 1) * MAXN + (a - 1)] = g[(a - 1) * MAXN + (a - 1)] + gv; }
+	if (b > 0) { g[(b - 1) * MAXN + (b - 1)] = g[(b - 1) * MAXN + (b - 1)] + gv; }
+	if (a > 0 && b > 0) {
+		g[(a - 1) * MAXN + (b - 1)] = g[(a - 1) * MAXN + (b - 1)] - gv;
+		g[(b - 1) * MAXN + (a - 1)] = g[(b - 1) * MAXN + (a - 1)] - gv;
+	}
+}
+
+// stampI adds current iv flowing a->b.
+func stampI(a int, b int, iv float) {
+	if (a > 0) { rhs[a - 1] = rhs[a - 1] - iv; }
+	if (b > 0) { rhs[b - 1] = rhs[b - 1] + iv; }
+}
+
+func nodev(a int) float {
+	if (a == 0) { return 0.0; }
+	return x[a - 1];
+}
+
+// stamp builds the linearized system at the current solution
+// estimate. step < 0 means pure DC (no capacitor/pulse companions).
+func stamp(step int) {
+	var i int;
+	var j int;
+	for (i = 0; i < nn[0]; i = i + 1) {
+		rhs[i] = 0.0;
+		for (j = 0; j < nn[0]; j = j + 1) {
+			g[i * MAXN + j] = 0.0;
+		}
+		// gmin to ground keeps the matrix nonsingular
+		g[i * MAXN + i] = 0.000000001;
+	}
+	var k int;
+	for (k = 0; k < ndev[0]; k = k + 1) {
+		var a int = da[k];
+		var b int = db[k];
+		switch (dtype[k]) {
+		case 0:
+			stampG(a, b, 1.0 / dval[k]);
+		case 1:
+			stampI(a, b, dval[k]);
+		case 2: {
+			// diode: I = Is*(exp(V/Vt)-1), linearized at V
+			var v float = nodev(a) - nodev(b);
+			if (v > 0.8) { v = 0.8; }
+			if (v < -2.0) { v = -2.0; }
+			var is float = 0.00000000001;
+			var vt float = 0.026;
+			var ex float = exp(v / vt);
+			var id float = is * (ex - 1.0);
+			var gd float = is / vt * ex + 0.000000001;
+			stampG(a, b, gd);
+			stampI(a, b, id - gd * v);
+			if (SPCHK != 0) {
+				if (gd != gd) { puts("diode nan\n"); }
+			}
+		}
+		case 3: {
+			if (step >= 0) {
+				// backward Euler companion: Geq = C/dt
+				var geq float = dval[k] / tdt[0];
+				var vp float = 0.0;
+				if (a > 0) { vp = vp + xprev[a - 1]; }
+				if (b > 0) { vp = vp - xprev[b - 1]; }
+				stampG(a, b, geq);
+				stampI(a, b, -geq * vp);
+			}
+		}
+		case 4: {
+			var amp float = dval[k];
+			if (step >= 0) {
+				var half int = int(dval2[k]);
+				if ((step / half) % 2 == 1) { amp = 0.0; }
+			}
+			stampI(a, b, amp);
+		}
+		}
+	}
+}
+
+// solve runs in-place Gaussian elimination with partial pivoting on
+// g/rhs, leaving the solution in x.
+func solve() {
+	var n int = nn[0];
+	var i int;
+	var j int;
+	var k int;
+	for (k = 0; k < n; k = k + 1) {
+		var piv int = k;
+		var best float = fabs(g[k * MAXN + k]);
+		for (i = k + 1; i < n; i = i + 1) {
+			if (fabs(g[i * MAXN + k]) > best) {
+				best = fabs(g[i * MAXN + k]);
+				piv = i;
+			}
+		}
+		if (piv != k) {
+			for (j = k; j < n; j = j + 1) {
+				var t float = g[k * MAXN + j];
+				g[k * MAXN + j] = g[piv * MAXN + j];
+				g[piv * MAXN + j] = t;
+			}
+			var t2 float = rhs[k];
+			rhs[k] = rhs[piv];
+			rhs[piv] = t2;
+		}
+		for (i = k + 1; i < n; i = i + 1) {
+			var f float = g[i * MAXN + k] / g[k * MAXN + k];
+			if (f != 0.0) {
+				for (j = k; j < n; j = j + 1) {
+					g[i * MAXN + j] = g[i * MAXN + j] - f * g[k * MAXN + j];
+				}
+				rhs[i] = rhs[i] - f * rhs[k];
+			}
+		}
+	}
+	for (i = n - 1; i >= 0; i = i - 1) {
+		var s float = rhs[i];
+		for (j = i + 1; j < n; j = j + 1) {
+			s = s - g[i * MAXN + j] * x[j];
+		}
+		x[i] = s / g[i * MAXN + i];
+	}
+}
+
+// newton iterates stamp/solve to convergence; returns iterations.
+func newton(step int) int {
+	var it int;
+	for (it = 0; it < 60; it = it + 1) {
+		var i int;
+		for (i = 0; i < nn[0]; i = i + 1) {
+			xold[i] = x[i];
+		}
+		stamp(step);
+		solve();
+		var worst float = 0.0;
+		for (i = 0; i < nn[0]; i = i + 1) {
+			// damp large Newton steps for diode stability
+			var dx float = x[i] - xold[i];
+			if (dx > 0.5) { x[i] = xold[i] + 0.5; dx = 0.5; }
+			if (dx < -0.5) { x[i] = xold[i] - 0.5; dx = -0.5; }
+			if (fabs(dx) > worst) { worst = fabs(dx); }
+		}
+		if (worst < 0.000001) {
+			iterstotal[0] = iterstotal[0] + it + 1;
+			return it + 1;
+		}
+	}
+	iterstotal[0] = iterstotal[0] + 60;
+	return 60;
+}
+
+func main() int {
+	readnet();
+	var i int;
+	for (i = 0; i < nn[0]; i = i + 1) { x[i] = 0.0; }
+	newton(-1);
+	puts("op");
+	for (i = 0; i < nn[0]; i = i + 1) {
+		putc(' ');
+		putf(x[i]);
+	}
+	putc('\n');
+	if (tsteps[0] > 0) {
+		var chk float = 0.0;
+		var s int;
+		for (s = 0; s < tsteps[0]; s = s + 1) {
+			for (i = 0; i < nn[0]; i = i + 1) { xprev[i] = x[i]; }
+			newton(s);
+			chk = chk + x[0];
+		}
+		puts("tran ");
+		putf(chk / float(tsteps[0]));
+		putc('\n');
+	}
+	puts("iters ");
+	putiln(iterstotal[0]);
+	return iterstotal[0] % 1000;
+}
+`
+
+// netlist builders -----------------------------------------------------
+
+// ladderNet builds a resistor/diode ladder with nNodes nodes driven by
+// a current source; diodeEvery controls nonlinearity density.
+func ladderNet(nNodes int, diodeEvery int, drive float64, tran int) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N %d\n", nNodes)
+	fmt.Fprintf(&b, "I 0 1 %.4f\n", drive)
+	for i := 1; i < nNodes; i++ {
+		fmt.Fprintf(&b, "R %d %d %d\n", i, i+1, 800+137*i%700)
+		fmt.Fprintf(&b, "R %d 0 %d\n", i, 2000+211*i%1500)
+		if diodeEvery > 0 && i%diodeEvery == 0 {
+			fmt.Fprintf(&b, "D %d 0\n", i)
+		}
+	}
+	fmt.Fprintf(&b, "R %d 0 1500\n", nNodes)
+	if tran > 0 {
+		fmt.Fprintf(&b, "C 1 0 0.000001\nP 0 1 0.002 7\nT %d 0.0001\n", tran)
+	}
+	b.WriteString("E\n")
+	return []byte(b.String())
+}
+
+// greyNet builds the gray-code-counter-style transient: pulse-driven
+// RC/diode stages that switch at staggered rates.
+func greyNet(stages, steps int) []byte {
+	var b strings.Builder
+	n := stages * 2
+	fmt.Fprintf(&b, "N %d\n", n)
+	for s := 0; s < stages; s++ {
+		a := s*2 + 1
+		bn := s*2 + 2
+		fmt.Fprintf(&b, "P 0 %d 0.004 %d\n", a, 5*(s+1))
+		fmt.Fprintf(&b, "R %d %d 900\n", a, bn)
+		fmt.Fprintf(&b, "R %d 0 2600\n", a)
+		fmt.Fprintf(&b, "C %d 0 0.000002\n", bn)
+		fmt.Fprintf(&b, "D %d 0\n", bn)
+		if s > 0 {
+			fmt.Fprintf(&b, "R %d %d 1800\n", s*2, a)
+		}
+	}
+	fmt.Fprintf(&b, "T %d 0.0001\nE\n", steps)
+	return []byte(b.String())
+}
+
+func init() {
+	register(&Workload{
+		Name: "spice2g6", Lang: Fortran,
+		Desc:   "electronic circuit simulator (nodal analysis, Newton, transient)",
+		Source: withPrelude(spiceMF),
+		Datasets: []Dataset{
+			{Name: "circuit1", Desc: "diode ladder, DC operating point", Gen: func() []byte { return ladderNet(8, 3, 0.003, 0) }},
+			{Name: "circuit2", Desc: "three-resistor divider (very short run)", Gen: func() []byte {
+				return []byte("N 2\nI 0 1 0.001\nR 1 2 1000\nR 2 0 2200\nR 1 0 4700\nE\n")
+			}},
+			{Name: "circuit3", Desc: "bridge with two diodes, DC", Gen: func() []byte { return ladderNet(6, 2, 0.005, 0) }},
+			{Name: "circuit4", Desc: "wider nonlinear ladder, DC", Gen: func() []byte { return ladderNet(12, 2, 0.004, 0) }},
+			{Name: "circuit5", Desc: "nonlinear ladder with a short transient", Gen: func() []byte { return ladderNet(10, 3, 0.004, 40) }},
+			{Name: "add_bjt", Desc: "4-bit adder network, junction-heavy, transient", Gen: func() []byte { return ladderNet(16, 1, 0.002, 120) }},
+			{Name: "add_fet", Desc: "4-bit adder network, sparser junctions, transient", Gen: func() []byte { return ladderNet(16, 4, 0.002, 180) }},
+			{Name: "greysmall", Desc: "gray-code counter, smaller input", Gen: func() []byte { return greyNet(5, 400) }},
+			{Name: "greybig", Desc: "gray-code counter, larger input", Gen: func() []byte { return greyNet(6, 2200) }},
+		},
+	})
+}

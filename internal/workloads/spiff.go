@@ -1,0 +1,119 @@
+package workloads
+
+// spiff: the file comparison tool included in SPEC. The analogue
+// hashes the lines of two input files (separated by a 0x01 byte) and
+// computes a longest-common-subsequence alignment over the line
+// hashes, reporting common/deleted/added line counts — the same
+// algorithmic core (line-oriented LCS diff) with the same data-driven
+// control: per-character line scanning and DP table comparisons.
+const spiffMF = `
+const MAXLINES = 400;
+
+var h1[MAXLINES] int;
+var h2[MAXLINES] int;
+var dp[160801] int; // (MAXLINES+1)^2
+
+// readlines reads lines until the stop byte (or end of input),
+// recording a hash per line into the array at base. Returns the line
+// count.
+func readlines(base int, stop int) int {
+	var n int = 0;
+	var h int = 5381;
+	var sawany int = 0;
+	var c int = getc();
+	while (c != -1 && c != stop) {
+		if (c == '\n') {
+			if (n < MAXLINES) {
+				poke(base + n, h);
+				n = n + 1;
+			}
+			h = 5381;
+			sawany = 0;
+		} else {
+			h = (h * 33 + c) & 0xffffffff;
+			sawany = 1;
+		}
+		c = getc();
+	}
+	if (sawany != 0 && n < MAXLINES) {
+		poke(base + n, h);
+		n = n + 1;
+	}
+	return n;
+}
+
+func main() int {
+	var n int = readlines(&h1, 1);
+	var m int = readlines(&h2, 1);
+	var w int = m + 1;
+
+	// LCS dynamic program over line hashes.
+	var i int;
+	var j int;
+	for (i = 0; i <= m; i = i + 1) { dp[i] = 0; }
+	for (i = 1; i <= n; i = i + 1) {
+		dp[i * w] = 0;
+		for (j = 1; j <= m; j = j + 1) {
+			if (h1[i - 1] == h2[j - 1]) {
+				dp[i * w + j] = dp[(i - 1) * w + (j - 1)] + 1;
+			} else {
+				dp[i * w + j] = imax(dp[(i - 1) * w + j], dp[i * w + (j - 1)]);
+			}
+		}
+	}
+
+	// Walk the alignment back, counting edits.
+	var common int = 0;
+	var deleted int = 0;
+	var added int = 0;
+	i = n;
+	j = m;
+	while (i > 0 && j > 0) {
+		if (h1[i - 1] == h2[j - 1]) {
+			common = common + 1;
+			i = i - 1;
+			j = j - 1;
+		} else if (dp[(i - 1) * w + j] >= dp[i * w + (j - 1)]) {
+			deleted = deleted + 1;
+			i = i - 1;
+		} else {
+			added = added + 1;
+			j = j - 1;
+		}
+	}
+	deleted = deleted + i;
+	added = added + j;
+
+	puts("common ");  putiln(common);
+	puts("deleted "); putiln(deleted);
+	puts("added ");   putiln(added);
+	return deleted + added;
+}
+`
+
+func spiffInput(f1, f2 []byte) []byte {
+	out := make([]byte, 0, len(f1)+len(f2)+1)
+	out = append(out, f1...)
+	out = append(out, 1)
+	out = append(out, f2...)
+	return out
+}
+
+func init() {
+	register(&Workload{
+		Name: "spiff", Lang: C,
+		Desc:   "file comparison tool (line-oriented LCS diff)",
+		Source: withPrelude(spiffMF),
+		Datasets: []Dataset{
+			{Name: "case1", Desc: "float files, a few scattered differences", Gen: func() []byte {
+				return spiffInput(floatColumns(220, 5, 21, 0), floatColumns(220, 5, 21, 9))
+			}},
+			{Name: "case2", Desc: "float files, many differences", Gen: func() []byte {
+				return spiffInput(floatColumns(250, 5, 22, 0), floatColumns(250, 5, 22, 70))
+			}},
+			{Name: "case3", Desc: "directory listings, last lines differ", Gen: func() []byte {
+				return spiffInput(dirListing(28, 23, 0), dirListing(28, 23, 3))
+			}},
+		},
+	})
+}

@@ -1,0 +1,218 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a small deterministic generator for dataset synthesis. Every
+// dataset is produced from a fixed seed so runs are reproducible.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// intn returns a value in [0,n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// pick returns a random element of xs.
+func (r *rng) pick(xs []string) string { return xs[r.intn(len(xs))] }
+
+var cIdents = []string{
+	"buf", "len", "ptr", "node", "next", "prev", "head", "tail", "tmp",
+	"count", "size", "flags", "mode", "state", "depth", "hash", "key",
+	"val", "index", "offset", "result", "status", "errcode", "ch", "tok",
+}
+
+var cTypes = []string{"int", "char", "long", "unsigned", "short"}
+
+// cSourceText synthesizes systems-style C source of roughly n bytes —
+// the character class of the paper's "cmprssc" dataset.
+func cSourceText(n int, seed uint64) []byte {
+	r := newRng(seed)
+	var b strings.Builder
+	fn := 0
+	for b.Len() < n {
+		fn++
+		fmt.Fprintf(&b, "static %s do_%s_%d(%s *%s, %s %s)\n{\n",
+			r.pick(cTypes), r.pick(cIdents), fn, r.pick(cTypes), r.pick(cIdents),
+			r.pick(cTypes), r.pick(cIdents))
+		stmts := 4 + r.intn(10)
+		for s := 0; s < stmts; s++ {
+			switch r.intn(5) {
+			case 0:
+				fmt.Fprintf(&b, "\tif (%s->%s != 0 && %s < %d) {\n\t\t%s = %s + %d;\n\t}\n",
+					r.pick(cIdents), r.pick(cIdents), r.pick(cIdents), r.intn(256),
+					r.pick(cIdents), r.pick(cIdents), r.intn(16))
+			case 1:
+				fmt.Fprintf(&b, "\tfor (%s = 0; %s < %s; %s++)\n\t\t%s[%s] = %s;\n",
+					r.pick(cIdents), r.pick(cIdents), r.pick(cIdents), r.pick(cIdents),
+					r.pick(cIdents), r.pick(cIdents), r.pick(cIdents))
+			case 2:
+				fmt.Fprintf(&b, "\twhile (*%s != '\\0')\n\t\t%s++;\n", r.pick(cIdents), r.pick(cIdents))
+			case 3:
+				fmt.Fprintf(&b, "\tswitch (%s) {\n\tcase %d:\n\t\treturn %s;\n\tdefault:\n\t\tbreak;\n\t}\n",
+					r.pick(cIdents), r.intn(32), r.pick(cIdents))
+			default:
+				fmt.Fprintf(&b, "\t%s = (%s << %d) | (%s & 0x%x);\n",
+					r.pick(cIdents), r.pick(cIdents), 1+r.intn(7), r.pick(cIdents), r.intn(4096))
+			}
+		}
+		b.WriteString("\treturn 0;\n}\n\n")
+	}
+	return []byte(b.String()[:n])
+}
+
+var fIdents = []string{"I", "J", "K", "N", "M", "X", "Y", "Z", "A", "B", "C", "DX", "DY", "SUM", "TMP", "EPS"}
+
+// fortranSourceText synthesizes scientific FORTRAN source — the
+// character class of the paper's "spicef" dataset.
+func fortranSourceText(n int, seed uint64) []byte {
+	r := newRng(seed)
+	var b strings.Builder
+	sub := 0
+	for b.Len() < n {
+		sub++
+		fmt.Fprintf(&b, "      SUBROUTINE KERN%d(%s, %s, %s)\n", sub, r.pick(fIdents), r.pick(fIdents), r.pick(fIdents))
+		fmt.Fprintf(&b, "      DIMENSION %s(%d), %s(%d)\n", r.pick(fIdents), 100+r.intn(400), r.pick(fIdents), 100+r.intn(400))
+		loops := 2 + r.intn(4)
+		for l := 0; l < loops; l++ {
+			lbl := 10 * (l + 1)
+			fmt.Fprintf(&b, "      DO %d %s = 1, %s\n", lbl, r.pick(fIdents), r.pick(fIdents))
+			fmt.Fprintf(&b, "         %s(%s) = %s(%s) * %d.%dE%d + %s\n",
+				r.pick(fIdents), r.pick(fIdents), r.pick(fIdents), r.pick(fIdents),
+				r.intn(10), r.intn(10), r.intn(6), r.pick(fIdents))
+			fmt.Fprintf(&b, "%4d  CONTINUE\n", lbl)
+		}
+		b.WriteString("      RETURN\n      END\n\n")
+	}
+	return []byte(b.String()[:n])
+}
+
+var words = []string{
+	"the", "of", "and", "a", "to", "in", "is", "that", "it", "for",
+	"branch", "prediction", "compiler", "instruction", "program", "run",
+	"dataset", "speculative", "execution", "parallel", "machine", "code",
+	"loop", "control", "flow", "static", "dynamic", "profile", "feedback",
+	"schedule", "trace", "register", "memory", "cache", "pipeline",
+}
+
+// englishText synthesizes prose of roughly n bytes — the class of the
+// paper's "long" reference dataset.
+func englishText(n int, seed uint64) []byte {
+	r := newRng(seed)
+	var b strings.Builder
+	col := 0
+	for b.Len() < n {
+		w := r.pick(words)
+		if col == 0 {
+			w = strings.ToUpper(w[:1]) + w[1:]
+		}
+		b.WriteString(w)
+		col += len(w) + 1
+		if r.intn(12) == 0 {
+			b.WriteString(".")
+		}
+		if col > 60 {
+			b.WriteString("\n")
+			col = 0
+		} else {
+			b.WriteString(" ")
+		}
+	}
+	return []byte(b.String()[:n])
+}
+
+// binaryImage synthesizes compiled-image-like bytes: mostly structured
+// records with repeated opcode-like patterns plus stretches of
+// near-random data — the class of the paper's "cmprss"/"spice"
+// compiled-image datasets.
+func binaryImage(n int, seed uint64) []byte {
+	r := newRng(seed)
+	out := make([]byte, 0, n)
+	opcodes := make([]byte, 24)
+	for i := range opcodes {
+		opcodes[i] = byte(r.intn(256))
+	}
+	for len(out) < n {
+		switch r.intn(4) {
+		case 0: // instruction-like records: opcode, reg, reg, imm16
+			for k := 0; k < 32 && len(out) < n; k++ {
+				out = append(out, opcodes[r.intn(len(opcodes))], byte(r.intn(32)),
+					byte(r.intn(32)), byte(r.intn(256)))
+			}
+		case 1: // zero padding (bss-like)
+			for k := 0; k < 24+r.intn(64) && len(out) < n; k++ {
+				out = append(out, 0)
+			}
+		case 2: // string table fragment
+			for k := 0; k < 8 && len(out) < n; k++ {
+				w := words[r.intn(len(words))]
+				out = append(out, []byte(w)...)
+				out = append(out, 0)
+			}
+		default: // high-entropy section
+			for k := 0; k < 48+r.intn(64) && len(out) < n; k++ {
+				out = append(out, byte(r.next()))
+			}
+		}
+	}
+	return out[:n]
+}
+
+// floatColumns synthesizes spiff-style files of floating point
+// numbers, nLines lines of nCols columns. mutate flips a few values
+// to create the differences spiff reports.
+func floatColumns(nLines, nCols int, seed uint64, mutations int) []byte {
+	r := newRng(seed)
+	var b strings.Builder
+	vals := make([][]string, nLines)
+	for i := 0; i < nLines; i++ {
+		row := make([]string, nCols)
+		for j := 0; j < nCols; j++ {
+			row[j] = fmt.Sprintf("%d.%04d", r.intn(1000), r.intn(10000))
+		}
+		vals[i] = row
+	}
+	mr := newRng(seed * 31)
+	for m := 0; m < mutations; m++ {
+		i, j := mr.intn(nLines), mr.intn(nCols)
+		vals[i][j] = fmt.Sprintf("%d.%04d", mr.intn(1000), mr.intn(10000))
+	}
+	for i := range vals {
+		b.WriteString(strings.Join(vals[i], "  "))
+		b.WriteString("\n")
+	}
+	return []byte(b.String())
+}
+
+// dirListing synthesizes ls-style directory listings with nLines
+// entries; changeTail replaces the last few lines (the paper's case3).
+func dirListing(nLines int, seed uint64, changeTail int) []byte {
+	var b strings.Builder
+	for i := 0; i < nLines; i++ {
+		s := seed
+		if i >= nLines-changeTail {
+			s = seed * 7
+		}
+		lr := newRng(s + uint64(i))
+		fmt.Fprintf(&b, "-rw-r--r--  1 %-8s %-8s %7d Jul %2d %02d:%02d %s_%d.%s\n",
+			lr.pick([]string{"jfisher", "freuden", "root", "siritzky"}),
+			lr.pick([]string{"staff", "wheel", "hpl"}),
+			lr.intn(900000), 1+lr.intn(28), lr.intn(24), lr.intn(60),
+			lr.pick([]string{"trace", "probe", "sched", "bench", "notes"}), i,
+			lr.pick([]string{"c", "f", "o", "txt"}))
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,93 @@
+package workloads
+
+// tomcatv: mesh generation with a Thompson-solver flavour — an
+// iterative relaxation over two coordinate grids with residual
+// maximum tracking, the vectorizable counted-loop structure of the
+// SPEC program. The constant-guarded MESHCHK block in the interior
+// stencil mirrors the 14% dynamically dead code Table 1 reports for
+// tomcatv.
+const tomcatvMF = `
+const N = 128;
+const NITER = 20;
+const MESHCHK = 0;
+
+var xg[16384] float;
+var yg[16384] float;
+var rx[16384] float;
+var ry[16384] float;
+
+func initgrid() {
+	var i int;
+	var j int;
+	for (i = 0; i < N; i = i + 1) {
+		for (j = 0; j < N; j = j + 1) {
+			// stretched initial mesh
+			var fi float = float(i) / float(N - 1);
+			var fj float = float(j) / float(N - 1);
+			xg[i * N + j] = fi * fi * 0.5 + fi * 0.5;
+			yg[i * N + j] = fj + fi * fj * (1.0 - fj) * 0.3;
+		}
+	}
+}
+
+func main() int {
+	initgrid();
+	var it int;
+	var i int;
+	var j int;
+	var rxm float = 0.0;
+	var rym float = 0.0;
+	for (it = 0; it < NITER; it = it + 1) {
+		rxm = 0.0;
+		rym = 0.0;
+		for (i = 1; i < N - 1; i = i + 1) {
+			for (j = 1; j < N - 1; j = j + 1) {
+				var c int = i * N + j;
+				var ax float = (xg[c - 1] + xg[c + 1] + xg[c - N] + xg[c + N]) * 0.25 - xg[c];
+				var ay float = (yg[c - 1] + yg[c + 1] + yg[c - N] + yg[c + N]) * 0.25 - yg[c];
+				rx[c] = ax;
+				ry[c] = ay;
+				if (MESHCHK != 0) {
+					if (fabs(ax) > 10.0 || fabs(ay) > 10.0) {
+						puts("mesh blowup\n");
+					}
+				}
+				if (MESHCHK == 2) {
+					// dead symmetry audit
+					if (xg[c] != xg[c] || yg[c] != yg[c]) {
+						puts("mesh nan\n");
+					}
+				}
+				if (MESHCHK == 3) {
+					// dead residual trace
+					putf(ax); putf(ay);
+				}
+				if (fabs(ax) > rxm) { rxm = fabs(ax); }
+				if (fabs(ay) > rym) { rym = fabs(ay); }
+			}
+		}
+		for (i = 1; i < N - 1; i = i + 1) {
+			for (j = 1; j < N - 1; j = j + 1) {
+				var c int = i * N + j;
+				xg[c] = xg[c] + rx[c] * 0.9;
+				yg[c] = yg[c] + ry[c] * 0.9;
+			}
+		}
+	}
+	puts("rxm ");
+	putf(rxm * 100000.0);
+	putc('\n');
+	puts("rym ");
+	putf(rym * 100000.0);
+	putc('\n');
+	return NITER;
+}
+`
+
+func init() {
+	register(&Workload{
+		Name: "tomcatv", Lang: Fortran,
+		Desc:   "mesh generation and relaxation solver",
+		Source: withPrelude(tomcatvMF),
+	})
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+)
+
+// TestAllWorkloadsRun compiles every workload and runs every dataset,
+// checking that each run completes and executes a sane number of
+// instructions and branches.
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, ds := range w.Datasets {
+				res, err := vm.Run(prog, ds.Gen(), nil)
+				if err != nil {
+					t.Fatalf("dataset %s: %v", ds.Name, err)
+				}
+				if res.Instrs < 1000 {
+					t.Errorf("dataset %s: only %d instructions executed; workload too trivial", ds.Name, res.Instrs)
+				}
+				if res.CondBranches() == 0 {
+					t.Errorf("dataset %s: no conditional branches executed", ds.Name)
+				}
+				t.Logf("dataset %-10s instrs=%10d branches=%9d taken=%.2f",
+					ds.Name, res.Instrs, res.CondBranches(),
+					float64(res.TakenBranches())/float64(res.CondBranches()))
+			}
+		})
+	}
+}
+
+// TestDatasetsDeterministic checks that generators produce identical
+// bytes on every call.
+func TestDatasetsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		for _, ds := range w.Datasets {
+			a, b := ds.Gen(), ds.Gen()
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s/%s: generator is not deterministic", w.Name, ds.Name)
+			}
+		}
+	}
+}
+
+// TestMFCompressMatchesGoTwin checks the MF LZW implementation against
+// the Go twin byte for byte, both directions.
+func TestMFCompressMatchesGoTwin(t *testing.T) {
+	w, err := ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mfc.Compile("compress", w.Source, mfc.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	inputs := [][]byte{
+		[]byte("abababababababababab"),
+		[]byte("to be or not to be that is the question"),
+		cSourceText(5000, 99),
+		binaryImage(5000, 98),
+		{0, 0, 0, 0, 1, 1, 1, 1},
+	}
+	for i, raw := range inputs {
+		res, err := vm.Run(prog, append([]byte{'c'}, raw...), nil)
+		if err != nil {
+			t.Fatalf("input %d compress: %v", i, err)
+		}
+		want := LZWCompress(raw)
+		if !bytes.Equal(res.Output, want) {
+			t.Errorf("input %d: MF compression differs from Go twin (%d vs %d bytes)", i, len(res.Output), len(want))
+			continue
+		}
+		res, err = vm.Run(prog, append([]byte{'d'}, want...), nil)
+		if err != nil {
+			t.Fatalf("input %d uncompress: %v", i, err)
+		}
+		if !bytes.Equal(res.Output, raw) {
+			t.Errorf("input %d: MF decompression did not round-trip (%d vs %d bytes)", i, len(res.Output), len(raw))
+		}
+		if got := LZWDecompress(want); !bytes.Equal(got, raw) {
+			t.Errorf("input %d: Go decompression did not round-trip", i)
+		}
+	}
+}

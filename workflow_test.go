@@ -1,0 +1,132 @@
+package branchprof
+
+// The complete IFPROBBER workflow, end to end: instrument-and-run,
+// accumulate counts in the database across runs, feed them back into
+// the source as directives, recompile the annotated source, and use
+// the embedded directives as the prediction for a future run — the
+// full loop the paper's section "Methods and Tools" describes.
+
+import (
+	"strings"
+	"testing"
+
+	"branchprof/internal/ifprob"
+)
+
+const workflowSrc = `
+func classify(c int) int {
+	if (c >= 'a' && c <= 'z') { return 1; }
+	if (c >= 'A' && c <= 'Z') { return 2; }
+	if (c >= '0' && c <= '9') { return 3; }
+	return 0;
+}
+
+func main() int {
+	var counts0 int = 0;
+	var counts1 int = 0;
+	var c int = getc();
+	while (c != -1) {
+		switch (classify(c)) {
+		case 1, 2:
+			counts0 = counts0 + 1;
+		case 3:
+			counts1 = counts1 + 1;
+		}
+		c = getc();
+	}
+	return counts0 * 1000 + counts1;
+}
+`
+
+func TestFullFeedbackWorkflow(t *testing.T) {
+	prog, err := Compile("classify", workflowSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Profile three previous runs into the accumulating database.
+	db := ifprob.NewDB()
+	for _, input := range []string{
+		"The quick brown Fox 42!",
+		"all lowercase words here",
+		"1234 5678 90 numbers 11",
+	} {
+		run, err := Run(prog, []byte(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Add(run.Profile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accumulated := db.Get("classify")
+	if accumulated == nil || accumulated.Executed() == 0 {
+		t.Fatal("database did not accumulate")
+	}
+
+	// 2. Persist and reload the database (the cross-run handoff).
+	path := t.TempDir() + "/db.json"
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := ifprob.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accumulated = reloaded.Get("classify")
+
+	// 3. Feed the counts back into the source as directives.
+	annotated, err := AnnotateSource(workflowSrc, prog, accumulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(annotated, "IFPROB(") {
+		t.Fatal("annotation produced no directives")
+	}
+
+	// 4. Recompile the annotated source: directives are comments, so
+	// the site table must be identical.
+	prog2, err := Compile("classify", annotated, Options{})
+	if err != nil {
+		t.Fatalf("annotated source does not compile: %v", err)
+	}
+	if len(prog2.Sites) != len(prog.Sites) {
+		t.Fatalf("annotation changed the site table: %d vs %d", len(prog2.Sites), len(prog.Sites))
+	}
+
+	// 5. The recompiling compiler reads its predictions out of the
+	// source.
+	embedded := ProfileFromSource(annotated, prog2)
+	if embedded.Executed() != accumulated.Executed() {
+		t.Fatalf("embedded profile lost counts: %d vs %d", embedded.Executed(), accumulated.Executed())
+	}
+
+	// 6. Predict a future run from the embedded directives and check
+	// it matches predicting from the database directly.
+	future, err := Run(prog2, []byte("A Fresh Run with 99 new Words 2026"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDirectives, err := PredictFromProfile(prog2, embedded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDB, err := PredictFromProfile(prog2, accumulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fromDirectives.Dir {
+		if fromDirectives.Dir[i] != fromDB.Dir[i] {
+			t.Fatalf("site %d: directive prediction %v != database prediction %v",
+				i, fromDirectives.Dir[i], fromDB.Dir[i])
+		}
+	}
+	ipb, _, err := InstructionsPerBreak(future, fromDirectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpred := InstructionsPerBreakUnpredicted(future, false)
+	if ipb <= unpred {
+		t.Errorf("feedback prediction (%v) no better than no prediction (%v)", ipb, unpred)
+	}
+}
