@@ -1,0 +1,29 @@
+# Tier-1 verification for the branchprof repo.
+#
+#   make verify   build + full test suite + vet + race on the
+#                 concurrency-bearing packages (engine, exp)
+#   make test     build + full test suite only
+#   make race     the race step alone (-short skips the full-matrix
+#                 identity tests, which re-run un-raced under `make test`;
+#                 the race detector still covers Collect's worker pool
+#                 and every cache path via the package's other tests)
+#   make bench    the cold vs warm cache benchmark pair
+
+GO ?= go
+
+.PHONY: verify test vet race bench
+
+verify: test vet race
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./internal/engine/... ./internal/exp/...
+
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSuiteCollect(Cold|Warm)' -benchtime 3x .

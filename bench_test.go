@@ -9,6 +9,7 @@ package branchprof
 import (
 	"testing"
 
+	"branchprof/internal/engine"
 	"branchprof/internal/exp"
 	"branchprof/internal/mfc"
 	"branchprof/internal/predict"
@@ -431,4 +432,47 @@ func BenchmarkTraceStudy(b *testing.B) {
 		}
 	}
 	b.ReportMetric(gain/float64(n), "avg-trace-gain-x")
+}
+
+// BenchmarkSuiteCollectCold measures a from-scratch collection of the
+// full program × dataset matrix: every workload compiled and every
+// dataset interpreted, on a fresh engine each iteration.
+func BenchmarkSuiteCollectCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{})
+		s, err := exp.CollectWith(eng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Programs) == 0 {
+			b.Fatal("empty suite")
+		}
+		b.ReportMetric(float64(eng.Stats().Instrs), "instrs/op")
+	}
+}
+
+// BenchmarkSuiteCollectWarm measures the same collection served from
+// a pre-populated persistent cache: each iteration uses a fresh
+// engine (empty memory cache) over the shared directory, so the cost
+// is recompilation plus disk reads — the speedup over Cold is what
+// the content-addressed cache buys.
+func BenchmarkSuiteCollectWarm(b *testing.B) {
+	dir := b.TempDir()
+	if _, err := exp.CollectWith(engine.New(engine.Options{CacheDir: dir})); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{CacheDir: dir})
+		s, err := exp.CollectWith(eng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Programs) == 0 {
+			b.Fatal("empty suite")
+		}
+		if runs := eng.Stats().Runs; runs != 0 {
+			b.Fatalf("warm collection executed %d runs; cache did not serve", runs)
+		}
+	}
 }

@@ -28,6 +28,7 @@ package branchprof
 
 import (
 	"branchprof/internal/breaks"
+	"branchprof/internal/engine"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/isa"
 	"branchprof/internal/mfc"
@@ -64,15 +65,16 @@ type RunResult struct {
 }
 
 // Compile builds an MF source unit into an executable program. name
-// labels the program in profiles and reports.
+// labels the program in profiles and reports. Compilation is memoized
+// by the shared engine, so recompiling identical source is free.
 func Compile(name, src string, opts Options) (*Program, error) {
-	return mfc.Compile(name, src, opts)
+	return engine.Default().Compile(name, src, opts)
 }
 
-// Run executes the program on input, collecting instruction counts
-// and branch outcomes.
+// Run executes the program on input through the shared engine,
+// collecting instruction counts and branch outcomes.
 func Run(p *Program, input []byte) (*RunResult, error) {
-	res, err := vm.Run(p, input, nil)
+	res, err := engine.Default().Run(p, "", input, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,10 @@
 // Command experiments regenerates every table and figure from Fisher
 // & Freudenberger (ASPLOS 1992) on the simulated substrate. With no
 // flags it prints everything; individual flags select single
-// artifacts.
+// artifacts. All measurement routes through the shared engine, so
+// -cache-dir makes repeated regenerations serve the compile→run→
+// profile work from the persistent cache, and -stats reports the
+// per-stage pipeline costs.
 package main
 
 import (
@@ -9,11 +12,13 @@ import (
 	"fmt"
 	"os"
 
+	"branchprof/cmd/internal/cli"
 	"branchprof/internal/exp"
 	"branchprof/internal/workloads"
 )
 
 func main() {
+	t := cli.New("experiments")
 	var (
 		table1     = flag.Bool("table1", false, "Table 1: dynamically dead code")
 		table2     = flag.Bool("table2", false, "Table 2: program sample base")
@@ -41,12 +46,14 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit every artifact as one JSON document")
 	)
 	flag.Parse()
+	exp.SetEngine(t.Engine())
 
 	if *jsonOut {
 		if err := emitJSON(); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		t.PrintStats()
 		return
 	}
 
@@ -89,6 +96,7 @@ func main() {
 		*fig3b || *taken || *combined || *heuristic || *motivation || *crossmode ||
 		*dynamic || *runlens || *coverage || *disagree || *hotsites || *traces
 	if !needSuite {
+		t.PrintStats()
 		return
 	}
 	s, err := exp.Shared()
@@ -222,4 +230,5 @@ func main() {
 		}
 		fmt.Println(exp.RenderTraceStudy(rows))
 	}
+	t.PrintStats()
 }

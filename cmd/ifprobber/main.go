@@ -3,101 +3,92 @@
 // into a JSON database (creating it if absent) — one invocation per
 // run, like the paper's instrumented binaries updating their counter
 // database. With -annotate it instead reads the database and re-emits
-// the source with IFPROB feedback directives.
+// the source with IFPROB feedback directives. Compilation and the
+// measured run route through the shared engine, so a -cache-dir lets
+// repeated accumulations of an already-measured (source, dataset)
+// pair skip the interpreter.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"io"
 	"os"
-	"path/filepath"
-	"strings"
 
+	"flag"
+
+	"branchprof/cmd/internal/cli"
+	"branchprof/internal/engine"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/mfc"
-	"branchprof/internal/vm"
-	"branchprof/internal/workloads"
 )
 
 func main() {
+	t := cli.New("ifprobber")
 	var (
 		prelude  = flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
 		dbPath   = flag.String("db", "ifprob.json", "profile database path")
 		inPath   = flag.String("input", "", "dataset file (default: stdin)")
-		dataset  = flag.String("dataset", "stdin", "dataset name recorded in the database")
+		dataset  = flag.String("dataset", "", "dataset name recorded in the database (default: input file name or stdin)")
 		annotate = flag.Bool("annotate", false, "emit source annotated with accumulated IFPROB directives")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ifprobber [-db file] [-input data] [-annotate] file.mf")
-		os.Exit(2)
+		t.Usage("ifprobber [-db file] [-input data] [-annotate] [-cache-dir dir] [-stats] file.mf")
 	}
-	path := flag.Arg(0)
-	srcBytes, err := os.ReadFile(path)
+	name, src, err := cli.LoadSource(flag.Arg(0), *prelude)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ifprobber:", err)
-		os.Exit(1)
-	}
-	src := string(srcBytes)
-	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	if *prelude {
-		src = workloads.Prelude() + src
-	}
-	prog, err := mfc.Compile(name, src, mfc.Options{})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ifprobber:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
 
 	db, err := ifprob.Load(*dbPath)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			fmt.Fprintln(os.Stderr, "ifprobber:", err)
-			os.Exit(1)
+			t.Fatal(err)
 		}
 		db = ifprob.NewDB()
 	}
 
 	if *annotate {
+		prog, err := t.Engine().Compile(name, src, mfc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		prof := db.Get(name)
 		if prof == nil {
-			fmt.Fprintf(os.Stderr, "ifprobber: no accumulated profile for %s in %s\n", name, *dbPath)
-			os.Exit(1)
+			t.Fatal(fmt.Errorf("no accumulated profile for %s in %s", name, *dbPath))
 		}
 		out, err := ifprob.AnnotateSource(src, prog, prof)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ifprobber:", err)
-			os.Exit(1)
+			t.Fatal(err)
 		}
 		fmt.Print(out)
 		return
 	}
 
-	var input []byte
-	if *inPath != "" {
-		input, err = os.ReadFile(*inPath)
-	} else {
-		input, err = io.ReadAll(os.Stdin)
-	}
+	input, err := cli.ReadInput(*inPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ifprobber:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	res, err := vm.Run(prog, input, nil)
+	dsName := *dataset
+	if dsName == "" {
+		dsName = cli.InputLabel(*inPath)
+	}
+	out, err := t.Engine().Execute(engine.Spec{
+		Name:    name,
+		Source:  src,
+		Dataset: dsName,
+		Input:   input,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ifprobber:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	os.Stdout.Write(res.Output)
-	if err := db.Add(ifprob.FromRun(name, *dataset, res)); err != nil {
-		fmt.Fprintln(os.Stderr, "ifprobber:", err)
-		os.Exit(1)
+	os.Stdout.Write(out.Res.Output)
+	if err := db.Add(out.Prof); err != nil {
+		t.Fatal(err)
 	}
 	if err := db.Save(*dbPath); err != nil {
-		fmt.Fprintln(os.Stderr, "ifprobber:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "ifprobber: accumulated %d branch executions for %s into %s\n",
-		res.CondBranches(), name, *dbPath)
+		out.Res.CondBranches(), name, *dbPath)
+	t.PrintStats()
 }

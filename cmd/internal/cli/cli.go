@@ -1,0 +1,106 @@
+// Package cli factors the plumbing every MF command-line tool used to
+// carry privately: source-file loading with the optional runtime
+// prelude, dataset input reading (file or stdin), uniform error
+// reporting, and the engine flags (-cache-dir, -stats) that give each
+// tool the shared compile→run→profile pipeline with its persistent
+// measurement cache and per-stage statistics.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"branchprof/internal/engine"
+	"branchprof/internal/workloads"
+)
+
+// Tool is one command-line tool's shared state. Construct it with New
+// before flag.Parse: it registers the engine flags on the default
+// flag set.
+type Tool struct {
+	Name string
+
+	cacheDir *string
+	stats    *bool
+
+	engOnce sync.Once
+	eng     *engine.Engine
+}
+
+// New registers the shared engine flags and returns the tool handle.
+func New(name string) *Tool {
+	return &Tool{
+		Name:     name,
+		cacheDir: flag.String("cache-dir", "", "persistent measurement cache directory (empty = in-memory only)"),
+		stats:    flag.Bool("stats", false, "print engine pipeline statistics to stderr on exit"),
+	}
+}
+
+// Engine returns the tool's engine, built on first use from the
+// -cache-dir flag.
+func (t *Tool) Engine() *engine.Engine {
+	t.engOnce.Do(func() {
+		t.eng = engine.New(engine.Options{CacheDir: *t.cacheDir})
+	})
+	return t.eng
+}
+
+// PrintStats writes the engine's pipeline statistics to stderr when
+// -stats was given. Call it after the tool's real work.
+func (t *Tool) PrintStats() {
+	if t.stats == nil || !*t.stats {
+		return
+	}
+	fmt.Fprintln(os.Stderr, t.Engine().Stats().String())
+}
+
+// Fatal reports err prefixed with the tool name and exits 1.
+func (t *Tool) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", t.Name, err)
+	os.Exit(1)
+}
+
+// Usage prints the usage line and exits 2.
+func (t *Tool) Usage(usage string) {
+	fmt.Fprintln(os.Stderr, "usage:", usage)
+	os.Exit(2)
+}
+
+// LoadSource reads an MF source file, derives the program name from
+// the file's base name, and optionally prepends the runtime prelude
+// (puti, geti, …).
+func LoadSource(path string, prelude bool) (name, source string, err error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", err
+	}
+	name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	source = string(src)
+	if prelude {
+		source = workloads.Prelude() + source
+	}
+	return name, source, nil
+}
+
+// ReadInput returns the dataset bytes: the named file, or all of
+// stdin when path is empty.
+func ReadInput(path string) ([]byte, error) {
+	if path != "" {
+		return os.ReadFile(path)
+	}
+	return io.ReadAll(os.Stdin)
+}
+
+// InputLabel names the dataset for profiles and cache entries: the
+// input file's base name, or "stdin".
+func InputLabel(path string) string {
+	if path == "" {
+		return "stdin"
+	}
+	return filepath.Base(path)
+}

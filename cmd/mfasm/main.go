@@ -1,21 +1,24 @@
 // Command mfasm assembles a textual machine program (see
-// internal/asm for the syntax) and runs it, printing its output and
-// run statistics — the low-level counterpart to mfrun for experiments
-// that need precise control over the instruction stream.
+// internal/asm for the syntax) and runs it through the shared engine,
+// printing its output and run statistics — the low-level counterpart
+// to mfrun for experiments that need precise control over the
+// instruction stream. The assembled source text is the cache content
+// key, so -cache-dir lets repeated runs skip the interpreter.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
+	"branchprof/cmd/internal/cli"
 	"branchprof/internal/asm"
 	"branchprof/internal/isa"
 	"branchprof/internal/vm"
 )
 
 func main() {
+	t := cli.New("mfasm")
 	var (
 		inPath = flag.String("input", "", "input file (default: stdin)")
 		list   = flag.Bool("list", false, "print the assembled listing instead of running")
@@ -23,39 +26,30 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mfasm [-input data] [-list] file.mfs")
-		os.Exit(2)
+		t.Usage("mfasm [-input data] [-list] [-cache-dir dir] [-stats] file.mfs")
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfasm:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
 	prog, err := asm.Assemble(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfasm:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
 	if *list {
 		fmt.Print(isa.Disasm(prog))
 		return
 	}
-	var input []byte
-	if *inPath != "" {
-		input, err = os.ReadFile(*inPath)
-	} else {
-		input, err = io.ReadAll(os.Stdin)
-	}
+	input, err := cli.ReadInput(*inPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfasm:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	res, err := vm.Run(prog, input, &vm.Config{Fuel: *fuel})
+	res, err := t.Engine().Run(prog, string(src), input, &vm.Config{Fuel: *fuel})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfasm:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
 	os.Stdout.Write(res.Output)
 	fmt.Fprintf(os.Stderr, "exit %d after %d instructions, %d branches (%d taken)\n",
 		res.ExitCode, res.Instrs, res.CondBranches(), res.TakenBranches())
+	t.PrintStats()
 }

@@ -1,20 +1,19 @@
-// Command mfc compiles an MF source file and prints the assembler
-// listing, the static branch-site table, or both.
+// Command mfc compiles an MF source file through the shared engine
+// and prints the assembler listing, the static branch-site table, or
+// both.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 
+	"branchprof/cmd/internal/cli"
 	"branchprof/internal/isa"
 	"branchprof/internal/mfc"
-	"branchprof/internal/workloads"
 )
 
 func main() {
+	t := cli.New("mfc")
 	var (
 		prelude = flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
 		dce     = flag.Bool("dce", false, "enable dead-branch elimination")
@@ -23,24 +22,15 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mfc [-dce] [-sites] [-asm=false] file.mf")
-		os.Exit(2)
+		t.Usage("mfc [-dce] [-sites] [-asm=false] [-stats] file.mf")
 	}
-	path := flag.Arg(0)
-	src, err := os.ReadFile(path)
+	name, source, err := cli.LoadSource(flag.Arg(0), *prelude)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfc:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	source := string(src)
-	if *prelude {
-		source = workloads.Prelude() + source
-	}
-	prog, err := mfc.Compile(name, source, mfc.Options{DeadBranchElim: *dce})
+	prog, err := t.Engine().Compile(name, source, mfc.Options{DeadBranchElim: *dce})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfc:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
 	if *asm {
 		fmt.Print(isa.Disasm(prog))
@@ -56,4 +46,5 @@ func main() {
 				s.ID, s.Label, s.Line, s.Col, s.Func, s.LoopDepth, back)
 		}
 	}
+	t.PrintStats()
 }

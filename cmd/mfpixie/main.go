@@ -1,65 +1,50 @@
 // Command mfpixie runs an MF program with per-instruction counting
-// and prints the detailed dynamic report: total instructions, hottest
-// functions, instruction mix, and branch density.
+// through the shared engine and prints the detailed dynamic report:
+// total instructions, hottest functions, instruction mix, and branch
+// density. With -cache-dir, re-analyzing the same source and input
+// reuses the persisted measurement instead of re-interpreting.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
-	"os"
-	"path/filepath"
-	"strings"
 
-	"branchprof/internal/mfc"
+	"branchprof/cmd/internal/cli"
+	"branchprof/internal/engine"
 	"branchprof/internal/pixie"
 	"branchprof/internal/vm"
-	"branchprof/internal/workloads"
 )
 
 func main() {
+	t := cli.New("mfpixie")
 	prelude := flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
 	inPath := flag.String("input", "", "dataset file (default: stdin)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mfpixie [-input data] file.mf")
-		os.Exit(2)
+		t.Usage("mfpixie [-input data] [-cache-dir dir] [-stats] file.mf")
 	}
-	path := flag.Arg(0)
-	src, err := os.ReadFile(path)
+	name, source, err := cli.LoadSource(flag.Arg(0), *prelude)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfpixie:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	var input []byte
-	if *inPath != "" {
-		input, err = os.ReadFile(*inPath)
-	} else {
-		input, err = io.ReadAll(os.Stdin)
-	}
+	input, err := cli.ReadInput(*inPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfpixie:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	source := string(src)
-	if *prelude {
-		source = workloads.Prelude() + source
-	}
-	prog, err := mfc.Compile(name, source, mfc.Options{})
+	out, err := t.Engine().Execute(engine.Spec{
+		Name:    name,
+		Source:  source,
+		Dataset: cli.InputLabel(*inPath),
+		Input:   input,
+		Config:  vm.Config{PerPC: true},
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfpixie:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	res, err := vm.Run(prog, input, &vm.Config{PerPC: true})
+	rep, err := pixie.Analyze(out.Prog, out.Res)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfpixie:", err)
-		os.Exit(1)
-	}
-	rep, err := pixie.Analyze(prog, res)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfpixie:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
 	fmt.Print(rep.String())
+	t.PrintStats()
 }

@@ -1,70 +1,58 @@
-// Command mfrun compiles and runs an MF source file, feeding it a
-// dataset file (or stdin) and reporting the run statistics the VM
-// collects: instructions, branch outcomes, and control transfers.
+// Command mfrun compiles and runs an MF source file through the
+// shared engine, feeding it a dataset file (or stdin) and reporting
+// the run statistics the VM collects: instructions, branch outcomes,
+// and control transfers. With -cache-dir, repeated runs of the same
+// source and input are served from the persistent measurement cache.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"path/filepath"
-	"strings"
 
+	"branchprof/cmd/internal/cli"
+	"branchprof/internal/engine"
 	"branchprof/internal/mfc"
 	"branchprof/internal/pixie"
 	"branchprof/internal/vm"
-	"branchprof/internal/workloads"
 )
 
 func main() {
+	t := cli.New("mfrun")
 	var (
-		prelude = flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
-		inPath  = flag.String("input", "", "input file (default: stdin)")
-		dce     = flag.Bool("dce", false, "enable dead-branch elimination")
-		stats   = flag.Bool("stats", true, "print run statistics to stderr")
-		mix     = flag.Bool("pixie", false, "print the full pixie report to stderr")
-		fuel    = flag.Uint64("fuel", 0, "instruction limit (0 = default)")
+		prelude  = flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
+		inPath   = flag.String("input", "", "input file (default: stdin)")
+		dce      = flag.Bool("dce", false, "enable dead-branch elimination")
+		runStats = flag.Bool("run-stats", true, "print run statistics to stderr")
+		mix      = flag.Bool("pixie", false, "print the full pixie report to stderr")
+		fuel     = flag.Uint64("fuel", 0, "instruction limit (0 = default)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mfrun [-input data] [-dce] [-pixie] file.mf")
-		os.Exit(2)
+		t.Usage("mfrun [-input data] [-dce] [-pixie] [-cache-dir dir] [-stats] file.mf")
 	}
-	path := flag.Arg(0)
-	src, err := os.ReadFile(path)
+	name, source, err := cli.LoadSource(flag.Arg(0), *prelude)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfrun:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	var input []byte
-	if *inPath != "" {
-		input, err = os.ReadFile(*inPath)
-	} else {
-		input, err = io.ReadAll(os.Stdin)
-	}
+	input, err := cli.ReadInput(*inPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfrun:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	source := string(src)
-	if *prelude {
-		source = workloads.Prelude() + source
-	}
-	prog, err := mfc.Compile(name, source, mfc.Options{DeadBranchElim: *dce})
+	out, err := t.Engine().Execute(engine.Spec{
+		Name:    name,
+		Source:  source,
+		Options: mfc.Options{DeadBranchElim: *dce},
+		Dataset: cli.InputLabel(*inPath),
+		Input:   input,
+		Config:  vm.Config{Fuel: *fuel, PerPC: *mix},
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfrun:", err)
-		os.Exit(1)
+		t.Fatal(err)
 	}
-	cfg := &vm.Config{Fuel: *fuel, PerPC: *mix}
-	res, err := vm.Run(prog, input, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfrun:", err)
-		os.Exit(1)
-	}
+	res := out.Res
 	os.Stdout.Write(res.Output)
-	if *stats {
+	if *runStats {
 		fmt.Fprintf(os.Stderr, "exit %d after %d instructions\n", res.ExitCode, res.Instrs)
 		fmt.Fprintf(os.Stderr, "conditional branches %d (taken %d), jumps %d\n",
 			res.CondBranches(), res.TakenBranches(), res.Jumps)
@@ -72,11 +60,11 @@ func main() {
 			res.DirectCalls, res.IndirectCalls, res.DirectReturns, res.IndirectReturns, res.MaxDepth)
 	}
 	if *mix {
-		rep, err := pixie.Analyze(prog, res)
+		rep, err := pixie.Analyze(out.Prog, res)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mfrun:", err)
-			os.Exit(1)
+			t.Fatal(err)
 		}
 		fmt.Fprint(os.Stderr, rep.String())
 	}
+	t.PrintStats()
 }

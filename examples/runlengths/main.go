@@ -12,6 +12,7 @@ import (
 	"log"
 
 	"branchprof"
+	"branchprof/internal/engine"
 	"branchprof/internal/mfc"
 	"branchprof/internal/runlength"
 	"branchprof/internal/vm"
@@ -23,7 +24,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+	eng := engine.Default()
+	prog, err := eng.Compile(w.Name, w.Source, mfc.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func main() {
 		log.Fatal(err)
 	}
 	rec := runlength.New(pred)
-	if _, err := vm.Run(prog, input, &vm.Config{Trace: rec}); err != nil {
+	if _, err := eng.Run(prog, "", input, &vm.Config{Trace: rec}); err != nil {
 		log.Fatal(err)
 	}
 

@@ -16,6 +16,7 @@ import (
 
 	"branchprof"
 	"branchprof/internal/dynpred"
+	"branchprof/internal/engine"
 	"branchprof/internal/mfc"
 	"branchprof/internal/predict"
 	"branchprof/internal/vm"
@@ -60,7 +61,8 @@ func main() int {
 `
 
 func main() {
-	prog, err := mfc.Compile("bsearch", branchprof.Prelude()+src, mfc.Options{})
+	eng := engine.Default()
+	prog, err := eng.Compile("bsearch", branchprof.Prelude()+src, mfc.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func main() {
 	oneBit := dynpred.NewOneBit(len(prog.Sites))
 	twoBit := dynpred.NewTwoBit(len(prog.Sites))
 	multi := &dynpred.Multi{Predictors: []dynpred.Predictor{static, oneBit, twoBit}}
-	if _, err := vm.Run(prog, nil, &vm.Config{Trace: multi}); err != nil {
+	if _, err := eng.Run(prog, "", nil, &vm.Config{Trace: multi}); err != nil {
 		log.Fatal(err)
 	}
 

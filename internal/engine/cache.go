@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/vm"
+)
+
+// lruCache is a mutex-guarded LRU keyed by content hash.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// diskVersion is the persisted entry layout version; entries written
+// with any other version are recomputed.
+const diskVersion = 1
+
+// diskEntry is the serialized measurement: the run's counters and,
+// for full pipeline work, its extracted branch profile. The key is
+// echoed so a file renamed or copied to the wrong address is rejected.
+type diskEntry struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	Res     *vm.Result      `json:"result"`
+	Prof    *ifprob.Profile `json:"profile,omitempty"`
+}
+
+// diskCache is the persistent content-addressed measurement store:
+// one JSON file per key under dir, written atomically (temp file +
+// rename) so a crashed writer can only ever leave a stray temp file,
+// never a truncated entry at the final path.
+type diskCache struct {
+	dir string
+}
+
+func (d *diskCache) path(key string) string {
+	return filepath.Join(d.dir, key+".json")
+}
+
+// load reads the entry for key. ok reports a usable entry; invalid
+// reports that a file existed but was corrupt, truncated, stale, or
+// misplaced (the caller counts it and recomputes).
+func (d *diskCache) load(key string) (res *vm.Result, prof *ifprob.Profile, ok, invalid bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, false, false
+		}
+		return nil, nil, false, true
+	}
+	var ent diskEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil, nil, false, true
+	}
+	if ent.Version != diskVersion || ent.Key != key || ent.Res == nil {
+		return nil, nil, false, true
+	}
+	if len(ent.Res.SiteTaken) != len(ent.Res.SiteTotal) {
+		return nil, nil, false, true
+	}
+	if ent.Prof != nil {
+		if err := ent.Prof.CheckConsistent(); err != nil {
+			return nil, nil, false, true
+		}
+	}
+	return ent.Res, ent.Prof, true, false
+}
+
+// store writes the entry for key atomically. Failures are reported to
+// the caller for counting but never interrupt the pipeline.
+func (d *diskCache) store(key string, res *vm.Result, prof *ifprob.Profile) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(&diskEntry{Version: diskVersion, Key: key, Res: res, Prof: prof})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, "entry-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

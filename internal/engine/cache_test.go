@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/vm"
+)
+
+// fullResult builds a vm.Result with every field populated, including
+// the optional per-PC matrix, so the round-trip test covers the whole
+// serialized surface.
+func fullResult() *vm.Result {
+	return &vm.Result{
+		Instrs:          123456,
+		ExitCode:        7,
+		Output:          []byte("hello\x00world\n"),
+		SiteTaken:       []uint64{10, 0, 999},
+		SiteTotal:       []uint64{20, 5, 1000},
+		Jumps:           42,
+		DirectCalls:     8,
+		DirectReturns:   8,
+		IndirectCalls:   2,
+		IndirectReturns: 2,
+		MaxDepth:        17,
+		PerPC:           [][]uint64{{1, 2, 3}, {0, 0, 9}},
+	}
+}
+
+func fullProfile() *ifprob.Profile {
+	return &ifprob.Profile{
+		Program: "demo",
+		Dataset: "d0",
+		Taken:   []uint64{10, 0, 999},
+		Total:   []uint64{20, 5, 1000},
+		Instrs:  123456,
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d := &diskCache{dir: t.TempDir()}
+	key := "0123abcd"
+	if err := d.store(key, fullResult(), fullProfile()); err != nil {
+		t.Fatal(err)
+	}
+	res, prof, ok, invalid := d.load(key)
+	if !ok || invalid {
+		t.Fatalf("load: ok=%t invalid=%t, want a clean hit", ok, invalid)
+	}
+	if !reflect.DeepEqual(res, fullResult()) {
+		t.Fatalf("result did not survive the round trip:\n got %+v\nwant %+v", res, fullResult())
+	}
+	if !reflect.DeepEqual(prof, fullProfile()) {
+		t.Fatalf("profile did not survive the round trip:\n got %+v\nwant %+v", prof, fullProfile())
+	}
+}
+
+func TestDiskRoundTripWithoutProfile(t *testing.T) {
+	d := &diskCache{dir: t.TempDir()}
+	if err := d.store("k", fullResult(), nil); err != nil {
+		t.Fatal(err)
+	}
+	res, prof, ok, invalid := d.load("k")
+	if !ok || invalid || prof != nil {
+		t.Fatalf("load: ok=%t invalid=%t prof=%v, want hit with nil profile", ok, invalid, prof)
+	}
+	if res.Instrs != 123456 {
+		t.Fatalf("result corrupted: %+v", res)
+	}
+}
+
+func TestDiskMissingIsPlainMiss(t *testing.T) {
+	d := &diskCache{dir: t.TempDir()}
+	if _, _, ok, invalid := d.load("nothere"); ok || invalid {
+		t.Fatalf("missing entry: ok=%t invalid=%t, want plain miss", ok, invalid)
+	}
+}
+
+// corrupt rewrites an existing entry's file with mangle and asserts
+// the next load reports an invalid entry rather than failing or
+// returning garbage.
+func corruptCase(t *testing.T, mangle func(path string, data []byte)) {
+	t.Helper()
+	d := &diskCache{dir: t.TempDir()}
+	key := "deadbeef"
+	if err := d.store(key, fullResult(), fullProfile()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangle(d.path(key), data)
+	if _, _, ok, invalid := d.load(key); ok || !invalid {
+		t.Fatalf("mangled entry: ok=%t invalid=%t, want rejected as invalid", ok, invalid)
+	}
+}
+
+func TestDiskRejectsCorruptJSON(t *testing.T) {
+	corruptCase(t, func(path string, data []byte) {
+		os.WriteFile(path, []byte("{not json at all"), 0o644)
+	})
+}
+
+func TestDiskRejectsTruncatedEntry(t *testing.T) {
+	corruptCase(t, func(path string, data []byte) {
+		os.WriteFile(path, data[:len(data)/2], 0o644)
+	})
+}
+
+func TestDiskRejectsEmptyFile(t *testing.T) {
+	corruptCase(t, func(path string, data []byte) {
+		os.WriteFile(path, nil, 0o644)
+	})
+}
+
+func TestDiskRejectsVersionMismatch(t *testing.T) {
+	corruptCase(t, func(path string, data []byte) {
+		var ent diskEntry
+		if err := json.Unmarshal(data, &ent); err != nil {
+			t.Fatal(err)
+		}
+		ent.Version = 999
+		out, _ := json.Marshal(&ent)
+		os.WriteFile(path, out, 0o644)
+	})
+}
+
+func TestDiskRejectsMisplacedEntry(t *testing.T) {
+	// An entry copied to a different key's address must not be served:
+	// the embedded key disagrees with the file name.
+	d := &diskCache{dir: t.TempDir()}
+	if err := d.store("rightkey", fullResult(), fullProfile()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(d.path("rightkey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path("wrongkey"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, invalid := d.load("wrongkey"); ok || !invalid {
+		t.Fatalf("misplaced entry: ok=%t invalid=%t, want rejected as invalid", ok, invalid)
+	}
+}
+
+func TestDiskRejectsInconsistentCounters(t *testing.T) {
+	corruptCase(t, func(path string, data []byte) {
+		var ent diskEntry
+		if err := json.Unmarshal(data, &ent); err != nil {
+			t.Fatal(err)
+		}
+		ent.Prof.Taken[0] = ent.Prof.Total[0] + 1 // taken > total is impossible
+		out, _ := json.Marshal(&ent)
+		os.WriteFile(path, out, 0o644)
+	})
+}
+
+// TestEngineRecomputesOverCorruptEntry drives corruption through the
+// full pipeline: a trashed cache file must cost one recomputation and
+// one DiskInvalid tick, never an error.
+func TestEngineRecomputesOverCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec("corruption survivor")
+
+	cold := New(Options{CacheDir: dir})
+	want, err := cold.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trash every entry in the cache directory.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+	for _, f := range files {
+		if err := os.WriteFile(dir+"/"+f.Name(), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm := New(Options{CacheDir: dir})
+	got, err := warm.Execute(spec)
+	if err != nil {
+		t.Fatalf("corrupt cache entry became fatal: %v", err)
+	}
+	if got.CacheHit {
+		t.Fatal("corrupt entry was served as a hit")
+	}
+	if got.Res.Instrs != want.Res.Instrs {
+		t.Fatalf("recomputed measurement differs: %d vs %d instrs", got.Res.Instrs, want.Res.Instrs)
+	}
+	st := warm.Stats()
+	if st.DiskInvalid == 0 {
+		t.Fatal("invalid entry was not counted")
+	}
+	if st.Runs != 1 {
+		t.Fatalf("recomputation ran %d times, want 1", st.Runs)
+	}
+
+	// The recomputation must also have repaired the entry on disk.
+	repaired := New(Options{CacheDir: dir})
+	again, err := repaired.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("recomputed entry was not re-persisted")
+	}
+}

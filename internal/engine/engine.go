@@ -1,0 +1,427 @@
+// Package engine owns the repository's compile → run → profile
+// pipeline: every tool and experiment that turns MF source (or an
+// assembled program) plus an input into measured branch behaviour
+// routes through one Engine.
+//
+// The engine deduplicates identical work (concurrent requests for the
+// same unit share one computation), memoizes compiled programs and
+// completed measurements in a bounded in-memory LRU, and optionally
+// persists measurements in an on-disk content-addressed cache — the
+// repo-level analogue of the paper's IFPROBBER database, which kept
+// branch counters across runs of a program so later consumers never
+// re-executed the instrumented binary. Cache keys are content hashes
+// of everything that can influence a measurement: source text,
+// compiler options, input bytes, the VM configuration fingerprint and
+// the VM's semantics version (see docs/ENGINE.md for the derivation
+// and invalidation rules). A stale, corrupt or truncated cache entry
+// is never fatal: it is discarded, counted, and recomputed.
+//
+// The engine also provides the bounded worker pool used to collect
+// the experiment matrix in parallel, and per-stage observability
+// (compile/run/profile wall time, instructions executed, cache
+// hit/miss counts) via Stats.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// CacheDir, when non-empty, enables the persistent content-addressed
+	// measurement cache rooted at that directory (created on demand).
+	CacheDir string
+	// Workers bounds the engine's parallel collection pool;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// MemEntries bounds the in-memory LRU of completed measurements;
+	// 0 means the default of 256 entries.
+	MemEntries int
+}
+
+// Engine is the shared compile→run→profile pipeline. It is safe for
+// concurrent use.
+type Engine struct {
+	workers int
+	mem     *lruCache // execution key → *Outcome
+	progs   *lruCache // compile key → *isa.Program
+	disk    *diskCache
+	st      counters
+
+	mu       sync.Mutex
+	inflight map[string]*call
+}
+
+// New builds an engine from opts.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MemEntries <= 0 {
+		opts.MemEntries = 256
+	}
+	e := &Engine{
+		workers:  opts.Workers,
+		mem:      newLRU(opts.MemEntries),
+		progs:    newLRU(opts.MemEntries),
+		inflight: make(map[string]*call),
+	}
+	if opts.CacheDir != "" {
+		e.disk = &diskCache{dir: opts.CacheDir}
+	}
+	return e
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide engine: in-memory caching only, a
+// GOMAXPROCS-bounded pool, no persistent cache.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(Options{}) })
+	return defaultEngine
+}
+
+// WorkerCount returns the size of the engine's worker pool.
+func (e *Engine) WorkerCount() int { return e.workers }
+
+// Spec identifies one unit of pipeline work: compile Source under
+// Options, run it on Input under Config, extract the branch profile.
+// Equal specs are the same unit of work and share one cache entry.
+type Spec struct {
+	Name    string      // program name recorded in profiles and reports
+	Source  string      // complete MF source text
+	Options mfc.Options // compiler configuration
+	Dataset string      // dataset name recorded in the profile
+	Input   []byte      // program input bytes
+	Config  vm.Config   // VM limits and measurement switches
+}
+
+// Outcome is one completed unit of pipeline work. Res and Prof are
+// private to the caller (defensive copies on cache hits); Prog is
+// shared and must be treated as immutable.
+type Outcome struct {
+	Prog *isa.Program
+	Res  *vm.Result
+	Prof *ifprob.Profile
+	// CacheHit reports whether the measurement was served from the
+	// in-memory or on-disk cache rather than executed.
+	CacheHit bool
+}
+
+// keyVersion is bumped whenever the key derivation or the persisted
+// entry layout changes incompatibly.
+const keyVersion = 1
+
+// key derives the content hash identifying the spec's measurement.
+func (s *Spec) key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "branchprof-engine/%d\x00vm/%d\x00", keyVersion, vm.SemanticsVersion)
+	fmt.Fprintf(h, "name=%s\x00dataset=%s\x00", s.Name, s.Dataset)
+	fmt.Fprintf(h, "opts=%s\x00cfg=%s\x00", optionsFingerprint(s.Options), s.Config.Fingerprint())
+	fmt.Fprintf(h, "src/%d\x00", len(s.Source))
+	io.WriteString(h, s.Source)
+	fmt.Fprintf(h, "\x00in/%d\x00", len(s.Input))
+	h.Write(s.Input)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// optionsFingerprint canonicalizes the compiler configuration for key
+// derivation. Every field of mfc.Options appears here; adding a field
+// to mfc.Options must extend this string.
+func optionsFingerprint(o mfc.Options) string {
+	return fmt.Sprintf("dce=%t,inline=%t,inlmax=%d,sel=%t",
+		o.DeadBranchElim, o.InlineCalls, o.InlineMaxStmts, o.UseSelects)
+}
+
+// call is one in-flight computation; duplicate requests wait on done.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// once runs f exactly once per key among concurrent callers and
+// shares its result.
+func (e *Engine) once(key string, f func() (any, error)) (any, error) {
+	e.mu.Lock()
+	if c, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+	c.val, c.err = f()
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}
+
+// Compile builds name's source under opts, memoizing the compiled
+// image: repeated compilations of identical (name, source, options)
+// return the same *isa.Program, which callers must not mutate.
+func (e *Engine) Compile(name, source string, opts mfc.Options) (*isa.Program, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "compile/%d\x00name=%s\x00opts=%s\x00", keyVersion, name, optionsFingerprint(opts))
+	io.WriteString(h, source)
+	key := hex.EncodeToString(h.Sum(nil))
+	if p, ok := e.progs.get(key); ok {
+		return p.(*isa.Program), nil
+	}
+	v, err := e.once("compile:"+key, func() (any, error) {
+		if p, ok := e.progs.get(key); ok {
+			return p.(*isa.Program), nil
+		}
+		start := time.Now()
+		prog, err := mfc.Compile(name, source, opts)
+		if err != nil {
+			return nil, err
+		}
+		e.st.compiles.Add(1)
+		e.st.compileNS.Add(int64(time.Since(start)))
+		e.progs.add(key, prog)
+		return prog, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*isa.Program), nil
+}
+
+// Execute performs the full pipeline for spec, consulting the caches
+// first. A spec carrying a tracer cannot be cached (tracers observe
+// the execution itself), so it always runs fresh; everything else is
+// served from the in-memory LRU, then the on-disk cache, then
+// computed and stored in both.
+func (e *Engine) Execute(spec Spec) (*Outcome, error) {
+	if spec.Config.Trace != nil {
+		prog, err := e.Compile(spec.Name, spec.Source, spec.Options)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.run(prog, spec.Input, &spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Prog: prog, Res: res, Prof: e.profile(&spec, res)}, nil
+	}
+	key := spec.key()
+	v, err := e.once("exec:"+key, func() (any, error) { return e.execute(&spec, key) })
+	if err != nil {
+		return nil, err
+	}
+	out := v.(*Outcome)
+	// Hand every caller its own counters: cached outcomes are shared
+	// state, and experiment code is free to mutate what it is given.
+	return &Outcome{
+		Prog:     out.Prog,
+		Res:      cloneResult(out.Res),
+		Prof:     out.Prof.Clone(),
+		CacheHit: out.CacheHit,
+	}, nil
+}
+
+func (e *Engine) execute(spec *Spec, key string) (*Outcome, error) {
+	if v, ok := e.mem.get(key); ok {
+		e.st.memHits.Add(1)
+		out := v.(*Outcome)
+		return &Outcome{Prog: out.Prog, Res: out.Res, Prof: out.Prof, CacheHit: true}, nil
+	}
+	e.st.memMisses.Add(1)
+
+	// The compiled image is never persisted — recompiling is cheap and
+	// keeps the on-disk format to plain measurement counters — so the
+	// program is materialized on every path, including disk hits.
+	prog, err := e.Compile(spec.Name, spec.Source, spec.Options)
+	if err != nil {
+		return nil, err
+	}
+
+	if e.disk != nil {
+		res, prof, ok := e.diskLoad(key, prog)
+		if ok {
+			out := &Outcome{Prog: prog, Res: res, Prof: prof, CacheHit: true}
+			e.mem.add(key, out)
+			return out, nil
+		}
+	}
+
+	res, err := e.run(prog, spec.Input, &spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	prof := e.profile(spec, res)
+	out := &Outcome{Prog: prog, Res: res, Prof: prof}
+	e.mem.add(key, out)
+	if e.disk != nil {
+		if err := e.disk.store(key, res, prof); err != nil {
+			e.st.diskWriteErrs.Add(1)
+		}
+	}
+	return out, nil
+}
+
+// diskLoad reads and validates a persisted measurement. Entries that
+// fail to decode, carry the wrong version or key, or disagree with
+// the compiled program's site table are treated as misses and
+// recomputed — a bad entry is never fatal.
+func (e *Engine) diskLoad(key string, prog *isa.Program) (*vm.Result, *ifprob.Profile, bool) {
+	res, prof, ok, invalid := e.disk.load(key)
+	if invalid {
+		e.st.diskInvalid.Add(1)
+	}
+	if !ok {
+		e.st.diskMisses.Add(1)
+		return nil, nil, false
+	}
+	if len(res.SiteTotal) != len(prog.Sites) || (prof != nil && len(prof.Total) != len(prog.Sites)) {
+		// Entry from a different compiler era: site table moved.
+		e.st.diskInvalid.Add(1)
+		e.st.diskMisses.Add(1)
+		return nil, nil, false
+	}
+	e.st.diskHits.Add(1)
+	return res, prof, true
+}
+
+// Run executes a precompiled program through the engine. contentKey
+// identifies the program's content (for images that did not come from
+// MF source, e.g. assembled .mfs text); an empty contentKey — or a
+// config carrying a tracer — disables caching for the run, which
+// still executes through the pool-accounted, stats-counted path.
+func (e *Engine) Run(prog *isa.Program, contentKey string, input []byte, cfg *vm.Config) (*vm.Result, error) {
+	var c vm.Config
+	if cfg != nil {
+		c = *cfg
+	}
+	if contentKey == "" || c.Trace != nil {
+		return e.run(prog, input, &c)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "run/%d\x00vm/%d\x00name=%s\x00cfg=%s\x00", keyVersion, vm.SemanticsVersion, prog.Source, c.Fingerprint())
+	io.WriteString(h, contentKey)
+	fmt.Fprintf(h, "\x00in/%d\x00", len(input))
+	h.Write(input)
+	key := hex.EncodeToString(h.Sum(nil))
+
+	v, err := e.once("run:"+key, func() (any, error) {
+		if v, ok := e.mem.get(key); ok {
+			e.st.memHits.Add(1)
+			return v, nil
+		}
+		e.st.memMisses.Add(1)
+		if e.disk != nil {
+			res, _, ok, invalid := e.disk.load(key)
+			if invalid {
+				e.st.diskInvalid.Add(1)
+			}
+			if ok {
+				e.st.diskHits.Add(1)
+				e.mem.add(key, res)
+				return res, nil
+			}
+			e.st.diskMisses.Add(1)
+		}
+		res, err := e.run(prog, input, &c)
+		if err != nil {
+			return nil, err
+		}
+		e.mem.add(key, res)
+		if e.disk != nil {
+			if err := e.disk.store(key, res, nil); err != nil {
+				e.st.diskWriteErrs.Add(1)
+			}
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cloneResult(v.(*vm.Result)), nil
+}
+
+// run is the timed, counted VM execution every path funnels through.
+func (e *Engine) run(prog *isa.Program, input []byte, cfg *vm.Config) (*vm.Result, error) {
+	start := time.Now()
+	res, err := vm.Run(prog, input, cfg)
+	e.st.runNS.Add(int64(time.Since(start)))
+	e.st.runs.Add(1)
+	if res != nil {
+		e.st.instrs.Add(res.Instrs)
+	}
+	return res, err
+}
+
+// profile is the timed profile-extraction stage.
+func (e *Engine) profile(spec *Spec, res *vm.Result) *ifprob.Profile {
+	start := time.Now()
+	prof := ifprob.FromRun(spec.Name, spec.Dataset, res)
+	e.st.profileNS.Add(int64(time.Since(start)))
+	e.st.profiles.Add(1)
+	return prof
+}
+
+// Parallel runs f(0), …, f(n-1) with at most WorkerCount goroutines
+// in flight and waits for all of them. The first error in index order
+// is returned, so failure reporting is deterministic regardless of
+// scheduling.
+func (e *Engine) Parallel(n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	sem := make(chan struct{}, e.workers)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cloneResult deep-copies a measurement so cached state stays
+// isolated from caller mutation.
+func cloneResult(r *vm.Result) *vm.Result {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Output = append([]byte(nil), r.Output...)
+	c.SiteTaken = append([]uint64(nil), r.SiteTaken...)
+	c.SiteTotal = append([]uint64(nil), r.SiteTotal...)
+	if r.PerPC != nil {
+		c.PerPC = make([][]uint64, len(r.PerPC))
+		for i := range r.PerPC {
+			c.PerPC[i] = append([]uint64(nil), r.PerPC[i]...)
+		}
+	}
+	return &c
+}

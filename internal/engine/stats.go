@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// counters is the engine's internal atomic instrumentation. Wall
+// times accumulate per stage across all workers, so under the
+// parallel pool they measure aggregate compute, not elapsed time.
+type counters struct {
+	compiles, runs, profiles atomic.Uint64
+	compileNS, runNS         atomic.Int64
+	profileNS                atomic.Int64
+	instrs                   atomic.Uint64
+
+	memHits, memMisses   atomic.Uint64
+	diskHits, diskMisses atomic.Uint64
+	diskInvalid          atomic.Uint64
+	diskWriteErrs        atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the engine's per-stage
+// observability: work performed, where the time went, and how the
+// caches behaved.
+type Stats struct {
+	// Pipeline stages actually executed (cache hits excluded).
+	Compiles uint64
+	Runs     uint64
+	Profiles uint64
+
+	// Cumulative wall time per stage, summed across workers.
+	CompileWall time.Duration
+	RunWall     time.Duration
+	ProfileWall time.Duration
+
+	// Instrs is the total RISC-level instructions interpreted.
+	Instrs uint64
+
+	// Cache behaviour. DiskInvalid counts corrupt, truncated or
+	// version-mismatched entries that were discarded and recomputed;
+	// DiskWriteErrs counts failed best-effort writes.
+	MemHits       uint64
+	MemMisses     uint64
+	DiskHits      uint64
+	DiskMisses    uint64
+	DiskInvalid   uint64
+	DiskWriteErrs uint64
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Compiles:      e.st.compiles.Load(),
+		Runs:          e.st.runs.Load(),
+		Profiles:      e.st.profiles.Load(),
+		CompileWall:   time.Duration(e.st.compileNS.Load()),
+		RunWall:       time.Duration(e.st.runNS.Load()),
+		ProfileWall:   time.Duration(e.st.profileNS.Load()),
+		Instrs:        e.st.instrs.Load(),
+		MemHits:       e.st.memHits.Load(),
+		MemMisses:     e.st.memMisses.Load(),
+		DiskHits:      e.st.diskHits.Load(),
+		DiskMisses:    e.st.diskMisses.Load(),
+		DiskInvalid:   e.st.diskInvalid.Load(),
+		DiskWriteErrs: e.st.diskWriteErrs.Load(),
+	}
+}
+
+// InstrsPerSec is the aggregate interpreter throughput: instructions
+// executed over cumulative run wall time.
+func (s Stats) InstrsPerSec() float64 {
+	if s.RunWall <= 0 {
+		return 0
+	}
+	return float64(s.Instrs) / s.RunWall.Seconds()
+}
+
+// String renders the snapshot in the form the tools print under
+// -stats.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %d compiles (%v), %d runs (%v, %d instrs, %.1f Minstrs/s), %d profiles (%v)\n",
+		s.Compiles, s.CompileWall.Round(time.Microsecond),
+		s.Runs, s.RunWall.Round(time.Microsecond), s.Instrs, s.InstrsPerSec()/1e6,
+		s.Profiles, s.ProfileWall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "engine: cache mem %d/%d hits, disk %d/%d hits",
+		s.MemHits, s.MemHits+s.MemMisses, s.DiskHits, s.DiskHits+s.DiskMisses)
+	if s.DiskInvalid > 0 {
+		fmt.Fprintf(&b, ", %d invalid entries recomputed", s.DiskInvalid)
+	}
+	if s.DiskWriteErrs > 0 {
+		fmt.Fprintf(&b, ", %d write errors", s.DiskWriteErrs)
+	}
+	return b.String()
+}

@@ -5,10 +5,10 @@ import (
 	"fmt"
 
 	"branchprof/internal/breaks"
+	"branchprof/internal/engine"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/mfc"
 	"branchprof/internal/predict"
-	"branchprof/internal/vm"
 	"branchprof/internal/workloads"
 )
 
@@ -42,36 +42,37 @@ type DeadCodeRow struct {
 }
 
 // Table1 measures each workload's first dataset under both compiler
-// configurations.
+// configurations (the paper's double compile: once plain, once with
+// dead-branch elimination). Both measurements route through the
+// engine, so repeated table generations — and the plain half, which
+// the suite collection also needs — are served from cache.
 func Table1() ([]DeadCodeRow, error) {
+	eng := Engine()
 	var rows []DeadCodeRow
 	for _, w := range workloads.All() {
-		plainProg, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("exp: table1 compiling %s: %w", w.Name, err)
-		}
-		dceProg, err := mfc.Compile(w.Name, w.Source, mfc.Options{DeadBranchElim: true})
-		if err != nil {
-			return nil, fmt.Errorf("exp: table1 compiling %s with DCE: %w", w.Name, err)
-		}
 		ds := w.Datasets[0]
 		input := ds.Gen()
-		plain, err := vm.Run(plainProg, input, nil)
+		plain, err := eng.Execute(engine.Spec{
+			Name: w.Name, Source: w.Source, Dataset: ds.Name, Input: input,
+		})
 		if err != nil {
-			return nil, fmt.Errorf("exp: table1 running %s: %w", w.Name, err)
+			return nil, fmt.Errorf("exp: table1 measuring %s: %w", w.Name, err)
 		}
-		dce, err := vm.Run(dceProg, input, nil)
+		dce, err := eng.Execute(engine.Spec{
+			Name: w.Name, Source: w.Source, Dataset: ds.Name, Input: input,
+			Options: mfc.Options{DeadBranchElim: true},
+		})
 		if err != nil {
-			return nil, fmt.Errorf("exp: table1 running %s (DCE): %w", w.Name, err)
+			return nil, fmt.Errorf("exp: table1 measuring %s (DCE): %w", w.Name, err)
 		}
 		dead := 0.0
-		if plain.Instrs > 0 && dce.Instrs < plain.Instrs {
-			dead = 1 - float64(dce.Instrs)/float64(plain.Instrs)
+		if plain.Res.Instrs > 0 && dce.Res.Instrs < plain.Res.Instrs {
+			dead = 1 - float64(dce.Res.Instrs)/float64(plain.Res.Instrs)
 		}
 		rows = append(rows, DeadCodeRow{
 			Program: w.Name, Dataset: ds.Name,
-			Plain: plain.Instrs, DCE: dce.Instrs, DeadPct: dead,
-			OutputsEqual: bytes.Equal(plain.Output, dce.Output) && plain.ExitCode == dce.ExitCode,
+			Plain: plain.Res.Instrs, DCE: dce.Res.Instrs, DeadPct: dead,
+			OutputsEqual: bytes.Equal(plain.Res.Output, dce.Res.Output) && plain.Res.ExitCode == dce.Res.ExitCode,
 		})
 	}
 	return rows, nil

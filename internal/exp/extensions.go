@@ -61,7 +61,9 @@ func StaticVsDynamic(s *Suite) ([]DynRow, error) {
 		oneBit := dynpred.NewOneBit(len(p.Prog.Sites))
 		twoBit := dynpred.NewTwoBit(len(p.Prog.Sites))
 		multi := &dynpred.Multi{Predictors: []dynpred.Predictor{selfP, othersP, oneBit, twoBit}}
-		if _, err := vm.Run(p.Prog, p.Workload.Datasets[0].Gen(), &vm.Config{Trace: multi}); err != nil {
+		// Traced replays observe the execution, so the engine runs them
+		// fresh (never from cache) while still counting them in stats.
+		if _, err := Engine().Run(p.Prog, "", p.Workload.Datasets[0].Gen(), &vm.Config{Trace: multi}); err != nil {
 			return nil, fmt.Errorf("exp: dynamic replay of %s: %w", p.Workload.Name, err)
 		}
 		rate := func(pr dynpred.Predictor) float64 {
@@ -113,7 +115,7 @@ func RunLengths(s *Suite) ([]RunLengthRow, error) {
 			return nil, err
 		}
 		rec := runlength.New(self)
-		if _, err := vm.Run(p.Prog, p.Workload.Datasets[0].Gen(), &vm.Config{Trace: rec}); err != nil {
+		if _, err := Engine().Run(p.Prog, "", p.Workload.Datasets[0].Gen(), &vm.Config{Trace: rec}); err != nil {
 			return nil, fmt.Errorf("exp: run-length replay of %s: %w", p.Workload.Name, err)
 		}
 		rows = append(rows, RunLengthRow{

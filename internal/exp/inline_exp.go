@@ -5,10 +5,9 @@ import (
 	"strings"
 
 	"branchprof/internal/breaks"
-	"branchprof/internal/ifprob"
+	"branchprof/internal/engine"
 	"branchprof/internal/mfc"
 	"branchprof/internal/predict"
-	"branchprof/internal/vm"
 	"branchprof/internal/workloads"
 )
 
@@ -41,27 +40,26 @@ func (r InlineRow) Speedup() float64 {
 // inliner and measures the first dataset.
 func InlineAblation() ([]InlineRow, error) {
 	var rows []InlineRow
+	eng := Engine()
 	pol := breaks.Policy{PredictBranches: true, IncludeDirectCalls: true}
 	measure := func(w *workloads.Workload, opts mfc.Options, input []byte) (float64, uint64, uint64, error) {
-		prog, err := mfc.Compile(w.Name, w.Source, opts)
+		out, err := eng.Execute(engine.Spec{
+			Name: w.Name, Source: w.Source, Options: opts,
+			Dataset: w.Datasets[0].Name, Input: input,
+		})
 		if err != nil {
-			return 0, 0, 0, fmt.Errorf("exp: inline ablation compiling %s: %w", w.Name, err)
+			return 0, 0, 0, fmt.Errorf("exp: inline ablation measuring %s: %w", w.Name, err)
 		}
-		res, err := vm.Run(prog, input, nil)
-		if err != nil {
-			return 0, 0, 0, fmt.Errorf("exp: inline ablation running %s: %w", w.Name, err)
-		}
-		prof := ifprob.FromRun(w.Name, w.Datasets[0].Name, res)
-		pred, err := predict.FromProfile(prof, prog.Sites, predict.LoopHeuristic)
+		pred, err := predict.FromProfile(out.Prof, out.Prog.Sites, predict.LoopHeuristic)
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		ev, err := predict.Evaluate(pred, prof)
+		ev, err := predict.Evaluate(pred, out.Prof)
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		bd := breaks.Count(res, ev.Mispredicts, pol)
-		return bd.InstrsPerBreak(), res.DirectCalls, res.Instrs, nil
+		bd := breaks.Count(out.Res, ev.Mispredicts, pol)
+		return bd.InstrsPerBreak(), out.Res.DirectCalls, out.Res.Instrs, nil
 	}
 	for _, w := range workloads.All() {
 		input := w.Datasets[0].Gen()

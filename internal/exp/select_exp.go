@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"branchprof/internal/engine"
 	"branchprof/internal/isa"
 	"branchprof/internal/mfc"
 	"branchprof/internal/vm"
@@ -28,42 +29,41 @@ type SelectRow struct {
 // its first dataset.
 func SelectStudy() ([]SelectRow, error) {
 	var rows []SelectRow
+	eng := Engine()
 	for _, w := range workloads.All() {
 		input := w.Datasets[0].Gen()
-		plainProg, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+		plain, err := eng.Execute(engine.Spec{
+			Name: w.Name, Source: w.Source, Dataset: w.Datasets[0].Name, Input: input,
+		})
 		if err != nil {
-			return nil, fmt.Errorf("exp: select study compiling %s: %w", w.Name, err)
+			return nil, fmt.Errorf("exp: select study measuring %s: %w", w.Name, err)
 		}
-		selProg, err := mfc.Compile(w.Name, w.Source, mfc.Options{UseSelects: true})
+		sel, err := eng.Execute(engine.Spec{
+			Name: w.Name, Source: w.Source, Dataset: w.Datasets[0].Name, Input: input,
+			Options: mfc.Options{UseSelects: true},
+			Config:  vm.Config{PerPC: true},
+		})
 		if err != nil {
-			return nil, fmt.Errorf("exp: select study compiling %s (selects): %w", w.Name, err)
-		}
-		plain, err := vm.Run(plainProg, input, nil)
-		if err != nil {
-			return nil, fmt.Errorf("exp: select study running %s: %w", w.Name, err)
-		}
-		res, err := vm.Run(selProg, input, &vm.Config{PerPC: true})
-		if err != nil {
-			return nil, fmt.Errorf("exp: select study running %s (selects): %w", w.Name, err)
+			return nil, fmt.Errorf("exp: select study measuring %s (selects): %w", w.Name, err)
 		}
 		var selects uint64
-		for fi := range selProg.Funcs {
-			for pc, in := range selProg.Funcs[fi].Code {
+		for fi := range sel.Prog.Funcs {
+			for pc, in := range sel.Prog.Funcs[fi].Code {
 				if in.Op == isa.OpSel || in.Op == isa.OpFSel {
-					selects += res.PerPC[fi][pc]
+					selects += sel.Res.PerPC[fi][pc]
 				}
 			}
 		}
 		row := SelectRow{
 			Program: w.Name, Dataset: w.Datasets[0].Name,
-			SitesPlain:  len(plainProg.Sites),
-			SitesSelect: len(selProg.Sites),
+			SitesPlain:  len(plain.Prog.Sites),
+			SitesSelect: len(sel.Prog.Sites),
 		}
-		if res.Instrs > 0 {
-			row.SelectPct = float64(selects) / float64(res.Instrs)
+		if sel.Res.Instrs > 0 {
+			row.SelectPct = float64(selects) / float64(sel.Res.Instrs)
 		}
-		if pb := plain.CondBranches(); pb > 0 {
-			row.BranchesCut = 1 - float64(res.CondBranches())/float64(pb)
+		if pb := plain.Res.CondBranches(); pb > 0 {
+			row.BranchesCut = 1 - float64(sel.Res.CondBranches())/float64(pb)
 		}
 		rows = append(rows, row)
 	}

@@ -1,15 +1,16 @@
 // Package exp runs the paper's experiments: it executes the full
-// program × dataset matrix once (cached), then derives every table
-// and figure from the recorded profiles and instruction counts.
+// program × dataset matrix once (through the shared engine, which
+// caches and bounds the work), then derives every table and figure
+// from the recorded profiles and instruction counts.
 package exp
 
 import (
 	"fmt"
 	"sync"
 
+	"branchprof/internal/engine"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/isa"
-	"branchprof/internal/mfc"
 	"branchprof/internal/vm"
 	"branchprof/internal/workloads"
 )
@@ -55,55 +56,82 @@ func (s *Suite) Program(name string) (*ProgramRuns, error) {
 	return nil, fmt.Errorf("exp: no measured program %q", name)
 }
 
-// Collect compiles every workload (dead-branch elimination off, the
-// paper's measurement configuration) and runs every dataset. Runs are
-// independent and deterministic, so they execute in parallel; the
-// assembled suite is identical to a sequential collection.
+var (
+	engMu     sync.Mutex
+	pkgEngine *engine.Engine
+)
+
+// SetEngine routes this package's collections and replays through
+// eng — how cmd/experiments plugs in a persistent cache directory.
+// Call it before the first Shared/Collect.
+func SetEngine(eng *engine.Engine) {
+	engMu.Lock()
+	pkgEngine = eng
+	engMu.Unlock()
+}
+
+// Engine returns the engine this package measures with (the process
+// default unless SetEngine installed another).
+func Engine() *engine.Engine {
+	engMu.Lock()
+	defer engMu.Unlock()
+	if pkgEngine == nil {
+		pkgEngine = engine.Default()
+	}
+	return pkgEngine
+}
+
+// Collect measures the full matrix through the package engine: every
+// workload compiled with dead-branch elimination off (the paper's
+// measurement configuration), every dataset run.
 func Collect() (*Suite, error) {
+	return CollectWith(Engine())
+}
+
+// CollectWith measures the full matrix through eng. (Workload,
+// dataset) units are independent and deterministic, so they execute
+// on the engine's bounded worker pool; results land in preassigned
+// slots, so the assembled suite is identical to a sequential
+// collection no matter the schedule or cache state.
+func CollectWith(eng *engine.Engine) (*Suite, error) {
 	all := workloads.All()
 	s := &Suite{
 		Programs: make([]*ProgramRuns, len(all)),
 		byName:   make(map[string]*ProgramRuns),
 	}
-	var wg sync.WaitGroup
-	// One error slot per (workload, dataset) goroutine: no slot is
-	// shared, so failure reporting is race-free.
-	var errs [][]error = make([][]error, len(all))
+	type job struct{ wi, di int }
+	var jobs []job
 	for wi, w := range all {
-		wi, w := wi, w
-		prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("exp: compiling %s: %w", w.Name, err)
-		}
-		pr := &ProgramRuns{Workload: w, Prog: prog, Runs: make([]*Run, len(w.Datasets))}
-		s.Programs[wi] = pr
-		errs[wi] = make([]error, len(w.Datasets))
-		for di, ds := range w.Datasets {
-			di, ds := di, ds
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				res, err := vm.Run(prog, ds.Gen(), nil)
-				if err != nil {
-					errs[wi][di] = fmt.Errorf("exp: running %s/%s: %w", w.Name, ds.Name, err)
-					return
-				}
-				pr.Runs[di] = &Run{
-					Workload: w.Name,
-					Dataset:  ds.Name,
-					Res:      res,
-					Prof:     ifprob.FromRun(w.Name, ds.Name, res),
-				}
-			}()
+		s.Programs[wi] = &ProgramRuns{Workload: w, Runs: make([]*Run, len(w.Datasets))}
+		for di := range w.Datasets {
+			jobs = append(jobs, job{wi, di})
 		}
 	}
-	wg.Wait()
-	for _, we := range errs {
-		for _, err := range we {
-			if err != nil {
-				return nil, err
-			}
+	err := eng.Parallel(len(jobs), func(j int) error {
+		wi, di := jobs[j].wi, jobs[j].di
+		w := all[wi]
+		ds := w.Datasets[di]
+		out, err := eng.Execute(engine.Spec{
+			Name:    w.Name,
+			Source:  w.Source,
+			Dataset: ds.Name,
+			Input:   ds.Gen(),
+		})
+		if err != nil {
+			return fmt.Errorf("exp: measuring %s/%s: %w", w.Name, ds.Name, err)
 		}
+		pr := s.Programs[wi]
+		if di == 0 {
+			// The compiled image is memoized per workload, so any
+			// dataset's outcome carries the same program; dataset 0
+			// publishes it exactly once.
+			pr.Prog = out.Prog
+		}
+		pr.Runs[di] = &Run{Workload: w.Name, Dataset: ds.Name, Res: out.Res, Prof: out.Prof}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, pr := range s.Programs {
 		s.byName[pr.Workload.Name] = pr

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"testing"
+
+	"branchprof/internal/engine"
+	"branchprof/internal/workloads"
+)
+
+// renderAll produces every suite-derived artifact as one string, so
+// the cold/warm comparison covers the full reporting surface, not
+// just the raw counters.
+func renderAll(t *testing.T, s *Suite) string {
+	t.Helper()
+	out := RenderFigure1("Figure 1a", Figure1(s, workloads.Fortran))
+	out += RenderFigure1("Figure 1b", Figure1(s, workloads.C))
+	t3, err := Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += RenderTable3(t3)
+	f2, err := Figure2(s, CProgramNames(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += RenderFigure2("Figure 2b", f2)
+	f3, err := Figure3(s, CProgramNames(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += RenderFigure3("Figure 3b", f3)
+	out += RenderTaken(TakenConstancy(s))
+	return out
+}
+
+// TestCachedSuiteIdentical is the end-to-end cache-correctness check:
+// a suite collected fresh, a suite served from the same engine's
+// caches, and a suite served from a *different* engine over the same
+// persistent directory must render byte-identical experiment tables.
+func TestCachedSuiteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix collection in -short mode")
+	}
+	dir := t.TempDir()
+
+	cold := engine.New(engine.Options{CacheDir: dir})
+	s1, err := CollectWith(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.DiskHits != 0 || st.Runs == 0 {
+		t.Fatalf("cold collection stats off: %+v", st)
+	}
+	want := renderAll(t, s1)
+
+	// Same engine again: served from the in-memory LRU.
+	s2, err := CollectWith(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAll(t, s2); got != want {
+		t.Fatal("memory-cached suite renders differently from the cold suite")
+	}
+
+	// Fresh engine, same directory: served from disk, recompiled only.
+	warm := engine.New(engine.Options{CacheDir: dir})
+	s3, err := CollectWith(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Runs != 0 {
+		t.Fatalf("warm collection executed %d runs; every measurement should come from disk", st.Runs)
+	}
+	if st.DiskHits == 0 {
+		t.Fatal("warm collection never hit the disk cache")
+	}
+	if got := renderAll(t, s3); got != want {
+		t.Fatal("disk-cached suite renders differently from the cold suite")
+	}
+}
+
+// TestCollectMatchesSequential pins the bounded pool's assembly: a
+// single-worker collection and a wide one must produce suites that
+// render identically, whatever the schedule interleaving.
+func TestCollectMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix collection in -short mode")
+	}
+	seq, err := CollectWith(engine.New(engine.Options{Workers: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := CollectWith(engine.New(engine.Options{Workers: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(t, seq) != renderAll(t, wide) {
+		t.Fatal("parallel collection renders differently from sequential")
+	}
+	if len(seq.Programs) != len(wide.Programs) {
+		t.Fatal("program counts differ")
+	}
+	for i := range seq.Programs {
+		a, b := seq.Programs[i], wide.Programs[i]
+		if a.Workload.Name != b.Workload.Name || len(a.Runs) != len(b.Runs) {
+			t.Fatalf("program %d shape differs", i)
+		}
+		for j := range a.Runs {
+			if a.Runs[j].Res.Instrs != b.Runs[j].Res.Instrs {
+				t.Fatalf("%s/%s: %d vs %d instrs", a.Workload.Name, a.Runs[j].Dataset,
+					a.Runs[j].Res.Instrs, b.Runs[j].Res.Instrs)
+			}
+		}
+	}
+}

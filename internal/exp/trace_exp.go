@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"branchprof/internal/cfg"
+	"branchprof/internal/engine"
 	"branchprof/internal/predict"
 	"branchprof/internal/vm"
 )
@@ -34,12 +35,18 @@ type TraceRow struct {
 // each regime.
 func TraceStudy(s *Suite) ([]TraceRow, error) {
 	var rows []TraceRow
+	eng := Engine()
 	for _, p := range s.Programs {
 		input := p.Workload.Datasets[0].Gen()
-		res, err := vm.Run(p.Prog, input, &vm.Config{PerPC: true})
+		out, err := eng.Execute(engine.Spec{
+			Name: p.Workload.Name, Source: p.Workload.Source,
+			Dataset: p.Workload.Datasets[0].Name, Input: input,
+			Config: vm.Config{PerPC: true},
+		})
 		if err != nil {
-			return nil, fmt.Errorf("exp: trace study running %s: %w", p.Workload.Name, err)
+			return nil, fmt.Errorf("exp: trace study measuring %s: %w", p.Workload.Name, err)
 		}
+		res := out.Res
 		heurDirs := make([]bool, len(p.Prog.Sites))
 		for i, site := range p.Prog.Sites {
 			heurDirs[i] = predict.LoopHeuristic(site) == predict.Taken

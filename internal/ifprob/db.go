@@ -103,8 +103,8 @@ func Load(path string) (*DB, error) {
 	}
 	db := NewDB()
 	for _, p := range f.Profiles {
-		if len(p.Taken) != len(p.Total) {
-			return nil, fmt.Errorf("ifprob: database %s: corrupt profile for %s", path, p.Program)
+		if err := p.CheckConsistent(); err != nil {
+			return nil, fmt.Errorf("ifprob: database %s: corrupt profile: %w", path, err)
 		}
 		db.profiles[p.Program] = p
 	}

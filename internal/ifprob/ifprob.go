@@ -39,6 +39,25 @@ func FromRun(program, dataset string, res *vm.Result) *Profile {
 // Sites returns the number of static branch sites the profile covers.
 func (p *Profile) Sites() int { return len(p.Total) }
 
+// CheckConsistent validates the structural invariants a profile must
+// satisfy after deserialization: parallel Taken/Total slices and no
+// site taken more often than it executed. Corrupt or hand-edited
+// persisted profiles fail here instead of poisoning downstream
+// accounting.
+func (p *Profile) CheckConsistent() error {
+	if len(p.Taken) != len(p.Total) {
+		return fmt.Errorf("ifprob: profile for %s has %d taken slots but %d total slots",
+			p.Program, len(p.Taken), len(p.Total))
+	}
+	for i := range p.Total {
+		if p.Taken[i] > p.Total[i] {
+			return fmt.Errorf("ifprob: profile for %s: site %d taken %d > executed %d",
+				p.Program, i, p.Taken[i], p.Total[i])
+		}
+	}
+	return nil
+}
+
 // Executed returns the total number of conditional branches executed.
 func (p *Profile) Executed() uint64 {
 	var n uint64

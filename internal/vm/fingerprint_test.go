@@ -1,0 +1,44 @@
+package vm
+
+import "testing"
+
+func TestConfigFingerprint(t *testing.T) {
+	var nilCfg *Config
+	zero := &Config{}
+	defaulted := &Config{Fuel: 1 << 33, MaxDepth: 100000, MaxOutput: 1 << 26}
+
+	// nil, zero and explicitly defaulted configs describe the same run
+	// and must share a fingerprint — otherwise the engine's cache would
+	// split identical measurements across keys.
+	if nilCfg.Fingerprint() != zero.Fingerprint() {
+		t.Fatalf("nil %q != zero %q", nilCfg.Fingerprint(), zero.Fingerprint())
+	}
+	if defaulted.Fingerprint() != zero.Fingerprint() {
+		t.Fatalf("defaulted %q != zero %q", defaulted.Fingerprint(), zero.Fingerprint())
+	}
+
+	// Every measurement-affecting field must move the fingerprint.
+	base := zero.Fingerprint()
+	for name, c := range map[string]*Config{
+		"fuel":   {Fuel: 1000},
+		"depth":  {MaxDepth: 7},
+		"output": {MaxOutput: 64},
+		"perpc":  {PerPC: true},
+	} {
+		if c.Fingerprint() == base {
+			t.Errorf("changing %s did not change the fingerprint %q", name, base)
+		}
+	}
+
+	// A tracer must NOT move the fingerprint: tracers observe a run
+	// without changing its counters, and traced runs bypass the cache.
+	traced := &Config{Trace: dummyTracer{}}
+	if traced.Fingerprint() != base {
+		t.Fatalf("tracer changed the fingerprint: %q", traced.Fingerprint())
+	}
+}
+
+type dummyTracer struct{}
+
+func (dummyTracer) Branch(site int32, taken bool, instrs uint64) {}
+func (dummyTracer) Transfer(kind TransferKind, instrs uint64)    {}

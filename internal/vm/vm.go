@@ -58,6 +58,14 @@ type Tracer interface {
 	Transfer(kind TransferKind, instrs uint64)
 }
 
+// SemanticsVersion identifies the observable semantics of the
+// interpreter: the exact instruction counts, branch outcomes, output
+// bytes and trap behaviour a run produces. Persisted measurements
+// (internal/engine's content-addressed cache) embed it in their keys,
+// so bumping it invalidates every cached result. Bump it whenever a
+// change to the interpreter alters any counter or observable result.
+const SemanticsVersion = 1
+
 // Config controls resource limits and optional measurements.
 type Config struct {
 	// Fuel is the maximum number of instructions to execute; 0 means
@@ -85,6 +93,21 @@ func (c *Config) fill() {
 	if c.MaxOutput == 0 {
 		c.MaxOutput = 1 << 26
 	}
+}
+
+// Fingerprint returns a canonical string covering every configuration
+// field that can affect a run's measurements, with defaults resolved
+// first so a nil config and an explicitly defaulted one fingerprint
+// identically. The tracer is deliberately excluded: tracers observe a
+// run without changing its counters, and traced runs are never served
+// from a cache. A nil receiver is valid and means the default config.
+func (c *Config) Fingerprint() string {
+	var d Config
+	if c != nil {
+		d = *c
+	}
+	d.fill()
+	return fmt.Sprintf("fuel=%d,depth=%d,out=%d,perpc=%t", d.Fuel, d.MaxDepth, d.MaxOutput, d.PerPC)
 }
 
 // Result holds everything measured during a run.
