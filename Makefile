@@ -1,19 +1,22 @@
 # Tier-1 verification for the branchprof repo.
 #
 #   make verify   build + full test suite + vet + race on the
-#                 concurrency-bearing packages (engine, exp)
+#                 concurrency-bearing packages (engine, exp) + chaos
 #   make test     build + full test suite only
 #   make race     the race step alone (-short skips the full-matrix
 #                 identity tests, which re-run un-raced under `make test`;
 #                 the race detector still covers Collect's worker pool
 #                 and every cache path via the package's other tests)
+#   make chaos    the fault-injection matrix under the race detector,
+#                 run twice (-count=2) to shake out ordering luck; -short
+#                 keeps the full-matrix degraded tests in `make test`
 #   make bench    the cold vs warm cache benchmark pair
 
 GO ?= go
 
-.PHONY: verify test vet race bench
+.PHONY: verify test vet race chaos bench
 
-verify: test vet race
+verify: test vet race chaos
 
 test:
 	$(GO) build ./...
@@ -24,6 +27,11 @@ vet:
 
 race:
 	$(GO) test -race -short ./internal/engine/... ./internal/exp/...
+
+chaos:
+	$(GO) test -race -count=2 -short -run 'Fault|Degraded|Cancel|Retry|Torn|Corrupt|Partial' \
+		./internal/faults/... ./internal/engine/... ./internal/exp/... \
+		./internal/ifprob/... ./internal/predict/... ./internal/vm/...
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSuiteCollect(Cold|Warm)' -benchtime 3x .

@@ -5,142 +5,158 @@ import (
 	"fmt"
 	"os"
 
+	"branchprof/cmd/internal/cli"
 	"branchprof/internal/exp"
 	"branchprof/internal/workloads"
 )
 
 // emitJSON regenerates every artifact and writes one JSON document to
 // stdout, for downstream tooling (plotting, regression tracking).
-func emitJSON() error {
+// Under -allow-partial a degraded suite still emits every artifact its
+// surviving cells support; the document then carries a "coverage" key
+// describing the missing cells and a "skipped_artifacts" list.
+func emitJSON(t *cli.Tool) error {
 	out := make(map[string]any)
+	var skipped []string
+	// put records one artifact, or — under -allow-partial — drops it
+	// with a note when its inputs are missing from a degraded suite.
+	put := func(key string, rows any, err error) error {
+		if err != nil {
+			if t.AllowPartial() {
+				skipped = append(skipped, fmt.Sprintf("%s: %v", key, err))
+				return nil
+			}
+			return err
+		}
+		out[key] = rows
+		return nil
+	}
 
 	t1, err := exp.Table1()
-	if err != nil {
+	if err := put("table1_dead_code", t1, err); err != nil {
 		return err
 	}
-	out["table1_dead_code"] = t1
 	out["table2_inventory"] = exp.Table2()
 
 	inl, err := exp.InlineAblation()
-	if err != nil {
+	if err := put("ext_inline_ablation", inl, err); err != nil {
 		return err
 	}
-	out["ext_inline_ablation"] = inl
 
 	sel, err := exp.SelectStudy()
-	if err != nil {
+	if err := put("ext_select_study", sel, err); err != nil {
 		return err
 	}
-	out["ext_select_study"] = sel
 
-	s, err := exp.Shared()
+	s, err := exp.CollectCtx(t.Context(), t.Engine(), exp.CollectOptions{AllowPartial: t.AllowPartial()})
 	if err != nil {
 		return err
 	}
+	if s.Partial() {
+		out["coverage"] = map[string]any{
+			"summary": s.CoverageSummary().String(),
+			"cells":   s.CoverageSummary(),
+			"errors":  errorStrings(s),
+		}
+	}
+
 	t3, err := exp.Table3(s)
-	if err != nil {
+	if err := put("table3_fortran_instrs_per_break", t3, err); err != nil {
 		return err
 	}
-	out["table3_fortran_instrs_per_break"] = t3
 	out["figure1a_fortran"] = exp.Figure1(s, workloads.Fortran)
 	out["figure1b_c"] = exp.Figure1(s, workloads.C)
 
 	f2a, err := exp.Figure2(s, []string{"spice2g6"})
-	if err != nil {
+	if err := put("figure2a_spice", f2a, err); err != nil {
 		return err
 	}
-	out["figure2a_spice"] = f2a
 	f2b, err := exp.Figure2(s, exp.CProgramNames(s))
-	if err != nil {
+	if err := put("figure2b_c", f2b, err); err != nil {
 		return err
 	}
-	out["figure2b_c"] = f2b
 
 	f3a, err := exp.Figure3(s, []string{"spice2g6"})
-	if err != nil {
+	if err := put("figure3a_spice", f3a, err); err != nil {
 		return err
 	}
-	out["figure3a_spice"] = f3a
 	f3b, err := exp.Figure3(s, exp.CProgramNames(s))
-	if err != nil {
+	if err := put("figure3b_c", f3b, err); err != nil {
 		return err
 	}
-	out["figure3b_c"] = f3b
 
 	out["taken_constancy"] = exp.TakenConstancy(s)
 
 	comb, err := exp.CombinedComparison(s)
-	if err != nil {
+	if err := put("combined_modes", comb, err); err != nil {
 		return err
 	}
-	out["combined_modes"] = comb
 
 	heur, err := exp.HeuristicComparison(s)
-	if err != nil {
+	if err := put("heuristics", heur, err); err != nil {
 		return err
 	}
-	out["heuristics"] = heur
 
 	mot, err := exp.Motivation(s)
-	if err != nil {
+	if err := put("motivation_fpppp_vs_li", mot, err); err != nil {
 		return err
 	}
-	out["motivation_fpppp_vs_li"] = mot
 
 	cm, err := exp.CrossMode(s)
-	if err != nil {
+	if err := put("crossmode_compress", cm, err); err != nil {
 		return err
 	}
-	out["crossmode_compress"] = cm
 
 	dyn, err := exp.StaticVsDynamic(s)
-	if err != nil {
+	if err := put("ext_static_vs_dynamic", dyn, err); err != nil {
 		return err
 	}
-	out["ext_static_vs_dynamic"] = dyn
 
 	rl, err := exp.RunLengths(s)
 	if err != nil {
-		return err
+		if err := put("ext_run_lengths", nil, err); err != nil {
+			return err
+		}
+	} else {
+		// Histograms are bulky text; strip them for the JSON form.
+		type rlRow struct {
+			Program string
+			Dataset string
+			Stats   any
+		}
+		slim := make([]rlRow, len(rl))
+		for i, r := range rl {
+			slim[i] = rlRow{Program: r.Program, Dataset: r.Dataset, Stats: r.Stats}
+		}
+		out["ext_run_lengths"] = slim
 	}
-	// Histograms are bulky text; strip them for the JSON form.
-	type rlRow struct {
-		Program string
-		Dataset string
-		Stats   any
-	}
-	slim := make([]rlRow, len(rl))
-	for i, r := range rl {
-		slim[i] = rlRow{Program: r.Program, Dataset: r.Dataset, Stats: r.Stats}
-	}
-	out["ext_run_lengths"] = slim
 
 	cov, err := exp.Coverage(s)
-	if err != nil {
-		return err
-	}
-	out["ext_coverage"] = map[string]any{
+	if err := put("ext_coverage", map[string]any{
 		"pairs":     cov,
 		"pearson_r": exp.CoverageCorrelation(cov),
+	}, err); err != nil {
+		return err
 	}
 
 	dis, err := exp.DisagreementStudy(s)
-	if err != nil {
+	if err := put("ext_disagreement", dis, err); err != nil {
 		return err
 	}
-	out["ext_disagreement"] = dis
 
 	hot, err := exp.HotSites(s, 3)
-	if err != nil {
+	if err := put("diag_hot_sites", hot, err); err != nil {
 		return err
 	}
-	out["diag_hot_sites"] = hot
 
 	tr, err := exp.TraceStudy(s)
-	if err != nil {
+	if err := put("ext_trace_selection", tr, err); err != nil {
 		return err
 	}
-	out["ext_trace_selection"] = tr
+
+	if len(skipped) > 0 {
+		out["skipped_artifacts"] = skipped
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -148,4 +164,12 @@ func emitJSON() error {
 		return fmt.Errorf("encoding: %w", err)
 	}
 	return nil
+}
+
+func errorStrings(s *exp.Suite) []string {
+	var out []string
+	for _, ce := range s.Errors {
+		out = append(out, ce.Error())
+	}
+	return out
 }

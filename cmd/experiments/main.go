@@ -49,9 +49,8 @@ func main() {
 	exp.SetEngine(t.Engine())
 
 	if *jsonOut {
-		if err := emitJSON(); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		if err := emitJSON(t); err != nil {
+			t.Fatal(err)
 		}
 		t.PrintStats()
 		return
@@ -63,8 +62,19 @@ func main() {
 	all := !any
 
 	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		t.Fatal(err)
+	}
+	// emit prints one artifact, or — under -allow-partial — skips it
+	// with a note when its inputs are missing from a degraded suite.
+	emit := func(err error, render func() string) {
+		if err != nil {
+			if t.AllowPartial() {
+				fmt.Fprintln(os.Stderr, "experiments: degraded: skipping artifact:", err)
+				return
+			}
+			fail(err)
+		}
+		fmt.Println(render())
 	}
 
 	if all || *table2 {
@@ -72,24 +82,15 @@ func main() {
 	}
 	if all || *table1 {
 		rows, err := exp.Table1()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderTable1(rows))
+		emit(err, func() string { return exp.RenderTable1(rows) })
 	}
 	if all || *inline {
 		rows, err := exp.InlineAblation()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderInlineAblation(rows))
+		emit(err, func() string { return exp.RenderInlineAblation(rows) })
 	}
 	if all || *selects {
 		rows, err := exp.SelectStudy()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderSelectStudy(rows))
+		emit(err, func() string { return exp.RenderSelectStudy(rows) })
 	}
 
 	needSuite := all || *table3 || *fig1a || *fig1b || *fig2a || *fig2b || *fig3a ||
@@ -99,9 +100,12 @@ func main() {
 		t.PrintStats()
 		return
 	}
-	s, err := exp.Shared()
+	s, err := exp.CollectCtx(t.Context(), t.Engine(), exp.CollectOptions{AllowPartial: t.AllowPartial()})
 	if err != nil {
 		fail(err)
+	}
+	if s.Partial() {
+		fmt.Println(exp.RenderCoverageSummary(s))
 	}
 
 	renderFig1 := exp.RenderFigure1
@@ -116,10 +120,7 @@ func main() {
 	}
 	if all || *table3 {
 		rows, err := exp.Table3(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderTable3(rows))
+		emit(err, func() string { return exp.RenderTable3(rows) })
 	}
 	renderFig2 := exp.RenderFigure2
 	if *chart {
@@ -127,17 +128,11 @@ func main() {
 	}
 	if all || *fig2a {
 		rows, err := exp.Figure2(s, []string{"spice2g6"})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(renderFig2("Figure 2a (spice2g6)", rows))
+		emit(err, func() string { return renderFig2("Figure 2a (spice2g6)", rows) })
 	}
 	if all || *fig2b {
 		rows, err := exp.Figure2(s, exp.CProgramNames(s))
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(renderFig2("Figure 2b (C/Integer)", rows))
+		emit(err, func() string { return renderFig2("Figure 2b (C/Integer)", rows) })
 	}
 	renderFig3 := exp.RenderFigure3
 	if *chart {
@@ -145,90 +140,54 @@ func main() {
 	}
 	if all || *fig3a {
 		rows, err := exp.Figure3(s, []string{"spice2g6"})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(renderFig3("Figure 3a (spice2g6)", rows))
+		emit(err, func() string { return renderFig3("Figure 3a (spice2g6)", rows) })
 	}
 	if all || *fig3b {
 		rows, err := exp.Figure3(s, exp.CProgramNames(s))
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(renderFig3("Figure 3b (C/Integer)", rows))
+		emit(err, func() string { return renderFig3("Figure 3b (C/Integer)", rows) })
 	}
 	if all || *taken {
 		fmt.Println(exp.RenderTaken(exp.TakenConstancy(s)))
 	}
 	if all || *combined {
 		rows, err := exp.CombinedComparison(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderCombined(rows))
+		emit(err, func() string { return exp.RenderCombined(rows) })
 	}
 	if all || *heuristic {
 		rows, err := exp.HeuristicComparison(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderHeuristic(rows))
+		emit(err, func() string { return exp.RenderHeuristic(rows) })
 	}
 	if all || *motivation {
 		rows, err := exp.Motivation(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderMotivation(rows))
+		emit(err, func() string { return exp.RenderMotivation(rows) })
 	}
 	if all || *crossmode {
 		rows, err := exp.CrossMode(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderCrossMode(rows))
+		emit(err, func() string { return exp.RenderCrossMode(rows) })
 	}
 	if all || *dynamic {
 		rows, err := exp.StaticVsDynamic(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderStaticVsDynamic(rows))
+		emit(err, func() string { return exp.RenderStaticVsDynamic(rows) })
 	}
 	if all || *runlens {
 		rows, err := exp.RunLengths(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderRunLengths(rows))
+		emit(err, func() string { return exp.RenderRunLengths(rows) })
 	}
 	if all || *coverage {
 		rows, err := exp.Coverage(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderCoverage(rows))
+		emit(err, func() string { return exp.RenderCoverage(rows) })
 	}
 	if all || *disagree {
 		rows, err := exp.DisagreementStudy(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderDisagreement(rows))
+		emit(err, func() string { return exp.RenderDisagreement(rows) })
 	}
 	if all || *hotsites {
 		rows, err := exp.HotSites(s, 3)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderHotSites(rows))
+		emit(err, func() string { return exp.RenderHotSites(rows) })
 	}
 	if all || *traces {
 		rows, err := exp.TraceStudy(s)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(exp.RenderTraceStudy(rows))
+		emit(err, func() string { return exp.RenderTraceStudy(rows) })
 	}
 	t.PrintStats()
 }

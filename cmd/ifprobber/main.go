@@ -48,7 +48,7 @@ func main() {
 	}
 
 	if *annotate {
-		prog, err := t.Engine().Compile(name, src, mfc.Options{})
+		prog, err := t.Engine().CompileContext(t.Context(), name, src, mfc.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +72,7 @@ func main() {
 	if dsName == "" {
 		dsName = cli.InputLabel(*inPath)
 	}
-	out, err := t.Engine().Execute(engine.Spec{
+	out, err := t.Engine().ExecuteContext(t.Context(), engine.Spec{
 		Name:    name,
 		Source:  src,
 		Dataset: dsName,

@@ -1,19 +1,27 @@
 // Package cli factors the plumbing every MF command-line tool used to
 // carry privately: source-file loading with the optional runtime
 // prelude, dataset input reading (file or stdin), uniform error
-// reporting, and the engine flags (-cache-dir, -stats) that give each
-// tool the shared compile→run→profile pipeline with its persistent
-// measurement cache and per-stage statistics.
+// reporting, and the shared flags (-cache-dir, -stats, -timeout,
+// -max-retries, -allow-partial) that give each tool the shared
+// compile→run→profile pipeline with its persistent measurement cache,
+// per-stage statistics, and the robustness controls from
+// docs/ROBUSTNESS.md. Context wires SIGINT/SIGTERM into engine
+// cancellation: the first signal cancels in-flight work and still
+// flushes -stats; a second force-exits.
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"branchprof/internal/engine"
 	"branchprof/internal/workloads"
@@ -25,30 +33,73 @@ import (
 type Tool struct {
 	Name string
 
-	cacheDir *string
-	stats    *bool
+	cacheDir     *string
+	stats        *bool
+	timeout      *time.Duration
+	maxRetries   *int
+	allowPartial *bool
 
 	engOnce sync.Once
 	eng     *engine.Engine
+
+	ctxOnce sync.Once
+	ctx     context.Context
+	cancel  context.CancelFunc
 }
 
 // New registers the shared engine flags and returns the tool handle.
 func New(name string) *Tool {
 	return &Tool{
-		Name:     name,
-		cacheDir: flag.String("cache-dir", "", "persistent measurement cache directory (empty = in-memory only)"),
-		stats:    flag.Bool("stats", false, "print engine pipeline statistics to stderr on exit"),
+		Name:         name,
+		cacheDir:     flag.String("cache-dir", "", "persistent measurement cache directory (empty = in-memory only)"),
+		stats:        flag.Bool("stats", false, "print engine pipeline statistics to stderr on exit"),
+		timeout:      flag.Duration("timeout", 0, "overall deadline for the tool's measurement work (0 = none)"),
+		maxRetries:   flag.Int("max-retries", 2, "retries for transient cache I/O faults (0 disables)"),
+		allowPartial: flag.Bool("allow-partial", false, "degrade instead of failing: keep healthy results past failed cells and annotate coverage"),
 	}
 }
 
 // Engine returns the tool's engine, built on first use from the
-// -cache-dir flag.
+// -cache-dir and -max-retries flags.
 func (t *Tool) Engine() *engine.Engine {
 	t.engOnce.Do(func() {
-		t.eng = engine.New(engine.Options{CacheDir: *t.cacheDir})
+		retries := *t.maxRetries
+		if retries <= 0 {
+			retries = -1 // engine spells "retries disabled" as negative; 0 picks its default
+		}
+		t.eng = engine.New(engine.Options{CacheDir: *t.cacheDir, MaxRetries: retries})
 	})
 	return t.eng
 }
+
+// Context returns the tool's root context, honouring -timeout, and
+// installs the signal handler on first use: the first SIGINT/SIGTERM
+// cancels the context (in-flight engine work unwinds promptly and the
+// tool still flushes -stats on its way out through Fatal), a second
+// signal force-exits with the conventional status 130. Tools that
+// never call Context keep the default die-on-^C behaviour.
+func (t *Tool) Context() context.Context {
+	t.ctxOnce.Do(func() {
+		if *t.timeout > 0 {
+			t.ctx, t.cancel = context.WithTimeout(context.Background(), *t.timeout)
+		} else {
+			t.ctx, t.cancel = context.WithCancel(context.Background())
+		}
+		ch := make(chan os.Signal, 2)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-ch
+			fmt.Fprintf(os.Stderr, "%s: %v: cancelling (again to force exit)\n", t.Name, sig)
+			t.cancel()
+			<-ch
+			os.Exit(130)
+		}()
+	})
+	return t.ctx
+}
+
+// AllowPartial reports the -allow-partial flag.
+func (t *Tool) AllowPartial() bool { return *t.allowPartial }
 
 // PrintStats writes the engine's pipeline statistics to stderr when
 // -stats was given. Call it after the tool's real work.
@@ -59,8 +110,12 @@ func (t *Tool) PrintStats() {
 	fmt.Fprintln(os.Stderr, t.Engine().Stats().String())
 }
 
-// Fatal reports err prefixed with the tool name and exits 1.
+// Fatal reports err prefixed with the tool name and exits 1. The
+// -stats output is flushed first, so a cancelled or failed run still
+// reports what the pipeline managed to do — the paper's methodology
+// leans on knowing how much measurement a run completed.
 func (t *Tool) Fatal(err error) {
+	t.PrintStats()
 	fmt.Fprintf(os.Stderr, "%s: %v\n", t.Name, err)
 	os.Exit(1)
 }

@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := t.Engine().Run(prog, string(src), input, &vm.Config{Fuel: *fuel})
+	res, err := t.Engine().RunContext(t.Context(), prog, string(src), input, &vm.Config{Fuel: *fuel})
 	if err != nil {
 		t.Fatal(err)
 	}

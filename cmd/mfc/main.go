@@ -28,7 +28,7 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := t.Engine().Compile(name, source, mfc.Options{DeadBranchElim: *dce})
+	prog, err := t.Engine().CompileContext(t.Context(), name, source, mfc.Options{DeadBranchElim: *dce})
 	if err != nil {
 		t.Fatal(err)
 	}

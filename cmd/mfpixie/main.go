@@ -31,7 +31,7 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := t.Engine().Execute(engine.Spec{
+	out, err := t.Engine().ExecuteContext(t.Context(), engine.Spec{
 		Name:    name,
 		Source:  source,
 		Dataset: cli.InputLabel(*inPath),

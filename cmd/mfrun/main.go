@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := t.Engine().Execute(engine.Spec{
+	out, err := t.Engine().ExecuteContext(t.Context(), engine.Spec{
 		Name:    name,
 		Source:  source,
 		Options: mfc.Options{DeadBranchElim: *dce},

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"branchprof/internal/faults"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/vm"
 )
@@ -80,9 +81,12 @@ type diskEntry struct {
 // diskCache is the persistent content-addressed measurement store:
 // one JSON file per key under dir, written atomically (temp file +
 // rename) so a crashed writer can only ever leave a stray temp file,
-// never a truncated entry at the final path.
+// never a truncated entry at the final path. The fault set (nil in
+// production) lets chaos tests tear writes partway through to prove
+// load rejects the result.
 type diskCache struct {
-	dir string
+	dir    string
+	faults *faults.Set
 }
 
 func (d *diskCache) path(key string) string {
@@ -119,8 +123,10 @@ func (d *diskCache) load(key string) (res *vm.Result, prof *ifprob.Profile, ok, 
 }
 
 // store writes the entry for key atomically. Failures are reported to
-// the caller for counting but never interrupt the pipeline.
-func (d *diskCache) store(key string, res *vm.Result, prof *ifprob.Profile) error {
+// the caller for counting but never interrupt the pipeline. A torn-
+// write fault rule truncates the payload before it reaches the file,
+// simulating a crash mid-write that still survived the rename.
+func (d *diskCache) store(key, label string, res *vm.Result, prof *ifprob.Profile) error {
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
 		return err
 	}
@@ -128,6 +134,7 @@ func (d *diskCache) store(key string, res *vm.Result, prof *ifprob.Profile) erro
 	if err != nil {
 		return err
 	}
+	data = data[:d.faults.Torn(faults.CacheWrite, label, len(data))]
 	tmp, err := os.CreateTemp(d.dir, "entry-*.tmp")
 	if err != nil {
 		return err

@@ -43,7 +43,7 @@ func fullProfile() *ifprob.Profile {
 func TestDiskRoundTrip(t *testing.T) {
 	d := &diskCache{dir: t.TempDir()}
 	key := "0123abcd"
-	if err := d.store(key, fullResult(), fullProfile()); err != nil {
+	if err := d.store(key, "t", fullResult(), fullProfile()); err != nil {
 		t.Fatal(err)
 	}
 	res, prof, ok, invalid := d.load(key)
@@ -60,7 +60,7 @@ func TestDiskRoundTrip(t *testing.T) {
 
 func TestDiskRoundTripWithoutProfile(t *testing.T) {
 	d := &diskCache{dir: t.TempDir()}
-	if err := d.store("k", fullResult(), nil); err != nil {
+	if err := d.store("k", "t", fullResult(), nil); err != nil {
 		t.Fatal(err)
 	}
 	res, prof, ok, invalid := d.load("k")
@@ -86,7 +86,7 @@ func corruptCase(t *testing.T, mangle func(path string, data []byte)) {
 	t.Helper()
 	d := &diskCache{dir: t.TempDir()}
 	key := "deadbeef"
-	if err := d.store(key, fullResult(), fullProfile()); err != nil {
+	if err := d.store(key, "t", fullResult(), fullProfile()); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(d.path(key))
@@ -133,7 +133,7 @@ func TestDiskRejectsMisplacedEntry(t *testing.T) {
 	// An entry copied to a different key's address must not be served:
 	// the embedded key disagrees with the file name.
 	d := &diskCache{dir: t.TempDir()}
-	if err := d.store("rightkey", fullResult(), fullProfile()); err != nil {
+	if err := d.store("rightkey", "t", fullResult(), fullProfile()); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(d.path("rightkey"))

@@ -20,17 +20,30 @@
 // the experiment matrix in parallel, and per-stage observability
 // (compile/run/profile wall time, instructions executed, cache
 // hit/miss counts) via Stats.
+//
+// Robustness (see docs/ROBUSTNESS.md): every *Context entry point
+// honours cancellation and deadlines — the VM polls the context's done
+// channel mid-run, so cancellation is prompt even inside a long
+// interpretation. Stage panics never unwind through the engine; they
+// are recovered and converted into structured *StageError values.
+// Transient cache I/O faults are retried with jittered exponential
+// backoff and then degraded to misses or dropped writes; compute is
+// never retried, because the interpreter is deterministic — a failed
+// run would fail identically again.
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 	"time"
 
+	"branchprof/internal/faults"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/isa"
 	"branchprof/internal/mfc"
@@ -48,16 +61,28 @@ type Options struct {
 	// MemEntries bounds the in-memory LRU of completed measurements;
 	// 0 means the default of 256 entries.
 	MemEntries int
+	// Faults, when non-nil, injects deterministic faults at the
+	// pipeline and cache stages (chaos tests only; nil in production).
+	Faults *faults.Set
+	// MaxRetries bounds retries of transient cache I/O faults;
+	// 0 means the default of 2, negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base backoff between retries (doubled per
+	// attempt, plus jitter); 0 means the default of 500µs.
+	RetryBackoff time.Duration
 }
 
 // Engine is the shared compile→run→profile pipeline. It is safe for
 // concurrent use.
 type Engine struct {
-	workers int
-	mem     *lruCache // execution key → *Outcome
-	progs   *lruCache // compile key → *isa.Program
-	disk    *diskCache
-	st      counters
+	workers    int
+	mem        *lruCache // execution key → *Outcome
+	progs      *lruCache // compile key → *isa.Program
+	disk       *diskCache
+	faults     *faults.Set
+	maxRetries int
+	backoff    time.Duration
+	st         counters
 
 	mu       sync.Mutex
 	inflight map[string]*call
@@ -71,14 +96,25 @@ func New(opts Options) *Engine {
 	if opts.MemEntries <= 0 {
 		opts.MemEntries = 256
 	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	} else if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 500 * time.Microsecond
+	}
 	e := &Engine{
-		workers:  opts.Workers,
-		mem:      newLRU(opts.MemEntries),
-		progs:    newLRU(opts.MemEntries),
-		inflight: make(map[string]*call),
+		workers:    opts.Workers,
+		mem:        newLRU(opts.MemEntries),
+		progs:      newLRU(opts.MemEntries),
+		faults:     opts.Faults,
+		maxRetries: opts.MaxRetries,
+		backoff:    opts.RetryBackoff,
+		inflight:   make(map[string]*call),
 	}
 	if opts.CacheDir != "" {
-		e.disk = &diskCache{dir: opts.CacheDir}
+		e.disk = &diskCache{dir: opts.CacheDir, faults: opts.Faults}
 	}
 	return e
 }
@@ -155,13 +191,19 @@ type call struct {
 }
 
 // once runs f exactly once per key among concurrent callers and
-// shares its result.
-func (e *Engine) once(key string, f func() (any, error)) (any, error) {
+// shares its result. A waiter whose ctx is cancelled stops waiting and
+// returns the ctx error; the computation itself keeps running for the
+// callers that still want it.
+func (e *Engine) once(ctx context.Context, key string, f func() (any, error)) (any, error) {
 	e.mu.Lock()
 	if c, ok := e.inflight[key]; ok {
 		e.mu.Unlock()
-		<-c.done
-		return c.val, c.err
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	c := &call{done: make(chan struct{})}
 	e.inflight[key] = c
@@ -178,6 +220,16 @@ func (e *Engine) once(key string, f func() (any, error)) (any, error) {
 // image: repeated compilations of identical (name, source, options)
 // return the same *isa.Program, which callers must not mutate.
 func (e *Engine) Compile(name, source string, opts mfc.Options) (*isa.Program, error) {
+	return e.CompileContext(context.Background(), name, source, opts)
+}
+
+// CompileContext is Compile honouring ctx cancellation. Compilation
+// itself is short and uninterruptible; the context is checked before
+// the work starts and while waiting on a shared in-flight compile.
+func (e *Engine) CompileContext(ctx context.Context, name, source string, opts mfc.Options) (*isa.Program, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	h := sha256.New()
 	fmt.Fprintf(h, "compile/%d\x00name=%s\x00opts=%s\x00", keyVersion, name, optionsFingerprint(opts))
 	io.WriteString(h, source)
@@ -185,17 +237,25 @@ func (e *Engine) Compile(name, source string, opts mfc.Options) (*isa.Program, e
 	if p, ok := e.progs.get(key); ok {
 		return p.(*isa.Program), nil
 	}
-	v, err := e.once("compile:"+key, func() (any, error) {
+	v, err := e.once(ctx, "compile:"+key, func() (any, error) {
 		if p, ok := e.progs.get(key); ok {
 			return p.(*isa.Program), nil
 		}
-		start := time.Now()
-		prog, err := mfc.Compile(name, source, opts)
+		var prog *isa.Program
+		err := e.stage(faults.Compile, name, "", func() error {
+			start := time.Now()
+			p, err := mfc.Compile(name, source, opts)
+			if err != nil {
+				return err
+			}
+			e.st.compiles.Add(1)
+			e.st.compileNS.Add(int64(time.Since(start)))
+			prog = p
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		e.st.compiles.Add(1)
-		e.st.compileNS.Add(int64(time.Since(start)))
 		e.progs.add(key, prog)
 		return prog, nil
 	})
@@ -211,19 +271,35 @@ func (e *Engine) Compile(name, source string, opts mfc.Options) (*isa.Program, e
 // served from the in-memory LRU, then the on-disk cache, then
 // computed and stored in both.
 func (e *Engine) Execute(spec Spec) (*Outcome, error) {
+	return e.ExecuteContext(context.Background(), spec)
+}
+
+// ExecuteContext is Execute honouring ctx: cancellation and deadlines
+// are checked between stages and polled inside the VM run, so a
+// cancelled spec returns promptly with an error satisfying
+// errors.Is(err, ctx.Err()). A cancelled or faulted measurement is
+// never cached.
+func (e *Engine) ExecuteContext(ctx context.Context, spec Spec) (*Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if spec.Config.Trace != nil {
-		prog, err := e.Compile(spec.Name, spec.Source, spec.Options)
+		prog, err := e.CompileContext(ctx, spec.Name, spec.Source, spec.Options)
 		if err != nil {
 			return nil, err
 		}
-		res, err := e.run(prog, spec.Input, &spec.Config)
+		res, err := e.runStage(ctx, prog, &spec)
 		if err != nil {
 			return nil, err
 		}
-		return &Outcome{Prog: prog, Res: res, Prof: e.profile(&spec, res)}, nil
+		prof, err := e.profileStage(&spec, res)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Prog: prog, Res: res, Prof: prof}, nil
 	}
 	key := spec.key()
-	v, err := e.once("exec:"+key, func() (any, error) { return e.execute(&spec, key) })
+	v, err := e.once(ctx, "exec:"+key, func() (any, error) { return e.execute(ctx, &spec, key) })
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +314,7 @@ func (e *Engine) Execute(spec Spec) (*Outcome, error) {
 	}, nil
 }
 
-func (e *Engine) execute(spec *Spec, key string) (*Outcome, error) {
+func (e *Engine) execute(ctx context.Context, spec *Spec, key string) (*Outcome, error) {
 	if v, ok := e.mem.get(key); ok {
 		e.st.memHits.Add(1)
 		out := v.(*Outcome)
@@ -249,13 +325,14 @@ func (e *Engine) execute(spec *Spec, key string) (*Outcome, error) {
 	// The compiled image is never persisted — recompiling is cheap and
 	// keeps the on-disk format to plain measurement counters — so the
 	// program is materialized on every path, including disk hits.
-	prog, err := e.Compile(spec.Name, spec.Source, spec.Options)
+	prog, err := e.CompileContext(ctx, spec.Name, spec.Source, spec.Options)
 	if err != nil {
 		return nil, err
 	}
 
+	label := specLabel(spec.Name, spec.Dataset)
 	if e.disk != nil {
-		res, prof, ok := e.diskLoad(key, prog)
+		res, prof, ok := e.diskLoad(key, label, prog)
 		if ok {
 			out := &Outcome{Prog: prog, Res: res, Prof: prof, CacheHit: true}
 			e.mem.add(key, out)
@@ -263,27 +340,64 @@ func (e *Engine) execute(spec *Spec, key string) (*Outcome, error) {
 		}
 	}
 
-	res, err := e.run(prog, spec.Input, &spec.Config)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := e.runStage(ctx, prog, spec)
 	if err != nil {
 		return nil, err
 	}
-	prof := e.profile(spec, res)
+	prof, err := e.profileStage(spec, res)
+	if err != nil {
+		return nil, err
+	}
 	out := &Outcome{Prog: prog, Res: res, Prof: prof}
 	e.mem.add(key, out)
 	if e.disk != nil {
-		if err := e.disk.store(key, res, prof); err != nil {
-			e.st.diskWriteErrs.Add(1)
-		}
+		e.diskStore(key, label, res, prof)
 	}
 	return out, nil
+}
+
+// runStage executes spec's program as the fault-instrumented,
+// panic-recovered "run" stage, wiring ctx's done channel into the VM
+// so cancellation interrupts even a long interpretation.
+func (e *Engine) runStage(ctx context.Context, prog *isa.Program, spec *Spec) (*vm.Result, error) {
+	var res *vm.Result
+	err := e.stage(faults.Run, spec.Name, spec.Dataset, func() error {
+		cfg := spec.Config
+		cfg.Done = ctx.Done()
+		r, err := e.run(prog, spec.Input, &cfg)
+		if err != nil {
+			if errors.Is(err, vm.ErrCancelled) && ctx.Err() != nil {
+				return fmt.Errorf("%w (%v)", ctx.Err(), err)
+			}
+			return err
+		}
+		res = r
+		return nil
+	})
+	return res, err
+}
+
+// profileStage extracts spec's branch profile as the
+// fault-instrumented, panic-recovered "profile" stage.
+func (e *Engine) profileStage(spec *Spec, res *vm.Result) (*ifprob.Profile, error) {
+	var prof *ifprob.Profile
+	err := e.stage(faults.Profile, spec.Name, spec.Dataset, func() error {
+		prof = e.profile(spec, res)
+		return nil
+	})
+	return prof, err
 }
 
 // diskLoad reads and validates a persisted measurement. Entries that
 // fail to decode, carry the wrong version or key, or disagree with
 // the compiled program's site table are treated as misses and
-// recomputed — a bad entry is never fatal.
-func (e *Engine) diskLoad(key string, prog *isa.Program) (*vm.Result, *ifprob.Profile, bool) {
-	res, prof, ok, invalid := e.disk.load(key)
+// recomputed — a bad entry is never fatal. Transient read faults are
+// retried with backoff and degraded to a miss when retries exhaust.
+func (e *Engine) diskLoad(key, label string, prog *isa.Program) (*vm.Result, *ifprob.Profile, bool) {
+	res, prof, ok, invalid := e.diskLoadRetry(key, label)
 	if invalid {
 		e.st.diskInvalid.Add(1)
 	}
@@ -301,18 +415,89 @@ func (e *Engine) diskLoad(key string, prog *isa.Program) (*vm.Result, *ifprob.Pr
 	return res, prof, true
 }
 
+// diskLoadRetry is one cache read attempt loop: injected (transient)
+// faults and read-side panics are retried up to the bound, then the
+// entry is treated as invalid; a genuinely corrupt file is never
+// retried — it will not heal.
+func (e *Engine) diskLoadRetry(key, label string) (res *vm.Result, prof *ifprob.Profile, ok, invalid bool) {
+	for attempt := 0; ; attempt++ {
+		ferr := e.cacheAttempt(faults.CacheRead, label, func() error {
+			res, prof, ok, invalid = e.disk.load(key)
+			return nil
+		})
+		if ferr == nil {
+			return res, prof, ok, invalid
+		}
+		if attempt >= e.maxRetries {
+			e.st.retryGiveUps.Add(1)
+			return nil, nil, false, true
+		}
+		e.st.retries.Add(1)
+		backoffSleep(e.backoff, attempt)
+	}
+}
+
+// diskStore persists a measurement, retrying transient write faults
+// with backoff. Exhausted retries are counted and dropped — a failed
+// cache write never interrupts the pipeline.
+func (e *Engine) diskStore(key, label string, res *vm.Result, prof *ifprob.Profile) {
+	for attempt := 0; ; attempt++ {
+		err := e.cacheAttempt(faults.CacheWrite, label, func() error {
+			return e.disk.store(key, label, res, prof)
+		})
+		if err == nil {
+			return
+		}
+		if attempt >= e.maxRetries {
+			e.st.retryGiveUps.Add(1)
+			e.st.diskWriteErrs.Add(1)
+			return
+		}
+		e.st.retries.Add(1)
+		backoffSleep(e.backoff, attempt)
+	}
+}
+
+// cacheAttempt runs one cache I/O attempt: fault injectors fire first,
+// and a panic anywhere in the attempt (injected or real) is converted
+// into an error so the retry loop — not the caller — decides what
+// happens next.
+func (e *Engine) cacheAttempt(st faults.Stage, label string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.st.panics.Add(1)
+			err = fmt.Errorf("engine: %s %s: %w", st, label, &PanicError{Value: r})
+		}
+	}()
+	if ferr := e.faults.Fire(st, label); ferr != nil {
+		return ferr
+	}
+	return f()
+}
+
 // Run executes a precompiled program through the engine. contentKey
 // identifies the program's content (for images that did not come from
 // MF source, e.g. assembled .mfs text); an empty contentKey — or a
 // config carrying a tracer — disables caching for the run, which
 // still executes through the pool-accounted, stats-counted path.
 func (e *Engine) Run(prog *isa.Program, contentKey string, input []byte, cfg *vm.Config) (*vm.Result, error) {
+	return e.RunContext(context.Background(), prog, contentKey, input, cfg)
+}
+
+// RunContext is Run honouring ctx: the VM polls the context's done
+// channel mid-run, so cancellation is prompt even inside a long
+// interpretation.
+func (e *Engine) RunContext(ctx context.Context, prog *isa.Program, contentKey string, input []byte, cfg *vm.Config) (*vm.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var c vm.Config
 	if cfg != nil {
 		c = *cfg
 	}
+	label := prog.Source
 	if contentKey == "" || c.Trace != nil {
-		return e.run(prog, input, &c)
+		return e.runCtx(ctx, prog, input, &c)
 	}
 	h := sha256.New()
 	fmt.Fprintf(h, "run/%d\x00vm/%d\x00name=%s\x00cfg=%s\x00", keyVersion, vm.SemanticsVersion, prog.Source, c.Fingerprint())
@@ -321,14 +506,14 @@ func (e *Engine) Run(prog *isa.Program, contentKey string, input []byte, cfg *vm
 	h.Write(input)
 	key := hex.EncodeToString(h.Sum(nil))
 
-	v, err := e.once("run:"+key, func() (any, error) {
+	v, err := e.once(ctx, "run:"+key, func() (any, error) {
 		if v, ok := e.mem.get(key); ok {
 			e.st.memHits.Add(1)
 			return v, nil
 		}
 		e.st.memMisses.Add(1)
 		if e.disk != nil {
-			res, _, ok, invalid := e.disk.load(key)
+			res, _, ok, invalid := e.diskLoadRetry(key, label)
 			if invalid {
 				e.st.diskInvalid.Add(1)
 			}
@@ -339,15 +524,13 @@ func (e *Engine) Run(prog *isa.Program, contentKey string, input []byte, cfg *vm
 			}
 			e.st.diskMisses.Add(1)
 		}
-		res, err := e.run(prog, input, &c)
+		res, err := e.runCtx(ctx, prog, input, &c)
 		if err != nil {
 			return nil, err
 		}
 		e.mem.add(key, res)
 		if e.disk != nil {
-			if err := e.disk.store(key, res, nil); err != nil {
-				e.st.diskWriteErrs.Add(1)
-			}
+			e.diskStore(key, label, res, nil)
 		}
 		return res, nil
 	})
@@ -355,6 +538,17 @@ func (e *Engine) Run(prog *isa.Program, contentKey string, input []byte, cfg *vm
 		return nil, err
 	}
 	return cloneResult(v.(*vm.Result)), nil
+}
+
+// runCtx wires ctx's done channel into the VM configuration and maps
+// a cancellation trap back to the context's own error.
+func (e *Engine) runCtx(ctx context.Context, prog *isa.Program, input []byte, cfg *vm.Config) (*vm.Result, error) {
+	cfg.Done = ctx.Done()
+	res, err := e.run(prog, input, cfg)
+	if err != nil && errors.Is(err, vm.ErrCancelled) && ctx.Err() != nil {
+		return nil, fmt.Errorf("%w (%v)", ctx.Err(), err)
+	}
+	return res, err
 }
 
 // run is the timed, counted VM execution every path funnels through.
@@ -383,28 +577,66 @@ func (e *Engine) profile(spec *Spec, res *vm.Result) *ifprob.Profile {
 // is returned, so failure reporting is deterministic regardless of
 // scheduling.
 func (e *Engine) Parallel(n int, f func(i int) error) error {
+	return e.ParallelContext(context.Background(), n, f)
+}
+
+// ParallelContext is Parallel honouring ctx: once the context is
+// cancelled no new cell is started (its error slot is left as the
+// context error), in-flight cells are expected to observe ctx
+// themselves, and every started worker is always awaited — the pool
+// never leaks goroutines. A panic in f is recovered into that cell's
+// error slot as a *PanicError rather than tearing down siblings.
+// ParallelErrors retrieves the full per-cell error slice.
+func (e *Engine) ParallelContext(ctx context.Context, n int, f func(i int) error) error {
+	_, err := e.parallel(ctx, n, f)
+	return err
+}
+
+// ParallelErrors is ParallelContext returning the per-cell error
+// slice (length n, nil for cells that succeeded) alongside the first
+// error in index order. Degraded-mode callers use it to keep healthy
+// cells while recording exactly which cells failed and why.
+func (e *Engine) ParallelErrors(ctx context.Context, n int, f func(i int) error) ([]error, error) {
+	return e.parallel(ctx, n, f)
+}
+
+func (e *Engine) parallel(ctx context.Context, n int, f func(i int) error) ([]error, error) {
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	sem := make(chan struct{}, e.workers)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
+loop:
 	for i := 0; i < n; i++ {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break loop
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					e.st.panics.Add(1)
+					errs[i] = fmt.Errorf("engine: parallel cell %d: %w", i, &PanicError{Value: r})
+				}
+			}()
 			errs[i] = f(i)
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return errs, err
 		}
 	}
-	return nil
+	return errs, nil
 }
 
 // cloneResult deep-copies a measurement so cached state stays

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -288,7 +289,7 @@ func TestOnceDeduplicatesConcurrentWork(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := e.once("shared-key", func() (any, error) {
+			v, err := e.once(context.Background(), "shared-key", func() (any, error) {
 				computed.Add(1)
 				return "value", nil
 			})

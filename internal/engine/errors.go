@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"branchprof/internal/faults"
+)
+
+// StageError attributes a pipeline failure to the stage that produced
+// it and the spec it was working on. Every error Execute and friends
+// return is a *StageError; Unwrap exposes the cause, so errors.Is/As
+// against vm.ErrFuel, *vm.RuntimeError, context.Canceled and
+// faults.ErrInjected keep working.
+type StageError struct {
+	Stage   faults.Stage
+	Name    string // program (spec) name
+	Dataset string // dataset name; empty for dataset-free work (compiles)
+	Err     error
+}
+
+// Error renders "engine: <stage> <name>/<dataset>: cause".
+func (e *StageError) Error() string {
+	if e.Dataset != "" {
+		return fmt.Sprintf("engine: %s %s/%s: %v", e.Stage, e.Name, e.Dataset, e.Err)
+	}
+	return fmt.Sprintf("engine: %s %s: %v", e.Stage, e.Name, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// PanicError is the cause carried by a StageError built from a
+// recovered stage panic: the panic value and the stack at recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is available on the struct
+// for diagnostics but kept out of one-line reports.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// stage runs f as one named pipeline stage for spec (name, dataset):
+// it consults the fault injectors first, converts any panic into a
+// structured *StageError instead of unwinding through the engine, and
+// wraps plain errors with the stage and spec identity.
+func (e *Engine) stage(st faults.Stage, name, dataset string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.st.panics.Add(1)
+			err = &StageError{Stage: st, Name: name, Dataset: dataset,
+				Err: &PanicError{Value: r, Stack: debug.Stack()}}
+		}
+	}()
+	if ferr := e.faults.Fire(st, specLabel(name, dataset)); ferr != nil {
+		return &StageError{Stage: st, Name: name, Dataset: dataset, Err: ferr}
+	}
+	if err := f(); err != nil {
+		if se, ok := err.(*StageError); ok {
+			return se
+		}
+		return &StageError{Stage: st, Name: name, Dataset: dataset, Err: err}
+	}
+	return nil
+}
+
+// specLabel is the operation label fault rules match against.
+func specLabel(name, dataset string) string {
+	if dataset == "" {
+		return name
+	}
+	return name + "/" + dataset
+}
+
+// jitter is the engine's seeded backoff randomizer; retry timing need
+// not be reproducible, only bounded, so one process-wide source is
+// fine.
+var jitter = struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+// backoffSleep sleeps for the attempt's jittered exponential backoff:
+// base·2^attempt plus up to 50% random jitter.
+func backoffSleep(base time.Duration, attempt int) {
+	d := base << uint(attempt)
+	jitter.mu.Lock()
+	j := time.Duration(jitter.rng.Int63n(int64(d)/2 + 1))
+	jitter.mu.Unlock()
+	time.Sleep(d + j)
+}

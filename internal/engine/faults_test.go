@@ -1,0 +1,368 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"branchprof/internal/faults"
+)
+
+// loopSrc spins long enough that the VM's cancellation poll (every
+// 4096 instructions) fires many times before natural termination.
+const loopSrc = `
+func main() int {
+	var i int = 0;
+	var n int = 0;
+	while (i < 20000000) {
+		if (i - (i / 2) * 2 == 0) {
+			n = n + 1;
+		}
+		i = i + 1;
+	}
+	return n;
+}
+`
+
+// TestFaultMatrixComputeStages drives an injected error and an
+// injected panic through each compute stage and checks that what comes
+// back is a structured *StageError naming that stage — never an
+// escaped panic, never an unattributed error.
+func TestFaultMatrixComputeStages(t *testing.T) {
+	for _, st := range []faults.Stage{faults.Compile, faults.Run, faults.Profile} {
+		for _, kind := range []faults.Kind{faults.Error, faults.Panic} {
+			t.Run(string(st)+"/"+kind.String(), func(t *testing.T) {
+				e := New(Options{Faults: faults.NewSet(1, faults.Rule{Stage: st, Kind: kind})})
+				_, err := e.Execute(testSpec("abc"))
+				if err == nil {
+					t.Fatalf("injected %s at %s produced no error", kind, st)
+				}
+				var se *StageError
+				if !errors.As(err, &se) {
+					t.Fatalf("error is %T (%v), want *StageError", err, err)
+				}
+				if se.Stage != st || se.Name != "count" {
+					t.Fatalf("stage error = %+v, want stage %s for count", se, st)
+				}
+				switch kind {
+				case faults.Error:
+					if !faults.Is(err) {
+						t.Fatalf("injected error lost its sentinel: %v", err)
+					}
+				case faults.Panic:
+					var pe *PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("recovered panic not surfaced as *PanicError: %v", err)
+					}
+					if _, ok := pe.Value.(*faults.InjectedPanic); !ok {
+						t.Fatalf("panic value = %#v, want *faults.InjectedPanic", pe.Value)
+					}
+				}
+				if e.Stats().Panics != map[faults.Kind]uint64{faults.Error: 0, faults.Panic: 1}[kind] {
+					t.Fatalf("panic counter = %d after %s fault", e.Stats().Panics, kind)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultZeroRulesIdenticalOutcome: an engine carrying an empty
+// fault set (and one carrying none) measure identically — the
+// instrumentation is a pass-through when nothing matches.
+func TestFaultZeroRulesIdenticalOutcome(t *testing.T) {
+	plain := New(Options{})
+	armed := New(Options{Faults: faults.NewSet(1)})
+	a, err := plain.Execute(testSpec("abcabc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := armed.Execute(testSpec("abcabc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Res.Instrs != b.Res.Instrs || string(a.Res.Output) != string(b.Res.Output) {
+		t.Fatalf("fault-instrumented run diverged: %+v vs %+v", a.Res, b.Res)
+	}
+}
+
+// TestRetryTransientCacheReadFault: a cache read that fails once is
+// retried and then served, so a populated cache entry survives a
+// transient fault without recomputation.
+func TestRetryTransientCacheReadFault(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := New(Options{CacheDir: dir}).Execute(testSpec("retry me")); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{
+		CacheDir:     dir,
+		Faults:       faults.NewSet(1, faults.Rule{Stage: faults.CacheRead, Kind: faults.Error, Nth: 1}),
+		RetryBackoff: 10 * time.Microsecond,
+	})
+	out, err := e.Execute(testSpec("retry me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Fatal("entry recomputed despite a retryable read fault")
+	}
+	st := e.Stats()
+	if st.Retries < 1 || st.RetryGiveUps != 0 || st.Runs != 0 {
+		t.Fatalf("stats = %+v, want ≥1 retry, 0 give-ups, 0 runs", st)
+	}
+}
+
+// TestRetryExhaustionDegradesReadToMiss: a cache read that keeps
+// failing is abandoned after the retry budget and the measurement is
+// recomputed — degraded, counted, and still correct. The in-memory
+// LRU stays consistent: the recomputed entry serves later callers.
+func TestRetryExhaustionDegradesReadToMiss(t *testing.T) {
+	dir := t.TempDir()
+	want, err := New(Options{CacheDir: dir}).Execute(testSpec("exhaust"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{
+		CacheDir:     dir,
+		Faults:       faults.NewSet(1, faults.Rule{Stage: faults.CacheRead, Kind: faults.Error}),
+		RetryBackoff: 10 * time.Microsecond,
+	})
+	got, err := e.Execute(testSpec("exhaust"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheHit {
+		t.Fatal("permanently faulted read still reported a disk hit")
+	}
+	if got.Res.Instrs != want.Res.Instrs || string(got.Res.Output) != string(want.Res.Output) {
+		t.Fatalf("recomputed result diverged: %+v vs %+v", got.Res, want.Res)
+	}
+	if st := e.Stats(); st.RetryGiveUps == 0 || st.Runs != 1 {
+		t.Fatalf("stats = %+v, want ≥1 give-up and exactly 1 run", st)
+	}
+	// The LRU was populated by the recompute path despite the chaos.
+	again, err := e.Execute(testSpec("exhaust"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.Res.Instrs != want.Res.Instrs {
+		t.Fatalf("post-exhaustion LRU entry wrong: hit=%v %+v", again.CacheHit, again.Res)
+	}
+}
+
+// TestRetryExhaustedWriteIsDropped: cache writes that keep failing are
+// dropped and counted; the pipeline result is unaffected.
+func TestRetryExhaustedWriteIsDropped(t *testing.T) {
+	e := New(Options{
+		CacheDir:     t.TempDir(),
+		Faults:       faults.NewSet(1, faults.Rule{Stage: faults.CacheWrite, Kind: faults.Error}),
+		RetryBackoff: 10 * time.Microsecond,
+	})
+	out, err := e.Execute(testSpec("droppable"))
+	if err != nil {
+		t.Fatalf("failed cache write surfaced to the caller: %v", err)
+	}
+	if string(out.Res.Output) != "droppable" {
+		t.Fatalf("output = %q", out.Res.Output)
+	}
+	if st := e.Stats(); st.RetryGiveUps == 0 || st.DiskWriteErrs == 0 {
+		t.Fatalf("stats = %+v, want the dropped write counted", st)
+	}
+}
+
+// TestRetryCacheReadPanicAbsorbed: a panic during a cache read is
+// retried like an injected error and never unwinds to the caller.
+func TestRetryCacheReadPanicAbsorbed(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := New(Options{CacheDir: dir}).Execute(testSpec("panic read")); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{
+		CacheDir:     dir,
+		Faults:       faults.NewSet(1, faults.Rule{Stage: faults.CacheRead, Kind: faults.Panic, Nth: 1}),
+		RetryBackoff: 10 * time.Microsecond,
+	})
+	out, err := e.Execute(testSpec("panic read"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Fatal("retry after a read-side panic did not hit")
+	}
+	if st := e.Stats(); st.Panics != 1 || st.Retries < 1 {
+		t.Fatalf("stats = %+v, want the panic counted and retried", st)
+	}
+}
+
+// TestTornCacheWriteDetectedOnReload: a torn cache write leaves a
+// truncated entry that a later engine detects, discards, and
+// recomputes — corruption costs a recompute, never a wrong answer.
+func TestTornCacheWriteDetectedOnReload(t *testing.T) {
+	dir := t.TempDir()
+	tearing := New(Options{
+		CacheDir: dir,
+		Faults:   faults.NewSet(3, faults.Rule{Stage: faults.CacheWrite, Kind: faults.TornWrite, Nth: 1}),
+	})
+	want, err := tearing.Execute(testSpec("torn entry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean := New(Options{CacheDir: dir})
+	got, err := clean.Execute(testSpec("torn entry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheHit {
+		t.Fatal("torn entry served as a cache hit")
+	}
+	if got.Res.Instrs != want.Res.Instrs {
+		t.Fatalf("recomputed instrs = %d, want %d", got.Res.Instrs, want.Res.Instrs)
+	}
+	if st := clean.Stats(); st.DiskInvalid == 0 {
+		t.Fatalf("stats = %+v, want the torn entry counted invalid", st)
+	}
+}
+
+// TestCancelExecutePromptly: cancelling mid-interpretation interrupts
+// the VM loop well before the program would finish on its own.
+func TestCancelExecutePromptly(t *testing.T) {
+	e := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := e.ExecuteContext(ctx, Spec{Name: "spin", Source: loopSrc, Dataset: "d0"})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("cancellation took %v", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run never returned")
+	}
+}
+
+// TestCancelledSpecNeverCached: a cancelled measurement must not
+// poison the cache — re-running with a live context computes fresh.
+func TestCancelledSpecNeverCached(t *testing.T) {
+	e := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecuteContext(ctx, testSpec("cc")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context returned %v", err)
+	}
+	out, err := e.Execute(testSpec("cc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CacheHit {
+		t.Fatal("cancelled attempt left a cache entry")
+	}
+}
+
+// TestCancelDeadlineExceeded: a deadline behaves like cancellation and
+// surfaces as context.DeadlineExceeded.
+func TestCancelDeadlineExceeded(t *testing.T) {
+	e := New(Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := e.ExecuteContext(ctx, Spec{Name: "spin", Source: loopSrc, Dataset: "d0"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out run returned %v", err)
+	}
+}
+
+// TestCancelParallelFillsRemainingSlots: once the context dies, cells
+// not yet started get the context error and the pool drains without
+// leaking — the per-cell error slice accounts for every index.
+func TestCancelParallelFillsRemainingSlots(t *testing.T) {
+	e := New(Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	errs, err := func() ([]error, error) {
+		go func() {
+			<-started // first cell is running
+			cancel()
+			close(release)
+		}()
+		return e.ParallelErrors(ctx, 64, func(i int) error {
+			started <- struct{}{}
+			<-release
+			return nil
+		})
+	}()
+	if err == nil {
+		t.Fatal("cancelled parallel returned no error")
+	}
+	if len(errs) != 64 {
+		t.Fatalf("error slice has %d slots, want 64", len(errs))
+	}
+	cancelled := 0
+	for _, e := range errs {
+		if errors.Is(e, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no slot carries the context error")
+	}
+}
+
+// TestFaultParallelPanicIsolatedToCell: one panicking cell becomes
+// that cell's error; its 63 siblings complete normally.
+func TestFaultParallelPanicIsolatedToCell(t *testing.T) {
+	e := New(Options{Workers: 4})
+	errs, err := e.ParallelErrors(context.Background(), 64, func(i int) error {
+		if i == 17 {
+			panic("cell 17 exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking cell produced no error")
+	}
+	var pe *PanicError
+	if !errors.As(errs[17], &pe) || pe.Value != "cell 17 exploded" {
+		t.Fatalf("cell 17 error = %v", errs[17])
+	}
+	if !strings.Contains(errs[17].Error(), "cell 17") {
+		t.Fatalf("cell error does not name its index: %v", errs[17])
+	}
+	for i, ce := range errs {
+		if i != 17 && ce != nil {
+			t.Fatalf("sibling cell %d failed: %v", i, ce)
+		}
+	}
+	if e.Stats().Panics != 1 {
+		t.Fatalf("panic counter = %d", e.Stats().Panics)
+	}
+}
+
+// TestFaultDelayOnlySlowsNeverFails: Delay rules perturb timing — the
+// race-detector's favourite chaos — without changing results.
+func TestFaultDelayOnlySlowsNeverFails(t *testing.T) {
+	e := New(Options{
+		Faults: faults.NewSet(5, faults.Rule{Kind: faults.Delay, Prob: 0.5, Delay: 100 * time.Microsecond}),
+	})
+	want, err := New(Options{}).Execute(testSpec("slowpoke"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Execute(testSpec("slowpoke"))
+	if err != nil {
+		t.Fatalf("delay-only fault set broke the pipeline: %v", err)
+	}
+	if got.Res.Instrs != want.Res.Instrs || string(got.Res.Output) != string(want.Res.Output) {
+		t.Fatalf("delayed run diverged: %+v vs %+v", got.Res, want.Res)
+	}
+}

@@ -20,6 +20,10 @@ type counters struct {
 	diskHits, diskMisses atomic.Uint64
 	diskInvalid          atomic.Uint64
 	diskWriteErrs        atomic.Uint64
+
+	panics       atomic.Uint64
+	retries      atomic.Uint64
+	retryGiveUps atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the engine's per-stage
@@ -48,6 +52,14 @@ type Stats struct {
 	DiskMisses    uint64
 	DiskInvalid   uint64
 	DiskWriteErrs uint64
+
+	// Robustness events. Panics counts stage panics recovered into
+	// structured errors; Retries counts cache I/O attempts retried after
+	// a transient fault; RetryGiveUps counts retry loops that exhausted
+	// their budget and degraded (read → miss, write → dropped).
+	Panics       uint64
+	Retries      uint64
+	RetryGiveUps uint64
 }
 
 // Stats snapshots the engine's counters.
@@ -66,6 +78,9 @@ func (e *Engine) Stats() Stats {
 		DiskMisses:    e.st.diskMisses.Load(),
 		DiskInvalid:   e.st.diskInvalid.Load(),
 		DiskWriteErrs: e.st.diskWriteErrs.Load(),
+		Panics:        e.st.panics.Load(),
+		Retries:       e.st.retries.Load(),
+		RetryGiveUps:  e.st.retryGiveUps.Load(),
 	}
 }
 
@@ -93,6 +108,12 @@ func (s Stats) String() string {
 	}
 	if s.DiskWriteErrs > 0 {
 		fmt.Fprintf(&b, ", %d write errors", s.DiskWriteErrs)
+	}
+	// Robustness counters appear only when something actually went
+	// wrong, so healthy-run output is unchanged.
+	if s.Panics > 0 || s.Retries > 0 || s.RetryGiveUps > 0 {
+		fmt.Fprintf(&b, "\nengine: %d panics recovered, %d retries (%d gave up)",
+			s.Panics, s.Retries, s.RetryGiveUps)
 	}
 	return b.String()
 }

@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"branchprof/internal/engine"
+	"branchprof/internal/faults"
+	"branchprof/internal/workloads"
+)
+
+// TestDegradedCollectionKeepsHealthyCells poisons every run of one
+// workload and checks the contract of degraded collection: the suite
+// comes back partial, the poisoned program is gone, its cells are
+// recorded as errors, the coverage summary says so, and every
+// artifact the surviving cells support still renders.
+func TestDegradedCollectionKeepsHealthyCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix collection in -short mode")
+	}
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.Run, Kind: faults.Error, Label: "gcc/"})
+	eng := engine.New(engine.Options{Faults: fs})
+	s, err := CollectCtx(context.Background(), eng, CollectOptions{AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Partial() {
+		t.Fatal("suite with a poisoned workload is not partial")
+	}
+	if _, err := s.Program("gcc"); err == nil {
+		t.Fatal("poisoned program still present")
+	}
+	if p, err := s.Program("li"); err != nil || len(p.Runs) == 0 {
+		t.Fatalf("healthy program lost: %v", err)
+	}
+
+	cov := s.CoverageSummary()
+	if cov.Complete() {
+		t.Fatalf("coverage reports complete on a partial suite: %+v", cov)
+	}
+	if !strings.Contains(cov.String(), "PARTIAL") {
+		t.Fatalf("coverage annotation = %q", cov.String())
+	}
+	summary := RenderCoverageSummary(s)
+	if !strings.Contains(summary, "gcc/") {
+		t.Fatalf("coverage summary does not name the failed cells:\n%s", summary)
+	}
+	for _, ce := range s.Errors {
+		if ce.Workload != "gcc" {
+			t.Fatalf("unexpected failed cell: %v", ce)
+		}
+		if !faults.Is(ce.Err) {
+			t.Fatalf("cell error lost the injected sentinel: %v", ce.Err)
+		}
+		var se *engine.StageError
+		if !errors.As(ce.Err, &se) || se.Stage != faults.Run {
+			t.Fatalf("cell error not attributed to the run stage: %v", ce.Err)
+		}
+	}
+
+	// Every suite-derived artifact still renders from the healthy cells.
+	out := renderAll(t, s)
+	if strings.Contains(out, "gcc") {
+		t.Fatalf("degraded artifacts still mention the failed program:\n%s", out)
+	}
+	if !strings.Contains(out, "li") {
+		t.Fatal("degraded artifacts lost a healthy program")
+	}
+}
+
+// TestDegradedNoFaultsIdentical is the PR's bit-identity invariant:
+// with injection disabled, degraded-mode collection renders the exact
+// bytes the strict path renders.
+func TestDegradedNoFaultsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix collection in -short mode")
+	}
+	eng := engine.New(engine.Options{})
+	strict, err := CollectWith(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := CollectCtx(context.Background(), eng, CollectOptions{AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Partial() {
+		t.Fatal("fault-free degraded collection reported partial")
+	}
+	if !relaxed.CoverageSummary().Complete() {
+		t.Fatalf("coverage = %+v", relaxed.CoverageSummary())
+	}
+	if a, b := renderAll(t, strict), renderAll(t, relaxed); a != b {
+		t.Fatal("degraded-mode collection diverged from strict output with no faults injected")
+	}
+}
+
+// TestPartialFullyFailedCollectionIsError: when nothing survives
+// there is nothing to degrade to — AllowPartial still errors.
+func TestPartialFullyFailedCollectionIsError(t *testing.T) {
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.Compile, Kind: faults.Error})
+	eng := engine.New(engine.Options{Faults: fs})
+	s, err := CollectCtx(context.Background(), eng, CollectOptions{AllowPartial: true})
+	if err == nil {
+		t.Fatalf("fully-failed collection returned a suite: %+v", s.CoverageSummary())
+	}
+	if !faults.Is(err) {
+		t.Fatalf("error lost the injected cause: %v", err)
+	}
+}
+
+// TestPartialStrictModeAborts: without AllowPartial a failed cell
+// fails the whole collection, as before this PR. (Every compile is
+// poisoned so the test never pays for measuring the healthy cells.)
+func TestPartialStrictModeAborts(t *testing.T) {
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.Compile, Kind: faults.Error})
+	eng := engine.New(engine.Options{Faults: fs})
+	if _, err := CollectCtx(context.Background(), eng, CollectOptions{}); err == nil {
+		t.Fatal("strict collection tolerated a failed cell")
+	}
+}
+
+// TestCancelCollectionNeverPartial: cancellation aborts even a
+// degraded collection — a half-measured matrix the user asked to stop
+// is not a result.
+func TestCancelCollectionNeverPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := engine.New(engine.Options{})
+	_, err := CollectCtx(ctx, eng, CollectOptions{AllowPartial: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled collection returned %v, want context.Canceled", err)
+	}
+}
+
+// TestDegradedSingleDatasetSurvivor: a multi-dataset workload reduced
+// to one surviving run must drop out of cross-dataset experiments
+// (Multi) while still counting toward coverage.
+func TestDegradedSingleDatasetSurvivor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix collection in -short mode")
+	}
+	// Poison every li dataset except 8queens.
+	var rules []faults.Rule
+	for _, w := range workloads.All() {
+		if w.Name != "li" {
+			continue
+		}
+		for _, ds := range w.Datasets {
+			if ds.Name != "8queens" {
+				rules = append(rules, faults.Rule{
+					Stage: faults.Run, Kind: faults.Error, Label: "li/" + ds.Name,
+				})
+			}
+		}
+	}
+	if len(rules) == 0 {
+		t.Skip("li has a single dataset; nothing to poison")
+	}
+	eng := engine.New(engine.Options{Faults: faults.NewSet(1, rules...)})
+	s, err := CollectCtx(context.Background(), eng, CollectOptions{AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Program("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Runs) != 1 || p.Runs[0].Dataset != "8queens" {
+		t.Fatalf("surviving runs = %+v", p.Runs)
+	}
+	if p.Multi() {
+		t.Fatal("single-survivor program still claims cross-dataset support")
+	}
+	if in := p.InputFor(p.Runs[0]); in == nil {
+		t.Fatal("InputFor lost the surviving dataset")
+	}
+	// Cross-dataset artifacts must quietly exclude li, not fail.
+	if _, err := Figure2(s, []string{"li"}); err != nil {
+		t.Fatalf("Figure2 over a single-survivor program: %v", err)
+	}
+}

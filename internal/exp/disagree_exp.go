@@ -52,7 +52,7 @@ func (r DisagreeRow) UnseenShare() float64 {
 func DisagreementStudy(s *Suite) ([]DisagreeRow, error) {
 	var rows []DisagreeRow
 	for _, p := range s.Programs {
-		if !p.Workload.MultiDataset() {
+		if !p.Multi() {
 			continue
 		}
 		for i, target := range p.Runs {

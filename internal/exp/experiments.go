@@ -119,9 +119,12 @@ type Table3Row struct {
 func Table3(s *Suite) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, name := range table3Programs {
-		p, err := s.Program(name)
+		p, err := s.program(name)
 		if err != nil {
 			return nil, err
+		}
+		if p == nil {
+			continue
 		}
 		for _, r := range p.Runs {
 			pr, err := selfPrediction(p, r)
@@ -190,11 +193,11 @@ type Fig2Row struct {
 func Figure2(s *Suite, programs []string) ([]Fig2Row, error) {
 	var rows []Fig2Row
 	for _, name := range programs {
-		p, err := s.Program(name)
+		p, err := s.program(name)
 		if err != nil {
 			return nil, err
 		}
-		if !p.Workload.MultiDataset() {
+		if p == nil || !p.Multi() {
 			continue
 		}
 		for i, r := range p.Runs {
@@ -238,7 +241,7 @@ func Figure2(s *Suite, programs []string) ([]Fig2Row, error) {
 func CProgramNames(s *Suite) []string {
 	var names []string
 	for _, p := range s.Programs {
-		if p.Workload.Lang == workloads.C && p.Workload.MultiDataset() {
+		if p.Workload.Lang == workloads.C && p.Multi() {
 			names = append(names, p.Workload.Name)
 		}
 	}
@@ -265,11 +268,11 @@ type Fig3Row struct {
 func Figure3(s *Suite, programs []string) ([]Fig3Row, error) {
 	var rows []Fig3Row
 	for _, name := range programs {
-		p, err := s.Program(name)
+		p, err := s.program(name)
 		if err != nil {
 			return nil, err
 		}
-		if !p.Workload.MultiDataset() {
+		if p == nil || !p.Multi() {
 			continue
 		}
 		for i, r := range p.Runs {
@@ -327,7 +330,7 @@ func (t TakenRow) Spread() float64 { return 100 * (t.MaxPct - t.MinPct) }
 func TakenConstancy(s *Suite) []TakenRow {
 	var rows []TakenRow
 	for _, p := range s.Programs {
-		if !p.Workload.MultiDataset() {
+		if !p.Multi() {
 			continue
 		}
 		row := TakenRow{Program: p.Workload.Name, MinPct: 2}
@@ -361,7 +364,7 @@ type CombinedRow struct {
 func CombinedComparison(s *Suite) ([]CombinedRow, error) {
 	var rows []CombinedRow
 	for _, p := range s.Programs {
-		if !p.Workload.MultiDataset() {
+		if !p.Multi() {
 			continue
 		}
 		for i, r := range p.Runs {
@@ -419,7 +422,7 @@ func HeuristicComparison(s *Suite) ([]HeuristicRow, error) {
 		for i, r := range p.Runs {
 			var profPred *predict.Prediction
 			var err error
-			if p.Workload.MultiDataset() {
+			if p.Multi() {
 				profPred, err = predict.Combine(p.OtherProfiles(i), predict.Scaled, p.Prog.Sites, predict.LoopHeuristic)
 			} else {
 				profPred, err = selfPrediction(p, r)
@@ -467,9 +470,12 @@ type MotivationRow struct {
 func Motivation(s *Suite) ([]MotivationRow, error) {
 	var rows []MotivationRow
 	for _, name := range []string{"fpppp", "li"} {
-		p, err := s.Program(name)
+		p, err := s.program(name)
 		if err != nil {
 			return nil, err
+		}
+		if p == nil {
+			continue
 		}
 		r := p.Runs[0]
 		pr, err := selfPrediction(p, r)
@@ -513,14 +519,22 @@ type CrossModeRow struct {
 }
 
 // CrossMode measures compress predicted by compress vs by uncompress.
+// On a partial suite missing either mode (or the specific datasets the
+// comparison is built on), the experiment is skipped with no rows.
 func CrossMode(s *Suite) ([]CrossModeRow, error) {
-	cp, err := s.Program("compress")
+	cp, err := s.program("compress")
 	if err != nil {
 		return nil, err
 	}
-	up, err := s.Program("uncompress")
+	up, err := s.program("uncompress")
 	if err != nil {
 		return nil, err
+	}
+	if cp == nil || up == nil {
+		return nil, nil
+	}
+	if s.Partial() && (len(cp.Runs) < 3 || len(up.Runs) < 1) {
+		return nil, nil
 	}
 	target := cp.Runs[0]
 	var rows []CrossModeRow

@@ -43,7 +43,7 @@ func StaticVsDynamic(s *Suite) ([]DynRow, error) {
 			return nil, err
 		}
 		others := self
-		if p.Workload.MultiDataset() {
+		if p.Multi() {
 			others, err = predict.Combine(p.OtherProfiles(0), predict.Scaled, p.Prog.Sites, predict.LoopHeuristic)
 			if err != nil {
 				return nil, err
@@ -63,7 +63,7 @@ func StaticVsDynamic(s *Suite) ([]DynRow, error) {
 		multi := &dynpred.Multi{Predictors: []dynpred.Predictor{selfP, othersP, oneBit, twoBit}}
 		// Traced replays observe the execution, so the engine runs them
 		// fresh (never from cache) while still counting them in stats.
-		if _, err := Engine().Run(p.Prog, "", p.Workload.Datasets[0].Gen(), &vm.Config{Trace: multi}); err != nil {
+		if _, err := Engine().Run(p.Prog, "", p.InputFor(r), &vm.Config{Trace: multi}); err != nil {
 			return nil, fmt.Errorf("exp: dynamic replay of %s: %w", p.Workload.Name, err)
 		}
 		rate := func(pr dynpred.Predictor) float64 {
@@ -115,7 +115,7 @@ func RunLengths(s *Suite) ([]RunLengthRow, error) {
 			return nil, err
 		}
 		rec := runlength.New(self)
-		if _, err := Engine().Run(p.Prog, "", p.Workload.Datasets[0].Gen(), &vm.Config{Trace: rec}); err != nil {
+		if _, err := Engine().Run(p.Prog, "", p.InputFor(r), &vm.Config{Trace: rec}); err != nil {
 			return nil, fmt.Errorf("exp: run-length replay of %s: %w", p.Workload.Name, err)
 		}
 		rows = append(rows, RunLengthRow{
@@ -165,7 +165,7 @@ type CoverageRow struct {
 func Coverage(s *Suite) ([]CoverageRow, error) {
 	var rows []CoverageRow
 	for _, p := range s.Programs {
-		if !p.Workload.MultiDataset() {
+		if !p.Multi() {
 			continue
 		}
 		for i, target := range p.Runs {

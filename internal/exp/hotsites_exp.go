@@ -35,7 +35,7 @@ func HotSites(s *Suite, topN int) ([]HotSiteRow, error) {
 		r := p.Runs[0]
 		var pred *predict.Prediction
 		var err error
-		if p.Workload.MultiDataset() {
+		if p.Multi() {
 			pred, err = predict.Combine(p.OtherProfiles(0), predict.Scaled, p.Prog.Sites, predict.LoopHeuristic)
 		} else {
 			pred, err = selfPrediction(p, r)

@@ -124,6 +124,21 @@ func RenderMotivation(rows []MotivationRow) string {
 	return b.String()
 }
 
+// RenderCoverageSummary formats a suite's coverage annotation: a
+// one-line summary, then one line per failed matrix cell. Tools print
+// it ahead of the reports whenever a degraded collection came back
+// partial, so a reader always knows which cells are missing from the
+// tables below.
+func RenderCoverageSummary(s *Suite) string {
+	var b strings.Builder
+	b.WriteString(s.CoverageSummary().String())
+	b.WriteByte('\n')
+	for _, ce := range s.Errors {
+		fmt.Fprintf(&b, "  failed cell %s/%s: %v\n", ce.Workload, ce.Dataset, ce.Err)
+	}
+	return b.String()
+}
+
 // RenderCrossMode formats the compress/uncompress observation.
 func RenderCrossMode(rows []CrossModeRow) string {
 	var b strings.Builder

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -42,16 +43,112 @@ func (p *ProgramRuns) OtherProfiles(i int) []*ifprob.Profile {
 	return out
 }
 
-// Suite is the complete measured matrix.
+// Multi reports whether cross-dataset experiments apply to this
+// program: the workload registers several datasets AND more than one
+// was actually measured — on a degraded suite a multi-dataset workload
+// can come back with a single surviving run, which has no "others".
+func (p *ProgramRuns) Multi() bool {
+	return p.Workload.MultiDataset() && len(p.Runs) > 1
+}
+
+// InputFor regenerates the input bytes of the dataset r was measured
+// on. Replay experiments must pair a run with its own dataset's bytes;
+// indexing Workload.Datasets positionally is wrong on a degraded suite,
+// where Runs is compacted and no longer aligned with the registration.
+func (p *ProgramRuns) InputFor(r *Run) []byte {
+	for _, ds := range p.Workload.Datasets {
+		if ds.Name == r.Dataset {
+			return ds.Gen()
+		}
+	}
+	return nil
+}
+
+// CellError records one (workload, dataset) cell of the matrix that
+// could not be measured, and why.
+type CellError struct {
+	Workload string
+	Dataset  string
+	Err      error
+}
+
+// Error describes the failed cell.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("%s/%s: %v", e.Workload, e.Dataset, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// CoverageSummary quantifies how much of the full program × dataset
+// matrix a suite actually holds.
+type CoverageSummary struct {
+	TotalCells    int // cells in the full matrix
+	MeasuredCells int // cells successfully measured
+	TotalPrograms int // workloads registered
+	FullPrograms  int // workloads with every dataset measured
+}
+
+// Complete reports a fully-measured matrix.
+func (c CoverageSummary) Complete() bool { return c.MeasuredCells == c.TotalCells }
+
+// String renders the one-line coverage annotation reports carry.
+func (c CoverageSummary) String() string {
+	if c.Complete() {
+		return fmt.Sprintf("coverage: complete (%d/%d cells)", c.MeasuredCells, c.TotalCells)
+	}
+	return fmt.Sprintf("coverage: PARTIAL %d/%d cells (%d/%d programs complete)",
+		c.MeasuredCells, c.TotalCells, c.FullPrograms, c.TotalPrograms)
+}
+
+// Suite is the measured matrix — complete after a strict collection,
+// possibly partial after a degraded-mode one (see CollectCtx). On a
+// partial suite, Programs holds only workloads with at least one
+// measured run, each ProgramRuns.Runs is compacted to its surviving
+// cells, and Errors records every cell that failed.
 type Suite struct {
 	Programs []*ProgramRuns // in report order
-	byName   map[string]*ProgramRuns
+	// Errors lists the failed matrix cells, in matrix order; empty on a
+	// complete suite.
+	Errors []*CellError
+	byName map[string]*ProgramRuns
+	cells  int // size of the full matrix at collection time
+}
+
+// Partial reports whether any cell of the matrix is missing.
+func (s *Suite) Partial() bool { return len(s.Errors) > 0 }
+
+// CoverageSummary summarizes how much of the matrix was measured.
+func (s *Suite) CoverageSummary() CoverageSummary {
+	c := CoverageSummary{TotalCells: s.cells, TotalPrograms: len(workloads.All())}
+	for _, p := range s.Programs {
+		c.MeasuredCells += len(p.Runs)
+		if len(p.Runs) == len(p.Workload.Datasets) {
+			c.FullPrograms++
+		}
+	}
+	return c
 }
 
 // Program returns the measured runs of one workload.
 func (s *Suite) Program(name string) (*ProgramRuns, error) {
 	if p, ok := s.byName[name]; ok {
 		return p, nil
+	}
+	return nil, fmt.Errorf("exp: no measured program %q", name)
+}
+
+// program resolves name for experiment code that should degrade
+// gracefully: a program missing from a partial suite is skipped
+// ((nil, nil) — the caller drops that part of the report), while a
+// missing program on a complete suite is a hard error, since it means
+// the experiment asked for something that was never registered.
+func (s *Suite) program(name string) (*ProgramRuns, error) {
+	if p, ok := s.byName[name]; ok {
+		return p, nil
+	}
+	if s.Partial() {
+		return nil, nil
 	}
 	return nil, fmt.Errorf("exp: no measured program %q", name)
 }
@@ -88,12 +185,33 @@ func Collect() (*Suite, error) {
 	return CollectWith(Engine())
 }
 
-// CollectWith measures the full matrix through eng. (Workload,
-// dataset) units are independent and deterministic, so they execute
-// on the engine's bounded worker pool; results land in preassigned
-// slots, so the assembled suite is identical to a sequential
-// collection no matter the schedule or cache state.
+// CollectWith measures the full matrix through eng, strictly: the
+// first failing cell aborts the collection. See CollectCtx for the
+// degraded mode that keeps the healthy cells instead.
 func CollectWith(eng *engine.Engine) (*Suite, error) {
+	return CollectCtx(context.Background(), eng, CollectOptions{})
+}
+
+// CollectOptions configures a collection.
+type CollectOptions struct {
+	// AllowPartial keeps collecting past failed cells: the suite comes
+	// back with the healthy cells measured, per-cell Errors for the
+	// rest, and a coverage summary. A suite with zero measured cells is
+	// still an error, as is a cancelled collection.
+	AllowPartial bool
+}
+
+// CollectCtx measures the full matrix through eng under ctx.
+// (Workload, dataset) units are independent and deterministic, so they
+// execute on the engine's bounded worker pool; results land in
+// preassigned slots, so the assembled suite is identical to a
+// sequential collection no matter the schedule or cache state.
+//
+// Without AllowPartial the first error (in matrix order) aborts the
+// collection. With it, failed cells are recorded and skipped: the
+// suite's Programs keep only measured runs, workloads with no
+// surviving run disappear, and CoverageSummary reports what remains.
+func CollectCtx(ctx context.Context, eng *engine.Engine, opts CollectOptions) (*Suite, error) {
 	all := workloads.All()
 	s := &Suite{
 		Programs: make([]*ProgramRuns, len(all)),
@@ -107,11 +225,17 @@ func CollectWith(eng *engine.Engine) (*Suite, error) {
 			jobs = append(jobs, job{wi, di})
 		}
 	}
-	err := eng.Parallel(len(jobs), func(j int) error {
+	s.cells = len(jobs)
+	// Each cell publishes its own compiled image; the per-workload
+	// Prog is picked after the barrier, so a failed first dataset does
+	// not lose the program the other datasets compiled (and no two
+	// goroutines race on the shared ProgramRuns).
+	progs := make([]*isa.Program, len(jobs))
+	errs, err := eng.ParallelErrors(ctx, len(jobs), func(j int) error {
 		wi, di := jobs[j].wi, jobs[j].di
 		w := all[wi]
 		ds := w.Datasets[di]
-		out, err := eng.Execute(engine.Spec{
+		out, err := eng.ExecuteContext(ctx, engine.Spec{
 			Name:    w.Name,
 			Source:  w.Source,
 			Dataset: ds.Name,
@@ -120,21 +244,54 @@ func CollectWith(eng *engine.Engine) (*Suite, error) {
 		if err != nil {
 			return fmt.Errorf("exp: measuring %s/%s: %w", w.Name, ds.Name, err)
 		}
-		pr := s.Programs[wi]
-		if di == 0 {
-			// The compiled image is memoized per workload, so any
-			// dataset's outcome carries the same program; dataset 0
-			// publishes it exactly once.
-			pr.Prog = out.Prog
-		}
-		pr.Runs[di] = &Run{Workload: w.Name, Dataset: ds.Name, Res: out.Res, Prof: out.Prof}
+		progs[j] = out.Prog
+		s.Programs[wi].Runs[di] = &Run{Workload: w.Name, Dataset: ds.Name, Res: out.Res, Prof: out.Prof}
 		return nil
 	})
-	if err != nil {
+	for j, p := range progs {
+		if pr := s.Programs[jobs[j].wi]; p != nil && pr.Prog == nil {
+			pr.Prog = p
+		}
+	}
+	if err != nil && !opts.AllowPartial {
 		return nil, err
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancellation is never degraded to a partial suite: the caller
+		// asked the whole collection to stop.
+		return nil, cerr
+	}
+	for j, jerr := range errs {
+		if jerr != nil {
+			w := all[jobs[j].wi]
+			s.Errors = append(s.Errors, &CellError{
+				Workload: w.Name, Dataset: w.Datasets[jobs[j].di].Name, Err: jerr,
+			})
+		}
+	}
+	// Compact: drop failed cells and workloads with nothing measured.
+	kept := s.Programs[:0]
 	for _, pr := range s.Programs {
+		runs := pr.Runs[:0]
+		for _, r := range pr.Runs {
+			if r != nil {
+				runs = append(runs, r)
+			}
+		}
+		pr.Runs = runs
+		if len(runs) == 0 || pr.Prog == nil {
+			continue
+		}
+		kept = append(kept, pr)
 		s.byName[pr.Workload.Name] = pr
+	}
+	s.Programs = kept
+	if len(s.Programs) == 0 {
+		// A fully-failed collection has nothing to degrade to.
+		if err != nil {
+			return nil, fmt.Errorf("exp: collection failed completely: %w", err)
+		}
+		return nil, fmt.Errorf("exp: collection measured nothing")
 	}
 	return s, nil
 }

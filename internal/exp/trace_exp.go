@@ -37,10 +37,10 @@ func TraceStudy(s *Suite) ([]TraceRow, error) {
 	var rows []TraceRow
 	eng := Engine()
 	for _, p := range s.Programs {
-		input := p.Workload.Datasets[0].Gen()
+		first := p.Runs[0]
 		out, err := eng.Execute(engine.Spec{
 			Name: p.Workload.Name, Source: p.Workload.Source,
-			Dataset: p.Workload.Datasets[0].Name, Input: input,
+			Dataset: first.Dataset, Input: p.InputFor(first),
 			Config: vm.Config{PerPC: true},
 		})
 		if err != nil {
@@ -70,7 +70,7 @@ func TraceStudy(s *Suite) ([]TraceRow, error) {
 			g.AttachPrediction(p.Prog, fi, heurDirs)
 			heurTraces = append(heurTraces, g.SelectTraces()...)
 		}
-		row := TraceRow{Program: p.Workload.Name, Dataset: p.Workload.Datasets[0].Name}
+		row := TraceRow{Program: p.Workload.Name, Dataset: first.Dataset}
 		if blockDen > 0 {
 			row.Block = blockNum / blockDen
 		}

@@ -1,0 +1,268 @@
+// Package faults is a deterministic, seeded fault-injection framework
+// for the measurement pipeline. Production code carries a *Set pointer
+// (normally nil) and consults it at named stages; a nil set injects
+// nothing and costs one pointer comparison, so the instrumentation has
+// zero overhead when disabled.
+//
+// A Set is built from Rules. Each rule names a Stage (compile, run,
+// profile, cache-read, cache-write, db-save, db-load), a Kind of fault
+// (error, panic, delay, torn write), and a match condition: the Nth
+// call at that stage, a substring of the operation label (for the
+// engine, "program/dataset"), or a seeded probability. Matching is
+// deterministic: the same seed and the same sequence of Fire calls
+// always inject the same faults, so chaos tests are reproducible.
+//
+// See docs/ROBUSTNESS.md for how internal/engine, internal/exp and
+// internal/ifprob respond to each injected fault.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage names one instrumentation point in the pipeline.
+type Stage string
+
+// The instrumented stages — the axes of the fault matrix.
+const (
+	Compile    Stage = "compile"
+	Run        Stage = "run"
+	Profile    Stage = "profile"
+	CacheRead  Stage = "cache-read"
+	CacheWrite Stage = "cache-write"
+	DBSave     Stage = "db-save"
+	DBLoad     Stage = "db-load"
+)
+
+// Stages returns every instrumented stage, in pipeline order.
+func Stages() []Stage {
+	return []Stage{Compile, Run, Profile, CacheRead, CacheWrite, DBSave, DBLoad}
+}
+
+// Kind classifies what an injector does when it fires.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// Error makes the instrumented operation return an injected error.
+	Error Kind = iota
+	// Panic makes the instrumentation point panic.
+	Panic
+	// Delay sleeps before the operation proceeds normally.
+	Delay
+	// TornWrite truncates a write partway through; it only applies at
+	// write-shaped stages consulted through Torn.
+	TornWrite
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case TornWrite:
+		return "torn-write"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Rule is one injector: where it applies and what it does.
+type Rule struct {
+	// Stage restricts the rule to one instrumentation point; empty
+	// matches every stage.
+	Stage Stage
+	// Kind is what happens when the rule fires.
+	Kind Kind
+	// Nth, when non-zero, fires only on the Nth matching call at the
+	// stage (1-based). Zero means every matching call (subject to Prob).
+	Nth uint64
+	// Label, when non-empty, requires the operation label to contain
+	// it as a substring (the engine labels operations "program/dataset").
+	Label string
+	// Prob, when in (0,1) and Nth is zero, fires with this probability
+	// drawn from the set's seeded generator.
+	Prob float64
+	// Delay is the sleep for Delay rules; 0 means 500µs.
+	Delay time.Duration
+	// Err overrides the injected error for Error rules; nil means an
+	// *InjectedError wrapping ErrInjected.
+	Err error
+}
+
+// ErrInjected is the sentinel every injected error wraps; retry
+// policies treat it as transient.
+var ErrInjected = errors.New("injected fault")
+
+// Is reports whether err originates from a fault injector.
+func Is(err error) bool { return errors.Is(err, ErrInjected) }
+
+// InjectedError reports where an injected error fired.
+type InjectedError struct {
+	Stage Stage
+	Label string
+	Call  uint64 // 1-based call count at the stage when the rule fired
+}
+
+// Error describes the injection point.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: %s %q call %d: injected fault", e.Stage, e.Label, e.Call)
+}
+
+// Unwrap ties every injected error to ErrInjected.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// InjectedPanic is the value injected panics carry, so recovery code
+// (and tests) can tell an injected panic from a genuine bug.
+type InjectedPanic struct {
+	Stage Stage
+	Label string
+	Call  uint64
+}
+
+// String describes the injection point.
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("faults: %s %q call %d: injected panic", p.Stage, p.Label, p.Call)
+}
+
+// Set is an active collection of injectors. A nil *Set is valid and
+// injects nothing; all methods are safe for concurrent use.
+type Set struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	rules     []Rule
+	calls     map[Stage]uint64 // Fire consultations per stage
+	tornCalls map[Stage]uint64 // Torn consultations per stage
+	fired     map[Stage]uint64 // faults actually injected per stage
+}
+
+// NewSet builds a set from seed and rules. The seed drives every
+// probabilistic decision (Prob rules, torn-write lengths), so equal
+// seeds and call sequences inject identically.
+func NewSet(seed int64, rules ...Rule) *Set {
+	return &Set{
+		rng:       rand.New(rand.NewSource(seed)),
+		rules:     rules,
+		calls:     make(map[Stage]uint64),
+		tornCalls: make(map[Stage]uint64),
+		fired:     make(map[Stage]uint64),
+	}
+}
+
+// match reports whether r applies to the call (stage, label, n) —
+// probability is evaluated by the caller holding the lock.
+func (s *Set) match(r *Rule, stage Stage, label string, n uint64) bool {
+	if r.Stage != "" && r.Stage != stage {
+		return false
+	}
+	if r.Label != "" && !strings.Contains(label, r.Label) {
+		return false
+	}
+	if r.Nth != 0 {
+		return r.Nth == n
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		return s.rng.Float64() < r.Prob
+	}
+	return true
+}
+
+// Fire consults the set at one instrumentation point. It returns an
+// error to inject, panics for Panic rules, and sleeps for Delay rules
+// before returning nil. TornWrite rules are ignored here (see Torn).
+// A nil receiver is a no-op.
+func (s *Set) Fire(stage Stage, label string) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.calls[stage]++
+	n := s.calls[stage]
+	var hit *Rule
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Kind == TornWrite {
+			continue
+		}
+		if s.match(r, stage, label, n) {
+			hit = r
+			break
+		}
+	}
+	if hit == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.fired[stage]++
+	kind, delay, override := hit.Kind, hit.Delay, hit.Err
+	s.mu.Unlock()
+
+	switch kind {
+	case Panic:
+		panic(&InjectedPanic{Stage: stage, Label: label, Call: n})
+	case Delay:
+		if delay <= 0 {
+			delay = 500 * time.Microsecond
+		}
+		time.Sleep(delay)
+		return nil
+	default: // Error
+		if override != nil {
+			return override
+		}
+		return &InjectedError{Stage: stage, Label: label, Call: n}
+	}
+}
+
+// Torn consults torn-write rules at a write of n bytes and returns how
+// many bytes should actually reach the medium: n for a clean write,
+// fewer for a torn one (seeded-deterministically chosen, always < n).
+// A nil receiver always returns n.
+func (s *Set) Torn(stage Stage, label string, n int) int {
+	if s == nil || n <= 0 {
+		return n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tornCalls[stage]++
+	c := s.tornCalls[stage]
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Kind != TornWrite {
+			continue
+		}
+		if s.match(r, stage, label, c) {
+			s.fired[stage]++
+			return s.rng.Intn(n) // in [0, n)
+		}
+	}
+	return n
+}
+
+// Fired returns how many faults have been injected at stage.
+func (s *Set) Fired(stage Stage) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired[stage]
+}
+
+// Calls returns how many times stage was consulted through Fire.
+func (s *Set) Calls(stage Stage) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[stage]
+}

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultNilSetIsNoOp(t *testing.T) {
+	var s *Set
+	if err := s.Fire(Run, "p/d"); err != nil {
+		t.Fatalf("nil set fired: %v", err)
+	}
+	if n := s.Torn(CacheWrite, "p/d", 100); n != 100 {
+		t.Fatalf("nil set tore write to %d bytes", n)
+	}
+	if s.Fired(Run) != 0 || s.Calls(Run) != 0 {
+		t.Fatal("nil set reported activity")
+	}
+}
+
+func TestFaultNthFiresExactlyOnce(t *testing.T) {
+	s := NewSet(1, Rule{Stage: CacheRead, Kind: Error, Nth: 3})
+	for i := 1; i <= 5; i++ {
+		err := s.Fire(CacheRead, "p/d")
+		if (err != nil) != (i == 3) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+		if i == 3 {
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Call != 3 || ie.Stage != CacheRead {
+				t.Fatalf("injected error = %#v", err)
+			}
+			if !Is(err) {
+				t.Fatal("injected error not recognized by Is")
+			}
+		}
+	}
+	if s.Fired(CacheRead) != 1 || s.Calls(CacheRead) != 5 {
+		t.Fatalf("fired=%d calls=%d", s.Fired(CacheRead), s.Calls(CacheRead))
+	}
+}
+
+func TestFaultLabelSubstringMatch(t *testing.T) {
+	s := NewSet(1, Rule{Stage: Run, Kind: Error, Label: "gcc/"})
+	if err := s.Fire(Run, "li/8queens"); err != nil {
+		t.Fatalf("non-matching label fired: %v", err)
+	}
+	if err := s.Fire(Run, "gcc/decls"); err == nil {
+		t.Fatal("matching label did not fire")
+	}
+	// A different stage never matches a stage-scoped rule.
+	if err := s.Fire(Compile, "gcc/decls"); err != nil {
+		t.Fatalf("wrong stage fired: %v", err)
+	}
+}
+
+func TestFaultStageWildcard(t *testing.T) {
+	s := NewSet(1, Rule{Kind: Error}) // empty Stage matches everywhere
+	for _, st := range Stages() {
+		if err := s.Fire(st, "x"); err == nil {
+			t.Fatalf("wildcard rule did not fire at %s", st)
+		}
+	}
+}
+
+func TestFaultProbDeterministicAcrossSeeds(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		s := NewSet(seed, Rule{Stage: Run, Kind: Error, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Fire(Run, "p/d") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 rule fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestFaultPanicKindCarriesInjectedPanic(t *testing.T) {
+	s := NewSet(1, Rule{Stage: Profile, Kind: Panic, Nth: 1})
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok || ip.Stage != Profile || ip.Call != 1 {
+			t.Fatalf("panic value = %#v", r)
+		}
+	}()
+	s.Fire(Profile, "p/d")
+	t.Fatal("panic rule did not panic")
+}
+
+func TestFaultDelayKindSleepsThenSucceeds(t *testing.T) {
+	s := NewSet(1, Rule{Stage: Run, Kind: Delay, Delay: 2 * time.Millisecond, Nth: 1})
+	start := time.Now()
+	if err := s.Fire(Run, "p/d"); err != nil {
+		t.Fatalf("delay rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}
+
+func TestFaultErrOverride(t *testing.T) {
+	sentinel := errors.New("custom failure")
+	s := NewSet(1, Rule{Stage: DBSave, Kind: Error, Err: sentinel})
+	if err := s.Fire(DBSave, "db.json"); !errors.Is(err, sentinel) {
+		t.Fatalf("override error = %v", err)
+	}
+}
+
+func TestTornWriteSeparateCounterAndBound(t *testing.T) {
+	s := NewSet(7,
+		Rule{Stage: CacheWrite, Kind: Error, Nth: 1},     // Fire-side rule
+		Rule{Stage: CacheWrite, Kind: TornWrite, Nth: 1}, // Torn-side rule
+	)
+	// Torn ignores Error rules and keeps its own call counter, so the
+	// first Torn consultation matches Nth:1 regardless of Fire traffic.
+	if err := s.Fire(CacheWrite, "p/d"); err == nil {
+		t.Fatal("fire-side rule did not fire")
+	}
+	n := s.Torn(CacheWrite, "p/d", 100)
+	if n < 0 || n >= 100 {
+		t.Fatalf("torn length %d out of [0,100)", n)
+	}
+	if m := s.Torn(CacheWrite, "p/d", 100); m != 100 {
+		t.Fatalf("second torn consultation truncated to %d", m)
+	}
+	// TornWrite rules never surface through Fire.
+	if err := s.Fire(CacheWrite, "p/d"); err != nil {
+		t.Fatalf("second fire hit a rule: %v", err)
+	}
+}
+
+func TestTornWriteDeterministicLength(t *testing.T) {
+	torn := func() int {
+		s := NewSet(99, Rule{Stage: DBSave, Kind: TornWrite, Nth: 1})
+		return s.Torn(DBSave, "x", 1000)
+	}
+	if a, b := torn(), torn(); a != b {
+		t.Fatalf("same seed tore %d then %d bytes", a, b)
+	}
+}

@@ -1,11 +1,17 @@
 package ifprob
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+
+	"branchprof/internal/faults"
 )
 
 // DB is the accumulating branch-count database. The paper's
@@ -15,6 +21,15 @@ import (
 type DB struct {
 	mu       sync.Mutex
 	profiles map[string]*Profile // keyed by program name
+	faults   *faults.Set         // chaos-test injectors; nil in production
+}
+
+// SetFaults installs fault injectors consulted at Save (stage
+// faults.DBSave). Chaos tests only; a nil set injects nothing.
+func (db *DB) SetFaults(fs *faults.Set) {
+	db.mu.Lock()
+	db.faults = fs
+	db.mu.Unlock()
 }
 
 // NewDB returns an empty database.
@@ -56,27 +71,90 @@ func (db *DB) Programs() []string {
 	return names
 }
 
-// dbFile is the serialized database layout.
+// dbFile is the serialized database layout. Checksum covers the
+// canonical encoding of Profiles, so Load can tell a torn or bit-
+// flipped file from a healthy one.
 type dbFile struct {
 	Version  int        `json:"version"`
+	Checksum string     `json:"checksum,omitempty"`
 	Profiles []*Profile `json:"profiles"`
 }
 
 const dbVersion = 1
 
-// Save writes the database to path as JSON.
+// ErrCorrupt marks a database file whose contents cannot be trusted:
+// a torn write, a failed checksum, or inconsistent counters. Version
+// mismatches are a separate, unwrapped error — an old-format file is
+// not corrupt.
+var ErrCorrupt = errors.New("ifprob: corrupt database")
+
+// profilesChecksum is the payload checksum Save records and Load
+// verifies: the hex SHA-256 of the compact JSON encoding of the
+// profile list.
+func profilesChecksum(profiles []*Profile) (string, error) {
+	data, err := json.Marshal(profiles)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Save writes the database to path crash-consistently: the JSON goes
+// to a temp file in the same directory, is fsynced, and is renamed
+// over path, so a crash at any point leaves either the old database
+// or the new one — never a truncated mixture. The payload checksum
+// lets Load detect the remaining failure mode, a medium that tears
+// the write after rename (see ErrCorrupt).
 func (db *DB) Save(path string) error {
 	db.mu.Lock()
 	f := dbFile{Version: dbVersion}
 	for _, name := range db.programsLocked() {
 		f.Profiles = append(f.Profiles, db.profiles[name])
 	}
+	fs := db.faults
 	db.mu.Unlock()
+	sum, err := profilesChecksum(f.Profiles)
+	if err != nil {
+		return fmt.Errorf("ifprob: encoding database: %w", err)
+	}
+	f.Checksum = sum
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("ifprob: encoding database: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	if err := fs.Fire(faults.DBSave, path); err != nil {
+		return fmt.Errorf("ifprob: saving database: %w", err)
+	}
+	if n := fs.Torn(faults.DBSave, path, len(data)); n < len(data) {
+		// A torn-write rule simulates the legacy non-atomic writer
+		// crashing mid-write: the truncated bytes land at the final
+		// path and the caller sees success — Load must catch it.
+		return os.WriteFile(path, data[:n], 0o644)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ifprobdb-*.tmp")
+	if err != nil {
+		return fmt.Errorf("ifprob: saving database: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ifprob: saving database: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ifprob: saving database: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ifprob: saving database: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("ifprob: saving database: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ifprob: saving database: %w", err)
+	}
+	return nil
 }
 
 func (db *DB) programsLocked() []string {
@@ -88,23 +166,45 @@ func (db *DB) programsLocked() []string {
 	return names
 }
 
-// Load reads a database previously written with Save.
+// Load reads a database previously written with Save. A file that
+// fails to decode, fails its checksum, or carries inconsistent
+// counters returns an error wrapping ErrCorrupt; a missing file
+// passes the os error through (errors.Is(err, fs.ErrNotExist) holds).
+// Databases written before checksums existed load normally.
 func Load(path string) (*DB, error) {
+	return LoadWith(path, nil)
+}
+
+// LoadWith is Load with fault injectors consulted at stage
+// faults.DBLoad (chaos tests only; nil injects nothing).
+func LoadWith(path string, fs *faults.Set) (*DB, error) {
+	if err := fs.Fire(faults.DBLoad, path); err != nil {
+		return nil, fmt.Errorf("ifprob: loading database %s: %w", path, err)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var f dbFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("ifprob: decoding database %s: %w", path, err)
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
 	}
 	if f.Version != dbVersion {
 		return nil, fmt.Errorf("ifprob: database %s has version %d, want %d", path, f.Version, dbVersion)
 	}
+	if f.Checksum != "" {
+		sum, err := profilesChecksum(f.Profiles)
+		if err != nil {
+			return nil, fmt.Errorf("ifprob: decoding database %s: %w", path, err)
+		}
+		if sum != f.Checksum {
+			return nil, fmt.Errorf("%w: %s: checksum mismatch (have %s, want %s)", ErrCorrupt, path, sum, f.Checksum)
+		}
+	}
 	db := NewDB()
 	for _, p := range f.Profiles {
 		if err := p.CheckConsistent(); err != nil {
-			return nil, fmt.Errorf("ifprob: database %s: corrupt profile: %w", path, err)
+			return nil, fmt.Errorf("%w: %s: inconsistent profile: %v", ErrCorrupt, path, err)
 		}
 		db.profiles[p.Program] = p
 	}

@@ -1,0 +1,213 @@
+package ifprob
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"branchprof/internal/faults"
+)
+
+func saveDB(t *testing.T, path string) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := db.Add(mkProfile("fib", "small", []uint64{3, 0}, []uint64{5, 2}, 1234)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(mkProfile("fib", "large", []uint64{30, 1}, []uint64{50, 2}, 9876)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCorruptRoundTripChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	want := saveDB(t, path)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f dbFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Checksum == "" {
+		t.Fatal("saved database carries no checksum")
+	}
+
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := want.Get("fib"), got.Get("fib")
+	if a.Instrs != b.Instrs || a.Taken[0] != b.Taken[0] || a.Total[1] != b.Total[1] {
+		t.Fatalf("round-trip lost counts: %+v vs %+v", a, b)
+	}
+}
+
+func TestCorruptTruncatedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	saveDB(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated file loaded with err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptBitFlippedPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	saveDB(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one counter while keeping the JSON valid and the profile
+	// self-consistent: the checksum catches what validation cannot.
+	// The merged fib profile counts 1234+9876 instructions.
+	edited := strings.Replace(string(data), "11110", "11111", 1)
+	if edited == string(data) {
+		t.Fatal("test edit found nothing to change")
+	}
+	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped file loaded with err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptInconsistentCounters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	// Hand-built file with taken > total and no checksum: structural
+	// validation must still reject it.
+	f := dbFile{Version: dbVersion, Profiles: []*Profile{
+		mkProfile("p", "d", []uint64{9}, []uint64{1}, 0),
+	}}
+	data, err := json.Marshal(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("inconsistent profile loaded with err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptLegacyChecksumlessFileLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	f := dbFile{Version: dbVersion, Profiles: []*Profile{
+		mkProfile("p", "d", []uint64{1}, []uint64{2}, 7),
+	}}
+	data, err := json.Marshal(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(path)
+	if err != nil {
+		t.Fatalf("pre-checksum database rejected: %v", err)
+	}
+	if p := db.Get("p"); p == nil || p.Instrs != 7 {
+		t.Fatalf("legacy load lost data: %+v", p)
+	}
+}
+
+func TestCorruptMissingFilePassesThrough(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.json"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file err = %v, want fs.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing file misreported as corrupt")
+	}
+}
+
+// TestTornSaveDetectedByLoad: a torn-write injector simulates the
+// legacy non-atomic writer crashing mid-write; the save "succeeds"
+// but Load refuses the remains as corrupt.
+func TestTornSaveDetectedByLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	db := NewDB()
+	if err := db.Add(mkProfile("p", "d", []uint64{1, 2, 3}, []uint64{4, 5, 6}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	db.SetFaults(faults.NewSet(11, faults.Rule{Stage: faults.DBSave, Kind: faults.TornWrite, Nth: 1}))
+	if err := db.Save(path); err != nil {
+		t.Fatalf("torn save surfaced an error: %v", err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn file loaded with err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptSaveFaultLeavesOldFileIntact: an injected save error
+// fires before any byte is written, so the previous database survives
+// — the crash-consistency contract.
+func TestCorruptSaveFaultLeavesOldFileIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	saveDB(t, path)
+
+	db2 := NewDB()
+	if err := db2.Add(mkProfile("other", "d", []uint64{1}, []uint64{1}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	db2.SetFaults(faults.NewSet(1, faults.Rule{Stage: faults.DBSave, Kind: faults.Error, Nth: 1}))
+	if err := db2.Save(path); !faults.Is(err) {
+		t.Fatalf("injected save fault returned %v", err)
+	}
+	old, err := Load(path)
+	if err != nil {
+		t.Fatalf("old database damaged by failed save: %v", err)
+	}
+	if old.Get("fib") == nil || old.Get("other") != nil {
+		t.Fatalf("old database contents changed: programs %v", old.Programs())
+	}
+}
+
+// TestCorruptLoadFaultInjection: load-side injectors surface as
+// injected errors, distinct from corruption.
+func TestCorruptLoadFaultInjection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	saveDB(t, path)
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.DBLoad, Kind: faults.Error, Nth: 1})
+	if _, err := LoadWith(path, fs); !faults.Is(err) {
+		t.Fatalf("injected load fault returned %v", err)
+	}
+	if _, err := LoadWith(path, fs); err != nil {
+		t.Fatalf("second load (no rule) failed: %v", err)
+	}
+}
+
+// TestCorruptSaveLeavesNoTempDroppings: successful and failed saves
+// alike clean up their temporary files.
+func TestCorruptSaveLeavesNoTempDroppings(t *testing.T) {
+	dir := t.TempDir()
+	saveDB(t, filepath.Join(dir, "db.json"))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package predict
+
+import (
+	"errors"
+	"testing"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/isa"
+)
+
+func degradedSites(n int) []isa.BranchSite {
+	sites := make([]isa.BranchSite, n)
+	for i := range sites {
+		sites[i] = isa.BranchSite{ID: i, Func: "main"}
+	}
+	return sites
+}
+
+// TestPartialProfileSetCombines: a degraded suite can hand Combine a
+// profile slice with holes; the holes are skipped and the surviving
+// profiles still drive the prediction.
+func TestPartialProfileSetCombines(t *testing.T) {
+	sites := degradedSites(2)
+	full := &ifprob.Profile{Program: "p", Taken: []uint64{10, 0}, Total: []uint64{10, 10}}
+	for _, mode := range []CombineMode{Unscaled, Scaled, Polling} {
+		pr, err := Combine([]*ifprob.Profile{nil, full, nil}, mode, sites, nil)
+		if err != nil {
+			t.Fatalf("%v over a holey set: %v", mode, err)
+		}
+		if pr.Dir[0] != Taken || pr.Dir[1] != NotTaken {
+			t.Fatalf("%v directions = %v", mode, pr.Dir)
+		}
+	}
+}
+
+// TestPartialAllNilProfilesIsError: a set that degrades to nothing is
+// a typed error, not a panic.
+func TestPartialAllNilProfilesIsError(t *testing.T) {
+	for _, profiles := range [][]*ifprob.Profile{nil, {nil, nil}} {
+		if _, err := Combine(profiles, Scaled, degradedSites(1), nil); !errors.Is(err, ErrNoProfiles) {
+			t.Fatalf("Combine(%v) err = %v, want ErrNoProfiles", profiles, err)
+		}
+	}
+}
+
+// TestPartialNilInputsRejected: nil profiles and predictions return
+// errors everywhere a degraded caller could pass them.
+func TestPartialNilInputsRejected(t *testing.T) {
+	sites := degradedSites(1)
+	if _, err := FromProfile(nil, sites, nil); err == nil {
+		t.Fatal("FromProfile(nil) succeeded")
+	}
+	if err := NewTable(1).AddProfile(nil, 1); err == nil {
+		t.Fatal("AddProfile(nil) succeeded")
+	}
+	pr := FromHeuristic(sites, nil)
+	if _, err := Evaluate(pr, nil); err == nil {
+		t.Fatal("Evaluate(nil target) succeeded")
+	}
+	if _, err := Evaluate(nil, &ifprob.Profile{Taken: []uint64{0}, Total: []uint64{1}}); err == nil {
+		t.Fatal("Evaluate(nil prediction) succeeded")
+	}
+	if _, err := EvaluatePerSite(pr, nil, sites); err == nil {
+		t.Fatal("EvaluatePerSite(nil target) succeeded")
+	}
+}

@@ -83,8 +83,15 @@ func NewTable(n int) *Table {
 	return &Table{TakenW: make([]float64, n), TotalW: make([]float64, n)}
 }
 
+// ErrNoProfiles reports a predictor asked to combine an empty (or
+// all-nil, on a degraded suite) profile set.
+var ErrNoProfiles = fmt.Errorf("predict: no profiles to combine")
+
 // AddProfile accumulates a profile with the given weight.
 func (t *Table) AddProfile(p *ifprob.Profile, weight float64) error {
+	if p == nil {
+		return fmt.Errorf("predict: nil profile")
+	}
 	if len(p.Total) != len(t.TotalW) {
 		return fmt.Errorf("predict: profile has %d sites, table has %d", len(p.Total), len(t.TotalW))
 	}
@@ -127,6 +134,9 @@ func FromTable(t *Table, sites []isa.BranchSite, fallback Heuristic) (*Predictio
 // the self/oracle case, where the profile comes from the target run
 // itself).
 func FromProfile(p *ifprob.Profile, sites []isa.BranchSite, fallback Heuristic) (*Prediction, error) {
+	if p == nil {
+		return nil, fmt.Errorf("predict: nil profile")
+	}
 	t := NewTable(len(p.Total))
 	if err := t.AddProfile(p, 1); err != nil {
 		return nil, err
@@ -180,10 +190,18 @@ func (m CombineMode) String() string {
 }
 
 // Combine merges the given profiles under the mode and extracts a
-// prediction.
+// prediction. Nil entries — holes a degraded suite may hand over —
+// are skipped; an empty or all-nil set returns ErrNoProfiles.
 func Combine(profiles []*ifprob.Profile, mode CombineMode, sites []isa.BranchSite, fallback Heuristic) (*Prediction, error) {
+	live := profiles[:0:0]
+	for _, p := range profiles {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	profiles = live
 	if len(profiles) == 0 {
-		return nil, fmt.Errorf("predict: no profiles to combine")
+		return nil, ErrNoProfiles
 	}
 	t := NewTable(profiles[0].Sites())
 	for _, p := range profiles {
@@ -246,6 +264,9 @@ func (e Eval) PercentCorrect() float64 {
 // prediction gets wrong. Each site's mispredicts are the executions
 // that went against the predicted direction.
 func Evaluate(pr *Prediction, target *ifprob.Profile) (Eval, error) {
+	if pr == nil || target == nil {
+		return Eval{}, fmt.Errorf("predict: nil prediction or target")
+	}
 	if len(pr.Dir) != len(target.Total) {
 		return Eval{}, fmt.Errorf("predict: prediction covers %d sites, target has %d", len(pr.Dir), len(target.Total))
 	}
@@ -272,6 +293,9 @@ type SiteEval struct {
 // EvaluatePerSite returns the per-site breakdown, useful for finding
 // the branches responsible for poor cross-dataset prediction.
 func EvaluatePerSite(pr *Prediction, target *ifprob.Profile, sites []isa.BranchSite) ([]SiteEval, error) {
+	if pr == nil || target == nil {
+		return nil, fmt.Errorf("predict: nil prediction or target")
+	}
 	if len(pr.Dir) != len(target.Total) || len(sites) != len(target.Total) {
 		return nil, fmt.Errorf("predict: site count mismatch")
 	}

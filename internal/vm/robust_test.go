@@ -1,0 +1,126 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"branchprof/internal/isa"
+)
+
+// TestTrapEnrichedFields: a trap pinpoints the faulting function,
+// intra-function pc, flat global pc, and the instruction count at the
+// moment of the trap.
+func TestTrapEnrichedFields(t *testing.T) {
+	// Two functions so the global pc differs from the local one: main
+	// is laid out after a 5-instruction helper that is never called.
+	pad := isa.Func{
+		Name: "helper", Kind: isa.FuncInt,
+		NumIRegs: 1,
+		Code: []isa.Instr{
+			{Op: isa.OpNop}, {Op: isa.OpNop}, {Op: isa.OpNop}, {Op: isa.OpNop},
+			{Op: isa.OpRet, A: 0},
+		},
+	}
+	main := isa.Func{
+		Name: "main", Kind: isa.FuncInt,
+		NumIRegs: 3,
+		Code: []isa.Instr{
+			{Op: isa.OpLdi, C: 0, Imm: 1},
+			{Op: isa.OpLdi, C: 1, Imm: 0},
+			{Op: isa.OpDiv, C: 2, A: 0, B: 1}, // traps here, pc=2
+			{Op: isa.OpRet, A: 2},
+		},
+	}
+	p := &isa.Program{Funcs: []isa.Func{pad, main}, Main: 1, IntMem: 16, FloatMem: 16}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	_, err := Run(p, nil, nil)
+	var re *RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *RuntimeError, got %v", err)
+	}
+	if re.Func != "main" || re.PC != 2 {
+		t.Errorf("trap at %s+%d, want main+2", re.Func, re.PC)
+	}
+	if want := 2 + len(pad.Code); re.GlobalPC != want {
+		t.Errorf("global pc = %d, want %d", re.GlobalPC, want)
+	}
+	if re.Instrs != 3 { // two loads plus the div itself
+		t.Errorf("instrs at trap = %d, want 3", re.Instrs)
+	}
+	want := fmt.Sprintf("vm: trap at pc=%d (main+2) after 3 instrs: integer divide by zero", re.GlobalPC)
+	if re.Error() != want {
+		t.Errorf("rendered trap = %q, want %q", re.Error(), want)
+	}
+}
+
+// TestCancelClosedDoneStopsImmediately: a pre-closed done channel is
+// observed at the first poll point, before any instruction retires.
+func TestCancelClosedDoneStopsImmediately(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpJmp, Target: 0},
+		{Op: isa.OpRet, A: 0},
+	}, 1, 0, 0)
+	done := make(chan struct{})
+	close(done)
+	_, err := Run(p, nil, &Config{Done: done})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if !strings.Contains(err.Error(), "after 0 instructions") {
+		t.Errorf("cancellation not immediate: %v", err)
+	}
+}
+
+// TestCancelMidRunInterruptsLoop: closing done during an unbounded
+// loop interrupts it long before fuel would.
+func TestCancelMidRunInterruptsLoop(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpJmp, Target: 0},
+		{Op: isa.OpRet, A: 0},
+	}, 1, 0, 0)
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(p, nil, &Config{Done: done})
+		errc <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	close(done)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("err = %v, want ErrCancelled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run never observed the closed done channel")
+	}
+}
+
+// TestCancelDoneExcludedFromFingerprint: wiring a done channel into a
+// config must not perturb cache keys — cancellation is a property of
+// one attempt, not of the measurement.
+func TestCancelDoneExcludedFromFingerprint(t *testing.T) {
+	a := Config{Fuel: 1000}
+	b := Config{Fuel: 1000, Done: make(chan struct{})}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("Done changed the fingerprint: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// TestCancelNilDoneRunsToCompletion: the zero config still runs
+// normally — the poll is a no-op without a channel.
+func TestCancelNilDoneRunsToCompletion(t *testing.T) {
+	p := prog([]isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: 42},
+		{Op: isa.OpRet, A: 0},
+	}, 1, 0, 0)
+	res := run(t, p, nil, nil)
+	if res.ExitCode != 42 {
+		t.Fatalf("exit = %d, want 42", res.ExitCode)
+	}
+}

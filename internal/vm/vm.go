@@ -81,6 +81,13 @@ type Config struct {
 	// Trace, when non-nil, observes every control transfer (used by
 	// the dynamic-predictor and run-length extensions).
 	Trace Tracer
+	// Done, when non-nil, cancels the run cooperatively: the
+	// interpreter polls it every few thousand instructions and returns
+	// an error wrapping ErrCancelled once it is closed. Like Trace it
+	// is excluded from Fingerprint — cancellation never changes what a
+	// completed run would have measured, and a cancelled run is never
+	// cached.
+	Done <-chan struct{}
 }
 
 func (c *Config) fill() {
@@ -98,9 +105,11 @@ func (c *Config) fill() {
 // Fingerprint returns a canonical string covering every configuration
 // field that can affect a run's measurements, with defaults resolved
 // first so a nil config and an explicitly defaulted one fingerprint
-// identically. The tracer is deliberately excluded: tracers observe a
-// run without changing its counters, and traced runs are never served
-// from a cache. A nil receiver is valid and means the default config.
+// identically. The tracer and the done channel are deliberately
+// excluded: tracers observe a run without changing its counters (and
+// traced runs are never served from a cache), and cancellation either
+// aborts a run — which is then never cached — or changes nothing.
+// A nil receiver is valid and means the default config.
 func (c *Config) Fingerprint() string {
 	var d Config
 	if c != nil {
@@ -161,15 +170,23 @@ func (r *Result) TakenBranches() uint64 {
 // ErrFuel is returned (wrapped) when the instruction budget runs out.
 var ErrFuel = errors.New("vm: fuel exhausted")
 
-// RuntimeError describes a trap during execution.
+// ErrCancelled is returned (wrapped) when Config.Done closes mid-run.
+var ErrCancelled = errors.New("vm: run cancelled")
+
+// RuntimeError describes a trap during execution: where it happened
+// (both the program-wide PC and the function-relative one) and how far
+// the run had progressed.
 type RuntimeError struct {
-	Func string
-	PC   int
-	Msg  string
+	Func     string // trapping function's name
+	PC       int    // program counter within Func
+	GlobalPC int    // program-wide PC (functions laid out in index order)
+	Instrs   uint64 // instructions executed when the trap fired
+	Msg      string
 }
 
 func (e *RuntimeError) Error() string {
-	return fmt.Sprintf("vm: %s at %s+%d", e.Msg, e.Func, e.PC)
+	return fmt.Sprintf("vm: trap at pc=%d (%s+%d) after %d instrs: %s",
+		e.GlobalPC, e.Func, e.PC, e.Instrs, e.Msg)
 }
 
 type frame struct {
@@ -239,13 +256,27 @@ func Run(p *isa.Program, input []byte, cfg *Config) (*Result, error) {
 	inPos := 0
 
 	trap := func(msg string) error {
-		return &RuntimeError{Func: p.Funcs[cur].Name, PC: pc, Msg: msg}
+		// The global PC places the trap in a flat layout of the image:
+		// every earlier function's code, then pc within the current one.
+		global := pc
+		for i := 0; i < cur; i++ {
+			global += len(p.Funcs[i].Code)
+		}
+		return &RuntimeError{Func: p.Funcs[cur].Name, PC: pc, GlobalPC: global,
+			Instrs: res.Instrs, Msg: msg}
 	}
 
 	fuel := c.Fuel
 	for {
 		if res.Instrs >= fuel {
 			return res, fmt.Errorf("%w after %d instructions in %s", ErrFuel, res.Instrs, p.Source)
+		}
+		if c.Done != nil && res.Instrs&4095 == 0 {
+			select {
+			case <-c.Done:
+				return res, fmt.Errorf("%w after %d instructions in %s", ErrCancelled, res.Instrs, p.Source)
+			default:
+			}
 		}
 		if pc < 0 || pc >= len(code) {
 			return res, trap("pc out of range")
