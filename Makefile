@@ -10,13 +10,16 @@
 #   make chaos    the fault-injection matrix under the race detector,
 #                 run twice (-count=2) to shake out ordering luck; -short
 #                 keeps the full-matrix degraded tests in `make test`
+#   make obs      the observability golden tests (byte-exact trace,
+#                 Prometheus and folded-stack output under a stepped
+#                 clock) raced and repeated to catch ordering luck
 #   make bench    the cold vs warm cache benchmark pair
 
 GO ?= go
 
-.PHONY: verify test vet race chaos bench
+.PHONY: verify test vet race chaos obs bench
 
-verify: test vet race chaos
+verify: test vet race chaos obs
 
 test:
 	$(GO) build ./...
@@ -32,6 +35,12 @@ chaos:
 	$(GO) test -race -count=2 -short -run 'Fault|Degraded|Cancel|Retry|Torn|Corrupt|Partial' \
 		./internal/faults/... ./internal/engine/... ./internal/exp/... \
 		./internal/ifprob/... ./internal/predict/... ./internal/vm/...
+
+obs:
+	$(GO) test -race -count=2 -run 'Obs|Golden|Trace|Metric|Span|Prom|Chrome|Sample|Folded|Serve' \
+		./internal/obs/... ./internal/engine/... ./internal/vm/...
+	$(GO) test -race -count=2 -run 'ZeroBranch|SafeJSON|MarshalSafe|EncodeSafe|ZeroExec' \
+		./internal/exp/... ./internal/predict/... ./internal/breaks/...
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSuiteCollect(Cold|Warm)' -benchtime 3x .

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 
@@ -158,9 +157,10 @@ func emitJSON(t *cli.Tool) error {
 		out["skipped_artifacts"] = skipped
 	}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	// A degraded or zero-branch suite can put +Inf/NaN into the rows
+	// (e.g. InstrsPerBreak with no breaks); EncodeSafe renders healthy
+	// documents byte-identically and re-encodes only when needed.
+	if err := exp.EncodeSafe(os.Stdout, out, "  "); err != nil {
 		return fmt.Errorf("encoding: %w", err)
 	}
 	return nil

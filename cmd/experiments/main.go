@@ -52,7 +52,7 @@ func main() {
 		if err := emitJSON(t); err != nil {
 			t.Fatal(err)
 		}
-		t.PrintStats()
+		t.Finish()
 		return
 	}
 
@@ -97,7 +97,7 @@ func main() {
 		*fig3b || *taken || *combined || *heuristic || *motivation || *crossmode ||
 		*dynamic || *runlens || *coverage || *disagree || *hotsites || *traces
 	if !needSuite {
-		t.PrintStats()
+		t.Finish()
 		return
 	}
 	s, err := exp.CollectCtx(t.Context(), t.Engine(), exp.CollectOptions{AllowPartial: t.AllowPartial()})
@@ -189,5 +189,5 @@ func main() {
 		rows, err := exp.TraceStudy(s)
 		emit(err, func() string { return exp.RenderTraceStudy(rows) })
 	}
-	t.PrintStats()
+	t.Finish()
 }

@@ -61,6 +61,7 @@ func main() {
 			t.Fatal(err)
 		}
 		fmt.Print(out)
+		t.Finish()
 		return
 	}
 
@@ -90,5 +91,5 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "ifprobber: accumulated %d branch executions for %s into %s\n",
 		out.Res.CondBranches(), name, *dbPath)
-	t.PrintStats()
+	t.Finish()
 }

@@ -1,7 +1,9 @@
 // Command ifprobdb inspects and combines IFPROBBER profile databases:
 // list programs, dump a program's accumulated counts, or merge several
 // databases into one (the cross-machine accumulation a team running
-// the paper's methodology would need).
+// the paper's methodology would need). It does no measurement of its
+// own, but carries the shared tool flags so scripted pipelines can
+// pass a uniform flag set to every branchprof command.
 package main
 
 import (
@@ -9,10 +11,12 @@ import (
 	"fmt"
 	"os"
 
+	"branchprof/cmd/internal/cli"
 	"branchprof/internal/ifprob"
 )
 
 func main() {
+	t := cli.New("ifprobdb")
 	var (
 		list  = flag.Bool("list", false, "list programs in the database(s)")
 		dump  = flag.String("dump", "", "dump the named program's accumulated profile")
@@ -20,23 +24,18 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ifprobdb [-list] [-dump prog] [-merge out.json] db.json...")
-		os.Exit(2)
-	}
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "ifprobdb:", err)
-		os.Exit(1)
+		t.Usage("ifprobdb [-list] [-dump prog] [-merge out.json] db.json...")
 	}
 
 	merged := ifprob.NewDB()
 	for _, path := range flag.Args() {
 		db, err := ifprob.Load(path)
 		if err != nil {
-			fail(err)
+			t.Fatal(err)
 		}
 		for _, name := range db.Programs() {
 			if err := merged.Add(db.Get(name)); err != nil {
-				fail(fmt.Errorf("merging %s from %s: %w", name, path, err))
+				t.Fatal(fmt.Errorf("merging %s from %s: %w", name, path, err))
 			}
 		}
 	}
@@ -44,13 +43,13 @@ func main() {
 	switch {
 	case *merge != "":
 		if err := merged.Save(*merge); err != nil {
-			fail(err)
+			t.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "ifprobdb: wrote %d programs to %s\n", len(merged.Programs()), *merge)
 	case *dump != "":
 		p := merged.Get(*dump)
 		if p == nil {
-			fail(fmt.Errorf("no program %q in the database(s)", *dump))
+			t.Fatal(fmt.Errorf("no program %q in the database(s)", *dump))
 		}
 		fmt.Printf("program %s (datasets: %s)\n", p.Program, p.Dataset)
 		fmt.Printf("instructions %d, branches %d, taken %.1f%%, coverage %.1f%%\n",
@@ -72,4 +71,5 @@ func main() {
 				name, p.Executed(), p.Sites(), p.Dataset)
 		}
 	}
+	t.Finish()
 }

@@ -11,6 +11,7 @@
 package cli
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"branchprof/internal/engine"
+	"branchprof/internal/obs"
 	"branchprof/internal/workloads"
 )
 
@@ -39,12 +41,27 @@ type Tool struct {
 	maxRetries   *int
 	allowPartial *bool
 
+	trace       *string
+	traceChrome *string
+	metrics     *string
+	metricsAddr *string
+	pprofAddr   *string
+	vmprof      *string
+
 	engOnce sync.Once
 	eng     *engine.Engine
 
 	ctxOnce sync.Once
 	ctx     context.Context
 	cancel  context.CancelFunc
+
+	obsOnce  sync.Once
+	obsB     *obs.Obs
+	traceBuf *bytes.Buffer
+	rootSpan *obs.Span
+	servers  []*obs.Server
+
+	finishOnce sync.Once
 }
 
 // New registers the shared engine flags and returns the tool handle.
@@ -56,20 +73,123 @@ func New(name string) *Tool {
 		timeout:      flag.Duration("timeout", 0, "overall deadline for the tool's measurement work (0 = none)"),
 		maxRetries:   flag.Int("max-retries", 2, "retries for transient cache I/O faults (0 disables)"),
 		allowPartial: flag.Bool("allow-partial", false, "degrade instead of failing: keep healthy results past failed cells and annotate coverage"),
+		trace:        flag.String("trace", "", "write pipeline span trace as JSONL to this file"),
+		traceChrome:  flag.String("trace-chrome", "", "write the span trace as a Chrome trace_event file (chrome://tracing, Perfetto)"),
+		metrics:      flag.String("metrics", "", "write metrics in Prometheus text format to this file on exit"),
+		metricsAddr:  flag.String("metrics-addr", "", "serve /metrics (plus pprof) on this address while the tool runs"),
+		pprofAddr:    flag.String("pprof-addr", "", "serve net/http/pprof and /debug/vmprof on this address while the tool runs"),
+		vmprof:       flag.String("vmprof", "", "write the VM sampling profile (folded stacks, flamegraph input) to this file"),
 	}
 }
 
 // Engine returns the tool's engine, built on first use from the
-// -cache-dir and -max-retries flags.
+// -cache-dir, -max-retries and observability flags.
 func (t *Tool) Engine() *engine.Engine {
 	t.engOnce.Do(func() {
 		retries := *t.maxRetries
 		if retries <= 0 {
 			retries = -1 // engine spells "retries disabled" as negative; 0 picks its default
 		}
-		t.eng = engine.New(engine.Options{CacheDir: *t.cacheDir, MaxRetries: retries})
+		t.eng = engine.New(engine.Options{CacheDir: *t.cacheDir, MaxRetries: retries, Obs: t.Obs()})
 	})
 	return t.eng
+}
+
+// warn reports a non-fatal problem: observability is best-effort and
+// never kills a measurement.
+func (t *Tool) warn(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, t.Name+": warning: "+format+"\n", args...)
+}
+
+// Obs builds the tool's observability bundle from the -trace,
+// -trace-chrome, -metrics-addr, -pprof-addr and -vmprof flags on
+// first use, starting the HTTP servers when addresses were given. It
+// returns nil when none of those flags ask for anything, so the
+// engine's hot paths keep their disabled-sink cost (the -metrics file
+// export needs no bundle: it reads the engine's registry at Finish).
+func (t *Tool) Obs() *obs.Obs {
+	t.obsOnce.Do(func() {
+		tracing := *t.trace != "" || *t.traceChrome != ""
+		profiling := *t.vmprof != "" || *t.pprofAddr != ""
+		serving := *t.metricsAddr != "" || *t.pprofAddr != ""
+		if !tracing && !profiling && !serving {
+			return
+		}
+		o := &obs.Obs{Reg: obs.NewRegistry()}
+		if tracing {
+			t.traceBuf = &bytes.Buffer{}
+			o.Tr = obs.NewTracer(t.traceBuf, nil)
+		}
+		if profiling {
+			o.VMProf = obs.NewVMProfile()
+		}
+		t.obsB = o
+		t.rootSpan = o.Tracer().Start(nil, "tool/"+t.Name)
+		for _, addr := range []string{*t.metricsAddr, *t.pprofAddr} {
+			if addr == "" {
+				continue
+			}
+			srv, err := obs.Serve(addr, o.Reg, o.VMProf)
+			if err != nil {
+				t.warn("observability server on %s: %v", addr, err)
+				continue
+			}
+			t.servers = append(t.servers, srv)
+		}
+	})
+	return t.obsB
+}
+
+// Finish flushes every observability sink and the -stats line: the
+// trace JSONL and its Chrome conversion, the Prometheus metrics file,
+// the folded VM profile, and the HTTP servers. Idempotent; every tool
+// exit path (including Fatal) funnels through it. Sink failures warn
+// rather than fail — the measurement already succeeded.
+func (t *Tool) Finish() {
+	t.finishOnce.Do(func() {
+		// Materialize the bundle even if no engine work ran (e.g. a
+		// listing-only invocation): the flags still promise output.
+		t.Obs()
+		t.rootSpan.End()
+		if tr := t.obsB.Tracer(); tr != nil {
+			if err := tr.Err(); err != nil {
+				t.warn("%v", err)
+			}
+			if *t.trace != "" {
+				if err := os.WriteFile(*t.trace, t.traceBuf.Bytes(), 0o644); err != nil {
+					t.warn("writing -trace: %v", err)
+				}
+			}
+			if *t.traceChrome != "" {
+				var out bytes.Buffer
+				if err := obs.WriteChromeTrace(&out, bytes.NewReader(t.traceBuf.Bytes())); err != nil {
+					t.warn("converting -trace-chrome: %v", err)
+				} else if err := os.WriteFile(*t.traceChrome, out.Bytes(), 0o644); err != nil {
+					t.warn("writing -trace-chrome: %v", err)
+				}
+			}
+		}
+		if *t.metrics != "" {
+			var out bytes.Buffer
+			if err := t.Engine().Registry().WritePrometheus(&out); err != nil {
+				t.warn("rendering -metrics: %v", err)
+			} else if err := os.WriteFile(*t.metrics, out.Bytes(), 0o644); err != nil {
+				t.warn("writing -metrics: %v", err)
+			}
+		}
+		if vp := t.obsB.VMProfile(); vp != nil && *t.vmprof != "" {
+			var out bytes.Buffer
+			if err := vp.WriteFolded(&out); err != nil {
+				t.warn("rendering -vmprof: %v", err)
+			} else if err := os.WriteFile(*t.vmprof, out.Bytes(), 0o644); err != nil {
+				t.warn("writing -vmprof: %v", err)
+			}
+		}
+		for _, srv := range t.servers {
+			srv.Close()
+		}
+		t.PrintStats()
+	})
 }
 
 // Context returns the tool's root context, honouring -timeout, and
@@ -84,6 +204,11 @@ func (t *Tool) Context() context.Context {
 			t.ctx, t.cancel = context.WithTimeout(context.Background(), *t.timeout)
 		} else {
 			t.ctx, t.cancel = context.WithCancel(context.Background())
+		}
+		// With tracing on, hang the tool-level root span on the context
+		// so every pipeline span nests under it.
+		if t.Obs() != nil && t.rootSpan != nil {
+			t.ctx = obs.ContextWithSpan(t.ctx, t.rootSpan)
 		}
 		ch := make(chan os.Signal, 2)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
@@ -111,11 +236,12 @@ func (t *Tool) PrintStats() {
 }
 
 // Fatal reports err prefixed with the tool name and exits 1. The
-// -stats output is flushed first, so a cancelled or failed run still
-// reports what the pipeline managed to do — the paper's methodology
-// leans on knowing how much measurement a run completed.
+// observability sinks and -stats output are flushed first, so a
+// cancelled or failed run still reports what the pipeline managed to
+// do — the paper's methodology leans on knowing how much measurement
+// a run completed.
 func (t *Tool) Fatal(err error) {
-	t.PrintStats()
+	t.Finish()
 	fmt.Fprintf(os.Stderr, "%s: %v\n", t.Name, err)
 	os.Exit(1)
 }

@@ -38,6 +38,7 @@ func main() {
 	}
 	if *list {
 		fmt.Print(isa.Disasm(prog))
+		t.Finish()
 		return
 	}
 	input, err := cli.ReadInput(*inPath)
@@ -51,5 +52,5 @@ func main() {
 	os.Stdout.Write(res.Output)
 	fmt.Fprintf(os.Stderr, "exit %d after %d instructions, %d branches (%d taken)\n",
 		res.ExitCode, res.Instrs, res.CondBranches(), res.TakenBranches())
-	t.PrintStats()
+	t.Finish()
 }

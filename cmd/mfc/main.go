@@ -46,5 +46,5 @@ func main() {
 				s.ID, s.Label, s.Line, s.Col, s.Func, s.LoopDepth, back)
 		}
 	}
-	t.PrintStats()
+	t.Finish()
 }

@@ -46,5 +46,5 @@ func main() {
 		t.Fatal(err)
 	}
 	fmt.Print(rep.String())
-	t.PrintStats()
+	t.Finish()
 }

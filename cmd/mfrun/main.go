@@ -66,5 +66,5 @@ func main() {
 		}
 		fmt.Fprint(os.Stderr, rep.String())
 	}
-	t.PrintStats()
+	t.Finish()
 }

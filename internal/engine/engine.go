@@ -47,6 +47,7 @@ import (
 	"branchprof/internal/ifprob"
 	"branchprof/internal/isa"
 	"branchprof/internal/mfc"
+	"branchprof/internal/obs"
 	"branchprof/internal/vm"
 )
 
@@ -70,6 +71,12 @@ type Options struct {
 	// RetryBackoff is the base backoff between retries (doubled per
 	// attempt, plus jitter); 0 means the default of 500µs.
 	RetryBackoff time.Duration
+	// Obs, when non-nil, supplies the observability sinks: a clock for
+	// stage timing, a span tracer, a metrics registry and a VM sampling
+	// profile. Nil costs one pointer comparison on hot paths; the
+	// engine then times stages with time.Now and registers its counters
+	// on a private registry so Stats keeps working.
+	Obs *obs.Obs
 }
 
 // Engine is the shared compile→run→profile pipeline. It is safe for
@@ -82,6 +89,8 @@ type Engine struct {
 	faults     *faults.Set
 	maxRetries int
 	backoff    time.Duration
+	obs        *obs.Obs // may be nil; every use is nil-safe
+	reg        *obs.Registry
 	st         counters
 
 	mu       sync.Mutex
@@ -104,6 +113,10 @@ func New(opts Options) *Engine {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 500 * time.Microsecond
 	}
+	reg := opts.Obs.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	e := &Engine{
 		workers:    opts.Workers,
 		mem:        newLRU(opts.MemEntries),
@@ -111,12 +124,47 @@ func New(opts Options) *Engine {
 		faults:     opts.Faults,
 		maxRetries: opts.MaxRetries,
 		backoff:    opts.RetryBackoff,
+		obs:        opts.Obs,
+		reg:        reg,
+		st:         newCounters(reg),
 		inflight:   make(map[string]*call),
 	}
 	if opts.CacheDir != "" {
 		e.disk = &diskCache{dir: opts.CacheDir, faults: opts.Faults}
 	}
 	return e
+}
+
+// Obs returns the engine's observability bundle (possibly nil).
+func (e *Engine) Obs() *obs.Obs { return e.obs }
+
+// Registry returns the metrics registry the engine's counters live
+// on: the one Options.Obs carried, or the engine's private registry
+// when observability was not configured. Never nil.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// now reads the engine's clock: the injected observability clock when
+// configured, time.Now otherwise.
+func (e *Engine) now() time.Time { return e.obs.Now() }
+
+// span opens a pipeline-stage span under the span carried by ctx.
+// With tracing off it returns ctx and a nil (no-op) span after one
+// pointer comparison.
+func (e *Engine) span(ctx context.Context, name, program, dataset string) (context.Context, *obs.Span) {
+	if !e.obs.Tracing() {
+		return ctx, nil
+	}
+	attrs := []obs.Attr{obs.A("program", program)}
+	if dataset != "" {
+		attrs = append(attrs, obs.A("dataset", dataset))
+	}
+	return e.obs.Start(ctx, name, attrs...)
+}
+
+// endSpan records err (if any) on sp and closes it.
+func endSpan(sp *obs.Span, err error) {
+	sp.SetError(err)
+	sp.End()
 }
 
 var (
@@ -242,17 +290,21 @@ func (e *Engine) CompileContext(ctx context.Context, name, source string, opts m
 			return p.(*isa.Program), nil
 		}
 		var prog *isa.Program
+		_, sp := e.span(ctx, "compile", name, "")
 		err := e.stage(faults.Compile, name, "", func() error {
-			start := time.Now()
+			start := e.now()
 			p, err := mfc.Compile(name, source, opts)
 			if err != nil {
 				return err
 			}
+			d := e.now().Sub(start)
 			e.st.compiles.Add(1)
-			e.st.compileNS.Add(int64(time.Since(start)))
+			e.st.compileNS.Add(uint64(d))
+			e.st.compileLat.Observe(d.Seconds())
 			prog = p
 			return nil
 		})
+		endSpan(sp, err)
 		if err != nil {
 			return nil, err
 		}
@@ -283,16 +335,20 @@ func (e *Engine) ExecuteContext(ctx context.Context, spec Spec) (*Outcome, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, esp := e.span(ctx, "execute", spec.Name, spec.Dataset)
 	if spec.Config.Trace != nil {
 		prog, err := e.CompileContext(ctx, spec.Name, spec.Source, spec.Options)
 		if err != nil {
+			endSpan(esp, err)
 			return nil, err
 		}
 		res, err := e.runStage(ctx, prog, &spec)
 		if err != nil {
+			endSpan(esp, err)
 			return nil, err
 		}
-		prof, err := e.profileStage(&spec, res)
+		prof, err := e.profileStage(ctx, &spec, res)
+		endSpan(esp, err)
 		if err != nil {
 			return nil, err
 		}
@@ -301,9 +357,12 @@ func (e *Engine) ExecuteContext(ctx context.Context, spec Spec) (*Outcome, error
 	key := spec.key()
 	v, err := e.once(ctx, "exec:"+key, func() (any, error) { return e.execute(ctx, &spec, key) })
 	if err != nil {
+		endSpan(esp, err)
 		return nil, err
 	}
 	out := v.(*Outcome)
+	esp.SetAttr("cache_hit", out.CacheHit)
+	esp.End()
 	// Hand every caller its own counters: cached outcomes are shared
 	// state, and experiment code is free to mutate what it is given.
 	return &Outcome{
@@ -332,7 +391,10 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, key string) (*Outcome,
 
 	label := specLabel(spec.Name, spec.Dataset)
 	if e.disk != nil {
+		_, sp := e.span(ctx, "cache.load", spec.Name, spec.Dataset)
 		res, prof, ok := e.diskLoad(key, label, prog)
+		sp.SetAttr("hit", ok)
+		sp.End()
 		if ok {
 			out := &Outcome{Prog: prog, Res: res, Prof: prof, CacheHit: true}
 			e.mem.add(key, out)
@@ -347,14 +409,16 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, key string) (*Outcome,
 	if err != nil {
 		return nil, err
 	}
-	prof, err := e.profileStage(spec, res)
+	prof, err := e.profileStage(ctx, spec, res)
 	if err != nil {
 		return nil, err
 	}
 	out := &Outcome{Prog: prog, Res: res, Prof: prof}
 	e.mem.add(key, out)
 	if e.disk != nil {
+		_, sp := e.span(ctx, "cache.store", spec.Name, spec.Dataset)
 		e.diskStore(key, label, res, prof)
+		sp.End()
 	}
 	return out, nil
 }
@@ -364,6 +428,7 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, key string) (*Outcome,
 // so cancellation interrupts even a long interpretation.
 func (e *Engine) runStage(ctx context.Context, prog *isa.Program, spec *Spec) (*vm.Result, error) {
 	var res *vm.Result
+	ctx, sp := e.span(ctx, "run", spec.Name, spec.Dataset)
 	err := e.stage(faults.Run, spec.Name, spec.Dataset, func() error {
 		cfg := spec.Config
 		cfg.Done = ctx.Done()
@@ -377,17 +442,23 @@ func (e *Engine) runStage(ctx context.Context, prog *isa.Program, spec *Spec) (*
 		res = r
 		return nil
 	})
+	if res != nil {
+		sp.SetAttr("instrs", res.Instrs)
+	}
+	endSpan(sp, err)
 	return res, err
 }
 
 // profileStage extracts spec's branch profile as the
 // fault-instrumented, panic-recovered "profile" stage.
-func (e *Engine) profileStage(spec *Spec, res *vm.Result) (*ifprob.Profile, error) {
+func (e *Engine) profileStage(ctx context.Context, spec *Spec, res *vm.Result) (*ifprob.Profile, error) {
 	var prof *ifprob.Profile
+	_, sp := e.span(ctx, "profile", spec.Name, spec.Dataset)
 	err := e.stage(faults.Profile, spec.Name, spec.Dataset, func() error {
 		prof = e.profile(spec, res)
 		return nil
 	})
+	endSpan(sp, err)
 	return prof, err
 }
 
@@ -543,32 +614,60 @@ func (e *Engine) RunContext(ctx context.Context, prog *isa.Program, contentKey s
 // runCtx wires ctx's done channel into the VM configuration and maps
 // a cancellation trap back to the context's own error.
 func (e *Engine) runCtx(ctx context.Context, prog *isa.Program, input []byte, cfg *vm.Config) (*vm.Result, error) {
+	ctx, sp := e.span(ctx, "run", prog.Source, "")
 	cfg.Done = ctx.Done()
 	res, err := e.run(prog, input, cfg)
 	if err != nil && errors.Is(err, vm.ErrCancelled) && ctx.Err() != nil {
-		return nil, fmt.Errorf("%w (%v)", ctx.Err(), err)
+		err = fmt.Errorf("%w (%v)", ctx.Err(), err)
+		res = nil
 	}
+	if res != nil {
+		sp.SetAttr("instrs", res.Instrs)
+	}
+	endSpan(sp, err)
 	return res, err
 }
 
 // run is the timed, counted VM execution every path funnels through.
+// When a VM sampling profile is configured (and the caller did not
+// install its own Sample hook), the run feeds stack samples into it.
 func (e *Engine) run(prog *isa.Program, input []byte, cfg *vm.Config) (*vm.Result, error) {
-	start := time.Now()
+	if vp := e.obs.VMProfile(); vp != nil && cfg.Sample == nil {
+		cfg.Sample = vp.Sampler(funcNames(prog))
+	}
+	start := e.now()
 	res, err := vm.Run(prog, input, cfg)
-	e.st.runNS.Add(int64(time.Since(start)))
+	d := e.now().Sub(start)
+	e.st.runNS.Add(uint64(d))
 	e.st.runs.Add(1)
+	e.st.runLat.Observe(d.Seconds())
 	if res != nil {
 		e.st.instrs.Add(res.Instrs)
+		if secs := d.Seconds(); secs > 0 {
+			e.st.mips.Observe(float64(res.Instrs) / secs / 1e6)
+		}
 	}
 	return res, err
 }
 
+// funcNames maps a program's function indices to their names for the
+// folded-stack sampler.
+func funcNames(prog *isa.Program) []string {
+	names := make([]string, len(prog.Funcs))
+	for i := range prog.Funcs {
+		names[i] = prog.Funcs[i].Name
+	}
+	return names
+}
+
 // profile is the timed profile-extraction stage.
 func (e *Engine) profile(spec *Spec, res *vm.Result) *ifprob.Profile {
-	start := time.Now()
+	start := e.now()
 	prof := ifprob.FromRun(spec.Name, spec.Dataset, res)
-	e.st.profileNS.Add(int64(time.Since(start)))
+	d := e.now().Sub(start)
+	e.st.profileNS.Add(uint64(d))
 	e.st.profiles.Add(1)
+	e.st.profileLat.Observe(d.Seconds())
 	return prof
 }
 

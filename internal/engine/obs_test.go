@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"branchprof/internal/obs"
+)
+
+const obsLoopSrc = `
+func main() int {
+	var i int = 0;
+	var s int = 0;
+	while (i < 20000) {
+		s = s + i;
+		i = i + 1;
+	}
+	return s;
+}
+`
+
+var obsEpoch = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+// obsEngine builds a fresh engine with a deterministic clock, a JSONL
+// tracer into buf, and its own registry.
+func obsEngine(buf *strings.Builder) *Engine {
+	clock := obs.StepClock(obsEpoch, time.Millisecond)
+	o := &obs.Obs{
+		Clock: clock,
+		Reg:   obs.NewRegistry(),
+		Tr:    obs.NewTracer(buf, clock),
+	}
+	return New(Options{Obs: o, Workers: 1})
+}
+
+func obsSpec() Spec {
+	return Spec{Name: "loop", Source: obsLoopSrc, Dataset: "d0"}
+}
+
+// TestObsTraceDeterministicGolden runs the identical pipeline on two
+// fresh engines under the same step clock and requires byte-identical
+// JSONL traces — the determinism contract golden tests rely on — then
+// checks the span structure: compile/run/profile nested under
+// execute, with per-cell attributes.
+func TestObsTraceDeterministicGolden(t *testing.T) {
+	emit := func() string {
+		var buf strings.Builder
+		e := obsEngine(&buf)
+		if _, err := e.Execute(obsSpec()); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Obs().Tracer().Err(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := emit(), emit()
+	if a != b {
+		t.Fatalf("identical pipelines produced different traces:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+
+	spans := decodeSpans(t, a)
+	byName := map[string]obs.SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	exec, ok := byName["execute"]
+	if !ok {
+		t.Fatalf("no execute span in trace:\n%s", a)
+	}
+	if exec.Parent != 0 {
+		t.Errorf("execute span has parent %d, want root", exec.Parent)
+	}
+	if exec.Attrs["program"] != "loop" || exec.Attrs["dataset"] != "d0" {
+		t.Errorf("execute attrs = %v", exec.Attrs)
+	}
+	if exec.Attrs["cache_hit"] != false {
+		t.Errorf("execute cache_hit = %v, want false", exec.Attrs["cache_hit"])
+	}
+	for _, stage := range []string{"compile", "run", "profile"} {
+		s, ok := byName[stage]
+		if !ok {
+			t.Fatalf("no %s span in trace:\n%s", stage, a)
+		}
+		if s.Parent != exec.Span {
+			t.Errorf("%s span parent = %d, want execute (%d)", stage, s.Parent, exec.Span)
+		}
+	}
+	if _, ok := byName["run"].Attrs["instrs"]; !ok {
+		t.Error("run span missing instrs attribute")
+	}
+
+	// A second Execute on a warm engine is a memory hit: one execute
+	// span, cache_hit=true, no stage spans.
+	var buf strings.Builder
+	e := obsEngine(&buf)
+	if _, err := e.Execute(obsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := e.Execute(obsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	warm := decodeSpans(t, buf.String())
+	if len(warm) != 1 || warm[0].Name != "execute" || warm[0].Attrs["cache_hit"] != true {
+		t.Errorf("warm-hit trace = %+v, want single execute span with cache_hit=true", warm)
+	}
+}
+
+func decodeSpans(t *testing.T, jsonl string) []obs.SpanRecord {
+	t.Helper()
+	var out []obs.SpanRecord
+	sc := bufio.NewScanner(strings.NewReader(jsonl))
+	for sc.Scan() {
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// TestObsCacheSpans: with a disk cache, the cold path emits
+// cache.load (hit=false) and cache.store, the disk-warm path emits
+// cache.load (hit=true).
+func TestObsCacheSpans(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	clock := obs.StepClock(obsEpoch, time.Millisecond)
+	o := &obs.Obs{Clock: clock, Tr: obs.NewTracer(&buf, clock)}
+	e := New(Options{Obs: o, CacheDir: dir, Workers: 1})
+	if _, err := e.Execute(obsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	cold := decodeSpans(t, buf.String())
+	var sawLoad, sawStore bool
+	for _, s := range cold {
+		switch s.Name {
+		case "cache.load":
+			sawLoad = true
+			if s.Attrs["hit"] != false {
+				t.Errorf("cold cache.load hit = %v", s.Attrs["hit"])
+			}
+		case "cache.store":
+			sawStore = true
+		}
+	}
+	if !sawLoad || !sawStore {
+		t.Fatalf("cold trace missing cache spans (load=%t store=%t):\n%s", sawLoad, sawStore, buf.String())
+	}
+
+	// Fresh engine, same dir: disk hit.
+	buf.Reset()
+	e2 := New(Options{Obs: o, CacheDir: dir, Workers: 1})
+	out, err := e2.Execute(obsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Fatal("expected disk cache hit")
+	}
+	for _, s := range decodeSpans(t, buf.String()) {
+		if s.Name == "cache.load" && s.Attrs["hit"] != true {
+			t.Errorf("warm cache.load hit = %v", s.Attrs["hit"])
+		}
+		if s.Name == "run" {
+			t.Error("disk hit should not emit a run span")
+		}
+	}
+}
+
+// TestObsMetricsRegistry: the engine's counters surface through the
+// registry in Prometheus text form, agree with Stats, and two
+// identical deterministic runs export identical bytes.
+func TestObsMetricsRegistry(t *testing.T) {
+	export := func() (string, Stats, *Engine) {
+		var buf strings.Builder
+		e := obsEngine(&buf)
+		if _, err := e.Execute(obsSpec()); err != nil {
+			t.Fatal(err)
+		}
+		var prom strings.Builder
+		if err := e.Registry().WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		return prom.String(), e.Stats(), e
+	}
+	text, st, _ := export()
+	for _, want := range []string{
+		`branchprof_engine_stage_total{stage="compile"} 1`,
+		`branchprof_engine_stage_total{stage="run"} 1`,
+		`branchprof_engine_stage_total{stage="profile"} 1`,
+		fmt.Sprintf("branchprof_engine_instructions_total %d", st.Instrs),
+		fmt.Sprintf(`branchprof_engine_stage_ns_total{stage="run"} %d`, st.RunWall.Nanoseconds()),
+		`branchprof_engine_cache_total{layer="mem",result="miss"} 1`,
+		`branchprof_engine_cache_mem_hit_ratio 0`,
+		`branchprof_engine_stage_seconds_count{stage="run"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("export missing %q:\n%s", want, text)
+		}
+	}
+	if st.Runs != 1 || st.Compiles != 1 || st.Profiles != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	text2, _, _ := export()
+	if text != text2 {
+		t.Errorf("identical runs exported different metrics:\n--- a ---\n%s--- b ---\n%s", text, text2)
+	}
+}
+
+// TestObsEngineWithoutObs: a plain engine still has a registry and
+// Stats keeps working — the counters live on a private registry.
+func TestObsEngineWithoutObs(t *testing.T) {
+	e := New(Options{Workers: 1})
+	if e.Obs() != nil {
+		t.Fatal("plain engine reports an Obs bundle")
+	}
+	if e.Registry() == nil {
+		t.Fatal("plain engine has no registry")
+	}
+	if _, err := e.Execute(obsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Runs != 1 {
+		t.Errorf("Runs = %d, want 1", st.Runs)
+	}
+	var prom strings.Builder
+	if err := e.Registry().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `branchprof_engine_stage_total{stage="run"} 1`) {
+		t.Error("private registry missing run counter")
+	}
+}
+
+// TestObsVMSampleProfile: runs long enough to cross several 4096-
+// instruction poll windows produce folded stack samples naming the
+// program's functions.
+func TestObsVMSampleProfile(t *testing.T) {
+	vp := obs.NewVMProfile()
+	e := New(Options{Obs: &obs.Obs{VMProf: vp}, Workers: 1})
+	if _, err := e.Execute(obsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if vp.Total() == 0 {
+		t.Fatal("no VM samples collected")
+	}
+	samples := vp.Samples()
+	if samples["main"] == 0 {
+		t.Fatalf("samples = %v, want main stacks", samples)
+	}
+	var folded strings.Builder
+	if err := vp.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(folded.String(), "main ") {
+		t.Fatalf("folded output = %q", folded.String())
+	}
+}
+
+// TestObsStatsSnapshotInvariants hammers the engine from several
+// goroutines while snapshotting Stats concurrently, asserting the
+// invariants the documented load ordering guarantees:
+// Profiles ≤ Runs and DiskHits+DiskMisses ≤ MemMisses. Runs under
+// -race via make obs / make race.
+func TestObsStatsSnapshotInvariants(t *testing.T) {
+	e := New(Options{CacheDir: t.TempDir(), Workers: 4})
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := e.Stats()
+			if st.Profiles > st.Runs {
+				snapErr = fmt.Errorf("torn snapshot: Profiles %d > Runs %d", st.Profiles, st.Runs)
+				return
+			}
+			if st.DiskHits+st.DiskMisses > st.MemMisses {
+				snapErr = fmt.Errorf("torn snapshot: disk lookups %d > MemMisses %d",
+					st.DiskHits+st.DiskMisses, st.MemMisses)
+				return
+			}
+		}
+	}()
+
+	err := e.Parallel(32, func(i int) error {
+		spec := obsSpec()
+		// Vary the source so every cell is a genuine miss.
+		spec.Source = strings.Replace(obsLoopSrc, "20000", fmt.Sprintf("%d", 1000+i), 1)
+		spec.Name = fmt.Sprintf("loop%d", i)
+		_, err := e.ExecuteContext(context.Background(), spec)
+		return err
+	})
+	close(stop)
+	snapWG.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	// Final quiesced snapshot is exact.
+	st := e.Stats()
+	if st.Runs != 32 || st.Profiles != 32 || st.MemMisses != 32 {
+		t.Errorf("final stats = %+v", st)
+	}
+}

@@ -3,6 +3,7 @@ package exp
 import (
 	"bytes"
 	"fmt"
+	"math"
 
 	"branchprof/internal/breaks"
 	"branchprof/internal/engine"
@@ -17,6 +18,21 @@ import (
 func ipb(r *Run, pr *predict.Prediction) (float64, error) {
 	v, _, err := breaks.WithPrediction(r.Res, r.Prof, pr)
 	return v, err
+}
+
+// pctOf is v/self as a fraction, defined at the +Inf sentinel a
+// break-free run produces (breaks.InstrsPerBreak): when both
+// predictor and self are break-free the predictor is perfect (1);
+// a finite predictor against an infinite self contributes 0 rather
+// than NaN/Inf reaching a report writer.
+func pctOf(v, self float64) float64 {
+	if math.IsInf(self, 1) {
+		if math.IsInf(v, 1) {
+			return 1
+		}
+		return 0
+	}
+	return v / self
 }
 
 // selfPrediction is the oracle: the run predicts itself.
@@ -117,6 +133,7 @@ type Table3Row struct {
 // Table3 computes the self-predicted instructions per break for the
 // low-variability FORTRAN programs.
 func Table3(s *Suite) ([]Table3Row, error) {
+	defer s.span("predict.table3").End()
 	var rows []Table3Row
 	for _, name := range table3Programs {
 		p, err := s.program(name)
@@ -156,6 +173,7 @@ type Fig1Row struct {
 // Figure1 computes the unpredicted break densities for one language
 // class.
 func Figure1(s *Suite, lang workloads.Lang) []Fig1Row {
+	defer s.span("predict.figure1").End()
 	var rows []Fig1Row
 	for _, p := range s.Programs {
 		if p.Workload.Lang != lang {
@@ -191,6 +209,7 @@ type Fig2Row struct {
 // spice2g6 in 2a and the C programs in 2b). Programs with a single
 // dataset are skipped — there are no "other datasets" to sum.
 func Figure2(s *Suite, programs []string) ([]Fig2Row, error) {
+	defer s.span("predict.figure2").End()
 	var rows []Fig2Row
 	for _, name := range programs {
 		p, err := s.program(name)
@@ -266,6 +285,7 @@ type Fig3Row struct {
 // Figure3 computes the pairwise prediction matrix for the named
 // programs.
 func Figure3(s *Suite, programs []string) ([]Fig3Row, error) {
+	defer s.span("predict.figure3").End()
 	var rows []Fig3Row
 	for _, name := range programs {
 		p, err := s.program(name)
@@ -297,7 +317,7 @@ func Figure3(s *Suite, programs []string) ([]Fig3Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				pct := 100 * v / selfIPB
+				pct := 100 * pctOf(v, selfIPB)
 				if row.BestPct < 0 || pct > row.BestPct {
 					row.BestPct, row.BestDS = pct, other.Dataset
 				}
@@ -362,6 +382,7 @@ type CombinedRow struct {
 
 // CombinedComparison evaluates every combination mode everywhere.
 func CombinedComparison(s *Suite) ([]CombinedRow, error) {
+	defer s.span("predict.combined").End()
 	var rows []CombinedRow
 	for _, p := range s.Programs {
 		if !p.Multi() {
@@ -412,11 +433,14 @@ func (h HeuristicRow) Factor() float64 {
 	if h.LoopHeur == 0 {
 		return 0
 	}
-	return h.Profile / h.LoopHeur
+	// A zero-branch run makes both sides +Inf; report the ratio as 1
+	// (equally perfect) instead of NaN.
+	return pctOf(h.Profile, h.LoopHeur)
 }
 
 // HeuristicComparison evaluates heuristic predictors everywhere.
 func HeuristicComparison(s *Suite) ([]HeuristicRow, error) {
+	defer s.span("predict.heuristics").End()
 	var rows []HeuristicRow
 	for _, p := range s.Programs {
 		for i, r := range p.Runs {

@@ -205,7 +205,7 @@ func Coverage(s *Suite) ([]CoverageRow, error) {
 					Predictor: pred.Dataset,
 					Target:    target.Dataset,
 					Coverage:  cov,
-					PctOfSelf: v / selfIPB,
+					PctOfSelf: pctOf(v, selfIPB),
 				})
 			}
 		}

@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+)
+
+// encoding/json refuses NaN and ±Inf float64 values, and both occur
+// legitimately in degraded or zero-branch reports: InstrsPerBreak is
+// +Inf for a run with no breaks (see breaks.Breakdown), and ratios of
+// two such sentinels can surface NaN. MarshalSafe and EncodeSafe are
+// the render paths every JSON writer in this repository routes
+// through: healthy values marshal byte-identically to encoding/json
+// (the plain marshal is tried first), and only a document that
+// actually trips the encoder is re-walked with the non-finite floats
+// re-encoded as the strings "+Inf", "-Inf" and "NaN".
+
+// MarshalSafe marshals v, falling back to the sanitized form when v
+// contains non-finite floats.
+func MarshalSafe(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err == nil {
+		return b, nil
+	}
+	return json.Marshal(SafeJSON(v))
+}
+
+// EncodeSafe writes v to w as indented JSON, sanitizing non-finite
+// floats if the plain encoding fails. Encoder.Encode buffers the whole
+// document before writing, so a failed first attempt writes nothing.
+func EncodeSafe(w io.Writer, v any, indent string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", indent)
+	if err := enc.Encode(v); err == nil {
+		return nil
+	}
+	enc2 := json.NewEncoder(w)
+	enc2.SetIndent("", indent)
+	return enc2.Encode(SafeJSON(v))
+}
+
+var jsonMarshalerType = reflect.TypeOf((*json.Marshaler)(nil)).Elem()
+
+// SafeJSON returns a marshal-safe shadow of v: the same JSON shape
+// (field names, json tags, omitempty) with every non-finite float
+// replaced by its string name. Types that marshal themselves
+// (json.Marshaler, e.g. time.Time) pass through untouched.
+func SafeJSON(v any) any {
+	return sanitizeJSON(reflect.ValueOf(v))
+}
+
+func sanitizeJSON(rv reflect.Value) any {
+	if !rv.IsValid() {
+		return nil
+	}
+	if rv.Type().Implements(jsonMarshalerType) {
+		if rv.Kind() == reflect.Pointer && rv.IsNil() {
+			return nil
+		}
+		return rv.Interface()
+	}
+	switch rv.Kind() {
+	case reflect.Interface, reflect.Pointer:
+		if rv.IsNil() {
+			return nil
+		}
+		return sanitizeJSON(rv.Elem())
+	case reflect.Float32, reflect.Float64:
+		f := rv.Float()
+		switch {
+		case math.IsInf(f, 1):
+			return "+Inf"
+		case math.IsInf(f, -1):
+			return "-Inf"
+		case math.IsNaN(f):
+			return "NaN"
+		}
+		return f
+	case reflect.Slice:
+		if rv.IsNil() {
+			return nil
+		}
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			// []byte marshals to base64; keep that encoding.
+			return rv.Interface()
+		}
+		return sanitizeSeq(rv)
+	case reflect.Array:
+		return sanitizeSeq(rv)
+	case reflect.Map:
+		if rv.IsNil() {
+			return nil
+		}
+		out := make(map[string]any, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			k := iter.Key()
+			var ks string
+			if k.Kind() == reflect.String {
+				ks = k.String()
+			} else {
+				ks = fmt.Sprint(k.Interface())
+			}
+			out[ks] = sanitizeJSON(iter.Value())
+		}
+		return out
+	case reflect.Struct:
+		return sanitizeStruct(rv)
+	default:
+		return rv.Interface()
+	}
+}
+
+func sanitizeSeq(rv reflect.Value) any {
+	out := make([]any, rv.Len())
+	for i := range out {
+		out[i] = sanitizeJSON(rv.Index(i))
+	}
+	return out
+}
+
+// sanitizeStruct mirrors encoding/json's field selection: exported
+// fields only, honouring the json tag's name, "-" and omitempty.
+func sanitizeStruct(rv reflect.Value) any {
+	t := rv.Type()
+	out := make(map[string]any, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" {
+			// Unexported: dropped, except an untagged embedded struct,
+			// whose exported fields encoding/json promotes.
+			if !f.Anonymous || f.Type.Kind() != reflect.Struct || hasJSONTag(f) {
+				continue
+			}
+		}
+		name := f.Name
+		var omitempty bool
+		if tag, ok := f.Tag.Lookup("json"); ok {
+			parts := strings.Split(tag, ",")
+			if parts[0] == "-" && len(parts) == 1 {
+				continue
+			}
+			if parts[0] != "" {
+				name = parts[0]
+			}
+			for _, p := range parts[1:] {
+				if p == "omitempty" {
+					omitempty = true
+				}
+			}
+		}
+		fv := rv.Field(i)
+		if f.Anonymous && f.Type.Kind() == reflect.Struct && !hasJSONTag(f) {
+			// Embedded struct: inline its fields, as encoding/json does.
+			if inner, ok := sanitizeStruct(fv).(map[string]any); ok {
+				for k, v := range inner {
+					if _, taken := out[k]; !taken {
+						out[k] = v
+					}
+				}
+			}
+			continue
+		}
+		if omitempty && isEmptyJSONValue(fv) {
+			continue
+		}
+		out[name] = sanitizeJSON(fv)
+	}
+	return out
+}
+
+func hasJSONTag(f reflect.StructField) bool {
+	_, ok := f.Tag.Lookup("json")
+	return ok
+}
+
+// isEmptyJSONValue matches encoding/json's omitempty emptiness.
+func isEmptyJSONValue(rv reflect.Value) bool {
+	switch rv.Kind() {
+	case reflect.Array, reflect.Map, reflect.Slice, reflect.String:
+		return rv.Len() == 0
+	case reflect.Bool:
+		return !rv.Bool()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return rv.Int() == 0
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return rv.Uint() == 0
+	case reflect.Float32, reflect.Float64:
+		return rv.Float() == 0
+	case reflect.Interface, reflect.Pointer:
+		return rv.IsNil()
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"branchprof/internal/breaks"
+	"branchprof/internal/vm"
+)
+
+// Healthy documents must render byte-identically to encoding/json:
+// the sanitizer only runs when the plain marshal fails.
+func TestMarshalSafeHealthyByteIdentical(t *testing.T) {
+	type inner struct {
+		A float64 `json:"a"`
+		B string  `json:"b,omitempty"`
+	}
+	vals := []any{
+		42,
+		"hello",
+		[]float64{1.5, -2, 0},
+		map[string]inner{"x": {A: 3.25, B: "y"}},
+		struct {
+			Rows []inner
+			N    int
+			When time.Time
+		}{Rows: []inner{{A: 1}}, N: 7, When: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)},
+		nil,
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MarshalSafe(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("MarshalSafe(%v) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+func TestMarshalSafeNonFinite(t *testing.T) {
+	type row struct {
+		IPB  float64 `json:"ipb"`
+		Pct  float64 `json:"pct"`
+		Name string  `json:"name"`
+	}
+	v := struct {
+		Rows []row
+		M    map[string]float64
+	}{
+		Rows: []row{{IPB: math.Inf(1), Pct: math.NaN(), Name: "zb"}},
+		M:    map[string]float64{"neg": math.Inf(-1), "ok": 2.5},
+	}
+	if _, err := json.Marshal(v); err == nil {
+		t.Fatal("fixture no longer trips encoding/json; test is vacuous")
+	}
+	b, err := MarshalSafe(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatalf("MarshalSafe produced invalid JSON: %s", b)
+	}
+	var back struct {
+		Rows []map[string]any
+		M    map[string]any
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows[0]["ipb"] != "+Inf" || back.Rows[0]["pct"] != "NaN" || back.Rows[0]["name"] != "zb" {
+		t.Errorf("sanitized row = %v", back.Rows[0])
+	}
+	if back.M["neg"] != "-Inf" || back.M["ok"] != 2.5 {
+		t.Errorf("sanitized map = %v", back.M)
+	}
+}
+
+// The motivating case: a zero-break run's InstrsPerBreak is +Inf by
+// design (see breaks.Breakdown), and a report row carrying it must
+// still render as JSON.
+func TestMarshalSafeZeroBreakBreakdown(t *testing.T) {
+	b := breaks.Count(&vm.Result{Instrs: 100}, 0, breaks.Predicted)
+	row := struct {
+		Program string  `json:"program"`
+		IPB     float64 `json:"instrs_per_break"`
+	}{"zerobranch", b.InstrsPerBreak()}
+	out, err := MarshalSafe(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(out) || !strings.Contains(string(out), `"instrs_per_break":"+Inf"`) {
+		t.Errorf("breakdown row rendered as %s", out)
+	}
+}
+
+func TestEncodeSafe(t *testing.T) {
+	var buf bytes.Buffer
+	healthy := map[string]float64{"a": 1}
+	if err := EncodeSafe(&buf, healthy, "  "); err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	enc := json.NewEncoder(&plain)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(healthy); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != plain.String() {
+		t.Errorf("healthy EncodeSafe = %q, want %q", buf.String(), plain.String())
+	}
+
+	buf.Reset()
+	if err := EncodeSafe(&buf, map[string]float64{"inf": math.Inf(1)}, "  "); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("EncodeSafe wrote invalid JSON: %s", buf.Bytes())
+	}
+	if !strings.Contains(buf.String(), `"+Inf"`) {
+		t.Errorf("EncodeSafe output = %q", buf.String())
+	}
+}
+
+func TestSafeJSONStructureMirrorsEncodingJSON(t *testing.T) {
+	type embedded struct {
+		E int `json:"e"`
+	}
+	v := struct {
+		embedded
+		Skip   string `json:"-"`
+		Named  int    `json:"renamed"`
+		Empty  []int  `json:"empty,omitempty"`
+		hidden int
+		Ptr    *float64
+		Bytes  []byte `json:"bytes"`
+	}{embedded: embedded{E: 5}, Skip: "x", Named: 2, hidden: 9, Bytes: []byte("hi")}
+	want, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(SafeJSON(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b map[string]any
+	if err := json.Unmarshal(want, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("SafeJSON shape %v, want %v", b, a)
+	}
+	for k, wv := range a {
+		if gv, ok := b[k]; !ok || !jsonEq(gv, wv) {
+			t.Errorf("key %q: SafeJSON %v, encoding/json %v", k, b[k], wv)
+		}
+	}
+}
+
+func jsonEq(a, b any) bool {
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	return bytes.Equal(ab, bb)
+}

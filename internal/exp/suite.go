@@ -12,6 +12,7 @@ import (
 	"branchprof/internal/engine"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/isa"
+	"branchprof/internal/obs"
 	"branchprof/internal/vm"
 	"branchprof/internal/workloads"
 )
@@ -110,9 +111,21 @@ type Suite struct {
 	Programs []*ProgramRuns // in report order
 	// Errors lists the failed matrix cells, in matrix order; empty on a
 	// complete suite.
-	Errors []*CellError
-	byName map[string]*ProgramRuns
-	cells  int // size of the full matrix at collection time
+	Errors   []*CellError
+	byName   map[string]*ProgramRuns
+	cells    int      // size of the full matrix at collection time
+	programs int      // workloads registered at collection time
+	obs      *obs.Obs // collection engine's observability; may be nil
+}
+
+// span opens a root-level span for a derived artifact (the "predict"
+// stage of the pipeline); nil — free — when tracing is off. Callers
+// use `defer s.span("predict.x").End()`.
+func (s *Suite) span(name string) *obs.Span {
+	if s == nil || !s.obs.Tracing() {
+		return nil
+	}
+	return s.obs.Tracer().Start(nil, name)
 }
 
 // Partial reports whether any cell of the matrix is missing.
@@ -120,7 +133,7 @@ func (s *Suite) Partial() bool { return len(s.Errors) > 0 }
 
 // CoverageSummary summarizes how much of the matrix was measured.
 func (s *Suite) CoverageSummary() CoverageSummary {
-	c := CoverageSummary{TotalCells: s.cells, TotalPrograms: len(workloads.All())}
+	c := CoverageSummary{TotalCells: s.cells, TotalPrograms: s.programs}
 	for _, p := range s.Programs {
 		c.MeasuredCells += len(p.Runs)
 		if len(p.Runs) == len(p.Workload.Datasets) {
@@ -199,6 +212,11 @@ type CollectOptions struct {
 	// rest, and a coverage summary. A suite with zero measured cells is
 	// still an error, as is a cancelled collection.
 	AllowPartial bool
+	// Workloads overrides the measured matrix; nil means the full
+	// registry (workloads.All()). Tests use it to collect synthetic
+	// matrices — e.g. a zero-branch program — through the real
+	// degraded-mode machinery.
+	Workloads []*workloads.Workload
 }
 
 // CollectCtx measures the full matrix through eng under ctx.
@@ -212,10 +230,15 @@ type CollectOptions struct {
 // suite's Programs keep only measured runs, workloads with no
 // surviving run disappear, and CoverageSummary reports what remains.
 func CollectCtx(ctx context.Context, eng *engine.Engine, opts CollectOptions) (*Suite, error) {
-	all := workloads.All()
+	all := opts.Workloads
+	if all == nil {
+		all = workloads.All()
+	}
 	s := &Suite{
 		Programs: make([]*ProgramRuns, len(all)),
 		byName:   make(map[string]*ProgramRuns),
+		programs: len(all),
+		obs:      eng.Obs(),
 	}
 	type job struct{ wi, di int }
 	var jobs []job
@@ -226,6 +249,11 @@ func CollectCtx(ctx context.Context, eng *engine.Engine, opts CollectOptions) (*
 		}
 	}
 	s.cells = len(jobs)
+	ctx, csp := s.obs.Start(ctx, "collect", obs.A("cells", len(jobs)))
+	defer csp.End()
+	reg := eng.Registry()
+	cellsOK := reg.Counter(`branchprof_exp_cells_total{result="measured"}`, "Matrix cells by collection outcome.")
+	cellsBad := reg.Counter(`branchprof_exp_cells_total{result="degraded"}`, "Matrix cells by collection outcome.")
 	// Each cell publishes its own compiled image; the per-workload
 	// Prog is picked after the barrier, so a failed first dataset does
 	// not lose the program the other datasets compiled (and no two
@@ -235,15 +263,23 @@ func CollectCtx(ctx context.Context, eng *engine.Engine, opts CollectOptions) (*
 		wi, di := jobs[j].wi, jobs[j].di
 		w := all[wi]
 		ds := w.Datasets[di]
-		out, err := eng.ExecuteContext(ctx, engine.Spec{
+		cctx, sp := s.obs.Start(ctx, "cell", obs.A("program", w.Name), obs.A("dataset", ds.Name))
+		out, err := eng.ExecuteContext(cctx, engine.Spec{
 			Name:    w.Name,
 			Source:  w.Source,
 			Dataset: ds.Name,
 			Input:   ds.Gen(),
 		})
 		if err != nil {
-			return fmt.Errorf("exp: measuring %s/%s: %w", w.Name, ds.Name, err)
+			cellsBad.Inc()
+			err = fmt.Errorf("exp: measuring %s/%s: %w", w.Name, ds.Name, err)
+			sp.SetError(err)
+			sp.End()
+			return err
 		}
+		cellsOK.Inc()
+		sp.SetAttr("cache_hit", out.CacheHit)
+		sp.End()
 		progs[j] = out.Prog
 		s.Programs[wi].Runs[di] = &Run{Workload: w.Name, Dataset: ds.Name, Res: out.Res, Prof: out.Prof}
 		return nil
@@ -293,6 +329,8 @@ func CollectCtx(ctx context.Context, eng *engine.Engine, opts CollectOptions) (*
 		}
 		return nil, fmt.Errorf("exp: collection measured nothing")
 	}
+	csp.SetAttr("measured", s.cells-len(s.Errors))
+	csp.SetAttr("degraded", len(s.Errors))
 	return s, nil
 }
 

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"branchprof/internal/engine"
+	"branchprof/internal/workloads"
+)
+
+// A program with no conditional branches is the degenerate corner of
+// the paper's central measure: zero breaks makes instructions-per-break
+// +Inf by design, and every report path must carry that to the user
+// without a NaN or a failed JSON encode. These tests push a synthetic
+// zero-branch workload through the real collection machinery.
+
+func zeroBranchWorkload() *workloads.Workload {
+	return &workloads.Workload{
+		Name: "zerobranch", Lang: workloads.C,
+		Desc:   "no conditional branches at all",
+		Source: "func main() int { return 7; }\n",
+		Datasets: []workloads.Dataset{
+			{Name: "-", Desc: "none", Gen: func() []byte { return nil }},
+		},
+	}
+}
+
+func TestZeroBranchProgramEndToEnd(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	s, err := CollectCtx(context.Background(), eng, CollectOptions{
+		Workloads: []*workloads.Workload{zeroBranchWorkload()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Programs) != 1 || len(s.Programs[0].Runs) != 1 {
+		t.Fatalf("collected %d programs", len(s.Programs))
+	}
+	r := s.Programs[0].Runs[0]
+	if r.Res.CondBranches() != 0 {
+		t.Fatalf("zero-branch program executed %d conditional branches", r.Res.CondBranches())
+	}
+
+	rows := Figure1(s, workloads.C)
+	if len(rows) != 1 {
+		t.Fatalf("Figure1 returned %d rows", len(rows))
+	}
+	if !math.IsInf(rows[0].NoCalls, 1) {
+		t.Errorf("Figure1 NoCalls = %v, want +Inf (no breaks at all)", rows[0].NoCalls)
+	}
+
+	heur, err := HeuristicComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heur) != 1 {
+		t.Fatalf("HeuristicComparison returned %d rows", len(heur))
+	}
+	if !math.IsInf(heur[0].Profile, 1) || !math.IsInf(heur[0].LoopHeur, 1) {
+		t.Errorf("zero-branch heuristic row = %+v, want +Inf everywhere", heur[0])
+	}
+	if f := heur[0].Factor(); math.IsNaN(f) || f != 1 {
+		t.Errorf("Factor of a break-free row = %v, want 1", f)
+	}
+
+	// Every artifact that touches the suite must survive a JSON render.
+	for name, v := range map[string]any{
+		"figure1":    rows,
+		"heuristics": heur,
+		"taken":      TakenConstancy(s),
+	} {
+		b, err := MarshalSafe(v)
+		if err != nil {
+			t.Fatalf("%s: MarshalSafe: %v", name, err)
+		}
+		if !json.Valid(b) {
+			t.Fatalf("%s: invalid JSON: %s", name, b)
+		}
+	}
+}
+
+func TestZeroBranchProgramAllowPartial(t *testing.T) {
+	bad := &workloads.Workload{
+		Name: "broken", Lang: workloads.C,
+		Desc:   "does not compile",
+		Source: "func main() int { return undefined_var; }\n",
+		Datasets: []workloads.Dataset{
+			{Name: "-", Desc: "none", Gen: func() []byte { return nil }},
+		},
+	}
+	eng := engine.New(engine.Options{})
+	s, err := CollectCtx(context.Background(), eng, CollectOptions{
+		AllowPartial: true,
+		Workloads:    []*workloads.Workload{zeroBranchWorkload(), bad},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Partial() || len(s.Errors) != 1 {
+		t.Fatalf("want a partial suite with 1 failed cell, got %d errors", len(s.Errors))
+	}
+	if _, err := s.Program("zerobranch"); err != nil {
+		t.Fatalf("healthy zero-branch cell missing from degraded suite: %v", err)
+	}
+	cov := s.CoverageSummary()
+	if cov.MeasuredCells != 1 || cov.TotalCells != 2 {
+		t.Fatalf("coverage = %+v", cov)
+	}
+
+	rows := Figure1(s, workloads.C)
+	if len(rows) != 1 || !math.IsInf(rows[0].NoCalls, 1) {
+		t.Fatalf("degraded Figure1 rows = %+v", rows)
+	}
+	b, err := MarshalSafe(map[string]any{
+		"coverage": cov,
+		"figure1":  rows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatalf("degraded report is invalid JSON: %s", b)
+	}
+
+	// Strict mode must refuse the same matrix.
+	if _, err := CollectCtx(context.Background(), engine.New(engine.Options{}), CollectOptions{
+		Workloads: []*workloads.Workload{zeroBranchWorkload(), bad},
+	}); err == nil {
+		t.Fatal("strict collection of a broken workload succeeded")
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one complete ("X" phase) event in Chrome's
+// trace_event format, loadable by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`  // µs since trace epoch
+	Dur  int64          `json:"dur"` // µs
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace converts a JSONL span stream (as written by Tracer)
+// into a Chrome trace_event JSON document. Timestamps are rebased so
+// the earliest span starts at ts=0. Parent IDs are preserved in args
+// so the hierarchy survives the conversion even though trace_event
+// nests by time alone.
+func WriteChromeTrace(w io.Writer, r io.Reader) error {
+	var recs []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("obs: bad span record: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: reading spans: %w", err)
+	}
+
+	var epoch time.Time
+	for i, rec := range recs {
+		st, err := time.Parse(time.RFC3339Nano, rec.Start)
+		if err != nil {
+			return fmt.Errorf("obs: span %d has bad start %q: %w", rec.Span, rec.Start, err)
+		}
+		if i == 0 || st.Before(epoch) {
+			epoch = st
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(recs))
+	for _, rec := range recs {
+		st, _ := time.Parse(time.RFC3339Nano, rec.Start)
+		args := make(map[string]any, len(rec.Attrs)+2)
+		for k, v := range rec.Attrs {
+			args[k] = v
+		}
+		args["span"] = rec.Span
+		if rec.Parent != 0 {
+			args["parent"] = rec.Parent
+		}
+		events = append(events, chromeEvent{
+			Name: rec.Name,
+			Ph:   "X",
+			TS:   st.Sub(epoch).Microseconds(),
+			Dur:  rec.DurUS,
+			PID:  1,
+			TID:  1,
+			Args: args,
+		})
+	}
+
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Obs bundles the observability sinks a component may use: a clock,
+// a metrics registry, a span tracer, and a VM sampling profile. Any
+// field may be nil; every method on a nil *Obs (or with nil fields)
+// degrades to a no-op, so components hold one *Obs pointer and never
+// branch on configuration.
+type Obs struct {
+	// Clock supplies time for spans and stage timings. time.Now when
+	// nil.
+	Clock Clock
+	// Reg receives metrics; nil hands out no-op instruments.
+	Reg *Registry
+	// Tr receives spans; nil hands out nil (no-op) spans.
+	Tr *Tracer
+	// VMProf aggregates VM stack samples; nil disables sampling.
+	VMProf *VMProfile
+}
+
+// Now reads the clock (time.Now for a nil Obs or nil Clock).
+func (o *Obs) Now() time.Time {
+	if o == nil || o.Clock == nil {
+		return time.Now()
+	}
+	return o.Clock()
+}
+
+// Registry returns the metrics registry, possibly nil. Safe on nil o.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// Tracer returns the span tracer, possibly nil. Safe on nil o.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tr
+}
+
+// VMProfile returns the VM sampling profile, possibly nil. Safe on
+// nil o.
+func (o *Obs) VMProfile() *VMProfile {
+	if o == nil {
+		return nil
+	}
+	return o.VMProf
+}
+
+// Tracing reports whether spans are being recorded — the one branch
+// hot paths take before assembling span attributes.
+func (o *Obs) Tracing() bool {
+	return o != nil && o.Tr != nil
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan stores a span in the context so child stages can
+// nest under it.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the enclosing span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// Start opens a span named name under the span in ctx (if any) and
+// returns a derived context carrying the new span. With tracing off
+// it returns ctx unchanged and a nil span — one pointer comparison.
+func (o *Obs) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if !o.Tracing() {
+		return ctx, nil
+	}
+	s := o.Tr.Start(SpanFromContext(ctx), name, attrs...)
+	return ContextWithSpan(ctx, s), s
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewServeMux builds the observability HTTP mux: /metrics (when reg
+// is non-nil), /debug/vmprof (when vmp is non-nil), and the standard
+// net/http/pprof endpoints under /debug/pprof/. Using a dedicated mux
+// keeps the pprof handlers off http.DefaultServeMux.
+func NewServeMux(reg *Registry, vmp *VMProfile) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg)
+	}
+	if vmp != nil {
+		mux.Handle("/debug/vmprof", vmp)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a started observability HTTP server.
+type Server struct {
+	// Addr is the bound address (useful with ":0" listeners).
+	Addr string
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// Serve binds addr and serves the observability mux in a background
+// goroutine. The caller shuts it down with Close.
+func Serve(addr string, reg *Registry, vmp *VMProfile) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewServeMux(reg, vmp), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: lis.Addr().String(), srv: srv, lis: lis}
+	go srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Close stops the server. Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServe binds :0, hits /metrics, /debug/vmprof and a pprof
+// endpoint, then shuts down.
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("srv_total", "").Add(11)
+	vmp := NewVMProfile()
+	vmp.Add("main", 3)
+	s, err := Serve("127.0.0.1:0", reg, vmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "srv_total 11") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+	if body := get("/debug/vmprof"); body != "main 3\n" {
+		t.Fatalf("/debug/vmprof body = %q", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestServerCloseNil: Close on nil server is a no-op.
+func TestServerCloseNil(t *testing.T) {
+	var s *Server
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

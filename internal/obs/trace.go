@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time. Injectable so trace output (and
+// stage timings) can be made deterministic in tests.
+type Clock func() time.Time
+
+// StepClock returns a Clock that starts at start and advances by step
+// on every call. It is safe for concurrent use, which makes traces of
+// concurrent pipelines reproducible modulo goroutine interleaving —
+// golden tests should keep the traced work single-threaded.
+func StepClock(start time.Time, step time.Duration) Clock {
+	var mu sync.Mutex
+	t := start
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now := t
+		t = t.Add(step)
+		return now
+	}
+}
+
+// SpanRecord is the JSONL wire form of one completed span. Map keys
+// inside Attrs are emitted sorted by encoding/json, so a record's
+// bytes are a pure function of its contents.
+type SpanRecord struct {
+	Span   uint64         `json:"span"`
+	Parent uint64         `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Start  string         `json:"start"`  // RFC3339Nano, UTC
+	DurUS  int64          `json:"dur_us"` // microseconds
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer assigns span IDs and writes completed spans as JSONL. A nil
+// *Tracer hands out nil spans, so instrumentation is free when tracing
+// is off.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	clock  Clock
+	nextID uint64
+	err    error // first write/encode error, reported by Err
+}
+
+// NewTracer returns a tracer writing JSONL span records to w, reading
+// time from clock (time.Now if nil).
+func NewTracer(w io.Writer, clock Clock) *Tracer {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{w: w, clock: clock}
+}
+
+// Err returns the first error hit while writing span records, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is one traced region. A nil *Span ignores all operations, so
+// callers never branch on whether tracing is enabled.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Start opens a span under parent (nil for a root). A nil tracer
+// returns a nil span.
+func (t *Tracer) Start(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	now := t.clock()
+	t.mu.Unlock()
+	s := &Span{tr: t, id: id, name: name, start: now}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	if len(attrs) > 0 {
+		s.attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			s.attrs[a.Key] = a.Value
+		}
+	}
+	return s
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr; shorthand for call sites.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// SetAttr attaches (or replaces) an attribute on the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+}
+
+// SetError records err on the span (no-op for nil err). Convention:
+// attribute "error" carries err.Error().
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.SetAttr("error", err.Error())
+}
+
+// End closes the span and writes its record. Safe to call more than
+// once; only the first call emits.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.clock()
+	rec := SpanRecord{
+		Span:   s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start.UTC().Format(time.RFC3339Nano),
+		DurUS:  end.Sub(s.start).Microseconds(),
+		Attrs:  attrs,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		if t.err == nil {
+			t.err = fmt.Errorf("obs: encoding span %q: %w", s.name, err)
+		}
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = fmt.Errorf("obs: writing span %q: %w", s.name, err)
+	}
+}
+
+// ID returns the span's ID (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+var traceEpoch = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+// TestTraceGoldenJSONL locks the JSONL span wire format byte-for-byte
+// under the step clock. Clock reads: root start (t=0ms), child start
+// (1ms), child end (2ms, dur 1ms), root end (3ms, dur 3ms).
+func TestTraceGoldenJSONL(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b, StepClock(traceEpoch, time.Millisecond))
+	root := tr.Start(nil, "suite", A("programs", 2))
+	child := tr.Start(root, "run", A("program", "eqntott"), A("dataset", "d1"))
+	child.End()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"span":2,"parent":1,"name":"run","start":"2026-01-02T03:04:05.001Z","dur_us":1000,"attrs":{"dataset":"d1","program":"eqntott"}}
+{"span":1,"name":"suite","start":"2026-01-02T03:04:05Z","dur_us":3000,"attrs":{"programs":2}}
+`
+	if got := b.String(); got != want {
+		t.Errorf("trace mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSpanNilSafety: nil tracer and nil spans absorb everything.
+func TestSpanNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(nil, "x", A("k", "v"))
+	if s != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	s.SetAttr("a", 1)
+	s.SetError(context.Canceled)
+	s.End()
+	s.End()
+	if s.ID() != 0 {
+		t.Fatal("nil span has an ID")
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanEndOnce: double End emits one record.
+func TestSpanEndOnce(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b, StepClock(traceEpoch, time.Millisecond))
+	s := tr.Start(nil, "once")
+	s.End()
+	s.End()
+	if n := strings.Count(b.String(), "\n"); n != 1 {
+		t.Fatalf("got %d records, want 1", n)
+	}
+}
+
+// TestSpanContext: Start nests under the context span; disabled obs
+// returns the identical context.
+func TestSpanContext(t *testing.T) {
+	var b strings.Builder
+	o := &Obs{Tr: NewTracer(&b, StepClock(traceEpoch, time.Millisecond))}
+	ctx, root := o.Start(context.Background(), "root")
+	ctx2, child := o.Start(ctx, "child")
+	if SpanFromContext(ctx2) != child {
+		t.Fatal("context does not carry child span")
+	}
+	child.End()
+	root.End()
+	var rec SpanRecord
+	line := strings.SplitN(b.String(), "\n", 2)[0]
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "child" || rec.Parent != root.ID() {
+		t.Fatalf("child record = %+v, want parent %d", rec, root.ID())
+	}
+
+	var off *Obs
+	ctx3, sp := off.Start(context.Background(), "x")
+	if sp != nil || ctx3 != context.Background() {
+		t.Fatal("disabled obs allocated span or context")
+	}
+}
+
+// TestChromeTrace converts the golden JSONL and checks the trace_event
+// shape: rebased µs timestamps, durations, preserved hierarchy.
+func TestChromeTrace(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b, StepClock(traceEpoch, time.Millisecond))
+	root := tr.Start(nil, "suite")
+	child := tr.Start(root, "run", A("program", "li"))
+	child.End()
+	root.End()
+
+	var out strings.Builder
+	if err := WriteChromeTrace(&out, strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	// JSONL order: child first (ended first), then root.
+	ch, rt := doc.TraceEvents[0], doc.TraceEvents[1]
+	if ch.Name != "run" || rt.Name != "suite" {
+		t.Fatalf("names = %q, %q", ch.Name, rt.Name)
+	}
+	if rt.TS != 0 || ch.TS != 1000 {
+		t.Fatalf("ts = root %d, child %d; want 0, 1000", rt.TS, ch.TS)
+	}
+	if ch.Dur != 1000 || rt.Dur != 3000 {
+		t.Fatalf("dur = child %d, root %d; want 1000, 3000", ch.Dur, rt.Dur)
+	}
+	if ch.Ph != "X" || ch.PID != 1 || ch.TID != 1 {
+		t.Fatalf("event shape = %+v", ch)
+	}
+	if ch.Args["program"] != "li" {
+		t.Fatalf("args lost: %+v", ch.Args)
+	}
+	if ch.Args["parent"] != float64(rt.Args["span"].(float64)) {
+		t.Fatalf("hierarchy lost: child args %+v, root args %+v", ch.Args, rt.Args)
+	}
+}
+
+// TestChromeTraceBadInput rejects malformed JSONL.
+func TestChromeTraceBadInput(t *testing.T) {
+	var out strings.Builder
+	if err := WriteChromeTrace(&out, strings.NewReader("not json\n")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestStepClockDeterministic: two identical sequences produce
+// identical bytes — the property engine golden tests rely on.
+func TestStepClockDeterministic(t *testing.T) {
+	emit := func() string {
+		var b strings.Builder
+		tr := NewTracer(&b, StepClock(traceEpoch, 7*time.Millisecond))
+		a := tr.Start(nil, "a")
+		bb := tr.Start(a, "b", A("i", 1))
+		bb.End()
+		a.End()
+		return b.String()
+	}
+	if emit() != emit() {
+		t.Fatal("identical span sequences produced different bytes")
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// VMProfile aggregates stack samples from the VM's sampling hook into
+// folded-stack form ("main;inner;leaf <count>"), the input format of
+// flamegraph tooling. One VMProfile may aggregate samples from many
+// program runs. A nil *VMProfile ignores all operations.
+type VMProfile struct {
+	mu      sync.Mutex
+	samples map[string]uint64
+}
+
+// NewVMProfile returns an empty profile.
+func NewVMProfile() *VMProfile {
+	return &VMProfile{samples: make(map[string]uint64)}
+}
+
+// Sampler adapts the profile into a vm.Config.Sample callback for a
+// program whose function indices resolve through funcNames. The
+// returned closure folds the stack (outermost first) into a
+// semicolon-joined key and bumps its sample count. A nil profile
+// returns nil, so the VM's poll stays a pointer comparison.
+func (p *VMProfile) Sampler(funcNames []string) func(stack []int32, instrs uint64) {
+	if p == nil {
+		return nil
+	}
+	var b strings.Builder
+	return func(stack []int32, _ uint64) {
+		b.Reset()
+		for i, fn := range stack {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			if int(fn) < len(funcNames) && fn >= 0 {
+				b.WriteString(funcNames[fn])
+			} else {
+				fmt.Fprintf(&b, "fn%d", fn)
+			}
+		}
+		key := b.String()
+		p.mu.Lock()
+		p.samples[key]++
+		p.mu.Unlock()
+	}
+}
+
+// Add merges count samples for an already-folded stack key. Used by
+// tests and by merge tooling.
+func (p *VMProfile) Add(stack string, count uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.samples[stack] += count
+	p.mu.Unlock()
+}
+
+// Samples returns a copy of the folded-stack → count map.
+func (p *VMProfile) Samples() map[string]uint64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.samples))
+	for k, v := range p.samples {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total sample count.
+func (p *VMProfile) Total() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n uint64
+	for _, v := range p.samples {
+		n += v
+	}
+	return n
+}
+
+// WriteFolded renders the profile in folded-stack format, one
+// "stack count" line per unique stack, sorted by stack for
+// deterministic output. Feed to a flamegraph generator as-is.
+func (p *VMProfile) WriteFolded(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	keys := make([]string, 0, len(p.samples))
+	for k := range p.samples {
+		keys = append(keys, k)
+	}
+	counts := make(map[string]uint64, len(p.samples))
+	for k, v := range p.samples {
+		counts[k] = v
+	}
+	p.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, counts[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeHTTP serves the folded profile (for `curl | flamegraph.pl`).
+func (p *VMProfile) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	p.WriteFolded(w)
+}

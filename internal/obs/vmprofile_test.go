@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFoldedGolden locks the folded-stack output format.
+func TestFoldedGolden(t *testing.T) {
+	p := NewVMProfile()
+	sample := p.Sampler([]string{"main", "inner", "leaf"})
+	sample([]int32{0}, 0)
+	sample([]int32{0, 1}, 4096)
+	sample([]int32{0, 1, 2}, 8192)
+	sample([]int32{0, 1}, 12288)
+	var b strings.Builder
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `main 1
+main;inner 2
+main;inner;leaf 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("folded mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if p.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", p.Total())
+	}
+}
+
+// TestSamplerUnknownFn: out-of-range function indices get a synthetic
+// name instead of panicking.
+func TestSamplerUnknownFn(t *testing.T) {
+	p := NewVMProfile()
+	sample := p.Sampler([]string{"main"})
+	sample([]int32{0, 9}, 0)
+	got := p.Samples()
+	if got["main;fn9"] != 1 {
+		t.Fatalf("samples = %v", got)
+	}
+}
+
+// TestVMProfileNil: nil profile is inert and hands out a nil sampler.
+func TestVMProfileNil(t *testing.T) {
+	var p *VMProfile
+	if p.Sampler([]string{"main"}) != nil {
+		t.Fatal("nil profile produced a sampler")
+	}
+	p.Add("x", 1)
+	if p.Samples() != nil || p.Total() != 0 {
+		t.Fatal("nil profile recorded")
+	}
+	if err := p.WriteFolded(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVMProfileConcurrent: concurrent Add/Sampler use is race-free.
+func TestVMProfileConcurrent(t *testing.T) {
+	p := NewVMProfile()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := p.Sampler([]string{"main", "f"})
+			for j := 0; j < 500; j++ {
+				s([]int32{0, 1}, uint64(j))
+				p.Add("main", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Total() != 4000 {
+		t.Fatalf("Total = %d, want 4000", p.Total())
+	}
+}
+
+// TestVMProfileHTTP serves the folded profile.
+func TestVMProfileHTTP(t *testing.T) {
+	p := NewVMProfile()
+	p.Add("main;hot", 9)
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vmprof", nil))
+	if got := rec.Body.String(); got != "main;hot 9\n" {
+		t.Fatalf("body = %q", got)
+	}
+}

@@ -1,0 +1,76 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"branchprof/internal/ifprob"
+)
+
+// Regression tests for the zero-execution edge cases: a profile from a
+// run that executed no conditional branches must neither poison a
+// Scaled combination with a 1/0 weight nor make PercentCorrect
+// non-finite.
+
+func TestCombineScaledSkipsZeroExecutionProfile(t *testing.T) {
+	ss := sites(2)
+	live := profile([]uint64{9, 1}, []uint64{10, 10})
+	empty := profile([]uint64{0, 0}, []uint64{0, 0}) // zero-branch run
+	got, err := Combine([]*ifprob.Profile{live, empty}, Scaled, ss, AlwaysNotTaken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Combine([]*ifprob.Profile{live}, Scaled, ss, AlwaysNotTaken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Dir {
+		if got.Dir[i] != want.Dir[i] || got.FromProfile[i] != want.FromProfile[i] {
+			t.Fatalf("site %d: with empty profile %v/%v, without %v/%v",
+				i, got.Dir[i], got.FromProfile[i], want.Dir[i], want.FromProfile[i])
+		}
+	}
+}
+
+func TestCombineScaledAllZeroExecutionFallsBack(t *testing.T) {
+	ss := sites(2)
+	empty := profile([]uint64{0, 0}, []uint64{0, 0})
+	pr, err := Combine([]*ifprob.Profile{empty, empty}, Scaled, ss, AlwaysTaken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pr.Dir {
+		if pr.FromProfile[i] {
+			t.Errorf("site %d claims profile data from zero-execution profiles", i)
+		}
+		if pr.Dir[i] != Taken {
+			t.Errorf("site %d = %v, want the AlwaysTaken fallback", i, pr.Dir[i])
+		}
+	}
+}
+
+func TestPercentCorrectZeroExecuted(t *testing.T) {
+	ev := Eval{}
+	got := ev.PercentCorrect()
+	if got != 1 {
+		t.Errorf("PercentCorrect with no executions = %v, want 1", got)
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("PercentCorrect with no executions is non-finite: %v", got)
+	}
+}
+
+func TestEvaluateZeroBranchTarget(t *testing.T) {
+	target := profile([]uint64{0, 0}, []uint64{0, 0})
+	pr := FromHeuristic(sites(2), nil)
+	ev, err := Evaluate(pr, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Executed != 0 || ev.Mispredicts != 0 {
+		t.Fatalf("zero-branch target evaluated to %+v", ev)
+	}
+	if ev.PercentCorrect() != 1 {
+		t.Errorf("PercentCorrect = %v, want 1", ev.PercentCorrect())
+	}
+}

@@ -1,0 +1,81 @@
+package vm
+
+import (
+	"testing"
+
+	"branchprof/internal/mfc"
+)
+
+const sampleLoopSrc = `
+func inner(n int) int {
+	var i int = 0;
+	var s int = 0;
+	while (i < n) {
+		s = s + i;
+		i = i + 1;
+	}
+	return s;
+}
+func main() int {
+	return inner(30000);
+}
+`
+
+// TestSampleHook: the sampling callback fires on the 4096-instruction
+// poll cadence with the current call stack, outermost frame first,
+// and does not perturb any measurement.
+func TestSampleHook(t *testing.T) {
+	p, err := mfc.Compile("sample", sampleLoopSrc, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls int
+	var lastInstrs uint64
+	var sawInner bool
+	cfg := &Config{Sample: func(stack []int32, instrs uint64) {
+		calls++
+		if instrs&4095 != 0 {
+			t.Errorf("sample at instrs=%d, not on poll cadence", instrs)
+		}
+		if instrs < lastInstrs {
+			t.Errorf("sample instrs went backwards: %d after %d", instrs, lastInstrs)
+		}
+		lastInstrs = instrs
+		if len(stack) == 0 || int(stack[0]) != p.Main {
+			t.Errorf("stack = %v, want main (%d) outermost", stack, p.Main)
+		}
+		if len(stack) == 2 {
+			sawInner = true
+		}
+	}}
+	res, err := Run(p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~30000 loop iterations ≫ 4096 instructions: several samples.
+	if calls < 2 {
+		t.Fatalf("got %d samples, want several", calls)
+	}
+	if !sawInner {
+		t.Error("never sampled inside inner — stack depth lost")
+	}
+	if res.Instrs != base.Instrs || res.ExitCode != base.ExitCode {
+		t.Errorf("sampling changed the measurement: instrs %d vs %d, exit %d vs %d",
+			res.Instrs, base.Instrs, res.ExitCode, base.ExitCode)
+	}
+}
+
+// TestSampleFingerprintExcluded: like Trace and Done, the sampling
+// hook never reaches the cache key.
+func TestSampleFingerprintExcluded(t *testing.T) {
+	plain := (&Config{}).Fingerprint()
+	sampled := (&Config{Sample: func([]int32, uint64) {}}).Fingerprint()
+	if plain != sampled {
+		t.Fatalf("Sample leaked into fingerprint: %q vs %q", plain, sampled)
+	}
+}

@@ -88,6 +88,15 @@ type Config struct {
 	// completed run would have measured, and a cancelled run is never
 	// cached.
 	Done <-chan struct{}
+	// Sample, when non-nil, receives the current call stack (function
+	// indices, outermost first) at the same few-thousand-instruction
+	// cadence as the Done poll — the VM-level sampling profiler behind
+	// the observability layer's flamegraphs. The stack slice is reused
+	// between calls and must not be retained. Like Trace and Done it is
+	// excluded from Fingerprint: sampling observes a run without
+	// changing any measurement. Note that cache-served measurements
+	// never execute, so they contribute no samples.
+	Sample func(stack []int32, instrs uint64)
 }
 
 func (c *Config) fill() {
@@ -267,15 +276,31 @@ func Run(p *isa.Program, input []byte, cfg *Config) (*Result, error) {
 	}
 
 	fuel := c.Fuel
+	// One flag gates the whole periodic-poll block, so runs with
+	// neither cancellation nor sampling pay a single comparison.
+	poll := c.Done != nil || c.Sample != nil
+	var stackBuf []int32
+	if c.Sample != nil {
+		stackBuf = make([]int32, 0, 64)
+	}
 	for {
 		if res.Instrs >= fuel {
 			return res, fmt.Errorf("%w after %d instructions in %s", ErrFuel, res.Instrs, p.Source)
 		}
-		if c.Done != nil && res.Instrs&4095 == 0 {
-			select {
-			case <-c.Done:
-				return res, fmt.Errorf("%w after %d instructions in %s", ErrCancelled, res.Instrs, p.Source)
-			default:
+		if poll && res.Instrs&4095 == 0 {
+			if c.Done != nil {
+				select {
+				case <-c.Done:
+					return res, fmt.Errorf("%w after %d instructions in %s", ErrCancelled, res.Instrs, p.Source)
+				default:
+				}
+			}
+			if c.Sample != nil {
+				stackBuf = stackBuf[:0]
+				for i := range frames {
+					stackBuf = append(stackBuf, int32(frames[i].fn))
+				}
+				c.Sample(stackBuf, res.Instrs)
 			}
 		}
 		if pc < 0 || pc >= len(code) {
