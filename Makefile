@@ -13,13 +13,20 @@
 #   make obs      the observability golden tests (byte-exact trace,
 #                 Prometheus and folded-stack output under a stepped
 #                 clock) raced and repeated to catch ordering luck
+#   make chaos-server  branchprofd under the race detector: burst
+#                 shedding, graceful drain, the circuit-breaker fault
+#                 matrix, and the cross-process file locks
+#   make fuzz     10s smoke of each native fuzz target (compiler,
+#                 assembler, profile DB decoder, run-cache decoder);
+#                 longer runs: make fuzz FUZZTIME=5m
 #   make bench    the cold vs warm cache benchmark pair
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: verify test vet race chaos obs bench
+.PHONY: verify test vet race chaos obs chaos-server fuzz bench
 
-verify: test vet race chaos obs
+verify: test vet race chaos obs chaos-server fuzz
 
 test:
 	$(GO) build ./...
@@ -41,6 +48,15 @@ obs:
 		./internal/obs/... ./internal/engine/... ./internal/vm/...
 	$(GO) test -race -count=2 -run 'ZeroBranch|SafeJSON|MarshalSafe|EncodeSafe|ZeroExec' \
 		./internal/exp/... ./internal/predict/... ./internal/breaks/...
+
+chaos-server:
+	$(GO) test -race -count=1 ./internal/server/... ./internal/flock/...
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzCompile$$ -fuzztime $(FUZZTIME) ./internal/mfc/
+	$(GO) test -run xxx -fuzz FuzzAssemble -fuzztime $(FUZZTIME) ./internal/asm/
+	$(GO) test -run xxx -fuzz FuzzDBLoad -fuzztime $(FUZZTIME) ./internal/ifprob/
+	$(GO) test -run xxx -fuzz FuzzCacheDecode -fuzztime $(FUZZTIME) ./internal/engine/
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSuiteCollect(Cold|Warm)' -benchtime 3x .

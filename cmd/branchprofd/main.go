@@ -1,0 +1,92 @@
+// Command branchprofd serves the measurement pipeline over HTTP: a
+// long-running, hardened daemon that accepts MF programs and
+// datasets, accumulates per-branch profiles, and answers
+// cross-dataset branch predictions. See docs/SERVER.md for the
+// endpoint reference, overload behaviour and a curl walkthrough.
+//
+// Usage:
+//
+//	branchprofd [-addr :8723] [-db profiles.json] [-cache-dir DIR]
+//	            [-concurrency N] [-queue N] [-request-timeout D]
+//	            [-max-body N] [-max-fuel N] [-drain-timeout D]
+//	            [-breaker-threshold N] [-breaker-cooldown D]
+//	            [observability flags: -trace, -metrics, -metrics-addr, ...]
+//
+// The first SIGINT/SIGTERM starts a graceful drain: /readyz flips to
+// 503, queued requests are shed, in-flight requests complete, and the
+// process exits once the listener closes or -drain-timeout expires
+// (whichever comes first). A second signal force-exits immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"branchprof/cmd/internal/cli"
+	"branchprof/internal/server"
+)
+
+func main() {
+	tool := cli.New("branchprofd")
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8723", "listen address")
+		dbPath       = flag.String("db", "", "persist the accumulated profile database to this file (empty = in-memory only)")
+		concurrency  = flag.Int("concurrency", 0, "simultaneously executing requests (0 = engine worker count)")
+		queue        = flag.Int("queue", 64, "requests allowed to wait beyond -concurrency before shedding with 429 (-1 = none)")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, propagated into the VM")
+		maxBody      = flag.Int64("max-body", 4<<20, "maximum request body bytes")
+		maxFuel      = flag.Uint64("max-fuel", 1<<26, "maximum VM instructions per request")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "hard deadline for the SIGTERM graceful drain")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive persistent-I/O failures that open the circuit breaker")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "time the circuit stays open before a half-open probe")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		tool.Usage("branchprofd [flags]")
+	}
+
+	queueDepth := *queue
+	if queueDepth < 0 {
+		queueDepth = -1 // server spells "no queue" as negative
+	}
+	srv, warns, err := server.New(server.Options{
+		Engine:           tool.Engine(),
+		DBPath:           *dbPath,
+		Concurrency:      *concurrency,
+		QueueDepth:       queueDepth,
+		RequestTimeout:   *reqTimeout,
+		MaxBodyBytes:     *maxBody,
+		MaxFuel:          *maxFuel,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		Obs:              tool.Obs(),
+		OnDrained:        tool.Finish,
+	})
+	for _, w := range warns {
+		tool.Warn("%s", w)
+	}
+	if err != nil {
+		tool.Fatal(err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		tool.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "branchprofd: serving on http://%s (drain with SIGTERM)\n", bound)
+
+	// The first signal cancels the tool context; the server then
+	// drains under the hard deadline. In-flight requests keep their
+	// own contexts, so they finish rather than being cancelled.
+	<-tool.Context().Done()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		tool.Warn("drain incomplete: %v", err)
+		tool.Finish()
+		os.Exit(1)
+	}
+	tool.Finish()
+}

@@ -95,9 +95,11 @@ func (t *Tool) Engine() *engine.Engine {
 	return t.eng
 }
 
-// warn reports a non-fatal problem: observability is best-effort and
-// never kills a measurement.
-func (t *Tool) warn(format string, args ...any) {
+// Warn reports a non-fatal problem to stderr, prefixed with the tool
+// name: observability and persistence are best-effort and never kill
+// a measurement. Exported for long-running tools (branchprofd) that
+// surface startup and drain warnings through the same channel.
+func (t *Tool) Warn(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, t.Name+": warning: "+format+"\n", args...)
 }
 
@@ -131,7 +133,7 @@ func (t *Tool) Obs() *obs.Obs {
 			}
 			srv, err := obs.Serve(addr, o.Reg, o.VMProf)
 			if err != nil {
-				t.warn("observability server on %s: %v", addr, err)
+				t.Warn("observability server on %s: %v", addr, err)
 				continue
 			}
 			t.servers = append(t.servers, srv)
@@ -153,36 +155,36 @@ func (t *Tool) Finish() {
 		t.rootSpan.End()
 		if tr := t.obsB.Tracer(); tr != nil {
 			if err := tr.Err(); err != nil {
-				t.warn("%v", err)
+				t.Warn("%v", err)
 			}
 			if *t.trace != "" {
 				if err := os.WriteFile(*t.trace, t.traceBuf.Bytes(), 0o644); err != nil {
-					t.warn("writing -trace: %v", err)
+					t.Warn("writing -trace: %v", err)
 				}
 			}
 			if *t.traceChrome != "" {
 				var out bytes.Buffer
 				if err := obs.WriteChromeTrace(&out, bytes.NewReader(t.traceBuf.Bytes())); err != nil {
-					t.warn("converting -trace-chrome: %v", err)
+					t.Warn("converting -trace-chrome: %v", err)
 				} else if err := os.WriteFile(*t.traceChrome, out.Bytes(), 0o644); err != nil {
-					t.warn("writing -trace-chrome: %v", err)
+					t.Warn("writing -trace-chrome: %v", err)
 				}
 			}
 		}
 		if *t.metrics != "" {
 			var out bytes.Buffer
 			if err := t.Engine().Registry().WritePrometheus(&out); err != nil {
-				t.warn("rendering -metrics: %v", err)
+				t.Warn("rendering -metrics: %v", err)
 			} else if err := os.WriteFile(*t.metrics, out.Bytes(), 0o644); err != nil {
-				t.warn("writing -metrics: %v", err)
+				t.Warn("writing -metrics: %v", err)
 			}
 		}
 		if vp := t.obsB.VMProfile(); vp != nil && *t.vmprof != "" {
 			var out bytes.Buffer
 			if err := vp.WriteFolded(&out); err != nil {
-				t.warn("rendering -vmprof: %v", err)
+				t.Warn("rendering -vmprof: %v", err)
 			} else if err := os.WriteFile(*t.vmprof, out.Bytes(), 0o644); err != nil {
-				t.warn("writing -vmprof: %v", err)
+				t.Warn("writing -vmprof: %v", err)
 			}
 		}
 		for _, srv := range t.servers {

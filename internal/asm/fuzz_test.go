@@ -1,0 +1,38 @@
+package asm
+
+import (
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary text to the assembler. Malformed units
+// must come back as *Error values — never a panic — and a unit that
+// assembles must survive the Format→Assemble round trip.
+func FuzzAssemble(f *testing.F) {
+	f.Add("program p\nimem 0 fmem 0\nfunc main () int\n\tldi r0, 7\n\tret r0\n")
+	f.Add("program p\nimem 4 fmem 0\nidata 0: 1 2 3 4\nfunc main () int\n\tldi r0, 0\n\tld r1, 0(r0)\n\tret r1\n")
+	f.Add("program p\nimem 0 fmem 0\nfunc main () int\nloop:\n\tldi r0, 1\n\tbr r0, loop [back depth=1 label=l]\n\tret r0\n")
+	f.Add("program p\nimem 0 fmem 0\nfunc f (int) int\n\tret r0\nfunc main () int\n\tldi r0, 3\n\tcall f, r0, -, r1\n\tret r1\n")
+	f.Add("; comment only\n")
+	f.Add("program \x00\nimem -1 fmem 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Fatal("nil program with nil error")
+		}
+		text, err := Format(prog)
+		if err != nil {
+			t.Fatalf("assembled unit does not format: %v", err)
+		}
+		again, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("formatted unit does not reassemble: %v\n%s", err, text)
+		}
+		if len(again.Funcs) != len(prog.Funcs) || len(again.Sites) != len(prog.Sites) {
+			t.Fatalf("round trip changed shape: %d/%d funcs, %d/%d sites",
+				len(again.Funcs), len(prog.Funcs), len(again.Sites), len(prog.Sites))
+		}
+	})
+}

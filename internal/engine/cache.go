@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"branchprof/internal/faults"
+	"branchprof/internal/flock"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/vm"
 )
@@ -134,6 +135,15 @@ func (d *diskCache) store(key, label string, res *vm.Result, prof *ifprob.Profil
 	if err != nil {
 		return err
 	}
+	// Serialize writers sharing this cache directory across processes
+	// (advisory `<dir>/.branchprof.lock`, see docs/ENGINE.md). Loads
+	// stay lock-free: every entry is validated on read and a bad one
+	// degrades to a miss.
+	lock, err := flock.Acquire(flock.CacheLockPath(d.dir))
+	if err != nil {
+		return err
+	}
+	defer lock.Unlock()
 	data = data[:d.faults.Torn(faults.CacheWrite, label, len(data))]
 	tmp, err := os.CreateTemp(d.dir, "entry-*.tmp")
 	if err != nil {

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzCacheDecode feeds arbitrary bytes to the persistent cache's
+// entry decoder. The cache treats the disk as hostile — a stale,
+// truncated, bit-flipped or hand-edited entry must come back as a
+// miss (ok=false, usually invalid=true), never as a panic and never
+// as a structurally inconsistent measurement.
+func FuzzCacheDecode(f *testing.F) {
+	const key = "0000feed"
+	f.Add([]byte(`{"version":1,"key":"0000feed","result":{"SiteTaken":[1],"SiteTotal":[2],"Instrs":3}}`))
+	f.Add([]byte(`{"version":1,"key":"wrong","result":{"SiteTaken":[],"SiteTotal":[]}}`))
+	f.Add([]byte(`{"version":9,"key":"0000feed","result":{}}`))
+	f.Add([]byte(`{"version":1,"key":"0000feed","result":{"SiteTaken":[1,2],"SiteTotal":[2]}}`))
+	f.Add([]byte(`{"version":1,"key":"0000feed","result":{"SiteTaken":[1],"SiteTotal":[2]},"profile":{"Program":"p","Taken":[9],"Total":[2]}}`))
+	f.Add([]byte(`{"version":1,"key":"0000feed"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &diskCache{dir: t.TempDir()}
+		if err := os.WriteFile(d.path(key), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, prof, ok, _ := d.load(key)
+		if !ok {
+			return
+		}
+		if res == nil {
+			t.Fatal("ok entry with nil result")
+		}
+		if len(res.SiteTaken) != len(res.SiteTotal) {
+			t.Fatalf("ok entry with mismatched site slices: %d vs %d",
+				len(res.SiteTaken), len(res.SiteTotal))
+		}
+		if prof != nil {
+			if err := prof.CheckConsistent(); err != nil {
+				t.Fatalf("ok entry with inconsistent profile: %v", err)
+			}
+		}
+	})
+}

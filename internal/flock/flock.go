@@ -1,0 +1,74 @@
+// Package flock provides advisory file locking for the repository's
+// shared on-disk stores: the engine's persistent measurement cache
+// directory and the ifprob database file. Two processes (or two
+// engines in one process) pointed at the same store serialize their
+// writes through an exclusive lock on a dedicated lock file, so a
+// save never interleaves with another writer's save.
+//
+// The lock file itself is a zero-length sibling of the protected
+// resource (`<dir>/.branchprof.lock` for a cache directory,
+// `<path>.lock` for a database file; see docs/ENGINE.md). It is
+// created on demand and never removed — on POSIX systems removing a
+// lock file that another process holds open reintroduces the race the
+// lock exists to close.
+//
+// Locks are advisory: readers that tolerate concurrent writers (the
+// cache's load path validates every entry anyway) may skip locking
+// entirely.
+package flock
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Lock is a held advisory lock. Release it with Unlock.
+type Lock struct {
+	f *os.File
+}
+
+// Acquire takes an exclusive advisory lock on path, creating the file
+// if needed, and blocks until the lock is granted. The parent
+// directory is created on demand.
+func Acquire(path string) (*Lock, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("flock: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("flock: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("flock: locking %s: %w", path, err)
+	}
+	return &Lock{f: f}, nil
+}
+
+// Unlock releases the lock. Safe on nil and idempotent.
+func (l *Lock) Unlock() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	uerr := unlockFile(f)
+	cerr := f.Close()
+	if uerr != nil {
+		return fmt.Errorf("flock: %w", uerr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("flock: %w", cerr)
+	}
+	return nil
+}
+
+// CacheLockPath returns the lock file guarding a persistent cache
+// directory.
+func CacheLockPath(dir string) string {
+	return filepath.Join(dir, ".branchprof.lock")
+}
+
+// DBLockPath returns the lock file guarding a database file.
+func DBLockPath(path string) string { return path + ".lock" }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package flock
+
+import "os"
+
+// Non-unix platforms fall back to no-op locking: the stores remain
+// crash-consistent on their own (temp file + rename), the lock only
+// adds cross-process serialization where flock(2) exists.
+func lockFile(*os.File) error   { return nil }
+func unlockFile(*os.File) error { return nil }

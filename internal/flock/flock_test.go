@@ -1,0 +1,161 @@
+package flock
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMain lets the cross-process test re-exec the test binary as a
+// lock-holding worker.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv("FLOCK_WORKER_DIR"); dir != "" {
+		iters, _ := strconv.Atoi(os.Getenv("FLOCK_WORKER_ITERS"))
+		if err := worker(dir, iters); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// worker performs iters lock-guarded read-modify-write cycles on a
+// shared counter file. Without mutual exclusion, concurrent workers
+// lose updates.
+func worker(dir string, iters int) error {
+	counter := filepath.Join(dir, "counter")
+	for i := 0; i < iters; i++ {
+		l, err := Acquire(CacheLockPath(dir))
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(counter)
+		if err != nil {
+			l.Unlock()
+			return err
+		}
+		n, err := strconv.Atoi(string(data))
+		if err != nil {
+			l.Unlock()
+			return fmt.Errorf("corrupt counter %q: %v", data, err)
+		}
+		runtime.Gosched() // widen the window a lost update would need
+		if err := os.WriteFile(counter, []byte(strconv.Itoa(n+1)), 0o644); err != nil {
+			l.Unlock()
+			return err
+		}
+		if err := l.Unlock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestMutualExclusionGoroutines proves the lock serializes critical
+// sections within one process: overlapping holders would be observed
+// by the inCritical flag.
+func TestMutualExclusionGoroutines(t *testing.T) {
+	dir := t.TempDir()
+	path := CacheLockPath(dir)
+	var mu sync.Mutex
+	inCritical := false
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				l, err := Acquire(path)
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				mu.Lock()
+				if inCritical {
+					t.Error("two holders inside the critical section")
+				}
+				inCritical = true
+				mu.Unlock()
+				time.Sleep(50 * time.Microsecond)
+				mu.Lock()
+				inCritical = false
+				mu.Unlock()
+				if err := l.Unlock(); err != nil {
+					t.Errorf("unlock: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMutualExclusionProcesses proves two real processes serialize on
+// the same lock file: each performs non-atomic read-modify-write
+// cycles on a shared counter, and no update is lost.
+func TestMutualExclusionProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("no test binary path: %v", err)
+	}
+	dir := t.TempDir()
+	counter := filepath.Join(dir, "counter")
+	if err := os.WriteFile(counter, []byte("0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const procs, iters = 4, 25
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmd := exec.Command(exe, "-test.run=TestMain")
+			cmd.Env = append(os.Environ(),
+				"FLOCK_WORKER_DIR="+dir,
+				"FLOCK_WORKER_ITERS="+strconv.Itoa(iters))
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Errorf("worker: %v\n%s", err, out)
+			}
+		}()
+	}
+	wg.Wait()
+	data, err := os.ReadFile(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := strconv.Atoi(string(data))
+	if err != nil {
+		t.Fatalf("corrupt counter %q: %v", data, err)
+	}
+	if want := procs * iters; got != want {
+		t.Fatalf("lost updates: counter = %d, want %d", got, want)
+	}
+}
+
+// TestUnlockIdempotent checks Unlock on nil and double-unlock.
+func TestUnlockIdempotent(t *testing.T) {
+	var nilLock *Lock
+	if err := nilLock.Unlock(); err != nil {
+		t.Fatalf("nil unlock: %v", err)
+	}
+	l, err := Acquire(DBLockPath(filepath.Join(t.TempDir(), "db.json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Unlock(); err != nil {
+		t.Fatalf("second unlock: %v", err)
+	}
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package flock
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive flock(2) on f, blocking until granted.
+// flock locks belong to the open file description, so the lock is
+// released either explicitly or when the descriptor closes (including
+// on process death — a crashed holder never wedges the store).
+func lockFile(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+func unlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"branchprof/internal/faults"
+	"branchprof/internal/flock"
 )
 
 // DB is the accumulating branch-count database. The paper's
@@ -123,6 +124,16 @@ func (db *DB) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("ifprob: encoding database: %w", err)
 	}
+	// Serialize writers across processes: the rename below is atomic,
+	// but two concurrent savers could still race temp-file creation and
+	// last-writer-wins each other mid-burst. The advisory lock (a
+	// sibling `<path>.lock` file, see docs/ENGINE.md) makes saves to
+	// one path strictly sequential.
+	lock, err := flock.Acquire(flock.DBLockPath(path))
+	if err != nil {
+		return fmt.Errorf("ifprob: saving database: %w", err)
+	}
+	defer lock.Unlock()
 	if err := fs.Fire(faults.DBSave, path); err != nil {
 		return fmt.Errorf("ifprob: saving database: %w", err)
 	}
@@ -203,6 +214,12 @@ func LoadWith(path string, fs *faults.Set) (*DB, error) {
 	}
 	db := NewDB()
 	for _, p := range f.Profiles {
+		if p == nil || p.Program == "" {
+			// A null entry (or one with no program name to key on) can
+			// only come from a hand-edited or corrupted file; surfaced
+			// by FuzzDBLoad.
+			return nil, fmt.Errorf("%w: %s: null profile entry", ErrCorrupt, path)
+		}
 		if err := p.CheckConsistent(); err != nil {
 			return nil, fmt.Errorf("%w: %s: inconsistent profile: %v", ErrCorrupt, path, err)
 		}

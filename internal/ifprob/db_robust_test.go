@@ -211,3 +211,24 @@ func TestCorruptSaveLeavesNoTempDroppings(t *testing.T) {
 		}
 	}
 }
+
+// TestCorruptNullProfileEntry is the regression test for a hardening
+// fix surfaced by FuzzDBLoad: a hand-edited or corrupted file whose
+// profile list contains null (or a profile with no program name) used
+// to nil-deref inside Load; it must report ErrCorrupt instead.
+func TestCorruptNullProfileEntry(t *testing.T) {
+	dir := t.TempDir()
+	for _, body := range []string{
+		`{"version":1,"profiles":[null]}`,
+		`{"version":1,"profiles":[{"Taken":[1],"Total":[2]}]}`,
+	} {
+		path := filepath.Join(dir, "db.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(path)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Load(%s) = %v, want ErrCorrupt", body, err)
+		}
+	}
+}

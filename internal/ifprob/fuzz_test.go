@@ -1,0 +1,58 @@
+package ifprob
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDBLoad feeds arbitrary bytes to the database loader. The
+// contract for a file of unknown provenance is: a healthy database
+// loads, anything else returns an error (ErrCorrupt for untrustworthy
+// contents) — never a panic. A database that loads must save and
+// reload unchanged.
+func FuzzDBLoad(f *testing.F) {
+	f.Add([]byte(`{"version":1,"profiles":[]}`))
+	f.Add([]byte(`{"version":1,"profiles":[{"Program":"p","Dataset":"d","Taken":[1],"Total":[2],"Instrs":10}]}`))
+	f.Add([]byte(`{"version":1,"profiles":[null]}`))
+	f.Add([]byte(`{"version":1,"profiles":[{"Program":"p","Taken":[3],"Total":[2]}]}`))
+	f.Add([]byte(`{"version":2,"profiles":[]}`))
+	f.Add([]byte(`{"version":1,"checksum":"deadbeef","profiles":[]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "db.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Load(path)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("spurious not-exist for present file: %v", err)
+			}
+			return
+		}
+		// A database the loader accepted must round-trip.
+		out := filepath.Join(dir, "out.json")
+		if err := db.Save(out); err != nil {
+			t.Fatalf("accepted database fails to save: %v", err)
+		}
+		again, err := Load(out)
+		if err != nil {
+			t.Fatalf("saved database fails to reload: %v", err)
+		}
+		progs := db.Programs()
+		if got := again.Programs(); len(got) != len(progs) {
+			t.Fatalf("round trip changed program count: %d vs %d", len(got), len(progs))
+		}
+		for _, name := range progs {
+			a, b := db.Get(name), again.Get(name)
+			if a.Executed() != b.Executed() || a.TakenCount() != b.TakenCount() {
+				t.Fatalf("round trip changed counters for %s", name)
+			}
+		}
+	})
+}

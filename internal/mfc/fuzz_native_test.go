@@ -1,0 +1,56 @@
+package mfc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile feeds arbitrary bytes to the compiler front end. The
+// contract for untrusted source (branchprofd accepts programs over
+// HTTP) is: a well-formed program compiles, anything else returns an
+// error — the compiler never panics and never hangs.
+func FuzzCompile(f *testing.F) {
+	f.Add("func main() int { return 0 }")
+	f.Add("func main() int { var i int; for i = 0; i < 10; i = i + 1 { puti(i); } return i }\nfunc puti(x int) int { return x }")
+	f.Add("func f(x int) int { if x > 0 && x < 9 { return 1; } return 0 }\nfunc main() int { return f(3) }")
+	f.Add("func main() int { switch 3 { case 1: return 1; case 2: return 2; default: return 9 } }")
+	f.Add("func main() float { var a [4]float; a[0] = 1.5; return sqrt(a[0]); }")
+	f.Add("func main() int { return }")
+	f.Add("\x00\xff{{{")
+	f.Add("func main() int { return 1 }\nfunc main() int { return 2 }")
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, opts := range []Options{
+			{},
+			{DeadBranchElim: true, InlineCalls: true, UseSelects: true},
+		} {
+			prog, err := Compile("fuzz", src, opts)
+			if err != nil {
+				continue
+			}
+			if prog == nil {
+				t.Fatalf("nil program with nil error (opts %+v)", opts)
+			}
+			// Site numbering must stay dense and in range for every
+			// branch the image carries — profiles index by site id.
+			for _, s := range prog.Sites {
+				if int(s.ID) >= len(prog.Sites) {
+					t.Fatalf("site id %d out of range (%d sites)", s.ID, len(prog.Sites))
+				}
+			}
+		}
+	})
+}
+
+// FuzzCompileLong guards against pathological inputs built from
+// repetition (deep nesting, long operator chains) blowing the stack.
+func FuzzCompileLong(f *testing.F) {
+	f.Add("func main() int { return ", "1+", 64)
+	f.Add("func main() int { if 1 < 2 { ", "if 1 < 2 { ", 32)
+	f.Fuzz(func(t *testing.T, prefix, unit string, n int) {
+		if n < 0 || n > 2000 || len(unit) > 64 {
+			t.Skip()
+		}
+		src := prefix + strings.Repeat(unit, n)
+		Compile("fuzz", src, Options{}) //nolint:errcheck // must not panic
+	})
+}

@@ -37,12 +37,26 @@ type Server struct {
 
 // Serve binds addr and serves the observability mux in a background
 // goroutine. The caller shuts it down with Close.
+//
+// Like every listener in this repository the server carries the full
+// set of read/write/idle timeouts and a header cap, so a stalled or
+// hostile peer cannot pin a connection (or its goroutine) forever.
+// The write timeout is generous because /debug/pprof/profile and
+// /debug/pprof/trace stream for their requested duration (30s
+// default) before writing completes.
 func Serve(addr string, reg *Registry, vmp *VMProfile) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewServeMux(reg, vmp), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           NewServeMux(reg, vmp),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	s := &Server{Addr: lis.Addr().String(), srv: srv, lis: lis}
 	go srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close
 	return s, nil

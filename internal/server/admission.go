@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission-control errors the HTTP layer maps to status codes.
+var (
+	// errShed reports a request rejected because the bounded queue is
+	// full — the load-shedding path, mapped to 429 + Retry-After.
+	errShed = errors.New("server: queue full, request shed")
+	// errDraining reports a request rejected (or unqueued) because the
+	// server is draining, mapped to 503.
+	errDraining = errors.New("server: draining")
+)
+
+// gate is the server's admission controller: a concurrency semaphore
+// sized to the engine pool plus a bounded waiting queue. At most
+// cap(sem) requests execute and at most maxQueue more wait; anything
+// beyond that is shed immediately, so a burst can never pile up
+// unbounded goroutines or memory. Draining unblocks every waiter.
+type gate struct {
+	sem      chan struct{}
+	maxTotal int64 // cap(sem) + queue bound
+
+	mu      sync.Mutex
+	inHouse int64 // admitted requests: executing + waiting
+
+	draining  chan struct{}
+	drainOnce sync.Once
+}
+
+func newGate(concurrency, queueDepth int) *gate {
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &gate{
+		sem:      make(chan struct{}, concurrency),
+		maxTotal: int64(concurrency + queueDepth),
+		draining: make(chan struct{}),
+	}
+}
+
+// acquire admits the request or rejects it with errShed (queue full),
+// errDraining (shutdown in progress), or ctx.Err() (caller gave up
+// while queued). On success the returned release func must be called
+// exactly once when the request finishes.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case <-g.draining:
+		return nil, errDraining
+	default:
+	}
+	g.mu.Lock()
+	if g.inHouse >= g.maxTotal {
+		g.mu.Unlock()
+		return nil, errShed
+	}
+	g.inHouse++
+	g.mu.Unlock()
+	leave := func() {
+		g.mu.Lock()
+		g.inHouse--
+		g.mu.Unlock()
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return func() {
+			<-g.sem
+			leave()
+		}, nil
+	case <-ctx.Done():
+		leave()
+		return nil, ctx.Err()
+	case <-g.draining:
+		leave()
+		return nil, errDraining
+	}
+}
+
+// beginDrain flips the gate into draining mode: waiters unblock with
+// errDraining and no new request is admitted. Idempotent.
+func (g *gate) beginDrain() {
+	g.drainOnce.Do(func() { close(g.draining) })
+}
+
+// load returns (executing, waiting) for the queue-depth gauges.
+func (g *gate) load() (executing, waiting int64) {
+	executing = int64(len(g.sem))
+	g.mu.Lock()
+	total := g.inHouse
+	g.mu.Unlock()
+	waiting = total - executing
+	if waiting < 0 {
+		waiting = 0
+	}
+	return executing, waiting
+}

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+
+	"branchprof/internal/engine"
+	"branchprof/internal/exp"
+	"branchprof/internal/ifprob"
+	"branchprof/internal/mfc"
+	"branchprof/internal/predict"
+	"branchprof/internal/vm"
+)
+
+// Request size limits beyond the transport body cap: a program or
+// dataset that blows these is rejected before any compute is spent.
+const (
+	maxNameLen   = 100
+	maxSourceLen = 256 << 10
+	maxInputLen  = 1 << 20
+)
+
+// nameRE validates program and dataset names. '@' is excluded so the
+// composite database key stays unambiguous; path characters are
+// excluded so names can never traverse anything downstream.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,99}$`)
+
+// profileRequest is the POST /v1/profile body: run a program on a
+// dataset and accumulate its branch profile.
+type profileRequest struct {
+	Program string      `json:"program"`
+	Source  string      `json:"source"`
+	Dataset string      `json:"dataset"`
+	Input   string      `json:"input"`
+	Options mfc.Options `json:"options"`
+	// Fuel caps the run's instruction budget; 0 (or anything above the
+	// server's MaxFuel) is clamped to MaxFuel.
+	Fuel uint64 `json:"fuel"`
+}
+
+// profileResponse summarizes the accumulated profile after the run.
+type profileResponse struct {
+	Program      string  `json:"program"`
+	Dataset      string  `json:"dataset"`
+	Sites        int     `json:"sites"`
+	Executed     uint64  `json:"executed"`
+	Taken        uint64  `json:"taken"`
+	PercentTaken float64 `json:"percent_taken"`
+	Coverage     float64 `json:"coverage"`
+	Instrs       uint64  `json:"instrs"`
+	CacheHit     bool    `json:"cache_hit"`
+	// Persisted reports whether the updated database reached disk;
+	// false in compute-only degraded mode (see /healthz).
+	Persisted bool `json:"persisted"`
+	Degraded  bool `json:"degraded"`
+}
+
+// predictRequest is the POST /v1/predict body: predict per-branch
+// directions for a program from its accumulated profiles.
+type predictRequest struct {
+	Program string      `json:"program"`
+	Source  string      `json:"source"`
+	Options mfc.Options `json:"options"`
+	// Mode is "scaled" (default), "unscaled" or "polling".
+	Mode string `json:"mode"`
+	// TargetDataset, when set, is held out of the training set and —
+	// when its profile is in the database — evaluated against, the
+	// paper's cross-dataset experiment.
+	TargetDataset string `json:"target_dataset"`
+}
+
+// sitePrediction is one static branch's predicted direction.
+type sitePrediction struct {
+	ID          int    `json:"id"`
+	Func        string `json:"func"`
+	Line        int    `json:"line"`
+	Label       string `json:"label"`
+	Direction   string `json:"direction"`
+	FromProfile bool   `json:"from_profile"`
+}
+
+// predictEval reports prediction quality against the held-out target
+// dataset, including the paper's instructions-per-mispredict measure.
+type predictEval struct {
+	TargetDataset      string  `json:"target_dataset"`
+	Executed           uint64  `json:"executed"`
+	Mispredicts        uint64  `json:"mispredicts"`
+	PercentCorrect     float64 `json:"percent_correct"`
+	InstrsPerMispredict float64 `json:"instrs_per_mispredict"`
+}
+
+// predictResponse is the POST /v1/predict reply.
+type predictResponse struct {
+	Program string `json:"program"`
+	Mode    string `json:"mode"`
+	// TrainedOn lists the datasets whose profiles fed the prediction;
+	// empty when the prediction is heuristic-only.
+	TrainedOn     []string         `json:"trained_on"`
+	HeuristicOnly bool             `json:"heuristic_only"`
+	Sites         []sitePrediction `json:"sites"`
+	Eval          *predictEval     `json:"eval,omitempty"`
+	Degraded      bool             `json:"degraded"`
+}
+
+// programInfo is one entry of GET /v1/programs.
+type programInfo struct {
+	Program  string   `json:"program"`
+	Datasets []string `json:"datasets"`
+	Sites    int      `json:"sites"`
+	Executed uint64   `json:"executed"`
+}
+
+// decodeBody parses the limited request body into v. The error is
+// pre-classified: oversized bodies are 413, malformed JSON 400.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", s.opts.MaxBodyBytes))
+		} else {
+			writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// validateNames rejects out-of-contract program/dataset identifiers
+// and source/input blobs before any compute is admitted.
+func validateProfileRequest(req *profileRequest) error {
+	if !nameRE.MatchString(req.Program) {
+		return fmt.Errorf("program name must match %s", nameRE)
+	}
+	if !nameRE.MatchString(req.Dataset) {
+		return fmt.Errorf("dataset name must match %s", nameRE)
+	}
+	if req.Source == "" {
+		return errors.New("source is required")
+	}
+	if len(req.Source) > maxSourceLen {
+		return fmt.Errorf("source exceeds %d bytes", maxSourceLen)
+	}
+	if len(req.Input) > maxInputLen {
+		return fmt.Errorf("input exceeds %d bytes", maxInputLen)
+	}
+	return nil
+}
+
+// handleProfile runs one program×dataset measurement and accumulates
+// its profile in the database.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req profileRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := validateProfileRequest(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fuel := req.Fuel
+	if fuel == 0 || fuel > s.opts.MaxFuel {
+		fuel = s.opts.MaxFuel
+	}
+	spec := engine.Spec{
+		Name:    req.Program,
+		Source:  req.Source,
+		Options: req.Options,
+		Dataset: req.Dataset,
+		Input:   []byte(req.Input),
+		Config:  vm.Config{Fuel: fuel},
+	}
+	out, err := s.eng.ExecuteContext(r.Context(), spec)
+	s.feedEngineDiskHealth()
+	if err != nil {
+		code, msg := classify(err)
+		writeError(w, code, msg)
+		return
+	}
+	prof := out.Prof.Clone()
+	prof.Program = dbKey(req.Program, req.Dataset)
+	if err := s.db.Add(prof); err != nil {
+		// Same name, different shape: the program was previously
+		// profiled from different source or compiler options.
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("profile conflicts with accumulated data for %s/%s (source or options changed?): %v",
+				req.Program, req.Dataset, err))
+		return
+	}
+	persisted := s.saveDB()
+	acc := s.db.Get(dbKey(req.Program, req.Dataset))
+	writeJSON(w, http.StatusOK, profileResponse{
+		Program:      req.Program,
+		Dataset:      req.Dataset,
+		Sites:        acc.Sites(),
+		Executed:     acc.Executed(),
+		Taken:        acc.TakenCount(),
+		PercentTaken: acc.PercentTaken(),
+		Coverage:     acc.Coverage(),
+		Instrs:       out.Res.Instrs,
+		CacheHit:     out.CacheHit,
+		Persisted:    persisted,
+		Degraded:     s.Degraded(),
+	})
+}
+
+// handlePredict serves a cross-dataset prediction for a program from
+// the profiles accumulated so far.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if !nameRE.MatchString(req.Program) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("program name must match %s", nameRE))
+		return
+	}
+	if req.Source == "" || len(req.Source) > maxSourceLen {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("source is required and at most %d bytes", maxSourceLen))
+		return
+	}
+	if req.TargetDataset != "" && !nameRE.MatchString(req.TargetDataset) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("target_dataset name must match %s", nameRE))
+		return
+	}
+	var mode predict.CombineMode
+	switch req.Mode {
+	case "", "scaled":
+		mode = predict.Scaled
+	case "unscaled":
+		mode = predict.Unscaled
+	case "polling":
+		mode = predict.Polling
+	default:
+		writeError(w, http.StatusBadRequest, `mode must be "scaled", "unscaled" or "polling"`)
+		return
+	}
+	prog, err := s.eng.CompileContext(r.Context(), req.Program, req.Source, req.Options)
+	if err != nil {
+		code, msg := classify(err)
+		writeError(w, code, msg)
+		return
+	}
+
+	// Gather the program's per-dataset profiles, holding out the target.
+	var train []*ifprob.Profile
+	var trainedOn []string
+	var target *ifprob.Profile
+	for _, key := range s.db.Programs() {
+		p, ds := splitDBKey(key)
+		if p != req.Program {
+			continue
+		}
+		prof := s.db.Get(key)
+		if prof.Sites() != len(prog.Sites) {
+			// Accumulated under a different compilation of the same
+			// name; unusable for this image.
+			continue
+		}
+		if ds == req.TargetDataset {
+			target = prof
+			continue
+		}
+		train = append(train, prof)
+		trainedOn = append(trainedOn, ds)
+	}
+
+	pr, err := predict.Combine(train, mode, prog.Sites, predict.LoopHeuristic)
+	heuristicOnly := false
+	if errors.Is(err, predict.ErrNoProfiles) {
+		// No training data yet: fall back to the static heuristic, the
+		// compiler's default when no feedback exists.
+		pr = predict.FromHeuristic(prog.Sites, predict.LoopHeuristic)
+		heuristicOnly = true
+	} else if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	resp := predictResponse{
+		Program:       req.Program,
+		Mode:          mode.String(),
+		TrainedOn:     trainedOn,
+		HeuristicOnly: heuristicOnly,
+		Degraded:      s.Degraded(),
+	}
+	resp.Sites = make([]sitePrediction, len(prog.Sites))
+	for i, site := range prog.Sites {
+		fromProfile := !heuristicOnly && i < len(pr.FromProfile) && pr.FromProfile[i]
+		resp.Sites[i] = sitePrediction{
+			ID:          site.ID,
+			Func:        site.Func,
+			Line:        site.Line,
+			Label:       site.Label,
+			Direction:   pr.Dir[i].String(),
+			FromProfile: fromProfile,
+		}
+	}
+	if target != nil {
+		ev, err := predict.Evaluate(pr, target)
+		if err == nil {
+			ipm := float64(target.Instrs)
+			if ev.Mispredicts > 0 {
+				ipm /= float64(ev.Mispredicts)
+			} else {
+				ipm = math.Inf(1)
+			}
+			resp.Eval = &predictEval{
+				TargetDataset:      req.TargetDataset,
+				Executed:           ev.Executed,
+				Mispredicts:        ev.Mispredicts,
+				PercentCorrect:     ev.PercentCorrect(),
+				InstrsPerMispredict: ipm,
+			}
+		}
+	}
+	// InstrsPerMispredict is +Inf for a perfectly predicted target;
+	// route past encoding/json's non-finite rejection.
+	data, err := exp.MarshalSafe(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data) //nolint:errcheck // client gone is not actionable
+}
+
+// handlePrograms lists the accumulated profile inventory.
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	byProgram := make(map[string]*programInfo)
+	for _, key := range s.db.Programs() {
+		p, ds := splitDBKey(key)
+		prof := s.db.Get(key)
+		info := byProgram[p]
+		if info == nil {
+			info = &programInfo{Program: p, Sites: prof.Sites()}
+			byProgram[p] = info
+		}
+		info.Datasets = append(info.Datasets, ds)
+		info.Executed += prof.Executed()
+	}
+	names := make([]string, 0, len(byProgram))
+	for n := range byProgram {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]programInfo, 0, len(names))
+	for _, n := range names {
+		sort.Strings(byProgram[n].Datasets)
+		out = append(out, *byProgram[n])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"programs": out})
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status        string `json:"status"` // "ok" or "degraded"
+	Breaker       string `json:"breaker"`
+	Draining      bool   `json:"draining"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Engine disk-cache trouble the operator should know about even
+	// when the breaker has recovered.
+	CacheWriteErrors uint64 `json:"cache_write_errors"`
+	CacheInvalid     uint64 `json:"cache_invalid"`
+	Programs         int    `json:"programs"`
+}
+
+// handleHealthz reports liveness plus degradation detail. It always
+// answers 200 while the process is up — degradation is data, not
+// death — and bypasses admission control so overload cannot starve it.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	status := "ok"
+	if s.Degraded() {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:           status,
+		Breaker:          s.breaker.State().String(),
+		Draining:         s.draining.Load(),
+		UptimeSeconds:    s.uptime().Seconds(),
+		CacheWriteErrors: st.DiskWriteErrs,
+		CacheInvalid:     st.DiskInvalid,
+		Programs:         len(s.db.Programs()),
+	})
+}
+
+// handleReadyz reports readiness for traffic: 200 after Listen, 503
+// once draining begins (before the listener closes, so load balancers
+// see the flip while connections still work).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	reason := "not started"
+	if s.draining.Load() {
+		reason = "draining"
+	}
+	writeError(w, http.StatusServiceUnavailable, reason)
+}
+
+// classify maps a pipeline error to the HTTP status that tells the
+// client whose fault it was: bad programs are 400, programs that
+// trap at runtime are 422, deadlines 504, cancellations 499, drain
+// 503 — and anything else (including recovered panics and injected
+// faults) is an honest 500.
+func classify(err error) (int, string) {
+	var se *engine.StageError
+	var pe *engine.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, "internal error: " + err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline exceeded: " + err.Error()
+	case errors.Is(err, context.Canceled):
+		return statusClientGone, "cancelled: " + err.Error()
+	}
+	if errors.As(err, &se) {
+		switch se.Stage {
+		case "compile":
+			return http.StatusBadRequest, "compile error: " + trimEngine(err)
+		case "run", "profile":
+			if isTrap(err) {
+				return http.StatusUnprocessableEntity, "runtime trap: " + trimEngine(err)
+			}
+		}
+	}
+	return http.StatusInternalServerError, "internal error: " + err.Error()
+}
+
+// isTrap reports whether err is a VM resource/behaviour trap — the
+// program's fault, not the server's.
+func isTrap(err error) bool {
+	var re *vm.RuntimeError
+	return errors.Is(err, vm.ErrFuel) || errors.As(err, &re)
+}
+
+// trimEngine drops the "engine: <stage> <spec>: " prefix so client
+// errors read as their cause.
+func trimEngine(err error) string {
+	msg := err.Error()
+	if i := strings.Index(msg, ": "); i >= 0 && strings.HasPrefix(msg, "engine: ") {
+		if j := strings.Index(msg[i+2:], ": "); j >= 0 {
+			return msg[i+2+j+2:]
+		}
+	}
+	return msg
+}

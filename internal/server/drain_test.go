@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"branchprof/internal/engine"
+	"branchprof/internal/faults"
+	"branchprof/internal/ifprob"
+)
+
+// postHTTP sends a real HTTP request to a listening server.
+func postHTTP(t *testing.T, addr, path string, body any) (*http.Response, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	return http.Post("http://"+addr+path, "application/json", &buf)
+}
+
+// waitLoad polls the admission gate until it reaches the wanted shape,
+// so drain tests order events without sleeping blind.
+func waitLoad(t *testing.T, s *Server, executing, waiting int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if e, q := s.gate.load(); e == executing && q == waiting {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	e, q := s.gate.load()
+	t.Fatalf("gate never reached executing=%d waiting=%d (at %d/%d)", executing, waiting, e, q)
+}
+
+// TestGracefulDrain covers the SIGTERM choreography end to end over a
+// real listener: readiness flips before the listener closes, queued
+// requests are shed with 503, the in-flight request completes with its
+// correct answer, the final database save lands, and OnDrained runs.
+func TestGracefulDrain(t *testing.T) {
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.Run, Kind: faults.Delay, Delay: 400 * time.Millisecond})
+	eng := engine.New(engine.Options{Workers: 1, Faults: fs})
+	dbPath := t.TempDir() + "/profiles.json"
+	var drained atomic.Int32
+	s := newTestServer(t, Options{
+		Engine:      eng,
+		DBPath:      dbPath,
+		Concurrency: 1,
+		QueueDepth:  1,
+		OnDrained:   func() { drained.Add(1) },
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A: in-flight, holding the only slot for ~400ms.
+	aCh := make(chan *http.Response, 1)
+	go func() {
+		resp, err := postHTTP(t, addr, "/v1/profile", profileBody("count", "da", countSrc, "aab"))
+		if err == nil {
+			aCh <- resp
+		} else {
+			t.Error(err)
+			close(aCh)
+		}
+	}()
+	waitLoad(t, s, 1, 0)
+
+	// B: queued behind A.
+	bCh := make(chan *http.Response, 1)
+	go func() {
+		resp, err := postHTTP(t, addr, "/v1/profile", profileBody("count", "db", countSrc, "bbb"))
+		if err == nil {
+			bCh <- resp
+		} else {
+			t.Error(err)
+			close(bCh)
+		}
+	}()
+	waitLoad(t, s, 1, 1)
+
+	s.BeginDrain()
+
+	// Readiness flips while the listener is still serving: the probe
+	// itself travels over the open listener.
+	resp, err := http.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatalf("listener closed before drain completed: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", resp.StatusCode)
+	}
+
+	// B was waiting: unblocked with 503 + Retry-After.
+	select {
+	case resp := <-bCh:
+		if resp == nil {
+			t.Fatal("queued request failed at transport level")
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("queued request during drain: %d (Retry-After %q), want 503 with hint",
+				resp.StatusCode, resp.Header.Get("Retry-After"))
+		}
+		resp.Body.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request not unblocked by drain")
+	}
+
+	// C: new arrival during drain is rejected outright.
+	resp, err = postHTTP(t, addr, "/v1/profile", profileBody("count", "dc", countSrc, "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("new request during drain = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Drain completes within the hard deadline; A finishes first.
+	start := time.Now()
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if el := time.Since(start); el > 8*time.Second {
+		t.Fatalf("drain took %v", el)
+	}
+	select {
+	case resp := <-aCh:
+		if resp == nil {
+			t.Fatal("in-flight request failed at transport level")
+		}
+		var pr profileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		// "aab": 3 loop iterations + 2 a's.
+		if resp.StatusCode != http.StatusOK || pr.Taken != 5 || pr.Executed != 7 {
+			t.Fatalf("in-flight request during drain: %d %+v", resp.StatusCode, pr)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("in-flight request did not complete")
+	}
+
+	if got := drained.Load(); got != 1 {
+		t.Fatalf("OnDrained ran %d times, want 1", got)
+	}
+	// The final save flushed A's profile.
+	if _, err := os.Stat(dbPath); err != nil {
+		t.Fatalf("final database save missing: %v", err)
+	}
+	db, err := ifprob.Load(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Programs()) != 1 || db.Programs()[0] != "count@da" {
+		t.Fatalf("drained database holds %v", db.Programs())
+	}
+	// The listener is actually closed now.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+// TestDrainHardDeadline: when an in-flight request outlives the drain
+// context, Drain returns the context error instead of hanging, and the
+// remaining connection is force-closed.
+func TestDrainHardDeadline(t *testing.T) {
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.Run, Kind: faults.Delay, Delay: 3 * time.Second})
+	eng := engine.New(engine.Options{Workers: 1, Faults: fs})
+	s := newTestServer(t, Options{Engine: eng, Concurrency: 1, QueueDepth: 0})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := postHTTP(t, addr, "/v1/profile", profileBody("count", "slow", countSrc, "a"))
+		if err == nil {
+			resp.Body.Close()
+		}
+		// Either a transport error (connection force-closed) or a late
+		// response is fine — the point is the server did not wait.
+	}()
+	waitLoad(t, s, 1, 0)
+
+	start := time.Now()
+	dctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	err = s.Drain(dctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain past deadline = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("hard deadline did not bound the drain: %v", el)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("force-close left the client hanging")
+	}
+}
+
+// TestBeginDrainIdempotent: repeated BeginDrain (SIGTERM storms) is
+// safe, and Drain after BeginDrain still completes.
+func TestBeginDrainIdempotent(t *testing.T) {
+	s := newTestServer(t, Options{Concurrency: 1})
+	for i := 0; i < 3; i++ {
+		s.BeginDrain()
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain without listener: %v", err)
+	}
+}

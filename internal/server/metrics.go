@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"branchprof/internal/obs"
+)
+
+// serverMetrics is branchprofd's instrumentation, registered on the
+// engine's registry so /metrics serves the whole picture (pipeline
+// stages, caches, and the serving layer) from one endpoint. Metric
+// names are documented in docs/SERVER.md.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	shedQueueFull *obs.Counter
+	shedDraining  *obs.Counter
+	panics        *obs.Counter
+
+	dbSaves   *obs.Counter
+	dbErrors  *obs.Counter
+	dbSkipped *obs.Counter
+
+	latency *obs.Histogram
+
+	// lastEngineDiskErrs is the high-water mark of engine cache I/O
+	// failures already fed into the circuit breaker.
+	lastEngineDiskErrs atomic.Uint64
+
+	mu       sync.Mutex
+	requests map[string]*obs.Counter // route|code → counter
+}
+
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	const shedHelp = "Requests rejected by admission control."
+	const dbHelp = "Profile database save attempts by outcome."
+	m := &serverMetrics{
+		reg:           reg,
+		shedQueueFull: reg.Counter(`branchprofd_shed_total{reason="queue_full"}`, shedHelp),
+		shedDraining:  reg.Counter(`branchprofd_shed_total{reason="draining"}`, shedHelp),
+		panics:        reg.Counter("branchprofd_panics_total", "Handler panics recovered into 500s."),
+		dbSaves:       reg.Counter(`branchprofd_db_save_total{result="ok"}`, dbHelp),
+		dbErrors:      reg.Counter(`branchprofd_db_save_total{result="error"}`, dbHelp),
+		dbSkipped:     reg.Counter(`branchprofd_db_save_total{result="skipped"}`, dbHelp),
+		latency: reg.Histogram("branchprofd_request_seconds",
+			"Request latency by route, admission wait included.", obs.DefLatencyBuckets),
+		requests: make(map[string]*obs.Counter),
+	}
+	reg.GaugeFunc("branchprofd_inflight", "Requests holding an execution slot.",
+		func() float64 { e, _ := s.gate.load(); return float64(e) })
+	reg.GaugeFunc("branchprofd_queued", "Requests waiting for an execution slot.",
+		func() float64 { _, q := s.gate.load(); return float64(q) })
+	reg.GaugeFunc("branchprofd_breaker_open", "Persistent-I/O circuit breaker: 0 closed, 1 open, 0.5 half-open.",
+		func() float64 {
+			switch s.breaker.State() {
+			case breakerOpen:
+				return 1
+			case breakerHalfOpen:
+				return 0.5
+			}
+			return 0
+		})
+	reg.GaugeFunc("branchprofd_degraded", "1 while in compute-only degraded mode.",
+		func() float64 {
+			if s.breaker.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	return m
+}
+
+// observe records one finished request.
+func (m *serverMetrics) observe(route string, code int, d time.Duration) {
+	if m.reg == nil {
+		return
+	}
+	key := fmt.Sprintf("%s|%d", route, code)
+	m.mu.Lock()
+	c, ok := m.requests[key]
+	if !ok {
+		c = m.reg.Counter(
+			fmt.Sprintf(`branchprofd_requests_total{route=%q,code="%d"}`, route, code),
+			"Requests by route and status code.")
+		m.requests[key] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+	m.latency.Observe(d.Seconds())
+}

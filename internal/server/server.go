@@ -1,0 +1,447 @@
+// Package server is branchprofd: the repository's measurement
+// pipeline (internal/engine) behind a long-running, hardened HTTP
+// service. Clients POST MF programs and datasets; the server compiles
+// and runs them through the shared engine (reusing its caches, fault
+// discipline and observability wiring), accumulates per-branch
+// profiles in an ifprob database keyed by program and dataset, and
+// serves cross-dataset predictions — the paper's feedback loop
+// (profile previous runs, predict the next one) as an online service.
+//
+// The robustness machinery is the point of the package:
+//
+//   - admission control: a concurrency semaphore sized to the engine
+//     pool plus a bounded waiting queue; a burst beyond both is shed
+//     immediately with 429 and a Retry-After hint, so overload can
+//     never queue unbounded goroutines or memory;
+//   - per-request deadlines propagated as contexts into the VM's
+//     cancellation poll (408/504 instead of a wedged worker);
+//   - strict input validation and body size limits: compiler errors
+//     are 400, VM traps (fuel, stack, output) are 422 — hostile input
+//     never crashes the process;
+//   - panic-to-500 recovery middleware around every handler;
+//   - a circuit breaker around persistent DB/cache I/O: when the disk
+//     misbehaves the server degrades to compute-only mode (profiles
+//     stay in memory, saves are skipped until a half-open probe
+//     succeeds) and reports the degradation via /healthz and metrics;
+//   - /healthz and /readyz endpoints, and SIGTERM graceful drain with
+//     a hard deadline: readiness flips first, in-flight requests
+//     complete, queued requests are shed with 503.
+//
+// See docs/SERVER.md for the endpoint reference and a walkthrough.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"branchprof/internal/engine"
+	"branchprof/internal/faults"
+	"branchprof/internal/ifprob"
+	"branchprof/internal/obs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Engine is the measurement pipeline; nil builds a private one
+	// from CacheDir/Faults/Obs.
+	Engine *engine.Engine
+	// CacheDir enables the engine's persistent measurement cache when
+	// Engine is nil.
+	CacheDir string
+	// DBPath, when non-empty, persists the accumulated profile
+	// database there (loaded at startup, saved after each update
+	// through the circuit breaker, final save on drain).
+	DBPath string
+	// Concurrency bounds simultaneously executing requests;
+	// 0 means the engine's worker count.
+	Concurrency int
+	// QueueDepth bounds requests waiting for an execution slot beyond
+	// Concurrency; anything past both is shed with 429. 0 means 64,
+	// negative means no queue (immediate shed when busy).
+	QueueDepth int
+	// RequestTimeout is the per-request deadline propagated into the
+	// VM; 0 means 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; 0 means 4 MiB.
+	MaxBodyBytes int64
+	// MaxFuel caps the instruction budget a request may ask for (and
+	// is the default when it asks for none); 0 means 1<<26. Keeping it
+	// well below the VM's offline default bounds slot hold time.
+	MaxFuel uint64
+	// RetryAfter is the Retry-After hint on 429/503 responses;
+	// 0 means 1s.
+	RetryAfter time.Duration
+	// BreakerThreshold is the consecutive persistent-I/O failures that
+	// open the circuit; 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long the circuit stays open before a
+	// half-open probe; 0 means 5s.
+	BreakerCooldown time.Duration
+	// Faults injects faults into the server's own persistence stages
+	// (chaos tests only; nil in production). The engine carries its
+	// own set.
+	Faults *faults.Set
+	// Obs supplies observability sinks (metrics registry, tracer,
+	// clock). Nil-safe throughout.
+	Obs *obs.Obs
+	// OnDrained, when non-nil, runs after a drain completes — the hook
+	// cmd/branchprofd uses to flush observability sinks before exit.
+	OnDrained func()
+}
+
+// Server is the branchprofd HTTP service. Construct with New, attach
+// with Handler or Listen, stop with Drain (graceful) or Close (hard).
+type Server struct {
+	opts    Options
+	eng     *engine.Engine
+	db      *ifprob.DB
+	gate    *gate
+	breaker *breaker
+	mux     *http.ServeMux
+
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	dbMu sync.Mutex // serializes DB saves and the save/skip decision
+
+	httpMu sync.Mutex
+	http   *http.Server
+	lis    net.Listener
+
+	startedAt time.Time
+
+	m *serverMetrics
+}
+
+// New builds the server, loading the persisted database if DBPath
+// names one. A corrupt database file is quarantined (renamed aside
+// with a ".corrupt" suffix) rather than refusing to start or silently
+// overwriting evidence; the server then starts empty and says so in
+// the returned warning.
+func New(opts Options) (*Server, Warnings, error) {
+	var warns Warnings
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.New(engine.Options{CacheDir: opts.CacheDir, Faults: opts.Faults, Obs: opts.Obs})
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = eng.WorkerCount()
+	}
+	switch {
+	case opts.QueueDepth == 0:
+		opts.QueueDepth = 64
+	case opts.QueueDepth < 0:
+		opts.QueueDepth = 0
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 4 << 20
+	}
+	if opts.MaxFuel == 0 {
+		opts.MaxFuel = 1 << 26
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	s := &Server{
+		opts:      opts,
+		eng:       eng,
+		db:        ifprob.NewDB(),
+		gate:      newGate(opts.Concurrency, opts.QueueDepth),
+		breaker:   newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Obs.Now),
+		startedAt: opts.Obs.Now(),
+	}
+	s.db.SetFaults(opts.Faults)
+	if opts.DBPath != "" {
+		db, err := ifprob.LoadWith(opts.DBPath, opts.Faults)
+		switch {
+		case err == nil:
+			db.SetFaults(opts.Faults)
+			s.db = db
+		case errors.Is(err, fs.ErrNotExist):
+			// First run: start empty.
+		case errors.Is(err, ifprob.ErrCorrupt):
+			quarantine := opts.DBPath + ".corrupt"
+			if rerr := os.Rename(opts.DBPath, quarantine); rerr != nil {
+				return nil, warns, fmt.Errorf("server: database %s is corrupt and cannot be quarantined: %v (load error: %w)", opts.DBPath, rerr, err)
+			}
+			warns = append(warns, fmt.Sprintf("database %s was corrupt; quarantined to %s, starting empty", opts.DBPath, quarantine))
+		default:
+			return nil, warns, fmt.Errorf("server: loading database: %w", err)
+		}
+	}
+	s.m = newServerMetrics(eng.Registry(), s)
+	s.mux = s.buildMux()
+	return s, warns, nil
+}
+
+// Warnings are non-fatal startup conditions the operator should see.
+type Warnings []string
+
+// Engine returns the engine the server routes work through.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// DB returns the accumulated profile database (live handle; the DB is
+// safe for concurrent use).
+func (s *Server) DB() *ifprob.DB { return s.db }
+
+// buildMux wires the endpoint table. Every API handler runs inside
+// the recover/metrics middleware; health endpoints bypass admission
+// control so an overloaded server still answers its probes.
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/profile", s.instrument("profile", s.admitted(s.handleProfile)))
+	mux.Handle("/v1/predict", s.instrument("predict", s.admitted(s.handlePredict)))
+	mux.Handle("/v1/programs", s.instrument("programs", http.HandlerFunc(s.handlePrograms)))
+	mux.Handle("/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/readyz", s.instrument("readyz", http.HandlerFunc(s.handleReadyz)))
+	if reg := s.eng.Registry(); reg != nil {
+		mux.Handle("/metrics", reg)
+	}
+	return mux
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Listen binds addr and serves in a background goroutine with the
+// full set of listener timeouts (see docs/SERVER.md). It flips
+// readiness on and returns the bound address, useful with ":0".
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+	s.httpMu.Lock()
+	s.http = srv
+	s.lis = lis
+	s.httpMu.Unlock()
+	s.ready.Store(true)
+	go srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Drain/Close
+	return lis.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Listen.
+func (s *Server) Addr() string {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// BeginDrain flips the server into draining mode without touching the
+// listener: /readyz starts answering 503 (so load balancers stop
+// sending traffic while the listener is still open), no new request
+// is admitted, and queued requests unblock with 503. Idempotent.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.ready.Store(false)
+		s.gate.beginDrain()
+	}
+}
+
+// Drain gracefully shuts the server down: BeginDrain, then wait for
+// in-flight requests to complete and the listener to close, bounded
+// by ctx (the hard deadline — when it expires remaining connections
+// are force-closed and ctx.Err is returned). The database gets a
+// final best-effort save through the circuit breaker, and OnDrained
+// runs last.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	s.httpMu.Lock()
+	srv := s.http
+	s.httpMu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+		if err != nil {
+			srv.Close()
+		}
+	}
+	s.saveDB()
+	if s.opts.OnDrained != nil {
+		s.opts.OnDrained()
+	}
+	return err
+}
+
+// Close stops the server immediately (tests, fatal paths).
+func (s *Server) Close() error {
+	s.BeginDrain()
+	s.httpMu.Lock()
+	srv := s.http
+	s.httpMu.Unlock()
+	if srv != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// Degraded reports whether the server is in compute-only degraded
+// mode (persistent I/O circuit open or probing).
+func (s *Server) Degraded() bool { return s.breaker.Degraded() }
+
+// instrument is the outermost middleware: panic-to-500 recovery plus
+// the request counter and latency histogram.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.opts.Obs.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Inc()
+				// The handler may have written nothing yet; best-effort 500.
+				writeError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+			s.m.observe(route, sw.code, s.opts.Obs.Now().Sub(start))
+		}()
+		ctx, sp := s.opts.Obs.Start(r.Context(), "serve."+route)
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		sp.SetAttr("code", sw.code)
+		sp.End()
+	})
+}
+
+// admitted wraps an execution-bearing handler in admission control
+// and the per-request deadline. Shed requests get 429 + Retry-After,
+// drain rejections 503 + Retry-After, and a client that gives up
+// while queued is released without ever taking a slot.
+func (s *Server) admitted(next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.gate.acquire(r.Context())
+		if err != nil {
+			retry := strconv.Itoa(int((s.opts.RetryAfter + time.Second - 1) / time.Second))
+			switch {
+			case errors.Is(err, errShed):
+				s.m.shedQueueFull.Inc()
+				w.Header().Set("Retry-After", retry)
+				writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+			case errors.Is(err, errDraining):
+				s.m.shedDraining.Inc()
+				w.Header().Set("Retry-After", retry)
+				writeError(w, http.StatusServiceUnavailable, "server draining")
+			default: // client went away while queued
+				writeError(w, statusClientGone, "client cancelled while queued")
+			}
+			return
+		}
+		defer release()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		next(w, r.WithContext(ctx))
+	})
+}
+
+// statusClientGone mirrors nginx's non-standard 499 "client closed
+// request" — the connection is usually gone, the code feeds metrics.
+const statusClientGone = 499
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// saveDB persists the database through the circuit breaker. Returns
+// whether the profile data is durable on disk (false when persistence
+// is unconfigured, skipped by an open circuit, or failed).
+func (s *Server) saveDB() bool {
+	if s.opts.DBPath == "" {
+		return false
+	}
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	if !s.breaker.Allow() {
+		s.m.dbSkipped.Inc()
+		return false
+	}
+	err := s.db.Save(s.opts.DBPath)
+	s.breaker.Record(err)
+	if err != nil {
+		s.m.dbErrors.Inc()
+		return false
+	}
+	s.m.dbSaves.Inc()
+	return true
+}
+
+// feedEngineDiskHealth routes the engine's cache-I/O failure counters
+// into the circuit breaker, so a disk that only the measurement cache
+// touches still trips the server into (reported) degraded mode.
+func (s *Server) feedEngineDiskHealth() {
+	st := s.eng.Stats()
+	errs := st.DiskWriteErrs + st.RetryGiveUps
+	last := s.m.lastEngineDiskErrs.Swap(errs)
+	if errs > last {
+		s.breaker.Record(fmt.Errorf("server: engine cache I/O errors (%d new)", errs-last))
+	}
+}
+
+// uptime is the server's age, for /healthz.
+func (s *Server) uptime() time.Duration {
+	return s.opts.Obs.Now().Sub(s.startedAt)
+}
+
+// dbKey is the composite key profiles are stored under: program and
+// dataset names are validated to exclude '@', so the join is
+// unambiguous.
+func dbKey(program, dataset string) string { return program + "@" + dataset }
+
+// splitDBKey undoes dbKey.
+func splitDBKey(key string) (program, dataset string) {
+	if i := strings.IndexByte(key, '@'); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return key, ""
+}
+
+// writeJSON renders v as the response body with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+// writeError renders the uniform error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg, "status": code})
+}

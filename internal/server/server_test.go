@@ -1,0 +1,382 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"branchprof/internal/engine"
+)
+
+// countSrc branches on every input byte: the `if (c == 97)` site is
+// taken exactly once per 'a', so profiles — and cross-dataset
+// predictions — depend on the dataset in a way tests can compute.
+const countSrc = `
+func main() int {
+	var n int = 0;
+	var c int = getc();
+	while (c >= 0) {
+		if (c == 97) {
+			n = n + 1;
+		}
+		c = getc();
+	}
+	return n;
+}
+`
+
+// spinSrc never terminates; only the fuel limit stops it.
+const spinSrc = `
+func main() int {
+	var c int = 1;
+	while (c == 1) {
+		c = 1;
+	}
+	return c;
+}
+`
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, warns, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range warns {
+		t.Logf("startup warning: %s", w)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// doJSON posts body to path on the server's handler and decodes the
+// reply into out (when non-nil), returning the status code.
+func doJSON(t *testing.T, s *Server, method, path string, body, out any) int {
+	t.Helper()
+	code, _ := doJSONHdr(t, s, method, path, body, out)
+	return code
+}
+
+// doJSONHdr is doJSON plus the response headers.
+func doJSONHdr(t *testing.T, s *Server, method, path string, body, out any) (int, http.Header) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if out != nil && rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: undecodable body %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code, rec.Header()
+}
+
+func profileBody(program, dataset, source, input string) map[string]any {
+	return map[string]any{
+		"program": program, "dataset": dataset, "source": source, "input": input,
+	}
+}
+
+func TestProfileAccumulateAndPredict(t *testing.T) {
+	s := newTestServer(t, Options{Concurrency: 2})
+
+	// Profile two datasets with known branch behaviour.
+	var pr profileResponse
+	if code := doJSON(t, s, "POST", "/v1/profile", profileBody("count", "mostly-a", countSrc, "aaab"), &pr); code != http.StatusOK {
+		t.Fatalf("profile = %d", code)
+	}
+	if pr.Program != "count" || pr.Dataset != "mostly-a" || pr.Executed == 0 {
+		t.Fatalf("bad profile response: %+v", pr)
+	}
+	// Cross-check against a direct engine run of the same spec.
+	out, err := engine.New(engine.Options{}).Execute(engine.Spec{
+		Name: "count", Source: countSrc, Dataset: "mostly-a", Input: []byte("aaab"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Executed != out.Prof.Executed() || pr.Taken != out.Prof.TakenCount() {
+		t.Fatalf("served profile %d/%d, direct run %d/%d",
+			pr.Taken, pr.Executed, out.Prof.TakenCount(), out.Prof.Executed())
+	}
+	if code := doJSON(t, s, "POST", "/v1/profile", profileBody("count", "no-a", countSrc, "bbbb"), &pr); code != http.StatusOK {
+		t.Fatalf("profile 2 = %d", code)
+	}
+
+	// Same program+dataset again: accumulates, does not conflict.
+	if code := doJSON(t, s, "POST", "/v1/profile", profileBody("count", "mostly-a", countSrc, "aaab"), &pr); code != http.StatusOK {
+		t.Fatalf("re-profile = %d", code)
+	}
+	if pr.Executed != 2*out.Prof.Executed() {
+		t.Fatalf("accumulation: executed = %d, want %d", pr.Executed, 2*out.Prof.Executed())
+	}
+
+	// Predict no-a from mostly-a: the if site trained taken, target
+	// never takes it.
+	var pd predictResponse
+	body := map[string]any{"program": "count", "source": countSrc, "target_dataset": "no-a"}
+	if code := doJSON(t, s, "POST", "/v1/predict", body, &pd); code != http.StatusOK {
+		t.Fatalf("predict = %d", code)
+	}
+	if pd.HeuristicOnly {
+		t.Fatal("prediction ignored the accumulated profiles")
+	}
+	if len(pd.TrainedOn) != 1 || pd.TrainedOn[0] != "mostly-a" {
+		t.Fatalf("trained on %v, want [mostly-a]", pd.TrainedOn)
+	}
+	if pd.Eval == nil || pd.Eval.TargetDataset != "no-a" {
+		t.Fatalf("missing eval against held-out target: %+v", pd.Eval)
+	}
+	if pd.Eval.Executed == 0 || pd.Eval.Mispredicts == 0 {
+		t.Fatalf("expected mispredicts against inverted dataset, got %+v", *pd.Eval)
+	}
+	var ifSite *sitePrediction
+	for i := range pd.Sites {
+		if pd.Sites[i].Label == "if" {
+			ifSite = &pd.Sites[i]
+		}
+	}
+	if ifSite == nil || ifSite.Direction != "taken" || !ifSite.FromProfile {
+		t.Fatalf("if site prediction: %+v", ifSite)
+	}
+
+	// Inventory.
+	var inv struct {
+		Programs []programInfo `json:"programs"`
+	}
+	if code := doJSON(t, s, "GET", "/v1/programs", nil, &inv); code != http.StatusOK {
+		t.Fatalf("programs = %d", code)
+	}
+	if len(inv.Programs) != 1 || inv.Programs[0].Program != "count" ||
+		strings.Join(inv.Programs[0].Datasets, ",") != "mostly-a,no-a" {
+		t.Fatalf("inventory: %+v", inv.Programs)
+	}
+}
+
+func TestPredictWithoutProfilesFallsBackToHeuristic(t *testing.T) {
+	s := newTestServer(t, Options{Concurrency: 1})
+	var pd predictResponse
+	body := map[string]any{"program": "count", "source": countSrc}
+	if code := doJSON(t, s, "POST", "/v1/predict", body, &pd); code != http.StatusOK {
+		t.Fatalf("predict = %d", code)
+	}
+	if !pd.HeuristicOnly || len(pd.Sites) == 0 {
+		t.Fatalf("expected heuristic-only prediction, got %+v", pd)
+	}
+	for _, site := range pd.Sites {
+		if site.Label == "while" && site.Direction != "taken" {
+			t.Fatalf("loop heuristic should predict while taken: %+v", site)
+		}
+	}
+}
+
+// TestValidation walks the strict-input contract: every hostile or
+// malformed request gets a typed status, never a crash.
+func TestValidation(t *testing.T) {
+	s := newTestServer(t, Options{Concurrency: 1, MaxFuel: 50_000, MaxBodyBytes: 64 << 10})
+	cases := []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"bad program name", "/v1/profile", profileBody("no/slash", "d", countSrc, ""), 400},
+		{"at-sign name", "/v1/profile", profileBody("a@b", "d", countSrc, ""), 400},
+		{"empty dataset", "/v1/profile", profileBody("p", "", countSrc, ""), 400},
+		{"missing source", "/v1/profile", profileBody("p", "d", "", ""), 400},
+		{"compile error", "/v1/profile", profileBody("p", "d", "func main() int { return undefined_var; }", ""), 400},
+		{"parse garbage", "/v1/profile", profileBody("p", "d", "\x00{{{", ""), 400},
+		{"fuel trap", "/v1/profile", profileBody("spin", "d", spinSrc, ""), 422},
+		{"oversized body", "/v1/profile", profileBody("p", "d", strings.Repeat("x", 80<<10), ""), 413},
+		{"unknown field", "/v1/profile", map[string]any{"program": "p", "nope": 1}, 400},
+		{"predict bad mode", "/v1/predict", map[string]any{"program": "p", "source": countSrc, "mode": "psychic"}, 400},
+		{"predict bad target", "/v1/predict", map[string]any{"program": "p", "source": countSrc, "target_dataset": "x y"}, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code := doJSON(t, s, "POST", tc.path, tc.body, nil); code != tc.want {
+				t.Fatalf("%s: code = %d, want %d", tc.name, code, tc.want)
+			}
+		})
+	}
+
+	// Malformed JSON and wrong method need raw requests.
+	req := httptest.NewRequest("POST", "/v1/profile", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Fatalf("malformed JSON: %d", rec.Code)
+	}
+	if code := doJSON(t, s, "GET", "/v1/profile", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET profile should be 405")
+	}
+	if code := doJSON(t, s, "POST", "/v1/programs", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST programs should be 405")
+	}
+}
+
+// TestProfileConflict: re-profiling a program name with a different
+// site table (changed source) is a 409, not silent corruption.
+func TestProfileConflict(t *testing.T) {
+	s := newTestServer(t, Options{Concurrency: 1})
+	if code := doJSON(t, s, "POST", "/v1/profile", profileBody("p", "d", countSrc, "aa"), nil); code != 200 {
+		t.Fatalf("first profile = %d", code)
+	}
+	// One branch site vs countSrc's two: a different site table.
+	other := "func main() int { if (getc() > 0) { return 1; } return 0; }"
+	if code := doJSON(t, s, "POST", "/v1/profile", profileBody("p", "d", other, "aa"), nil); code != http.StatusConflict {
+		t.Fatalf("conflicting profile = %d, want 409", code)
+	}
+}
+
+func TestHealthAndReadyLifecycle(t *testing.T) {
+	s := newTestServer(t, Options{Concurrency: 1})
+	var h healthResponse
+	if code := doJSON(t, s, "GET", "/healthz", nil, &h); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if h.Status != "ok" || h.Breaker != "closed" || h.Draining {
+		t.Fatalf("healthz: %+v", h)
+	}
+	// Before Listen the server is not ready.
+	if code := doJSON(t, s, "GET", "/readyz", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before Listen = %d, want 503", code)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("readyz after Listen = %d", resp.StatusCode)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a handler panic becomes a 500 and a
+// counted metric, never a dead process.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := newTestServer(t, Options{Concurrency: 1})
+	h := s.instrument("boom", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+	if got := s.m.panics.Load(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+	// The server keeps serving.
+	if code := doJSON(t, s, "GET", "/healthz", nil, nil); code != 200 {
+		t.Fatal("server dead after panic")
+	}
+}
+
+// TestRequestDeadline: a program too slow for the per-request
+// deadline is cancelled through the VM poll and reported as 504.
+func TestRequestDeadline(t *testing.T) {
+	s := newTestServer(t, Options{
+		Concurrency:    1,
+		RequestTimeout: 30 * time.Millisecond,
+		MaxFuel:        1 << 40, // fuel won't save us; the deadline must
+	})
+	start := time.Now()
+	code := doJSON(t, s, "POST", "/v1/profile", profileBody("spin", "d", spinSrc, ""), nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow request = %d, want 504", code)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation was not prompt: %v", el)
+	}
+}
+
+// TestMetricsEndpoint: the serving-layer metrics ride the engine
+// registry out of one /metrics endpoint.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{Concurrency: 1})
+	if code := doJSON(t, s, "POST", "/v1/profile", profileBody("count", "d", countSrc, "aa"), nil); code != 200 {
+		t.Fatal("profile failed")
+	}
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	text := rec.Body.String()
+	for _, want := range []string{
+		`branchprofd_requests_total{route="profile",code="200"} 1`,
+		"branchprofd_inflight 0",
+		"branchprofd_degraded 0",
+		"branchprof_engine_stage_total", // engine metrics share the endpoint
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestDBPersistenceAcrossRestart: profiles survive a server restart
+// through the DB file, and a corrupt file is quarantined.
+func TestDBPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := dir + "/profiles.json"
+	s1 := newTestServer(t, Options{Concurrency: 1, DBPath: dbPath})
+	var pr profileResponse
+	if code := doJSON(t, s1, "POST", "/v1/profile", profileBody("count", "d1", countSrc, "aaa"), &pr); code != 200 {
+		t.Fatal("profile failed")
+	}
+	if !pr.Persisted {
+		t.Fatal("profile not persisted with a healthy disk")
+	}
+	s1.Close()
+
+	s2 := newTestServer(t, Options{Concurrency: 1, DBPath: dbPath})
+	var inv struct {
+		Programs []programInfo `json:"programs"`
+	}
+	doJSON(t, s2, "GET", "/v1/programs", nil, &inv)
+	if len(inv.Programs) != 1 || inv.Programs[0].Program != "count" {
+		t.Fatalf("restart lost profiles: %+v", inv.Programs)
+	}
+}
+
+func TestCorruptDBQuarantinedAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := dir + "/profiles.json"
+	if err := writeFile(dbPath, "{torn garbage"); err != nil {
+		t.Fatal(err)
+	}
+	s, warns, err := New(Options{Concurrency: 1, DBPath: dbPath})
+	if err != nil {
+		t.Fatalf("corrupt DB should not prevent startup: %v", err)
+	}
+	defer s.Close()
+	if len(warns) != 1 || !strings.Contains(warns[0], "quarantined") {
+		t.Fatalf("expected quarantine warning, got %v", warns)
+	}
+	if _, err := readFile(dbPath + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// The server works and re-creates the database.
+	if code := doJSON(t, s, "POST", "/v1/profile", profileBody("count", "d", countSrc, "a"), nil); code != 200 {
+		t.Fatal("profile after quarantine failed")
+	}
+}
+
+func writeFile(path, data string) error { return os.WriteFile(path, []byte(data), 0o644) }
+
+func readFile(path string) ([]byte, error) { return os.ReadFile(path) }

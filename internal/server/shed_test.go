@@ -1,0 +1,111 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"branchprof/internal/engine"
+	"branchprof/internal/faults"
+)
+
+// TestBurstShedding is the load-shedding end-to-end check: a burst of
+// concurrent requests far beyond concurrency+queue must shed the
+// excess with 429 + Retry-After while every admitted request completes
+// with a correct profile. Run with -race in `make chaos-server`.
+func TestBurstShedding(t *testing.T) {
+	// Slow the engine's run stage so the whole burst overlaps: every
+	// request is in flight before the first slot frees.
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.Run, Kind: faults.Delay, Delay: 300 * time.Millisecond})
+	eng := engine.New(engine.Options{Workers: 2, Faults: fs})
+	s := newTestServer(t, Options{Engine: eng, Concurrency: 2, QueueDepth: 2})
+
+	const burst = 12
+	type result struct {
+		code  int
+		retry string
+		resp  profileResponse
+		input string
+	}
+	results := make([]result, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct inputs defeat the engine's singleflight/cache
+			// dedup so each admitted request really holds a slot.
+			input := strings.Repeat("a", i%4) + strings.Repeat("b", i/4+1)
+			var pr profileResponse
+			code, hdr := doJSONHdr(t, s, "POST", "/v1/profile",
+				profileBody("count", fmt.Sprintf("d%02d", i), countSrc, input), &pr)
+			results[i] = result{code: code, retry: hdr.Get("Retry-After"), resp: pr, input: input}
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, r := range results {
+		switch r.code {
+		case http.StatusOK:
+			ok++
+			// The paper's counting program: the while site is taken once
+			// per input byte, the if site once per 'a'.
+			n := uint64(len(r.input))
+			wantTaken := n + uint64(strings.Count(r.input, "a"))
+			if r.resp.Executed != 2*n+1 || r.resp.Taken != wantTaken {
+				t.Errorf("request %d: profile %d/%d, want %d/%d",
+					i, r.resp.Taken, r.resp.Executed, wantTaken, 2*n+1)
+			}
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retry == "" {
+				t.Errorf("request %d: 429 without Retry-After", i)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, r.code)
+		}
+	}
+	// At most concurrency+queue = 4 can be in the house while the first
+	// batch still runs; the burst overlaps fully, so at least
+	// burst-2*(c+q) are provably shed even if a second wave is admitted.
+	if ok == 0 || shed < burst-8 {
+		t.Fatalf("burst of %d: %d ok, %d shed — shedding did not engage", burst, ok, shed)
+	}
+	if got := s.m.shedQueueFull.Load(); got != uint64(shed) {
+		t.Errorf("shed metric = %d, want %d", got, shed)
+	}
+	// The gate is empty again: nothing leaked a slot.
+	if e, q := s.gate.load(); e != 0 || q != 0 {
+		t.Fatalf("gate leaked: executing=%d waiting=%d", e, q)
+	}
+}
+
+// TestQueueAdmitsWhenSlotsFree: a request that waits in the queue (not
+// shed) runs and answers correctly once a slot frees.
+func TestQueueAdmitsWhenSlotsFree(t *testing.T) {
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.Run, Kind: faults.Delay, Delay: 150 * time.Millisecond})
+	eng := engine.New(engine.Options{Workers: 1, Faults: fs})
+	s := newTestServer(t, Options{Engine: eng, Concurrency: 1, QueueDepth: 4})
+
+	const n = 4
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = doJSON(t, s, "POST", "/v1/profile",
+				profileBody("count", fmt.Sprintf("q%d", i), countSrc, strings.Repeat("a", i+1)), nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("queued request %d: status %d, want 200", i, code)
+		}
+	}
+}
