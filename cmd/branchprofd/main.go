@@ -35,7 +35,7 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8723", "listen address")
 		dbPath       = flag.String("db", "", "persist the accumulated profile database to this file (empty = in-memory only)")
 		concurrency  = flag.Int("concurrency", 0, "simultaneously executing requests (0 = engine worker count)")
-		queue        = flag.Int("queue", 64, "requests allowed to wait beyond -concurrency before shedding with 429 (-1 = none)")
+		queue        = flag.Int("queue", 64, "requests allowed to wait beyond -concurrency before shedding with 429 (0 or -1 = none)")
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, propagated into the VM")
 		maxBody      = flag.Int64("max-body", 4<<20, "maximum request body bytes")
 		maxFuel      = flag.Uint64("max-fuel", 1<<26, "maximum VM instructions per request")
@@ -49,8 +49,11 @@ func main() {
 	}
 
 	queueDepth := *queue
-	if queueDepth < 0 {
-		queueDepth = -1 // server spells "no queue" as negative
+	if queueDepth <= 0 {
+		// The flag defaults to 64, so 0 here is an operator's explicit
+		// -queue 0 — "no queueing", which server.Options spells as
+		// negative (its own 0 means "use the default depth").
+		queueDepth = -1
 	}
 	srv, warns, err := server.New(server.Options{
 		Engine:           tool.Engine(),

@@ -111,7 +111,11 @@ func (db *DB) Save(path string) error {
 	db.mu.Lock()
 	f := dbFile{Version: dbVersion}
 	for _, name := range db.programsLocked() {
-		f.Profiles = append(f.Profiles, db.profiles[name])
+		// Deep-copy under the lock: a concurrent Add/Merge mutates the
+		// live slices in place, and the checksum and marshal below run
+		// unlocked in two passes — a snapshot that aliased them could
+		// persist a checksum-mismatched file.
+		f.Profiles = append(f.Profiles, db.profiles[name].Clone())
 	}
 	fs := db.faults
 	db.mu.Unlock()

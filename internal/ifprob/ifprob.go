@@ -6,6 +6,7 @@ package ifprob
 
 import (
 	"fmt"
+	"strings"
 
 	"branchprof/internal/isa"
 	"branchprof/internal/vm"
@@ -117,8 +118,26 @@ func (p *Profile) Merge(o *Profile) error {
 		p.Total[i] += o.Total[i]
 	}
 	p.Instrs += o.Instrs
-	p.Dataset = p.Dataset + "+" + o.Dataset
+	if !p.hasDataset(o.Dataset) {
+		p.Dataset = p.Dataset + "+" + o.Dataset
+	}
 	return nil
+}
+
+// hasDataset reports whether name is already one of the
+// "+"-separated dataset names accumulated in p.Dataset, so repeated
+// merges of the same dataset (a long-running service re-profiling a
+// program) don't grow the label without bound.
+func (p *Profile) hasDataset(name string) bool {
+	rest := p.Dataset
+	for rest != "" {
+		cur, tail, _ := strings.Cut(rest, "+")
+		if cur == name {
+			return true
+		}
+		rest = tail
+	}
+	return false
 }
 
 // Clone returns a deep copy.

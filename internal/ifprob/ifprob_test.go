@@ -51,6 +51,33 @@ func TestMergeAccumulates(t *testing.T) {
 	}
 }
 
+// TestMergeDedupesDatasetLabel: re-merging an already-accumulated
+// dataset must not grow the label — a long-running daemon re-profiles
+// the same program/dataset pair indefinitely.
+func TestMergeDedupesDatasetLabel(t *testing.T) {
+	a := mkProfile("p", "d", []uint64{1}, []uint64{2}, 10)
+	for i := 0; i < 100; i++ {
+		if err := a.Merge(mkProfile("p", "d", []uint64{1}, []uint64{2}, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Dataset != "d" {
+		t.Errorf("dataset label grew under repeated merges: %q", a.Dataset)
+	}
+	if err := a.Merge(mkProfile("p", "d2", []uint64{1}, []uint64{2}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset != "d+d2" {
+		t.Errorf("dataset label = %q, want d+d2", a.Dataset)
+	}
+	if err := a.Merge(mkProfile("p", "d", []uint64{0}, []uint64{0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset != "d+d2" {
+		t.Errorf("dataset label after re-merge = %q, want d+d2", a.Dataset)
+	}
+}
+
 func TestMergeRejectsMismatch(t *testing.T) {
 	a := mkProfile("p", "d", []uint64{1}, []uint64{1}, 0)
 	if err := a.Merge(mkProfile("q", "d", []uint64{1}, []uint64{1}, 0)); err == nil {
@@ -139,6 +166,44 @@ func TestDBAccumulateAndRoundTrip(t *testing.T) {
 	if loaded.Get("p").Taken[0] != 4 {
 		t.Error("Get returned an aliased profile")
 	}
+}
+
+// TestSaveConcurrentWithAdd: Save snapshots the profiles under the
+// lock and must checksum exactly the bytes it persists, even while
+// Add/Merge mutates the live counters concurrently (the server calls
+// both from request handlers). Run under -race; a save that aliased
+// the live slices would persist a checksum-mismatched file that Load
+// reports as corrupt.
+func TestSaveConcurrentWithAdd(t *testing.T) {
+	db := NewDB()
+	taken := make([]uint64, 64)
+	total := make([]uint64, 64)
+	for i := range total {
+		taken[i], total[i] = 1, 2
+	}
+	if err := db.Add(mkProfile("p", "d", taken, total, 1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if err := db.Add(mkProfile("p", "d", taken, total, 1)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if err := db.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err != nil {
+			t.Fatalf("save raced with add: %v", err)
+		}
+	}
+	<-done
 }
 
 func TestLoadErrors(t *testing.T) {

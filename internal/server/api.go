@@ -106,7 +106,12 @@ type predictResponse struct {
 	HeuristicOnly bool             `json:"heuristic_only"`
 	Sites         []sitePrediction `json:"sites"`
 	Eval          *predictEval     `json:"eval,omitempty"`
-	Degraded      bool             `json:"degraded"`
+	// EvalError is set when a held-out target profile existed but the
+	// evaluation against it failed; it distinguishes "evaluation went
+	// wrong" (Eval nil, EvalError set) from "no target profile to
+	// evaluate against" (both empty).
+	EvalError string `json:"eval_error,omitempty"`
+	Degraded  bool   `json:"degraded"`
 }
 
 // programInfo is one entry of GET /v1/programs.
@@ -313,7 +318,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	if target != nil {
 		ev, err := predict.Evaluate(pr, target)
-		if err == nil {
+		if err != nil {
+			resp.EvalError = err.Error()
+		} else {
 			ipm := float64(target.Instrs)
 			if ev.Mispredicts > 0 {
 				ipm /= float64(ev.Mispredicts)

@@ -310,18 +310,20 @@ func (s *Server) instrument(route string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.opts.Obs.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		ctx, sp := s.opts.Obs.Start(r.Context(), "serve."+route)
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.m.panics.Inc()
 				// The handler may have written nothing yet; best-effort 500.
 				writeError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 			}
+			// End the span here, not inline after ServeHTTP: a handler
+			// panic would otherwise leak it unended in the tracer.
+			sp.SetAttr("code", sw.code)
+			sp.End()
 			s.m.observe(route, sw.code, s.opts.Obs.Now().Sub(start))
 		}()
-		ctx, sp := s.opts.Obs.Start(r.Context(), "serve."+route)
 		next.ServeHTTP(sw, r.WithContext(ctx))
-		sp.SetAttr("code", sw.code)
-		sp.End()
 	})
 }
 
