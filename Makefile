@@ -17,16 +17,21 @@
 #                 shedding, graceful drain, the circuit-breaker fault
 #                 matrix, and the cross-process file locks
 #   make fuzz     10s smoke of each native fuzz target (compiler,
-#                 assembler, profile DB decoder, run-cache decoder);
-#                 longer runs: make fuzz FUZZTIME=5m
-#   make bench    the cold vs warm cache benchmark pair
+#                 assembler, profile DB decoder, run-cache decoder,
+#                 VM differential); longer runs: make fuzz FUZZTIME=5m
+#   make bench    the cold vs warm cache benchmark pair, then the raw
+#                 interpreter benchmark written to BENCH_VM.json (see
+#                 docs/PERF.md for the before/after workflow)
+#   make bench-smoke  one-iteration run of the interpreter benchmark,
+#                 part of `make verify` so the perf harness can't rot
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHCOUNT ?= 3
 
-.PHONY: verify test vet race chaos obs chaos-server fuzz bench
+.PHONY: verify test vet race chaos obs chaos-server fuzz bench bench-smoke
 
-verify: test vet race chaos obs chaos-server fuzz
+verify: test vet race chaos obs chaos-server fuzz bench-smoke
 
 test:
 	$(GO) build ./...
@@ -57,6 +62,12 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzAssemble -fuzztime $(FUZZTIME) ./internal/asm/
 	$(GO) test -run xxx -fuzz FuzzDBLoad -fuzztime $(FUZZTIME) ./internal/ifprob/
 	$(GO) test -run xxx -fuzz FuzzCacheDecode -fuzztime $(FUZZTIME) ./internal/engine/
+	$(GO) test -run xxx -fuzz FuzzVMDifferential -fuzztime $(FUZZTIME) ./internal/vm/
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSuiteCollect(Cold|Warm)' -benchtime 3x .
+	$(GO) test -run xxx -bench 'BenchmarkVMInterpreter$$' -benchtime 10x -count $(BENCHCOUNT) . \
+		| $(GO) run ./cmd/benchjson -o BENCH_VM.json
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkVMInterpreter$$' -benchtime 1x .

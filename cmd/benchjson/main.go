@@ -1,0 +1,163 @@
+// Command benchjson converts `go test -bench` output into a small
+// machine-readable JSON report. The raw benchmark lines are preserved
+// verbatim (benchstat consumes exactly those lines), alongside parsed
+// ns/op and custom metrics so dashboards don't need a Go-bench parser.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkVMInterpreter -count 3 . | \
+//	    go run ./cmd/benchjson -o BENCH_VM.json -baseline old.txt
+//
+// The optional -baseline file holds benchmark lines from an earlier
+// build (same format); they are embedded under "baseline" so one file
+// carries the before/after pair:
+//
+//	jq -r '.baseline.raw[]' BENCH_VM.json > old.txt
+//	jq -r '.current.raw[]'  BENCH_VM.json > new.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchLine struct {
+	Name    string             `json:"name"`
+	N       int64              `json:"n"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type section struct {
+	Raw     []string    `json:"raw"`
+	Parsed  []benchLine `json:"parsed"`
+	Geomean float64     `json:"geomean_ns_per_op,omitempty"`
+}
+
+type report struct {
+	Go       string   `json:"go"`
+	GOOS     string   `json:"goos"`
+	GOARCH   string   `json:"goarch"`
+	Note     string   `json:"note,omitempty"`
+	Baseline *section `json:"baseline,omitempty"`
+	Current  section  `json:"current"`
+	SpeedupX float64  `json:"speedup_x,omitempty"`
+}
+
+// parse extracts benchmark result lines ("BenchmarkName N ns/op ...")
+// from mixed `go test` output.
+func parse(r io.Reader) (section, error) {
+	var s section
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		bl := benchLine{Name: fields[0], N: n, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				bl.NsPerOp = v
+			} else {
+				bl.Metrics[fields[i+1]] = v
+			}
+		}
+		s.Raw = append(s.Raw, line)
+		s.Parsed = append(s.Parsed, bl)
+	}
+	if err := sc.Err(); err != nil {
+		return s, err
+	}
+	s.Geomean = geomeanNs(s.Parsed)
+	return s, nil
+}
+
+func geomeanNs(lines []benchLine) float64 {
+	prod, n := 1.0, 0
+	for _, l := range lines {
+		if l.NsPerOp > 0 {
+			prod *= l.NsPerOp
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "file of benchmark lines from an earlier build to embed")
+	note := flag.String("note", "", "free-form annotation stored in the report")
+	flag.Parse()
+
+	cur, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(cur.Parsed) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	rep := report{
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Note:    *note,
+		Current: cur,
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		base, err := parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Baseline = &base
+		if base.Geomean > 0 && cur.Geomean > 0 {
+			rep.SpeedupX = base.Geomean / cur.Geomean
+		}
+	}
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

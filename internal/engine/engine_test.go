@@ -315,3 +315,29 @@ func TestCompileErrorPropagates(t *testing.T) {
 		t.Fatal("compile error vanished")
 	}
 }
+
+// TestImageMemoized: repeated executions of the same compiled program
+// must reuse one pre-decoded vm.Image instead of paying the
+// verify/fuse pass per run.
+func TestImageMemoized(t *testing.T) {
+	e := New(Options{})
+	prog, err := e.Compile("count", countSrc, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im1 := e.image(prog)
+	im2 := e.image(prog)
+	if im1 != im2 {
+		t.Fatal("image was rebuilt for the same program")
+	}
+	if im1.Program() != prog {
+		t.Fatal("memoized image belongs to a different program")
+	}
+	// The Execute path funnels through the same cache.
+	if _, err := e.Execute(testSpec("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.images.len(); got != 1 {
+		t.Fatalf("image cache holds %d entries, want 1", got)
+	}
+}

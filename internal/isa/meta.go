@@ -1,0 +1,105 @@
+package isa
+
+// Decode metadata: a per-operation description of how the interpreter
+// consumes each operand field. The VM's pre-decoder uses it to verify
+// and densify programs once at load time instead of re-deriving
+// operand roles per instruction in the hot loop, and the differential
+// fuzzer uses it to generate well-formed operands for every operation.
+
+// RegClass says which register file (if any) an operand field indexes.
+type RegClass uint8
+
+// Operand register classes.
+const (
+	RegNone  RegClass = iota // field unused by the interpreter
+	RegInt                   // indexes the integer register window
+	RegFloat                 // indexes the float register window
+)
+
+// OpMeta describes one operation's operand usage.
+type OpMeta struct {
+	A, B, C RegClass // register classes of the A/B/C fields (RegNone when unused)
+	SelImm  bool     // Imm holds a register index (OpSel/OpFSel else-value)
+	ImmReg  RegClass // register class of the Imm-held index when SelImm
+	HasImm  bool     // Imm holds an integer immediate / address offset
+	HasFImm bool     // FImm holds a float immediate
+	Target  bool     // Target holds a branch pc or callee function index
+	Site    bool     // Site identifies a static conditional branch
+}
+
+var opMeta = [opCount]OpMeta{
+	OpNop: {},
+
+	OpAdd: {A: RegInt, B: RegInt, C: RegInt},
+	OpSub: {A: RegInt, B: RegInt, C: RegInt},
+	OpMul: {A: RegInt, B: RegInt, C: RegInt},
+	OpDiv: {A: RegInt, B: RegInt, C: RegInt},
+	OpRem: {A: RegInt, B: RegInt, C: RegInt},
+	OpAnd: {A: RegInt, B: RegInt, C: RegInt},
+	OpOr:  {A: RegInt, B: RegInt, C: RegInt},
+	OpXor: {A: RegInt, B: RegInt, C: RegInt},
+	OpShl: {A: RegInt, B: RegInt, C: RegInt},
+	OpShr: {A: RegInt, B: RegInt, C: RegInt},
+	OpNeg: {A: RegInt, C: RegInt},
+	OpNot: {A: RegInt, C: RegInt},
+
+	OpSlt: {A: RegInt, B: RegInt, C: RegInt},
+	OpSle: {A: RegInt, B: RegInt, C: RegInt},
+	OpSeq: {A: RegInt, B: RegInt, C: RegInt},
+	OpSne: {A: RegInt, B: RegInt, C: RegInt},
+
+	OpFAdd: {A: RegFloat, B: RegFloat, C: RegFloat},
+	OpFSub: {A: RegFloat, B: RegFloat, C: RegFloat},
+	OpFMul: {A: RegFloat, B: RegFloat, C: RegFloat},
+	OpFDiv: {A: RegFloat, B: RegFloat, C: RegFloat},
+	OpFNeg: {A: RegFloat, C: RegFloat},
+
+	OpFSlt: {A: RegFloat, B: RegFloat, C: RegInt},
+	OpFSle: {A: RegFloat, B: RegFloat, C: RegInt},
+	OpFSeq: {A: RegFloat, B: RegFloat, C: RegInt},
+	OpFSne: {A: RegFloat, B: RegFloat, C: RegInt},
+
+	OpCvtIF: {A: RegInt, C: RegFloat},
+	OpCvtFI: {A: RegFloat, C: RegInt},
+
+	OpLdi:  {C: RegInt, HasImm: true},
+	OpLdf:  {C: RegFloat, HasFImm: true},
+	OpMov:  {A: RegInt, C: RegInt},
+	OpFMov: {A: RegFloat, C: RegFloat},
+
+	OpLd:  {A: RegInt, C: RegInt, HasImm: true},
+	OpSt:  {A: RegInt, B: RegInt, HasImm: true},
+	OpFLd: {A: RegInt, C: RegFloat, HasImm: true},
+	OpFSt: {A: RegInt, B: RegFloat, HasImm: true},
+
+	OpBr:    {A: RegInt, Target: true, Site: true},
+	OpJmp:   {Target: true},
+	OpCall:  {Target: true}, // A/B name arg windows, C the result register
+	OpICall: {A: RegInt},    // B names the int arg window, C the result register
+	OpRet:   {},             // A's class depends on the function's kind
+
+	OpGetc: {C: RegInt},
+	OpPutc: {A: RegInt},
+	OpHalt: {A: RegInt},
+
+	OpSqrt:  {A: RegFloat, C: RegFloat},
+	OpSin:   {A: RegFloat, C: RegFloat},
+	OpCos:   {A: RegFloat, C: RegFloat},
+	OpExp:   {A: RegFloat, C: RegFloat},
+	OpLog:   {A: RegFloat, C: RegFloat},
+	OpFAbs:  {A: RegFloat, C: RegFloat},
+	OpFloor: {A: RegFloat, C: RegFloat},
+	OpPow:   {A: RegFloat, B: RegFloat, C: RegFloat},
+
+	OpSel:  {A: RegInt, B: RegInt, C: RegInt, SelImm: true, ImmReg: RegInt},
+	OpFSel: {A: RegInt, B: RegFloat, C: RegFloat, SelImm: true, ImmReg: RegFloat},
+}
+
+// Meta returns the operand metadata for op. Invalid operations return
+// the zero OpMeta (no operands).
+func (op Op) Meta() OpMeta {
+	if op < opCount {
+		return opMeta[op]
+	}
+	return OpMeta{}
+}

@@ -1,0 +1,250 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc"
+	"branchprof/internal/workloads"
+)
+
+// The pre-decoded interpreter must be observationally identical to the
+// reference interpreter: same Result counters, same output bytes, same
+// error classification (including exact trap messages and instruction
+// counts), on every workload and on every error path. These tests are
+// the proof obligation behind SemanticsVersion staying at 1.
+
+// runRef invokes the reference interpreter with the same config
+// defaulting the public entry points apply.
+func runRef(p *isa.Program, input []byte, cfg *Config) (*Result, error) {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	c.fill()
+	return runReference(p, input, &c)
+}
+
+func diffCompare(t *testing.T, label string, ref, fast *Result, refErr, fastErr error) {
+	t.Helper()
+	if (refErr == nil) != (fastErr == nil) {
+		t.Fatalf("%s: error mismatch: ref=%v fast=%v", label, refErr, fastErr)
+	}
+	if refErr != nil && refErr.Error() != fastErr.Error() {
+		t.Fatalf("%s: error text mismatch:\n  ref:  %v\n  fast: %v", label, refErr, fastErr)
+	}
+	if ref == nil || fast == nil {
+		if ref != fast {
+			t.Fatalf("%s: result nilness mismatch: ref=%v fast=%v", label, ref, fast)
+		}
+		return
+	}
+	if ref.Instrs != fast.Instrs {
+		t.Errorf("%s: Instrs: ref=%d fast=%d", label, ref.Instrs, fast.Instrs)
+	}
+	if ref.ExitCode != fast.ExitCode {
+		t.Errorf("%s: ExitCode: ref=%d fast=%d", label, ref.ExitCode, fast.ExitCode)
+	}
+	if !bytes.Equal(ref.Output, fast.Output) {
+		t.Errorf("%s: Output differs (%d vs %d bytes)", label, len(ref.Output), len(fast.Output))
+	}
+	for i := range ref.SiteTaken {
+		if ref.SiteTaken[i] != fast.SiteTaken[i] || ref.SiteTotal[i] != fast.SiteTotal[i] {
+			t.Errorf("%s: site %d: ref=%d/%d fast=%d/%d", label, i,
+				ref.SiteTaken[i], ref.SiteTotal[i], fast.SiteTaken[i], fast.SiteTotal[i])
+		}
+	}
+	if ref.Jumps != fast.Jumps {
+		t.Errorf("%s: Jumps: ref=%d fast=%d", label, ref.Jumps, fast.Jumps)
+	}
+	if ref.DirectCalls != fast.DirectCalls || ref.DirectReturns != fast.DirectReturns {
+		t.Errorf("%s: direct calls/returns: ref=%d/%d fast=%d/%d", label,
+			ref.DirectCalls, ref.DirectReturns, fast.DirectCalls, fast.DirectReturns)
+	}
+	if ref.IndirectCalls != fast.IndirectCalls || ref.IndirectReturns != fast.IndirectReturns {
+		t.Errorf("%s: indirect calls/returns: ref=%d/%d fast=%d/%d", label,
+			ref.IndirectCalls, ref.IndirectReturns, fast.IndirectCalls, fast.IndirectReturns)
+	}
+	if ref.MaxDepth != fast.MaxDepth {
+		t.Errorf("%s: MaxDepth: ref=%d fast=%d", label, ref.MaxDepth, fast.MaxDepth)
+	}
+	if (ref.PerPC == nil) != (fast.PerPC == nil) {
+		t.Fatalf("%s: PerPC nilness mismatch", label)
+	}
+	for fi := range ref.PerPC {
+		for pc := range ref.PerPC[fi] {
+			if ref.PerPC[fi][pc] != fast.PerPC[fi][pc] {
+				t.Errorf("%s: PerPC[%d][%d]: ref=%d fast=%d", label, fi, pc,
+					ref.PerPC[fi][pc], fast.PerPC[fi][pc])
+			}
+		}
+	}
+}
+
+// TestDifferentialWorkloads runs every dataset of every workload
+// through both interpreters and demands bit-identical results, in
+// plain mode and (first dataset) PerPC mode.
+func TestDifferentialWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			im := Load(prog)
+			for di, ds := range w.Datasets {
+				input := ds.Gen()
+				ref, refErr := runRef(prog, input, &Config{})
+				fast, fastErr := im.Run(input, &Config{})
+				diffCompare(t, ds.Name, ref, fast, refErr, fastErr)
+				if di == 0 {
+					refP, refErrP := runRef(prog, input, &Config{PerPC: true})
+					fastP, fastErrP := im.Run(input, &Config{PerPC: true})
+					diffCompare(t, ds.Name+"/perpc", refP, fastP, refErrP, fastErrP)
+				}
+			}
+		})
+	}
+}
+
+// diffTracer records the full event stream for stream-level comparison.
+type diffTracer struct {
+	events []string
+}
+
+func (d *diffTracer) Branch(site int32, taken bool, instrs uint64) {
+	d.events = append(d.events, fmt.Sprintf("br %d %v @%d", site, taken, instrs))
+}
+
+func (d *diffTracer) Transfer(kind TransferKind, instrs uint64) {
+	d.events = append(d.events, fmt.Sprintf("xf %v @%d", kind, instrs))
+}
+
+// TestDifferentialTraced compares the complete control-transfer event
+// streams (order, kinds, sites, instruction stamps) on a workload
+// subset. The traced variant shares no superinstruction fusions with
+// the plain stream, so this pins the event protocol itself.
+func TestDifferentialTraced(t *testing.T) {
+	for _, name := range []string{"li", "eqntott", "tomcatv"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			input := w.Datasets[0].Gen()
+			refTr, fastTr := &diffTracer{}, &diffTracer{}
+			ref, refErr := runRef(prog, input, &Config{Trace: refTr})
+			fast, fastErr := Load(prog).Run(input, &Config{Trace: fastTr})
+			diffCompare(t, name, ref, fast, refErr, fastErr)
+			if len(refTr.events) != len(fastTr.events) {
+				t.Fatalf("event count: ref=%d fast=%d", len(refTr.events), len(fastTr.events))
+			}
+			for i := range refTr.events {
+				if refTr.events[i] != fastTr.events[i] {
+					t.Fatalf("event %d: ref=%q fast=%q", i, refTr.events[i], fastTr.events[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialFuelSweep proves batched fuel accounting is exact:
+// for fuels around interesting boundaries both interpreters must agree
+// on whether ErrFuel fires, on the exact instruction count in the
+// error, and on every partial counter.
+func TestDifferentialFuelSweep(t *testing.T) {
+	w, err := workloads.ByName("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := Load(prog)
+	input := w.Datasets[0].Gen()
+	full, err := im.Run(input, &Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := full.Instrs
+	fuels := []uint64{1, 2, 3, 7, 100, 4095, 4096, 4097, 8192,
+		n / 3, n / 2, n/2 + 1, n - 4097, n - 4096, n - 1, n, n + 1}
+	for _, fuel := range fuels {
+		if fuel == 0 || fuel > n+1 {
+			continue
+		}
+		ref, refErr := runRef(prog, input, &Config{Fuel: fuel})
+		fast, fastErr := im.Run(input, &Config{Fuel: fuel})
+		diffCompare(t, fmt.Sprintf("fuel=%d", fuel), ref, fast, refErr, fastErr)
+	}
+}
+
+// TestDifferentialTraps runs hand-built trapping programs through both
+// interpreters; classification, message, and partial counters must
+// match. Each program places the faulting instruction at a different
+// offset inside its block so the fused-superinstruction trap recovery
+// (rem/back bookkeeping) is exercised at several alignments.
+func TestDifferentialTraps(t *testing.T) {
+	mk := func(code ...isa.Instr) *isa.Program {
+		p := &isa.Program{
+			Funcs:    []isa.Func{{Name: "main", Kind: isa.FuncInt, NumIRegs: 8, Code: code}},
+			Main:     0,
+			IntMem:   16,
+			FloatMem: 1,
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		prog *isa.Program
+	}{
+		{"div-zero", mk(
+			isa.Instr{Op: isa.OpLdi, C: 0, Imm: 5},
+			isa.Instr{Op: isa.OpLdi, C: 1, Imm: 0},
+			isa.Instr{Op: isa.OpDiv, C: 2, A: 0, B: 1},
+			isa.Instr{Op: isa.OpRet, A: 2},
+		)},
+		{"load-oob", mk(
+			isa.Instr{Op: isa.OpLdi, C: 0, Imm: 99},
+			isa.Instr{Op: isa.OpLd, C: 1, A: 0, Imm: 0},
+			isa.Instr{Op: isa.OpRet, A: 1},
+		)},
+		{"store-oob", mk(
+			isa.Instr{Op: isa.OpLdi, C: 0, Imm: -3},
+			isa.Instr{Op: isa.OpLdi, C: 1, Imm: 7},
+			isa.Instr{Op: isa.OpSt, A: 0, C: 1, Imm: 0},
+			isa.Instr{Op: isa.OpRet, A: 1},
+		)},
+		{"load-oob-mid-block", mk(
+			isa.Instr{Op: isa.OpLdi, C: 0, Imm: 1 << 40},
+			isa.Instr{Op: isa.OpLdi, C: 1, Imm: 1},
+			isa.Instr{Op: isa.OpAdd, C: 2, A: 0, B: 1},
+			isa.Instr{Op: isa.OpLd, C: 3, A: 2, Imm: 0},
+			isa.Instr{Op: isa.OpAdd, C: 4, A: 3, B: 1},
+			isa.Instr{Op: isa.OpAdd, C: 5, A: 4, B: 1},
+			isa.Instr{Op: isa.OpRet, A: 5},
+		)},
+	}
+	for _, tc := range cases {
+		ref, refErr := runRef(tc.prog, nil, &Config{})
+		fast, fastErr := Load(tc.prog).Run(nil, &Config{})
+		diffCompare(t, tc.name, ref, fast, refErr, fastErr)
+		if refErr == nil {
+			t.Errorf("%s: expected a trap, got success", tc.name)
+		}
+	}
+}

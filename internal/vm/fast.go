@@ -1,0 +1,1258 @@
+// The fast dispatch loop: executes pre-decoded, verified streams
+// (predecode.go) with no per-instruction fuel, poll, pc-bounds, or
+// observability checks. Accounting is batched per basic block — the
+// headerless plain stream credits each block as a control transfer
+// enters it, headered streams credit in the block header — and
+// whenever an event (fuel exhaustion, Done/Sample poll) could fire
+// inside the next block, control transfers to the step loop
+// (step.go), which replays that window one instruction at a time with
+// the reference interpreter's exact check order.
+//
+// Register access deliberately keeps the reference interpreter's
+// exact indexing expressions and statement order: register windows
+// are unverified, so an out-of-range program must panic at the same
+// operation with the same index as before.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"branchprof/internal/isa"
+)
+
+// exec is the resumable interpreter state shared by the fast and step
+// loops. Both loops copy the hot fields into locals and flush them
+// back when control transfers.
+type exec struct {
+	p   *isa.Program
+	im  *Image
+	v   *variant
+	c   *Config
+	res *Result
+
+	imem   []int64
+	fmem   []float64
+	iregs  []int64
+	fregs  []float64
+	frames []frame
+	input  []byte
+	inPos  int
+
+	// Dirty store spans ([iLo, iHi) of imem, [fLo, fHi) of fmem),
+	// widened by every store so putMem can restore only what this run
+	// touched. iLo/fLo start at the memory size (empty span).
+	iLo, iHi int
+	fLo, fHi int
+
+	cur    int // current function index
+	ib, fb int // register window bases
+	pc     int // original pc (valid in step mode and at mode switches)
+	dpc    int // dinstr pc (valid in fast mode)
+
+	instrs   uint64 // instructions executed; credited per block in fast mode
+	fuel     uint64
+	poll     bool
+	nextPoll uint64 // next instruction count at which Done/Sample fire
+	stop     uint64 // min(fuel, nextPoll): no event before this count
+	stackBuf []int32
+
+	// PerPC runs count whole-block executions here and expand them
+	// into per-pc counts at finalize.
+	blockCounts [][]uint64
+	// A fast-mode trap overshoots that accounting: pcs in
+	// [adjFrom, adjTo) of function adjFn were counted but never ran.
+	adjFn   int
+	adjFrom int
+	adjTo   int
+
+	fast bool
+	done bool
+	err  error
+}
+
+// dirtyInt widens the int-memory dirty span to cover a store at a.
+func (st *exec) dirtyInt(a int) {
+	if a < st.iLo {
+		st.iLo = a
+	}
+	if a >= st.iHi {
+		st.iHi = a + 1
+	}
+}
+
+// dirtyFloat widens the float-memory dirty span to cover a store at a.
+func (st *exec) dirtyFloat(a int) {
+	if a < st.fLo {
+		st.fLo = a
+	}
+	if a >= st.fHi {
+		st.fHi = a + 1
+	}
+}
+
+// blockAt returns the index of the block of function fn that contains
+// dpc (the sentinel counts as a final empty block). Cold paths only.
+func (st *exec) blockAt(fn, dpc int) int {
+	bd := st.v.bDpc[fn]
+	lo, hi := 0, len(bd)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(bd[mid]) <= dpc {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// blockStartPC returns the original pc of the block starting at dpc.
+func (st *exec) blockStartPC(fn, dpc int) int {
+	return int(st.v.bPC[fn][st.blockAt(fn, dpc)])
+}
+
+// fallPC returns the original pc one past the block containing dpc —
+// the fall-through continuation of its terminator. Jump threading may
+// redirect a fall edge's target dpc elsewhere, so event bail-outs
+// recover the resume pc from the block tables instead.
+func (st *exec) fallPC(fn, dpc int) int {
+	bi := st.blockAt(fn, dpc)
+	return int(st.v.bPC[fn][bi] + st.v.bN[fn][bi])
+}
+
+// runFast executes dinstr streams until the run finishes, an event
+// window forces the step loop, or a trap fires.
+//
+// Trap protocol: a trapping case sets trapRem to the count of
+// original block instructions strictly after the dinstr (0 for
+// edge-accounting terminators, d.rem otherwise), trapBack to how many
+// original instructions from the end of the dinstr's coverage the
+// trapping one sits (1 = last, 2 = second-to-last, ...), and jumps to
+// trapExit, which recovers the exact pc and instruction count from
+// the per-block tables.
+func (st *exec) runFast() {
+	p := st.p
+	v := st.v
+	c := st.c
+	res := st.res
+	imem, fmem := st.imem, st.fmem
+	iregs, fregs := st.iregs, st.fregs
+	frames := st.frames
+	input := st.input
+	inPos := st.inPos
+	cur := st.cur
+	ib, fb := st.ib, st.fb
+	dpc := st.dpc
+	instrs := st.instrs
+	stop := st.stop
+	fcode := v.code[cur]
+	fmeta := st.im.fmeta
+
+	var stepPC int
+	var trapRem int
+	var trapBack int
+	var trapMsg string
+
+	for {
+		d := &fcode[dpc]
+		switch d.op {
+		case dBlock:
+			if instrs+uint64(d.a) > stop {
+				stepPC = int(v.bPC[cur][d.x])
+				goto stepExit
+			}
+			instrs += uint64(d.a)
+			dpc++
+		case dBlockCnt:
+			if instrs+uint64(d.a) > stop {
+				stepPC = int(v.bPC[cur][d.x])
+				goto stepExit
+			}
+			instrs += uint64(d.a)
+			st.blockCounts[cur][d.x]++
+			dpc++
+		case dToStep:
+			stepPC = int(d.a)
+			goto stepExit
+
+		case dNop:
+			dpc++
+		case dAdd:
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] + iregs[ib+int(d.b)]
+			dpc++
+		case dSub:
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] - iregs[ib+int(d.b)]
+			dpc++
+		case dMul:
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] * iregs[ib+int(d.b)]
+			dpc++
+		case dDiv:
+			dv := iregs[ib+int(d.b)]
+			if dv == 0 {
+				trapRem, trapBack, trapMsg = int(d.rem), 1, "integer divide by zero"
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] / dv
+			dpc++
+		case dRem:
+			dv := iregs[ib+int(d.b)]
+			if dv == 0 {
+				trapRem, trapBack, trapMsg = int(d.rem), 1, "integer remainder by zero"
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] % dv
+			dpc++
+		case dAnd:
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] & iregs[ib+int(d.b)]
+			dpc++
+		case dOr:
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] | iregs[ib+int(d.b)]
+			dpc++
+		case dXor:
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] ^ iregs[ib+int(d.b)]
+			dpc++
+		case dShl:
+			sh := iregs[ib+int(d.b)]
+			if sh < 0 || sh > 63 {
+				trapRem, trapBack, trapMsg = int(d.rem), 1, "shift amount out of range"
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] << uint(sh)
+			dpc++
+		case dShr:
+			sh := iregs[ib+int(d.b)]
+			if sh < 0 || sh > 63 {
+				trapRem, trapBack, trapMsg = int(d.rem), 1, "shift amount out of range"
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] >> uint(sh)
+			dpc++
+		case dNeg:
+			iregs[ib+int(d.c)] = -iregs[ib+int(d.a)]
+			dpc++
+		case dNot:
+			iregs[ib+int(d.c)] = ^iregs[ib+int(d.a)]
+			dpc++
+		case dSlt:
+			iregs[ib+int(d.c)] = b2i(iregs[ib+int(d.a)] < iregs[ib+int(d.b)])
+			dpc++
+		case dSle:
+			iregs[ib+int(d.c)] = b2i(iregs[ib+int(d.a)] <= iregs[ib+int(d.b)])
+			dpc++
+		case dSeq:
+			iregs[ib+int(d.c)] = b2i(iregs[ib+int(d.a)] == iregs[ib+int(d.b)])
+			dpc++
+		case dSne:
+			iregs[ib+int(d.c)] = b2i(iregs[ib+int(d.a)] != iregs[ib+int(d.b)])
+			dpc++
+		case dLdiSltSne, dLdiSeqSne:
+			iregs[ib+int(d.c)] = d.imm
+			var cv int64
+			if d.op == dLdiSltSne {
+				cv = b2i(iregs[ib+int(d.a)] < iregs[ib+int(d.b)])
+			} else {
+				cv = b2i(iregs[ib+int(d.a)] == iregs[ib+int(d.b)])
+			}
+			iregs[ib+int(d.target)] = cv
+			iregs[ib+(int(d.x)>>16)] = b2i(cv != iregs[ib+(int(d.x)&0xffff)])
+			dpc++
+
+		case dFAdd:
+			fregs[fb+int(d.c)] = fregs[fb+int(d.a)] + fregs[fb+int(d.b)]
+			dpc++
+		case dFSub:
+			fregs[fb+int(d.c)] = fregs[fb+int(d.a)] - fregs[fb+int(d.b)]
+			dpc++
+		case dFMul:
+			fregs[fb+int(d.c)] = fregs[fb+int(d.a)] * fregs[fb+int(d.b)]
+			dpc++
+		case dFDiv:
+			fregs[fb+int(d.c)] = fregs[fb+int(d.a)] / fregs[fb+int(d.b)]
+			dpc++
+		case dFNeg:
+			fregs[fb+int(d.c)] = -fregs[fb+int(d.a)]
+			dpc++
+		case dFSlt:
+			iregs[ib+int(d.c)] = b2i(fregs[fb+int(d.a)] < fregs[fb+int(d.b)])
+			dpc++
+		case dFSle:
+			iregs[ib+int(d.c)] = b2i(fregs[fb+int(d.a)] <= fregs[fb+int(d.b)])
+			dpc++
+		case dFSeq:
+			iregs[ib+int(d.c)] = b2i(fregs[fb+int(d.a)] == fregs[fb+int(d.b)])
+			dpc++
+		case dFSne:
+			iregs[ib+int(d.c)] = b2i(fregs[fb+int(d.a)] != fregs[fb+int(d.b)])
+			dpc++
+
+		case dCvtIF:
+			fregs[fb+int(d.c)] = float64(iregs[ib+int(d.a)])
+			dpc++
+		case dCvtFI:
+			f := fregs[fb+int(d.a)]
+			if math.IsNaN(f) || f > math.MaxInt64 || f < math.MinInt64 {
+				trapRem, trapBack, trapMsg = int(d.rem), 1, "float to int conversion out of range"
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = int64(f)
+			dpc++
+
+		case dLdi:
+			iregs[ib+int(d.c)] = d.imm
+			dpc++
+		case dLdf:
+			fregs[fb+int(d.c)] = math.Float64frombits(uint64(d.imm))
+			dpc++
+		case dMov:
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)]
+			dpc++
+		case dFMov:
+			fregs[fb+int(d.c)] = fregs[fb+int(d.a)]
+			dpc++
+
+		case dLd:
+			ad := iregs[ib+int(d.a)] + d.imm
+			if uint64(ad) >= uint64(len(imem)) {
+				trapRem, trapBack = int(d.rem), 1
+				trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = imem[ad]
+			dpc++
+		case dSt:
+			ad := iregs[ib+int(d.a)] + d.imm
+			if uint64(ad) >= uint64(len(imem)) {
+				trapRem, trapBack = int(d.rem), 1
+				trapMsg = fmt.Sprintf("int store address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			st.dirtyInt(int(ad))
+			imem[ad] = iregs[ib+int(d.b)]
+			dpc++
+		case dFLd:
+			ad := iregs[ib+int(d.a)] + d.imm
+			if uint64(ad) >= uint64(len(fmem)) {
+				trapRem, trapBack = int(d.rem), 1
+				trapMsg = fmt.Sprintf("float load address %d out of range [0,%d)", ad, len(fmem))
+				goto trapExit
+			}
+			fregs[fb+int(d.c)] = fmem[ad]
+			dpc++
+		case dFSt:
+			ad := iregs[ib+int(d.a)] + d.imm
+			if uint64(ad) >= uint64(len(fmem)) {
+				trapRem, trapBack = int(d.rem), 1
+				trapMsg = fmt.Sprintf("float store address %d out of range [0,%d)", ad, len(fmem))
+				goto trapExit
+			}
+			st.dirtyFloat(int(ad))
+			fmem[ad] = fregs[fb+int(d.b)]
+			dpc++
+
+		case dBr:
+			res.SiteTotal[d.x]++
+			if iregs[ib+int(d.a)] != 0 {
+				res.SiteTaken[d.x]++
+				dpc = int(d.target)
+			} else {
+				dpc++
+			}
+		case dBrT:
+			res.SiteTotal[d.x]++
+			taken := iregs[ib+int(d.a)] != 0
+			if taken {
+				res.SiteTaken[d.x]++
+			}
+			c.Trace.Branch(d.x, taken, instrs)
+			if taken {
+				dpc = int(d.target)
+			} else {
+				dpc++
+			}
+		case dJmp:
+			res.Jumps++
+			dpc = int(d.target)
+		case dJmpT:
+			res.Jumps++
+			c.Trace.Transfer(TransferJump, instrs)
+			dpc = int(d.target)
+
+		case dCall, dCallT:
+			fi := int(d.target)
+			res.DirectCalls++
+			if d.op == dCallT {
+				c.Trace.Transfer(TransferCall, instrs)
+			}
+			if len(frames) >= c.MaxDepth {
+				trapRem, trapBack, trapMsg = int(d.rem), 1, "call stack overflow"
+				goto trapExit
+			}
+			fm := &fmeta[fi]
+			niBase := len(iregs)
+			nfBase := len(fregs)
+			iArg := int(d.a)
+			frames = append(frames, frame{fn: d.target, retPC: int32(d.imm),
+				iBase: int32(niBase), fBase: int32(nfBase), resReg: d.c})
+			if np := int(fm.nparams); fm.intOnly && int(fm.numI) > np {
+				// The staging loop overwrites the param slots, so only
+				// the callee's scratch registers need clearing.
+				iregs = growInt(iregs, niBase+np, int(fm.numI)-np)
+			} else {
+				iregs = growInt(iregs, niBase, int(fm.numI))
+			}
+			fregs = growFloat(fregs, nfBase, int(fm.numF))
+			if fm.intOnly {
+				for k := 0; k < int(fm.nparams); k++ {
+					iregs[niBase+k] = iregs[ib+iArg+k]
+				}
+			} else {
+				callee := &p.Funcs[fi]
+				fArg := int(d.b)
+				ni, nf := 0, 0
+				for pi := 0; pi < callee.NumParams; pi++ {
+					if pi < len(callee.FParams) && callee.FParams[pi] {
+						fregs[nfBase+nf] = fregs[fb+fArg]
+						fArg++
+						nf++
+					} else {
+						iregs[niBase+ni] = iregs[ib+iArg]
+						iArg++
+						ni++
+					}
+				}
+			}
+			if dep := len(frames); dep > res.MaxDepth {
+				res.MaxDepth = dep
+			}
+			cur = fi
+			fcode = v.code[cur]
+			ib, fb = niBase, nfBase
+			dpc = int(v.hdr[cur][0])
+		case dICall, dICallT:
+			fi := int(iregs[ib+int(d.a)])
+			if fi < 0 || fi >= len(p.Funcs) {
+				trapRem, trapBack = int(d.rem), 1
+				trapMsg = fmt.Sprintf("indirect call to bad function index %d", fi)
+				goto trapExit
+			}
+			res.IndirectCalls++
+			if d.op == dICallT {
+				c.Trace.Transfer(TransferIndirectCall, instrs)
+			}
+			if len(frames) >= c.MaxDepth {
+				trapRem, trapBack, trapMsg = int(d.rem), 1, "call stack overflow"
+				goto trapExit
+			}
+			fm := &fmeta[fi]
+			callee := &p.Funcs[fi]
+			niBase := len(iregs)
+			nfBase := len(fregs)
+			iArg := int(d.b)
+			frames = append(frames, frame{fn: int32(fi), retPC: int32(d.imm),
+				iBase: int32(niBase), fBase: int32(nfBase), resReg: d.c, indirect: true})
+			iregs = growInt(iregs, niBase, int(fm.numI))
+			fregs = growFloat(fregs, nfBase, int(fm.numF))
+			ni := 0
+			for pi := 0; pi < callee.NumParams; pi++ {
+				if pi < len(callee.FParams) && callee.FParams[pi] {
+					trapRem, trapBack, trapMsg = int(d.rem), 1, "indirect call to function with float parameters"
+					goto trapExit
+				}
+				iregs[niBase+ni] = iregs[ib+iArg]
+				iArg++
+				ni++
+			}
+			if dep := len(frames); dep > res.MaxDepth {
+				res.MaxDepth = dep
+			}
+			cur = fi
+			fcode = v.code[cur]
+			ib, fb = niBase, nfBase
+			dpc = int(v.hdr[cur][0])
+		case dRet, dRetT:
+			fr := frames[len(frames)-1]
+			if fr.indirect {
+				res.IndirectReturns++
+				if d.op == dRetT {
+					c.Trace.Transfer(TransferIndirectReturn, instrs)
+				}
+			} else if fr.retPC >= 0 {
+				res.DirectReturns++
+				if d.op == dRetT {
+					c.Trace.Transfer(TransferReturn, instrs)
+				}
+			}
+			kind := fmeta[cur].kind
+			var iv int64
+			var fv float64
+			switch kind {
+			case isa.FuncInt:
+				iv = iregs[ib+int(d.a)]
+			case isa.FuncFloat:
+				fv = fregs[fb+int(d.a)]
+			}
+			iregs = iregs[:ib]
+			fregs = fregs[:fb]
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				res.ExitCode = iv
+				goto doneExit
+			}
+			caller := frames[len(frames)-1]
+			cur = int(caller.fn)
+			fcode = v.code[cur]
+			ib, fb = int(caller.iBase), int(caller.fBase)
+			if fr.resReg >= 0 {
+				switch kind {
+				case isa.FuncInt:
+					iregs[ib+int(fr.resReg)] = iv
+				case isa.FuncFloat:
+					fregs[fb+int(fr.resReg)] = fv
+				}
+			}
+			dpc = int(v.hdr[cur][fr.retPC])
+
+		case dGetc:
+			if inPos < len(input) {
+				iregs[ib+int(d.c)] = int64(input[inPos])
+				inPos++
+			} else {
+				iregs[ib+int(d.c)] = -1
+			}
+			dpc++
+		case dPutc:
+			if len(res.Output) >= c.MaxOutput {
+				trapRem, trapBack, trapMsg = int(d.rem), 1, "output limit exceeded"
+				goto trapExit
+			}
+			res.Output = append(res.Output, byte(iregs[ib+int(d.a)]))
+			dpc++
+		case dHalt:
+			res.ExitCode = iregs[ib+int(d.a)]
+			goto doneExit
+
+		case dSqrt:
+			fregs[fb+int(d.c)] = math.Sqrt(fregs[fb+int(d.a)])
+			dpc++
+		case dSin:
+			fregs[fb+int(d.c)] = math.Sin(fregs[fb+int(d.a)])
+			dpc++
+		case dCos:
+			fregs[fb+int(d.c)] = math.Cos(fregs[fb+int(d.a)])
+			dpc++
+		case dExp:
+			fregs[fb+int(d.c)] = math.Exp(fregs[fb+int(d.a)])
+			dpc++
+		case dLog:
+			fregs[fb+int(d.c)] = math.Log(fregs[fb+int(d.a)])
+			dpc++
+		case dFAbs:
+			fregs[fb+int(d.c)] = math.Abs(fregs[fb+int(d.a)])
+			dpc++
+		case dFloor:
+			fregs[fb+int(d.c)] = math.Floor(fregs[fb+int(d.a)])
+			dpc++
+		case dPow:
+			fregs[fb+int(d.c)] = math.Pow(fregs[fb+int(d.a)], fregs[fb+int(d.b)])
+			dpc++
+		case dSel:
+			if iregs[ib+int(d.a)] != 0 {
+				iregs[ib+int(d.c)] = iregs[ib+int(d.b)]
+			} else {
+				iregs[ib+int(d.c)] = iregs[ib+int(d.imm)]
+			}
+			dpc++
+		case dFSel:
+			if iregs[ib+int(d.a)] != 0 {
+				fregs[fb+int(d.c)] = fregs[fb+int(d.b)]
+			} else {
+				fregs[fb+int(d.c)] = fregs[fb+int(d.imm)]
+			}
+			dpc++
+
+		case dBadOp:
+			trapRem, trapBack = int(d.rem), 1
+			trapMsg = fmt.Sprintf("unimplemented op %v", isa.Op(d.imm))
+			goto trapExit
+
+		// Fused superinstructions. Sub-operations run in original
+		// order with the reference's exact reads and writes.
+		case dSltBr:
+			cv := b2i(iregs[ib+int(d.a)] < iregs[ib+int(d.b)])
+			iregs[ib+int(d.c)] = cv
+			res.SiteTotal[d.x]++
+			if cv != 0 {
+				res.SiteTaken[d.x]++
+				dpc = int(d.target)
+			} else {
+				dpc++
+			}
+		case dSleBr:
+			cv := b2i(iregs[ib+int(d.a)] <= iregs[ib+int(d.b)])
+			iregs[ib+int(d.c)] = cv
+			res.SiteTotal[d.x]++
+			if cv != 0 {
+				res.SiteTaken[d.x]++
+				dpc = int(d.target)
+			} else {
+				dpc++
+			}
+		case dSeqBr:
+			cv := b2i(iregs[ib+int(d.a)] == iregs[ib+int(d.b)])
+			iregs[ib+int(d.c)] = cv
+			res.SiteTotal[d.x]++
+			if cv != 0 {
+				res.SiteTaken[d.x]++
+				dpc = int(d.target)
+			} else {
+				dpc++
+			}
+		case dSneBr:
+			cv := b2i(iregs[ib+int(d.a)] != iregs[ib+int(d.b)])
+			iregs[ib+int(d.c)] = cv
+			res.SiteTotal[d.x]++
+			if cv != 0 {
+				res.SiteTaken[d.x]++
+				dpc = int(d.target)
+			} else {
+				dpc++
+			}
+		case dLdiAdd:
+			iregs[ib+int(d.c)] = d.imm
+			iregs[ib+int(d.x)] = iregs[ib+int(d.a)] + iregs[ib+int(d.b)]
+			dpc++
+		case dLdiSub:
+			iregs[ib+int(d.c)] = d.imm
+			iregs[ib+int(d.x)] = iregs[ib+int(d.a)] - iregs[ib+int(d.b)]
+			dpc++
+		case dLdiMul:
+			iregs[ib+int(d.c)] = d.imm
+			iregs[ib+int(d.x)] = iregs[ib+int(d.a)] * iregs[ib+int(d.b)]
+			dpc++
+		case dLdiSlt:
+			iregs[ib+int(d.c)] = d.imm
+			iregs[ib+int(d.x)] = b2i(iregs[ib+int(d.a)] < iregs[ib+int(d.b)])
+			dpc++
+		case dLdiSle:
+			iregs[ib+int(d.c)] = d.imm
+			iregs[ib+int(d.x)] = b2i(iregs[ib+int(d.a)] <= iregs[ib+int(d.b)])
+			dpc++
+		case dLdiSeq:
+			iregs[ib+int(d.c)] = d.imm
+			iregs[ib+int(d.x)] = b2i(iregs[ib+int(d.a)] == iregs[ib+int(d.b)])
+			dpc++
+		case dLdiSne:
+			iregs[ib+int(d.c)] = d.imm
+			iregs[ib+int(d.x)] = b2i(iregs[ib+int(d.a)] != iregs[ib+int(d.b)])
+			dpc++
+		case dLdiLd:
+			iregs[ib+int(d.c)] = d.imm
+			ad := iregs[ib+int(d.b)] + int64(d.target)
+			if uint64(ad) >= uint64(len(imem)) {
+				trapRem, trapBack = int(d.rem), 1
+				trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			iregs[ib+int(d.x)] = imem[ad]
+			dpc++
+		case dLdAdd:
+			ad := iregs[ib+int(d.a)] + d.imm
+			if uint64(ad) >= uint64(len(imem)) {
+				// The load traps: its fused add never executed either.
+				trapRem, trapBack = int(d.rem), 2
+				trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			lv := imem[ad]
+			iregs[ib+int(d.c)] = lv
+			iregs[ib+int(d.x)] = lv + iregs[ib+int(d.b)]
+			dpc++
+		case dLdMov:
+			ad := iregs[ib+int(d.a)] + d.imm
+			if uint64(ad) >= uint64(len(imem)) {
+				trapRem, trapBack = int(d.rem), 2
+				trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = imem[ad]
+			iregs[ib+int(d.x)] = iregs[ib+int(d.target)]
+			dpc++
+		case dLdSlt:
+			ad := iregs[ib+int(d.a)] + d.imm
+			if uint64(ad) >= uint64(len(imem)) {
+				trapRem, trapBack = int(d.rem), 2
+				trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = imem[ad]
+			iregs[ib+int(d.x)] = b2i(iregs[ib+int(d.b)] < iregs[ib+int(d.target)])
+			dpc++
+		case dLdSeq:
+			ad := iregs[ib+int(d.a)] + d.imm
+			if uint64(ad) >= uint64(len(imem)) {
+				trapRem, trapBack = int(d.rem), 2
+				trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = imem[ad]
+			iregs[ib+int(d.x)] = b2i(iregs[ib+int(d.b)] == iregs[ib+int(d.target)])
+			dpc++
+		case dLdLd:
+			ad := iregs[ib+int(d.a)] + int64(d.target)
+			if uint64(ad) >= uint64(len(imem)) {
+				trapRem, trapBack = int(d.rem), 2
+				trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			iregs[ib+int(d.c)] = imem[ad]
+			ad = iregs[ib+int(d.b)] + d.imm
+			if uint64(ad) >= uint64(len(imem)) {
+				trapRem, trapBack = int(d.rem), 1
+				trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			iregs[ib+int(d.x)] = imem[ad]
+			dpc++
+		case dMulAdd:
+			mv := iregs[ib+int(d.a)] * iregs[ib+int(d.b)]
+			iregs[ib+int(d.c)] = mv
+			iregs[ib+int(d.x)] = mv + iregs[ib+int(d.target)]
+			dpc++
+		case dAddMov:
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)] + iregs[ib+int(d.b)]
+			iregs[ib+int(d.x)] = iregs[ib+int(d.target)]
+			dpc++
+		case dAddFld:
+			av := iregs[ib+int(d.a)] + iregs[ib+int(d.b)]
+			iregs[ib+int(d.c)] = av
+			ad := av + d.imm
+			if uint64(ad) >= uint64(len(fmem)) {
+				// The fld (second half) traps: the add did execute.
+				trapRem, trapBack = int(d.rem), 1
+				trapMsg = fmt.Sprintf("float load address %d out of range [0,%d)", ad, len(fmem))
+				goto trapExit
+			}
+			fregs[fb+int(d.x)] = fmem[ad]
+			dpc++
+		case dSltSne:
+			cv := b2i(iregs[ib+int(d.a)] < iregs[ib+int(d.b)])
+			iregs[ib+int(d.c)] = cv
+			iregs[ib+int(d.x)] = b2i(cv != iregs[ib+int(d.target)])
+			dpc++
+		case dSeqSne:
+			cv := b2i(iregs[ib+int(d.a)] == iregs[ib+int(d.b)])
+			iregs[ib+int(d.c)] = cv
+			iregs[ib+int(d.x)] = b2i(cv != iregs[ib+int(d.target)])
+			dpc++
+		case dFldMul:
+			ad := iregs[ib+int(d.a)] + d.imm
+			if uint64(ad) >= uint64(len(fmem)) {
+				trapRem, trapBack = int(d.rem), 2
+				trapMsg = fmt.Sprintf("float load address %d out of range [0,%d)", ad, len(fmem))
+				goto trapExit
+			}
+			lv := fmem[ad]
+			fregs[fb+int(d.c)] = lv
+			fregs[fb+int(d.x)] = lv * fregs[fb+int(d.target)]
+			dpc++
+		case dFldLdi:
+			ad := iregs[ib+int(d.a)] + int64(d.target)
+			if uint64(ad) >= uint64(len(fmem)) {
+				trapRem, trapBack = int(d.rem), 2
+				trapMsg = fmt.Sprintf("float load address %d out of range [0,%d)", ad, len(fmem))
+				goto trapExit
+			}
+			fregs[fb+int(d.c)] = fmem[ad]
+			iregs[ib+int(d.x)] = d.imm
+			dpc++
+		case dFMulAdd:
+			mv := fregs[fb+int(d.a)] * fregs[fb+int(d.b)]
+			fregs[fb+int(d.c)] = mv
+			fregs[fb+int(d.x)] = mv + fregs[fb+int(d.target)]
+			dpc++
+		case dFAddMov:
+			fregs[fb+int(d.c)] = fregs[fb+int(d.a)] + fregs[fb+int(d.b)]
+			fregs[fb+int(d.x)] = fregs[fb+int(d.target)]
+			dpc++
+		case dFMovLdi:
+			fregs[fb+int(d.c)] = fregs[fb+int(d.a)]
+			iregs[ib+int(d.x)] = d.imm
+			dpc++
+		case dMovLdi:
+			iregs[ib+int(d.c)] = iregs[ib+int(d.a)]
+			iregs[ib+int(d.x)] = d.imm
+			dpc++
+
+		// Edge-accounting control ops (headerless plain stream). Each
+		// credits its successor block before entering it; when the
+		// credit would cross the event horizon the step loop takes
+		// over at the successor's first instruction.
+		case dFall:
+			if instrs+uint64(d.rem) > stop {
+				stepPC = st.fallPC(cur, dpc)
+				goto stepExit
+			}
+			instrs += uint64(d.rem)
+			res.Jumps += uint64(d.x)
+			dpc = int(d.target)
+		case dSneFall:
+			iregs[ib+int(d.c)] = b2i(iregs[ib+int(d.a)] != iregs[ib+int(d.b)])
+			if instrs+uint64(d.rem) > stop {
+				stepPC = st.fallPC(cur, dpc)
+				goto stepExit
+			}
+			instrs += uint64(d.rem)
+			res.Jumps += uint64(d.x)
+			dpc = int(d.target)
+		case dLdiSltSneFall, dLdiSeqSneFall:
+			iregs[ib+int(d.c)] = d.imm
+			var cv int64
+			if d.op == dLdiSltSneFall {
+				cv = b2i(iregs[ib+int(d.a)] < iregs[ib+int(d.b)])
+			} else {
+				cv = b2i(iregs[ib+int(d.a)] == iregs[ib+int(d.b)])
+			}
+			em := v.eImm[cur][dpc]
+			iregs[ib+int(em>>16)] = cv
+			iregs[ib+(int(d.x)>>16)] = b2i(cv != iregs[ib+(int(d.x)&0xffff)])
+			if instrs+uint64(d.rem) > stop {
+				stepPC = st.fallPC(cur, dpc)
+				goto stepExit
+			}
+			instrs += uint64(d.rem)
+			res.Jumps += uint64(em & 0xffff)
+			dpc = int(d.target)
+		case dBrN:
+			res.SiteTotal[d.x]++
+			var tdpc int
+			var n, nj uint64
+			taken := iregs[ib+int(d.a)] != 0
+			if taken {
+				res.SiteTaken[d.x]++
+				tdpc, n, nj = int(d.target), uint64(d.rem>>8), uint64(d.imm>>8)&0xff
+			} else {
+				tdpc, n, nj = int(d.imm>>16), uint64(d.rem&0xff), uint64(d.imm)&0xff
+			}
+			if instrs+n > stop {
+				if taken {
+					stepPC = int(v.tPC[cur][dpc])
+				} else {
+					stepPC = st.fallPC(cur, dpc)
+				}
+				goto stepExit
+			}
+			instrs += n
+			res.Jumps += nj
+			dpc = tdpc
+		case dJmpN:
+			res.Jumps++
+			if instrs+uint64(d.rem) > stop {
+				stepPC = int(v.tPC[cur][dpc])
+				goto stepExit
+			}
+			instrs += uint64(d.rem)
+			res.Jumps += uint64(d.x)
+			dpc = int(d.target)
+		case dSneJmpN:
+			iregs[ib+int(d.c)] = b2i(iregs[ib+int(d.a)] != iregs[ib+int(d.b)])
+			res.Jumps++
+			if instrs+uint64(d.rem) > stop {
+				stepPC = int(v.tPC[cur][dpc])
+				goto stepExit
+			}
+			instrs += uint64(d.rem)
+			res.Jumps += uint64(d.x)
+			dpc = int(d.target)
+		case dLdiJmpN:
+			iregs[ib+int(d.c)] = d.imm
+			res.Jumps++
+			if instrs+uint64(d.rem) > stop {
+				stepPC = int(v.tPC[cur][dpc])
+				goto stepExit
+			}
+			instrs += uint64(d.rem)
+			res.Jumps += uint64(d.x)
+			dpc = int(d.target)
+		case dLdiSltSneJmpN, dLdiSeqSneJmpN:
+			iregs[ib+int(d.c)] = d.imm
+			var cv int64
+			if d.op == dLdiSltSneJmpN {
+				cv = b2i(iregs[ib+int(d.a)] < iregs[ib+int(d.b)])
+			} else {
+				cv = b2i(iregs[ib+int(d.a)] == iregs[ib+int(d.b)])
+			}
+			em := v.eImm[cur][dpc]
+			iregs[ib+int(em>>16)] = cv
+			iregs[ib+(int(d.x)>>16)] = b2i(cv != iregs[ib+(int(d.x)&0xffff)])
+			res.Jumps++
+			if instrs+uint64(d.rem) > stop {
+				stepPC = int(v.tPC[cur][dpc])
+				goto stepExit
+			}
+			instrs += uint64(d.rem)
+			res.Jumps += uint64(em & 0xffff)
+			dpc = int(d.target)
+		case dSltBrN, dSleBrN, dSeqBrN, dSneBrN:
+			var cv int64
+			switch d.op {
+			case dSltBrN:
+				cv = b2i(iregs[ib+int(d.a)] < iregs[ib+int(d.b)])
+			case dSleBrN:
+				cv = b2i(iregs[ib+int(d.a)] <= iregs[ib+int(d.b)])
+			case dSeqBrN:
+				cv = b2i(iregs[ib+int(d.a)] == iregs[ib+int(d.b)])
+			default:
+				cv = b2i(iregs[ib+int(d.a)] != iregs[ib+int(d.b)])
+			}
+			iregs[ib+int(d.c)] = cv
+			res.SiteTotal[d.x]++
+			var tdpc int
+			var n, nj uint64
+			if cv != 0 {
+				res.SiteTaken[d.x]++
+				tdpc, n, nj = int(d.target), uint64(d.rem>>8), uint64(d.imm>>8)&0xff
+			} else {
+				tdpc, n, nj = int(d.imm>>16), uint64(d.rem&0xff), uint64(d.imm)&0xff
+			}
+			if instrs+n > stop {
+				if cv != 0 {
+					stepPC = int(v.tPC[cur][dpc])
+				} else {
+					stepPC = st.fallPC(cur, dpc)
+				}
+				goto stepExit
+			}
+			instrs += n
+			res.Jumps += nj
+			dpc = tdpc
+		case dLdiBrN:
+			iregs[ib+int(d.c)] = d.imm
+			res.SiteTotal[d.x]++
+			var tdpc int
+			var n, nj uint64
+			taken := iregs[ib+int(d.a)] != 0
+			if taken {
+				res.SiteTaken[d.x]++
+				tdpc, n, nj = int(d.target), uint64(d.rem>>8), uint64(d.b)
+			} else {
+				tdpc, n, nj = dpc+1, uint64(d.rem&0xff), 0
+			}
+			if instrs+n > stop {
+				if taken {
+					stepPC = int(v.tPC[cur][dpc])
+				} else {
+					stepPC = st.fallPC(cur, dpc)
+				}
+				goto stepExit
+			}
+			instrs += n
+			res.Jumps += nj
+			dpc = tdpc
+		case dLdiSltBrN, dLdiSleBrN, dLdiSeqBrN, dLdiSneBrN:
+			iregs[ib+int(d.c)] = d.imm
+			var cv int64
+			switch d.op {
+			case dLdiSltBrN:
+				cv = b2i(iregs[ib+int(d.a)] < iregs[ib+int(d.b)])
+			case dLdiSleBrN:
+				cv = b2i(iregs[ib+int(d.a)] <= iregs[ib+int(d.b)])
+			case dLdiSeqBrN:
+				cv = b2i(iregs[ib+int(d.a)] == iregs[ib+int(d.b)])
+			default:
+				cv = b2i(iregs[ib+int(d.a)] != iregs[ib+int(d.b)])
+			}
+			iregs[ib+(int(d.x)&0xffff)] = cv
+			site := d.x >> 16
+			res.SiteTotal[site]++
+			em := v.eImm[cur][dpc]
+			var tdpc int
+			var n, nj uint64
+			if cv != 0 {
+				res.SiteTaken[site]++
+				tdpc, n, nj = int(d.target), uint64(d.rem>>8), uint64(em>>8)&0xff
+			} else {
+				tdpc, n, nj = int(em>>16), uint64(d.rem&0xff), uint64(em)&0xff
+			}
+			if instrs+n > stop {
+				if cv != 0 {
+					stepPC = int(v.tPC[cur][dpc])
+				} else {
+					stepPC = st.fallPC(cur, dpc)
+				}
+				goto stepExit
+			}
+			instrs += n
+			res.Jumps += nj
+			dpc = tdpc
+		case dLdiLdSeqBrN:
+			// ldi c,imm ; ld (eImm bits 56+),[a+b] ; seq comparing the
+			// loaded value against the register in eImm bits [48,56)
+			// into x&0xffff ; br on the compare. The fall edge packs
+			// into eImm bits [16,48) exactly like dBrN's imm.
+			iregs[ib+int(d.c)] = d.imm
+			ad := iregs[ib+int(d.a)] + int64(d.b)
+			if uint64(ad) >= uint64(len(imem)) {
+				// The ld is third-from-last in the block; the seq and
+				// br after it never executed.
+				trapRem, trapBack = 0, 3
+				trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+				goto trapExit
+			}
+			em := uint64(v.eImm[cur][dpc])
+			lv := imem[ad]
+			iregs[ib+int(em>>56)] = lv
+			cv := b2i(lv == iregs[ib+int(em>>48)&0xff])
+			iregs[ib+(int(d.x)&0xffff)] = cv
+			site := d.x >> 16
+			res.SiteTotal[site]++
+			var tdpc int
+			var n, nj uint64
+			if cv != 0 {
+				res.SiteTaken[site]++
+				tdpc, n, nj = int(d.target), uint64(d.rem>>8), (em>>8)&0xff
+			} else {
+				tdpc, n, nj = int(em>>16)&0xffffffff, uint64(d.rem&0xff), em&0xff
+			}
+			if instrs+n > stop {
+				if cv != 0 {
+					stepPC = int(v.tPC[cur][dpc])
+				} else {
+					stepPC = st.fallPC(cur, dpc)
+				}
+				goto stepExit
+			}
+			instrs += n
+			res.Jumps += nj
+			dpc = tdpc
+		case dCallN, dMovCallN:
+			retPC := int(d.imm)
+			if d.op == dMovCallN {
+				// The fused mov runs first, exactly as the standalone
+				// instruction would (imm packs retPC | movSrc | movDest).
+				iregs[ib+(int(d.imm)&0xffff)] = iregs[ib+(int(d.imm>>16)&0xffff)]
+				retPC = int(d.imm >> 32)
+			}
+			fi := int(d.target)
+			res.DirectCalls++
+			if len(frames) >= c.MaxDepth {
+				trapRem, trapBack, trapMsg = 0, 1, "call stack overflow"
+				goto trapExit
+			}
+			fm := &fmeta[fi]
+			niBase := len(iregs)
+			nfBase := len(fregs)
+			iArg := int(d.a)
+			frames = append(frames, frame{fn: d.target, retPC: int32(retPC),
+				iBase: int32(niBase), fBase: int32(nfBase), resReg: d.c,
+				retDpc: int32(dpc) + 1, retN: int32(d.rem & 0xff)})
+			if np := int(fm.nparams); fm.intOnly && int(fm.numI) > np {
+				// The staging loop overwrites the param slots, so only
+				// the callee's scratch registers need clearing.
+				iregs = growInt(iregs, niBase+np, int(fm.numI)-np)
+			} else {
+				iregs = growInt(iregs, niBase, int(fm.numI))
+			}
+			fregs = growFloat(fregs, nfBase, int(fm.numF))
+			if fm.intOnly {
+				for k := 0; k < int(fm.nparams); k++ {
+					iregs[niBase+k] = iregs[ib+iArg+k]
+				}
+			} else {
+				callee := &p.Funcs[fi]
+				fArg := int(d.b)
+				ni, nf := 0, 0
+				for pi := 0; pi < callee.NumParams; pi++ {
+					if pi < len(callee.FParams) && callee.FParams[pi] {
+						fregs[nfBase+nf] = fregs[fb+fArg]
+						fArg++
+						nf++
+					} else {
+						iregs[niBase+ni] = iregs[ib+iArg]
+						iArg++
+						ni++
+					}
+				}
+			}
+			if dep := len(frames); dep > res.MaxDepth {
+				res.MaxDepth = dep
+			}
+			cur = fi
+			fcode = v.code[cur]
+			ib, fb = niBase, nfBase
+			n := uint64(d.rem >> 8)
+			if instrs+n > stop {
+				stepPC = 0
+				goto stepExit
+			}
+			instrs += n
+			dpc = int(d.x)
+		case dICallN:
+			fi := int(iregs[ib+int(d.a)])
+			if fi < 0 || fi >= len(p.Funcs) {
+				trapRem, trapBack = 0, 1
+				trapMsg = fmt.Sprintf("indirect call to bad function index %d", fi)
+				goto trapExit
+			}
+			res.IndirectCalls++
+			if len(frames) >= c.MaxDepth {
+				trapRem, trapBack, trapMsg = 0, 1, "call stack overflow"
+				goto trapExit
+			}
+			fm := &fmeta[fi]
+			callee := &p.Funcs[fi]
+			niBase := len(iregs)
+			nfBase := len(fregs)
+			iArg := int(d.b)
+			frames = append(frames, frame{fn: int32(fi), retPC: int32(d.imm),
+				iBase: int32(niBase), fBase: int32(nfBase), resReg: d.c, indirect: true,
+				retDpc: int32(dpc) + 1, retN: int32(d.rem)})
+			iregs = growInt(iregs, niBase, int(fm.numI))
+			fregs = growFloat(fregs, nfBase, int(fm.numF))
+			ni := 0
+			for pi := 0; pi < callee.NumParams; pi++ {
+				if pi < len(callee.FParams) && callee.FParams[pi] {
+					trapRem, trapBack, trapMsg = 0, 1, "indirect call to function with float parameters"
+					goto trapExit
+				}
+				iregs[niBase+ni] = iregs[ib+iArg]
+				iArg++
+				ni++
+			}
+			if dep := len(frames); dep > res.MaxDepth {
+				res.MaxDepth = dep
+			}
+			cur = fi
+			fcode = v.code[cur]
+			ib, fb = niBase, nfBase
+			n := uint64(v.entryN[fi])
+			if instrs+n > stop {
+				stepPC = 0
+				goto stepExit
+			}
+			instrs += n
+			dpc = int(v.entryDpc[fi])
+		case dRetN, dLdiRetN, dLdRetN, dStRetN:
+			retReg := d.a
+			switch d.op {
+			case dLdiRetN:
+				iregs[ib+int(d.c)] = d.imm
+			case dLdRetN:
+				ad := iregs[ib+int(d.a)] + d.imm
+				if uint64(ad) >= uint64(len(imem)) {
+					trapRem, trapBack = 0, 2
+					trapMsg = fmt.Sprintf("int load address %d out of range [0,%d)", ad, len(imem))
+					goto trapExit
+				}
+				iregs[ib+int(d.c)] = imem[ad]
+				retReg = d.x
+			case dStRetN:
+				ad := iregs[ib+int(d.a)] + d.imm
+				if uint64(ad) >= uint64(len(imem)) {
+					trapRem, trapBack = 0, 2
+					trapMsg = fmt.Sprintf("int store address %d out of range [0,%d)", ad, len(imem))
+					goto trapExit
+				}
+				st.dirtyInt(int(ad))
+				imem[ad] = iregs[ib+int(d.b)]
+				retReg = d.x
+			}
+			fr := frames[len(frames)-1]
+			if fr.indirect {
+				res.IndirectReturns++
+			} else if fr.retPC >= 0 {
+				res.DirectReturns++
+			}
+			kind := fmeta[cur].kind
+			var iv int64
+			var fv float64
+			switch kind {
+			case isa.FuncInt:
+				iv = iregs[ib+int(retReg)]
+			case isa.FuncFloat:
+				fv = fregs[fb+int(retReg)]
+			}
+			iregs = iregs[:ib]
+			fregs = fregs[:fb]
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				res.ExitCode = iv
+				goto doneExit
+			}
+			caller := frames[len(frames)-1]
+			cur = int(caller.fn)
+			fcode = v.code[cur]
+			ib, fb = int(caller.iBase), int(caller.fBase)
+			if fr.resReg >= 0 {
+				switch kind {
+				case isa.FuncInt:
+					iregs[ib+int(fr.resReg)] = iv
+				case isa.FuncFloat:
+					fregs[fb+int(fr.resReg)] = fv
+				}
+			}
+			n := uint64(fr.retN)
+			if instrs+n > stop {
+				stepPC = int(fr.retPC)
+				goto stepExit
+			}
+			instrs += n
+			dpc = int(fr.retDpc)
+		}
+	}
+
+stepExit:
+	st.iregs, st.fregs, st.frames = iregs, fregs, frames
+	st.inPos = inPos
+	st.cur, st.ib, st.fb = cur, ib, fb
+	st.instrs = instrs
+	st.pc = stepPC
+	st.fast = false
+	return
+
+trapExit:
+	st.iregs, st.fregs, st.frames = iregs, fregs, frames
+	st.inPos = inPos
+	st.cur, st.ib, st.fb = cur, ib, fb
+	st.instrs = instrs
+	{
+		bi := st.blockAt(cur, dpc)
+		pc := int(v.bPC[cur][bi]+v.bN[cur][bi]) - trapRem - trapBack
+		st.trapFast(cur, pc, uint64(trapRem+trapBack-1), trapMsg)
+	}
+	return
+
+doneExit:
+	st.iregs, st.fregs, st.frames = iregs, fregs, frames
+	st.inPos = inPos
+	st.cur, st.ib, st.fb = cur, ib, fb
+	st.instrs = instrs
+	st.done = true
+}
+
+// trapFast finishes a fast-mode trap: the block's credited accounting
+// counted notExec instructions that never ran, so back them out of
+// the total and (for PerPC runs) record which pcs of the trapping
+// block to uncount at finalize. pc is the trapping original
+// instruction, which did execute and does count.
+func (st *exec) trapFast(fn, pc int, notExec uint64, msg string) {
+	st.instrs -= notExec
+	if st.c.PerPC {
+		blks := st.im.blocks[fn]
+		lo, hi := 0, len(blks)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if int(blks[mid].start) <= pc {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		st.adjFn = fn
+		st.adjFrom = pc + 1
+		st.adjTo = int(blks[lo].start + blks[lo].n)
+	}
+	st.err = &RuntimeError{Func: st.p.Funcs[fn].Name, PC: pc,
+		GlobalPC: st.im.funcBase[fn] + pc, Instrs: st.instrs, Msg: msg}
+	st.done = true
+}

@@ -1,0 +1,138 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc"
+	"branchprof/internal/workloads"
+)
+
+func compileWorkload(t *testing.T, name string) (*isa.Program, []byte) {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, w.Datasets[0].Gen()
+}
+
+// TestFuelExactAtCount: block-batched fuel accounting must not
+// overshoot — ErrFuel fires with Instrs equal to the configured fuel,
+// exactly as the unbatched reference does, including at and around
+// the 4096-instruction poll boundary.
+func TestFuelExactAtCount(t *testing.T) {
+	prog, input := compileWorkload(t, "li")
+	im := Load(prog)
+	for _, fuel := range []uint64{1, 17, 4095, 4096, 4097, 100000} {
+		res, err := im.Run(input, &Config{Fuel: fuel})
+		if !errors.Is(err, ErrFuel) {
+			t.Fatalf("fuel=%d: err = %v, want ErrFuel", fuel, err)
+		}
+		if res.Instrs != fuel {
+			t.Errorf("fuel=%d: stopped after %d instructions", fuel, res.Instrs)
+		}
+		if want := fmt.Sprintf("after %d instructions", fuel); !strings.Contains(err.Error(), want) {
+			t.Errorf("fuel=%d: error %q does not report the exact count", fuel, err)
+		}
+	}
+}
+
+// TestSampleCadenceBounded: the Sample hook must keep firing at the
+// reference interpreter's cadence — every 4096 retired instructions —
+// even though the pre-decoded loop only reconciles its batched
+// instruction count at block boundaries.
+func TestSampleCadenceBounded(t *testing.T) {
+	prog, input := compileWorkload(t, "li")
+	var stamps []uint64
+	_, err := Load(prog).Run(input, &Config{
+		Fuel: 1 << 20,
+		Sample: func(stack []int32, instrs uint64) {
+			stamps = append(stamps, instrs)
+		},
+	})
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("err = %v, want ErrFuel", err)
+	}
+	if len(stamps) < 100 {
+		t.Fatalf("only %d samples over %d instructions", len(stamps), 1<<20)
+	}
+	for i, at := range stamps {
+		if at%4096 != 0 {
+			t.Fatalf("sample %d at instruction %d, not a poll-cadence multiple", i, at)
+		}
+		if i > 0 && at-stamps[i-1] > 4096 {
+			t.Fatalf("samples %d..%d gap = %d instructions (> 4096)", i-1, i, at-stamps[i-1])
+		}
+	}
+}
+
+// TestCancelWithinPollWindow: closing Done from inside the Sample hook
+// pins the observation point, so cancellation must land within one
+// 4096-instruction poll window of the close — and at the exact same
+// instruction count the reference interpreter reports.
+func TestCancelWithinPollWindow(t *testing.T) {
+	prog, input := compileWorkload(t, "li")
+	run := func(runner func(*Config) (*Result, error)) (closeAt uint64, res *Result, err error) {
+		done := make(chan struct{})
+		closed := false
+		res, err = runner(&Config{
+			Done: done,
+			Sample: func(stack []int32, instrs uint64) {
+				if !closed && instrs >= 100000 {
+					closed = true
+					closeAt = instrs
+					close(done)
+				}
+			},
+		})
+		return closeAt, res, err
+	}
+	im := Load(prog)
+	fAt, fRes, fErr := run(func(c *Config) (*Result, error) { return im.Run(input, c) })
+	rAt, rRes, rErr := run(func(c *Config) (*Result, error) { return runRef(prog, input, c) })
+	for _, tc := range []struct {
+		name string
+		at   uint64
+		res  *Result
+		err  error
+	}{{"fast", fAt, fRes, fErr}, {"ref", rAt, rRes, rErr}} {
+		if !errors.Is(tc.err, ErrCancelled) {
+			t.Fatalf("%s: err = %v, want ErrCancelled", tc.name, tc.err)
+		}
+		if tc.res.Instrs < tc.at || tc.res.Instrs-tc.at > 4096 {
+			t.Errorf("%s: closed at %d, cancelled at %d (window > 4096)",
+				tc.name, tc.at, tc.res.Instrs)
+		}
+	}
+	if fAt != rAt || fRes.Instrs != rRes.Instrs || fErr.Error() != rErr.Error() {
+		t.Errorf("cancellation diverged: fast closed %d stopped %d (%v); ref closed %d stopped %d (%v)",
+			fAt, fRes.Instrs, fErr, rAt, rRes.Instrs, rErr)
+	}
+}
+
+// TestCancelInsideSampleSameStamp: a Done channel that is already
+// closed when the Sample hook fires is observed at the very next poll
+// point, not at the end of the current superinstruction batch.
+func TestCancelInsideSampleSameStamp(t *testing.T) {
+	prog, input := compileWorkload(t, "li")
+	done := make(chan struct{})
+	close(done)
+	res, err := Load(prog).Run(input, &Config{Done: done})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if res.Instrs != 0 {
+		t.Errorf("pre-closed Done stopped after %d instructions, want 0", res.Instrs)
+	}
+	if !strings.Contains(err.Error(), "after 0 instructions") {
+		t.Errorf("error %q does not report immediate cancellation", err)
+	}
+}

@@ -1,0 +1,95 @@
+// Per-run memory images and their reuse pool. Building a run's memory
+// means copying the program's data section into a full-size buffer —
+// for heap-heavy workloads that is megabytes of memmove per run, and
+// profiles showed it costing more than a tenth of total interpreter
+// time. Instead of rebuilding from scratch, each Image pools finished
+// buffers and the interpreter tracks the span of addresses every run
+// actually stored to; reuse restores only that dirty span to the data
+// section's initial values.
+//
+// Correctness leans on two invariants: stores are the only writes to
+// imem/fmem after construction (dSt/dFSt/dStRetN in the fast loop,
+// OpSt/OpFSt in the step loop — all five call dirtyInt/dirtyFloat
+// before writing), and a run that panics never returns its buffer, so
+// a buffer in the pool is always clean outside the restored span.
+package vm
+
+// memBuf is one run's worth of mutable state — memory images plus the
+// register and frame slabs — pooled per Image. The slabs are reused
+// at length zero: every window is cleared by growInt/growFloat before
+// the callee can read it, so stale contents are unobservable, and
+// skipping the quarter-megabyte of zeroing a fresh slab allocation
+// pays is the point.
+type memBuf struct {
+	imem   []int64
+	fmem   []float64
+	iregs  []int64
+	fregs  []float64
+	frames []frame
+}
+
+// getMem returns a ready-to-run buffer set, reusing a pooled one when
+// available.
+func (im *Image) getMem() *memBuf {
+	if v := im.memPool.Get(); v != nil {
+		return v.(*memBuf)
+	}
+	p := im.prog
+	return &memBuf{
+		imem:   initMem(p.IntData, p.IntMem),
+		fmem:   initMem(p.FloatData, p.FloatMem),
+		iregs:  make([]int64, 0, 1<<15),
+		fregs:  make([]float64, 0, 4096),
+		frames: make([]frame, 0, 1024),
+	}
+}
+
+// putMem restores the spans the finished run stored to and returns
+// the buffers to the pool for the next run.
+func (im *Image) putMem(st *exec) {
+	restoreSpan(st.imem, im.prog.IntData, st.iLo, st.iHi)
+	restoreSpan(st.fmem, im.prog.FloatData, st.fLo, st.fHi)
+	im.memPool.Put(&memBuf{
+		imem:   st.imem,
+		fmem:   st.fmem,
+		iregs:  st.iregs[:0],
+		fregs:  st.fregs[:0],
+		frames: st.frames[:0],
+	})
+}
+
+// restoreSpan resets m[lo:hi] to its initial contents: the data
+// section where it overlaps, zero beyond it.
+func restoreSpan[T int64 | float64](m, data []T, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	if lo < len(data) {
+		e := min(hi, len(data))
+		copy(m[lo:e], data[lo:e])
+		lo = e
+	}
+	clear(m[lo:hi])
+}
+
+// initMem builds a memory image of size words starting with the data
+// section. The data prefix is copied over anyway, so it is not
+// pre-zeroed: append allocates without clearing the copied region and
+// zeroes only [len, cap), which for images whose data section spans
+// all of memory (common for workloads with big heaps) skips a
+// full-size memclr on every run. Oversized data is truncated to size,
+// matching the make+copy behavior this replaces.
+func initMem[T int64 | float64](data []T, size int) []T {
+	m := append([]T(nil), data...)
+	switch {
+	case len(m) > size:
+		m = m[:size:size]
+	case len(m) < size && cap(m) >= size:
+		m = m[:size] // append zeroed [len, cap)
+	case len(m) < size:
+		grown := make([]T, size)
+		copy(grown, m)
+		m = grown
+	}
+	return m
+}

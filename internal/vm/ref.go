@@ -1,0 +1,434 @@
+// The reference interpreter: the original one-giant-switch loop the
+// fast back end (see predecode.go, fast.go, step.go) was measured
+// against. It remains the executable semantic specification — the
+// differential suite and FuzzVMDifferential run it side by side with
+// the fast path and require bit-identical Results — and the runtime
+// fallback for images that fail static verification (bad targets,
+// functions not ending in a control transfer), whose trap behaviour
+// depends on per-instruction pc checks the fast path deliberately
+// drops.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"branchprof/internal/isa"
+)
+
+// runReference executes p exactly as the pre-decoded back end does,
+// one instruction and one check at a time. cfg must already be filled.
+func runReference(p *isa.Program, input []byte, c *Config) (*Result, error) {
+	res := &Result{
+		SiteTaken: make([]uint64, len(p.Sites)),
+		SiteTotal: make([]uint64, len(p.Sites)),
+	}
+	if c.PerPC {
+		res.PerPC = make([][]uint64, len(p.Funcs))
+		for i := range p.Funcs {
+			res.PerPC[i] = make([]uint64, len(p.Funcs[i].Code))
+		}
+	}
+
+	imem := make([]int64, p.IntMem)
+	copy(imem, p.IntData)
+	fmem := make([]float64, p.FloatMem)
+	copy(fmem, p.FloatData)
+
+	// Register stacks. Frames are windows into these slabs.
+	iregs := make([]int64, 0, 4096)
+	fregs := make([]float64, 0, 4096)
+	frames := make([]frame, 0, 256)
+
+	push := func(fi int, retPC int, iBase, fBase int, resReg int32, indirect bool) {
+		f := &p.Funcs[fi]
+		frames = append(frames, frame{fn: int32(fi), retPC: int32(retPC),
+			iBase: int32(iBase), fBase: int32(fBase), resReg: resReg, indirect: indirect})
+		iregs = growInt(iregs, iBase, f.NumIRegs)
+		fregs = growFloat(fregs, fBase, f.NumFRegs)
+	}
+
+	// Enter main with no arguments.
+	push(p.Main, -1, 0, 0, -1, false)
+	cur := p.Main
+	code := p.Funcs[cur].Code
+	ib, fb := 0, 0
+	pc := 0
+	inPos := 0
+
+	trap := func(msg string) error {
+		// The global PC places the trap in a flat layout of the image:
+		// every earlier function's code, then pc within the current one.
+		global := pc
+		for i := 0; i < cur; i++ {
+			global += len(p.Funcs[i].Code)
+		}
+		return &RuntimeError{Func: p.Funcs[cur].Name, PC: pc, GlobalPC: global,
+			Instrs: res.Instrs, Msg: msg}
+	}
+
+	fuel := c.Fuel
+	// One flag gates the whole periodic-poll block, so runs with
+	// neither cancellation nor sampling pay a single comparison.
+	poll := c.Done != nil || c.Sample != nil
+	var stackBuf []int32
+	if c.Sample != nil {
+		stackBuf = make([]int32, 0, 64)
+	}
+	for {
+		if res.Instrs >= fuel {
+			return res, fmt.Errorf("%w after %d instructions in %s", ErrFuel, res.Instrs, p.Source)
+		}
+		if poll && res.Instrs&4095 == 0 {
+			if c.Done != nil {
+				select {
+				case <-c.Done:
+					return res, fmt.Errorf("%w after %d instructions in %s", ErrCancelled, res.Instrs, p.Source)
+				default:
+				}
+			}
+			if c.Sample != nil {
+				stackBuf = stackBuf[:0]
+				for i := range frames {
+					stackBuf = append(stackBuf, int32(frames[i].fn))
+				}
+				c.Sample(stackBuf, res.Instrs)
+			}
+		}
+		if pc < 0 || pc >= len(code) {
+			return res, trap("pc out of range")
+		}
+		in := &code[pc]
+		res.Instrs++
+		if c.PerPC {
+			res.PerPC[cur][pc]++
+		}
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpAdd:
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] + iregs[ib+int(in.B)]
+		case isa.OpSub:
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] - iregs[ib+int(in.B)]
+		case isa.OpMul:
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] * iregs[ib+int(in.B)]
+		case isa.OpDiv:
+			d := iregs[ib+int(in.B)]
+			if d == 0 {
+				return res, trap("integer divide by zero")
+			}
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] / d
+		case isa.OpRem:
+			d := iregs[ib+int(in.B)]
+			if d == 0 {
+				return res, trap("integer remainder by zero")
+			}
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] % d
+		case isa.OpAnd:
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] & iregs[ib+int(in.B)]
+		case isa.OpOr:
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] | iregs[ib+int(in.B)]
+		case isa.OpXor:
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] ^ iregs[ib+int(in.B)]
+		case isa.OpShl:
+			sh := iregs[ib+int(in.B)]
+			if sh < 0 || sh > 63 {
+				return res, trap("shift amount out of range")
+			}
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] << uint(sh)
+		case isa.OpShr:
+			sh := iregs[ib+int(in.B)]
+			if sh < 0 || sh > 63 {
+				return res, trap("shift amount out of range")
+			}
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] >> uint(sh)
+		case isa.OpNeg:
+			iregs[ib+int(in.C)] = -iregs[ib+int(in.A)]
+		case isa.OpNot:
+			iregs[ib+int(in.C)] = ^iregs[ib+int(in.A)]
+		case isa.OpSlt:
+			iregs[ib+int(in.C)] = b2i(iregs[ib+int(in.A)] < iregs[ib+int(in.B)])
+		case isa.OpSle:
+			iregs[ib+int(in.C)] = b2i(iregs[ib+int(in.A)] <= iregs[ib+int(in.B)])
+		case isa.OpSeq:
+			iregs[ib+int(in.C)] = b2i(iregs[ib+int(in.A)] == iregs[ib+int(in.B)])
+		case isa.OpSne:
+			iregs[ib+int(in.C)] = b2i(iregs[ib+int(in.A)] != iregs[ib+int(in.B)])
+
+		case isa.OpFAdd:
+			fregs[fb+int(in.C)] = fregs[fb+int(in.A)] + fregs[fb+int(in.B)]
+		case isa.OpFSub:
+			fregs[fb+int(in.C)] = fregs[fb+int(in.A)] - fregs[fb+int(in.B)]
+		case isa.OpFMul:
+			fregs[fb+int(in.C)] = fregs[fb+int(in.A)] * fregs[fb+int(in.B)]
+		case isa.OpFDiv:
+			fregs[fb+int(in.C)] = fregs[fb+int(in.A)] / fregs[fb+int(in.B)]
+		case isa.OpFNeg:
+			fregs[fb+int(in.C)] = -fregs[fb+int(in.A)]
+		case isa.OpFSlt:
+			iregs[ib+int(in.C)] = b2i(fregs[fb+int(in.A)] < fregs[fb+int(in.B)])
+		case isa.OpFSle:
+			iregs[ib+int(in.C)] = b2i(fregs[fb+int(in.A)] <= fregs[fb+int(in.B)])
+		case isa.OpFSeq:
+			iregs[ib+int(in.C)] = b2i(fregs[fb+int(in.A)] == fregs[fb+int(in.B)])
+		case isa.OpFSne:
+			iregs[ib+int(in.C)] = b2i(fregs[fb+int(in.A)] != fregs[fb+int(in.B)])
+
+		case isa.OpCvtIF:
+			fregs[fb+int(in.C)] = float64(iregs[ib+int(in.A)])
+		case isa.OpCvtFI:
+			f := fregs[fb+int(in.A)]
+			if math.IsNaN(f) || f > math.MaxInt64 || f < math.MinInt64 {
+				return res, trap("float to int conversion out of range")
+			}
+			iregs[ib+int(in.C)] = int64(f)
+
+		case isa.OpLdi:
+			iregs[ib+int(in.C)] = in.Imm
+		case isa.OpLdf:
+			fregs[fb+int(in.C)] = in.FImm
+		case isa.OpMov:
+			iregs[ib+int(in.C)] = iregs[ib+int(in.A)]
+		case isa.OpFMov:
+			fregs[fb+int(in.C)] = fregs[fb+int(in.A)]
+
+		case isa.OpLd:
+			a := iregs[ib+int(in.A)] + in.Imm
+			if a < 0 || a >= int64(len(imem)) {
+				return res, trap(fmt.Sprintf("int load address %d out of range [0,%d)", a, len(imem)))
+			}
+			iregs[ib+int(in.C)] = imem[a]
+		case isa.OpSt:
+			a := iregs[ib+int(in.A)] + in.Imm
+			if a < 0 || a >= int64(len(imem)) {
+				return res, trap(fmt.Sprintf("int store address %d out of range [0,%d)", a, len(imem)))
+			}
+			imem[a] = iregs[ib+int(in.B)]
+		case isa.OpFLd:
+			a := iregs[ib+int(in.A)] + in.Imm
+			if a < 0 || a >= int64(len(fmem)) {
+				return res, trap(fmt.Sprintf("float load address %d out of range [0,%d)", a, len(fmem)))
+			}
+			fregs[fb+int(in.C)] = fmem[a]
+		case isa.OpFSt:
+			a := iregs[ib+int(in.A)] + in.Imm
+			if a < 0 || a >= int64(len(fmem)) {
+				return res, trap(fmt.Sprintf("float store address %d out of range [0,%d)", a, len(fmem)))
+			}
+			fmem[a] = fregs[fb+int(in.B)]
+
+		case isa.OpBr:
+			res.SiteTotal[in.Site]++
+			taken := iregs[ib+int(in.A)] != 0
+			if taken {
+				res.SiteTaken[in.Site]++
+			}
+			if c.Trace != nil {
+				c.Trace.Branch(in.Site, taken, res.Instrs)
+			}
+			if taken {
+				pc = int(in.Target)
+				continue
+			}
+		case isa.OpJmp:
+			res.Jumps++
+			if c.Trace != nil {
+				c.Trace.Transfer(TransferJump, res.Instrs)
+			}
+			pc = int(in.Target)
+			continue
+		case isa.OpCall, isa.OpICall:
+			var fi int
+			indirect := in.Op == isa.OpICall
+			if indirect {
+				fi = int(iregs[ib+int(in.A)])
+				if fi < 0 || fi >= len(p.Funcs) {
+					return res, trap(fmt.Sprintf("indirect call to bad function index %d", fi))
+				}
+				res.IndirectCalls++
+				if c.Trace != nil {
+					c.Trace.Transfer(TransferIndirectCall, res.Instrs)
+				}
+			} else {
+				fi = int(in.Target)
+				res.DirectCalls++
+				if c.Trace != nil {
+					c.Trace.Transfer(TransferCall, res.Instrs)
+				}
+			}
+			if len(frames) >= c.MaxDepth {
+				return res, trap("call stack overflow")
+			}
+			callee := &p.Funcs[fi]
+			niBase := len(iregs)
+			nfBase := len(fregs)
+			// Stage arguments: they sit contiguously in the caller's
+			// windows starting at in.A (ints; in.B for icall) and at
+			// in.B (floats; none for icall).
+			var iArg, fArg int
+			if indirect {
+				iArg = int(in.B)
+			} else {
+				iArg = int(in.A)
+				fArg = int(in.B)
+			}
+			push(fi, pc+1, niBase, nfBase, in.C, indirect)
+			ni, nf := 0, 0
+			for pi := 0; pi < callee.NumParams; pi++ {
+				if pi < len(callee.FParams) && callee.FParams[pi] {
+					if indirect {
+						return res, trap("indirect call to function with float parameters")
+					}
+					fregs[nfBase+nf] = fregs[fb+fArg]
+					fArg++
+					nf++
+				} else {
+					iregs[niBase+ni] = iregs[ib+iArg]
+					iArg++
+					ni++
+				}
+			}
+			if d := len(frames); d > res.MaxDepth {
+				res.MaxDepth = d
+			}
+			cur = fi
+			code = callee.Code
+			ib, fb = niBase, nfBase
+			pc = 0
+			continue
+		case isa.OpRet:
+			fr := frames[len(frames)-1]
+			if fr.indirect {
+				res.IndirectReturns++
+				if c.Trace != nil {
+					c.Trace.Transfer(TransferIndirectReturn, res.Instrs)
+				}
+			} else if fr.retPC >= 0 {
+				res.DirectReturns++
+				if c.Trace != nil {
+					c.Trace.Transfer(TransferReturn, res.Instrs)
+				}
+			}
+			f := &p.Funcs[cur]
+			var iv int64
+			var fv float64
+			switch f.Kind {
+			case isa.FuncInt:
+				iv = iregs[ib+int(in.A)]
+			case isa.FuncFloat:
+				fv = fregs[fb+int(in.A)]
+			}
+			// Pop the frame.
+			iregs = iregs[:ib]
+			fregs = fregs[:fb]
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				res.ExitCode = iv
+				return res, nil
+			}
+			caller := frames[len(frames)-1]
+			cur = int(caller.fn)
+			code = p.Funcs[cur].Code
+			ib, fb = int(caller.iBase), int(caller.fBase)
+			pc = int(fr.retPC)
+			if fr.resReg >= 0 {
+				switch f.Kind {
+				case isa.FuncInt:
+					iregs[ib+int(fr.resReg)] = iv
+				case isa.FuncFloat:
+					fregs[fb+int(fr.resReg)] = fv
+				}
+			}
+			continue
+
+		case isa.OpGetc:
+			if inPos < len(input) {
+				iregs[ib+int(in.C)] = int64(input[inPos])
+				inPos++
+			} else {
+				iregs[ib+int(in.C)] = -1
+			}
+		case isa.OpPutc:
+			if len(res.Output) >= c.MaxOutput {
+				return res, trap("output limit exceeded")
+			}
+			res.Output = append(res.Output, byte(iregs[ib+int(in.A)]))
+		case isa.OpHalt:
+			res.ExitCode = iregs[ib+int(in.A)]
+			return res, nil
+
+		case isa.OpSqrt:
+			fregs[fb+int(in.C)] = math.Sqrt(fregs[fb+int(in.A)])
+		case isa.OpSin:
+			fregs[fb+int(in.C)] = math.Sin(fregs[fb+int(in.A)])
+		case isa.OpCos:
+			fregs[fb+int(in.C)] = math.Cos(fregs[fb+int(in.A)])
+		case isa.OpExp:
+			fregs[fb+int(in.C)] = math.Exp(fregs[fb+int(in.A)])
+		case isa.OpLog:
+			fregs[fb+int(in.C)] = math.Log(fregs[fb+int(in.A)])
+		case isa.OpFAbs:
+			fregs[fb+int(in.C)] = math.Abs(fregs[fb+int(in.A)])
+		case isa.OpFloor:
+			fregs[fb+int(in.C)] = math.Floor(fregs[fb+int(in.A)])
+		case isa.OpPow:
+			fregs[fb+int(in.C)] = math.Pow(fregs[fb+int(in.A)], fregs[fb+int(in.B)])
+		case isa.OpSel:
+			if iregs[ib+int(in.A)] != 0 {
+				iregs[ib+int(in.C)] = iregs[ib+int(in.B)]
+			} else {
+				iregs[ib+int(in.C)] = iregs[ib+int(in.Imm)]
+			}
+		case isa.OpFSel:
+			if iregs[ib+int(in.A)] != 0 {
+				fregs[fb+int(in.C)] = fregs[fb+int(in.B)]
+			} else {
+				fregs[fb+int(in.C)] = fregs[fb+int(in.Imm)]
+			}
+
+		default:
+			return res, trap(fmt.Sprintf("unimplemented op %v", in.Op))
+		}
+		pc++
+	}
+}
+
+// growInt sizes the integer register slab for a frame window
+// [base, base+n) in one step and zeroes the window. A non-positive n
+// leaves the slab untouched, matching the element-at-a-time growth
+// the interpreter used before.
+func growInt(regs []int64, base, n int) []int64 {
+	if n <= 0 {
+		return regs
+	}
+	need := base + n
+	if need > len(regs) {
+		if need <= cap(regs) {
+			regs = regs[:need]
+		} else {
+			grown := make([]int64, need, max(need, 2*cap(regs)))
+			copy(grown, regs)
+			regs = grown
+		}
+	}
+	clear(regs[base : base+n])
+	return regs
+}
+
+// growFloat is growInt for the float register slab.
+func growFloat(regs []float64, base, n int) []float64 {
+	if n <= 0 {
+		return regs
+	}
+	need := base + n
+	if need > len(regs) {
+		if need <= cap(regs) {
+			regs = regs[:need]
+		} else {
+			grown := make([]float64, need, max(need, 2*cap(regs)))
+			copy(grown, regs)
+			regs = grown
+		}
+	}
+	clear(regs[base : base+n])
+	return regs
+}

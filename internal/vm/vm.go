@@ -12,7 +12,7 @@ package vm
 import (
 	"errors"
 	"fmt"
-	"math"
+	"sync"
 
 	"branchprof/internal/isa"
 )
@@ -198,406 +198,61 @@ func (e *RuntimeError) Error() string {
 		e.GlobalPC, e.Func, e.PC, e.Instrs, e.Msg)
 }
 
+// frame is one call record. All fields are 32-bit so a frame fits in
+// 32 bytes: pushes and pops are on the interpreter's hottest path,
+// and function counts, code lengths (verified < 2^31) and register
+// slab sizes all fit comfortably.
 type frame struct {
-	fn       int   // function index
-	retPC    int   // caller pc to resume at
-	iBase    int   // caller's int register window base
-	fBase    int   // caller's float register window base
-	resReg   int32 // caller register receiving the result
-	indirect bool  // whether this frame was entered via OpICall
+	fn     int32 // function index
+	retPC  int32 // caller pc to resume at
+	iBase  int32 // caller's int register window base
+	fBase  int32 // caller's float register window base
+	resReg int32 // caller register receiving the result
+	// retDpc and retN pre-resolve the return edge for the headerless
+	// stream: the caller's continuation dinstr and the instruction
+	// count of the block it starts (credited when the edge is taken).
+	retDpc   int32
+	retN     int32
+	indirect bool // whether this frame was entered via OpICall
+}
+
+// imageCache memoizes pre-decoded Images for package-level Run
+// callers, keyed by program identity. Programs are immutable once
+// validated (the engine relies on this too), so an address match
+// means the cached decode is still correct — and unlike a
+// stringified-pointer key, the map entry keeps the program alive, so
+// the key can never be a recycled address of a different program.
+var (
+	imageMu    sync.Mutex
+	imageCache = map[*isa.Program]*Image{}
+)
+
+// imageCacheMax bounds how many programs Run keeps decoded. Churning
+// through more than this many live programs is the engine's use case,
+// and it memoizes Images itself.
+const imageCacheMax = 64
+
+func cachedImage(p *isa.Program) *Image {
+	imageMu.Lock()
+	defer imageMu.Unlock()
+	if im, ok := imageCache[p]; ok {
+		return im
+	}
+	if len(imageCache) >= imageCacheMax {
+		clear(imageCache)
+	}
+	im := Load(p)
+	imageCache[p] = im
+	return im
 }
 
 // Run executes the program on the given input and returns the
-// measurements. A nil cfg uses defaults.
+// measurements. A nil cfg uses defaults. The pre-decoded form of p is
+// memoized (programs are immutable once validated), so repeated Run
+// calls on the same program pay the decode and verification cost
+// once, exactly as if the caller had used Load and Image.Run.
 func Run(p *isa.Program, input []byte, cfg *Config) (*Result, error) {
-	var c Config
-	if cfg != nil {
-		c = *cfg
-	}
-	c.fill()
-
-	res := &Result{
-		SiteTaken: make([]uint64, len(p.Sites)),
-		SiteTotal: make([]uint64, len(p.Sites)),
-	}
-	if c.PerPC {
-		res.PerPC = make([][]uint64, len(p.Funcs))
-		for i := range p.Funcs {
-			res.PerPC[i] = make([]uint64, len(p.Funcs[i].Code))
-		}
-	}
-
-	imem := make([]int64, p.IntMem)
-	copy(imem, p.IntData)
-	fmem := make([]float64, p.FloatMem)
-	copy(fmem, p.FloatData)
-
-	// Register stacks. Frames are windows into these slabs.
-	iregs := make([]int64, 0, 4096)
-	fregs := make([]float64, 0, 4096)
-	frames := make([]frame, 0, 256)
-
-	push := func(fi int, retPC int, iBase, fBase int, resReg int32, indirect bool) {
-		f := &p.Funcs[fi]
-		frames = append(frames, frame{fn: fi, retPC: retPC, iBase: iBase, fBase: fBase, resReg: resReg, indirect: indirect})
-		need := iBase + f.NumIRegs
-		_ = need
-		for len(iregs) < iBase+f.NumIRegs {
-			iregs = append(iregs, 0)
-		}
-		for i := iBase; i < iBase+f.NumIRegs; i++ {
-			iregs[i] = 0
-		}
-		for len(fregs) < fBase+f.NumFRegs {
-			fregs = append(fregs, 0)
-		}
-		for i := fBase; i < fBase+f.NumFRegs; i++ {
-			fregs[i] = 0
-		}
-	}
-
-	// Enter main with no arguments.
-	push(p.Main, -1, 0, 0, -1, false)
-	cur := p.Main
-	code := p.Funcs[cur].Code
-	ib, fb := 0, 0
-	pc := 0
-	inPos := 0
-
-	trap := func(msg string) error {
-		// The global PC places the trap in a flat layout of the image:
-		// every earlier function's code, then pc within the current one.
-		global := pc
-		for i := 0; i < cur; i++ {
-			global += len(p.Funcs[i].Code)
-		}
-		return &RuntimeError{Func: p.Funcs[cur].Name, PC: pc, GlobalPC: global,
-			Instrs: res.Instrs, Msg: msg}
-	}
-
-	fuel := c.Fuel
-	// One flag gates the whole periodic-poll block, so runs with
-	// neither cancellation nor sampling pay a single comparison.
-	poll := c.Done != nil || c.Sample != nil
-	var stackBuf []int32
-	if c.Sample != nil {
-		stackBuf = make([]int32, 0, 64)
-	}
-	for {
-		if res.Instrs >= fuel {
-			return res, fmt.Errorf("%w after %d instructions in %s", ErrFuel, res.Instrs, p.Source)
-		}
-		if poll && res.Instrs&4095 == 0 {
-			if c.Done != nil {
-				select {
-				case <-c.Done:
-					return res, fmt.Errorf("%w after %d instructions in %s", ErrCancelled, res.Instrs, p.Source)
-				default:
-				}
-			}
-			if c.Sample != nil {
-				stackBuf = stackBuf[:0]
-				for i := range frames {
-					stackBuf = append(stackBuf, int32(frames[i].fn))
-				}
-				c.Sample(stackBuf, res.Instrs)
-			}
-		}
-		if pc < 0 || pc >= len(code) {
-			return res, trap("pc out of range")
-		}
-		in := &code[pc]
-		res.Instrs++
-		if c.PerPC {
-			res.PerPC[cur][pc]++
-		}
-		switch in.Op {
-		case isa.OpNop:
-		case isa.OpAdd:
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] + iregs[ib+int(in.B)]
-		case isa.OpSub:
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] - iregs[ib+int(in.B)]
-		case isa.OpMul:
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] * iregs[ib+int(in.B)]
-		case isa.OpDiv:
-			d := iregs[ib+int(in.B)]
-			if d == 0 {
-				return res, trap("integer divide by zero")
-			}
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] / d
-		case isa.OpRem:
-			d := iregs[ib+int(in.B)]
-			if d == 0 {
-				return res, trap("integer remainder by zero")
-			}
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] % d
-		case isa.OpAnd:
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] & iregs[ib+int(in.B)]
-		case isa.OpOr:
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] | iregs[ib+int(in.B)]
-		case isa.OpXor:
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] ^ iregs[ib+int(in.B)]
-		case isa.OpShl:
-			sh := iregs[ib+int(in.B)]
-			if sh < 0 || sh > 63 {
-				return res, trap("shift amount out of range")
-			}
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] << uint(sh)
-		case isa.OpShr:
-			sh := iregs[ib+int(in.B)]
-			if sh < 0 || sh > 63 {
-				return res, trap("shift amount out of range")
-			}
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)] >> uint(sh)
-		case isa.OpNeg:
-			iregs[ib+int(in.C)] = -iregs[ib+int(in.A)]
-		case isa.OpNot:
-			iregs[ib+int(in.C)] = ^iregs[ib+int(in.A)]
-		case isa.OpSlt:
-			iregs[ib+int(in.C)] = b2i(iregs[ib+int(in.A)] < iregs[ib+int(in.B)])
-		case isa.OpSle:
-			iregs[ib+int(in.C)] = b2i(iregs[ib+int(in.A)] <= iregs[ib+int(in.B)])
-		case isa.OpSeq:
-			iregs[ib+int(in.C)] = b2i(iregs[ib+int(in.A)] == iregs[ib+int(in.B)])
-		case isa.OpSne:
-			iregs[ib+int(in.C)] = b2i(iregs[ib+int(in.A)] != iregs[ib+int(in.B)])
-
-		case isa.OpFAdd:
-			fregs[fb+int(in.C)] = fregs[fb+int(in.A)] + fregs[fb+int(in.B)]
-		case isa.OpFSub:
-			fregs[fb+int(in.C)] = fregs[fb+int(in.A)] - fregs[fb+int(in.B)]
-		case isa.OpFMul:
-			fregs[fb+int(in.C)] = fregs[fb+int(in.A)] * fregs[fb+int(in.B)]
-		case isa.OpFDiv:
-			fregs[fb+int(in.C)] = fregs[fb+int(in.A)] / fregs[fb+int(in.B)]
-		case isa.OpFNeg:
-			fregs[fb+int(in.C)] = -fregs[fb+int(in.A)]
-		case isa.OpFSlt:
-			iregs[ib+int(in.C)] = b2i(fregs[fb+int(in.A)] < fregs[fb+int(in.B)])
-		case isa.OpFSle:
-			iregs[ib+int(in.C)] = b2i(fregs[fb+int(in.A)] <= fregs[fb+int(in.B)])
-		case isa.OpFSeq:
-			iregs[ib+int(in.C)] = b2i(fregs[fb+int(in.A)] == fregs[fb+int(in.B)])
-		case isa.OpFSne:
-			iregs[ib+int(in.C)] = b2i(fregs[fb+int(in.A)] != fregs[fb+int(in.B)])
-
-		case isa.OpCvtIF:
-			fregs[fb+int(in.C)] = float64(iregs[ib+int(in.A)])
-		case isa.OpCvtFI:
-			f := fregs[fb+int(in.A)]
-			if math.IsNaN(f) || f > math.MaxInt64 || f < math.MinInt64 {
-				return res, trap("float to int conversion out of range")
-			}
-			iregs[ib+int(in.C)] = int64(f)
-
-		case isa.OpLdi:
-			iregs[ib+int(in.C)] = in.Imm
-		case isa.OpLdf:
-			fregs[fb+int(in.C)] = in.FImm
-		case isa.OpMov:
-			iregs[ib+int(in.C)] = iregs[ib+int(in.A)]
-		case isa.OpFMov:
-			fregs[fb+int(in.C)] = fregs[fb+int(in.A)]
-
-		case isa.OpLd:
-			a := iregs[ib+int(in.A)] + in.Imm
-			if a < 0 || a >= int64(len(imem)) {
-				return res, trap(fmt.Sprintf("int load address %d out of range [0,%d)", a, len(imem)))
-			}
-			iregs[ib+int(in.C)] = imem[a]
-		case isa.OpSt:
-			a := iregs[ib+int(in.A)] + in.Imm
-			if a < 0 || a >= int64(len(imem)) {
-				return res, trap(fmt.Sprintf("int store address %d out of range [0,%d)", a, len(imem)))
-			}
-			imem[a] = iregs[ib+int(in.B)]
-		case isa.OpFLd:
-			a := iregs[ib+int(in.A)] + in.Imm
-			if a < 0 || a >= int64(len(fmem)) {
-				return res, trap(fmt.Sprintf("float load address %d out of range [0,%d)", a, len(fmem)))
-			}
-			fregs[fb+int(in.C)] = fmem[a]
-		case isa.OpFSt:
-			a := iregs[ib+int(in.A)] + in.Imm
-			if a < 0 || a >= int64(len(fmem)) {
-				return res, trap(fmt.Sprintf("float store address %d out of range [0,%d)", a, len(fmem)))
-			}
-			fmem[a] = fregs[fb+int(in.B)]
-
-		case isa.OpBr:
-			res.SiteTotal[in.Site]++
-			taken := iregs[ib+int(in.A)] != 0
-			if taken {
-				res.SiteTaken[in.Site]++
-			}
-			if c.Trace != nil {
-				c.Trace.Branch(in.Site, taken, res.Instrs)
-			}
-			if taken {
-				pc = int(in.Target)
-				continue
-			}
-		case isa.OpJmp:
-			res.Jumps++
-			if c.Trace != nil {
-				c.Trace.Transfer(TransferJump, res.Instrs)
-			}
-			pc = int(in.Target)
-			continue
-		case isa.OpCall, isa.OpICall:
-			var fi int
-			indirect := in.Op == isa.OpICall
-			if indirect {
-				fi = int(iregs[ib+int(in.A)])
-				if fi < 0 || fi >= len(p.Funcs) {
-					return res, trap(fmt.Sprintf("indirect call to bad function index %d", fi))
-				}
-				res.IndirectCalls++
-				if c.Trace != nil {
-					c.Trace.Transfer(TransferIndirectCall, res.Instrs)
-				}
-			} else {
-				fi = int(in.Target)
-				res.DirectCalls++
-				if c.Trace != nil {
-					c.Trace.Transfer(TransferCall, res.Instrs)
-				}
-			}
-			if len(frames) >= c.MaxDepth {
-				return res, trap("call stack overflow")
-			}
-			callee := &p.Funcs[fi]
-			niBase := len(iregs)
-			nfBase := len(fregs)
-			// Stage arguments: they sit contiguously in the caller's
-			// windows starting at in.A (ints; in.B for icall) and at
-			// in.B (floats; none for icall).
-			var iArg, fArg int
-			if indirect {
-				iArg = int(in.B)
-			} else {
-				iArg = int(in.A)
-				fArg = int(in.B)
-			}
-			push(fi, pc+1, niBase, nfBase, in.C, indirect)
-			ni, nf := 0, 0
-			for pi := 0; pi < callee.NumParams; pi++ {
-				if pi < len(callee.FParams) && callee.FParams[pi] {
-					if indirect {
-						return res, trap("indirect call to function with float parameters")
-					}
-					fregs[nfBase+nf] = fregs[fb+fArg]
-					fArg++
-					nf++
-				} else {
-					iregs[niBase+ni] = iregs[ib+iArg]
-					iArg++
-					ni++
-				}
-			}
-			if d := len(frames); d > res.MaxDepth {
-				res.MaxDepth = d
-			}
-			cur = fi
-			code = callee.Code
-			ib, fb = niBase, nfBase
-			pc = 0
-			continue
-		case isa.OpRet:
-			fr := frames[len(frames)-1]
-			if fr.indirect {
-				res.IndirectReturns++
-				if c.Trace != nil {
-					c.Trace.Transfer(TransferIndirectReturn, res.Instrs)
-				}
-			} else if fr.retPC >= 0 {
-				res.DirectReturns++
-				if c.Trace != nil {
-					c.Trace.Transfer(TransferReturn, res.Instrs)
-				}
-			}
-			f := &p.Funcs[cur]
-			var iv int64
-			var fv float64
-			switch f.Kind {
-			case isa.FuncInt:
-				iv = iregs[ib+int(in.A)]
-			case isa.FuncFloat:
-				fv = fregs[fb+int(in.A)]
-			}
-			// Pop the frame.
-			iregs = iregs[:ib]
-			fregs = fregs[:fb]
-			frames = frames[:len(frames)-1]
-			if len(frames) == 0 {
-				res.ExitCode = iv
-				return res, nil
-			}
-			caller := frames[len(frames)-1]
-			cur = caller.fn
-			code = p.Funcs[cur].Code
-			ib, fb = caller.iBase, caller.fBase
-			pc = fr.retPC
-			if fr.resReg >= 0 {
-				switch f.Kind {
-				case isa.FuncInt:
-					iregs[ib+int(fr.resReg)] = iv
-				case isa.FuncFloat:
-					fregs[fb+int(fr.resReg)] = fv
-				}
-			}
-			continue
-
-		case isa.OpGetc:
-			if inPos < len(input) {
-				iregs[ib+int(in.C)] = int64(input[inPos])
-				inPos++
-			} else {
-				iregs[ib+int(in.C)] = -1
-			}
-		case isa.OpPutc:
-			if len(res.Output) >= c.MaxOutput {
-				return res, trap("output limit exceeded")
-			}
-			res.Output = append(res.Output, byte(iregs[ib+int(in.A)]))
-		case isa.OpHalt:
-			res.ExitCode = iregs[ib+int(in.A)]
-			return res, nil
-
-		case isa.OpSqrt:
-			fregs[fb+int(in.C)] = math.Sqrt(fregs[fb+int(in.A)])
-		case isa.OpSin:
-			fregs[fb+int(in.C)] = math.Sin(fregs[fb+int(in.A)])
-		case isa.OpCos:
-			fregs[fb+int(in.C)] = math.Cos(fregs[fb+int(in.A)])
-		case isa.OpExp:
-			fregs[fb+int(in.C)] = math.Exp(fregs[fb+int(in.A)])
-		case isa.OpLog:
-			fregs[fb+int(in.C)] = math.Log(fregs[fb+int(in.A)])
-		case isa.OpFAbs:
-			fregs[fb+int(in.C)] = math.Abs(fregs[fb+int(in.A)])
-		case isa.OpFloor:
-			fregs[fb+int(in.C)] = math.Floor(fregs[fb+int(in.A)])
-		case isa.OpPow:
-			fregs[fb+int(in.C)] = math.Pow(fregs[fb+int(in.A)], fregs[fb+int(in.B)])
-		case isa.OpSel:
-			if iregs[ib+int(in.A)] != 0 {
-				iregs[ib+int(in.C)] = iregs[ib+int(in.B)]
-			} else {
-				iregs[ib+int(in.C)] = iregs[ib+int(in.Imm)]
-			}
-		case isa.OpFSel:
-			if iregs[ib+int(in.A)] != 0 {
-				fregs[fb+int(in.C)] = fregs[fb+int(in.B)]
-			} else {
-				fregs[fb+int(in.C)] = fregs[fb+int(in.Imm)]
-			}
-
-		default:
-			return res, trap(fmt.Sprintf("unimplemented op %v", in.Op))
-		}
-		pc++
-	}
+	return cachedImage(p).Run(input, cfg)
 }
 
 func b2i(b bool) int64 {
