@@ -16,22 +16,31 @@
 #   make chaos-server  branchprofd under the race detector: burst
 #                 shedding, graceful drain, the circuit-breaker fault
 #                 matrix, and the cross-process file locks
+#   make soak     the sharded-store soak under the race detector:
+#                 concurrent batch + streaming + single-profile ingest,
+#                 prediction and health reads while one shard's disk
+#                 fails — its breaker must open alone and the drain
+#                 must keep every healthy shard's profiles
 #   make fuzz     10s smoke of each native fuzz target (compiler,
 #                 assembler, profile DB decoder, run-cache decoder,
 #                 VM differential); longer runs: make fuzz FUZZTIME=5m
 #   make bench    the cold vs warm cache benchmark pair, then the raw
-#                 interpreter benchmark written to BENCH_VM.json (see
-#                 docs/PERF.md for the before/after workflow)
+#                 interpreter benchmark appended to the BENCH_VM.json
+#                 trajectory (one entry per build; see docs/PERF.md)
+#   make bench-server  cmd/loadgen drives a sharded branchprofd over
+#                 loopback — single vs batch vs streaming ingest — and
+#                 appends the result to the BENCH_SERVER.json trajectory
 #   make bench-smoke  one-iteration run of the interpreter benchmark,
 #                 part of `make verify` so the perf harness can't rot
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 3
+BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: verify test vet race chaos obs chaos-server fuzz bench bench-smoke
+.PHONY: verify test vet race chaos obs chaos-server soak fuzz bench bench-server bench-smoke
 
-verify: test vet race chaos obs chaos-server fuzz bench-smoke
+verify: test vet race chaos obs chaos-server soak fuzz bench-smoke
 
 test:
 	$(GO) build ./...
@@ -57,6 +66,9 @@ obs:
 chaos-server:
 	$(GO) test -race -count=1 ./internal/server/... ./internal/flock/...
 
+soak:
+	$(GO) test -race -count=1 -run 'TestSoak|TestDifferential' ./internal/server/ ./internal/store/...
+
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzCompile$$ -fuzztime $(FUZZTIME) ./internal/mfc/
 	$(GO) test -run xxx -fuzz FuzzAssemble -fuzztime $(FUZZTIME) ./internal/asm/
@@ -67,7 +79,11 @@ fuzz:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSuiteCollect(Cold|Warm)' -benchtime 3x .
 	$(GO) test -run xxx -bench 'BenchmarkVMInterpreter$$' -benchtime 10x -count $(BENCHCOUNT) . \
-		| $(GO) run ./cmd/benchjson -o BENCH_VM.json
+		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL) -o BENCH_VM.json
+
+bench-server:
+	$(GO) run ./cmd/loadgen -rounds $(BENCHCOUNT) \
+		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL) -o BENCH_SERVER.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkVMInterpreter$$' -benchtime 1x .

@@ -15,19 +15,33 @@
 //	jq -r '.baseline.raw[]' BENCH_VM.json > old.txt
 //	jq -r '.current.raw[]'  BENCH_VM.json > new.txt
 //	benchstat old.txt new.txt
+//
+// With -append the output file becomes a trajectory instead of a
+// snapshot: `{"entries": [report, ...]}` with this run appended last,
+// so successive builds accumulate a perf history in one tracked file:
+//
+//	go test -bench ... | go run ./cmd/benchjson -append -label pr6 -o BENCH_VM.json
+//	jq -r '.entries[] | [.label, .current.geomean_ns_per_op] | @tsv' BENCH_VM.json
+//
+// A pre-existing single-report file is absorbed as the trajectory's
+// first entry, so switching a file to append mode is lossless.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 type benchLine struct {
@@ -44,6 +58,8 @@ type section struct {
 }
 
 type report struct {
+	Label    string   `json:"label,omitempty"`
+	Time     string   `json:"time,omitempty"`
 	Go       string   `json:"go"`
 	GOOS     string   `json:"goos"`
 	GOARCH   string   `json:"goarch"`
@@ -51,6 +67,12 @@ type report struct {
 	Baseline *section `json:"baseline,omitempty"`
 	Current  section  `json:"current"`
 	SpeedupX float64  `json:"speedup_x,omitempty"`
+}
+
+// trajectory is the -append file shape: one report per build, oldest
+// first.
+type trajectory struct {
+	Entries []report `json:"entries"`
 }
 
 // parse extracts benchmark result lines ("BenchmarkName N ns/op ...")
@@ -93,6 +115,40 @@ func parse(r io.Reader) (section, error) {
 	return s, nil
 }
 
+// mergeTrajectory folds rep into the contents of an existing -append
+// file. An empty file starts a fresh trajectory; a legacy single
+// report becomes the first entry; a trajectory gains one entry at the
+// end. Anything else is an error — better to refuse than to clobber a
+// file this tool does not own.
+func mergeTrajectory(existing []byte, rep report) (trajectory, error) {
+	var traj trajectory
+	if len(bytes.TrimSpace(existing)) > 0 {
+		var probe struct {
+			Entries []json.RawMessage `json:"entries"`
+			Current *section          `json:"current"`
+		}
+		if err := json.Unmarshal(existing, &probe); err != nil {
+			return traj, fmt.Errorf("existing report: %w", err)
+		}
+		switch {
+		case probe.Entries != nil:
+			if err := json.Unmarshal(existing, &traj); err != nil {
+				return traj, fmt.Errorf("existing trajectory: %w", err)
+			}
+		case probe.Current != nil:
+			var old report
+			if err := json.Unmarshal(existing, &old); err != nil {
+				return traj, fmt.Errorf("existing report: %w", err)
+			}
+			traj.Entries = append(traj.Entries, old)
+		default:
+			return traj, errors.New("existing file is neither a benchjson report nor a trajectory")
+		}
+	}
+	traj.Entries = append(traj.Entries, rep)
+	return traj, nil
+}
+
 func geomeanNs(lines []benchLine) float64 {
 	prod, n := 1.0, 0
 	for _, l := range lines {
@@ -111,6 +167,8 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "file of benchmark lines from an earlier build to embed")
 	note := flag.String("note", "", "free-form annotation stored in the report")
+	appendMode := flag.Bool("append", false, "append this run to -o as a trajectory entry instead of overwriting")
+	label := flag.String("label", "", "short name for this run, stored on the trajectory entry")
 	flag.Parse()
 
 	cur, err := parse(os.Stdin)
@@ -123,11 +181,15 @@ func main() {
 		os.Exit(1)
 	}
 	rep := report{
+		Label:   *label,
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
 		GOARCH:  runtime.GOARCH,
 		Note:    *note,
 		Current: cur,
+	}
+	if *appendMode {
+		rep.Time = time.Now().UTC().Format(time.RFC3339)
 	}
 	if *baseline != "" {
 		f, err := os.Open(*baseline)
@@ -146,7 +208,25 @@ func main() {
 			rep.SpeedupX = base.Geomean / cur.Geomean
 		}
 	}
-	enc, err := json.MarshalIndent(&rep, "", "  ")
+	var doc any = &rep
+	if *appendMode {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -append requires -o")
+			os.Exit(1)
+		}
+		existing, err := os.ReadFile(*out)
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		traj, err := mergeTrajectory(existing, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		doc = &traj
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkA 10 1000 ns/op 5.0 widgets/op
+BenchmarkB-8 20 4000 ns/op
+ok  	pkg	0.1s
+`
+	s, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Parsed) != 2 || len(s.Raw) != 2 {
+		t.Fatalf("parsed %d/%d lines, want 2/2", len(s.Parsed), len(s.Raw))
+	}
+	if s.Parsed[0].NsPerOp != 1000 || s.Parsed[0].Metrics["widgets/op"] != 5.0 {
+		t.Fatalf("first line: %+v", s.Parsed[0])
+	}
+	if s.Geomean != 2000 { // sqrt(1000*4000)
+		t.Fatalf("geomean = %v, want 2000", s.Geomean)
+	}
+}
+
+func TestMergeTrajectory(t *testing.T) {
+	rep := func(label string) report {
+		return report{Label: label, Go: "go1.24.0", Current: section{Raw: []string{"BenchmarkA 1 1 ns/op"}}}
+	}
+
+	// Empty file starts a trajectory.
+	traj, err := mergeTrajectory(nil, rep("first"))
+	if err != nil || len(traj.Entries) != 1 || traj.Entries[0].Label != "first" {
+		t.Fatalf("fresh merge: %+v, %v", traj, err)
+	}
+
+	// A legacy single report is absorbed as the first entry.
+	legacy, _ := json.Marshal(rep("legacy"))
+	traj, err = mergeTrajectory(legacy, rep("next"))
+	if err != nil || len(traj.Entries) != 2 {
+		t.Fatalf("legacy merge: %+v, %v", traj, err)
+	}
+	if traj.Entries[0].Label != "legacy" || traj.Entries[1].Label != "next" {
+		t.Fatalf("legacy merge order: %+v", traj.Entries)
+	}
+
+	// Re-merging a trajectory appends, preserving order.
+	blob, _ := json.Marshal(traj)
+	traj, err = mergeTrajectory(blob, rep("third"))
+	if err != nil || len(traj.Entries) != 3 || traj.Entries[2].Label != "third" {
+		t.Fatalf("trajectory merge: %+v, %v", traj, err)
+	}
+
+	// A file this tool doesn't own is refused, not clobbered.
+	if _, err := mergeTrajectory([]byte(`{"unrelated": true}`), rep("x")); err == nil {
+		t.Fatal("foreign JSON object accepted")
+	}
+	if _, err := mergeTrajectory([]byte(`{broken`), rep("x")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

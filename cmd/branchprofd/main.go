@@ -6,11 +6,19 @@
 //
 // Usage:
 //
-//	branchprofd [-addr :8723] [-db profiles.json] [-cache-dir DIR]
+//	branchprofd [-addr :8723] [-db profiles.json] [-shards N]
+//	            [-cache-dir DIR]
 //	            [-concurrency N] [-queue N] [-request-timeout D]
 //	            [-max-body N] [-max-fuel N] [-drain-timeout D]
 //	            [-breaker-threshold N] [-breaker-cooldown D]
 //	            [observability flags: -trace, -metrics, -metrics-addr, ...]
+//
+// With -shards N the profile store is a sharded directory: -db names
+// the directory, keys spread over N shard files each with its own
+// circuit breaker, and an existing single-file database at that path
+// is migrated in place (the original is kept as ".pre-shard"). An
+// already-sharded store remembers its own shard count; -shards then
+// has no effect.
 //
 // The first SIGINT/SIGTERM starts a graceful drain: /readyz flips to
 // 503, queued requests are shed, in-flight requests complete, and the
@@ -33,7 +41,8 @@ func main() {
 	tool := cli.New("branchprofd")
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8723", "listen address")
-		dbPath       = flag.String("db", "", "persist the accumulated profile database to this file (empty = in-memory only)")
+		dbPath       = flag.String("db", "", "persist the accumulated profile database to this path (empty = in-memory only)")
+		shards       = flag.Int("shards", 0, "open -db as a sharded store with this many shards (0 = single file unless -db is already a sharded directory)")
 		concurrency  = flag.Int("concurrency", 0, "simultaneously executing requests (0 = engine worker count)")
 		queue        = flag.Int("queue", 64, "requests allowed to wait beyond -concurrency before shedding with 429 (0 or -1 = none)")
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, propagated into the VM")
@@ -58,6 +67,7 @@ func main() {
 	srv, warns, err := server.New(server.Options{
 		Engine:           tool.Engine(),
 		DBPath:           *dbPath,
+		Shards:           *shards,
 		Concurrency:      *concurrency,
 		QueueDepth:       queueDepth,
 		RequestTimeout:   *reqTimeout,

@@ -1,12 +1,15 @@
 // Command ifprobber is the profile-collection loop: it compiles an MF
 // program, runs it on a dataset, and accumulates the branch counts
-// into a JSON database (creating it if absent) — one invocation per
+// into a profile store (creating it if absent) — one invocation per
 // run, like the paper's instrumented binaries updating their counter
-// database. With -annotate it instead reads the database and re-emits
-// the source with IFPROB feedback directives. Compilation and the
-// measured run route through the shared engine, so a -cache-dir lets
-// repeated accumulations of an already-measured (source, dataset)
-// pair skip the interpreter.
+// database. The store goes through the pluggable storage layer, so
+// -db may name the classic single JSON file or a sharded store
+// directory (as written by branchprofd -shards); either accumulates
+// the same way. With -annotate it instead reads the store and
+// re-emits the source with IFPROB feedback directives. Compilation
+// and the measured run route through the shared engine, so a
+// -cache-dir lets repeated accumulations of an already-measured
+// (source, dataset) pair skip the interpreter.
 package main
 
 import (
@@ -19,40 +22,48 @@ import (
 	"branchprof/internal/engine"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/mfc"
+	"branchprof/internal/store"
+
+	_ "branchprof/internal/store/memstore"   // linked driver: single-file stores
+	_ "branchprof/internal/store/shardstore" // linked driver: sharded store directories
 )
 
 func main() {
 	t := cli.New("ifprobber")
 	var (
 		prelude  = flag.Bool("prelude", false, "prepend the MF runtime prelude (puti, geti, ...)")
-		dbPath   = flag.String("db", "ifprob.json", "profile database path")
+		dbPath   = flag.String("db", "ifprob.json", "profile store path (single file or sharded directory)")
 		inPath   = flag.String("input", "", "dataset file (default: stdin)")
-		dataset  = flag.String("dataset", "", "dataset name recorded in the database (default: input file name or stdin)")
+		dataset  = flag.String("dataset", "", "dataset name recorded in the store (default: input file name or stdin)")
 		annotate = flag.Bool("annotate", false, "emit source annotated with accumulated IFPROB directives")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		t.Usage("ifprobber [-db file] [-input data] [-annotate] [-cache-dir dir] [-stats] file.mf")
+		t.Usage("ifprobber [-db store] [-input data] [-annotate] [-cache-dir dir] [-stats] file.mf")
 	}
+	ctx := t.Context()
 	name, src, err := cli.LoadSource(flag.Arg(0), *prelude)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	db, err := ifprob.Load(*dbPath)
+	db, warns, err := store.Open(ctx, *dbPath, store.Options{})
 	if err != nil {
-		if !os.IsNotExist(err) {
-			t.Fatal(err)
-		}
-		db = ifprob.NewDB()
+		t.Fatal(err)
+	}
+	for _, w := range warns {
+		t.Warn("%s", w)
 	}
 
 	if *annotate {
-		prog, err := t.Engine().CompileContext(t.Context(), name, src, mfc.Options{})
+		prog, err := t.Engine().CompileContext(ctx, name, src, mfc.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		prof := db.Get(name)
+		prof, err := db.Get(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if prof == nil {
 			t.Fatal(fmt.Errorf("no accumulated profile for %s in %s", name, *dbPath))
 		}
@@ -73,7 +84,7 @@ func main() {
 	if dsName == "" {
 		dsName = cli.InputLabel(*inPath)
 	}
-	out, err := t.Engine().ExecuteContext(t.Context(), engine.Spec{
+	out, err := t.Engine().ExecuteContext(ctx, engine.Spec{
 		Name:    name,
 		Source:  src,
 		Dataset: dsName,
@@ -83,10 +94,13 @@ func main() {
 		t.Fatal(err)
 	}
 	os.Stdout.Write(out.Res.Output)
-	if err := db.Add(out.Prof); err != nil {
+	if err := db.Merge(ctx, out.Prof); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.Save(*dbPath); err != nil {
+	if err := db.Save(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "ifprobber: accumulated %d branch executions for %s into %s\n",

@@ -1,55 +1,103 @@
-// Command ifprobdb inspects and combines IFPROBBER profile databases:
+// Command ifprobdb inspects and combines IFPROBBER profile stores:
 // list programs, dump a program's accumulated counts, or merge several
-// databases into one (the cross-machine accumulation a team running
-// the paper's methodology would need). It does no measurement of its
-// own, but carries the shared tool flags so scripted pipelines can
-// pass a uniform flag set to every branchprof command.
+// stores into one (the cross-machine accumulation a team running the
+// paper's methodology would need). Every argument goes through the
+// pluggable store layer, so single-file databases and sharded store
+// directories (branchprofd -shards) mix freely on one command line;
+// -merge accumulates into the output store — commutative counter
+// merges, so existing data there is added to, never clobbered — and
+// -merge combined with -shards writes (or migrates to) a sharded
+// store. It does no measurement of its own, but carries the shared
+// tool flags so scripted pipelines can pass a uniform flag set to
+// every branchprof command.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"branchprof/cmd/internal/cli"
 	"branchprof/internal/ifprob"
+	"branchprof/internal/store"
+
+	_ "branchprof/internal/store/memstore"   // linked driver: single-file stores
+	_ "branchprof/internal/store/shardstore" // linked driver: sharded store directories
 )
 
 func main() {
 	t := cli.New("ifprobdb")
 	var (
-		list  = flag.Bool("list", false, "list programs in the database(s)")
-		dump  = flag.String("dump", "", "dump the named program's accumulated profile")
-		merge = flag.String("merge", "", "merge all argument databases into this output path")
+		list   = flag.Bool("list", false, "list programs in the store(s)")
+		dump   = flag.String("dump", "", "dump the named program's accumulated profile")
+		merge  = flag.String("merge", "", "merge all argument stores into the store at this path (accumulates into existing data)")
+		shards = flag.Int("shards", 0, "with -merge: shard count for a new sharded output store (migrates an existing single-file one)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		t.Usage("ifprobdb [-list] [-dump prog] [-merge out.json] db.json...")
+		t.Usage("ifprobdb [-list] [-dump prog] [-merge out [-shards N]] store...")
 	}
+	ctx := t.Context()
 
 	merged := ifprob.NewDB()
 	for _, path := range flag.Args() {
-		db, err := ifprob.Load(path)
+		// Open would treat a missing path as a fresh empty store; for a
+		// read the operator almost certainly mistyped it.
+		if _, err := os.Stat(path); err != nil {
+			t.Fatal(err)
+		}
+		src, warns, err := store.Open(ctx, path, store.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, name := range db.Programs() {
-			if err := merged.Add(db.Get(name)); err != nil {
-				t.Fatal(fmt.Errorf("merging %s from %s: %w", name, path, err))
+		for _, w := range warns {
+			t.Warn("%s: %s", path, w)
+		}
+		snap, err := src.Snapshot(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := merged.Add(snap[k]); err != nil {
+				t.Fatal(fmt.Errorf("merging %s from %s: %w", k, path, err))
 			}
+		}
+		if err := src.Close(ctx); err != nil {
+			t.Fatal(err)
 		}
 	}
 
 	switch {
 	case *merge != "":
-		if err := merged.Save(*merge); err != nil {
+		out, warns, err := store.Open(ctx, *merge, store.Options{Shards: *shards})
+		if err != nil {
 			t.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "ifprobdb: wrote %d programs to %s\n", len(merged.Programs()), *merge)
+		for _, w := range warns {
+			t.Warn("%s: %s", *merge, w)
+		}
+		for _, name := range merged.Programs() {
+			if err := out.Merge(ctx, merged.Get(name)); err != nil {
+				t.Fatal(fmt.Errorf("merging %s into %s: %w", name, *merge, err))
+			}
+		}
+		if err := out.Save(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ifprobdb: merged %d programs into %s\n", len(merged.Programs()), *merge)
 	case *dump != "":
 		p := merged.Get(*dump)
 		if p == nil {
-			t.Fatal(fmt.Errorf("no program %q in the database(s)", *dump))
+			t.Fatal(fmt.Errorf("no program %q in the store(s)", *dump))
 		}
 		fmt.Printf("program %s (datasets: %s)\n", p.Program, p.Dataset)
 		fmt.Printf("instructions %d, branches %d, taken %.1f%%, coverage %.1f%%\n",

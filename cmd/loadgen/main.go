@@ -1,0 +1,210 @@
+// Command loadgen drives an in-process branchprofd server with a
+// profile-ingest workload and reports the results as Go benchmark
+// lines, so its output pipes straight into cmd/benchjson:
+//
+//	go run ./cmd/loadgen -rounds 3 | \
+//	    go run ./cmd/benchjson -append -label server-ingest -o BENCH_SERVER.json
+//
+// The same workload — n profiles per round spread over several
+// programs and datasets on a sharded store — runs through each ingest
+// path in turn:
+//
+//	BenchmarkServerIngestSingle   one POST /v1/profile per profile
+//	BenchmarkServerIngestBatch    POST /v1/profile/batch, -batch entries per request
+//	BenchmarkServerIngestStream   POST /v1/profile/stream, NDJSON
+//
+// ns/op is per profile, so the lines are directly comparable: the
+// batch and stream paths amortize admission, HTTP framing and — above
+// all — the per-shard fsync'd save that the single path pays on every
+// request. Batch and stream lines also carry an x_vs_single metric
+// (>1 means faster than the single-request path). The server is real
+// (HTTP over loopback via httptest), the store is a throwaway sharded
+// directory unless -db points somewhere durable.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"branchprof/internal/server"
+)
+
+// branchySrc branches on every input byte (taken exactly on 'a'), so
+// each distinct input is genuinely new profile work for the VM.
+const branchySrc = `
+func main() int {
+	var n int = 0;
+	var c int = getc();
+	while (c >= 0) {
+		if (c == 97) {
+			n = n + 1;
+		}
+		c = getc();
+	}
+	return n;
+}
+`
+
+type profileEntry struct {
+	Program string `json:"program"`
+	Source  string `json:"source"`
+	Dataset string `json:"dataset"`
+	Input   string `json:"input"`
+}
+
+// workload builds n profile requests for one (mode, round) pair. The
+// input embeds mode and round so no request is ever a run-cache hit —
+// every ingest path does the same amount of real VM work.
+func workload(mode string, round, n, programs, datasets int) []profileEntry {
+	entries := make([]profileEntry, n)
+	for i := range entries {
+		entries[i] = profileEntry{
+			Program: fmt.Sprintf("prog%02d", i%programs),
+			Source:  branchySrc,
+			Dataset: fmt.Sprintf("d%d", i%datasets),
+			Input:   fmt.Sprintf("%s-%d-%d-abab", mode, round, i),
+		}
+	}
+	return entries
+}
+
+func post(client *http.Client, url, contentType string, body []byte) error {
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %d: %.200s", url, resp.StatusCode, raw)
+	}
+	return nil
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 64, "profiles per round per ingest path")
+		rounds   = flag.Int("rounds", 3, "measured rounds (one extra warmup round runs first)")
+		programs = flag.Int("programs", 8, "distinct programs in the workload")
+		datasets = flag.Int("datasets", 2, "datasets per program")
+		batch    = flag.Int("batch", 64, "entries per /v1/profile/batch request")
+		shards   = flag.Int("shards", 4, "store shards")
+		dbPath   = flag.String("db", "", "store path (default: throwaway temp dir)")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	dir := *dbPath
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "loadgen-*")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = filepath.Join(tmp, "profiles.d")
+	}
+	srv, warns, err := server.New(server.Options{DBPath: dir, Shards: *shards})
+	if err != nil {
+		fail(err)
+	}
+	for _, w := range warns {
+		fmt.Fprintln(os.Stderr, "loadgen: startup warning:", w)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	single := func(mode string, round int) error {
+		for _, e := range workload(mode, round, *n, *programs, *datasets) {
+			if err := post(client, ts.URL+"/v1/profile", "application/json", mustJSON(e)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	batched := func(mode string, round int) error {
+		entries := workload(mode, round, *n, *programs, *datasets)
+		for len(entries) > 0 {
+			chunk := entries
+			if len(chunk) > *batch {
+				chunk = chunk[:*batch]
+			}
+			entries = entries[len(chunk):]
+			body := mustJSON(map[string]any{"entries": chunk})
+			if err := post(client, ts.URL+"/v1/profile/batch", "application/json", body); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	streamed := func(mode string, round int) error {
+		var buf bytes.Buffer
+		for _, e := range workload(mode, round, *n, *programs, *datasets) {
+			buf.Write(mustJSON(e))
+			buf.WriteByte('\n')
+		}
+		return post(client, ts.URL+"/v1/profile/stream", "application/x-ndjson", buf.Bytes())
+	}
+
+	paths := []struct {
+		name string
+		run  func(mode string, round int) error
+	}{
+		{"ServerIngestSingle", single},
+		{"ServerIngestBatch", batched},
+		{"ServerIngestStream", streamed},
+	}
+
+	// Warmup: compile the programs, fault in the store, open sockets.
+	for _, p := range paths {
+		if err := p.run("warm-"+p.name, 0); err != nil {
+			fail(err)
+		}
+	}
+
+	nsPerOp := map[string]float64{}
+	for _, p := range paths {
+		var total time.Duration
+		for r := 1; r <= *rounds; r++ {
+			start := time.Now()
+			if err := p.run(p.name, r); err != nil {
+				fail(err)
+			}
+			total += time.Since(start)
+		}
+		ops := *n * *rounds
+		nsPerOp[p.name] = float64(total.Nanoseconds()) / float64(ops)
+		line := fmt.Sprintf("Benchmark%s %d %.0f ns/op %.1f profiles/s",
+			p.name, ops, nsPerOp[p.name], float64(ops)/total.Seconds())
+		if base := nsPerOp["ServerIngestSingle"]; p.name != "ServerIngestSingle" && base > 0 {
+			line += fmt.Sprintf(" %.2f x_vs_single", base/nsPerOp[p.name])
+		}
+		fmt.Println(line)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fail(fmt.Errorf("drain: %w", err))
+	}
+}

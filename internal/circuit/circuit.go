@@ -1,0 +1,135 @@
+// Package circuit is the repository's three-state circuit breaker,
+// shared by every layer that guards flaky persistent I/O: branchprofd
+// wraps its whole-database saves in one, and the sharded profile
+// store (internal/store/shardstore) gives every shard its own so a
+// single misbehaving shard directory degrades alone. The automaton is
+// deliberately minimal — consecutive-failure threshold, cooldown,
+// single half-open probe — and deterministic under an injected clock
+// so chaos tests can walk it without sleeping.
+package circuit
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the classic three-state circuit-breaker automaton.
+type State uint8
+
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String names the state the way health endpoints report it.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker guards one persistent-I/O path. Threshold consecutive
+// failures open the circuit; while open every attempt is skipped (the
+// caller degrades to compute-only behaviour) until the cooldown
+// elapses, after which exactly one probe is allowed through
+// half-open: its success closes the circuit, its failure re-opens it
+// for another cooldown. Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// New builds a breaker. Zero threshold means 3, zero cooldown means
+// 5s, nil now means time.Now.
+func New(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether the caller may attempt the guarded I/O now.
+// Every Allow that returned true must be matched with Record(err).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports the outcome of an allowed attempt.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = Closed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = b.now()
+		b.probing = false
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = Open
+			b.openedAt = b.now()
+		}
+	case Open:
+		// A straggler attempt admitted before the trip; stay open.
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current state for health reporting. An open
+// circuit whose cooldown has elapsed still reports Open until the
+// next Allow promotes it — health is about what requests experience.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Degraded reports whether the guarded I/O is currently being skipped
+// or probed — i.e. the caller is not persisting normally.
+func (b *Breaker) Degraded() bool {
+	return b.State() != Closed
+}

@@ -1,0 +1,110 @@
+package circuit
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+var errDisk = errors.New("disk on fire")
+
+// TestStateMachine walks the closed → open → half-open transitions
+// with a fake clock.
+func TestStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := New(2, time.Second, clk.now)
+
+	// Closed: attempts flow, one failure is tolerated.
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	b.Record(errDisk)
+	if b.State() != Closed || b.Degraded() {
+		t.Fatalf("one failure under threshold: %v", b.State())
+	}
+	// A success resets the consecutive count.
+	b.Allow()
+	b.Record(nil)
+	b.Allow()
+	b.Record(errDisk)
+	if b.State() != Closed {
+		t.Fatal("success did not reset the failure count")
+	}
+
+	// Threshold consecutive failures open the circuit.
+	b.Allow()
+	b.Record(errDisk)
+	b.Allow()
+	b.Record(errDisk)
+	if b.State() != Open || !b.Degraded() {
+		t.Fatalf("after threshold failures: %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed before cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe.
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed, probe must be allowed")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("probing state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed")
+	}
+
+	// Failed probe re-opens for another full cooldown.
+	b.Record(errDisk)
+	if b.State() != Open {
+		t.Fatalf("failed probe: %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed immediately")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe window")
+	}
+
+	// Successful probe closes the circuit fully.
+	b.Record(nil)
+	if b.State() != Closed || b.Degraded() {
+		t.Fatalf("after successful probe: %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	b.Record(nil)
+}
+
+// TestDefaults: the zero-ish constructor arguments pick the documented
+// defaults rather than a breaker that trips instantly or never.
+func TestDefaults(t *testing.T) {
+	b := New(0, 0, nil)
+	if b.threshold != 3 || b.cooldown != 5*time.Second {
+		t.Fatalf("defaults: threshold=%d cooldown=%v", b.threshold, b.cooldown)
+	}
+	if !b.Allow() {
+		t.Fatal("fresh breaker must allow")
+	}
+	b.Record(nil)
+}
+
+// TestStateString covers the health-reporting names.
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		Closed: "closed", Open: "open", HalfOpen: "half-open", State(9): "unknown",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

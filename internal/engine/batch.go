@@ -1,0 +1,33 @@
+package engine
+
+import "context"
+
+// BatchResult is one spec's outcome inside an ExecuteBatch call:
+// exactly one of Out and Err is set.
+type BatchResult struct {
+	Out *Outcome
+	Err error
+}
+
+// ExecuteBatch runs every spec through ExecuteContext on the engine's
+// worker pool (at most WorkerCount in flight) and returns a result
+// per spec, in spec order. Failures are per-cell: one hostile or
+// broken spec never blocks its siblings, and a panic inside a cell is
+// recovered into that cell's error as a *PanicError. Cancellation of
+// ctx stops starting new cells; specs not yet started report the
+// context error.
+func (e *Engine) ExecuteBatch(ctx context.Context, specs []Spec) []BatchResult {
+	results := make([]BatchResult, len(specs))
+	errs, _ := e.ParallelErrors(ctx, len(specs), func(i int) error {
+		out, err := e.ExecuteContext(ctx, specs[i])
+		if err != nil {
+			return err
+		}
+		results[i].Out = out
+		return nil
+	})
+	for i := range errs {
+		results[i].Err = errs[i]
+	}
+	return results
+}

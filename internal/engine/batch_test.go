@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestExecuteBatch: results come back in spec order, failures stay
+// per-cell, and healthy specs complete alongside broken ones.
+func TestExecuteBatch(t *testing.T) {
+	e := New(Options{})
+	specs := []Spec{
+		testSpec("aaab"),
+		{Name: "broken", Source: "func main() int { return undefined; }", Dataset: "d0"},
+		testSpec("bbbb"),
+	}
+	results := e.ExecuteBatch(context.Background(), specs)
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	if results[0].Err != nil || results[0].Out == nil {
+		t.Fatalf("healthy spec 0 failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil || results[1].Out != nil {
+		t.Fatal("broken spec 1 did not fail")
+	}
+	if results[2].Err != nil || results[2].Out == nil {
+		t.Fatalf("healthy spec 2 failed after a broken sibling: %v", results[2].Err)
+	}
+	if got := results[0].Out.Prof.TakenCount(); got == 0 {
+		t.Fatal("spec 0 profile lost its taken counts")
+	}
+	// Identical specs agree with a solo execution.
+	solo, err := e.Execute(testSpec("aaab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Out.Res.Instrs != solo.Res.Instrs {
+		t.Fatalf("batch instrs %d != solo instrs %d", results[0].Out.Res.Instrs, solo.Res.Instrs)
+	}
+}
+
+// TestExecuteBatchCancellation: a cancelled context reports the
+// context error for unstarted cells instead of hanging.
+func TestExecuteBatchCancellation(t *testing.T) {
+	e := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := make([]Spec, 8)
+	for i := range specs {
+		specs[i] = testSpec(fmt.Sprintf("a%d", i))
+	}
+	results := e.ExecuteBatch(ctx, specs)
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("cell %d after cancel: %v", i, r.Err)
+		}
+	}
+}
+
+// TestExecuteBatchEmpty: no specs, no results, no panic.
+func TestExecuteBatchEmpty(t *testing.T) {
+	if got := New(Options{}).ExecuteBatch(context.Background(), nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}

@@ -19,6 +19,13 @@ import (
 // instrumented binaries added each run's counters into a per-program
 // database; a utility later fed the accumulated counts back into the
 // source as directives. DB is safe for concurrent use.
+//
+// DB is the storage primitive, not the storage layer: it owns one
+// mutex-guarded profile map and one checksummed file. Everything that
+// needs a keyed profile store — the server, the CLI tools — goes
+// through internal/store, whose drivers compose DBs (memstore wraps
+// one; shardstore holds one per shard). New consumers should program
+// against store.Store, not DB.
 type DB struct {
 	mu       sync.Mutex
 	profiles map[string]*Profile // keyed by program name

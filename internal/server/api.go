@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 
 	"branchprof/internal/engine"
@@ -16,6 +17,7 @@ import (
 	"branchprof/internal/ifprob"
 	"branchprof/internal/mfc"
 	"branchprof/internal/predict"
+	"branchprof/internal/store"
 	"branchprof/internal/vm"
 )
 
@@ -178,37 +180,35 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	fuel := req.Fuel
-	if fuel == 0 || fuel > s.opts.MaxFuel {
-		fuel = s.opts.MaxFuel
-	}
-	spec := engine.Spec{
-		Name:    req.Program,
-		Source:  req.Source,
-		Options: req.Options,
-		Dataset: req.Dataset,
-		Input:   []byte(req.Input),
-		Config:  vm.Config{Fuel: fuel},
-	}
-	out, err := s.eng.ExecuteContext(r.Context(), spec)
+	out, err := s.eng.ExecuteContext(r.Context(), s.specFor(&req))
 	s.feedEngineDiskHealth()
 	if err != nil {
 		code, msg := classify(err)
 		writeError(w, code, msg)
 		return
 	}
+	key := dbKey(req.Program, req.Dataset)
 	prof := out.Prof.Clone()
-	prof.Program = dbKey(req.Program, req.Dataset)
-	if err := s.db.Add(prof); err != nil {
-		// Same name, different shape: the program was previously
-		// profiled from different source or compiler options.
-		writeError(w, http.StatusConflict,
-			fmt.Sprintf("profile conflicts with accumulated data for %s/%s (source or options changed?): %v",
-				req.Program, req.Dataset, err))
+	prof.Program = key
+	if err := s.store.Merge(r.Context(), prof); err != nil {
+		if errors.Is(err, store.ErrConflict) {
+			// Same name, different shape: the program was previously
+			// profiled from different source or compiler options.
+			writeError(w, http.StatusConflict,
+				fmt.Sprintf("profile conflicts with accumulated data for %s/%s (source or options changed?): %v",
+					req.Program, req.Dataset, err))
+			return
+		}
+		code, msg := classify(err)
+		writeError(w, code, msg)
 		return
 	}
-	persisted := s.saveDB()
-	acc := s.db.Get(dbKey(req.Program, req.Dataset))
+	persisted := s.saveDB(r.Context(), key)
+	acc, err := s.store.Get(r.Context(), key)
+	if err != nil || acc == nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("reading back accumulated profile: %v", err))
+		return
+	}
 	writeJSON(w, http.StatusOK, profileResponse{
 		Program:      req.Program,
 		Dataset:      req.Dataset,
@@ -263,15 +263,24 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Gather the program's per-dataset profiles, holding out the target.
+	keys, err := s.store.Keys(r.Context())
+	if err != nil {
+		code, msg := classify(err)
+		writeError(w, code, msg)
+		return
+	}
 	var train []*ifprob.Profile
 	var trainedOn []string
 	var target *ifprob.Profile
-	for _, key := range s.db.Programs() {
+	for _, key := range keys {
 		p, ds := splitDBKey(key)
 		if p != req.Program {
 			continue
 		}
-		prof := s.db.Get(key)
+		prof, err := s.store.Get(r.Context(), key)
+		if err != nil || prof == nil {
+			continue // key raced away between Keys and Get
+		}
 		if prof.Sites() != len(prog.Sites) {
 			// Accumulated under a different compilation of the same
 			// name; unusable for this image.
@@ -348,17 +357,53 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	w.Write(data) //nolint:errcheck // client gone is not actionable
 }
 
-// handlePrograms lists the accumulated profile inventory.
+// pageParam parses a non-negative integer query parameter, reporting
+// (value, ok); absence yields the default.
+func pageParam(r *http.Request, name string, def int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// handlePrograms lists the accumulated profile inventory, paged with
+// ?limit=N&offset=M over the program list (sorted by name). limit=0
+// (the default) returns everything; the reply always carries the
+// total so clients can page without a count round-trip.
 func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	limit, ok := pageParam(r, "limit", 0)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+		return
+	}
+	offset, ok := pageParam(r, "offset", 0)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "offset must be a non-negative integer")
+		return
+	}
+	keys, err := s.store.Keys(r.Context())
+	if err != nil {
+		code, msg := classify(err)
+		writeError(w, code, msg)
+		return
+	}
 	byProgram := make(map[string]*programInfo)
-	for _, key := range s.db.Programs() {
+	for _, key := range keys {
 		p, ds := splitDBKey(key)
-		prof := s.db.Get(key)
+		prof, err := s.store.Get(r.Context(), key)
+		if err != nil || prof == nil {
+			continue // key raced away between Keys and Get
+		}
 		info := byProgram[p]
 		if info == nil {
 			info = &programInfo{Program: p, Sites: prof.Sites()}
@@ -372,12 +417,41 @@ func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	total := len(names)
+	if offset > total {
+		offset = total
+	}
+	names = names[offset:]
+	if limit > 0 && limit < len(names) {
+		names = names[:limit]
+	}
 	out := make([]programInfo, 0, len(names))
 	for _, n := range names {
 		sort.Strings(byProgram[n].Datasets)
 		out = append(out, *byProgram[n])
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"programs": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"programs": out,
+		"total":    total,
+		"offset":   offset,
+	})
+}
+
+// storeHealth is the store detail inside /healthz.
+type storeHealth struct {
+	Driver     string        `json:"driver"`
+	Persistent bool          `json:"persistent"`
+	Degraded   bool          `json:"degraded"`
+	Keys       int           `json:"keys"`
+	Shards     []shardHealth `json:"shards,omitempty"`
+}
+
+// shardHealth is one shard's health inside /healthz.
+type shardHealth struct {
+	Name    string `json:"name"`
+	Keys    int    `json:"keys"`
+	Dirty   bool   `json:"dirty"`
+	Breaker string `json:"breaker"`
 }
 
 // healthResponse is the GET /healthz body.
@@ -388,9 +462,10 @@ type healthResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Engine disk-cache trouble the operator should know about even
 	// when the breaker has recovered.
-	CacheWriteErrors uint64 `json:"cache_write_errors"`
-	CacheInvalid     uint64 `json:"cache_invalid"`
-	Programs         int    `json:"programs"`
+	CacheWriteErrors uint64      `json:"cache_write_errors"`
+	CacheInvalid     uint64      `json:"cache_invalid"`
+	Programs         int         `json:"programs"`
+	Store            storeHealth `json:"store"`
 }
 
 // handleHealthz reports liveness plus degradation detail. It always
@@ -402,6 +477,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.Degraded() {
 		status = "degraded"
 	}
+	ss := s.store.Stats()
+	sh := storeHealth{
+		Driver:     ss.Driver,
+		Persistent: ss.Persistent,
+		Degraded:   ss.Degraded,
+		Keys:       ss.Keys,
+	}
+	for _, shard := range ss.Shards {
+		sh.Shards = append(sh.Shards, shardHealth{
+			Name:    shard.Name,
+			Keys:    shard.Keys,
+			Dirty:   shard.Dirty,
+			Breaker: shard.Breaker,
+		})
+	}
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:           status,
 		Breaker:          s.breaker.State().String(),
@@ -409,7 +499,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		UptimeSeconds:    s.uptime().Seconds(),
 		CacheWriteErrors: st.DiskWriteErrs,
 		CacheInvalid:     st.DiskInvalid,
-		Programs:         len(s.db.Programs()),
+		Programs:         ss.Keys,
+		Store:            sh,
 	})
 }
 

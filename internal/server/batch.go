@@ -1,0 +1,294 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"branchprof/internal/engine"
+	"branchprof/internal/store"
+	"branchprof/internal/vm"
+)
+
+// Batch and streaming ingest: POST /v1/profile/batch accepts many
+// profile requests in one body and fans them out across the engine's
+// worker pool (one admission slot, one store save for every touched
+// shard); POST /v1/profile/stream accepts NDJSON — one profile
+// request per line — and answers NDJSON, one result per line plus a
+// trailing summary, saving touched shards periodically so a long
+// stream's profiles become durable as it flows rather than only at
+// the end.
+
+const (
+	// maxBatchEntries caps one batch body. The transport body cap
+	// (MaxBodyBytes) usually binds first; this bounds the slice even
+	// for tiny entries.
+	maxBatchEntries = 256
+	// streamSaveEvery is how many accepted stream entries accumulate
+	// between periodic saves of the touched shards.
+	streamSaveEvery = 32
+)
+
+// batchRequest is the POST /v1/profile/batch body.
+type batchRequest struct {
+	Entries []profileRequest `json:"entries"`
+}
+
+// batchEntry is one entry's outcome, in entry order. Status carries
+// the HTTP status the entry would have received as a single request.
+type batchEntry struct {
+	Index   int              `json:"index"`
+	Status  int              `json:"status"`
+	Error   string           `json:"error,omitempty"`
+	Profile *profileResponse `json:"profile,omitempty"`
+}
+
+// batchResponse is the POST /v1/profile/batch reply. The batch itself
+// is 200 whenever it was well-formed; per-entry failures live in
+// Results.
+type batchResponse struct {
+	Results   []batchEntry `json:"results"`
+	OK        int          `json:"ok"`
+	Failed    int          `json:"failed"`
+	Persisted bool         `json:"persisted"`
+	Degraded  bool         `json:"degraded"`
+}
+
+// specFor converts a validated profile request into an engine spec.
+func (s *Server) specFor(req *profileRequest) engine.Spec {
+	fuel := req.Fuel
+	if fuel == 0 || fuel > s.opts.MaxFuel {
+		fuel = s.opts.MaxFuel
+	}
+	return engine.Spec{
+		Name:    req.Program,
+		Source:  req.Source,
+		Options: req.Options,
+		Dataset: req.Dataset,
+		Input:   []byte(req.Input),
+		Config:  vm.Config{Fuel: fuel},
+	}
+}
+
+// mergeOutcome folds one successful execution into the store and
+// builds the entry's profile summary. It returns the touched store
+// key ("" when the merge failed) alongside the entry.
+func (s *Server) mergeOutcome(ctx context.Context, req *profileRequest, out *engine.Outcome) (string, batchEntry) {
+	key := dbKey(req.Program, req.Dataset)
+	prof := out.Prof.Clone()
+	prof.Program = key
+	if err := s.store.Merge(ctx, prof); err != nil {
+		if errors.Is(err, store.ErrConflict) {
+			return "", batchEntry{
+				Status: http.StatusConflict,
+				Error: fmt.Sprintf("profile conflicts with accumulated data for %s/%s (source or options changed?): %v",
+					req.Program, req.Dataset, err),
+			}
+		}
+		code, msg := classify(err)
+		return "", batchEntry{Status: code, Error: msg}
+	}
+	acc, err := s.store.Get(ctx, key)
+	if err != nil || acc == nil {
+		return key, batchEntry{Status: http.StatusInternalServerError,
+			Error: fmt.Sprintf("reading back accumulated profile: %v", err)}
+	}
+	return key, batchEntry{
+		Status: http.StatusOK,
+		Profile: &profileResponse{
+			Program:      req.Program,
+			Dataset:      req.Dataset,
+			Sites:        acc.Sites(),
+			Executed:     acc.Executed(),
+			Taken:        acc.TakenCount(),
+			PercentTaken: acc.PercentTaken(),
+			Coverage:     acc.Coverage(),
+			Instrs:       out.Res.Instrs,
+			CacheHit:     out.CacheHit,
+		},
+	}
+}
+
+// handleProfileBatch ingests a batch of profile requests. Every entry
+// is validated up front; the valid ones execute concurrently on the
+// engine pool; each successful run merges into the store; the touched
+// shards are saved once. Entries fail independently — one hostile
+// entry costs only its own slot in Results.
+func (s *Server) handleProfileBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Entries) == 0 {
+		writeError(w, http.StatusBadRequest, "entries must not be empty")
+		return
+	}
+	if len(req.Entries) > maxBatchEntries {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch exceeds %d entries", maxBatchEntries))
+		return
+	}
+
+	results := make([]batchEntry, len(req.Entries))
+	var specs []engine.Spec
+	var specIdx []int // spec position → entry index
+	for i := range req.Entries {
+		results[i].Index = i
+		if err := validateProfileRequest(&req.Entries[i]); err != nil {
+			results[i].Status = http.StatusBadRequest
+			results[i].Error = err.Error()
+			continue
+		}
+		specs = append(specs, s.specFor(&req.Entries[i]))
+		specIdx = append(specIdx, i)
+	}
+
+	outs := s.eng.ExecuteBatch(r.Context(), specs)
+	s.feedEngineDiskHealth()
+	var touched []string
+	for pos, res := range outs {
+		i := specIdx[pos]
+		if res.Err != nil {
+			code, msg := classify(res.Err)
+			results[i].Status = code
+			results[i].Error = msg
+			continue
+		}
+		key, entry := s.mergeOutcome(r.Context(), &req.Entries[i], res.Out)
+		entry.Index = i
+		results[i] = entry
+		if key != "" && entry.Status == http.StatusOK {
+			touched = append(touched, key)
+		}
+	}
+
+	persisted := false
+	if len(touched) > 0 {
+		persisted = s.saveDB(r.Context(), touched...)
+	}
+	resp := batchResponse{Results: results, Persisted: persisted, Degraded: s.Degraded()}
+	for i := range results {
+		if results[i].Status == http.StatusOK {
+			resp.OK++
+			results[i].Profile.Persisted = persisted
+			results[i].Profile.Degraded = resp.Degraded
+		} else {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamSummary is the trailing NDJSON object a stream reply ends
+// with: total accounting plus whether the final save held.
+type streamSummary struct {
+	Done      bool `json:"done"`
+	Lines     int  `json:"lines"`
+	OK        int  `json:"ok"`
+	Failed    int  `json:"failed"`
+	Persisted bool `json:"persisted"`
+	Degraded  bool `json:"degraded"`
+}
+
+// handleProfileStream ingests NDJSON: one profile request per line,
+// answered line-by-line (same shape as batch entries) with a summary
+// object last. Entries execute in arrival order; touched shards are
+// saved every streamSaveEvery accepted entries and once at the end,
+// so a crash mid-stream loses at most one save window.
+func (s *Server) handleProfileStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		enc.Encode(v) //nolint:errcheck // client gone is not actionable
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Each line is size-capped like a single request body; the stream
+	// itself is bounded by the request deadline, not by length.
+	sc := bufio.NewScanner(r.Body)
+	maxLine := int(s.opts.MaxBodyBytes)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+
+	sum := streamSummary{Done: true}
+	var touched []string
+	allSaved := true
+	flushTouched := func() {
+		if len(touched) == 0 {
+			return
+		}
+		// The final flush runs even when the client's deadline already
+		// expired — accepted profiles should still reach disk.
+		if !s.saveDB(context.WithoutCancel(r.Context()), touched...) {
+			allSaved = false
+		}
+		touched = touched[:0]
+	}
+
+	line := 0
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		entry := batchEntry{Index: line}
+		var req profileRequest
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		switch err := dec.Decode(&req); {
+		case err != nil:
+			entry.Status = http.StatusBadRequest
+			entry.Error = "malformed JSON: " + err.Error()
+		default:
+			if err := validateProfileRequest(&req); err != nil {
+				entry.Status = http.StatusBadRequest
+				entry.Error = err.Error()
+			} else if out, err := s.eng.ExecuteContext(r.Context(), s.specFor(&req)); err != nil {
+				entry.Status, entry.Error = classify(err)
+			} else {
+				var key string
+				key, entry = s.mergeOutcome(r.Context(), &req, out)
+				entry.Index = line
+				if key != "" && entry.Status == http.StatusOK {
+					touched = append(touched, key)
+				}
+			}
+		}
+		if entry.Status == http.StatusOK {
+			sum.OK++
+		} else {
+			sum.Failed++
+		}
+		line++
+		emit(entry)
+		if len(touched) >= streamSaveEvery {
+			flushTouched()
+		}
+		if r.Context().Err() != nil {
+			break // deadline or client gone: stop reading, summarize
+		}
+	}
+	s.feedEngineDiskHealth()
+	if err := sc.Err(); err != nil {
+		sum.Failed++
+		emit(batchEntry{Index: line, Status: http.StatusBadRequest,
+			Error: "reading stream: " + err.Error()})
+	}
+	flushTouched()
+	sum.Lines = line
+	sum.Persisted = allSaved && sum.OK > 0 && s.store.Stats().Persistent
+	sum.Degraded = s.Degraded()
+	emit(sum)
+}

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -11,84 +10,9 @@ import (
 	"branchprof/internal/ifprob"
 )
 
-// fakeClock drives the breaker deterministically in unit tests.
-type fakeClock struct{ t time.Time }
-
-func (c *fakeClock) now() time.Time          { return c.t }
-func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
-
-var errDisk = errors.New("disk on fire")
-
-// TestBreakerStateMachine walks the closed → open → half-open
-// transitions with a fake clock.
-func TestBreakerStateMachine(t *testing.T) {
-	clk := &fakeClock{t: time.Unix(1000, 0)}
-	b := newBreaker(2, time.Second, clk.now)
-
-	// Closed: attempts flow, one failure is tolerated.
-	if !b.Allow() {
-		t.Fatal("closed breaker must allow")
-	}
-	b.Record(errDisk)
-	if b.State() != breakerClosed || b.Degraded() {
-		t.Fatalf("one failure under threshold: %v", b.State())
-	}
-	// A success resets the consecutive count.
-	b.Allow()
-	b.Record(nil)
-	b.Allow()
-	b.Record(errDisk)
-	if b.State() != breakerClosed {
-		t.Fatal("success did not reset the failure count")
-	}
-
-	// Threshold consecutive failures open the circuit.
-	b.Allow()
-	b.Record(errDisk)
-	b.Allow()
-	b.Record(errDisk)
-	if b.State() != breakerOpen || !b.Degraded() {
-		t.Fatalf("after threshold failures: %v", b.State())
-	}
-	if b.Allow() {
-		t.Fatal("open breaker allowed before cooldown")
-	}
-
-	// Cooldown elapses: exactly one half-open probe.
-	clk.advance(1100 * time.Millisecond)
-	if !b.Allow() {
-		t.Fatal("cooldown elapsed, probe must be allowed")
-	}
-	if b.State() != breakerHalfOpen {
-		t.Fatalf("probing state = %v, want half-open", b.State())
-	}
-	if b.Allow() {
-		t.Fatal("second concurrent probe allowed")
-	}
-
-	// Failed probe re-opens for another full cooldown.
-	b.Record(errDisk)
-	if b.State() != breakerOpen {
-		t.Fatalf("failed probe: %v", b.State())
-	}
-	if b.Allow() {
-		t.Fatal("re-opened breaker allowed immediately")
-	}
-	clk.advance(1100 * time.Millisecond)
-	if !b.Allow() {
-		t.Fatal("second probe window")
-	}
-
-	// Successful probe closes the circuit fully.
-	b.Record(nil)
-	if b.State() != breakerClosed || b.Degraded() {
-		t.Fatalf("after successful probe: %v", b.State())
-	}
-	if !b.Allow() {
-		t.Fatal("closed breaker must allow")
-	}
-	b.Record(nil)
-}
+// The breaker state machine itself is tested in internal/circuit;
+// this file covers the server's use of it: degraded compute-only
+// mode, recovery, and the engine-disk error feed.
 
 // TestDegradedComputeOnlyMode is the degraded-mode acceptance test:
 // with DB saves failing (injected via internal/faults) the breaker

@@ -6,7 +6,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"branchprof/internal/circuit"
 	"branchprof/internal/obs"
+	"branchprof/internal/store"
 )
 
 // serverMetrics is branchprofd's instrumentation, registered on the
@@ -54,23 +56,82 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	reg.GaugeFunc("branchprofd_queued", "Requests waiting for an execution slot.",
 		func() float64 { _, q := s.gate.load(); return float64(q) })
 	reg.GaugeFunc("branchprofd_breaker_open", "Persistent-I/O circuit breaker: 0 closed, 1 open, 0.5 half-open.",
+		func() float64 { return breakerValue(s.breaker.State().String()) })
+	reg.GaugeFunc("branchprofd_degraded", "1 while in (possibly partial) compute-only degraded mode.",
 		func() float64 {
-			switch s.breaker.State() {
-			case breakerOpen:
-				return 1
-			case breakerHalfOpen:
-				return 0.5
-			}
-			return 0
-		})
-	reg.GaugeFunc("branchprofd_degraded", "1 while in compute-only degraded mode.",
-		func() float64 {
-			if s.breaker.Degraded() {
+			if s.Degraded() {
 				return 1
 			}
 			return 0
 		})
+	m.registerStoreGauges(s)
 	return m
+}
+
+// breakerValue encodes a breaker state name as the conventional
+// 0/0.5/1 gauge value.
+func breakerValue(state string) float64 {
+	switch state {
+	case circuit.Open.String():
+		return 1
+	case circuit.HalfOpen.String():
+		return 0.5
+	}
+	return 0
+}
+
+// registerStoreGauges exposes the profile store's shape on the shared
+// registry. The aggregate gauges exist for every driver; sharded
+// stores additionally get per-shard series (branchprofd_store_shard_*)
+// so a single sick shard is visible from /metrics. The shard set is
+// fixed at open time, so registering once per shard is safe.
+func (m *serverMetrics) registerStoreGauges(s *Server) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.GaugeFunc("branchprofd_store_keys", "Profile keys resident in the store.",
+		func() float64 { return float64(s.store.Stats().Keys) })
+	m.reg.GaugeFunc("branchprofd_store_degraded", "1 while any shard breaker is open or probing.",
+		func() float64 {
+			if s.store.Stats().Degraded {
+				return 1
+			}
+			return 0
+		})
+	shardStat := func(name string) store.ShardStats {
+		for _, sh := range s.store.Stats().Shards {
+			if sh.Name == name {
+				return sh
+			}
+		}
+		return store.ShardStats{}
+	}
+	for _, sh := range s.store.Stats().Shards {
+		name := sh.Name
+		m.reg.GaugeFunc(fmt.Sprintf(`branchprofd_store_shard_keys{shard=%q}`, name),
+			"Profile keys resident per shard.",
+			func() float64 { return float64(shardStat(name).Keys) })
+		m.reg.GaugeFunc(fmt.Sprintf(`branchprofd_store_shard_dirty{shard=%q}`, name),
+			"1 while the shard has unsaved changes.",
+			func() float64 {
+				if shardStat(name).Dirty {
+					return 1
+				}
+				return 0
+			})
+		m.reg.GaugeFunc(fmt.Sprintf(`branchprofd_store_shard_breaker_open{shard=%q}`, name),
+			"Per-shard circuit breaker: 0 closed, 1 open, 0.5 half-open.",
+			func() float64 { return breakerValue(shardStat(name).Breaker) })
+		m.reg.GaugeFunc(fmt.Sprintf(`branchprofd_store_shard_saves{shard=%q,result="ok"}`, name),
+			"Per-shard save attempts by outcome.",
+			func() float64 { return float64(shardStat(name).Saves) })
+		m.reg.GaugeFunc(fmt.Sprintf(`branchprofd_store_shard_saves{shard=%q,result="error"}`, name),
+			"Per-shard save attempts by outcome.",
+			func() float64 { return float64(shardStat(name).SaveErrors) })
+		m.reg.GaugeFunc(fmt.Sprintf(`branchprofd_store_shard_saves{shard=%q,result="skipped"}`, name),
+			"Per-shard save attempts by outcome.",
+			func() float64 { return float64(shardStat(name).SaveSkipped) })
+	}
 }
 
 // observe records one finished request.

@@ -19,10 +19,13 @@
 //     are 400, VM traps (fuel, stack, output) are 422 — hostile input
 //     never crashes the process;
 //   - panic-to-500 recovery middleware around every handler;
-//   - a circuit breaker around persistent DB/cache I/O: when the disk
-//     misbehaves the server degrades to compute-only mode (profiles
-//     stay in memory, saves are skipped until a half-open probe
-//     succeeds) and reports the degradation via /healthz and metrics;
+//   - circuit breakers around persistent I/O: the single-file store is
+//     guarded by a server-wide breaker (plus the engine cache's error
+//     feed), while the sharded store carries one breaker per shard —
+//     either way, when a disk misbehaves the server degrades to
+//     compute-only mode (profiles stay in memory, saves are skipped
+//     until a half-open probe succeeds) and reports the degradation
+//     via /healthz and metrics;
 //   - /healthz and /readyz endpoints, and SIGTERM graceful drain with
 //     a hard deadline: readiness flips first, in-flight requests
 //     complete, queued requests are shed with 503.
@@ -35,20 +38,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io/fs"
 	"net"
 	"net/http"
-	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"branchprof/internal/circuit"
 	"branchprof/internal/engine"
 	"branchprof/internal/faults"
-	"branchprof/internal/ifprob"
 	"branchprof/internal/obs"
+	"branchprof/internal/store"
+
+	_ "branchprof/internal/store/memstore"   // linked store driver: "mem"
+	_ "branchprof/internal/store/shardstore" // linked store driver: "shard"
 )
 
 // Options configures a Server.
@@ -59,10 +64,20 @@ type Options struct {
 	// CacheDir enables the engine's persistent measurement cache when
 	// Engine is nil.
 	CacheDir string
-	// DBPath, when non-empty, persists the accumulated profile
-	// database there (loaded at startup, saved after each update
-	// through the circuit breaker, final save on drain).
+	// DBPath, when non-empty, persists the accumulated profile store
+	// there (loaded at startup, saved after each update through the
+	// circuit breaker, final save on drain). A file is a single-file
+	// store; a directory is a sharded store (auto-detected by its
+	// manifest). Ignored when Store is set.
 	DBPath string
+	// Shards, when > 0, opens DBPath as a sharded store: a fresh path
+	// is created with that many shards, and an existing single-file
+	// database is migrated in place (original kept as ".pre-shard").
+	// An existing sharded store's manifest wins over this value.
+	Shards int
+	// Store, when non-nil, is used directly and DBPath/Shards are
+	// ignored — the injection point for tests and embedders.
+	Store store.Store
 	// Concurrency bounds simultaneously executing requests;
 	// 0 means the engine's worker count.
 	Concurrency int
@@ -105,15 +120,16 @@ type Options struct {
 type Server struct {
 	opts    Options
 	eng     *engine.Engine
-	db      *ifprob.DB
+	store   store.Store
+	guarded bool // the store isolates its own save failures (per-shard breakers)
 	gate    *gate
-	breaker *breaker
+	breaker *circuit.Breaker
 	mux     *http.ServeMux
 
 	ready    atomic.Bool
 	draining atomic.Bool
 
-	dbMu sync.Mutex // serializes DB saves and the save/skip decision
+	dbMu sync.Mutex // serializes unguarded-store saves and the save/skip decision
 
 	httpMu sync.Mutex
 	http   *http.Server
@@ -124,11 +140,12 @@ type Server struct {
 	m *serverMetrics
 }
 
-// New builds the server, loading the persisted database if DBPath
-// names one. A corrupt database file is quarantined (renamed aside
-// with a ".corrupt" suffix) rather than refusing to start or silently
-// overwriting evidence; the server then starts empty and says so in
-// the returned warning.
+// New builds the server, opening the profile store at DBPath (single
+// file or sharded directory; see internal/store). Corrupt persisted
+// state is quarantined (renamed aside with a ".corrupt" suffix)
+// rather than refusing to start or silently overwriting evidence; the
+// server then starts empty and says so in the returned warnings, as
+// does a completed single-file → sharded migration.
 func New(opts Options) (*Server, Warnings, error) {
 	var warns Warnings
 	eng := opts.Engine
@@ -159,30 +176,26 @@ func New(opts Options) (*Server, Warnings, error) {
 	s := &Server{
 		opts:      opts,
 		eng:       eng,
-		db:        ifprob.NewDB(),
 		gate:      newGate(opts.Concurrency, opts.QueueDepth),
-		breaker:   newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Obs.Now),
+		breaker:   circuit.New(opts.BreakerThreshold, opts.BreakerCooldown, opts.Obs.Now),
 		startedAt: opts.Obs.Now(),
 	}
-	s.db.SetFaults(opts.Faults)
-	if opts.DBPath != "" {
-		db, err := ifprob.LoadWith(opts.DBPath, opts.Faults)
-		switch {
-		case err == nil:
-			db.SetFaults(opts.Faults)
-			s.db = db
-		case errors.Is(err, fs.ErrNotExist):
-			// First run: start empty.
-		case errors.Is(err, ifprob.ErrCorrupt):
-			quarantine := opts.DBPath + ".corrupt"
-			if rerr := os.Rename(opts.DBPath, quarantine); rerr != nil {
-				return nil, warns, fmt.Errorf("server: database %s is corrupt and cannot be quarantined: %v (load error: %w)", opts.DBPath, rerr, err)
-			}
-			warns = append(warns, fmt.Sprintf("database %s was corrupt; quarantined to %s, starting empty", opts.DBPath, quarantine))
-		default:
-			return nil, warns, fmt.Errorf("server: loading database: %w", err)
+	s.store = opts.Store
+	if s.store == nil {
+		st, w, err := store.Open(context.Background(), opts.DBPath, store.Options{
+			Shards:           opts.Shards,
+			BreakerThreshold: opts.BreakerThreshold,
+			BreakerCooldown:  opts.BreakerCooldown,
+			Faults:           opts.Faults,
+			Now:              opts.Obs.Now,
+		})
+		warns = append(warns, w...)
+		if err != nil {
+			return nil, warns, fmt.Errorf("server: opening profile store: %w", err)
 		}
+		s.store = st
 	}
+	s.guarded = s.store.Stats().Guarded
 	s.m = newServerMetrics(eng.Registry(), s)
 	s.mux = s.buildMux()
 	return s, warns, nil
@@ -194,9 +207,9 @@ type Warnings []string
 // Engine returns the engine the server routes work through.
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
-// DB returns the accumulated profile database (live handle; the DB is
-// safe for concurrent use).
-func (s *Server) DB() *ifprob.DB { return s.db }
+// Store returns the accumulated profile store (live handle; stores
+// are safe for concurrent use).
+func (s *Server) Store() store.Store { return s.store }
 
 // buildMux wires the endpoint table. Every API handler runs inside
 // the recover/metrics middleware; health endpoints bypass admission
@@ -204,6 +217,8 @@ func (s *Server) DB() *ifprob.DB { return s.db }
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/profile", s.instrument("profile", s.admitted(s.handleProfile)))
+	mux.Handle("/v1/profile/batch", s.instrument("profile_batch", s.admitted(s.handleProfileBatch)))
+	mux.Handle("/v1/profile/stream", s.instrument("profile_stream", s.admitted(s.handleProfileStream)))
 	mux.Handle("/v1/predict", s.instrument("predict", s.admitted(s.handlePredict)))
 	mux.Handle("/v1/programs", s.instrument("programs", http.HandlerFunc(s.handlePrograms)))
 	mux.Handle("/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
@@ -266,8 +281,8 @@ func (s *Server) BeginDrain() {
 // Drain gracefully shuts the server down: BeginDrain, then wait for
 // in-flight requests to complete and the listener to close, bounded
 // by ctx (the hard deadline — when it expires remaining connections
-// are force-closed and ctx.Err is returned). The database gets a
-// final best-effort save through the circuit breaker, and OnDrained
+// are force-closed and ctx.Err is returned). The store gets a final
+// best-effort save through the circuit breaker(s), and OnDrained
 // runs last.
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
@@ -281,7 +296,10 @@ func (s *Server) Drain(ctx context.Context) error {
 			srv.Close()
 		}
 	}
-	s.saveDB()
+	// The final save must not be cancelled by an already-expired drain
+	// deadline — it is the last chance for in-memory profiles to reach
+	// disk.
+	s.saveDB(context.Background())
 	if s.opts.OnDrained != nil {
 		s.opts.OnDrained()
 	}
@@ -300,9 +318,13 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Degraded reports whether the server is in compute-only degraded
-// mode (persistent I/O circuit open or probing).
-func (s *Server) Degraded() bool { return s.breaker.Degraded() }
+// Degraded reports whether the server is in (possibly partial)
+// compute-only degraded mode: the server-wide persistent-I/O circuit
+// is open or probing, or — for a sharded store — any shard's breaker
+// is.
+func (s *Server) Degraded() bool {
+	return s.breaker.Degraded() || s.store.Stats().Degraded
+}
 
 // instrument is the outermost middleware: panic-to-500 recovery plus
 // the request counter and latency histogram.
@@ -381,11 +403,29 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// saveDB persists the database through the circuit breaker. Returns
-// whether the profile data is durable on disk (false when persistence
-// is unconfigured, skipped by an open circuit, or failed).
-func (s *Server) saveDB() bool {
-	if s.opts.DBPath == "" {
+// saveDB persists the store (the shards owning keys, or everything
+// dirty when keys is empty) through the appropriate circuit breaker.
+// Unguarded stores (the single file) route through the server-wide
+// breaker, preserving the original compute-only degradation contract;
+// guarded stores (sharded) isolate failures per shard themselves.
+// Returns whether the selected profile data is durable on disk (false
+// when persistence is unconfigured, skipped by an open circuit, or
+// failed).
+func (s *Server) saveDB(ctx context.Context, keys ...string) bool {
+	if s.guarded {
+		err := s.store.Save(ctx, keys...)
+		switch {
+		case err == nil:
+			s.m.dbSaves.Inc()
+			return true
+		case errors.Is(err, store.ErrDegraded):
+			s.m.dbSkipped.Inc()
+		default:
+			s.m.dbErrors.Inc()
+		}
+		return false
+	}
+	if !s.store.Stats().Persistent {
 		return false
 	}
 	s.dbMu.Lock()
@@ -394,7 +434,7 @@ func (s *Server) saveDB() bool {
 		s.m.dbSkipped.Inc()
 		return false
 	}
-	err := s.db.Save(s.opts.DBPath)
+	err := s.store.Save(ctx, keys...)
 	s.breaker.Record(err)
 	if err != nil {
 		s.m.dbErrors.Inc()

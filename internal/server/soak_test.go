@@ -1,0 +1,210 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"branchprof/internal/faults"
+	"branchprof/internal/store"
+	"branchprof/internal/store/shardstore"
+)
+
+// TestSoakShardedIngest is the cross-shard concurrency soak: batch
+// ingest, streaming ingest, single profiles, predictions, inventory
+// paging and health probes all hammer a sharded server at once —
+// under -race via `make soak` — while one shard's disk is failing.
+// The sick shard's breaker must open and stay isolated (the other
+// shards keep persisting), the server must answer every request with
+// a contract status, and the drain at the end must flush every
+// healthy shard so nothing profiled during the run is lost.
+func TestSoakShardedIngest(t *testing.T) {
+	dbPath := t.TempDir() + "/profiles.d"
+
+	// Probe the shard topology first so the fault rule can aim at the
+	// shard owning prog00's keys.
+	probe, _, err := shardstore.Open(context.Background(), dbPath, store.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := make([]string, 8)
+	for i := range programs {
+		programs[i] = fmt.Sprintf("prog%02d", i)
+	}
+	sickShard := probe.ShardName(dbKey(programs[0], "d0"))
+	var healthyProg string
+	for _, p := range programs[1:] {
+		if probe.ShardName(dbKey(p, "d0")) != sickShard && probe.ShardName(dbKey(p, "d1")) != sickShard {
+			healthyProg = p
+			break
+		}
+	}
+	if healthyProg == "" {
+		t.Fatal("no program with both datasets off the sick shard")
+	}
+
+	inj := faults.NewSet(1, faults.Rule{Stage: faults.DBSave, Label: sickShard})
+	s := newTestServer(t, Options{
+		Concurrency:      4,
+		DBPath:           dbPath,
+		Shards:           4,
+		Faults:           inj,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour, // the sick shard stays sick all run
+		RequestTimeout:   10 * time.Second,
+	})
+
+	duration := 1200 * time.Millisecond
+	if testing.Short() {
+		duration = 300 * time.Millisecond
+	}
+	deadline := time.Now().Add(duration)
+	var unexpected atomic.Int64
+	var firstBad atomic.Value // string
+
+	bad := func(what string, code int, body string) {
+		unexpected.Add(1)
+		firstBad.CompareAndSwap(nil, fmt.Sprintf("%s -> %d: %.200s", what, code, body))
+	}
+	post := func(path string, v any) (int, string) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Error(err)
+			return 0, ""
+		}
+		req := httptest.NewRequest("POST", path, strings.NewReader(string(b)))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	var wg sync.WaitGroup
+	worker := func(f func(iter int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				f(i)
+			}
+		}()
+	}
+
+	// Batch ingest across all shards (sick one included).
+	for w := 0; w < 2; w++ {
+		w := w
+		worker(func(iter int) {
+			entries := make([]map[string]any, 4)
+			for j := range entries {
+				p := programs[(iter+j+w)%len(programs)]
+				ds := fmt.Sprintf("d%d", j%2)
+				entries[j] = profileBody(p, ds, countSrc, strings.Repeat("ab", j+1))
+			}
+			code, body := post("/v1/profile/batch", map[string]any{"entries": entries})
+			// 429 is a legal shed under load; anything else must be 200.
+			if code != 200 && code != 429 {
+				bad("batch", code, body)
+			}
+		})
+	}
+
+	// Streaming ingest of the healthy program.
+	worker(func(iter int) {
+		line1, _ := json.Marshal(profileBody(healthyProg, "d0", countSrc, "aaab"))
+		line2, _ := json.Marshal(profileBody(healthyProg, "d1", countSrc, "bb"))
+		req := httptest.NewRequest("POST", "/v1/profile/stream",
+			strings.NewReader(string(line1)+"\n"+string(line2)+"\n"))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 && rec.Code != 429 {
+			bad("stream", rec.Code, rec.Body.String())
+		}
+	})
+
+	// Single profiles aimed at the sick shard: they must stay 200
+	// (compute succeeds, persistence degrades).
+	worker(func(iter int) {
+		code, body := post("/v1/profile", profileBody(programs[0], "d0", countSrc, "aba"))
+		if code != 200 && code != 429 {
+			bad("sick-shard profile", code, body)
+		}
+	})
+
+	// Predictions and paged inventory reads.
+	worker(func(iter int) {
+		code, body := post("/v1/predict", map[string]any{"program": healthyProg, "source": countSrc})
+		if code != 200 && code != 429 {
+			bad("predict", code, body)
+		}
+		if code, body := get("/v1/programs?limit=3&offset=1"); code != 200 {
+			bad("programs", code, body)
+		}
+	})
+
+	// Health and metrics must never shed.
+	worker(func(iter int) {
+		if code, body := get("/healthz"); code != 200 {
+			bad("healthz", code, body)
+		}
+		if code, body := get("/metrics"); code != 200 {
+			bad("metrics", code, body)
+		}
+	})
+
+	wg.Wait()
+	if n := unexpected.Load(); n != 0 {
+		t.Fatalf("%d unexpected responses during soak; first: %v", n, firstBad.Load())
+	}
+
+	// The sick shard degraded alone: its breaker is open, the healthy
+	// shards kept saving.
+	st := s.Store().Stats()
+	if !st.Degraded {
+		t.Fatal("sick shard did not degrade the store")
+	}
+	var sickSeen bool
+	for _, sh := range st.Shards {
+		if sh.Name == sickShard {
+			sickSeen = true
+			if sh.Breaker != "open" || sh.SaveErrors == 0 {
+				t.Fatalf("sick shard stats: %+v", sh)
+			}
+		} else if sh.Breaker != "closed" {
+			t.Fatalf("healthy shard %s caught the sickness: %+v", sh.Name, sh)
+		}
+	}
+	if !sickSeen {
+		t.Fatalf("sick shard %s missing from stats", sickShard)
+	}
+	if !s.Degraded() {
+		t.Fatal("server does not report the partial degradation")
+	}
+
+	// Drain flushes the healthy shards; a fresh store sees everything
+	// accumulated there during the soak.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	reopened, _, err := shardstore.Open(context.Background(), dbPath, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []string{"d0", "d1"} {
+		p, err := reopened.Get(context.Background(), dbKey(healthyProg, ds))
+		if err != nil || p == nil || p.Executed() == 0 {
+			t.Fatalf("drain lost %s@%s from a healthy shard: %v, %v", healthyProg, ds, p, err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package memstore is the reference store.Store implementation: the
+// repository's original single ifprob.DB behind the pluggable
+// interface, optionally persisted to one checksummed, atomically
+// written JSON file. It exists both as the production path for small
+// deployments and as the oracle the sharded store is differentially
+// tested against — any operation sequence must leave memstore and
+// shardstore with identical snapshots.
+//
+// memstore is unguarded (Stats().Guarded == false): it performs no
+// failure isolation of its own, preserving the pre-shard contract in
+// which the caller (branchprofd) wraps Save in its circuit breaker.
+package memstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"branchprof/internal/faults"
+	"branchprof/internal/ifprob"
+	"branchprof/internal/store"
+)
+
+func init() {
+	store.Register("mem", func(ctx context.Context, path string, opts store.Options) (store.Store, []string, error) {
+		return Open(ctx, path, opts)
+	})
+}
+
+// Store is the single-file store. Construct with Open.
+type Store struct {
+	path   string
+	faults *faults.Set
+
+	mu    sync.Mutex
+	db    *ifprob.DB
+	dirty bool
+
+	saves    uint64
+	saveErrs uint64
+}
+
+// Open loads the store persisted at path (empty path = in-memory
+// only). A missing file starts empty; a corrupt one is quarantined to
+// path+".corrupt" — preserving the evidence, starting empty, and
+// saying so in the returned warnings — rather than refusing to open.
+func Open(_ context.Context, path string, opts store.Options) (*Store, []string, error) {
+	s := &Store{path: path, faults: opts.Faults, db: ifprob.NewDB()}
+	s.db.SetFaults(opts.Faults)
+	if path == "" {
+		return s, nil, nil
+	}
+	db, err := ifprob.LoadWith(path, opts.Faults)
+	switch {
+	case err == nil:
+		db.SetFaults(opts.Faults)
+		s.db = db
+	case errors.Is(err, fs.ErrNotExist):
+		// First run: start empty, create the file on first Save.
+	case errors.Is(err, ifprob.ErrCorrupt):
+		quarantine := path + ".corrupt"
+		if rerr := os.Rename(path, quarantine); rerr != nil {
+			return nil, nil, fmt.Errorf("store: database %s is corrupt and cannot be quarantined: %v (load error: %w)", path, rerr, err)
+		}
+		return s, []string{fmt.Sprintf("database %s was corrupt; quarantined to %s, starting empty", path, quarantine)}, nil
+	default:
+		return nil, nil, fmt.Errorf("store: loading database: %w", err)
+	}
+	return s, nil, nil
+}
+
+// Get implements store.Store.
+func (s *Store) Get(ctx context.Context, key string) (*ifprob.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Get(key), nil
+}
+
+// Merge implements store.Store.
+func (s *Store) Merge(ctx context.Context, p *ifprob.Profile) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.db.Add(p); err != nil {
+		return fmt.Errorf("%w: %v", store.ErrConflict, err)
+	}
+	s.dirty = true
+	return nil
+}
+
+// Keys implements store.Store.
+func (s *Store) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Programs(), nil
+}
+
+// Snapshot implements store.Store.
+func (s *Store) Snapshot(ctx context.Context) (map[string]*ifprob.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*ifprob.Profile)
+	for _, key := range s.db.Programs() {
+		out[key] = s.db.Get(key)
+	}
+	return out, nil
+}
+
+// Load implements store.Store: re-read the persisted file, replacing
+// the in-memory view. With no path the store resets to empty.
+func (s *Store) Load(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.path == "" {
+		s.db = ifprob.NewDB()
+		s.db.SetFaults(s.faults)
+		s.dirty = false
+		return nil
+	}
+	db, err := ifprob.LoadWith(s.path, s.faults)
+	if errors.Is(err, fs.ErrNotExist) {
+		db, err = ifprob.NewDB(), nil
+	}
+	if err != nil {
+		return err
+	}
+	db.SetFaults(s.faults)
+	s.db = db
+	s.dirty = false
+	return nil
+}
+
+// Save implements store.Store. The whole database lives in one file,
+// so the keys selector is irrelevant: any dirtiness saves everything.
+func (s *Store) Save(ctx context.Context, _ ...string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.path == "" || !s.dirty {
+		return nil
+	}
+	if err := s.db.Save(s.path); err != nil {
+		s.saveErrs++
+		return err
+	}
+	s.saves++
+	s.dirty = false
+	return nil
+}
+
+// Close implements store.Store. Nothing to release; unsaved changes
+// are dropped by contract (callers Save first).
+func (s *Store) Close(context.Context) error { return nil }
+
+// Stats implements store.Store.
+func (s *Store) Stats() store.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return store.Stats{
+		Driver:     "mem",
+		Persistent: s.path != "",
+		Keys:       len(s.db.Programs()),
+	}
+}
+
+// DB exposes the underlying database for legacy callers (the CLI
+// tools' dump/annotate paths) that want ifprob-level access.
+func (s *Store) DB() *ifprob.DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db
+}

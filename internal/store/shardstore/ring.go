@@ -1,0 +1,69 @@
+package shardstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring mapping keys to shard indices. Each
+// shard contributes vnodes virtual points, hashed by name, so the
+// keyspace splits evenly and — the property consistent hashing buys
+// over key%N — growing the shard count in a future migration moves
+// only ~1/N of the keys instead of reshuffling everything.
+//
+// The ring is immutable after construction: the shard count is pinned
+// by the store manifest, so every process that opens the same store
+// directory derives the identical key → shard mapping.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// newRing builds the ring for shards × vnodes virtual points.
+func newRing(shards, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("%s#%d", shardName(s), v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties broken by shard index so the mapping is deterministic
+		// even in the astronomically unlikely collision case.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// pick returns the shard owning key: the first virtual point at or
+// after the key's hash, wrapping past the top of the ring.
+func (r *ring) pick(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hash64 is 64-bit FNV-1a, the manifest's "fnv64a" scheme.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	return h.Sum64()
+}
+
+// shardName formats a shard directory name. Three digits bound the
+// supported shard count (maxShards) while keeping listings sorted.
+func shardName(i int) string { return fmt.Sprintf("shard-%03d", i) }

@@ -1,0 +1,523 @@
+// Package shardstore is the sharded store.Store implementation: the
+// profile keyspace consistent-hashed across N shard directories, each
+// an independently persisted ifprob database with its own advisory
+// flock, checksummed atomic save, and circuit breaker. Because
+// profile merges commute (the CRDT property the paper's accumulating
+// counters already had), shards never need cross-shard coordination:
+// a merge touches exactly one shard, saves touch only dirty shards,
+// and a hot or corrupt shard degrades alone while the rest keep
+// serving.
+//
+// On-disk layout under the store root:
+//
+//	<root>/MANIFEST.json          shard count + hash scheme (pinned)
+//	<root>/shard-000/profiles.json
+//	<root>/shard-000/profiles.json.lock
+//	<root>/shard-001/...
+//
+// Opening a path that holds a legacy single-file database migrates it
+// in place: the profiles are resharded once into a staging directory,
+// the original file is preserved as <path>.pre-shard, and the staging
+// directory is renamed over the path. See docs/STORE.md.
+package shardstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"branchprof/internal/circuit"
+	"branchprof/internal/faults"
+	"branchprof/internal/ifprob"
+	"branchprof/internal/store"
+)
+
+func init() {
+	store.Register("shard", func(ctx context.Context, path string, opts store.Options) (store.Store, []string, error) {
+		return Open(ctx, path, opts)
+	})
+}
+
+const (
+	manifestVersion = 1
+	defaultShards   = 8
+	maxShards       = 512
+	defaultVNodes   = 64
+	shardFileName   = "profiles.json"
+)
+
+// manifest pins the store's shape. Every process opening the same
+// root must derive the identical key → shard mapping, so the shard
+// count and hash scheme live on disk, not in flags.
+type manifest struct {
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	VNodes  int    `json:"vnodes"`
+	Hash    string `json:"hash"`
+}
+
+// shard is one independently persisted slice of the keyspace. The db
+// pointer is guarded by dbMu only for the swap in Load — the database
+// itself is concurrency-safe. saveMu serializes this shard's saves
+// without blocking concurrent merges: Save clears dirty before
+// writing and re-raises it on failure, so a merge landing mid-save is
+// never lost, only deferred to the next save.
+type shard struct {
+	name string // "shard-000"
+	path string // <root>/shard-000/profiles.json
+
+	brk *circuit.Breaker
+
+	dbMu sync.RWMutex
+	db   *ifprob.DB
+
+	saveMu sync.Mutex
+	dirty  atomic.Bool
+
+	saves   atomic.Uint64
+	errs    atomic.Uint64
+	skipped atomic.Uint64
+}
+
+func (sh *shard) database() *ifprob.DB {
+	sh.dbMu.RLock()
+	defer sh.dbMu.RUnlock()
+	return sh.db
+}
+
+func (sh *shard) setDB(db *ifprob.DB) {
+	sh.dbMu.Lock()
+	sh.db = db
+	sh.dbMu.Unlock()
+	sh.dirty.Store(false)
+}
+
+// Store is the sharded store. Construct with Open.
+type Store struct {
+	root   string
+	ring   *ring
+	shards []*shard
+	faults *faults.Set
+}
+
+// Open opens (creating, or migrating a single-file database, as
+// needed) the sharded store rooted at path. Returned warnings report
+// quarantined corruption and completed migrations.
+func Open(ctx context.Context, path string, opts store.Options) (*Store, []string, error) {
+	if path == "" {
+		return nil, nil, errors.New("shardstore: a sharded store needs a path")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	var warns []string
+	fi, err := os.Stat(path)
+	switch {
+	case err == nil && !fi.IsDir():
+		// A legacy single-file database: reshard it once.
+		w, merr := migrate(path, opts)
+		warns = append(warns, w...)
+		if merr != nil {
+			return nil, warns, merr
+		}
+	case err == nil && fi.IsDir():
+		// Existing store root (or an empty directory to initialize).
+	case errors.Is(err, fs.ErrNotExist):
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return nil, warns, fmt.Errorf("shardstore: creating %s: %w", path, err)
+		}
+	default:
+		return nil, warns, fmt.Errorf("shardstore: probing %s: %w", path, err)
+	}
+
+	m, err := loadOrInitManifest(path, opts.Shards)
+	if err != nil {
+		return nil, warns, err
+	}
+	s := &Store{
+		root:   path,
+		ring:   newRing(m.Shards, m.VNodes),
+		shards: make([]*shard, m.Shards),
+		faults: opts.Faults,
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	for i := range s.shards {
+		name := shardName(i)
+		s.shards[i] = &shard{
+			name: name,
+			path: filepath.Join(path, name, shardFileName),
+			brk:  circuit.New(opts.BreakerThreshold, opts.BreakerCooldown, now),
+		}
+	}
+	for _, sh := range s.shards {
+		db, warn, err := loadShardFile(sh.path, s.faults)
+		if err != nil {
+			return nil, warns, err
+		}
+		if warn != "" {
+			warns = append(warns, warn)
+		}
+		db.SetFaults(s.faults)
+		sh.setDB(db)
+	}
+	return s, warns, nil
+}
+
+// loadOrInitManifest reads the root manifest, writing a fresh one for
+// a new (empty-of-manifest) root. The manifest's shard count wins
+// over the requested one: resharding an existing store is a separate,
+// explicit migration, not a flag change.
+func loadOrInitManifest(root string, requested int) (*manifest, error) {
+	mpath := filepath.Join(root, store.ManifestName)
+	data, err := os.ReadFile(mpath)
+	switch {
+	case err == nil:
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("shardstore: manifest %s: %w", mpath, err)
+		}
+		if m.Version != manifestVersion {
+			return nil, fmt.Errorf("shardstore: manifest %s has version %d, want %d", mpath, m.Version, manifestVersion)
+		}
+		if m.Shards < 1 || m.Shards > maxShards || m.VNodes < 1 {
+			return nil, fmt.Errorf("shardstore: manifest %s is out of range (%d shards, %d vnodes)", mpath, m.Shards, m.VNodes)
+		}
+		if m.Hash != "fnv64a" {
+			return nil, fmt.Errorf("shardstore: manifest %s uses unsupported hash %q", mpath, m.Hash)
+		}
+		return &m, nil
+	case errors.Is(err, fs.ErrNotExist):
+		m := &manifest{Version: manifestVersion, Shards: requested, VNodes: defaultVNodes, Hash: "fnv64a"}
+		if m.Shards <= 0 {
+			m.Shards = defaultShards
+		}
+		if m.Shards > maxShards {
+			return nil, fmt.Errorf("shardstore: %d shards exceeds the maximum of %d", m.Shards, maxShards)
+		}
+		if err := writeManifest(root, m); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("shardstore: reading manifest: %w", err)
+	}
+}
+
+// writeManifest writes the manifest atomically (temp + rename), the
+// same crash discipline as the shard files themselves.
+func writeManifest(root string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shardstore: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(root, ".manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("shardstore: writing manifest: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("shardstore: writing manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("shardstore: writing manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("shardstore: writing manifest: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("shardstore: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(root, store.ManifestName)); err != nil {
+		return fmt.Errorf("shardstore: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// migrate reshards a legacy single-file database found at path: build
+// the complete sharded layout in a staging directory, preserve the
+// original as path+".pre-shard", and rename the staging directory
+// over path. A crash mid-migration leaves either the original file
+// (staging orphaned, re-migrated on the next open) or the finished
+// store; in the narrow window between the two renames the original is
+// already safe under .pre-shard.
+func migrate(path string, opts store.Options) ([]string, error) {
+	backup := path + ".pre-shard"
+	if _, err := os.Stat(backup); err == nil {
+		return nil, fmt.Errorf("shardstore: refusing to migrate %s: %s already exists (move it aside first)", path, backup)
+	}
+	legacy, err := ifprob.LoadWith(path, opts.Faults)
+	if errors.Is(err, ifprob.ErrCorrupt) {
+		quarantine := path + ".corrupt"
+		if rerr := os.Rename(path, quarantine); rerr != nil {
+			return nil, fmt.Errorf("shardstore: database %s is corrupt and cannot be quarantined: %v (load error: %w)", path, rerr, err)
+		}
+		if merr := os.MkdirAll(path, 0o755); merr != nil {
+			return nil, fmt.Errorf("shardstore: creating %s after quarantine: %w", path, merr)
+		}
+		return []string{fmt.Sprintf("database %s was corrupt; quarantined to %s, starting empty", path, quarantine)}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shardstore: migrating %s: %w", path, err)
+	}
+
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = defaultShards
+	}
+	if shards > maxShards {
+		return nil, fmt.Errorf("shardstore: %d shards exceeds the maximum of %d", shards, maxShards)
+	}
+	staging := path + ".migrating"
+	if err := os.RemoveAll(staging); err != nil {
+		return nil, fmt.Errorf("shardstore: clearing staging %s: %w", staging, err)
+	}
+	if err := os.MkdirAll(staging, 0o755); err != nil {
+		return nil, fmt.Errorf("shardstore: staging %s: %w", staging, err)
+	}
+	m := &manifest{Version: manifestVersion, Shards: shards, VNodes: defaultVNodes, Hash: "fnv64a"}
+	if err := writeManifest(staging, m); err != nil {
+		return nil, err
+	}
+	r := newRing(m.Shards, m.VNodes)
+	dbs := make([]*ifprob.DB, shards)
+	for i := range dbs {
+		dbs[i] = ifprob.NewDB()
+	}
+	for _, key := range legacy.Programs() {
+		if err := dbs[r.pick(key)].Add(legacy.Get(key)); err != nil {
+			return nil, fmt.Errorf("shardstore: migrating %s: %w", key, err)
+		}
+	}
+	for i, db := range dbs {
+		if err := db.Save(filepath.Join(staging, shardName(i), shardFileName)); err != nil {
+			return nil, fmt.Errorf("shardstore: migrating %s: %w", path, err)
+		}
+	}
+	if err := os.Rename(path, backup); err != nil {
+		return nil, fmt.Errorf("shardstore: preserving %s: %w", path, err)
+	}
+	if err := os.Rename(staging, path); err != nil {
+		return nil, fmt.Errorf("shardstore: installing migrated store at %s: %w", path, err)
+	}
+	return []string{fmt.Sprintf("migrated single-file database into %d shards at %s; original preserved at %s",
+		shards, path, backup)}, nil
+}
+
+// loadShardFile reads one shard file. A missing file is an empty
+// shard; a corrupt one is quarantined to <file>.corrupt and restarted
+// empty — that shard alone loses its (recoverable, still-on-disk)
+// state while the others load normally.
+func loadShardFile(path string, inj *faults.Set) (*ifprob.DB, string, error) {
+	db, err := ifprob.LoadWith(path, inj)
+	switch {
+	case err == nil:
+		return db, "", nil
+	case errors.Is(err, fs.ErrNotExist):
+		return ifprob.NewDB(), "", nil
+	case errors.Is(err, ifprob.ErrCorrupt):
+		quarantine := path + ".corrupt"
+		if rerr := os.Rename(path, quarantine); rerr != nil {
+			return nil, "", fmt.Errorf("shardstore: shard %s is corrupt and cannot be quarantined: %v (load error: %w)", path, rerr, err)
+		}
+		return ifprob.NewDB(), fmt.Sprintf("shard file %s was corrupt; quarantined to %s, shard starting empty", path, quarantine), nil
+	default:
+		return nil, "", fmt.Errorf("shardstore: loading shard %s: %w", path, err)
+	}
+}
+
+// shardFor maps a key to its owning shard.
+func (s *Store) shardFor(key string) *shard {
+	return s.shards[s.ring.pick(key)]
+}
+
+// ShardName reports which shard directory owns key — exported for
+// tests and operational tooling that need to aim at one shard.
+func (s *Store) ShardName(key string) string { return s.shardFor(key).name }
+
+// Get implements store.Store.
+func (s *Store) Get(ctx context.Context, key string) (*ifprob.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.shardFor(key).database().Get(key), nil
+}
+
+// Merge implements store.Store: exactly one shard is touched and
+// marked dirty.
+func (s *Store) Merge(ctx context.Context, p *ifprob.Profile) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sh := s.shardFor(p.Program)
+	if err := sh.database().Add(p); err != nil {
+		return fmt.Errorf("%w: %v", store.ErrConflict, err)
+	}
+	sh.dirty.Store(true)
+	return nil
+}
+
+// Keys implements store.Store: the union of every shard's keys,
+// sorted globally.
+func (s *Store) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, sh := range s.shards {
+		keys = append(keys, sh.database().Programs()...)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Snapshot implements store.Store.
+func (s *Store) Snapshot(ctx context.Context) (map[string]*ifprob.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*ifprob.Profile)
+	for _, sh := range s.shards {
+		db := sh.database()
+		for _, key := range db.Programs() {
+			out[key] = db.Get(key)
+		}
+	}
+	return out, nil
+}
+
+// Load implements store.Store: re-read every shard from disk,
+// replacing the in-memory view. Corrupt shards error here (Open is
+// the quarantining path).
+func (s *Store) Load(ctx context.Context) error {
+	for _, sh := range s.shards {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		db, err := ifprob.LoadWith(sh.path, s.faults)
+		if errors.Is(err, fs.ErrNotExist) {
+			db, err = ifprob.NewDB(), nil
+		}
+		if err != nil {
+			return err
+		}
+		db.SetFaults(s.faults)
+		sh.setDB(db)
+	}
+	return nil
+}
+
+// Save implements store.Store: persist the shards owning keys (every
+// shard when keys is empty), skipping clean shards, routing each
+// attempt through that shard's breaker. Failures are isolated — a
+// shard that fails or is breaker-skipped does not stop the others —
+// and the aggregate error wraps ErrDegraded when any shard was
+// breaker-skipped.
+func (s *Store) Save(ctx context.Context, keys ...string) error {
+	selected := s.shards
+	if len(keys) > 0 {
+		seen := make(map[*shard]bool, len(keys))
+		var picked []*shard
+		for _, key := range keys {
+			sh := s.shardFor(key)
+			if !seen[sh] {
+				seen[sh] = true
+				picked = append(picked, sh)
+			}
+		}
+		// Deterministic save order regardless of key order.
+		sort.Slice(picked, func(i, j int) bool { return picked[i].name < picked[j].name })
+		selected = picked
+	}
+	var failed, skipped []string
+	var firstErr error
+	for _, sh := range selected {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sh.saveMu.Lock()
+		if !sh.dirty.Load() {
+			sh.saveMu.Unlock()
+			continue
+		}
+		if !sh.brk.Allow() {
+			sh.skipped.Add(1)
+			skipped = append(skipped, sh.name)
+			sh.saveMu.Unlock()
+			continue
+		}
+		// Clear dirty before the write: a merge landing mid-save
+		// re-raises it, so its data is deferred to the next save rather
+		// than silently considered durable.
+		sh.dirty.Store(false)
+		err := sh.database().Save(sh.path)
+		sh.brk.Record(err)
+		if err != nil {
+			sh.dirty.Store(true)
+			sh.errs.Add(1)
+			failed = append(failed, sh.name)
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			sh.saves.Add(1)
+		}
+		sh.saveMu.Unlock()
+	}
+	switch {
+	case len(failed) > 0 && len(skipped) > 0:
+		return fmt.Errorf("shardstore: shards %s failed (%v); shards %s skipped: %w",
+			strings.Join(failed, ","), firstErr, strings.Join(skipped, ","), store.ErrDegraded)
+	case len(failed) > 0:
+		return fmt.Errorf("shardstore: shards %s failed to save: %w", strings.Join(failed, ","), firstErr)
+	case len(skipped) > 0:
+		return fmt.Errorf("shardstore: shards %s skipped by open breaker: %w", strings.Join(skipped, ","), store.ErrDegraded)
+	}
+	return nil
+}
+
+// Close implements store.Store. Unsaved changes are dropped by
+// contract (callers Save first).
+func (s *Store) Close(context.Context) error { return nil }
+
+// Stats implements store.Store.
+func (s *Store) Stats() store.Stats {
+	st := store.Stats{
+		Driver:     "shard",
+		Persistent: true,
+		Guarded:    true,
+		Shards:     make([]store.ShardStats, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		keys := len(sh.database().Programs())
+		brk := sh.brk.State()
+		st.Keys += keys
+		st.Shards[i] = store.ShardStats{
+			Name:        sh.name,
+			Keys:        keys,
+			Dirty:       sh.dirty.Load(),
+			Saves:       sh.saves.Load(),
+			SaveErrors:  sh.errs.Load(),
+			SaveSkipped: sh.skipped.Load(),
+			Breaker:     brk.String(),
+		}
+		if brk != circuit.Closed {
+			st.Degraded = true
+		}
+	}
+	return st
+}

@@ -1,0 +1,294 @@
+package shardstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"branchprof/internal/circuit"
+	"branchprof/internal/faults"
+	"branchprof/internal/ifprob"
+	"branchprof/internal/store"
+)
+
+func mkProfile(key string, total uint64) *ifprob.Profile {
+	return &ifprob.Profile{
+		Program: key,
+		Dataset: "ds",
+		Taken:   []uint64{total / 2},
+		Total:   []uint64{total},
+		Instrs:  total,
+	}
+}
+
+func openShards(t *testing.T, path string, opts store.Options) *Store {
+	t.Helper()
+	s, warns, err := Open(context.Background(), path, opts)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("open %s: unexpected warnings %v", path, warns)
+	}
+	return s
+}
+
+// TestRingDeterministicAndBalanced: two rings with the same shape map
+// every key identically, and the keyspace spreads over all shards.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	const shards = 8
+	r1 := newRing(shards, defaultVNodes)
+	r2 := newRing(shards, defaultVNodes)
+	counts := make([]int, shards)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("prog%04d@ds%d", i, i%3)
+		a, b := r1.pick(key), r2.pick(key)
+		if a != b {
+			t.Fatalf("rings disagree on %q: %d vs %d", key, a, b)
+		}
+		counts[a]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d received no keys: %v", s, counts)
+		}
+		// With 64 vnodes/shard the split is coarse but should stay
+		// within a loose factor of the 250-key ideal.
+		if n < 50 || n > 700 {
+			t.Errorf("shard %d owns %d of 2000 keys — badly skewed ring: %v", s, n, counts)
+		}
+	}
+}
+
+// TestManifestPinsShardCount: the on-disk manifest wins over whatever
+// shard count a later opener asks for, so every process derives the
+// same key → shard mapping.
+func TestManifestPinsShardCount(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "profiles.d")
+	s := openShards(t, path, store.Options{Shards: 4})
+	if err := s.Merge(ctx, mkProfile("prog@ds", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openShards(t, path, store.Options{Shards: 16})
+	if got := len(s2.Stats().Shards); got != 4 {
+		t.Fatalf("reopen with Shards:16 produced %d shards, want the manifest's 4", got)
+	}
+	if p, err := s2.Get(ctx, "prog@ds"); err != nil || p == nil || p.Total[0] != 10 {
+		t.Fatalf("reopened store lost the profile: %v, %v", p, err)
+	}
+}
+
+// twoShardKeys returns keys that land on two different shards of s.
+func twoShardKeys(t *testing.T, s *Store) (a, b string) {
+	t.Helper()
+	a = "prog00@ds"
+	for i := 1; i < 200; i++ {
+		k := fmt.Sprintf("prog%02d@ds", i)
+		if s.ShardName(k) != s.ShardName(a) {
+			return a, k
+		}
+	}
+	t.Fatal("could not find keys on two distinct shards")
+	return "", ""
+}
+
+// TestCorruptShardQuarantine: corruption of one shard file is
+// quarantined on open; that shard alone restarts empty while every
+// other shard's data survives.
+func TestCorruptShardQuarantine(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "profiles.d")
+	s := openShards(t, path, store.Options{Shards: 4})
+	keyA, keyB := twoShardKeys(t, s)
+	for _, k := range []string{keyA, keyB} {
+		if err := s.Merge(ctx, mkProfile(k, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Save(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip bytes in keyA's shard file.
+	victim := filepath.Join(path, s.ShardName(keyA), shardFileName)
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, warns, err := Open(ctx, path, store.Options{})
+	if err != nil {
+		t.Fatalf("open with corrupt shard: %v", err)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "quarantined") || !strings.Contains(warns[0], s.ShardName(keyA)) {
+		t.Fatalf("warnings = %v, want one quarantine notice naming %s", warns, s.ShardName(keyA))
+	}
+	if _, err := os.Stat(victim + ".corrupt"); err != nil {
+		t.Fatalf("corrupt shard file not preserved: %v", err)
+	}
+	if p, _ := s2.Get(ctx, keyA); p != nil {
+		t.Fatal("corrupt shard did not restart empty")
+	}
+	if p, _ := s2.Get(ctx, keyB); p == nil || p.Total[0] != 10 {
+		t.Fatalf("healthy shard lost its data: %v", p)
+	}
+}
+
+// TestPerShardBreakerIsolation: a fault targeting one shard's save
+// path opens only that shard's breaker. The healthy shard keeps
+// persisting; the sick one is skipped (ErrDegraded) until its
+// cooldown lets a probe through, after which it recovers.
+func TestPerShardBreakerIsolation(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "profiles.d")
+	probe := openShards(t, path, store.Options{Shards: 4})
+	keyA, keyB := twoShardKeys(t, probe)
+	sickShard := probe.ShardName(keyA)
+
+	// Fail every save touching the sick shard's path (the db-save fault
+	// label is the save path, which contains the shard directory name).
+	// The shard is healed explicitly below.
+	inj := faults.NewSet(1, faults.Rule{Stage: faults.DBSave, Label: sickShard})
+	clk := time.Unix(1000, 0)
+	now := func() time.Time { return clk }
+	s := openShards(t, path, store.Options{
+		Shards:           4,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Second,
+		Faults:           inj,
+		Now:              now,
+	})
+
+	merge := func(k string, v uint64) {
+		t.Helper()
+		if err := s.Merge(ctx, mkProfile(k, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two failing saves trip the sick shard's breaker; keyB's shard
+	// saves fine both times.
+	for i := 0; i < 2; i++ {
+		merge(keyA, 10)
+		merge(keyB, 10)
+		err := s.Save(ctx)
+		if err == nil || !strings.Contains(err.Error(), sickShard) {
+			t.Fatalf("save %d: %v, want failure naming %s", i, err, sickShard)
+		}
+		if errors.Is(err, store.ErrDegraded) {
+			t.Fatalf("save %d: real failures must not read as breaker skips: %v", i, err)
+		}
+	}
+
+	st := s.Stats()
+	if !st.Degraded || !st.Guarded {
+		t.Fatalf("stats after breaker trip = %+v", st)
+	}
+	var sick, healthy *store.ShardStats
+	for i := range st.Shards {
+		switch st.Shards[i].Name {
+		case sickShard:
+			sick = &st.Shards[i]
+		case probe.ShardName(keyB):
+			healthy = &st.Shards[i]
+		}
+	}
+	if sick == nil || sick.Breaker != circuit.Open.String() || sick.SaveErrors != 2 || !sick.Dirty {
+		t.Fatalf("sick shard stats = %+v", sick)
+	}
+	if healthy == nil || healthy.Breaker != circuit.Closed.String() || healthy.Saves != 2 || healthy.Dirty {
+		t.Fatalf("healthy shard stats = %+v", healthy)
+	}
+
+	// While open, saves touching the sick shard are skipped with
+	// ErrDegraded — and the healthy shard still persists its new data.
+	merge(keyA, 5)
+	merge(keyB, 5)
+	if err := s.Save(ctx); !errors.Is(err, store.ErrDegraded) {
+		t.Fatalf("save under open breaker: %v, want ErrDegraded", err)
+	}
+	if got := s.Stats(); shardByName(got, sickShard).SaveSkipped != 1 {
+		t.Fatalf("sick shard not skipped: %+v", shardByName(got, sickShard))
+	}
+
+	// Saving only the healthy shard's keys succeeds outright.
+	merge(keyB, 5)
+	if err := s.Save(ctx, keyB); err != nil {
+		t.Fatalf("save scoped to healthy shard: %v", err)
+	}
+
+	// Heal the medium, let the cooldown elapse: the half-open probe
+	// goes through and the sick shard recovers — the deferred merges
+	// finally persist.
+	s.shardFor(keyA).database().SetFaults(nil)
+	clk = clk.Add(1100 * time.Millisecond)
+	if err := s.Save(ctx); err != nil {
+		t.Fatalf("save after cooldown: %v", err)
+	}
+	if got := s.Stats(); got.Degraded {
+		t.Fatalf("still degraded after recovery: %+v", got)
+	}
+
+	// Nothing was lost across the degraded window: a fresh open sees
+	// the full accumulation for both keys.
+	s2, warns, err := Open(ctx, path, store.Options{})
+	if err != nil || len(warns) != 0 {
+		t.Fatalf("reopen: %v, warns %v", err, warns)
+	}
+	if p, _ := s2.Get(ctx, keyA); p == nil || p.Total[0] != 25 {
+		t.Fatalf("keyA after recovery = %+v, want Total[0]=25", p)
+	}
+	if p, _ := s2.Get(ctx, keyB); p == nil || p.Total[0] != 30 {
+		t.Fatalf("keyB after recovery = %+v, want Total[0]=30", p)
+	}
+}
+
+func shardByName(st store.Stats, name string) store.ShardStats {
+	for _, sh := range st.Shards {
+		if sh.Name == name {
+			return sh
+		}
+	}
+	return store.ShardStats{}
+}
+
+// TestSaveScopesToKeyShards: Save(keys...) writes only the shards
+// owning those keys, leaving other dirty shards untouched on disk.
+func TestSaveScopesToKeyShards(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "profiles.d")
+	s := openShards(t, path, store.Options{Shards: 4})
+	keyA, keyB := twoShardKeys(t, s)
+	for _, k := range []string{keyA, keyB} {
+		if err := s.Merge(ctx, mkProfile(k, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Save(ctx, keyA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(path, s.ShardName(keyA), shardFileName)); err != nil {
+		t.Fatalf("selected shard not saved: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(path, s.ShardName(keyB), shardFileName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unselected shard was written: %v", err)
+	}
+	st := s.Stats()
+	if sh := shardByName(st, s.ShardName(keyB)); !sh.Dirty {
+		t.Fatalf("unselected shard lost its dirty flag: %+v", sh)
+	}
+}

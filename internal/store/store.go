@@ -1,0 +1,227 @@
+// Package store is the pluggable persistence layer for accumulated
+// branch profiles. The paper's central object — per-branch taken/total
+// counters keyed by program (and, in the daemon, by program@dataset) —
+// is commutative under ifprob.Profile.Merge, which makes the store
+// CRDT-shaped: merges commute, so the keyspace can be split across
+// shards, saved independently, and recombined in any order without
+// losing a count.
+//
+// The package defines the Store interface every consumer (branchprofd,
+// the CLI tools, tests) programs against, plus a database/sql-style
+// driver registry so implementations stay pluggable:
+//
+//   - internal/store/memstore — the reference implementation: one
+//     ifprob.DB behind the interface, persisted (optionally) to the
+//     single checksummed file the repository has always used;
+//   - internal/store/shardstore — the scale implementation:
+//     consistent-hashes the keyspace across N shard directories, each
+//     with its own flock, checksummed atomic save and circuit
+//     breaker, so a hot or corrupt shard degrades alone.
+//
+// Open probes the path (file → memstore, manifest-bearing directory →
+// shardstore) and migrates single-file databases into shard form when
+// asked (see docs/STORE.md for the layout and migration contract).
+// Drivers register themselves in init; consumers import the drivers
+// they are willing to link:
+//
+//	import (
+//	    _ "branchprof/internal/store/memstore"
+//	    _ "branchprof/internal/store/shardstore"
+//	)
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"branchprof/internal/faults"
+	"branchprof/internal/ifprob"
+)
+
+// Store is a keyed collection of accumulated branch profiles. Keys
+// are opaque strings (branchprofd uses "program@dataset"); the value
+// under a key is the commutative merge of every profile ever merged
+// under it. Implementations are safe for concurrent use, and every
+// method honours ctx cancellation before touching state.
+type Store interface {
+	// Get returns a deep copy of the profile stored under key, or nil
+	// when the key is absent.
+	Get(ctx context.Context, key string) (*ifprob.Profile, error)
+	// Merge accumulates p under p.Program (the caller sets the
+	// composite key there before merging). A profile whose shape
+	// conflicts with the accumulated data returns an error wrapping
+	// ErrConflict; the stored data is unchanged.
+	Merge(ctx context.Context, p *ifprob.Profile) error
+	// Keys lists every stored key, sorted.
+	Keys(ctx context.Context) ([]string, error)
+	// Snapshot returns a deep copy of the entire store.
+	Snapshot(ctx context.Context) (map[string]*ifprob.Profile, error)
+	// Load re-reads the persisted state, replacing the in-memory view.
+	// A store with no persistence resets to empty. Corrupt persisted
+	// state returns an error wrapping ifprob.ErrCorrupt (Open, by
+	// contrast, quarantines corruption and starts fresh).
+	Load(ctx context.Context) error
+	// Save persists the shards covering keys (every dirty shard when
+	// keys is empty). A non-nil error means some selected data is not
+	// durable — failed outright, or skipped by an open per-shard
+	// breaker (then wrapping ErrDegraded). Unselected healthy shards
+	// are unaffected either way.
+	Save(ctx context.Context, keys ...string) error
+	// Close releases resources (locks, registrations). It does NOT
+	// save; callers flush with Save first. The store is unusable after.
+	Close(ctx context.Context) error
+	// Stats reports the store's shape and persistence health.
+	Stats() Stats
+}
+
+// Stats describes a store for health endpoints and metrics.
+type Stats struct {
+	// Driver is the registered driver name ("mem", "shard").
+	Driver string
+	// Persistent reports whether the store writes to disk at all.
+	Persistent bool
+	// Guarded reports whether the store isolates its own persistence
+	// failures (per-shard breakers). Unguarded stores expect the
+	// caller to wrap Save in its own breaker, the pre-shard contract.
+	Guarded bool
+	// Degraded reports whether any persistence path is currently
+	// impaired (a shard breaker open or probing). Always false for
+	// unguarded stores.
+	Degraded bool
+	// Keys is the number of stored keys.
+	Keys int
+	// Shards describes each shard of a sharded store; nil otherwise.
+	Shards []ShardStats
+}
+
+// ShardStats is one shard's persistence health.
+type ShardStats struct {
+	Name        string // shard directory name, e.g. "shard-003"
+	Keys        int    // keys resident in this shard
+	Dirty       bool   // unsaved changes pending
+	Saves       uint64 // successful saves
+	SaveErrors  uint64 // failed saves
+	SaveSkipped uint64 // saves skipped by an open breaker
+	Breaker     string // breaker state ("closed", "open", "half-open")
+}
+
+// ErrConflict marks a Merge whose profile shape (site table) does not
+// match the accumulated data under the same key — same name,
+// different compilation.
+var ErrConflict = errors.New("store: profile conflicts with accumulated data")
+
+// ErrDegraded marks a Save skipped (wholly or partly) by an open
+// circuit breaker rather than failed by the medium.
+var ErrDegraded = errors.New("store: persistence degraded, save skipped")
+
+// ManifestName is the file whose presence marks a directory as a
+// sharded store root. Defined here so Open can probe for it without
+// importing the shardstore driver.
+const ManifestName = "MANIFEST.json"
+
+// Options configures Open and is passed through to the driver.
+type Options struct {
+	// Driver forces a registered driver ("mem", "shard"); empty
+	// auto-detects from the path and Shards.
+	Driver string
+	// Shards is the shard count for newly created sharded stores (and
+	// opts a single-file path into migration); an existing store's
+	// manifest wins. 0 with no manifest means unsharded.
+	Shards int
+	// BreakerThreshold and BreakerCooldown configure the per-shard
+	// circuit breakers of guarded drivers; zero picks the circuit
+	// package defaults (3 failures, 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Faults injects faults at the db-save/db-load stages (chaos tests
+	// only; nil injects nothing).
+	Faults *faults.Set
+	// Now supplies the clock for breaker cooldowns; nil means time.Now.
+	Now func() time.Time
+}
+
+// Opener is a driver's constructor: open (creating or migrating as
+// needed) the store at path. The returned warnings are non-fatal
+// startup conditions the operator should see (quarantined corruption,
+// completed migrations).
+type Opener func(ctx context.Context, path string, opts Options) (Store, []string, error)
+
+var (
+	driversMu sync.Mutex
+	drivers   = make(map[string]Opener)
+)
+
+// Register makes a driver available to Open under name. Drivers call
+// it from init; a duplicate name panics, like database/sql.
+func Register(name string, open Opener) {
+	driversMu.Lock()
+	defer driversMu.Unlock()
+	if _, dup := drivers[name]; dup {
+		panic(fmt.Sprintf("store: driver %q registered twice", name))
+	}
+	drivers[name] = open
+}
+
+// Drivers lists the registered driver names, sorted.
+func Drivers() []string {
+	driversMu.Lock()
+	defer driversMu.Unlock()
+	names := make([]string, 0, len(drivers))
+	for n := range drivers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Open opens the store at path, detecting its kind:
+//
+//   - opts.Driver set → that driver, no questions asked;
+//   - path is a directory containing ManifestName → "shard";
+//   - path is a regular file → "mem", unless opts.Shards > 0, which
+//     selects "shard" and migrates the single-file database in place
+//     (original preserved as path+".pre-shard");
+//   - path missing → "shard" when opts.Shards > 0, else "mem";
+//   - path empty → "mem" with no persistence.
+//
+// The chosen driver must have been linked in (imported) by the
+// caller; otherwise Open returns an error naming it.
+func Open(ctx context.Context, path string, opts Options) (Store, []string, error) {
+	name := opts.Driver
+	if name == "" {
+		name = detect(path, opts.Shards)
+	}
+	driversMu.Lock()
+	open, ok := drivers[name]
+	driversMu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("store: driver %q not linked in (registered: %v)", name, Drivers())
+	}
+	return open(ctx, path, opts)
+}
+
+// detect picks a driver name from what is on disk.
+func detect(path string, shards int) string {
+	if path == "" {
+		return "mem"
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		if _, err := os.Stat(filepath.Join(path, ManifestName)); err == nil {
+			return "shard"
+		}
+		// A directory without a manifest is not a store; let the
+		// sharded driver report the precise error (or initialize it
+		// when the operator asked for shards).
+		return "shard"
+	}
+	if shards > 0 {
+		return "shard"
+	}
+	return "mem"
+}

@@ -1,0 +1,455 @@
+package store_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/store"
+	"branchprof/internal/store/memstore"   // linked driver: "mem"
+	"branchprof/internal/store/shardstore" // linked driver: "shard"
+)
+
+// mkProfile builds a consistent profile under key (already in
+// program@dataset form) with the given per-site counters.
+func mkProfile(key, dataset string, taken, total []uint64) *ifprob.Profile {
+	return &ifprob.Profile{
+		Program: key,
+		Dataset: dataset,
+		Taken:   append([]uint64(nil), taken...),
+		Total:   append([]uint64(nil), total...),
+		Instrs:  100,
+	}
+}
+
+// openFns maps driver names to constructors used by the conformance
+// suite. Paths are chosen so auto-detection picks the right driver.
+var openFns = map[string]func(t *testing.T) (store.Store, string){
+	"mem": func(t *testing.T) (store.Store, string) {
+		path := filepath.Join(t.TempDir(), "profiles.db")
+		s, warns, err := store.Open(context.Background(), path, store.Options{})
+		if err != nil {
+			t.Fatalf("open mem: %v", err)
+		}
+		if len(warns) != 0 {
+			t.Fatalf("open mem: unexpected warnings %v", warns)
+		}
+		return s, path
+	},
+	"shard": func(t *testing.T) (store.Store, string) {
+		path := filepath.Join(t.TempDir(), "profiles.d")
+		s, warns, err := store.Open(context.Background(), path, store.Options{Shards: 4})
+		if err != nil {
+			t.Fatalf("open shard: %v", err)
+		}
+		if len(warns) != 0 {
+			t.Fatalf("open shard: unexpected warnings %v", warns)
+		}
+		return s, path
+	},
+}
+
+// reopen opens whatever Open left at path, auto-detected.
+func reopen(t *testing.T, path string) store.Store {
+	t.Helper()
+	s, warns, err := store.Open(context.Background(), path, store.Options{})
+	if err != nil {
+		t.Fatalf("reopen %s: %v", path, err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("reopen %s: unexpected warnings %v", path, warns)
+	}
+	return s
+}
+
+// TestConformance runs the Store contract against every driver.
+func TestConformance(t *testing.T) {
+	for name, open := range openFns {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			s, path := open(t)
+			if got := s.Stats().Driver; got != name {
+				t.Fatalf("Stats().Driver = %q, want %q", got, name)
+			}
+
+			// Empty store.
+			if p, err := s.Get(ctx, "absent@x"); err != nil || p != nil {
+				t.Fatalf("Get on empty store = %v, %v", p, err)
+			}
+			if keys, err := s.Keys(ctx); err != nil || len(keys) != 0 {
+				t.Fatalf("Keys on empty store = %v, %v", keys, err)
+			}
+
+			// Merge accumulates commutatively under the key.
+			a := mkProfile("prog@da", "da", []uint64{1, 0}, []uint64{2, 3})
+			b := mkProfile("prog@da", "da", []uint64{4, 1}, []uint64{4, 1})
+			if err := s.Merge(ctx, a); err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			if err := s.Merge(ctx, b); err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			got, err := s.Get(ctx, "prog@da")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if want := []uint64{5, 1}; !reflect.DeepEqual(got.Taken, want) {
+				t.Fatalf("accumulated Taken = %v, want %v", got.Taken, want)
+			}
+			if want := []uint64{6, 4}; !reflect.DeepEqual(got.Total, want) {
+				t.Fatalf("accumulated Total = %v, want %v", got.Total, want)
+			}
+
+			// Get returns a copy, not a live alias.
+			got.Taken[0] = 999
+			if again, _ := s.Get(ctx, "prog@da"); again.Taken[0] != 5 {
+				t.Fatal("Get returned a live alias into the store")
+			}
+
+			// A shape conflict is ErrConflict and leaves data unchanged.
+			bad := mkProfile("prog@da", "da", []uint64{1}, []uint64{1})
+			if err := s.Merge(ctx, bad); !errors.Is(err, store.ErrConflict) {
+				t.Fatalf("conflicting merge: %v, want ErrConflict", err)
+			}
+			if p, _ := s.Get(ctx, "prog@da"); p.Taken[0] != 5 {
+				t.Fatal("failed merge mutated the stored profile")
+			}
+
+			// More keys, then Keys/Snapshot agree.
+			if err := s.Merge(ctx, mkProfile("other@db", "db", []uint64{0}, []uint64{7})); err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			keys, err := s.Keys(ctx)
+			if err != nil {
+				t.Fatalf("Keys: %v", err)
+			}
+			if want := []string{"other@db", "prog@da"}; !reflect.DeepEqual(keys, want) {
+				t.Fatalf("Keys = %v, want %v", keys, want)
+			}
+			snap, err := s.Snapshot(ctx)
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			if len(snap) != 2 || snap["prog@da"].Total[0] != 6 {
+				t.Fatalf("Snapshot = %v", snap)
+			}
+
+			// Save, then a fresh open sees identical contents.
+			if err := s.Save(ctx); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			if err := s.Close(ctx); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			s2 := reopen(t, path)
+			snap2, err := s2.Snapshot(ctx)
+			if err != nil {
+				t.Fatalf("Snapshot after reopen: %v", err)
+			}
+			if !reflect.DeepEqual(snap, snap2) {
+				t.Fatalf("reopen changed contents:\n  saved: %+v\n  loaded: %+v", snap, snap2)
+			}
+
+			// Load discards unsaved changes, restoring the persisted view.
+			if err := s2.Merge(ctx, mkProfile("volatile@dx", "dx", []uint64{1}, []uint64{1})); err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			if err := s2.Load(ctx); err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if p, _ := s2.Get(ctx, "volatile@dx"); p != nil {
+				t.Fatal("Load kept an unsaved key")
+			}
+
+			// Context cancellation is honoured before touching state.
+			canceled, cancel := context.WithCancel(ctx)
+			cancel()
+			if err := s2.Merge(canceled, a); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Merge with canceled ctx: %v", err)
+			}
+			if _, err := s2.Get(canceled, "prog@da"); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Get with canceled ctx: %v", err)
+			}
+			if err := s2.Save(canceled); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Save with canceled ctx: %v", err)
+			}
+		})
+	}
+}
+
+// TestDifferential drives memstore and shardstore through the same
+// pseudo-random operation sequence and requires identical results at
+// every probe point — the sharded store must be observationally
+// indistinguishable from the reference single-file store.
+func TestDifferential(t *testing.T) {
+	ctx := context.Background()
+	memPath := filepath.Join(t.TempDir(), "profiles.db")
+	shardPath := filepath.Join(t.TempDir(), "profiles.d")
+	mem, _, err := store.Open(ctx, memPath, store.Options{Driver: "mem"})
+	if err != nil {
+		t.Fatalf("open mem: %v", err)
+	}
+	shard, _, err := store.Open(ctx, shardPath, store.Options{Driver: "shard", Shards: 8})
+	if err != nil {
+		t.Fatalf("open shard: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	const programs = 13 // spread across 8 shards, some sharing
+	sites := func(p int) int { return 1 + p%5 }
+	key := func(p, d int) string { return fmt.Sprintf("prog%02d@ds%d", p, d) }
+
+	randomProfile := func() *ifprob.Profile {
+		p, d := rng.Intn(programs), rng.Intn(3)
+		n := sites(p)
+		taken, total := make([]uint64, n), make([]uint64, n)
+		for i := range total {
+			total[i] = uint64(rng.Intn(50))
+			if total[i] > 0 {
+				taken[i] = uint64(rng.Int63n(int64(total[i] + 1)))
+			}
+		}
+		return mkProfile(key(p, d), fmt.Sprintf("ds%d", d), taken, total)
+	}
+
+	check := func(step int) {
+		t.Helper()
+		mk, err1 := mem.Keys(ctx)
+		sk, err2 := shard.Keys(ctx)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("step %d: Keys: %v / %v", step, err1, err2)
+		}
+		if !reflect.DeepEqual(mk, sk) {
+			t.Fatalf("step %d: keys diverged:\n  mem:   %v\n  shard: %v", step, mk, sk)
+		}
+		ms, err1 := mem.Snapshot(ctx)
+		ss, err2 := shard.Snapshot(ctx)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("step %d: Snapshot: %v / %v", step, err1, err2)
+		}
+		if !reflect.DeepEqual(ms, ss) {
+			t.Fatalf("step %d: snapshots diverged", step)
+		}
+	}
+
+	const steps = 600
+	for i := 0; i < steps; i++ {
+		switch op := rng.Intn(10); {
+		case op < 7: // merge
+			p := randomProfile()
+			err1 := mem.Merge(ctx, p.Clone())
+			err2 := shard.Merge(ctx, p)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("step %d: merge divergence: mem=%v shard=%v", i, err1, err2)
+			}
+		case op < 8: // save everything
+			if err := mem.Save(ctx); err != nil {
+				t.Fatalf("step %d: mem save: %v", i, err)
+			}
+			if err := shard.Save(ctx); err != nil {
+				t.Fatalf("step %d: shard save: %v", i, err)
+			}
+		case op < 9: // save one key's shard
+			k := key(rng.Intn(programs), rng.Intn(3))
+			if err := mem.Save(ctx, k); err != nil {
+				t.Fatalf("step %d: mem save(%s): %v", i, k, err)
+			}
+			if err := shard.Save(ctx, k); err != nil {
+				t.Fatalf("step %d: shard save(%s): %v", i, k, err)
+			}
+		default: // flush, then reload from disk — both must round-trip
+			if err := mem.Save(ctx); err != nil {
+				t.Fatalf("step %d: mem save: %v", i, err)
+			}
+			if err := shard.Save(ctx); err != nil {
+				t.Fatalf("step %d: shard save: %v", i, err)
+			}
+			if err := mem.Load(ctx); err != nil {
+				t.Fatalf("step %d: mem load: %v", i, err)
+			}
+			if err := shard.Load(ctx); err != nil {
+				t.Fatalf("step %d: shard load: %v", i, err)
+			}
+		}
+		if i%50 == 49 {
+			check(i)
+		}
+	}
+
+	// Final flush, fresh opens, and the persisted states must agree too.
+	if err := mem.Save(ctx); err != nil {
+		t.Fatalf("final mem save: %v", err)
+	}
+	if err := shard.Save(ctx); err != nil {
+		t.Fatalf("final shard save: %v", err)
+	}
+	check(steps)
+
+	mem2 := reopen(t, memPath)
+	shard2 := reopen(t, shardPath)
+	ms, _ := mem2.Snapshot(ctx)
+	ss, _ := shard2.Snapshot(ctx)
+	if !reflect.DeepEqual(ms, ss) {
+		t.Fatal("persisted states diverged after reopen")
+	}
+	if len(ms) == 0 {
+		t.Fatal("differential run ended with an empty store — sequence too weak")
+	}
+	if st := shard2.Stats(); len(st.Shards) != 8 {
+		t.Fatalf("shard store reopened with %d shards, want 8", len(st.Shards))
+	}
+}
+
+// TestMigration proves the single-file → sharded migration is
+// lossless: every profile round-trips bit-identically and the
+// original file is preserved untouched as .pre-shard.
+func TestMigration(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "profiles.db")
+
+	// Build a legacy single-file database the old-fashioned way.
+	legacy := ifprob.NewDB()
+	for p := 0; p < 11; p++ {
+		for d := 0; d < 2; d++ {
+			n := 1 + p%4
+			taken, total := make([]uint64, n), make([]uint64, n)
+			for i := range total {
+				total[i] = uint64(3*p + 7*d + i)
+				taken[i] = total[i] / 2
+			}
+			prof := mkProfile(fmt.Sprintf("prog%02d@ds%d", p, d), fmt.Sprintf("ds%d", d), taken, total)
+			if err := legacy.Add(prof); err != nil {
+				t.Fatalf("seeding legacy db: %v", err)
+			}
+		}
+	}
+	if err := legacy.Save(path); err != nil {
+		t.Fatalf("saving legacy db: %v", err)
+	}
+	originalBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]*ifprob.Profile{}
+	for _, name := range legacy.Programs() {
+		want[name] = legacy.Get(name)
+	}
+
+	// Opening with Shards > 0 migrates in place.
+	s, warns, err := store.Open(ctx, path, store.Options{Shards: 4})
+	if err != nil {
+		t.Fatalf("migrating open: %v", err)
+	}
+	if len(warns) != 1 || !contains(warns[0], "migrated single-file database") {
+		t.Fatalf("migration warnings = %v", warns)
+	}
+	if st := s.Stats(); st.Driver != "shard" || len(st.Shards) != 4 {
+		t.Fatalf("post-migration stats = %+v", st)
+	}
+
+	// Bit-identical profiles.
+	snap, err := s.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("migration changed profiles:\n  want %+v\n  got  %+v", want, snap)
+	}
+
+	// The original survives, byte-for-byte, as .pre-shard; the path is
+	// now a directory with a manifest.
+	backup, err := os.ReadFile(path + ".pre-shard")
+	if err != nil {
+		t.Fatalf("reading .pre-shard backup: %v", err)
+	}
+	if string(backup) != string(originalBytes) {
+		t.Fatal(".pre-shard backup differs from the original file")
+	}
+	if fi, err := os.Stat(path); err != nil || !fi.IsDir() {
+		t.Fatalf("migrated path is not a directory: %v, %v", fi, err)
+	}
+	if _, err := os.Stat(filepath.Join(path, store.ManifestName)); err != nil {
+		t.Fatalf("no manifest after migration: %v", err)
+	}
+
+	// A second open (no Shards hint) auto-detects the sharded store and
+	// sees the same data.
+	s2 := reopen(t, path)
+	snap2, err := s2.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("Snapshot after reopen: %v", err)
+	}
+	if !reflect.DeepEqual(snap2, want) {
+		t.Fatal("sharded store reopened with different profiles")
+	}
+
+	// Migration refuses to clobber an existing backup.
+	again := filepath.Join(t.TempDir(), "again.db")
+	if err := legacy.Save(again); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(again+".pre-shard", []byte("old backup"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Open(ctx, again, store.Options{Shards: 4}); err == nil || !contains(err.Error(), "pre-shard") {
+		t.Fatalf("migration over existing backup: %v, want refusal", err)
+	}
+}
+
+// TestOpenDetect covers the driver auto-detection matrix.
+func TestOpenDetect(t *testing.T) {
+	ctx := context.Background()
+
+	// Empty path: in-memory mem store.
+	s, _, err := store.Open(ctx, "", store.Options{})
+	if err != nil {
+		t.Fatalf("open(\"\"): %v", err)
+	}
+	if st := s.Stats(); st.Driver != "mem" || st.Persistent {
+		t.Fatalf("open(\"\") stats = %+v", st)
+	}
+
+	// Missing path, no shards: mem.
+	p1 := filepath.Join(t.TempDir(), "new.db")
+	s1, _, err := store.Open(ctx, p1, store.Options{})
+	if err != nil {
+		t.Fatalf("open(missing): %v", err)
+	}
+	if st := s1.Stats(); st.Driver != "mem" || !st.Persistent {
+		t.Fatalf("open(missing) stats = %+v", st)
+	}
+
+	// Missing path, shards requested: shard.
+	p2 := filepath.Join(t.TempDir(), "new.d")
+	s2, _, err := store.Open(ctx, p2, store.Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("open(missing, shards): %v", err)
+	}
+	if st := s2.Stats(); st.Driver != "shard" || len(st.Shards) != 2 {
+		t.Fatalf("open(missing, shards) stats = %+v", st)
+	}
+
+	// Unknown driver names the registered ones.
+	if _, _, err := store.Open(ctx, "", store.Options{Driver: "bogus"}); err == nil || !contains(err.Error(), "not linked in") {
+		t.Fatalf("open(bogus driver): %v", err)
+	}
+
+	// Registry lists both linked drivers.
+	if got := store.Drivers(); !reflect.DeepEqual(got, []string{"mem", "shard"}) {
+		t.Fatalf("Drivers() = %v", got)
+	}
+
+	// The concrete types actually implement the interface (compile-time
+	// check made explicit).
+	var _ store.Store = (*memstore.Store)(nil)
+	var _ store.Store = (*shardstore.Store)(nil)
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
