@@ -21,6 +21,12 @@
 #                 prediction and health reads while one shard's disk
 #                 fails — its breaker must open alone and the drain
 #                 must keep every healthy shard's profiles
+#   make soak-cluster  the replication convergence soak under the race
+#                 detector: a three-node in-process cluster under
+#                 concurrent ingest with one node crash-killed
+#                 mid-ingest and a partition that heals mid-run;
+#                 healthy nodes must serve with no 5xx and all nodes
+#                 must converge to bit-identical snapshots
 #   make fuzz     10s smoke of each native fuzz target (compiler,
 #                 assembler, profile DB decoder, run-cache decoder,
 #                 VM differential); longer runs: make fuzz FUZZTIME=5m
@@ -29,7 +35,10 @@
 #                 trajectory (one entry per build; see docs/PERF.md)
 #   make bench-server  cmd/loadgen drives a sharded branchprofd over
 #                 loopback — single vs batch vs streaming ingest — and
-#                 appends the result to the BENCH_SERVER.json trajectory
+#                 appends the result to the BENCH_SERVER.json trajectory;
+#                 a second pass runs the same workload hash-routed
+#                 across a replicated three-node cluster (-nodes 3), so
+#                 the trajectory also tracks replication's ingest cost
 #   make bench-smoke  one-iteration run of the interpreter benchmark,
 #                 part of `make verify` so the perf harness can't rot
 
@@ -38,9 +47,9 @@ FUZZTIME ?= 10s
 BENCHCOUNT ?= 3
 BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: verify test vet race chaos obs chaos-server soak fuzz bench bench-server bench-smoke
+.PHONY: verify test vet race chaos obs chaos-server soak soak-cluster fuzz bench bench-server bench-smoke
 
-verify: test vet race chaos obs chaos-server soak fuzz bench-smoke
+verify: test vet race chaos obs chaos-server soak soak-cluster fuzz bench-smoke
 
 test:
 	$(GO) build ./...
@@ -69,6 +78,9 @@ chaos-server:
 soak:
 	$(GO) test -race -count=1 -run 'TestSoak|TestDifferential' ./internal/server/ ./internal/store/...
 
+soak-cluster:
+	$(GO) test -race -count=2 -run 'TestSoakClusterConvergence|TestSync' ./internal/server/
+
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzCompile$$ -fuzztime $(FUZZTIME) ./internal/mfc/
 	$(GO) test -run xxx -fuzz FuzzAssemble -fuzztime $(FUZZTIME) ./internal/asm/
@@ -84,6 +96,8 @@ bench:
 bench-server:
 	$(GO) run ./cmd/loadgen -rounds $(BENCHCOUNT) \
 		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL) -o BENCH_SERVER.json
+	$(GO) run ./cmd/loadgen -rounds $(BENCHCOUNT) -nodes 3 \
+		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL)-routed3 -o BENCH_SERVER.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkVMInterpreter$$' -benchtime 1x .

@@ -8,6 +8,7 @@
 //
 //	branchprofd [-addr :8723] [-db profiles.json] [-shards N]
 //	            [-cache-dir DIR]
+//	            [-self ID] [-peers URL,URL,...] [-sync-interval D]
 //	            [-concurrency N] [-queue N] [-request-timeout D]
 //	            [-max-body N] [-max-fuel N] [-drain-timeout D]
 //	            [-breaker-threshold N] [-breaker-cooldown D]
@@ -20,6 +21,14 @@
 // already-sharded store remembers its own shard count; -shards then
 // has no effect.
 //
+// With -peers (a comma-separated list of the other nodes' base URLs)
+// the node joins a replication cluster: profiles ingested anywhere
+// reach every node by gossip anti-entropy, and each node serves
+// predictions from the cluster-wide merged view. -self names this
+// node — it must be stable across restarts and unique in the cluster
+// (persisted data is keyed by it). See docs/STORE.md for the
+// replication design and README.md for a three-node quickstart.
+//
 // The first SIGINT/SIGTERM starts a graceful drain: /readyz flips to
 // 503, queued requests are shed, in-flight requests complete, and the
 // process exits once the listener closes or -drain-timeout expires
@@ -31,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"branchprof/cmd/internal/cli"
@@ -51,10 +61,23 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "hard deadline for the SIGTERM graceful drain")
 		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive persistent-I/O failures that open the circuit breaker")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "time the circuit stays open before a half-open probe")
+		self         = flag.String("self", "", "this node's stable, cluster-unique ID (required with -peers; alone, enables the replication store layer without gossip)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of the other cluster nodes, e.g. http://10.0.0.2:8723,http://10.0.0.3:8723")
+		syncInterval = flag.Duration("sync-interval", 2*time.Second, "base gossip period between anti-entropy rounds (jittered ±20%)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		tool.Usage("branchprofd [flags]")
+	}
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) > 0 && *self == "" {
+		tool.Fatal(fmt.Errorf("-peers requires -self (a stable, cluster-unique node ID)"))
 	}
 
 	queueDepth := *queue
@@ -75,6 +98,9 @@ func main() {
 		MaxFuel:          *maxFuel,
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
+		SelfID:           *self,
+		Peers:            peerList,
+		SyncInterval:     *syncInterval,
 		Obs:              tool.Obs(),
 		OnDrained:        tool.Finish,
 	})

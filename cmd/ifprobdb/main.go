@@ -10,11 +10,20 @@
 // store. It does no measurement of its own, but carries the shared
 // tool flags so scripted pipelines can pass a uniform flag set to
 // every branchprof command.
+//
+// -verify is the odd one out: it audits instead of reading — every
+// argument store's files are re-read and their checksums and counter
+// invariants recomputed in place, one file at a time (a sharded store
+// reports shard by shard), with nothing merged into memory, so it
+// scales to stores far larger than RAM and never takes a write lock.
+// Exit status is non-zero when any file is corrupt.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"sort"
 
@@ -22,9 +31,52 @@ import (
 	"branchprof/internal/ifprob"
 	"branchprof/internal/store"
 
-	_ "branchprof/internal/store/memstore"   // linked driver: single-file stores
-	_ "branchprof/internal/store/shardstore" // linked driver: sharded store directories
+	_ "branchprof/internal/store/memstore" // linked driver: single-file stores
+
+	"branchprof/internal/store/shardstore" // linked driver + on-disk layout for -verify
 )
+
+// verifyStore audits one store argument file by file: a single-file
+// database is one report line, a sharded root gets one line per shard.
+// It returns (clean files, corrupt files); infrastructure errors (no
+// such path, unreadable manifest) are fatal — absence of evidence is
+// not a clean audit.
+func verifyStore(t *cli.Tool, path string) (clean, corrupt int) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := func(file string, n int, err error) {
+		switch {
+		case err == nil:
+			fmt.Printf("%-40s clean    %d profiles\n", file, n)
+			clean++
+		case errors.Is(err, fs.ErrNotExist):
+			// A shard nothing was ever saved to has no file: empty, not
+			// corrupt.
+			fmt.Printf("%-40s clean    empty (no file)\n", file)
+			clean++
+		default:
+			fmt.Printf("%-40s CORRUPT  %v\n", file, err)
+			corrupt++
+		}
+	}
+	if !fi.IsDir() {
+		n, err := ifprob.VerifyFile(path)
+		report(path, n, err)
+		return clean, corrupt
+	}
+	shards, err := shardstore.ManifestShards(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards; i++ {
+		file := shardstore.ShardFile(path, i)
+		n, err := ifprob.VerifyFile(file)
+		report(file, n, err)
+	}
+	return clean, corrupt
+}
 
 func main() {
 	t := cli.New("ifprobdb")
@@ -33,12 +85,27 @@ func main() {
 		dump   = flag.String("dump", "", "dump the named program's accumulated profile")
 		merge  = flag.String("merge", "", "merge all argument stores into the store at this path (accumulates into existing data)")
 		shards = flag.Int("shards", 0, "with -merge: shard count for a new sharded output store (migrates an existing single-file one)")
+		verify = flag.Bool("verify", false, "audit the store(s) in place: recompute every file's checksum and invariants, report per shard, exit non-zero on corruption")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		t.Usage("ifprobdb [-list] [-dump prog] [-merge out [-shards N]] store...")
+		t.Usage("ifprobdb [-list] [-dump prog] [-merge out [-shards N]] [-verify] store...")
 	}
 	ctx := t.Context()
+
+	if *verify {
+		var clean, corrupt int
+		for _, path := range flag.Args() {
+			c, b := verifyStore(t, path)
+			clean, corrupt = clean+c, corrupt+b
+		}
+		fmt.Fprintf(os.Stderr, "ifprobdb: verified %d files: %d clean, %d corrupt\n", clean+corrupt, clean, corrupt)
+		if corrupt > 0 {
+			t.Fatal(fmt.Errorf("%d corrupt files", corrupt))
+		}
+		t.Finish()
+		return
+	}
 
 	merged := ifprob.NewDB()
 	for _, path := range flag.Args() {

@@ -1,0 +1,164 @@
+package circuit
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These are property tests of the breaker under contention (run them
+// with -race): the automaton's guarantees must hold not just along the
+// sequential walk TestStateMachine takes but under any interleaving of
+// concurrent Allow/Record pairs.
+
+// TestConcurrentNeverTripsBelowThreshold: the breaker must never leave
+// Closed unless the failure threshold was actually reached. With fewer
+// than threshold failure Records in the entire run — against a storm
+// of concurrent successes — no interleaving can accumulate threshold
+// consecutive failures, so every Allow must say yes and the final
+// state must be Closed.
+func TestConcurrentNeverTripsBelowThreshold(t *testing.T) {
+	const threshold = 5
+	var nanos atomic.Int64 // frozen clock: an accidental Open would stick
+	now := func() time.Time { return time.Unix(0, nanos.Load()) }
+	b := New(threshold, time.Minute, now)
+
+	var denied atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if !b.Allow() {
+					denied.Add(1)
+					continue
+				}
+				b.Record(nil)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < threshold-1; i++ {
+			if b.Allow() {
+				b.Record(errDisk)
+			}
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	if n := denied.Load(); n != 0 {
+		t.Fatalf("breaker denied %d attempts though only %d failures (threshold %d) ever happened", n, threshold-1, threshold)
+	}
+	if st := b.State(); st != Closed {
+		t.Fatalf("breaker %v after sub-threshold failures, want closed", st)
+	}
+}
+
+// TestConcurrentSingleProbeAfterCooldown: once open, concurrent
+// callers racing the elapsed cooldown must win exactly one half-open
+// probe between Records — the breaker's reason to exist is collapsing
+// a thundering herd to one attempt.
+func TestConcurrentSingleProbeAfterCooldown(t *testing.T) {
+	const cooldown = time.Minute
+	var nanos atomic.Int64
+	now := func() time.Time { return time.Unix(0, nanos.Load()) }
+	b := New(1, cooldown, now)
+
+	b.Allow()
+	b.Record(errDisk) // threshold 1: open immediately
+	if st := b.State(); st != Open {
+		t.Fatalf("breaker %v after threshold failures, want open", st)
+	}
+
+	// Cooldown not elapsed: every concurrent attempt is denied.
+	var allowed atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				allowed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := allowed.Load(); n != 0 {
+		t.Fatalf("open breaker admitted %d attempts before cooldown", n)
+	}
+
+	// Cooldown elapsed: of 16 racing callers exactly one probes; the
+	// losers stay denied until that probe's outcome is recorded.
+	nanos.Add(int64(cooldown) + 1)
+	allowed.Store(0)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				allowed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := allowed.Load(); n != 1 {
+		t.Fatalf("half-open breaker admitted %d probes, want exactly 1", n)
+	}
+	b.Record(nil)
+	if st := b.State(); st != Closed {
+		t.Fatalf("breaker %v after successful probe, want closed", st)
+	}
+}
+
+// TestConcurrentChurnEndsConsistent: arbitrary concurrent mixes of
+// success and failure must leave the automaton in a legal state with
+// the probe flag released — no interleaving may wedge it where every
+// future Allow is denied despite a healthy dependency. The final
+// sequential success (possibly after one cooldown wait) must close it.
+func TestConcurrentChurnEndsConsistent(t *testing.T) {
+	const cooldown = time.Minute
+	var nanos atomic.Int64
+	now := func() time.Time { return time.Unix(0, nanos.Load()) }
+	b := New(3, cooldown, now)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if !b.Allow() {
+					continue
+				}
+				if (g+i)%3 == 0 {
+					b.Record(errDisk)
+				} else {
+					b.Record(nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if st := b.State(); st != Closed && st != Open && st != HalfOpen {
+		t.Fatalf("breaker in impossible state %d", st)
+	}
+	// Recovery path: at most one cooldown + probe away from Closed.
+	nanos.Add(int64(cooldown) + 1)
+	if !b.Allow() {
+		nanos.Add(int64(cooldown) + 1)
+		if !b.Allow() {
+			t.Fatalf("breaker wedged: no probe admitted after cooldown (state %v)", b.State())
+		}
+	}
+	b.Record(nil)
+	if st := b.State(); st != Closed || !b.Allow() {
+		t.Fatalf("breaker %v after successful probe, want closed and allowing", st)
+	}
+	b.Record(nil)
+}

@@ -37,11 +37,15 @@ const (
 	CacheWrite Stage = "cache-write"
 	DBSave     Stage = "db-save"
 	DBLoad     Stage = "db-load"
+	// PeerFetch is consulted before every anti-entropy HTTP exchange a
+	// branchprofd node makes with a peer (label = the peer's base URL).
+	// Error rules model a network partition, Delay rules a slow link.
+	PeerFetch Stage = "peer-fetch"
 )
 
 // Stages returns every instrumented stage, in pipeline order.
 func Stages() []Stage {
-	return []Stage{Compile, Run, Profile, CacheRead, CacheWrite, DBSave, DBLoad}
+	return []Stage{Compile, Run, Profile, CacheRead, CacheWrite, DBSave, DBLoad, PeerFetch}
 }
 
 // Kind classifies what an injector does when it fires.
@@ -83,8 +87,14 @@ type Rule struct {
 	// Kind is what happens when the rule fires.
 	Kind Kind
 	// Nth, when non-zero, fires only on the Nth matching call at the
-	// stage (1-based). Zero means every matching call (subject to Prob).
+	// stage (1-based). Zero means every matching call (subject to
+	// Through and Prob).
 	Nth uint64
+	// Through, when non-zero and Nth is zero, fires only on calls 1
+	// through Through (1-based, inclusive) — a fault window that heals
+	// deterministically, e.g. a network partition that lifts after the
+	// first N sync attempts.
+	Through uint64
 	// Label, when non-empty, requires the operation label to contain
 	// it as a substring (the engine labels operations "program/dataset").
 	Label string
@@ -168,6 +178,9 @@ func (s *Set) match(r *Rule, stage Stage, label string, n uint64) bool {
 	}
 	if r.Nth != 0 {
 		return r.Nth == n
+	}
+	if r.Through != 0 && n > r.Through {
+		return false
 	}
 	if r.Prob > 0 && r.Prob < 1 {
 		return s.rng.Float64() < r.Prob

@@ -154,3 +154,23 @@ func TestTornWriteDeterministicLength(t *testing.T) {
 		t.Fatalf("same seed tore %d then %d bytes", a, b)
 	}
 }
+
+func TestFaultThroughHealsDeterministically(t *testing.T) {
+	s := NewSet(1, Rule{Stage: PeerFetch, Kind: Error, Label: "node2", Through: 3})
+	for i := 1; i <= 6; i++ {
+		err := s.Fire(PeerFetch, "http://node2:1234")
+		if (err != nil) != (i <= 3) {
+			t.Fatalf("call %d: err = %v, want fault only through call 3", i, err)
+		}
+	}
+	if s.Fired(PeerFetch) != 3 || s.Calls(PeerFetch) != 6 {
+		t.Fatalf("fired=%d calls=%d", s.Fired(PeerFetch), s.Calls(PeerFetch))
+	}
+	// Nth wins over Through when both are set on one rule.
+	s2 := NewSet(1, Rule{Stage: DBLoad, Kind: Error, Nth: 2, Through: 5})
+	for i := 1; i <= 5; i++ {
+		if err := s2.Fire(DBLoad, "x"); (err != nil) != (i == 2) {
+			t.Fatalf("call %d: err = %v, want fault only on call 2", i, err)
+		}
+	}
+}

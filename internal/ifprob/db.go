@@ -57,6 +57,26 @@ func (db *DB) Add(p *Profile) error {
 	return cur.Merge(p)
 }
 
+// Put installs a copy of p under p.Program, replacing whatever was
+// accumulated there. Add is the accumulating path; Put exists for
+// callers that own the full replacement state — the replication
+// layer installing a peer's component wholesale.
+func (db *DB) Put(p *Profile) {
+	db.mu.Lock()
+	db.profiles[p.Program] = p.Clone()
+	db.mu.Unlock()
+}
+
+// Remove deletes program's accumulated profile, reporting whether it
+// was present.
+func (db *DB) Remove(program string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.profiles[program]
+	delete(db.profiles, program)
+	return ok
+}
+
 // Get returns a copy of the accumulated profile for program, or nil.
 func (db *DB) Get(program string) *Profile {
 	db.mu.Lock()
@@ -207,6 +227,23 @@ func LoadWith(path string, fs *faults.Set) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	profiles, err := decodeVerified(path, data)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDB()
+	for _, p := range profiles {
+		db.profiles[p.Program] = p
+	}
+	return db, nil
+}
+
+// decodeVerified decodes a database file's bytes and runs every
+// integrity check Load enforces: JSON shape, format version, payload
+// checksum, and per-profile counter consistency. Corruption wraps
+// ErrCorrupt; a version mismatch stays a plain error (an old-format
+// file is not corrupt).
+func decodeVerified(path string, data []byte) ([]*Profile, error) {
 	var f dbFile
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
@@ -223,7 +260,6 @@ func LoadWith(path string, fs *faults.Set) (*DB, error) {
 			return nil, fmt.Errorf("%w: %s: checksum mismatch (have %s, want %s)", ErrCorrupt, path, sum, f.Checksum)
 		}
 	}
-	db := NewDB()
 	for _, p := range f.Profiles {
 		if p == nil || p.Program == "" {
 			// A null entry (or one with no program name to key on) can
@@ -234,7 +270,25 @@ func LoadWith(path string, fs *faults.Set) (*DB, error) {
 		if err := p.CheckConsistent(); err != nil {
 			return nil, fmt.Errorf("%w: %s: inconsistent profile: %v", ErrCorrupt, path, err)
 		}
-		db.profiles[p.Program] = p
 	}
-	return db, nil
+	return f.Profiles, nil
+}
+
+// VerifyFile re-reads a database file and recomputes every integrity
+// check — checksum included — without building a DB, so an operator
+// can audit stores far larger than memory-merging them would allow
+// (ifprobdb -verify). It returns the number of profiles the file
+// holds; the error reports the first problem found (wrapping
+// ErrCorrupt for untrustworthy contents, passing fs.ErrNotExist
+// through for a missing file).
+func VerifyFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	profiles, err := decodeVerified(path, data)
+	if err != nil {
+		return 0, err
+	}
+	return len(profiles), nil
 }

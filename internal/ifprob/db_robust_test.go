@@ -212,6 +212,40 @@ func TestCorruptSaveLeavesNoTempDroppings(t *testing.T) {
 	}
 }
 
+// TestVerifyFile: the audit entry point agrees with Load on every
+// verdict — clean file with a count, ErrCorrupt on a flipped counter,
+// fs.ErrNotExist passed through — without building a DB.
+func TestVerifyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	saveDB(t, path)
+
+	n, err := VerifyFile(path)
+	if err != nil || n != 1 {
+		t.Fatalf("VerifyFile(clean) = %d, %v; want 1 profile", n, err)
+	}
+
+	if _, err := VerifyFile(filepath.Join(t.TempDir(), "absent.json")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("VerifyFile(missing) = %v, want fs.ErrNotExist", err)
+	}
+
+	// Flip one counter digit, keeping the JSON valid and the profile
+	// self-consistent: only the recomputed checksum can notice.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(data), "11110", "11111", 1)
+	if edited == string(data) {
+		t.Fatal("test edit found nothing to change")
+	}
+	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("VerifyFile(bit-flipped) = %v, want ErrCorrupt", err)
+	}
+}
+
 // TestCorruptNullProfileEntry is the regression test for a hardening
 // fix surfaced by FuzzDBLoad: a hand-edited or corrupted file whose
 // profile list contains null (or a profile with no program name) used

@@ -1,0 +1,68 @@
+// Package route is client-side request routing for a branchprofd
+// replication cluster: rendezvous (highest-random-weight) hashing over
+// the node list, so every client with the same list independently
+// sends a given profile key to the same node — keeping each key's
+// write stream on one "home" node (its component accumulates in one
+// place and gossip replication carries it everywhere) without any
+// coordination service.
+//
+// Rendezvous hashing is used instead of a ring because the node lists
+// here are small (a handful of replicas) and its failover property is
+// exactly what a retrying client wants: Order returns ALL nodes sorted
+// by preference for the key, and dropping the failed head reassigns
+// only that node's keys — every other key keeps its home.
+package route
+
+import "sort"
+
+// fnv64a hashes s with the 64-bit FNV-1a the sharded store also uses.
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// score is node's weight for key: the hash of the joined pair. The
+// NUL separator cannot appear in either (URLs and validated keys), so
+// distinct pairs never collide by concatenation.
+func score(node, key string) uint64 {
+	return fnv64a(node + "\x00" + key)
+}
+
+// Order returns nodes sorted by descending preference for key; the
+// first element is the key's home node, the rest the failover order.
+// Ties (only possible with duplicate node names) break lexically so
+// the order is total and identical on every client. The input slice
+// is not modified.
+func Order(nodes []string, key string) []string {
+	out := append([]string(nil), nodes...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score(out[i], key), score(out[j], key)
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Pick returns key's home node, or "" for an empty node list.
+func Pick(nodes []string, key string) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	best, bestScore := "", uint64(0)
+	for _, n := range nodes {
+		if s := score(n, key); best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,105 @@
+package route
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func nodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8723", i+1)
+	}
+	return out
+}
+
+func TestPickMatchesOrderHead(t *testing.T) {
+	ns := nodes(5)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("prog%02d@d%d", i%17, i%3)
+		ord := Order(ns, key)
+		if len(ord) != len(ns) {
+			t.Fatalf("Order returned %d nodes, want %d", len(ord), len(ns))
+		}
+		if got := Pick(ns, key); got != ord[0] {
+			t.Fatalf("Pick(%q) = %q, Order head = %q", key, got, ord[0])
+		}
+	}
+}
+
+func TestOrderDeterministicAndInputUntouched(t *testing.T) {
+	ns := nodes(4)
+	orig := append([]string(nil), ns...)
+	a := Order(ns, "p@d")
+	b := Order(ns, "p@d")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Order not deterministic: %v vs %v", a, b)
+	}
+	if !reflect.DeepEqual(ns, orig) {
+		t.Fatalf("Order mutated its input: %v", ns)
+	}
+}
+
+// TestFailoverStability is rendezvous hashing's point: removing one
+// node must reassign only that node's keys.
+func TestFailoverStability(t *testing.T) {
+	ns := nodes(4)
+	dead := ns[2]
+	var survivors []string
+	for _, n := range ns {
+		if n != dead {
+			survivors = append(survivors, n)
+		}
+	}
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("prog%03d@d%d", i, i%4)
+		before := Pick(ns, key)
+		after := Pick(survivors, key)
+		if before == dead {
+			// After losing its home, the key must land on the failover
+			// node Order predicted.
+			if want := Order(ns, key)[1]; after != want {
+				t.Fatalf("key %q: failover to %q, Order predicted %q", key, after, want)
+			}
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved from %q to %q though its home survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys homed on the removed node; test is vacuous")
+	}
+}
+
+// TestSpread sanity-checks the load balance: with many keys no node
+// should be wildly over- or under-loaded.
+func TestSpread(t *testing.T) {
+	ns := nodes(3)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[Pick(ns, fmt.Sprintf("prog%04d@d%d", i, i%5))]++
+	}
+	want := keys / len(ns)
+	for n, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("node %s got %d of %d keys (expected ≈%d)", n, c, keys, want)
+		}
+	}
+	if len(counts) != len(ns) {
+		t.Errorf("only %d of %d nodes received keys", len(counts), len(ns))
+	}
+}
+
+func TestEmptyNodes(t *testing.T) {
+	if got := Pick(nil, "k"); got != "" {
+		t.Errorf("Pick(nil) = %q, want empty", got)
+	}
+	if got := Order(nil, "k"); len(got) != 0 {
+		t.Errorf("Order(nil) = %v, want empty", got)
+	}
+}

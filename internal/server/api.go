@@ -466,6 +466,9 @@ type healthResponse struct {
 	CacheInvalid     uint64      `json:"cache_invalid"`
 	Programs         int         `json:"programs"`
 	Store            storeHealth `json:"store"`
+	// Repl reports the replication layer's per-peer health; absent on
+	// standalone nodes.
+	Repl *replHealth `json:"repl,omitempty"`
 }
 
 // handleHealthz reports liveness plus degradation detail. It always
@@ -501,6 +504,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		CacheInvalid:     st.DiskInvalid,
 		Programs:         ss.Keys,
 		Store:            sh,
+		Repl:             s.replHealthz(),
 	})
 }
 

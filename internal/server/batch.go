@@ -205,9 +205,21 @@ func (s *Server) handleProfileStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Interleaved request reads and response writes: without full
+	// duplex, HTTP/1 drains the remaining request body at the first
+	// response flush (keep-alive hygiene), deadlocking against a client
+	// that streams lines as it reads results. Unsupported transports
+	// (the in-process test recorder) still work half-duplex.
+	http.NewResponseController(w).EnableFullDuplex() //nolint:errcheck
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out before reading any input: a streaming
+		// client sees the 200 (and can start its response reader)
+		// as soon as the stream opens, not after its first line.
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
 	emit := func(v any) {
 		enc.Encode(v) //nolint:errcheck // client gone is not actionable

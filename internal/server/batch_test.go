@@ -3,11 +3,14 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestProfileBatch: a mixed batch fails per-entry, succeeds per-entry,
@@ -158,6 +161,89 @@ func TestProfileStream(t *testing.T) {
 	lines = streamLines(t, s, "\n\n")
 	if len(lines) != 1 || lines[0]["lines"] != float64(0) || lines[0]["persisted"] != false {
 		t.Fatalf("empty stream = %v", lines)
+	}
+}
+
+// TestProfileStreamClientDisconnect: a client that vanishes mid-stream
+// must not cost the profiles it already streamed — the handler's final
+// flush runs under context.WithoutCancel, so every accepted entry
+// reaches disk and no shard is left dirty.
+func TestProfileStreamClientDisconnect(t *testing.T) {
+	dbPath := t.TempDir() + "/profiles.d"
+	s := newTestServer(t, Options{Concurrency: 2, DBPath: dbPath, Shards: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/profile/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream = %d", resp.StatusCode)
+	}
+
+	// Stream two entries and wait for their acknowledgement lines: both
+	// are merged (and the shard dirty) before the disconnect.
+	lines := bufio.NewScanner(resp.Body)
+	for i, ds := range []string{"d1", "d2"} {
+		entry, err := json.Marshal(profileBody("count", ds, countSrc, "aaab"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pw.Write(append(entry, '\n')); err != nil {
+			t.Fatal(err)
+		}
+		if !lines.Scan() {
+			t.Fatalf("no response line for entry %d: %v", i, lines.Err())
+		}
+		var got batchEntry
+		if err := json.Unmarshal(lines.Bytes(), &got); err != nil {
+			t.Fatalf("undecodable line %q: %v", lines.Text(), err)
+		}
+		if got.Status != http.StatusOK {
+			t.Fatalf("entry %d = %+v, want 200", i, got)
+		}
+	}
+
+	// Drop the connection without finishing the stream: the request
+	// context the handler holds is cancelled from under it.
+	cancel()
+	pw.CloseWithError(context.Canceled) //nolint:errcheck // pipe close cannot fail
+
+	// The WithoutCancel final flush must still land both entries:
+	// every shard clean, both datasets durable on a fresh open.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		clean := true
+		for _, sh := range s.store.Stats().Shards {
+			if sh.Dirty {
+				clean = false
+			}
+		}
+		if clean {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shards still dirty after disconnect: %+v", s.store.Stats().Shards)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s2 := newTestServer(t, Options{Concurrency: 1, DBPath: dbPath})
+	var inv struct {
+		Programs []programInfo `json:"programs"`
+	}
+	doJSON(t, s2, "GET", "/v1/programs", nil, &inv)
+	if len(inv.Programs) != 1 || strings.Join(inv.Programs[0].Datasets, ",") != "d1,d2" {
+		t.Fatalf("profiles accepted before disconnect were lost: %+v", inv.Programs)
 	}
 }
 

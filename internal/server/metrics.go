@@ -26,6 +26,14 @@ type serverMetrics struct {
 	dbErrors  *obs.Counter
 	dbSkipped *obs.Counter
 
+	// Per-peer replication counters, keyed by peer base URL. The maps
+	// are written once at construction and read-only after; nil
+	// counters (no registry) ignore operations.
+	replSyncOK   map[string]*obs.Counter
+	replSyncErr  map[string]*obs.Counter
+	replSyncSkip map[string]*obs.Counter
+	replPulledC  map[string]*obs.Counter
+
 	latency *obs.Histogram
 
 	// lastEngineDiskErrs is the high-water mark of engine cache I/O
@@ -49,7 +57,11 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		dbSkipped:     reg.Counter(`branchprofd_db_save_total{result="skipped"}`, dbHelp),
 		latency: reg.Histogram("branchprofd_request_seconds",
 			"Request latency by route, admission wait included.", obs.DefLatencyBuckets),
-		requests: make(map[string]*obs.Counter),
+		requests:     make(map[string]*obs.Counter),
+		replSyncOK:   make(map[string]*obs.Counter),
+		replSyncErr:  make(map[string]*obs.Counter),
+		replSyncSkip: make(map[string]*obs.Counter),
+		replPulledC:  make(map[string]*obs.Counter),
 	}
 	reg.GaugeFunc("branchprofd_inflight", "Requests holding an execution slot.",
 		func() float64 { e, _ := s.gate.load(); return float64(e) })
@@ -65,7 +77,78 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			return 0
 		})
 	m.registerStoreGauges(s)
+	m.registerReplMetrics(s)
 	return m
+}
+
+// registerReplMetrics exposes the replication plane: per-peer sync
+// outcomes, components pulled, breaker state, and the hand-off backlog
+// owed to each peer. The peer set is fixed at startup, so registering
+// one series per peer is safe. No-op on standalone nodes.
+func (m *serverMetrics) registerReplMetrics(s *Server) {
+	if s.syncer == nil {
+		return
+	}
+	const syncHelp = "Peer anti-entropy rounds by outcome."
+	find := func(addr string) *syncPeer {
+		for _, p := range s.syncer.peers {
+			if p.addr == addr {
+				return p
+			}
+		}
+		return nil
+	}
+	for _, p := range s.syncer.peers {
+		addr := p.addr
+		m.replSyncOK[addr] = m.reg.Counter(
+			fmt.Sprintf(`branchprofd_repl_sync_total{peer=%q,result="ok"}`, addr), syncHelp)
+		m.replSyncErr[addr] = m.reg.Counter(
+			fmt.Sprintf(`branchprofd_repl_sync_total{peer=%q,result="error"}`, addr), syncHelp)
+		m.replSyncSkip[addr] = m.reg.Counter(
+			fmt.Sprintf(`branchprofd_repl_sync_total{peer=%q,result="skipped"}`, addr), syncHelp)
+		m.replPulledC[addr] = m.reg.Counter(
+			fmt.Sprintf(`branchprofd_repl_pulled_total{peer=%q}`, addr),
+			"Components applied from each peer.")
+		if m.reg != nil {
+			m.reg.GaugeFunc(fmt.Sprintf(`branchprofd_repl_breaker_open{peer=%q}`, addr),
+				"Per-peer sync circuit breaker: 0 closed, 1 open, 0.5 half-open.",
+				func() float64 {
+					if p := find(addr); p != nil {
+						return breakerValue(p.brk.State().String())
+					}
+					return 0
+				})
+			m.reg.GaugeFunc(fmt.Sprintf(`branchprofd_repl_pending{peer=%q}`, addr),
+				"Components this node holds that the peer lacked at last contact (hand-off backlog).",
+				func() float64 {
+					if p := find(addr); p != nil {
+						p.mu.Lock()
+						defer p.mu.Unlock()
+						return float64(p.pending)
+					}
+					return 0
+				})
+		}
+	}
+}
+
+// replSync records one finished peer round.
+func (m *serverMetrics) replSync(peer string, ok bool) {
+	if ok {
+		m.replSyncOK[peer].Inc()
+	} else {
+		m.replSyncErr[peer].Inc()
+	}
+}
+
+// replSkipped records a round skipped by the peer's open breaker.
+func (m *serverMetrics) replSkipped(peer string) { m.replSyncSkip[peer].Inc() }
+
+// replPulled records components applied from a peer.
+func (m *serverMetrics) replPulled(peer string, n int) {
+	if n > 0 {
+		m.replPulledC[peer].Add(uint64(n))
+	}
 }
 
 // breakerValue encodes a breaker state name as the conventional

@@ -51,6 +51,7 @@ import (
 	"branchprof/internal/faults"
 	"branchprof/internal/obs"
 	"branchprof/internal/store"
+	"branchprof/internal/store/replstore"
 
 	_ "branchprof/internal/store/memstore"   // linked store driver: "mem"
 	_ "branchprof/internal/store/shardstore" // linked store driver: "shard"
@@ -103,9 +104,29 @@ type Options struct {
 	// BreakerCooldown is how long the circuit stays open before a
 	// half-open probe; 0 means 5s.
 	BreakerCooldown time.Duration
+	// Peers lists the base URLs of the other branchprofd nodes in the
+	// replication cluster (e.g. "http://10.0.0.2:7070"). Non-empty
+	// turns on peer replication: the store is wrapped in
+	// internal/store/replstore, the /v1/sync endpoints open, and a
+	// gossip loop anti-entropy-syncs with every peer. Requires SelfID.
+	Peers []string
+	// SelfID is this node's stable, cluster-unique origin ID (persisted
+	// component keys embed it). Required when Peers is set; setting it
+	// alone enables the replication layer without a gossip loop (a
+	// single-node cluster peers can still pull from).
+	SelfID string
+	// SyncInterval is the base gossip period (jittered ±20% per round);
+	// 0 means 2s.
+	SyncInterval time.Duration
+	// SyncTimeout bounds one full peer exchange (digest + pulls);
+	// 0 means 5s.
+	SyncTimeout time.Duration
+	// SyncConcurrency bounds simultaneous peer syncs within a round;
+	// 0 means 4.
+	SyncConcurrency int
 	// Faults injects faults into the server's own persistence stages
-	// (chaos tests only; nil in production). The engine carries its
-	// own set.
+	// and peer-sync exchanges (chaos tests only; nil in production).
+	// The engine carries its own set.
 	Faults *faults.Set
 	// Obs supplies observability sinks (metrics registry, tracer,
 	// clock). Nil-safe throughout.
@@ -122,6 +143,8 @@ type Server struct {
 	eng     *engine.Engine
 	store   store.Store
 	guarded bool // the store isolates its own save failures (per-shard breakers)
+	repl    *replstore.Store // non-nil when peer replication is on
+	syncer  *syncer          // non-nil when Peers is non-empty
 	gate    *gate
 	breaker *circuit.Breaker
 	mux     *http.ServeMux
@@ -173,6 +196,18 @@ func New(opts Options) (*Server, Warnings, error) {
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = time.Second
 	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 2 * time.Second
+	}
+	if opts.SyncTimeout <= 0 {
+		opts.SyncTimeout = 5 * time.Second
+	}
+	if opts.SyncConcurrency <= 0 {
+		opts.SyncConcurrency = 4
+	}
+	if len(opts.Peers) > 0 && opts.SelfID == "" {
+		return nil, nil, errors.New("server: Peers requires SelfID (a stable, cluster-unique node ID)")
+	}
 	s := &Server{
 		opts:      opts,
 		eng:       eng,
@@ -194,6 +229,18 @@ func New(opts Options) (*Server, Warnings, error) {
 			return nil, warns, fmt.Errorf("server: opening profile store: %w", err)
 		}
 		s.store = st
+	}
+	if opts.SelfID != "" {
+		rs, w, err := replstore.Wrap(context.Background(), s.store, replstore.Config{Self: opts.SelfID})
+		warns = append(warns, w...)
+		if err != nil {
+			return nil, warns, fmt.Errorf("server: wrapping store for replication: %w", err)
+		}
+		s.repl = rs
+		s.store = rs
+		if len(opts.Peers) > 0 {
+			s.syncer = newSyncer(s, rs)
+		}
 	}
 	s.guarded = s.store.Stats().Guarded
 	s.m = newServerMetrics(eng.Registry(), s)
@@ -221,6 +268,13 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.Handle("/v1/profile/stream", s.instrument("profile_stream", s.admitted(s.handleProfileStream)))
 	mux.Handle("/v1/predict", s.instrument("predict", s.admitted(s.handlePredict)))
 	mux.Handle("/v1/programs", s.instrument("programs", http.HandlerFunc(s.handlePrograms)))
+	if s.repl != nil {
+		// The sync plane bypasses admission control like the health
+		// endpoints: anti-entropy must keep working while the compute
+		// plane is saturated, or overload would wedge convergence.
+		mux.Handle("/v1/sync/digest", s.instrument("sync_digest", http.HandlerFunc(s.handleSyncDigest)))
+		mux.Handle("/v1/sync/pull", s.instrument("sync_pull", http.HandlerFunc(s.handleSyncPull)))
+	}
 	mux.Handle("/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("/readyz", s.instrument("readyz", http.HandlerFunc(s.handleReadyz)))
 	if reg := s.eng.Registry(); reg != nil {
@@ -254,6 +308,9 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.httpMu.Unlock()
 	s.ready.Store(true)
 	go srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Drain/Close
+	if s.syncer != nil {
+		go s.syncer.run()
+	}
 	return lis.Addr().String(), nil
 }
 
@@ -286,6 +343,7 @@ func (s *Server) BeginDrain() {
 // runs last.
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
+	s.stopSync()
 	s.httpMu.Lock()
 	srv := s.http
 	s.httpMu.Unlock()
@@ -306,9 +364,28 @@ func (s *Server) Drain(ctx context.Context) error {
 	return err
 }
 
+// stopSync stops the gossip loop (if any) and waits for the in-flight
+// round, so shutdown's final save sees replication quiesced. Safe to
+// call when the loop never started (Listen not reached): syncer.run
+// exits on the closed stop channel whenever it would have begun.
+func (s *Server) stopSync() {
+	if s.syncer == nil {
+		return
+	}
+	s.httpMu.Lock()
+	started := s.lis != nil
+	s.httpMu.Unlock()
+	if started {
+		s.syncer.shutdown()
+	} else {
+		s.syncer.stopOnce.Do(func() { close(s.syncer.stop) })
+	}
+}
+
 // Close stops the server immediately (tests, fatal paths).
 func (s *Server) Close() error {
 	s.BeginDrain()
+	s.stopSync()
 	s.httpMu.Lock()
 	srv := s.http
 	s.httpMu.Unlock()
@@ -402,6 +479,21 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
 }
+
+// Flush forwards to the wrapped writer so streaming handlers (NDJSON
+// ingest) can push partial responses through the metrics wrapper —
+// without this the handler's Flusher assertion fails and a streaming
+// client sees nothing until the request ends.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// controller features the wrapper doesn't re-implement (full-duplex
+// streaming, deadlines) reach the real connection.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // saveDB persists the store (the shards owning keys, or everything
 // dirty when keys is empty) through the appropriate circuit breaker.

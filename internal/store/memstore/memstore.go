@@ -96,6 +96,31 @@ func (s *Store) Merge(ctx context.Context, p *ifprob.Profile) error {
 	return nil
 }
 
+// Put implements store.Store.
+func (s *Store) Put(ctx context.Context, p *ifprob.Profile) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.Put(p)
+	s.dirty = true
+	return nil
+}
+
+// Delete implements store.Store.
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.db.Remove(key) {
+		s.dirty = true
+	}
+	return nil
+}
+
 // Keys implements store.Store.
 func (s *Store) Keys(ctx context.Context) ([]string, error) {
 	if err := ctx.Err(); err != nil {

@@ -1,0 +1,638 @@
+// Package replstore is the peer-replication layer above the pluggable
+// profile store: it wraps any store.Store (in production the sharded
+// driver) and turns it into one replica of a branchprofd cluster that
+// converges by gossip anti-entropy, with no coordinator and no
+// cross-node locking.
+//
+// # Why components, not raw merges
+//
+// ifprob.Profile.Merge is commutative but NOT idempotent — counters
+// add. Gossiping full accumulated profiles between replicas would
+// double-count every round two nodes pulled each other's state
+// concurrently. replstore therefore keeps the classic state-based
+// counter-CRDT shape: every logical key ("program@dataset") is split
+// into per-origin components, one per cluster node. A node only ever
+// accumulates local ingest into its OWN component; peer components are
+// replicated wholesale (replaced, never added). Because an origin's
+// component only grows at the origin, any two copies of it are
+// snapshots of one monotone chain, and the newer one simply wins.
+//
+// The winner between two copies of the same (key, origin) component is
+// chosen by a deterministic total order — (score, content hash), where
+// score is the monotone Instrs+Executed sum — so every replica
+// comparing the same two candidates picks the same one. Component sets
+// therefore converge under anti-entropy, and the served view (the fold
+// of a key's components in sorted origin order via Profile.Merge) is a
+// deterministic function of the component set: once component sets
+// agree, every node's Snapshot is bit-identical.
+//
+// # Persistence
+//
+// Components live in the wrapped inner store under composite keys
+// "origin\x1fkey" (the unit separator cannot appear in validated
+// program/dataset names), so they inherit the inner driver's
+// durability machinery unchanged — per-shard flocks, checksummed
+// atomic saves, circuit breakers, quarantine. Plain (non-composite)
+// keys found at wrap time — a store that predates replication — are
+// adopted as this node's own component. See docs/STORE.md.
+package replstore
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/store"
+)
+
+// Sep separates the origin from the logical key in inner-store keys.
+// The unit separator is excluded from every validated name upstream,
+// so the split is unambiguous.
+const Sep = "\x1f"
+
+// maxOriginLen bounds origin IDs (node names travel in digests and
+// composite keys; a hostile peer must not inflate them).
+const maxOriginLen = 128
+
+// Meta is the digest entry for one component: enough to decide, without
+// transferring the profile, whether a peer's copy is newer.
+type Meta struct {
+	// Score is the monotone size of the component: Instrs plus the sum
+	// of per-site execution counts. A component only grows at its
+	// origin, so of two copies the one with the larger score is the
+	// later snapshot.
+	Score uint64 `json:"score"`
+	// Hash is the hex SHA-256 of the component profile's canonical
+	// encoding — the identity check, and the deterministic tiebreak.
+	Hash string `json:"hash"`
+}
+
+// beats reports whether a component with meta m should replace one
+// with meta o — the deterministic total order every replica applies.
+func (m Meta) beats(o Meta) bool {
+	if m.Score != o.Score {
+		return m.Score > o.Score
+	}
+	return m.Hash > o.Hash
+}
+
+// Digest is a replica's anti-entropy summary: logical key → origin →
+// component meta.
+type Digest map[string]map[string]Meta
+
+// Ref names one component.
+type Ref struct {
+	Key    string `json:"key"`
+	Origin string `json:"origin"`
+}
+
+// Component is one transferable unit of replicated state.
+type Component struct {
+	Key     string          `json:"key"`
+	Origin  string          `json:"origin"`
+	Profile *ifprob.Profile `json:"profile"`
+}
+
+// Config configures Wrap.
+type Config struct {
+	// Self is this node's origin ID. It must be stable across restarts
+	// (persisted component keys embed it) and unique in the cluster —
+	// two nodes sharing an origin would fight over one component and
+	// lose counts. Required.
+	Self string
+}
+
+// Store is one replica: a store.Store whose logical view is the fold
+// of per-origin components held in the wrapped inner store. Construct
+// with Wrap.
+type Store struct {
+	inner store.Store
+	self  string
+
+	mu     sync.Mutex
+	metas  map[string]map[string]Meta // logical key → origin → meta
+	merged map[string]*ifprob.Profile // fold cache, per logical key
+}
+
+// CheckOrigin validates an origin ID: non-empty, bounded, and free of
+// the separator.
+func CheckOrigin(origin string) error {
+	if origin == "" {
+		return errors.New("replstore: origin ID must not be empty")
+	}
+	if len(origin) > maxOriginLen {
+		return fmt.Errorf("replstore: origin ID exceeds %d bytes", maxOriginLen)
+	}
+	if strings.Contains(origin, Sep) {
+		return errors.New("replstore: origin ID must not contain the key separator")
+	}
+	return nil
+}
+
+// Wrap turns inner into a replica owned by cfg.Self. Existing plain
+// keys in inner (pre-replication data) are adopted as Self's own
+// component — merged into any existing Self component and deleted
+// under their plain name — and the adoption is flushed through
+// inner.Save so a crash cannot leave both forms. Warnings report the
+// adoption; the inner store's own open-time warnings are the caller's.
+func Wrap(ctx context.Context, inner store.Store, cfg Config) (*Store, []string, error) {
+	if err := CheckOrigin(cfg.Self); err != nil {
+		return nil, nil, err
+	}
+	s := &Store{
+		inner:  inner,
+		self:   cfg.Self,
+		metas:  make(map[string]map[string]Meta),
+		merged: make(map[string]*ifprob.Profile),
+	}
+	warns, err := s.rebuild(ctx)
+	if err != nil {
+		return nil, warns, err
+	}
+	return s, warns, nil
+}
+
+// Inner returns the wrapped store (operational tooling; the replica
+// remains the owner of its contents).
+func (s *Store) Inner() store.Store { return s.inner }
+
+// Self returns this replica's origin ID.
+func (s *Store) Self() string { return s.self }
+
+// rebuild scans the inner store, reconstructing the component index
+// and adopting plain pre-replication keys as Self components.
+func (s *Store) rebuild(ctx context.Context) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metas = make(map[string]map[string]Meta)
+	s.merged = make(map[string]*ifprob.Profile)
+	keys, err := s.inner.Keys(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var warns []string
+	adopted := 0
+	for _, k := range keys {
+		origin, key, composite := splitKey(k)
+		if !composite {
+			// Pre-replication data: fold it into Self's component.
+			p, err := s.inner.Get(ctx, k)
+			if err != nil {
+				return warns, err
+			}
+			if p == nil {
+				continue
+			}
+			composite := compositeKey(s.self, k)
+			own, err := s.inner.Get(ctx, composite)
+			if err != nil {
+				return warns, err
+			}
+			if own != nil {
+				p.Program = own.Program
+				if err := own.Merge(p); err != nil {
+					return warns, fmt.Errorf("replstore: adopting pre-replication key %q: %w", k, err)
+				}
+				p = own
+			} else {
+				p.Program = composite
+			}
+			if err := s.inner.Put(ctx, p); err != nil {
+				return warns, err
+			}
+			if err := s.inner.Delete(ctx, k); err != nil {
+				return warns, err
+			}
+			origin, key = s.self, k
+			adopted++
+		}
+		if err := s.refreshMetaLocked(ctx, key, origin); err != nil {
+			return warns, err
+		}
+	}
+	if adopted > 0 {
+		if err := s.inner.Save(ctx); err != nil {
+			return warns, fmt.Errorf("replstore: persisting adoption of %d pre-replication keys: %w", adopted, err)
+		}
+		warns = append(warns, fmt.Sprintf("adopted %d pre-replication keys as components of node %q", adopted, s.self))
+	}
+	return warns, nil
+}
+
+// refreshMetaLocked recomputes (key, origin)'s meta from the inner
+// store, dropping it when the component is gone. Callers hold s.mu.
+func (s *Store) refreshMetaLocked(ctx context.Context, key, origin string) error {
+	p, err := s.inner.Get(ctx, compositeKey(origin, key))
+	if err != nil {
+		return err
+	}
+	delete(s.merged, key)
+	if p == nil {
+		if m := s.metas[key]; m != nil {
+			delete(m, origin)
+			if len(m) == 0 {
+				delete(s.metas, key)
+			}
+		}
+		return nil
+	}
+	m := s.metas[key]
+	if m == nil {
+		m = make(map[string]Meta)
+		s.metas[key] = m
+	}
+	m[origin] = metaOf(p)
+	return nil
+}
+
+// metaOf computes a component profile's digest meta.
+func metaOf(p *ifprob.Profile) Meta {
+	return Meta{Score: score(p), Hash: contentHash(p)}
+}
+
+// score is the monotone size of a component. Every ingested run
+// contributes at least one instruction, so local accumulation strictly
+// increases it; the content-hash tiebreak keeps the order total even
+// if that assumption is ever violated.
+func score(p *ifprob.Profile) uint64 {
+	return p.Instrs + p.Executed()
+}
+
+// contentHash is the canonical identity of a component's counters.
+// The Program field is excluded: it is the composite storage key,
+// identical on every replica by construction but not part of the
+// replicated state.
+func contentHash(p *ifprob.Profile) string {
+	data, err := json.Marshal(struct {
+		Dataset string
+		Taken   []uint64
+		Total   []uint64
+		Instrs  uint64
+	}{p.Dataset, p.Taken, p.Total, p.Instrs})
+	if err != nil {
+		// Fixed-shape integers and strings cannot fail to marshal.
+		panic(fmt.Sprintf("replstore: hashing component: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// compositeKey builds the inner-store key of (origin, key).
+func compositeKey(origin, key string) string { return origin + Sep + key }
+
+// splitKey undoes compositeKey; composite is false for plain keys.
+func splitKey(k string) (origin, key string, composite bool) {
+	if i := strings.Index(k, Sep); i >= 0 {
+		return k[:i], k[i+1:], true
+	}
+	return "", k, false
+}
+
+// foldLocked builds (and caches) the served view of key: its
+// components merged in sorted origin order. The fold order is fixed,
+// so every replica holding the same component set produces the
+// byte-identical merged profile. Callers hold s.mu.
+func (s *Store) foldLocked(ctx context.Context, key string) (*ifprob.Profile, error) {
+	if p, ok := s.merged[key]; ok {
+		return p, nil
+	}
+	m := s.metas[key]
+	if len(m) == 0 {
+		return nil, nil
+	}
+	origins := make([]string, 0, len(m))
+	for o := range m {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	var acc *ifprob.Profile
+	for _, o := range origins {
+		p, err := s.inner.Get(ctx, compositeKey(o, key))
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue // raced away; the index catches up on next write
+		}
+		p.Program = key
+		if acc == nil {
+			acc = p
+			continue
+		}
+		if err := acc.Merge(p); err != nil {
+			// Components of one key disagree on shape (the same program
+			// name profiled from different compilations on different
+			// nodes). Serve the fold so far; the conflict surfaces when
+			// the client's own ingest hits ErrConflict.
+			return nil, fmt.Errorf("%w: components of %q diverge across nodes: %v", store.ErrConflict, key, err)
+		}
+	}
+	s.merged[key] = acc
+	return acc, nil
+}
+
+// Get implements store.Store: the folded view of key.
+func (s *Store) Get(ctx context.Context, key string) (*ifprob.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.foldLocked(ctx, key)
+	if err != nil || p == nil {
+		return nil, err
+	}
+	return p.Clone(), nil
+}
+
+// Merge implements store.Store: local ingest accumulates into Self's
+// component only — the one component this replica is authoritative
+// for, and the only one it ever advertises as its own.
+func (s *Store) Merge(ctx context.Context, p *ifprob.Profile) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	key := p.Program
+	q := p.Clone()
+	q.Program = compositeKey(s.self, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkShapeLocked(ctx, key, q); err != nil {
+		return err
+	}
+	if err := s.inner.Merge(ctx, q); err != nil {
+		return err
+	}
+	return s.refreshMetaLocked(ctx, key, s.self)
+}
+
+// checkShapeLocked rejects a local ingest whose site count conflicts
+// with any existing component of key. The inner store would only
+// catch a conflict against Self's own component; without this, two
+// compilations of one program could live in different origins'
+// components and poison every fold.
+func (s *Store) checkShapeLocked(ctx context.Context, key string, p *ifprob.Profile) error {
+	for origin := range s.metas[key] {
+		cur, err := s.inner.Get(ctx, compositeKey(origin, key))
+		if err != nil {
+			return err
+		}
+		if cur != nil && cur.Sites() != p.Sites() {
+			return fmt.Errorf("%w: %q has %d sites on node %q, incoming profile has %d",
+				store.ErrConflict, key, cur.Sites(), origin, p.Sites())
+		}
+	}
+	return nil
+}
+
+// Put implements store.Store: replace Self's component for p.Program
+// wholesale. Other nodes' components are untouched (they are theirs).
+func (s *Store) Put(ctx context.Context, p *ifprob.Profile) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	key := p.Program
+	q := p.Clone()
+	q.Program = compositeKey(s.self, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.inner.Put(ctx, q); err != nil {
+		return err
+	}
+	return s.refreshMetaLocked(ctx, key, s.self)
+}
+
+// Delete implements store.Store: drop every origin's component of key
+// on THIS replica. Deletion is not replicated — there are no
+// tombstones, so anti-entropy resurrects the key from any peer still
+// holding it. Delete is a local operational tool, not a cluster one.
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for origin := range s.metas[key] {
+		if err := s.inner.Delete(ctx, compositeKey(origin, key)); err != nil {
+			return err
+		}
+	}
+	delete(s.metas, key)
+	delete(s.merged, key)
+	return nil
+}
+
+// Keys implements store.Store: the logical keys, sorted.
+func (s *Store) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.metas))
+	for k := range s.metas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Snapshot implements store.Store: every logical key's folded view.
+// Because the fold is deterministic, replicas with equal component
+// sets return byte-identical snapshots — the convergence contract the
+// cluster soak asserts.
+func (s *Store) Snapshot(ctx context.Context) (map[string]*ifprob.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*ifprob.Profile, len(s.metas))
+	for key := range s.metas {
+		p, err := s.foldLocked(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			out[key] = p.Clone()
+		}
+	}
+	return out, nil
+}
+
+// Load implements store.Store: reload the inner store from disk and
+// rebuild the component index from what it now holds.
+func (s *Store) Load(ctx context.Context) error {
+	if err := s.inner.Load(ctx); err != nil {
+		return err
+	}
+	_, err := s.rebuild(ctx)
+	return err
+}
+
+// Save implements store.Store, translating logical keys to the
+// composite keys of every component they own so the inner driver's
+// key→shard selection keeps working.
+func (s *Store) Save(ctx context.Context, keys ...string) error {
+	if len(keys) == 0 {
+		return s.inner.Save(ctx)
+	}
+	s.mu.Lock()
+	var inner []string
+	for _, key := range keys {
+		for origin := range s.metas[key] {
+			inner = append(inner, compositeKey(origin, key))
+		}
+	}
+	s.mu.Unlock()
+	if len(inner) == 0 {
+		return nil
+	}
+	return s.inner.Save(ctx, inner...)
+}
+
+// Close implements store.Store.
+func (s *Store) Close(ctx context.Context) error { return s.inner.Close(ctx) }
+
+// Stats implements store.Store: the inner driver's persistence health
+// with the replica's logical shape on top.
+func (s *Store) Stats() store.Stats {
+	st := s.inner.Stats()
+	st.Driver = "repl+" + st.Driver
+	s.mu.Lock()
+	st.Keys = len(s.metas)
+	s.mu.Unlock()
+	return st
+}
+
+// Digest returns this replica's anti-entropy summary. The copy is
+// deep; callers may serve it concurrently with writes.
+func (s *Store) Digest() Digest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := make(Digest, len(s.metas))
+	for key, m := range s.metas {
+		dm := make(map[string]Meta, len(m))
+		for o, meta := range m {
+			dm[o] = meta
+		}
+		d[key] = dm
+	}
+	return d
+}
+
+// Diff compares a peer's digest against local state and returns the
+// refs this replica should pull: components the peer holds that are
+// missing here or beat the local copy. Components the peer advertises
+// under THIS node's own origin are never pulled — a replica is
+// authoritative for its own component, and any remote copy of it is a
+// stale snapshot.
+func (s *Store) Diff(peer Digest) []Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var refs []Ref
+	for key, theirs := range peer {
+		mine := s.metas[key]
+		for origin, meta := range theirs {
+			if origin == s.self {
+				continue
+			}
+			if local, ok := mine[origin]; !ok || meta.beats(local) {
+				refs = append(refs, Ref{Key: key, Origin: origin})
+			}
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Key != refs[j].Key {
+			return refs[i].Key < refs[j].Key
+		}
+		return refs[i].Origin < refs[j].Origin
+	})
+	return refs
+}
+
+// Owed is the reverse diff: the components this replica holds that the
+// peer's digest is missing or behind on — the hand-off backlog the
+// peer will pull (from us or another replica that has them) once it
+// can. Exposed per peer as gauge + health detail.
+func (s *Store) Owed(peer Digest) []Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var refs []Ref
+	for key, mine := range s.metas {
+		theirs := peer[key]
+		for origin, meta := range mine {
+			if remote, ok := theirs[origin]; !ok || meta.beats(remote) {
+				refs = append(refs, Ref{Key: key, Origin: origin})
+			}
+		}
+	}
+	return refs
+}
+
+// Fetch returns the named components' current state. Unknown refs are
+// skipped — the caller's digest was a moment ago, keys move on.
+func (s *Store) Fetch(ctx context.Context, refs []Ref) ([]Component, error) {
+	out := make([]Component, 0, len(refs))
+	for _, ref := range refs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p, err := s.inner.Get(ctx, compositeKey(ref.Origin, ref.Key))
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue
+		}
+		out = append(out, Component{Key: ref.Key, Origin: ref.Origin, Profile: p})
+	}
+	return out, nil
+}
+
+// Apply installs a component pulled from a peer, if it wins against
+// the local copy under the deterministic order. It reports whether the
+// component was installed (callers save the touched key when so).
+// Components claiming this node's own origin are rejected outright.
+func (s *Store) Apply(ctx context.Context, c Component) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if err := CheckOrigin(c.Origin); err != nil {
+		return false, err
+	}
+	if c.Origin == s.self {
+		return false, fmt.Errorf("replstore: peer offered a component claiming to be ours (origin %q)", c.Origin)
+	}
+	if c.Profile == nil {
+		return false, errors.New("replstore: component has no profile")
+	}
+	if c.Key == "" || strings.Contains(c.Key, Sep) {
+		return false, fmt.Errorf("replstore: invalid component key %q", c.Key)
+	}
+	if err := c.Profile.CheckConsistent(); err != nil {
+		return false, fmt.Errorf("replstore: inconsistent component from peer: %w", err)
+	}
+	incoming := metaOf(c.Profile)
+	p := c.Profile.Clone()
+	p.Program = compositeKey(c.Origin, c.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if local, ok := s.metas[c.Key][c.Origin]; ok && !incoming.beats(local) {
+		return false, nil
+	}
+	if err := s.inner.Put(ctx, p); err != nil {
+		return false, err
+	}
+	if err := s.refreshMetaLocked(ctx, c.Key, c.Origin); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,409 @@
+package replstore_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"branchprof/internal/ifprob"
+	"branchprof/internal/store"
+	_ "branchprof/internal/store/memstore"
+	"branchprof/internal/store/replstore"
+	_ "branchprof/internal/store/shardstore"
+)
+
+func mkProfile(key, dataset string, taken, total []uint64) *ifprob.Profile {
+	return &ifprob.Profile{
+		Program: key,
+		Dataset: dataset,
+		Taken:   append([]uint64(nil), taken...),
+		Total:   append([]uint64(nil), total...),
+		Instrs:  100,
+	}
+}
+
+// node is one in-process replica for unit tests.
+type node struct {
+	id string
+	rs *replstore.Store
+}
+
+func newNode(t *testing.T, id string) *node {
+	t.Helper()
+	ctx := context.Background()
+	inner, _, err := store.Open(ctx, "", store.Options{})
+	if err != nil {
+		t.Fatalf("open inner: %v", err)
+	}
+	rs, _, err := replstore.Wrap(ctx, inner, replstore.Config{Self: id})
+	if err != nil {
+		t.Fatalf("wrap %s: %v", id, err)
+	}
+	t.Cleanup(func() { rs.Close(ctx) })
+	return &node{id: id, rs: rs}
+}
+
+// pullFrom runs one anti-entropy pull: n pulls from peer whatever the
+// peer's digest says n is missing or behind on. Returns components applied.
+func (n *node) pullFrom(t *testing.T, peer *node) int {
+	t.Helper()
+	ctx := context.Background()
+	refs := n.rs.Diff(peer.rs.Digest())
+	comps, err := peer.rs.Fetch(ctx, refs)
+	if err != nil {
+		t.Fatalf("%s fetch from %s: %v", n.id, peer.id, err)
+	}
+	applied := 0
+	for _, c := range comps {
+		ok, err := n.rs.Apply(ctx, c)
+		if err != nil {
+			t.Fatalf("%s apply from %s: %v", n.id, peer.id, err)
+		}
+		if ok {
+			applied++
+		}
+	}
+	return applied
+}
+
+func syncAll(t *testing.T, nodes ...*node) {
+	t.Helper()
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				a.pullFrom(t, b)
+			}
+		}
+	}
+}
+
+func snapshotsEqual(t *testing.T, nodes ...*node) {
+	t.Helper()
+	ctx := context.Background()
+	base, err := nodes[0].rs.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("snapshot %s: %v", nodes[0].id, err)
+	}
+	for _, n := range nodes[1:] {
+		snap, err := n.rs.Snapshot(ctx)
+		if err != nil {
+			t.Fatalf("snapshot %s: %v", n.id, err)
+		}
+		if !reflect.DeepEqual(base, snap) {
+			t.Fatalf("snapshots diverge between %s and %s:\n%v\nvs\n%v",
+				nodes[0].id, n.id, base, snap)
+		}
+	}
+}
+
+func TestWrapRejectsBadOrigin(t *testing.T) {
+	ctx := context.Background()
+	for _, id := range []string{"", "a" + replstore.Sep + "b", strings.Repeat("x", 300)} {
+		inner, _, err := store.Open(ctx, "", store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := replstore.Wrap(ctx, inner, replstore.Config{Self: id}); err == nil {
+			t.Errorf("Wrap accepted origin %q", id)
+		}
+	}
+}
+
+func TestMergeAndGetRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	n := newNode(t, "node1")
+	if err := n.rs.Merge(ctx, mkProfile("p@d", "d", []uint64{3, 0}, []uint64{5, 2})); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := n.rs.Merge(ctx, mkProfile("p@d", "d", []uint64{1, 1}, []uint64{2, 2})); err != nil {
+		t.Fatalf("merge 2: %v", err)
+	}
+	got, err := n.rs.Get(ctx, "p@d")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if got.Program != "p@d" {
+		t.Errorf("Program = %q, want logical key", got.Program)
+	}
+	if want := []uint64{4, 1}; !reflect.DeepEqual(got.Taken, want) {
+		t.Errorf("Taken = %v, want %v", got.Taken, want)
+	}
+	if got.Instrs != 200 {
+		t.Errorf("Instrs = %d, want 200", got.Instrs)
+	}
+	keys, err := n.rs.Keys(ctx)
+	if err != nil || !reflect.DeepEqual(keys, []string{"p@d"}) {
+		t.Errorf("Keys = %v, %v; want [p@d]", keys, err)
+	}
+	if st := n.rs.Stats(); st.Keys != 1 || !strings.HasPrefix(st.Driver, "repl+") {
+		t.Errorf("Stats = %+v; want 1 key, repl+ driver", st)
+	}
+}
+
+func TestShapeConflictAcrossOrigins(t *testing.T) {
+	ctx := context.Background()
+	a, b := newNode(t, "a"), newNode(t, "b")
+	if err := a.rs.Merge(ctx, mkProfile("p@d", "d", []uint64{1}, []uint64{1})); err != nil {
+		t.Fatal(err)
+	}
+	b.pullFrom(t, a)
+	// b now holds a's component with 1 site; a 2-site local ingest of the
+	// same key must be rejected even though b has no own component yet.
+	err := b.rs.Merge(ctx, mkProfile("p@d", "d", []uint64{1, 0}, []uint64{1, 1}))
+	if !errors.Is(err, store.ErrConflict) {
+		t.Fatalf("cross-origin shape conflict: err = %v, want ErrConflict", err)
+	}
+}
+
+// TestConvergenceNoDoubleCount is the heart of the design: repeated,
+// overlapping, bidirectional syncs must converge to bit-identical
+// snapshots with every counter equal to the sum of unique local
+// ingests — anti-entropy over components must not double-count the
+// way naive profile re-merging would.
+func TestConvergenceNoDoubleCount(t *testing.T) {
+	ctx := context.Background()
+	a, b, c := newNode(t, "a"), newNode(t, "b"), newNode(t, "c")
+	nodes := []*node{a, b, c}
+
+	// Each node ingests twice into the same key, interleaved with syncs
+	// (so components replicate at several intermediate states).
+	for round := 0; round < 2; round++ {
+		for _, n := range nodes {
+			if err := n.rs.Merge(ctx, mkProfile("p@d", "d", []uint64{1, 2}, []uint64{3, 4})); err != nil {
+				t.Fatalf("%s merge: %v", n.id, err)
+			}
+		}
+		syncAll(t, nodes...)
+		syncAll(t, nodes...) // resync of already-converged state must be harmless
+	}
+	snapshotsEqual(t, nodes...)
+
+	got, err := a.rs.Get(ctx, "p@d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 ingests total: 3 nodes × 2 rounds.
+	if want := []uint64{6, 12}; !reflect.DeepEqual(got.Taken, want) {
+		t.Errorf("Taken = %v, want %v (double-counted?)", got.Taken, want)
+	}
+	if want := []uint64{18, 24}; !reflect.DeepEqual(got.Total, want) {
+		t.Errorf("Total = %v, want %v (double-counted?)", got.Total, want)
+	}
+	if got.Instrs != 600 {
+		t.Errorf("Instrs = %d, want 600", got.Instrs)
+	}
+
+	// Convergence must be a fixed point: further syncs apply nothing.
+	for _, x := range nodes {
+		for _, y := range nodes {
+			if x != y {
+				if n := x.pullFrom(t, y); n != 0 {
+					t.Errorf("converged %s still pulled %d components from %s", x.id, n, y.id)
+				}
+			}
+		}
+	}
+}
+
+func TestStaleComponentLoses(t *testing.T) {
+	ctx := context.Background()
+	a, b := newNode(t, "a"), newNode(t, "b")
+	if err := a.rs.Merge(ctx, mkProfile("p@d", "d", []uint64{1}, []uint64{2})); err != nil {
+		t.Fatal(err)
+	}
+	// b captures a's component now...
+	stale, err := a.rs.Fetch(ctx, []replstore.Ref{{Key: "p@d", Origin: "a"}})
+	if err != nil || len(stale) != 1 {
+		t.Fatalf("fetch: %v (%d comps)", err, len(stale))
+	}
+	b.pullFrom(t, a)
+	// ...a moves on...
+	if err := a.rs.Merge(ctx, mkProfile("p@d", "d", []uint64{1}, []uint64{2})); err != nil {
+		t.Fatal(err)
+	}
+	b.pullFrom(t, a)
+	// ...and a replay of the stale snapshot must not roll b back.
+	ok, err := b.rs.Apply(ctx, stale[0])
+	if err != nil {
+		t.Fatalf("apply stale: %v", err)
+	}
+	if ok {
+		t.Fatal("stale component replaced a newer copy")
+	}
+	got, err := b.rs.Get(ctx, "p@d")
+	if err != nil || got.Total[0] != 4 {
+		t.Fatalf("after stale replay: Total = %v, err %v; want [4]", got, err)
+	}
+}
+
+func TestApplyRejectsBadComponents(t *testing.T) {
+	ctx := context.Background()
+	n := newNode(t, "a")
+	good := mkProfile("p@d", "d", []uint64{1}, []uint64{2})
+	cases := []struct {
+		name string
+		c    replstore.Component
+	}{
+		{"self origin", replstore.Component{Key: "p@d", Origin: "a", Profile: good}},
+		{"empty origin", replstore.Component{Key: "p@d", Origin: "", Profile: good}},
+		{"separator in origin", replstore.Component{Key: "p@d", Origin: "x" + replstore.Sep, Profile: good}},
+		{"nil profile", replstore.Component{Key: "p@d", Origin: "b"}},
+		{"empty key", replstore.Component{Key: "", Origin: "b", Profile: good}},
+		{"separator in key", replstore.Component{Key: "p" + replstore.Sep + "q", Origin: "b", Profile: good}},
+		{"inconsistent profile", replstore.Component{Key: "p@d", Origin: "b",
+			Profile: mkProfile("p@d", "d", []uint64{5}, []uint64{2})}},
+	}
+	for _, tc := range cases {
+		if ok, err := n.rs.Apply(ctx, tc.c); err == nil {
+			t.Errorf("%s: Apply accepted (ok=%v)", tc.name, ok)
+		}
+	}
+	if keys, _ := n.rs.Keys(ctx); len(keys) != 0 {
+		t.Errorf("rejected components left state behind: %v", keys)
+	}
+}
+
+func TestDeleteIsLocalAndResurrects(t *testing.T) {
+	ctx := context.Background()
+	a, b := newNode(t, "a"), newNode(t, "b")
+	if err := a.rs.Merge(ctx, mkProfile("p@d", "d", []uint64{1}, []uint64{2})); err != nil {
+		t.Fatal(err)
+	}
+	b.pullFrom(t, a)
+	if err := b.rs.Delete(ctx, "p@d"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.rs.Get(ctx, "p@d"); err != nil || got != nil {
+		t.Fatalf("after delete: %v, %v; want nil", got, err)
+	}
+	// No tombstones: the next pull resurrects the key from a.
+	b.pullFrom(t, a)
+	if got, err := b.rs.Get(ctx, "p@d"); err != nil || got == nil {
+		t.Fatalf("after resync: %v, %v; want profile back", got, err)
+	}
+}
+
+func TestOwedCountsHandoffBacklog(t *testing.T) {
+	ctx := context.Background()
+	a, b := newNode(t, "a"), newNode(t, "b")
+	if err := a.rs.Merge(ctx, mkProfile("p@d", "d", []uint64{1}, []uint64{2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.rs.Merge(ctx, mkProfile("q@d", "d", []uint64{1}, []uint64{2})); err != nil {
+		t.Fatal(err)
+	}
+	if owed := a.rs.Owed(b.rs.Digest()); len(owed) != 2 {
+		t.Fatalf("Owed before sync = %v, want 2 refs", owed)
+	}
+	b.pullFrom(t, a)
+	if owed := a.rs.Owed(b.rs.Digest()); len(owed) != 0 {
+		t.Fatalf("Owed after sync = %v, want none", owed)
+	}
+}
+
+// TestWrapAdoptsPlainKeys verifies a pre-replication store's plain keys
+// become this node's own components, once, durably.
+func TestWrapAdoptsPlainKeys(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "db.json")
+	inner, _, err := store.Open(ctx, path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Merge(ctx, mkProfile("old@d", "d", []uint64{7}, []uint64{9})); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Save(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, warns, err := replstore.Wrap(ctx, inner, replstore.Config{Self: "node1"})
+	if err != nil {
+		t.Fatalf("wrap: %v", err)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "adopted 1 pre-replication") {
+		t.Errorf("warnings = %v, want adoption notice", warns)
+	}
+	got, err := rs.Get(ctx, "old@d")
+	if err != nil || got == nil || got.Total[0] != 9 {
+		t.Fatalf("adopted key: %v, %v", got, err)
+	}
+	d := rs.Digest()
+	if _, ok := d["old@d"]["node1"]; !ok {
+		t.Fatalf("digest = %v, want old@d owned by node1", d)
+	}
+	if err := rs.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: adoption persisted, no plain key left, no re-adoption.
+	inner2, _, err := store.Open(ctx, path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, warns2, err := replstore.Wrap(ctx, inner2, replstore.Config{Self: "node1"})
+	if err != nil {
+		t.Fatalf("rewrap: %v", err)
+	}
+	defer rs2.Close(ctx)
+	if len(warns2) != 0 {
+		t.Errorf("second wrap warnings = %v, want none (adoption should be durable)", warns2)
+	}
+	got2, err := rs2.Get(ctx, "old@d")
+	if err != nil || got2 == nil || got2.Total[0] != 9 {
+		t.Fatalf("after reopen: %v, %v", got2, err)
+	}
+}
+
+// TestShardedPersistenceRoundTrip runs a replica over the sharded
+// driver, replicates a peer component in, saves by logical key, and
+// reopens — both own and remote components must survive.
+func TestShardedPersistenceRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir := filepath.Join(t.TempDir(), "store")
+	open := func() *replstore.Store {
+		inner, _, err := store.Open(ctx, dir, store.Options{Shards: 4})
+		if err != nil {
+			t.Fatalf("open sharded: %v", err)
+		}
+		rs, _, err := replstore.Wrap(ctx, inner, replstore.Config{Self: "a"})
+		if err != nil {
+			t.Fatalf("wrap: %v", err)
+		}
+		return rs
+	}
+
+	rs := open()
+	if err := rs.Merge(ctx, mkProfile("p@d", "d", []uint64{1}, []uint64{2})); err != nil {
+		t.Fatal(err)
+	}
+	remote := replstore.Component{Key: "p@d", Origin: "b",
+		Profile: mkProfile("p@d", "d", []uint64{4}, []uint64{8})}
+	if ok, err := rs.Apply(ctx, remote); err != nil || !ok {
+		t.Fatalf("apply remote: ok=%v err=%v", ok, err)
+	}
+	// Save by logical key: must cover BOTH origins' composite keys.
+	if err := rs.Save(ctx, "p@d"); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := rs.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rs2 := open()
+	defer rs2.Close(ctx)
+	got, err := rs2.Get(ctx, "p@d")
+	if err != nil || got == nil {
+		t.Fatalf("get after reopen: %v, %v", got, err)
+	}
+	if got.Total[0] != 10 || got.Taken[0] != 5 {
+		t.Errorf("folded after reopen = taken %v total %v, want 5/10", got.Taken, got.Total)
+	}
+	d := rs2.Digest()
+	if len(d["p@d"]) != 2 {
+		t.Errorf("digest after reopen = %v, want components for a and b", d)
+	}
+}

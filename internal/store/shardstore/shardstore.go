@@ -175,6 +175,35 @@ func Open(ctx context.Context, path string, opts store.Options) (*Store, []strin
 	return s, warns, nil
 }
 
+// ManifestShards reads the shard count pinned in root's manifest
+// without creating, migrating, or locking anything — the read-only
+// entry point offline audit tools (ifprobdb -verify) use to walk a
+// store they must not mutate.
+func ManifestShards(root string) (int, error) {
+	mpath := filepath.Join(root, store.ManifestName)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		return 0, fmt.Errorf("shardstore: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("shardstore: manifest %s: %w", mpath, err)
+	}
+	if m.Version != manifestVersion {
+		return 0, fmt.Errorf("shardstore: manifest %s has version %d, want %d", mpath, m.Version, manifestVersion)
+	}
+	if m.Shards < 1 || m.Shards > maxShards {
+		return 0, fmt.Errorf("shardstore: manifest %s is out of range (%d shards)", mpath, m.Shards)
+	}
+	return m.Shards, nil
+}
+
+// ShardFile returns shard i's profiles file under root — the on-disk
+// layout contract, exported for the same audit tools.
+func ShardFile(root string, i int) string {
+	return filepath.Join(root, shardName(i), shardFileName)
+}
+
 // loadOrInitManifest reads the root manifest, writing a fresh one for
 // a new (empty-of-manifest) root. The manifest's shard count wins
 // over the requested one: resharding an existing store is a separate,
@@ -368,6 +397,31 @@ func (s *Store) Merge(ctx context.Context, p *ifprob.Profile) error {
 		return fmt.Errorf("%w: %v", store.ErrConflict, err)
 	}
 	sh.dirty.Store(true)
+	return nil
+}
+
+// Put implements store.Store: replace the profile under p.Program
+// wholesale, marking its shard dirty.
+func (s *Store) Put(ctx context.Context, p *ifprob.Profile) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sh := s.shardFor(p.Program)
+	sh.database().Put(p)
+	sh.dirty.Store(true)
+	return nil
+}
+
+// Delete implements store.Store: remove key from its shard, marking
+// the shard dirty only when something was actually removed.
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sh := s.shardFor(key)
+	if sh.database().Remove(key) {
+		sh.dirty.Store(true)
+	}
 	return nil
 }
 

@@ -58,6 +58,12 @@ type Store interface {
 	// conflicts with the accumulated data returns an error wrapping
 	// ErrConflict; the stored data is unchanged.
 	Merge(ctx context.Context, p *ifprob.Profile) error
+	// Put installs a deep copy of p under p.Program, replacing any
+	// accumulated data — the non-accumulating write the replication
+	// layer needs to adopt a peer's component state wholesale.
+	Put(ctx context.Context, p *ifprob.Profile) error
+	// Delete removes key; deleting an absent key is a no-op.
+	Delete(ctx context.Context, key string) error
 	// Keys lists every stored key, sorted.
 	Keys(ctx context.Context) ([]string, error)
 	// Snapshot returns a deep copy of the entire store.

@@ -141,6 +141,39 @@ func TestConformance(t *testing.T) {
 				t.Fatalf("Snapshot = %v", snap)
 			}
 
+			// Put replaces wholesale — no accumulation, any shape.
+			repl := mkProfile("prog@da", "dz", []uint64{9}, []uint64{9})
+			if err := s.Put(ctx, repl); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if p, _ := s.Get(ctx, "prog@da"); p == nil || len(p.Total) != 1 || p.Total[0] != 9 {
+				t.Fatalf("Put did not replace: %+v", p)
+			}
+			// Put copies: mutating the argument must not reach the store.
+			repl.Taken[0] = 123
+			if p, _ := s.Get(ctx, "prog@da"); p.Taken[0] == 123 {
+				t.Fatal("Put kept a live alias to the caller's profile")
+			}
+
+			// Delete removes; deleting again is a no-op.
+			if err := s.Delete(ctx, "prog@da"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if p, _ := s.Get(ctx, "prog@da"); p != nil {
+				t.Fatalf("Delete left %+v", p)
+			}
+			if err := s.Delete(ctx, "prog@da"); err != nil {
+				t.Fatalf("Delete of absent key: %v", err)
+			}
+
+			// Restore the accumulated state (a merged with b) so the
+			// persistence checks below exercise the original two-key view.
+			restored := mkProfile("prog@da", "da", []uint64{5, 1}, []uint64{6, 4})
+			restored.Instrs = 200
+			if err := s.Put(ctx, restored); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+
 			// Save, then a fresh open sees identical contents.
 			if err := s.Save(ctx); err != nil {
 				t.Fatalf("Save: %v", err)
@@ -179,6 +212,12 @@ func TestConformance(t *testing.T) {
 			}
 			if err := s2.Save(canceled); !errors.Is(err, context.Canceled) {
 				t.Fatalf("Save with canceled ctx: %v", err)
+			}
+			if err := s2.Put(canceled, a); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Put with canceled ctx: %v", err)
+			}
+			if err := s2.Delete(canceled, "prog@da"); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Delete with canceled ctx: %v", err)
 			}
 		})
 	}
@@ -248,6 +287,22 @@ func TestDifferential(t *testing.T) {
 			err2 := shard.Merge(ctx, p)
 			if (err1 == nil) != (err2 == nil) {
 				t.Fatalf("step %d: merge divergence: mem=%v shard=%v", i, err1, err2)
+			}
+		case op < 8 && i%3 == 0: // replace wholesale
+			p := randomProfile()
+			if err := mem.Put(ctx, p.Clone()); err != nil {
+				t.Fatalf("step %d: mem put: %v", i, err)
+			}
+			if err := shard.Put(ctx, p); err != nil {
+				t.Fatalf("step %d: shard put: %v", i, err)
+			}
+		case op < 8 && i%3 == 1: // delete
+			k := key(rng.Intn(programs), rng.Intn(3))
+			if err := mem.Delete(ctx, k); err != nil {
+				t.Fatalf("step %d: mem delete: %v", i, err)
+			}
+			if err := shard.Delete(ctx, k); err != nil {
+				t.Fatalf("step %d: shard delete: %v", i, err)
 			}
 		case op < 8: // save everything
 			if err := mem.Save(ctx); err != nil {
