@@ -31,8 +31,10 @@
 #                 assembler, profile DB decoder, run-cache decoder,
 #                 VM differential); longer runs: make fuzz FUZZTIME=5m
 #   make bench    the cold vs warm cache benchmark pair, then the raw
-#                 interpreter benchmark appended to the BENCH_VM.json
-#                 trajectory (one entry per build; see docs/PERF.md)
+#                 interpreter benchmark and the predictor-zoo
+#                 simulation throughput, each appended to the
+#                 BENCH_VM.json trajectory (one entry per build;
+#                 see docs/PERF.md)
 #   make bench-server  cmd/loadgen drives a sharded branchprofd over
 #                 loopback — single vs batch vs streaming ingest — and
 #                 appends the result to the BENCH_SERVER.json trajectory;
@@ -59,7 +61,8 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -short ./internal/engine/... ./internal/exp/...
+	$(GO) test -race -short ./internal/engine/... ./internal/exp/... \
+		./internal/dynpred/... ./internal/runlength/...
 
 chaos:
 	$(GO) test -race -count=2 -short -run 'Fault|Degraded|Cancel|Retry|Torn|Corrupt|Partial' \
@@ -92,6 +95,8 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkSuiteCollect(Cold|Warm)' -benchtime 3x .
 	$(GO) test -run xxx -bench 'BenchmarkVMInterpreter$$' -benchtime 10x -count $(BENCHCOUNT) . \
 		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL) -o BENCH_VM.json
+	$(GO) test -run xxx -bench 'BenchmarkPredictorZoo$$' -benchtime 10x -count $(BENCHCOUNT) . \
+		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL)-predzoo -o BENCH_VM.json
 
 bench-server:
 	$(GO) run ./cmd/loadgen -rounds $(BENCHCOUNT) \

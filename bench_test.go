@@ -9,6 +9,7 @@ package branchprof
 import (
 	"testing"
 
+	"branchprof/internal/dynpred"
 	"branchprof/internal/engine"
 	"branchprof/internal/exp"
 	"branchprof/internal/mfc"
@@ -330,6 +331,64 @@ func BenchmarkVMInterpreter(b *testing.B) {
 		instrs = res.Instrs
 	}
 	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "vm-instrs/s")
+}
+
+// branchEvent is one recorded conditional-branch outcome, for
+// replaying a real program's branch stream through predictors without
+// re-running the VM.
+type branchEvent struct {
+	site  int32
+	taken bool
+}
+
+// streamRecorder captures a run's branch stream.
+type streamRecorder struct {
+	events []branchEvent
+}
+
+func (r *streamRecorder) Branch(site int32, taken bool, _ uint64) {
+	r.events = append(r.events, branchEvent{site, taken})
+}
+func (r *streamRecorder) Transfer(vm.TransferKind, uint64) {}
+
+// BenchmarkPredictorZoo measures predictor-simulation throughput: the
+// li sieve workload's branch stream replayed through the full zoo
+// (1-bit, 2-bit, two-level, gshare, bi-mode), reporting predictor
+// decisions per second — the marginal cost of attaching every scheme
+// to a traced run.
+func BenchmarkPredictorZoo(b *testing.B) {
+	w, err := workloads.ByName("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &streamRecorder{}
+	if _, err := vm.Run(prog, w.Datasets[2].Gen(), &vm.Config{Trace: rec}); err != nil {
+		b.Fatal(err)
+	}
+	if len(rec.events) == 0 {
+		b.Fatal("no branch events recorded")
+	}
+	b.ResetTimer()
+	var decisions uint64
+	for i := 0; i < b.N; i++ {
+		preds := dynpred.Zoo(len(prog.Sites))
+		for _, ev := range rec.events {
+			for _, p := range preds {
+				p.Branch(ev.site, ev.taken, 0)
+			}
+		}
+		for _, p := range preds {
+			if p.Err() != nil {
+				b.Fatal(p.Err())
+			}
+			decisions += p.Executed()
+		}
+	}
+	b.ReportMetric(float64(decisions)/b.Elapsed().Seconds(), "pred-decisions/s")
 }
 
 // BenchmarkPredictEvaluate measures prediction construction and

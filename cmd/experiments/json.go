@@ -111,6 +111,16 @@ func emitJSON(t *cli.Tool) error {
 		return err
 	}
 
+	ipm, err := exp.InstrsPerMispredict(s)
+	if err := put("ext_instrs_per_mispredict", ipm, err); err != nil {
+		return err
+	}
+
+	h2p, err := exp.H2PStudy(s, 5)
+	if err := put("ext_h2p", h2p, err); err != nil {
+		return err
+	}
+
 	rl, err := exp.RunLengths(s)
 	if err != nil {
 		if err := put("ext_run_lengths", nil, err); err != nil {

@@ -34,7 +34,10 @@ func main() {
 		heuristic  = flag.Bool("heuristic", false, "profile feedback vs heuristics")
 		motivation = flag.Bool("motivation", false, "fpppp vs li percent-correct contrast")
 		crossmode  = flag.Bool("crossmode", false, "compress vs uncompress cross-prediction")
-		dynamic    = flag.Bool("dynamic", false, "extension: static vs 1/2-bit dynamic predictors")
+		dynamic    = flag.Bool("dynamic", false, "extension: static vs dynamic predictor zoo")
+		ipm        = flag.Bool("ipm", false, "extension: instructions per mispredict by scheme")
+		h2p        = flag.Bool("h2p", false, "extension: hard-to-predict branch ranking")
+		h2pN       = flag.Int("h2p-n", 5, "top-N branches per program for -h2p")
 		runlens    = flag.Bool("runlengths", false, "extension: run-length distribution between breaks")
 		coverage   = flag.Bool("coverage", false, "extension: predictor coverage vs quality")
 		inline     = flag.Bool("inline", false, "extension: inlining ablation")
@@ -58,7 +61,7 @@ func main() {
 
 	any := *table1 || *table2 || *table3 || *fig1a || *fig1b || *fig2a || *fig2b ||
 		*fig3a || *fig3b || *taken || *combined || *heuristic || *motivation || *crossmode ||
-		*dynamic || *runlens || *coverage || *inline || *selects || *disagree || *hotsites || *traces
+		*dynamic || *ipm || *h2p || *runlens || *coverage || *inline || *selects || *disagree || *hotsites || *traces
 	all := !any
 
 	fail := func(err error) {
@@ -95,7 +98,7 @@ func main() {
 
 	needSuite := all || *table3 || *fig1a || *fig1b || *fig2a || *fig2b || *fig3a ||
 		*fig3b || *taken || *combined || *heuristic || *motivation || *crossmode ||
-		*dynamic || *runlens || *coverage || *disagree || *hotsites || *traces
+		*dynamic || *ipm || *h2p || *runlens || *coverage || *disagree || *hotsites || *traces
 	if !needSuite {
 		t.Finish()
 		return
@@ -168,6 +171,14 @@ func main() {
 	if all || *dynamic {
 		rows, err := exp.StaticVsDynamic(s)
 		emit(err, func() string { return exp.RenderStaticVsDynamic(rows) })
+	}
+	if all || *ipm {
+		rows, err := exp.InstrsPerMispredict(s)
+		emit(err, func() string { return exp.RenderInstrsPerMispredict(rows) })
+	}
+	if all || *h2p {
+		rows, err := exp.H2PStudy(s, *h2pN)
+		emit(err, func() string { return exp.RenderH2P(rows) })
 	}
 	if all || *runlens {
 		rows, err := exp.RunLengths(s)

@@ -22,12 +22,71 @@ import (
 // DynRow compares mispredict rates of static and dynamic schemes on
 // one run. Rates are mispredicts per executed conditional branch.
 type DynRow struct {
-	Program    string
-	Dataset    string
-	SelfRate   float64 // static, profile of the run itself (best static)
-	OthersRate float64 // static, scaled sum of the other datasets
-	OneBitRate float64
-	TwoBitRate float64
+	Program      string
+	Dataset      string
+	SelfRate     float64 // static, profile of the run itself (best static)
+	OthersRate   float64 // static, scaled sum of the other datasets
+	OneBitRate   float64
+	TwoBitRate   float64
+	TwoLevelRate float64 // two-level adaptive (Lee & Smith)
+	GShareRate   float64
+	BiModeRate   float64
+}
+
+// toDirs converts a prediction to the direction table a Static
+// predictor consumes.
+func toDirs(pr *predict.Prediction) []bool {
+	dirs := make([]bool, len(pr.Dir))
+	for i, d := range pr.Dir {
+		dirs[i] = d == predict.Taken
+	}
+	return dirs
+}
+
+// tracedPredictors builds the full predictor set for one measured run
+// — self and sum-of-others static tables plus the dynamic zoo — and
+// replays the run once with everything attached to the identical
+// branch stream. Returns the predictors in order (self, others,
+// 1-bit, 2-bit, two-level, gshare, bimode) plus the replay's result.
+// extra tracers (e.g. a runlength recorder) observe the same stream.
+func tracedPredictors(p *ProgramRuns, r *Run, extra ...vm.Tracer) ([]dynpred.Predictor, *vm.Result, error) {
+	self, err := selfPrediction(p, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	others := self
+	if p.Multi() {
+		others, err = predict.Combine(p.OtherProfiles(0), predict.Scaled, p.Prog.Sites, predict.LoopHeuristic)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	preds := []dynpred.Predictor{
+		dynpred.NewStatic("self", toDirs(self)),
+		dynpred.NewStatic("others", toDirs(others)),
+	}
+	preds = append(preds, dynpred.Zoo(len(p.Prog.Sites))...)
+	multi := &dynpred.Multi{Predictors: preds, Extra: extra}
+	// Traced replays observe the execution, so the engine runs them
+	// fresh (never from cache) while still counting them in stats.
+	res, err := Engine().Run(p.Prog, "", p.InputFor(r), &vm.Config{Trace: multi})
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp: dynamic replay of %s: %w", p.Workload.Name, err)
+	}
+	if err := multi.Err(); err != nil {
+		return nil, nil, fmt.Errorf("exp: dynamic replay of %s: %w", p.Workload.Name, err)
+	}
+	return preds, res, nil
+}
+
+// missRate is mispredicts per executed conditional branch, 0 for a
+// branch-free run (never NaN: zero-branch programs flow through every
+// report writer).
+func missRate(pr dynpred.Predictor) float64 {
+	if pr.Executed() == 0 {
+		return 0
+	}
+	return float64(pr.Mispredicts()) / float64(pr.Executed())
 }
 
 // StaticVsDynamic replays each program's first dataset through the
@@ -38,46 +97,19 @@ func StaticVsDynamic(s *Suite) ([]DynRow, error) {
 	var rows []DynRow
 	for _, p := range s.Programs {
 		r := p.Runs[0]
-		self, err := selfPrediction(p, r)
+		preds, _, err := tracedPredictors(p, r)
 		if err != nil {
 			return nil, err
 		}
-		others := self
-		if p.Multi() {
-			others, err = predict.Combine(p.OtherProfiles(0), predict.Scaled, p.Prog.Sites, predict.LoopHeuristic)
-			if err != nil {
-				return nil, err
-			}
-		}
-		toDirs := func(pr *predict.Prediction) []bool {
-			dirs := make([]bool, len(pr.Dir))
-			for i, d := range pr.Dir {
-				dirs[i] = d == predict.Taken
-			}
-			return dirs
-		}
-		selfP := dynpred.NewStatic("self", toDirs(self))
-		othersP := dynpred.NewStatic("others", toDirs(others))
-		oneBit := dynpred.NewOneBit(len(p.Prog.Sites))
-		twoBit := dynpred.NewTwoBit(len(p.Prog.Sites))
-		multi := &dynpred.Multi{Predictors: []dynpred.Predictor{selfP, othersP, oneBit, twoBit}}
-		// Traced replays observe the execution, so the engine runs them
-		// fresh (never from cache) while still counting them in stats.
-		if _, err := Engine().Run(p.Prog, "", p.InputFor(r), &vm.Config{Trace: multi}); err != nil {
-			return nil, fmt.Errorf("exp: dynamic replay of %s: %w", p.Workload.Name, err)
-		}
-		rate := func(pr dynpred.Predictor) float64 {
-			if pr.Executed() == 0 {
-				return 0
-			}
-			return float64(pr.Mispredicts()) / float64(pr.Executed())
-		}
 		rows = append(rows, DynRow{
 			Program: p.Workload.Name, Dataset: r.Dataset,
-			SelfRate:   rate(selfP),
-			OthersRate: rate(othersP),
-			OneBitRate: rate(oneBit),
-			TwoBitRate: rate(twoBit),
+			SelfRate:     missRate(preds[0]),
+			OthersRate:   missRate(preds[1]),
+			OneBitRate:   missRate(preds[2]),
+			TwoBitRate:   missRate(preds[3]),
+			TwoLevelRate: missRate(preds[4]),
+			GShareRate:   missRate(preds[5]),
+			BiModeRate:   missRate(preds[6]),
 		})
 	}
 	return rows, nil
@@ -86,11 +118,191 @@ func StaticVsDynamic(s *Suite) ([]DynRow, error) {
 // RenderStaticVsDynamic formats the comparison.
 func RenderStaticVsDynamic(rows []DynRow) string {
 	var b strings.Builder
-	b.WriteString("Extension: static (profile) vs dynamic (1/2-bit) mispredict rates\n")
-	fmt.Fprintf(&b, "%-12s %-12s %8s %8s %8s %8s\n", "PROGRAM", "DATASET", "SELF", "OTHERS", "1-BIT", "2-BIT")
+	b.WriteString("Extension: static (profile) vs dynamic mispredict rates\n")
+	fmt.Fprintf(&b, "%-12s %-12s %8s %8s %8s %8s %8s %8s %8s\n",
+		"PROGRAM", "DATASET", "SELF", "OTHERS", "1-BIT", "2-BIT", "2-LEVEL", "GSHARE", "BIMODE")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %-12s %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
-			r.Program, r.Dataset, 100*r.SelfRate, 100*r.OthersRate, 100*r.OneBitRate, 100*r.TwoBitRate)
+		fmt.Fprintf(&b, "%-12s %-12s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+			r.Program, r.Dataset, 100*r.SelfRate, 100*r.OthersRate, 100*r.OneBitRate,
+			100*r.TwoBitRate, 100*r.TwoLevelRate, 100*r.GShareRate, 100*r.BiModeRate)
+	}
+	return b.String()
+}
+
+// SchemeIPM is one scheme's cost on one run, in the paper's headline
+// unit: how many instructions execute per mispredicted branch.
+type SchemeIPM struct {
+	Scheme      string  `json:"scheme"`
+	Executed    uint64  `json:"executed"`
+	Mispredicts uint64  `json:"mispredicts"`
+	Rate        float64 `json:"rate"` // mispredicts per executed branch
+	// IPM is instructions per mispredict; +Inf when nothing
+	// mispredicted (a break-free run), matching breaks.InstrsPerBreak's
+	// sentinel convention.
+	IPM float64 `json:"instrs_per_mispredict"`
+}
+
+// SchemeIPMRow compares every scheme on one workload's run.
+type SchemeIPMRow struct {
+	Program string      `json:"program"`
+	Dataset string      `json:"dataset"`
+	Instrs  uint64      `json:"instrs"`
+	Schemes []SchemeIPM `json:"schemes"`
+}
+
+// schemeIPM books one predictor's cost over a run of instrs.
+func schemeIPM(pr dynpred.Predictor, instrs uint64) SchemeIPM {
+	ipm := math.Inf(1)
+	if pr.Mispredicts() > 0 {
+		ipm = float64(instrs) / float64(pr.Mispredicts())
+	}
+	return SchemeIPM{
+		Scheme:      pr.Name(),
+		Executed:    pr.Executed(),
+		Mispredicts: pr.Mispredicts(),
+		Rate:        missRate(pr),
+		IPM:         ipm,
+	}
+}
+
+// InstrsPerMispredict is the predictor-zoo lane: each program's first
+// dataset replayed once with the static profile predictors and every
+// dynamic scheme attached, reported in instructions-per-mispredict so
+// profile-fed static prediction and the hardware schemes — including
+// the history-based ones the paper predates — line up on the paper's
+// own axis.
+func InstrsPerMispredict(s *Suite) ([]SchemeIPMRow, error) {
+	var rows []SchemeIPMRow
+	for _, p := range s.Programs {
+		r := p.Runs[0]
+		preds, res, err := tracedPredictors(p, r)
+		if err != nil {
+			return nil, err
+		}
+		row := SchemeIPMRow{Program: p.Workload.Name, Dataset: r.Dataset, Instrs: res.Instrs}
+		for _, pr := range preds {
+			row.Schemes = append(row.Schemes, schemeIPM(pr, res.Instrs))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderInstrsPerMispredict formats the zoo comparison.
+func RenderInstrsPerMispredict(rows []SchemeIPMRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: instructions per mispredict, static profile vs predictor zoo\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s %-12s", "PROGRAM", "DATASET")
+	for _, s := range rows[0].Schemes {
+		fmt.Fprintf(&b, " %9s", strings.ToUpper(s.Scheme))
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12s", r.Program, r.Dataset)
+		for _, s := range r.Schemes {
+			if math.IsInf(s.IPM, 1) {
+				fmt.Fprintf(&b, " %9s", "∞")
+			} else {
+				fmt.Fprintf(&b, " %9.0f", s.IPM)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// H2PSite is one hard-to-predict branch in a program's ranking, with
+// its source identity, outcome characterization and per-scheme cost.
+type H2PSite struct {
+	Site      int                    `json:"site"`
+	Func      string                 `json:"func"`
+	Line      int                    `json:"line"`
+	Label     string                 `json:"label"`
+	Executed  uint64                 `json:"executed"`
+	TakenRate float64                `json:"taken_rate"`
+	Entropy   float64                `json:"entropy"`
+	MeanRun   float64                `json:"mean_run"`
+	MaxRun    uint64                 `json:"max_run"`
+	MPKI      []runlength.SchemeMPKI `json:"mpki"`
+	// Score is the minimum MPKI across schemes: high means every
+	// scheme, static and dynamic, pays for this branch.
+	Score float64 `json:"score"`
+}
+
+// H2PRow is one program's top-N hard-to-predict branches.
+type H2PRow struct {
+	Program string    `json:"program"`
+	Dataset string    `json:"dataset"`
+	Instrs  uint64    `json:"instrs"`
+	Top     []H2PSite `json:"top"`
+}
+
+// H2PStudy ranks each program's static branches by how expensive they
+// stay across every scheme (mispredicts per kilo-instruction, scored
+// by the best scheme's cost), following Lin & Tarsa's H2P framing:
+// the interesting branches are the ones history does not fix.
+func H2PStudy(s *Suite, n int) ([]H2PRow, error) {
+	var rows []H2PRow
+	for _, p := range s.Programs {
+		r := p.Runs[0]
+		rec := runlength.NewSites(len(p.Prog.Sites))
+		preds, res, err := tracedPredictors(p, r, rec)
+		if err != nil {
+			return nil, err
+		}
+		schemes := make([]runlength.SchemeMisses, len(preds))
+		for i, pr := range preds {
+			schemes[i] = runlength.SchemeMisses{Scheme: pr.Name(), Misses: pr.SiteMispredicts()}
+		}
+		entries := runlength.RankH2P(rec.Stats(), res.Instrs, schemes, n)
+		row := H2PRow{Program: p.Workload.Name, Dataset: r.Dataset, Instrs: res.Instrs}
+		for _, e := range entries {
+			site := p.Prog.Sites[e.Stats.Site]
+			row.Top = append(row.Top, H2PSite{
+				Site:      e.Stats.Site,
+				Func:      site.Func,
+				Line:      site.Line,
+				Label:     site.Label,
+				Executed:  e.Stats.Executed,
+				TakenRate: e.Stats.TakenRate,
+				Entropy:   e.Stats.Entropy,
+				MeanRun:   e.Stats.MeanRun,
+				MaxRun:    e.Stats.MaxRun,
+				MPKI:      e.MPKI,
+				Score:     e.Score,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderH2P formats the per-program rankings.
+func RenderH2P(rows []H2PRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: hard-to-predict branches (score = min MPKI across schemes)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s/%s (%d instrs)\n", r.Program, r.Dataset, r.Instrs)
+		if len(r.Top) == 0 {
+			b.WriteString("  (no executed branches)\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  %4s %-14s %-10s %9s %6s %7s %8s %7s  %s\n",
+			"SITE", "FUNC", "LABEL", "EXECUTED", "TAKEN", "ENTROPY", "MEANRUN", "SCORE", "MPKI BY SCHEME")
+		for _, t := range r.Top {
+			var mp strings.Builder
+			for i, m := range t.MPKI {
+				if i > 0 {
+					mp.WriteString(" ")
+				}
+				fmt.Fprintf(&mp, "%s=%.2f", m.Scheme, m.MPKI)
+			}
+			fmt.Fprintf(&b, "  %4d %-14s %-10s %9d %5.0f%% %7.2f %8.1f %7.2f  %s\n",
+				t.Site, t.Func, t.Label, t.Executed, 100*t.TakenRate, t.Entropy, t.MeanRun, t.Score, mp.String())
+		}
 	}
 	return b.String()
 }
@@ -115,9 +327,13 @@ func RunLengths(s *Suite) ([]RunLengthRow, error) {
 			return nil, err
 		}
 		rec := runlength.New(self)
-		if _, err := Engine().Run(p.Prog, "", p.InputFor(r), &vm.Config{Trace: rec}); err != nil {
+		res, err := Engine().Run(p.Prog, "", p.InputFor(r), &vm.Config{Trace: rec})
+		if err != nil {
 			return nil, fmt.Errorf("exp: run-length replay of %s: %w", p.Workload.Name, err)
 		}
+		// Close the distribution with the tail run (last break →
+		// program exit); without it that stretch silently vanishes.
+		rec.Finish(res.Instrs)
 		rows = append(rows, RunLengthRow{
 			Program: p.Workload.Name,
 			Dataset: r.Dataset,

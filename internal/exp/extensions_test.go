@@ -17,7 +17,8 @@ func TestStaticVsDynamicShape(t *testing.T) {
 	}
 	var selfBeats2bit, twoBitBeats1bit int
 	for _, r := range rows {
-		for _, rate := range []float64{r.SelfRate, r.OthersRate, r.OneBitRate, r.TwoBitRate} {
+		for _, rate := range []float64{r.SelfRate, r.OthersRate, r.OneBitRate, r.TwoBitRate,
+			r.TwoLevelRate, r.GShareRate, r.BiModeRate} {
 			if rate < 0 || rate > 1 {
 				t.Errorf("%s: rate %v out of [0,1]", r.Program, rate)
 			}
@@ -44,7 +45,112 @@ func TestStaticVsDynamicShape(t *testing.T) {
 		t.Errorf("2-bit beat 1-bit on only %d/%d programs", twoBitBeats1bit, len(rows))
 	}
 	out := RenderStaticVsDynamic(rows)
-	if !strings.Contains(out, "2-BIT") {
+	if !strings.Contains(out, "2-BIT") || !strings.Contains(out, "GSHARE") {
+		t.Error("render missing header")
+	}
+}
+
+// wantSchemes is the fixed report order of the full predictor set.
+var wantSchemes = []string{"self", "others", "1-bit", "2-bit", "two-level", "gshare", "bimode"}
+
+func TestInstrsPerMispredictShape(t *testing.T) {
+	s := suite(t)
+	rows, err := InstrsPerMispredict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Programs) {
+		t.Fatalf("got %d rows for %d programs", len(rows), len(s.Programs))
+	}
+	var historyBeatsOneBit int
+	for _, r := range rows {
+		if len(r.Schemes) != len(wantSchemes) {
+			t.Fatalf("%s: %d schemes, want %d", r.Program, len(r.Schemes), len(wantSchemes))
+		}
+		byName := map[string]SchemeIPM{}
+		for i, sch := range r.Schemes {
+			if sch.Scheme != wantSchemes[i] {
+				t.Errorf("%s: scheme[%d] = %q, want %q", r.Program, i, sch.Scheme, wantSchemes[i])
+			}
+			byName[sch.Scheme] = sch
+			if sch.Rate < 0 || sch.Rate > 1 {
+				t.Errorf("%s/%s: rate %v out of [0,1]", r.Program, sch.Scheme, sch.Rate)
+			}
+			// IPM must be exactly instrs/mispredicts (or +Inf on zero).
+			if sch.Mispredicts == 0 {
+				if !math.IsInf(sch.IPM, 1) {
+					t.Errorf("%s/%s: zero mispredicts but IPM %v", r.Program, sch.Scheme, sch.IPM)
+				}
+			} else if want := float64(r.Instrs) / float64(sch.Mispredicts); math.Abs(sch.IPM-want) > 1e-9 {
+				t.Errorf("%s/%s: IPM %v, want %v", r.Program, sch.Scheme, sch.IPM, want)
+			}
+			// Every scheme sees the identical branch stream.
+			if sch.Executed != r.Schemes[0].Executed {
+				t.Errorf("%s/%s: executed %d != %d — schemes saw different streams",
+					r.Program, sch.Scheme, sch.Executed, r.Schemes[0].Executed)
+			}
+		}
+		// The self profile is the optimal static table; others can
+		// never beat it on the same run.
+		if byName["others"].Mispredicts < byName["self"].Mispredicts {
+			t.Errorf("%s: others beat self", r.Program)
+		}
+		if byName["two-level"].Mispredicts <= byName["1-bit"].Mispredicts ||
+			byName["gshare"].Mispredicts <= byName["1-bit"].Mispredicts {
+			historyBeatsOneBit++
+		}
+	}
+	// The point of the extension: history-based schemes should beat the
+	// paper-era 1-bit scheme nearly everywhere.
+	if historyBeatsOneBit < len(rows)*2/3 {
+		t.Errorf("history schemes beat 1-bit on only %d/%d programs", historyBeatsOneBit, len(rows))
+	}
+	if out := RenderInstrsPerMispredict(rows); !strings.Contains(out, "TWO-LEVEL") {
+		t.Error("render missing header")
+	}
+}
+
+func TestH2PStudy(t *testing.T) {
+	s := suite(t)
+	const n = 3
+	rows, err := H2PStudy(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Programs) {
+		t.Fatalf("got %d rows for %d programs", len(rows), len(s.Programs))
+	}
+	for _, r := range rows {
+		if len(r.Top) == 0 || len(r.Top) > n {
+			t.Errorf("%s: %d ranked sites, want 1..%d", r.Program, len(r.Top), n)
+		}
+		prev := math.Inf(1)
+		for _, site := range r.Top {
+			if site.Score > prev+1e-12 {
+				t.Errorf("%s: ranking not descending (%v after %v)", r.Program, site.Score, prev)
+			}
+			prev = site.Score
+			if site.Executed == 0 {
+				t.Errorf("%s: never-executed site %d ranked", r.Program, site.Site)
+			}
+			if site.TakenRate < 0 || site.TakenRate > 1 || site.Entropy < 0 || site.Entropy > 1+1e-12 {
+				t.Errorf("%s site %d: rate %v entropy %v out of range", r.Program, site.Site, site.TakenRate, site.Entropy)
+			}
+			if len(site.MPKI) != len(wantSchemes) {
+				t.Errorf("%s site %d: %d scheme costs, want %d", r.Program, site.Site, len(site.MPKI), len(wantSchemes))
+			}
+			// Score is the min across schemes — never above any entry.
+			for _, m := range site.MPKI {
+				if m.MPKI < site.Score-1e-12 {
+					t.Errorf("%s site %d: score %v above %s's %v", r.Program, site.Site, site.Score, m.Scheme, m.MPKI)
+				}
+			}
+			if site.Func == "" {
+				t.Errorf("%s site %d: missing source identity", r.Program, site.Site)
+			}
+		}
+	}
+	if out := RenderH2P(rows); !strings.Contains(out, "MPKI BY SCHEME") {
 		t.Error("render missing header")
 	}
 }

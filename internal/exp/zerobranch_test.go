@@ -65,11 +65,60 @@ func TestZeroBranchProgramEndToEnd(t *testing.T) {
 		t.Errorf("Factor of a break-free row = %v, want 1", f)
 	}
 
+	// The dynamic-predictor extension tables hit the same degenerate
+	// corner: zero branches means zero executed events for every scheme,
+	// so each rate() must come back 0 (not NaN) and each
+	// instrs-per-mispredict must be +Inf.
+	dyn, err := StaticVsDynamic(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn) != 1 {
+		t.Fatalf("StaticVsDynamic returned %d rows", len(dyn))
+	}
+	for _, rate := range []float64{dyn[0].SelfRate, dyn[0].OthersRate, dyn[0].OneBitRate,
+		dyn[0].TwoBitRate, dyn[0].TwoLevelRate, dyn[0].GShareRate, dyn[0].BiModeRate} {
+		if rate != 0 {
+			t.Errorf("zero-branch dynamic row has nonzero rate: %+v", dyn[0])
+			break
+		}
+	}
+
+	ipm, err := InstrsPerMispredict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ipm) != 1 {
+		t.Fatalf("InstrsPerMispredict returned %d rows", len(ipm))
+	}
+	for _, sch := range ipm[0].Schemes {
+		if sch.Executed != 0 || sch.Mispredicts != 0 {
+			t.Errorf("scheme %s saw events in a zero-branch program: %+v", sch.Scheme, sch)
+		}
+		if !math.IsInf(sch.IPM, 1) {
+			t.Errorf("scheme %s IPM = %v, want +Inf", sch.Scheme, sch.IPM)
+		}
+	}
+
+	h2p, err := H2PStudy(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2p) != 1 {
+		t.Fatalf("H2PStudy returned %d rows", len(h2p))
+	}
+	if len(h2p[0].Top) != 0 {
+		t.Errorf("zero-branch program ranked %d H2P sites", len(h2p[0].Top))
+	}
+
 	// Every artifact that touches the suite must survive a JSON render.
 	for name, v := range map[string]any{
 		"figure1":    rows,
 		"heuristics": heur,
 		"taken":      TakenConstancy(s),
+		"dynamic":    dyn,
+		"ipm":        ipm,
+		"h2p":        h2p,
 	} {
 		b, err := MarshalSafe(v)
 		if err != nil {

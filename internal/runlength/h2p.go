@@ -1,0 +1,90 @@
+package runlength
+
+import "sort"
+
+// H2P ranking, following Lin & Tarsa's "Branch Prediction Is Not a
+// Solved Problem": a hard-to-predict (H2P) branch is one that keeps
+// costing mispredicts per kilo-instruction even under the best
+// history-based scheme available. Ranking static branches by that
+// score names the specific branches a better predictor — or a static
+// hint from a previous run's profile — would have to fix.
+
+// SchemeMisses is one predictor's per-site mispredict attribution,
+// as returned by dynpred.Predictor.SiteMispredicts.
+type SchemeMisses struct {
+	Scheme string
+	Misses []uint64
+}
+
+// SchemeMPKI is one scheme's mispredicts-per-kilo-instruction at one
+// site.
+type SchemeMPKI struct {
+	Scheme string  `json:"scheme"`
+	MPKI   float64 `json:"mpki"`
+}
+
+// H2PEntry is one ranked branch: its outcome statistics and its cost
+// under every measured scheme.
+type H2PEntry struct {
+	Stats SiteStats
+	// MPKI lists the site's mispredicts-per-kilo-instruction under
+	// each scheme, in the order the schemes were supplied.
+	MPKI []SchemeMPKI
+	// Score is the minimum MPKI across the supplied schemes: a branch
+	// is only as hard as its best predictor finds it, so a high Score
+	// means every scheme pays for this branch.
+	Score float64
+}
+
+// MPKI is mispredicts per kilo-instruction: the H2P literature's unit
+// for branch cost, robust across programs of different lengths.
+// Guards the zero-instruction degenerate case (no run, no cost).
+func MPKI(misses, instrs uint64) float64 {
+	if instrs == 0 {
+		return 0
+	}
+	return float64(misses) * 1000 / float64(instrs)
+}
+
+// RankH2P scores every site by its minimum MPKI across schemes over a
+// run of instrs instructions and returns the top n (n <= 0 returns
+// every site that executed). Sites that never executed are excluded.
+// Ties break toward the more-executed, then lower-numbered, site so
+// the ranking is deterministic.
+func RankH2P(stats []SiteStats, instrs uint64, schemes []SchemeMisses, n int) []H2PEntry {
+	entries := make([]H2PEntry, 0, len(stats))
+	for _, st := range stats {
+		if st.Executed == 0 {
+			continue
+		}
+		e := H2PEntry{Stats: st, MPKI: make([]SchemeMPKI, 0, len(schemes))}
+		first := true
+		for _, sch := range schemes {
+			var misses uint64
+			if st.Site < len(sch.Misses) {
+				misses = sch.Misses[st.Site]
+			}
+			v := MPKI(misses, instrs)
+			e.MPKI = append(e.MPKI, SchemeMPKI{Scheme: sch.Scheme, MPKI: v})
+			if first || v < e.Score {
+				e.Score = v
+				first = false
+			}
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Stats.Executed != b.Stats.Executed {
+			return a.Stats.Executed > b.Stats.Executed
+		}
+		return a.Stats.Site < b.Stats.Site
+	})
+	if n > 0 && n < len(entries) {
+		entries = entries[:n]
+	}
+	return entries
+}

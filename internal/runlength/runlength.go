@@ -26,6 +26,7 @@ type Recorder struct {
 	dirs      []bool // per-site predicted-taken
 	lastBreak uint64
 	runs      []uint64
+	oob       uint64 // branch events at out-of-range sites (skipped)
 }
 
 // New builds a recorder for a prediction over the program's sites.
@@ -37,12 +38,23 @@ func New(pred *predict.Prediction) *Recorder {
 	return &Recorder{dirs: dirs}
 }
 
-// Branch implements vm.Tracer.
+// Branch implements vm.Tracer. A site id outside the prediction's
+// table (recorder attached with a stale site count) is counted on
+// OutOfRange and skipped rather than panicking the run, matching the
+// dynpred tracer contract.
 func (r *Recorder) Branch(site int32, taken bool, instrs uint64) {
+	if site < 0 || int(site) >= len(r.dirs) {
+		r.oob++
+		return
+	}
 	if r.dirs[site] != taken {
 		r.record(instrs)
 	}
 }
+
+// OutOfRange returns how many branch events carried a site id outside
+// the prediction's table (program/prediction shape mismatch).
+func (r *Recorder) OutOfRange() uint64 { return r.oob }
 
 // Transfer implements vm.Tracer.
 func (r *Recorder) Transfer(kind vm.TransferKind, instrs uint64) {
@@ -54,6 +66,19 @@ func (r *Recorder) Transfer(kind vm.TransferKind, instrs uint64) {
 func (r *Recorder) record(instrs uint64) {
 	r.runs = append(r.runs, instrs-r.lastBreak)
 	r.lastBreak = instrs
+}
+
+// Finish records the tail run — the instructions between the final
+// break and program exit, which the break events alone never close.
+// Without it that last stretch (the whole program, for a run with no
+// breaks at all) silently vanishes from the distribution. Call it
+// once after the run with the run's total instruction count
+// (vm.Result.Instrs); calling it again, or with a count at or before
+// the last break, is a no-op.
+func (r *Recorder) Finish(totalInstrs uint64) {
+	if totalInstrs > r.lastBreak {
+		r.record(totalInstrs)
+	}
 }
 
 // Runs returns the recorded run lengths in execution order.

@@ -91,10 +91,10 @@ type sitePrediction struct {
 // predictEval reports prediction quality against the held-out target
 // dataset, including the paper's instructions-per-mispredict measure.
 type predictEval struct {
-	TargetDataset      string  `json:"target_dataset"`
-	Executed           uint64  `json:"executed"`
-	Mispredicts        uint64  `json:"mispredicts"`
-	PercentCorrect     float64 `json:"percent_correct"`
+	TargetDataset       string  `json:"target_dataset"`
+	Executed            uint64  `json:"executed"`
+	Mispredicts         uint64  `json:"mispredicts"`
+	PercentCorrect      float64 `json:"percent_correct"`
 	InstrsPerMispredict float64 `json:"instrs_per_mispredict"`
 }
 
@@ -337,10 +337,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				ipm = math.Inf(1)
 			}
 			resp.Eval = &predictEval{
-				TargetDataset:      req.TargetDataset,
-				Executed:           ev.Executed,
-				Mispredicts:        ev.Mispredicts,
-				PercentCorrect:     ev.PercentCorrect(),
+				TargetDataset:       req.TargetDataset,
+				Executed:            ev.Executed,
+				Mispredicts:         ev.Mispredicts,
+				PercentCorrect:      ev.PercentCorrect(),
 				InstrsPerMispredict: ipm,
 			}
 		}
@@ -456,9 +456,9 @@ type shardHealth struct {
 
 // healthResponse is the GET /healthz body.
 type healthResponse struct {
-	Status        string `json:"status"` // "ok" or "degraded"
-	Breaker       string `json:"breaker"`
-	Draining      bool   `json:"draining"`
+	Status        string  `json:"status"` // "ok" or "degraded"
+	Breaker       string  `json:"breaker"`
+	Draining      bool    `json:"draining"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Engine disk-cache trouble the operator should know about even
 	// when the breaker has recovered.

@@ -26,6 +26,14 @@ type serverMetrics struct {
 	dbErrors  *obs.Counter
 	dbSkipped *obs.Counter
 
+	// H2P report instrumentation (see /v1/h2p): reports served by mode,
+	// and the shape of the most recent report.
+	h2pProfiles    *obs.Counter
+	h2pTraced      *obs.Counter
+	h2pLastSites   *obs.Gauge
+	h2pLastTopMPKI *obs.Gauge
+	h2pLastInstrs  *obs.Gauge
+
 	// Per-peer replication counters, keyed by peer base URL. The maps
 	// are written once at construction and read-only after; nil
 	// counters (no registry) ignore operations.
@@ -55,6 +63,16 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		dbSaves:       reg.Counter(`branchprofd_db_save_total{result="ok"}`, dbHelp),
 		dbErrors:      reg.Counter(`branchprofd_db_save_total{result="error"}`, dbHelp),
 		dbSkipped:     reg.Counter(`branchprofd_db_save_total{result="skipped"}`, dbHelp),
+		h2pProfiles: reg.Counter(`branchprof_h2p_reports_total{mode="profiles"}`,
+			"H2P branch reports served by mode."),
+		h2pTraced: reg.Counter(`branchprof_h2p_reports_total{mode="traced"}`,
+			"H2P branch reports served by mode."),
+		h2pLastSites: reg.Gauge("branchprof_h2p_last_sites",
+			"Static branch sites covered by the most recent H2P report."),
+		h2pLastTopMPKI: reg.Gauge("branchprof_h2p_last_top_mpki",
+			"Score (MPKI) of the hardest branch in the most recent H2P report."),
+		h2pLastInstrs: reg.Gauge("branchprof_h2p_last_traced_instrs",
+			"Instructions executed by the most recent traced H2P run."),
 		latency: reg.Histogram("branchprofd_request_seconds",
 			"Request latency by route, admission wait included.", obs.DefLatencyBuckets),
 		requests:     make(map[string]*obs.Counter),
@@ -149,6 +167,21 @@ func (m *serverMetrics) replPulled(peer string, n int) {
 	if n > 0 {
 		m.replPulledC[peer].Add(uint64(n))
 	}
+}
+
+// h2pReport records one served H2P report: the mode counter plus the
+// last-report shape gauges. Traced reports also record the run's
+// instruction count; profile-only reports leave that gauge alone (no
+// run happened).
+func (m *serverMetrics) h2pReport(mode string, sites int, topMPKI float64, instrs uint64) {
+	if mode == "traced" {
+		m.h2pTraced.Inc()
+		m.h2pLastInstrs.Set(float64(instrs))
+	} else {
+		m.h2pProfiles.Inc()
+	}
+	m.h2pLastSites.Set(float64(sites))
+	m.h2pLastTopMPKI.Set(topMPKI)
 }
 
 // breakerValue encodes a breaker state name as the conventional

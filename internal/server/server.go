@@ -142,7 +142,7 @@ type Server struct {
 	opts    Options
 	eng     *engine.Engine
 	store   store.Store
-	guarded bool // the store isolates its own save failures (per-shard breakers)
+	guarded bool             // the store isolates its own save failures (per-shard breakers)
 	repl    *replstore.Store // non-nil when peer replication is on
 	syncer  *syncer          // non-nil when Peers is non-empty
 	gate    *gate
@@ -267,6 +267,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.Handle("/v1/profile/batch", s.instrument("profile_batch", s.admitted(s.handleProfileBatch)))
 	mux.Handle("/v1/profile/stream", s.instrument("profile_stream", s.admitted(s.handleProfileStream)))
 	mux.Handle("/v1/predict", s.instrument("predict", s.admitted(s.handlePredict)))
+	mux.Handle("/v1/h2p", s.instrument("h2p", s.admitted(s.handleH2P)))
 	mux.Handle("/v1/programs", s.instrument("programs", http.HandlerFunc(s.handlePrograms)))
 	if s.repl != nil {
 		// The sync plane bypasses admission control like the health
