@@ -22,11 +22,20 @@
 #                 fails — its breaker must open alone and the drain
 #                 must keep every healthy shard's profiles
 #   make soak-cluster  the replication convergence soak under the race
-#                 detector: a three-node in-process cluster under
-#                 concurrent ingest with one node crash-killed
-#                 mid-ingest and a partition that heals mid-run;
-#                 healthy nodes must serve with no 5xx and all nodes
-#                 must converge to bit-identical snapshots
+#                 detector: a three-node journaling cluster under
+#                 concurrent ingest with one node crash-killed by a
+#                 failpoint mid-stream-ingest and a partition that
+#                 heals mid-run; healthy nodes must serve with no 5xx,
+#                 the dead node's restart must replay exactly its
+#                 acknowledged journal records, and all nodes must
+#                 converge to bit-identical snapshots
+#   make crash    the write-ahead journal's crash-consistency proof
+#                 under the race detector: the wal package suite plus
+#                 TestCrashRecoveryMatrix, which kills the server at
+#                 every journal operation (append, sync, save,
+#                 truncate, replay) under every ingest path and
+#                 requires acknowledged-exactly-once accounting after
+#                 recovery; see docs/ROBUSTNESS.md "Durability contract"
 #   make fuzz     10s smoke of each native fuzz target (compiler,
 #                 assembler, profile DB decoder, run-cache decoder,
 #                 VM differential); longer runs: make fuzz FUZZTIME=5m
@@ -40,7 +49,10 @@
 #                 appends the result to the BENCH_SERVER.json trajectory;
 #                 a second pass runs the same workload hash-routed
 #                 across a replicated three-node cluster (-nodes 3), so
-#                 the trajectory also tracks replication's ingest cost
+#                 the trajectory also tracks replication's ingest cost;
+#                 further passes journal through the write-ahead log
+#                 under each fsync policy (-wal-fsync record/batch/
+#                 interval), so the trajectory prices durability too
 #   make bench-smoke  one-iteration run of the interpreter benchmark,
 #                 part of `make verify` so the perf harness can't rot
 
@@ -49,9 +61,9 @@ FUZZTIME ?= 10s
 BENCHCOUNT ?= 3
 BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: verify test vet race chaos obs chaos-server soak soak-cluster fuzz bench bench-server bench-smoke
+.PHONY: verify test vet race chaos obs chaos-server soak soak-cluster crash fuzz bench bench-server bench-smoke
 
-verify: test vet race chaos obs chaos-server soak soak-cluster fuzz bench-smoke
+verify: test vet race chaos obs chaos-server soak soak-cluster crash fuzz bench-smoke
 
 test:
 	$(GO) build ./...
@@ -84,6 +96,10 @@ soak:
 soak-cluster:
 	$(GO) test -race -count=2 -run 'TestSoakClusterConvergence|TestSync' ./internal/server/
 
+crash:
+	$(GO) test -race -count=1 -run 'TestCrashRecoveryMatrix|TestWAL|TestManifest' \
+		./internal/server/ ./internal/store/wal/ ./internal/store/shardstore/
+
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzCompile$$ -fuzztime $(FUZZTIME) ./internal/mfc/
 	$(GO) test -run xxx -fuzz FuzzAssemble -fuzztime $(FUZZTIME) ./internal/asm/
@@ -103,6 +119,12 @@ bench-server:
 		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL) -o BENCH_SERVER.json
 	$(GO) run ./cmd/loadgen -rounds $(BENCHCOUNT) -nodes 3 \
 		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL)-routed3 -o BENCH_SERVER.json
+	$(GO) run ./cmd/loadgen -rounds $(BENCHCOUNT) -wal-fsync record \
+		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL)-wal-record -o BENCH_SERVER.json
+	$(GO) run ./cmd/loadgen -rounds $(BENCHCOUNT) -wal-fsync batch \
+		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL)-wal-batch -o BENCH_SERVER.json
+	$(GO) run ./cmd/loadgen -rounds $(BENCHCOUNT) -wal-fsync interval \
+		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL)-wal-interval -o BENCH_SERVER.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkVMInterpreter$$' -benchtime 1x .

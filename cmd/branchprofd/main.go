@@ -7,6 +7,7 @@
 // Usage:
 //
 //	branchprofd [-addr :8723] [-db profiles.json] [-shards N]
+//	            [-wal DIR] [-fsync record|batch|interval] [-fsync-interval D]
 //	            [-cache-dir DIR]
 //	            [-self ID] [-peers URL,URL,...] [-sync-interval D]
 //	            [-concurrency N] [-queue N] [-request-timeout D]
@@ -20,6 +21,14 @@
 // is migrated in place (the original is kept as ".pre-shard"). An
 // already-sharded store remembers its own shard count; -shards then
 // has no effect.
+//
+// With -wal DIR every profile mutation is appended to a write-ahead
+// journal in DIR before it is acknowledged, and unapplied records are
+// replayed on startup — acknowledged ingest survives a crash even when
+// the store's own save never ran. -fsync picks when appends reach the
+// medium: "record" (every append, the default), "batch" (once per
+// ingest request) or "interval" (in the background every
+// -fsync-interval). See docs/ROBUSTNESS.md "Durability contract".
 //
 // With -peers (a comma-separated list of the other nodes' base URLs)
 // the node joins a replication cluster: profiles ingested anywhere
@@ -53,6 +62,9 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8723", "listen address")
 		dbPath       = flag.String("db", "", "persist the accumulated profile database to this path (empty = in-memory only)")
 		shards       = flag.Int("shards", 0, "open -db as a sharded store with this many shards (0 = single file unless -db is already a sharded directory)")
+		walDir       = flag.String("wal", "", "journal every profile mutation to a write-ahead log in this directory before acknowledging (empty = no journal)")
+		walFsync     = flag.String("fsync", "record", "journal fsync policy: record, batch or interval (requires -wal)")
+		walInterval  = flag.Duration("fsync-interval", 100*time.Millisecond, "background journal sync period under -fsync interval")
 		concurrency  = flag.Int("concurrency", 0, "simultaneously executing requests (0 = engine worker count)")
 		queue        = flag.Int("queue", 64, "requests allowed to wait beyond -concurrency before shedding with 429 (0 or -1 = none)")
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, propagated into the VM")
@@ -91,6 +103,9 @@ func main() {
 		Engine:           tool.Engine(),
 		DBPath:           *dbPath,
 		Shards:           *shards,
+		WALDir:           *walDir,
+		WALFsync:         *walFsync,
+		WALInterval:      *walInterval,
 		Concurrency:      *concurrency,
 		QueueDepth:       queueDepth,
 		RequestTimeout:   *reqTimeout,

@@ -16,7 +16,16 @@
 // invariants recomputed in place, one file at a time (a sharded store
 // reports shard by shard), with nothing merged into memory, so it
 // scales to stores far larger than RAM and never takes a write lock.
-// Exit status is non-zero when any file is corrupt.
+// With -wal DIR it also audits the write-ahead journal branchprofd
+// keeps there (frame CRCs, global sequence continuity, a torn tail
+// flagged as recoverable) and cross-checks every store file's
+// embedded checkpoint against the journal — a checkpoint above the
+// log's last sequence number cannot have come from it. Exit status is
+// non-zero when any file is corrupt.
+//
+// -wal-dump SEG pretty-prints one journal segment record by record
+// (offset, sequence, operation, key) — the forensic view of what a
+// replay would apply.
 package main
 
 import (
@@ -26,10 +35,12 @@ import (
 	"io/fs"
 	"os"
 	"sort"
+	"strings"
 
 	"branchprof/cmd/internal/cli"
 	"branchprof/internal/ifprob"
 	"branchprof/internal/store"
+	"branchprof/internal/store/wal"
 
 	_ "branchprof/internal/store/memstore" // linked driver: single-file stores
 
@@ -38,18 +49,30 @@ import (
 
 // verifyStore audits one store argument file by file: a single-file
 // database is one report line, a sharded root gets one line per shard.
-// It returns (clean files, corrupt files); infrastructure errors (no
-// such path, unreadable manifest) are fatal — absence of evidence is
-// not a clean audit.
-func verifyStore(t *cli.Tool, path string) (clean, corrupt int) {
+// When audit is non-nil, each clean file's embedded journal checkpoint
+// is cross-checked against the audited log. It returns (clean files,
+// corrupt files); infrastructure errors (no such path, unreadable
+// manifest) are fatal — absence of evidence is not a clean audit.
+func verifyStore(t *cli.Tool, path string, audit *wal.Audit) (clean, corrupt int) {
 	fi, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	report := func(file string, n int, err error) {
+	report := func(file string, n int, walSeq uint64, err error) {
 		switch {
 		case err == nil:
-			fmt.Printf("%-40s clean    %d profiles\n", file, n)
+			if audit != nil {
+				if msg := audit.CheckWatermark(file, walSeq); msg != "" {
+					fmt.Printf("%-40s CORRUPT  %s\n", file, msg)
+					corrupt++
+					return
+				}
+			}
+			note := fmt.Sprintf("%d profiles", n)
+			if walSeq != 0 {
+				note += fmt.Sprintf(", checkpoint %d", walSeq)
+			}
+			fmt.Printf("%-40s clean    %s\n", file, note)
 			clean++
 		case errors.Is(err, fs.ErrNotExist):
 			// A shard nothing was ever saved to has no file: empty, not
@@ -62,8 +85,8 @@ func verifyStore(t *cli.Tool, path string) (clean, corrupt int) {
 		}
 	}
 	if !fi.IsDir() {
-		n, err := ifprob.VerifyFile(path)
-		report(path, n, err)
+		n, walSeq, err := ifprob.VerifyFile(path)
+		report(path, n, walSeq, err)
 		return clean, corrupt
 	}
 	shards, err := shardstore.ManifestShards(path)
@@ -72,31 +95,89 @@ func verifyStore(t *cli.Tool, path string) (clean, corrupt int) {
 	}
 	for i := 0; i < shards; i++ {
 		file := shardstore.ShardFile(path, i)
-		n, err := ifprob.VerifyFile(file)
-		report(file, n, err)
+		n, walSeq, err := ifprob.VerifyFile(file)
+		report(file, n, walSeq, err)
 	}
 	return clean, corrupt
+}
+
+// verifyWAL audits the write-ahead journal directory segment by
+// segment: frame lengths and CRCs, and the global sequence continuity
+// replay depends on. A torn tail in the final segment is reported as
+// clean-but-noted (the expected crash artifact, repaired by the next
+// replay); a bad frame or sequence gap anywhere else is corruption.
+// The returned audit lets store checkpoints be cross-checked.
+func verifyWAL(t *cli.Tool, dir string) (audit *wal.Audit, clean, corrupt int) {
+	audit, err := wal.VerifySegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range audit.Segments {
+		var probs []string
+		for _, p := range audit.Problems {
+			if strings.HasPrefix(p, seg.Path+": ") {
+				probs = append(probs, strings.TrimPrefix(p, seg.Path+": "))
+			}
+		}
+		switch {
+		case len(probs) > 0:
+			fmt.Printf("%-40s CORRUPT  %s\n", seg.Path, strings.Join(probs, "; "))
+			corrupt++
+		case seg.TornAt >= 0:
+			fmt.Printf("%-40s clean    %d records, torn tail at byte %d (recoverable)\n",
+				seg.Path, seg.Records, seg.TornAt)
+			clean++
+		case seg.Records == 0:
+			fmt.Printf("%-40s clean    empty\n", seg.Path)
+			clean++
+		default:
+			fmt.Printf("%-40s clean    %d records (seq %d..%d)\n",
+				seg.Path, seg.Records, seg.MinSeq, seg.MaxSeq)
+			clean++
+		}
+	}
+	if len(audit.Segments) == 0 {
+		fmt.Printf("%-40s clean    empty journal\n", dir)
+		clean++
+	}
+	return audit, clean, corrupt
 }
 
 func main() {
 	t := cli.New("ifprobdb")
 	var (
-		list   = flag.Bool("list", false, "list programs in the store(s)")
-		dump   = flag.String("dump", "", "dump the named program's accumulated profile")
-		merge  = flag.String("merge", "", "merge all argument stores into the store at this path (accumulates into existing data)")
-		shards = flag.Int("shards", 0, "with -merge: shard count for a new sharded output store (migrates an existing single-file one)")
-		verify = flag.Bool("verify", false, "audit the store(s) in place: recompute every file's checksum and invariants, report per shard, exit non-zero on corruption")
+		list    = flag.Bool("list", false, "list programs in the store(s)")
+		dump    = flag.String("dump", "", "dump the named program's accumulated profile")
+		merge   = flag.String("merge", "", "merge all argument stores into the store at this path (accumulates into existing data)")
+		shards  = flag.Int("shards", 0, "with -merge: shard count for a new sharded output store (migrates an existing single-file one)")
+		verify  = flag.Bool("verify", false, "audit the store(s) in place: recompute every file's checksum and invariants, report per shard, exit non-zero on corruption")
+		walDir  = flag.String("wal", "", "with -verify: also audit the write-ahead journal at this directory and cross-check store checkpoints against it")
+		walDump = flag.String("wal-dump", "", "pretty-print one journal segment file record by record, then exit")
 	)
 	flag.Parse()
-	if flag.NArg() == 0 {
-		t.Usage("ifprobdb [-list] [-dump prog] [-merge out [-shards N]] [-verify] store...")
+	if *walDump != "" {
+		if err := wal.DumpSegment(os.Stdout, *walDump); err != nil {
+			t.Fatal(err)
+		}
+		t.Finish()
+		return
+	}
+	if *walDir != "" && !*verify {
+		t.Fatal(errors.New("-wal only audits; combine it with -verify"))
+	}
+	if flag.NArg() == 0 && !(*verify && *walDir != "") {
+		t.Usage("ifprobdb [-list] [-dump prog] [-merge out [-shards N]] [-verify [-wal DIR]] [-wal-dump SEG] store...")
 	}
 	ctx := t.Context()
 
 	if *verify {
+		var audit *wal.Audit
 		var clean, corrupt int
+		if *walDir != "" {
+			audit, clean, corrupt = verifyWAL(t, *walDir)
+		}
 		for _, path := range flag.Args() {
-			c, b := verifyStore(t, path)
+			c, b := verifyStore(t, path, audit)
 			clean, corrupt = clean+c, corrupt+b
 		}
 		fmt.Fprintf(os.Stderr, "ifprobdb: verified %d files: %d clean, %d corrupt\n", clean+corrupt, clean, corrupt)

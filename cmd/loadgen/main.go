@@ -32,6 +32,12 @@
 //
 //	BenchmarkServerIngestSingleRouted3 ...
 //
+// With -wal-fsync POLICY every node journals ingest through a
+// write-ahead log before acknowledging (see docs/ROBUSTNESS.md
+// "Durability contract"); benchmark names gain a WALRecord /
+// WALBatch / WALInterval suffix, so the trajectory prices what each
+// durability point costs against the journal-free baseline.
+//
 // On 429 (admission shed) the client honors the server's Retry-After
 // hint with jittered backoff instead of failing the run, in routed
 // and single-node mode alike.
@@ -51,6 +57,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -224,6 +231,7 @@ func main() {
 		shards   = flag.Int("shards", 4, "store shards per node")
 		nodeN    = flag.Int("nodes", 1, "cluster size; >1 benchmarks hash-routed ingest across a replicated full mesh")
 		dbPath   = flag.String("db", "", "store path (node index appended when -nodes > 1; default: throwaway temp dir)")
+		walFsync = flag.String("wal-fsync", "", "journal ingest through a write-ahead log with this fsync policy (record, batch or interval); empty = no journal")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -266,6 +274,10 @@ func main() {
 				}
 			}
 			opts.SyncInterval = time.Hour // rounds sync explicitly, see below
+		}
+		if *walFsync != "" {
+			opts.WALDir = opts.DBPath + "-wal"
+			opts.WALFsync = *walFsync
 		}
 		srv, warns, err := server.New(opts)
 		if err != nil {
@@ -342,6 +354,9 @@ func main() {
 	suffix := ""
 	if *nodeN > 1 {
 		suffix = fmt.Sprintf("Routed%d", *nodeN)
+	}
+	if p := *walFsync; p != "" {
+		suffix += "WAL" + strings.ToUpper(p[:1]) + p[1:]
 	}
 	paths := []struct {
 		name string

@@ -41,11 +41,22 @@ const (
 	// branchprofd node makes with a peer (label = the peer's base URL).
 	// Error rules model a network partition, Delay rules a slow link.
 	PeerFetch Stage = "peer-fetch"
+	// The journal stages are consulted by internal/store/wal around the
+	// write-ahead log's four crash-relevant operations. Labels are the
+	// record's store key (append), the segment path (sync, truncate) or
+	// the replayed record's key (replay). TornWrite rules at
+	// JournalAppend leave a partial frame on disk and then crash —
+	// a torn tail, the canonical WAL failure.
+	JournalAppend   Stage = "journal-append"
+	JournalSync     Stage = "journal-sync"
+	JournalTruncate Stage = "journal-truncate"
+	JournalReplay   Stage = "journal-replay"
 )
 
 // Stages returns every instrumented stage, in pipeline order.
 func Stages() []Stage {
-	return []Stage{Compile, Run, Profile, CacheRead, CacheWrite, DBSave, DBLoad, PeerFetch}
+	return []Stage{Compile, Run, Profile, CacheRead, CacheWrite, DBSave, DBLoad, PeerFetch,
+		JournalAppend, JournalSync, JournalTruncate, JournalReplay}
 }
 
 // Kind classifies what an injector does when it fires.
@@ -62,6 +73,13 @@ const (
 	// TornWrite truncates a write partway through; it only applies at
 	// write-shaped stages consulted through Torn.
 	TornWrite
+	// Crash simulates a process kill at the instrumentation point: Fire
+	// panics with a *CrashPanic, which the crash-consistency harness
+	// catches at the top of the stack, abandons every in-memory
+	// structure, and reopens the store from disk — the closest a test
+	// can get to SIGKILL without forking. Production recovery middleware
+	// treats it like any other panic (the request fails un-acked).
+	Crash
 )
 
 // String names the kind.
@@ -75,6 +93,8 @@ func (k Kind) String() string {
 		return "delay"
 	case TornWrite:
 		return "torn-write"
+	case Crash:
+		return "crash"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -141,6 +161,28 @@ type InjectedPanic struct {
 // String describes the injection point.
 func (p *InjectedPanic) String() string {
 	return fmt.Sprintf("faults: %s %q call %d: injected panic", p.Stage, p.Label, p.Call)
+}
+
+// CrashPanic is the value Crash rules panic with: a simulated process
+// kill. Harnesses catch it at the top of the stack with IsCrash and
+// reopen from disk; everything the process held in memory at that
+// moment is considered lost.
+type CrashPanic struct {
+	Stage Stage
+	Label string
+	Call  uint64
+}
+
+// String describes the crash point.
+func (p *CrashPanic) String() string {
+	return fmt.Sprintf("faults: %s %q call %d: injected crash", p.Stage, p.Label, p.Call)
+}
+
+// IsCrash reports whether a recovered panic value is a simulated
+// process crash from a Crash rule.
+func IsCrash(v any) bool {
+	_, ok := v.(*CrashPanic)
+	return ok
 }
 
 // Set is an active collection of injectors. A nil *Set is valid and
@@ -221,6 +263,8 @@ func (s *Set) Fire(stage Stage, label string) error {
 	switch kind {
 	case Panic:
 		panic(&InjectedPanic{Stage: stage, Label: label, Call: n})
+	case Crash:
+		panic(&CrashPanic{Stage: stage, Label: label, Call: n})
 	case Delay:
 		if delay <= 0 {
 			delay = 500 * time.Microsecond

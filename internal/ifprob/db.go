@@ -29,6 +29,7 @@ import (
 type DB struct {
 	mu       sync.Mutex
 	profiles map[string]*Profile // keyed by program name
+	walSeq   uint64              // write-ahead log watermark (see SetWalSeq)
 	faults   *faults.Set         // chaos-test injectors; nil in production
 }
 
@@ -87,6 +88,30 @@ func (db *DB) Get(program string) *Profile {
 	return nil
 }
 
+// WalSeq returns the database's write-ahead log watermark: the highest
+// journal sequence number whose effect this DB's profiles include.
+// Zero means no journal is in use (or nothing journaled has applied).
+func (db *DB) WalSeq() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.walSeq
+}
+
+// SetWalSeq records the write-ahead log watermark. The store/wal layer
+// calls it under the same critical section that applies the journaled
+// mutation, and Save snapshots it together with the profiles — the
+// file always holds a (data, watermark) pair that is consistent, which
+// is what makes journal replay idempotent: Profile.Merge adds
+// counters, so replaying a record the file already includes would
+// double-count, and the embedded watermark is how replay knows.
+func (db *DB) SetWalSeq(seq uint64) {
+	db.mu.Lock()
+	if seq > db.walSeq {
+		db.walSeq = seq
+	}
+	db.mu.Unlock()
+}
+
 // Programs lists the programs with accumulated profiles, sorted.
 func (db *DB) Programs() []string {
 	db.mu.Lock()
@@ -100,11 +125,15 @@ func (db *DB) Programs() []string {
 }
 
 // dbFile is the serialized database layout. Checksum covers the
-// canonical encoding of Profiles, so Load can tell a torn or bit-
-// flipped file from a healthy one.
+// canonical encoding of Profiles (plus the WAL watermark when one is
+// set), so Load can tell a torn or bit-flipped file from a healthy
+// one. WalSeq rides in the same file as the profiles it describes —
+// the pair is written atomically, which closes the crash window a
+// separate checkpoint file would leave open.
 type dbFile struct {
 	Version  int        `json:"version"`
 	Checksum string     `json:"checksum,omitempty"`
+	WalSeq   uint64     `json:"wal_seq,omitempty"`
 	Profiles []*Profile `json:"profiles"`
 }
 
@@ -118,11 +147,17 @@ var ErrCorrupt = errors.New("ifprob: corrupt database")
 
 // profilesChecksum is the payload checksum Save records and Load
 // verifies: the hex SHA-256 of the compact JSON encoding of the
-// profile list.
-func profilesChecksum(profiles []*Profile) (string, error) {
+// profile list, with the WAL watermark appended when non-zero so a
+// bit-flip in wal_seq is caught too. Files without a watermark hash
+// exactly what they always did, so every pre-WAL database still
+// verifies.
+func profilesChecksum(profiles []*Profile, walSeq uint64) (string, error) {
 	data, err := json.Marshal(profiles)
 	if err != nil {
 		return "", err
+	}
+	if walSeq != 0 {
+		data = append(data, fmt.Sprintf("|walseq=%d", walSeq)...)
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:]), nil
@@ -136,7 +171,7 @@ func profilesChecksum(profiles []*Profile) (string, error) {
 // the write after rename (see ErrCorrupt).
 func (db *DB) Save(path string) error {
 	db.mu.Lock()
-	f := dbFile{Version: dbVersion}
+	f := dbFile{Version: dbVersion, WalSeq: db.walSeq}
 	for _, name := range db.programsLocked() {
 		// Deep-copy under the lock: a concurrent Add/Merge mutates the
 		// live slices in place, and the checksum and marshal below run
@@ -146,7 +181,7 @@ func (db *DB) Save(path string) error {
 	}
 	fs := db.faults
 	db.mu.Unlock()
-	sum, err := profilesChecksum(f.Profiles)
+	sum, err := profilesChecksum(f.Profiles, f.WalSeq)
 	if err != nil {
 		return fmt.Errorf("ifprob: encoding database: %w", err)
 	}
@@ -227,11 +262,12 @@ func LoadWith(path string, fs *faults.Set) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	profiles, err := decodeVerified(path, data)
+	profiles, walSeq, err := decodeVerified(path, data)
 	if err != nil {
 		return nil, err
 	}
 	db := NewDB()
+	db.walSeq = walSeq
 	for _, p := range profiles {
 		db.profiles[p.Program] = p
 	}
@@ -243,21 +279,21 @@ func LoadWith(path string, fs *faults.Set) (*DB, error) {
 // checksum, and per-profile counter consistency. Corruption wraps
 // ErrCorrupt; a version mismatch stays a plain error (an old-format
 // file is not corrupt).
-func decodeVerified(path string, data []byte) ([]*Profile, error) {
+func decodeVerified(path string, data []byte) ([]*Profile, uint64, error) {
 	var f dbFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		return nil, 0, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
 	}
 	if f.Version != dbVersion {
-		return nil, fmt.Errorf("ifprob: database %s has version %d, want %d", path, f.Version, dbVersion)
+		return nil, 0, fmt.Errorf("ifprob: database %s has version %d, want %d", path, f.Version, dbVersion)
 	}
 	if f.Checksum != "" {
-		sum, err := profilesChecksum(f.Profiles)
+		sum, err := profilesChecksum(f.Profiles, f.WalSeq)
 		if err != nil {
-			return nil, fmt.Errorf("ifprob: decoding database %s: %w", path, err)
+			return nil, 0, fmt.Errorf("ifprob: decoding database %s: %w", path, err)
 		}
 		if sum != f.Checksum {
-			return nil, fmt.Errorf("%w: %s: checksum mismatch (have %s, want %s)", ErrCorrupt, path, sum, f.Checksum)
+			return nil, 0, fmt.Errorf("%w: %s: checksum mismatch (have %s, want %s)", ErrCorrupt, path, sum, f.Checksum)
 		}
 	}
 	for _, p := range f.Profiles {
@@ -265,30 +301,33 @@ func decodeVerified(path string, data []byte) ([]*Profile, error) {
 			// A null entry (or one with no program name to key on) can
 			// only come from a hand-edited or corrupted file; surfaced
 			// by FuzzDBLoad.
-			return nil, fmt.Errorf("%w: %s: null profile entry", ErrCorrupt, path)
+			return nil, 0, fmt.Errorf("%w: %s: null profile entry", ErrCorrupt, path)
 		}
 		if err := p.CheckConsistent(); err != nil {
-			return nil, fmt.Errorf("%w: %s: inconsistent profile: %v", ErrCorrupt, path, err)
+			return nil, 0, fmt.Errorf("%w: %s: inconsistent profile: %v", ErrCorrupt, path, err)
 		}
 	}
-	return f.Profiles, nil
+	return f.Profiles, f.WalSeq, nil
 }
 
 // VerifyFile re-reads a database file and recomputes every integrity
 // check — checksum included — without building a DB, so an operator
 // can audit stores far larger than memory-merging them would allow
 // (ifprobdb -verify). It returns the number of profiles the file
-// holds; the error reports the first problem found (wrapping
-// ErrCorrupt for untrustworthy contents, passing fs.ErrNotExist
-// through for a missing file).
-func VerifyFile(path string) (int, error) {
+// holds and the write-ahead log watermark embedded in it (zero when
+// no journal ever checkpointed into the file), so an audit can
+// cross-check the checkpoint against the journal itself; the error
+// reports the first problem found (wrapping ErrCorrupt for
+// untrustworthy contents, passing fs.ErrNotExist through for a
+// missing file).
+func VerifyFile(path string) (int, uint64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	profiles, err := decodeVerified(path, data)
+	profiles, walSeq, err := decodeVerified(path, data)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return len(profiles), nil
+	return len(profiles), walSeq, nil
 }

@@ -219,12 +219,15 @@ func TestVerifyFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.json")
 	saveDB(t, path)
 
-	n, err := VerifyFile(path)
+	n, walSeq, err := VerifyFile(path)
 	if err != nil || n != 1 {
 		t.Fatalf("VerifyFile(clean) = %d, %v; want 1 profile", n, err)
 	}
+	if walSeq != 0 {
+		t.Fatalf("VerifyFile(clean) walSeq = %d, want 0 (no journal checkpointed)", walSeq)
+	}
 
-	if _, err := VerifyFile(filepath.Join(t.TempDir(), "absent.json")); !errors.Is(err, fs.ErrNotExist) {
+	if _, _, err := VerifyFile(filepath.Join(t.TempDir(), "absent.json")); !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("VerifyFile(missing) = %v, want fs.ErrNotExist", err)
 	}
 
@@ -241,7 +244,7 @@ func TestVerifyFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := VerifyFile(path); !errors.Is(err, ErrCorrupt) {
+	if _, _, err := VerifyFile(path); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("VerifyFile(bit-flipped) = %v, want ErrCorrupt", err)
 	}
 }

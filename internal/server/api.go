@@ -61,6 +61,11 @@ type profileResponse struct {
 	// Persisted reports whether the updated database reached disk;
 	// false in compute-only degraded mode (see /healthz).
 	Persisted bool `json:"persisted"`
+	// Journaled reports whether the update is in the write-ahead
+	// journal per the configured fsync policy — durable across a crash
+	// even when Persisted is false. Always false when the server runs
+	// without -wal.
+	Journaled bool `json:"journaled"`
 	Degraded  bool `json:"degraded"`
 }
 
@@ -203,6 +208,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, msg)
 		return
 	}
+	journaled := s.journaled(r.Context())
 	persisted := s.saveDB(r.Context(), key)
 	acc, err := s.store.Get(r.Context(), key)
 	if err != nil || acc == nil {
@@ -220,6 +226,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		Instrs:       out.Res.Instrs,
 		CacheHit:     out.CacheHit,
 		Persisted:    persisted,
+		Journaled:    journaled,
 		Degraded:     s.Degraded(),
 	})
 }
@@ -454,6 +461,23 @@ type shardHealth struct {
 	Breaker string `json:"breaker"`
 }
 
+// walHealth is the write-ahead journal detail inside /healthz; absent
+// when the server runs without -wal.
+type walHealth struct {
+	Dir      string `json:"dir"`
+	Policy   string `json:"policy"`
+	Segments int    `json:"segments"`
+	Bytes    int64  `json:"bytes"`
+	// Pending counts journaled records the wrapped driver has not yet
+	// saved — the replay backlog a crash right now would recover.
+	Pending  int    `json:"pending"`
+	LastSeq  uint64 `json:"last_seq"`
+	Replayed uint64 `json:"replayed"`
+	// Broken means a torn append poisoned the log's tail; ingest is
+	// rejected until restart (which truncates the tear and replays).
+	Broken bool `json:"broken"`
+}
+
 // healthResponse is the GET /healthz body.
 type healthResponse struct {
 	Status        string  `json:"status"` // "ok" or "degraded"
@@ -469,6 +493,8 @@ type healthResponse struct {
 	// Repl reports the replication layer's per-peer health; absent on
 	// standalone nodes.
 	Repl *replHealth `json:"repl,omitempty"`
+	// WAL reports the write-ahead journal's health; absent without -wal.
+	WAL *walHealth `json:"wal,omitempty"`
 }
 
 // handleHealthz reports liveness plus degradation detail. It always
@@ -495,6 +521,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			Breaker: shard.Breaker,
 		})
 	}
+	var wh *walHealth
+	if s.wal != nil {
+		ws := s.wal.WALStats()
+		wh = &walHealth{
+			Dir:      ws.Dir,
+			Policy:   string(ws.Policy),
+			Segments: ws.Segments,
+			Bytes:    ws.Bytes,
+			Pending:  ws.Pending,
+			LastSeq:  ws.LastSeq,
+			Replayed: ws.Replayed,
+			Broken:   ws.Broken,
+		}
+	}
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:           status,
 		Breaker:          s.breaker.State().String(),
@@ -505,6 +545,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Programs:         ss.Keys,
 		Store:            sh,
 		Repl:             s.replHealthz(),
+		WAL:              wh,
 	})
 }
 

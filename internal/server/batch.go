@@ -55,7 +55,11 @@ type batchResponse struct {
 	OK        int          `json:"ok"`
 	Failed    int          `json:"failed"`
 	Persisted bool         `json:"persisted"`
-	Degraded  bool         `json:"degraded"`
+	// Journaled reports whether the batch's merges are in the
+	// write-ahead journal per the configured fsync policy; false when
+	// the server runs without -wal.
+	Journaled bool `json:"journaled"`
+	Degraded  bool `json:"degraded"`
 }
 
 // specFor converts a validated profile request into an engine spec.
@@ -166,15 +170,18 @@ func (s *Server) handleProfileBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	journaled := false
 	persisted := false
 	if len(touched) > 0 {
+		journaled = s.journaled(r.Context())
 		persisted = s.saveDB(r.Context(), touched...)
 	}
-	resp := batchResponse{Results: results, Persisted: persisted, Degraded: s.Degraded()}
+	resp := batchResponse{Results: results, Persisted: persisted, Journaled: journaled, Degraded: s.Degraded()}
 	for i := range results {
 		if results[i].Status == http.StatusOK {
 			resp.OK++
 			results[i].Profile.Persisted = persisted
+			results[i].Profile.Journaled = journaled
 			results[i].Profile.Degraded = resp.Degraded
 		} else {
 			resp.Failed++
@@ -184,12 +191,23 @@ func (s *Server) handleProfileBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamSummary is the trailing NDJSON object a stream reply ends
-// with: total accounting plus whether the final save held.
+// with: total accounting plus the stream's two durability outcomes,
+// reported separately because they answer different questions —
+// Journaled ("would a crash right now lose accepted entries?") and
+// Saved ("did the driver's own save land?"). Persisted mirrors Saved
+// for pre-journal clients.
 type streamSummary struct {
-	Done      bool `json:"done"`
-	Lines     int  `json:"lines"`
-	OK        int  `json:"ok"`
-	Failed    int  `json:"failed"`
+	Done   bool `json:"done"`
+	Lines  int  `json:"lines"`
+	OK     int  `json:"ok"`
+	Failed int  `json:"failed"`
+	// Journaled: every accepted entry reached the write-ahead journal
+	// per the configured fsync policy. False when the server runs
+	// without -wal, or any journal commit failed.
+	Journaled bool `json:"journaled"`
+	// Saved: every periodic and final save of the touched shards
+	// landed in the wrapped driver.
+	Saved     bool `json:"saved"`
 	Persisted bool `json:"persisted"`
 	Degraded  bool `json:"degraded"`
 }
@@ -237,9 +255,16 @@ func (s *Server) handleProfileStream(w http.ResponseWriter, r *http.Request) {
 	sum := streamSummary{Done: true}
 	var touched []string
 	allSaved := true
+	allJournaled := true
 	flushTouched := func() {
 		if len(touched) == 0 {
 			return
+		}
+		// Journal commit first: the save-window boundary is also the
+		// batch-policy fsync point, so a crash between windows loses
+		// nothing the summary will claim as journaled.
+		if !s.journaled(r.Context()) {
+			allJournaled = false
 		}
 		// The final flush runs even when the client's deadline already
 		// expired — accepted profiles should still reach disk.
@@ -300,7 +325,9 @@ func (s *Server) handleProfileStream(w http.ResponseWriter, r *http.Request) {
 	}
 	flushTouched()
 	sum.Lines = line
-	sum.Persisted = allSaved && sum.OK > 0 && s.store.Stats().Persistent
+	sum.Saved = allSaved && sum.OK > 0 && s.store.Stats().Persistent
+	sum.Persisted = sum.Saved
+	sum.Journaled = allJournaled && sum.OK > 0 && s.wal != nil
 	sum.Degraded = s.Degraded()
 	emit(sum)
 }

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"branchprof/internal/faults"
+)
+
+// TestCrashRecoveryMatrix is the write-ahead journal's crash
+// consistency proof: the process is "killed" (a Crash failpoint
+// panicking at an injected point, the in-memory server abandoned
+// without any drain or save) at every journal-relevant operation —
+// append, sync, driver save, truncation, and replay itself — under
+// every ingest path (single, batch, stream, and degraded-mode ingest
+// whose saves fail), and after a clean reopen exactly the
+// acknowledged entries are counted exactly once:
+//
+//   - no acknowledged entry is lost (ack happens after the journal
+//     append, fsync=record, so every ack is on the medium);
+//   - no entry is double-counted (Profile.Merge adds counters, so a
+//     record that is both saved and replayed would show up twice —
+//     the per-group watermark embedded in the driver's save unit
+//     prevents that);
+//   - an entry in flight at the kill may land zero or one times,
+//     never more.
+//
+// Each request uses a distinct program key, making the accounting
+// exact: a key's executed-branch count must be 0× or 1× the per-run
+// baseline, and 1× when its request was acknowledged.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	perRun := crashBaseline(t)
+
+	// healingSaves fails the first few shard saves (the manifest's
+	// DBSave consultation is call 1 and unlabeled "shard-"), then
+	// heals — degraded-mode ingest whose backlog must survive a crash.
+	healingSaves := faults.Rule{Stage: faults.DBSave, Kind: faults.Error, Label: "shard-", Through: 3}
+	// deadSaves never heals: every record stays pending in the journal,
+	// guaranteeing the replay-crash scenario has records to replay.
+	deadSaves := faults.Rule{Stage: faults.DBSave, Kind: faults.Error, Label: "shard-"}
+
+	scenarios := []struct {
+		name string
+		// rule is the crash injector; the zero Rule means the crash
+		// happens in phase 2, during replay, instead.
+		rule   faults.Rule
+		replay bool
+	}{
+		{name: "append-crash", rule: faults.Rule{Stage: faults.JournalAppend, Kind: faults.Crash, Nth: 3}},
+		{name: "append-torn", rule: faults.Rule{Stage: faults.JournalAppend, Kind: faults.TornWrite, Nth: 3}},
+		{name: "sync-crash", rule: faults.Rule{Stage: faults.JournalSync, Kind: faults.Crash, Nth: 4}},
+		{name: "save-crash", rule: faults.Rule{Stage: faults.DBSave, Kind: faults.Crash, Nth: 3}},
+		{name: "truncate-crash", rule: faults.Rule{Stage: faults.JournalTruncate, Kind: faults.Crash, Nth: 2}},
+		{name: "replay-crash", replay: true},
+	}
+	paths := []string{"single", "batch", "stream", "degraded"}
+
+	for _, sc := range scenarios {
+		for _, path := range paths {
+			sc, path := sc, path
+			t.Run(sc.name+"/"+path, func(t *testing.T) {
+				t.Parallel()
+				// The crash rule goes first so an Nth match beats the
+				// catch-all degraded error rule at the same stage.
+				var rules []faults.Rule
+				if !sc.replay {
+					rules = append(rules, sc.rule)
+				}
+				switch {
+				case sc.replay:
+					rules = append(rules, deadSaves)
+				case path == "degraded":
+					rules = append(rules, healingSaves)
+				}
+				runCrashScenario(t, perRun, rules, path, sc.replay)
+			})
+		}
+	}
+}
+
+// crashBaseline measures one run's executed-branch count for the
+// matrix's fixed program and input.
+func crashBaseline(t *testing.T) uint64 {
+	t.Helper()
+	s := newTestServer(t, Options{Concurrency: 1})
+	var pr profileResponse
+	if code := doJSON(t, s, "POST", "/v1/profile", profileBody("base", "d", countSrc, "aaa"), &pr); code != http.StatusOK {
+		t.Fatalf("baseline profile: status %d", code)
+	}
+	if pr.Executed == 0 {
+		t.Fatal("baseline executed 0 branches")
+	}
+	return pr.Executed
+}
+
+func runCrashScenario(t *testing.T, perRun uint64, rules []faults.Rule, path string, replayCrash bool) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "profiles.d")
+	walDir := filepath.Join(dir, "wal")
+	open := func(fs *faults.Set) (*Server, Warnings, error) {
+		return New(Options{
+			Concurrency: 2, DBPath: dbPath, Shards: 4,
+			WALDir: walDir, WALFsync: "record", Faults: fs,
+		})
+	}
+	fs := faults.NewSet(11, rules...)
+	srv, _, err := open(fs)
+	if err != nil {
+		t.Fatalf("phase-1 open: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() }) // save-free; the abandon stays a kill
+
+	var crashStage faults.Stage
+	if !replayCrash {
+		crashStage = rules[0].Stage
+	}
+	acked := make(map[string]bool)
+	var sent []string
+	keyN := 0
+	nextKey := func() string {
+		k := fmt.Sprintf("p%02d", keyN)
+		keyN++
+		sent = append(sent, k)
+		return k
+	}
+
+	const rounds = 8
+	for round := 0; round < rounds; round++ {
+		if !replayCrash && fs.Fired(crashStage) > 0 {
+			break // the process is dead; nothing more is sent
+		}
+		switch path {
+		case "single", "degraded":
+			key := nextKey()
+			if code := doJSON(t, srv, "POST", "/v1/profile",
+				profileBody(key, "d", countSrc, "aaa"), nil); code == http.StatusOK {
+				acked[key] = true
+			}
+		case "batch":
+			keys := []string{nextKey(), nextKey()}
+			var entries []map[string]any
+			for _, k := range keys {
+				entries = append(entries, profileBody(k, "d", countSrc, "aaa"))
+			}
+			var br batchResponse
+			if code := doJSON(t, srv, "POST", "/v1/profile/batch",
+				map[string]any{"entries": entries}, &br); code == http.StatusOK {
+				for _, e := range br.Results {
+					if e.Status == http.StatusOK && e.Index < len(keys) {
+						acked[keys[e.Index]] = true
+					}
+				}
+			}
+		case "stream":
+			keys := []string{nextKey(), nextKey(), nextKey()}
+			for _, i := range postCrashStream(t, srv, keys) {
+				acked[keys[i]] = true
+			}
+		}
+	}
+	if !replayCrash && fs.Fired(crashStage) == 0 {
+		t.Fatalf("crash fault at %s never fired in %d rounds (calls: %d)",
+			crashStage, rounds, fs.Calls(crashStage))
+	}
+	if len(sent) == 0 {
+		t.Fatal("scenario sent no requests")
+	}
+
+	if replayCrash {
+		// Phase 2: the kill happens during recovery itself. Replay
+		// never saves or truncates, so a crashed replay restarts from
+		// the same disk state.
+		rfs := faults.NewSet(13, faults.Rule{Stage: faults.JournalReplay, Kind: faults.Crash, Nth: 2})
+		func() {
+			defer func() {
+				if v := recover(); !faults.IsCrash(v) {
+					t.Fatalf("replay open recovered %v, want a CrashPanic", v)
+				}
+			}()
+			open(rfs)
+			t.Fatal("open survived the injected replay crash")
+		}()
+		if rfs.Fired(faults.JournalReplay) == 0 {
+			t.Fatal("replay crash never fired (no records to replay?)")
+		}
+	}
+
+	// Recovery: a clean reopen truncates any torn tail and replays the
+	// journal's unapplied suffix.
+	srv2, warns, err := open(nil)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	for _, w := range warns {
+		t.Logf("recovery warning: %s", w)
+	}
+
+	ctx := context.Background()
+	ackedCount := 0
+	for _, key := range sent {
+		p, err := srv2.Store().Get(ctx, key+"@d")
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+		var n uint64
+		if p != nil {
+			n = p.Executed()
+		}
+		if n%perRun != 0 {
+			t.Fatalf("%s: executed %d is not a whole multiple of %d per run — partial merge survived", key, n, perRun)
+		}
+		switch times := n / perRun; {
+		case acked[key] && times != 1:
+			t.Fatalf("%s: acknowledged once but counted %d times after recovery", key, times)
+		case !acked[key] && times > 1:
+			t.Fatalf("%s: never acknowledged but counted %d times after recovery", key, times)
+		default:
+			if acked[key] {
+				ackedCount++
+			}
+		}
+	}
+	t.Logf("%s: %d keys sent, %d acked — all accounted exactly once", path, len(sent), ackedCount)
+}
+
+// postCrashStream posts keys as NDJSON stream lines and returns the
+// indexes acknowledged with a 200 entry. A crash mid-stream leaves
+// the response truncated (possibly with a recovered-500 error object
+// appended); only well-formed 200 entries count as acknowledged.
+func postCrashStream(t *testing.T, srv *Server, keys []string) []int {
+	t.Helper()
+	var body bytes.Buffer
+	for _, k := range keys {
+		if err := json.NewEncoder(&body).Encode(profileBody(k, "d", countSrc, "aaa")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest("POST", "/v1/profile/stream", &body)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+
+	var ackedIdx []int
+	sc := bufio.NewScanner(rec.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e struct {
+			Done   bool `json:"done"`
+			Index  int  `json:"index"`
+			Status int  `json:"status"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // garbled tail after a mid-emit crash
+		}
+		if e.Done {
+			break
+		}
+		if e.Status == http.StatusOK && e.Index >= 0 && e.Index < len(keys) {
+			ackedIdx = append(ackedIdx, e.Index)
+		}
+	}
+	return ackedIdx
+}

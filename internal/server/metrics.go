@@ -95,8 +95,42 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			return 0
 		})
 	m.registerStoreGauges(s)
+	m.registerWALGauges(s)
 	m.registerReplMetrics(s)
 	return m
+}
+
+// registerWALGauges exposes the write-ahead journal's shape
+// (branchprofd_wal_*). No-op when the server runs without -wal.
+func (m *serverMetrics) registerWALGauges(s *Server) {
+	if m.reg == nil || s.wal == nil {
+		return
+	}
+	m.reg.GaugeFunc("branchprofd_wal_pending",
+		"Journaled records not yet saved by the wrapped driver (the replay backlog).",
+		func() float64 { return float64(s.wal.WALStats().Pending) })
+	m.reg.GaugeFunc("branchprofd_wal_segments", "Journal segment files on disk.",
+		func() float64 { return float64(s.wal.WALStats().Segments) })
+	m.reg.GaugeFunc("branchprofd_wal_bytes", "Total journal bytes on disk.",
+		func() float64 { return float64(s.wal.WALStats().Bytes) })
+	m.reg.GaugeFunc("branchprofd_wal_last_seq", "Last sequence number assigned to a journal record.",
+		func() float64 { return float64(s.wal.WALStats().LastSeq) })
+	m.reg.GaugeFunc("branchprofd_wal_appends_total", "Records appended to the journal since open.",
+		func() float64 { return float64(s.wal.WALStats().Appends) })
+	m.reg.GaugeFunc("branchprofd_wal_syncs_total", "Journal fsyncs since open.",
+		func() float64 { return float64(s.wal.WALStats().Syncs) })
+	m.reg.GaugeFunc("branchprofd_wal_replayed_total", "Records replayed into the driver at open.",
+		func() float64 { return float64(s.wal.WALStats().Replayed) })
+	m.reg.GaugeFunc("branchprofd_wal_truncated_total", "Segments deleted or reset after their records became durable.",
+		func() float64 { return float64(s.wal.WALStats().Truncated) })
+	m.reg.GaugeFunc("branchprofd_wal_broken",
+		"1 while a torn append has poisoned the journal tail (restart required).",
+		func() float64 {
+			if s.wal.Broken() {
+				return 1
+			}
+			return 0
+		})
 }
 
 // registerReplMetrics exposes the replication plane: per-peer sync

@@ -52,6 +52,7 @@ import (
 	"branchprof/internal/obs"
 	"branchprof/internal/store"
 	"branchprof/internal/store/replstore"
+	"branchprof/internal/store/wal"
 
 	_ "branchprof/internal/store/memstore"   // linked store driver: "mem"
 	_ "branchprof/internal/store/shardstore" // linked store driver: "shard"
@@ -79,6 +80,22 @@ type Options struct {
 	// Store, when non-nil, is used directly and DBPath/Shards are
 	// ignored — the injection point for tests and embedders.
 	Store store.Store
+	// WALDir, when non-empty, journals every profile mutation to a
+	// write-ahead log in that directory before it is acknowledged, and
+	// replays unapplied records on startup — acknowledged ingest
+	// survives a crash even when the driver's save never ran (see
+	// docs/ROBUSTNESS.md "Durability contract"). The underlying driver
+	// must support checkpoints (both built-in drivers do).
+	WALDir string
+	// WALFsync picks when journal appends reach the medium: "record"
+	// (fsync inside every append — strongest, slowest), "batch" (fsync
+	// once per ingest request before the acknowledgement) or "interval"
+	// (background fsync every WALInterval — weakest, fastest). Empty
+	// means "record".
+	WALFsync string
+	// WALInterval is the background sync period under the "interval"
+	// policy; 0 means 100ms.
+	WALInterval time.Duration
 	// Concurrency bounds simultaneously executing requests;
 	// 0 means the engine's worker count.
 	Concurrency int
@@ -143,6 +160,7 @@ type Server struct {
 	eng     *engine.Engine
 	store   store.Store
 	guarded bool             // the store isolates its own save failures (per-shard breakers)
+	wal     *wal.Store       // non-nil when WALDir journaling is on
 	repl    *replstore.Store // non-nil when peer replication is on
 	syncer  *syncer          // non-nil when Peers is non-empty
 	gate    *gate
@@ -229,6 +247,28 @@ func New(opts Options) (*Server, Warnings, error) {
 			return nil, warns, fmt.Errorf("server: opening profile store: %w", err)
 		}
 		s.store = st
+	}
+	if opts.WALDir != "" && opts.Store == nil && opts.DBPath == "" {
+		// An in-memory store's Save is a successful no-op, which would
+		// let the journal truncate records that are durable nowhere.
+		return nil, warns, errors.New("server: WALDir requires a persistent store (set DBPath)")
+	}
+	if opts.WALDir != "" {
+		// The journal sits below the replication layer so that composite
+		// component keys, sync-pull applies and origin adoptions are all
+		// journaled mutations — a crashed node replays its replicated
+		// state too.
+		ws, w, err := wal.Wrap(context.Background(), s.store, opts.WALDir, wal.Options{
+			Fsync:    wal.FsyncPolicy(opts.WALFsync),
+			Interval: opts.WALInterval,
+			Faults:   opts.Faults,
+		})
+		warns = append(warns, w...)
+		if err != nil {
+			return nil, warns, fmt.Errorf("server: opening write-ahead journal: %w", err)
+		}
+		s.wal = ws
+		s.store = ws
 	}
 	if opts.SelfID != "" {
 		rs, w, err := replstore.Wrap(context.Background(), s.store, replstore.Config{Self: opts.SelfID})
@@ -399,9 +439,36 @@ func (s *Server) Close() error {
 // Degraded reports whether the server is in (possibly partial)
 // compute-only degraded mode: the server-wide persistent-I/O circuit
 // is open or probing, or — for a sharded store — any shard's breaker
-// is.
+// is, or the write-ahead journal is broken (a torn append poisoned
+// the log's tail; no further ingest can be made durable).
 func (s *Server) Degraded() bool {
-	return s.breaker.Degraded() || s.store.Stats().Degraded
+	if s.breaker.Degraded() || s.store.Stats().Degraded {
+		return true
+	}
+	return s.wal != nil && s.wal.Broken()
+}
+
+// journaled drives the journal to its policy's commit point at an
+// ingest acknowledgement boundary and reports whether the request's
+// mutations are in the journal per that policy: under "record" every
+// append already synced, under "batch" this is the per-request fsync,
+// and under "interval" the append is journaled with the sync owed to
+// the background ticker. False when journaling is off or the commit
+// failed.
+func (s *Server) journaled(ctx context.Context) bool {
+	if s.wal == nil {
+		return false
+	}
+	if s.wal.Broken() {
+		return false
+	}
+	if s.wal.Policy() == wal.FsyncBatch {
+		// Detached from the request context like the stream's final
+		// save: an expired client deadline must not lose the fsync for
+		// already-applied mutations.
+		return s.wal.Sync(context.WithoutCancel(ctx)) == nil
+	}
+	return true
 }
 
 // instrument is the outermost middleware: panic-to-500 recovery plus

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -118,6 +120,55 @@ func (c *cluster) post(i int, method, path string, body, out any) int {
 		return -1
 	}
 	return doJSON(c.t, node.srv, method, path, body, out)
+}
+
+// streamIngest posts n copies of body as one NDJSON request to node
+// i's /v1/profile/stream, holding the liveness read-lock like post.
+// It returns how many lines were acknowledged with a 200 entry plus
+// the HTTP status (-1 when the node is down). A crash mid-stream
+// truncates the response; only well-formed 200 entries count as
+// acknowledged, exactly what a careful client would retry on.
+func (c *cluster) streamIngest(i, n int, body map[string]any) (int, int) {
+	node := c.nodes[i]
+	node.mu.RLock()
+	defer node.mu.RUnlock()
+	if !node.alive {
+		return 0, -1
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for k := 0; k < n; k++ {
+		if err := enc.Encode(body); err != nil {
+			c.t.Errorf("encoding stream line: %v", err)
+			return 0, -1
+		}
+	}
+	req := httptest.NewRequest("POST", "/v1/profile/stream", &buf)
+	rec := httptest.NewRecorder()
+	node.srv.Handler().ServeHTTP(rec, req)
+	acked := 0
+	sc := bufio.NewScanner(rec.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e struct {
+			Done   bool `json:"done"`
+			Status int  `json:"status"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // garbled tail after a mid-emit crash
+		}
+		if e.Done {
+			break
+		}
+		if e.Status == http.StatusOK {
+			acked++
+		}
+	}
+	return acked, rec.Code
 }
 
 // kill abruptly stops node i: no drain, no final sync — the crash the
@@ -481,14 +532,18 @@ func TestSyncLoopLifecycle(t *testing.T) {
 	}
 }
 
-// TestSoakClusterConvergence is the tentpole's proof: a three-node
-// cluster under concurrent multi-node ingest, with one node killed
-// mid-ingest and a network partition between the two survivors that
-// heals mid-run. Healthy nodes must answer reads with no 5xx
-// throughout; after the dead node restarts from its persisted shards
-// and bounded anti-entropy rounds run, all three nodes must hold
-// bit-identical profile snapshots whose counters account for every
-// accepted ingest exactly once. Run under -race by `make soak-cluster`.
+// TestSoakClusterConvergence is the robustness soak: a three-node
+// cluster — every node journaling to a write-ahead log — under
+// concurrent multi-node ingest, with node3 crash-killed by a Crash
+// failpoint mid-stream-ingest and a network partition between the two
+// survivors that heals mid-run. node3's shard saves fail throughout,
+// so every line it acknowledges survives ONLY in its journal; its
+// restart must replay exactly the acknowledged records. Healthy nodes
+// must answer reads with no 5xx throughout; after the dead node
+// restarts (journal replay) and bounded anti-entropy rounds run, all
+// three nodes must hold bit-identical profile snapshots whose
+// counters account for every accepted ingest exactly once. Run under
+// -race by `make soak-cluster`.
 func TestSoakClusterConvergence(t *testing.T) {
 	ctx := context.Background()
 	dir := t.TempDir()
@@ -497,17 +552,39 @@ func TestSoakClusterConvergence(t *testing.T) {
 	// stage consultations, so healthy node3 exchanges spend it too —
 	// large enough to keep the partition up across many sync rounds.
 	const partitionWindow = 60
+	// node3 "dies" (Crash failpoint) at its crashAppend-th journal
+	// append. Its appends come only from its own stream ingest — it
+	// never gossip-pulls before the restart — so the count is exact:
+	// the crash lands mid-stream, with at least one worker's request
+	// in flight.
+	const crashAppend = 23
 
+	var node3Faults *faults.Set
 	c := newCluster(t, 3, func(i int, urls []string, o *Options) {
 		o.DBPath = filepath.Join(dir, fmt.Sprintf("node%d-db", i+1))
 		o.Shards = 4
-		if i == 0 {
+		o.WALDir = filepath.Join(dir, fmt.Sprintf("node%d-wal", i+1))
+		o.WALFsync = "record"
+		switch i {
+		case 0:
 			// Asymmetric partition: node1 cannot pull from node2 until
 			// the window is spent; node2 pulls from node1 freely. The
 			// nastier case for convergence — state flows one way only.
 			o.Faults = faults.NewSet(7, faults.Rule{
 				Stage: faults.PeerFetch, Kind: faults.Error, Label: urls[1], Through: partitionWindow,
 			})
+		case 2:
+			// node3's shard saves never succeed (the manifest, not
+			// labeled "shard-", still lands), so acked ingest lives
+			// only in its journal — and the node is crash-killed
+			// mid-stream. The same set survives the restart: Nth has
+			// passed, the dead saves persist, and replay alone must
+			// carry the data.
+			node3Faults = faults.NewSet(17,
+				faults.Rule{Stage: faults.JournalAppend, Kind: faults.Crash, Nth: crashAppend},
+				faults.Rule{Stage: faults.DBSave, Kind: faults.Error, Label: "shard-"},
+			)
+			o.Faults = node3Faults
 		}
 	})
 
@@ -518,9 +595,13 @@ func TestSoakClusterConvergence(t *testing.T) {
 		stopSync = make(chan struct{})
 	)
 
-	// Continuous background anti-entropy on every live node, racing
-	// the ingest workers — the -race soak surface.
-	for i := 0; i < 3; i++ {
+	// Continuous background anti-entropy on the two surviving nodes,
+	// racing the ingest workers — the -race soak surface. node3 does
+	// not pull before its restart: its journal-append counter must
+	// stay an exact ledger of its own ingest so the crash failpoint
+	// fires deterministically (replicated puts would also append).
+	// It still serves its peers' pulls throughout.
+	for i := 0; i < 2; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -543,24 +624,19 @@ func TestSoakClusterConvergence(t *testing.T) {
 		}(i)
 	}
 
-	// Ingest workers: two per node, each posting its node's dataset.
-	// node3's workers stop at half quota; then node3 is killed.
+	// Ingest workers: two per node. node1 and node2 post single
+	// requests; node3's ingest arrives as NDJSON streams — the path
+	// whose per-line acks outrun the driver's save window, so the
+	// journal is all that protects them when the node dies.
 	const perWorker = 20
-	var node3Half sync.WaitGroup
-	node3Half.Add(2)
 	var ingest sync.WaitGroup
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 2; i++ {
 		for w := 0; w < 2; w++ {
 			ingest.Add(1)
-			go func(i, w int) {
+			go func(i int) {
 				defer ingest.Done()
 				ds := fmt.Sprintf("ds%d", i+1)
-				half := false
 				for k := 0; k < perWorker; k++ {
-					if i == 2 && k == perWorker/2 && !half {
-						half = true
-						node3Half.Done()
-					}
 					code := c.post(i, "POST", "/v1/profile", profileBody("count", ds, countSrc, "aaab"), nil)
 					switch {
 					case code == http.StatusOK:
@@ -576,12 +652,38 @@ func TestSoakClusterConvergence(t *testing.T) {
 						k--
 					}
 				}
-			}(i, w)
+			}(i)
 		}
 	}
+	for w := 0; w < 2; w++ {
+		ingest.Add(1)
+		go func() {
+			defer ingest.Done()
+			for {
+				n, code := c.streamIngest(2, perWorker, profileBody("count", "ds3", countSrc, "aaab"))
+				accepted[2].Add(uint64(n))
+				if code == http.StatusTooManyRequests && n == 0 {
+					continue // shed before streaming began: retry
+				}
+				// Done, truncated by the crash, or the node is dead —
+				// either way acked lines are journaled and counted.
+				return
+			}
+		}()
+	}
 
-	// Kill node3 once its workers are half done — mid-ingest, no drain.
-	node3Half.Wait()
+	// Kill node3 the moment its crash failpoint fires — mid-stream,
+	// no drain, no save. kill waits for in-flight requests (liveness
+	// write-lock), so lines acked after the crash are still journaled
+	// and still owed exactly once.
+	deadline := time.Now().Add(10 * time.Second)
+	for node3Faults.Fired(faults.JournalAppend) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node3 crash failpoint never fired (journal appends: %d)",
+				node3Faults.Calls(faults.JournalAppend))
+		}
+		time.Sleep(time.Millisecond)
+	}
 	c.kill(2)
 
 	// Reads on the healthy nodes must keep working through the
@@ -615,9 +717,21 @@ func TestSoakClusterConvergence(t *testing.T) {
 		c.nodes[0].srv.SyncNow(ctx) //nolint:errcheck // partitioned rounds error
 	}
 
-	// The dead node returns from disk; bounded rounds must converge
-	// the whole cluster.
+	// The dead node returns: its shards hold nothing (saves always
+	// failed), so recovery is pure journal replay — one record per
+	// acknowledged stream line, nothing skipped, nothing doubled.
 	c.restart(2)
+	var hr healthResponse
+	if code := c.post(2, "GET", "/healthz", nil, &hr); code != http.StatusOK {
+		t.Fatalf("healthz on restarted node3 = %d", code)
+	}
+	if hr.WAL == nil {
+		t.Fatal("restarted node3 reports no wal block in /healthz")
+	} else if got, want := hr.WAL.Replayed, accepted[2].Load(); got != want {
+		t.Errorf("node3 replayed %d journal records, want %d (one per acked stream line)", got, want)
+	}
+
+	// Bounded anti-entropy rounds must now converge the whole cluster.
 	c.converge(ctx, 20)
 
 	snaps := []string{c.snapshotJSON(0), c.snapshotJSON(1), c.snapshotJSON(2)}

@@ -192,6 +192,25 @@ func (s *Store) Save(ctx context.Context, _ ...string) error {
 	return nil
 }
 
+// SaveGroup implements store.Checkpointed: one file, one group.
+func (s *Store) SaveGroup(string) string { return "" }
+
+// WALCheckpoint implements store.Checkpointed.
+func (s *Store) WALCheckpoint(string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.WalSeq()
+}
+
+// StageWALCheckpoint implements store.Checkpointed. The watermark is
+// persisted inside the database file by the next Save.
+func (s *Store) StageWALCheckpoint(_ string, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.SetWalSeq(seq)
+	s.dirty = true
+}
+
 // Close implements store.Store. Nothing to release; unsaved changes
 // are dropped by contract (callers Save first).
 func (s *Store) Close(context.Context) error { return nil }

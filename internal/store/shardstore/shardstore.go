@@ -139,7 +139,7 @@ func Open(ctx context.Context, path string, opts store.Options) (*Store, []strin
 		return nil, warns, fmt.Errorf("shardstore: probing %s: %w", path, err)
 	}
 
-	m, err := loadOrInitManifest(path, opts.Shards)
+	m, err := loadOrInitManifest(path, opts.Shards, opts.Faults)
 	if err != nil {
 		return nil, warns, err
 	}
@@ -208,7 +208,7 @@ func ShardFile(root string, i int) string {
 // a new (empty-of-manifest) root. The manifest's shard count wins
 // over the requested one: resharding an existing store is a separate,
 // explicit migration, not a flag change.
-func loadOrInitManifest(root string, requested int) (*manifest, error) {
+func loadOrInitManifest(root string, requested int, inj *faults.Set) (*manifest, error) {
 	mpath := filepath.Join(root, store.ManifestName)
 	data, err := os.ReadFile(mpath)
 	switch {
@@ -235,7 +235,7 @@ func loadOrInitManifest(root string, requested int) (*manifest, error) {
 		if m.Shards > maxShards {
 			return nil, fmt.Errorf("shardstore: %d shards exceeds the maximum of %d", m.Shards, maxShards)
 		}
-		if err := writeManifest(root, m); err != nil {
+		if err := writeManifest(root, m, inj); err != nil {
 			return nil, err
 		}
 		return m, nil
@@ -244,19 +244,37 @@ func loadOrInitManifest(root string, requested int) (*manifest, error) {
 	}
 }
 
-// writeManifest writes the manifest atomically (temp + rename), the
-// same crash discipline as the shard files themselves.
-func writeManifest(root string, m *manifest) error {
+// writeManifest writes the manifest atomically (temp + fsync + rename
+// + directory fsync), the same crash discipline as the shard files
+// themselves, consulting the fault set at stage db-save (label = the
+// manifest's final path) so chaos tests can tear or fail the store's
+// very first write. A torn write leaves truncated bytes only in the
+// temp file and reports failure — the final path never holds a
+// partial manifest, which is the property the regression test pins.
+func writeManifest(root string, m *manifest, inj *faults.Set) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("shardstore: encoding manifest: %w", err)
 	}
 	data = append(data, '\n')
+	mpath := filepath.Join(root, store.ManifestName)
+	if err := inj.Fire(faults.DBSave, mpath); err != nil {
+		return fmt.Errorf("shardstore: writing manifest: %w", err)
+	}
 	tmp, err := os.CreateTemp(root, ".manifest-*.tmp")
 	if err != nil {
 		return fmt.Errorf("shardstore: writing manifest: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if n := inj.Torn(faults.DBSave, mpath, len(data)); n < len(data) {
+		// Crash mid-write: the truncated bytes reach the medium (temp
+		// file only — the rename never happens) and the writer dies.
+		tmp.Write(data[:n])
+		tmp.Sync()
+		tmp.Close()
+		return fmt.Errorf("shardstore: writing manifest %s: %w", mpath,
+			&faults.InjectedError{Stage: faults.DBSave, Label: mpath})
+	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("shardstore: writing manifest: %w", err)
@@ -271,8 +289,15 @@ func writeManifest(root string, m *manifest) error {
 	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
 		return fmt.Errorf("shardstore: writing manifest: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(root, store.ManifestName)); err != nil {
+	if err := os.Rename(tmp.Name(), mpath); err != nil {
 		return fmt.Errorf("shardstore: writing manifest: %w", err)
+	}
+	// The rename is atomic but not durable until the directory entry
+	// itself is synced — a crash after rename could otherwise revert
+	// to a rootless store on some filesystems.
+	if d, err := os.Open(root); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }
@@ -319,7 +344,7 @@ func migrate(path string, opts store.Options) ([]string, error) {
 		return nil, fmt.Errorf("shardstore: staging %s: %w", staging, err)
 	}
 	m := &manifest{Version: manifestVersion, Shards: shards, VNodes: defaultVNodes, Hash: "fnv64a"}
-	if err := writeManifest(staging, m); err != nil {
+	if err := writeManifest(staging, m, opts.Faults); err != nil {
 		return nil, err
 	}
 	r := newRing(m.Shards, m.VNodes)
@@ -542,6 +567,24 @@ func (s *Store) Save(ctx context.Context, keys ...string) error {
 		return fmt.Errorf("shardstore: shards %s skipped by open breaker: %w", strings.Join(skipped, ","), store.ErrDegraded)
 	}
 	return nil
+}
+
+// SaveGroup implements store.Checkpointed: a key's unit of atomic
+// persistence is its shard.
+func (s *Store) SaveGroup(key string) string { return s.shardFor(key).name }
+
+// WALCheckpoint implements store.Checkpointed.
+func (s *Store) WALCheckpoint(key string) uint64 {
+	return s.shardFor(key).database().WalSeq()
+}
+
+// StageWALCheckpoint implements store.Checkpointed: the watermark
+// lands inside the shard's database file on its next Save, atomically
+// with the data it describes.
+func (s *Store) StageWALCheckpoint(key string, seq uint64) {
+	sh := s.shardFor(key)
+	sh.database().SetWalSeq(seq)
+	sh.dirty.Store(true)
 }
 
 // Close implements store.Store. Unsaved changes are dropped by

@@ -292,3 +292,43 @@ func TestSaveScopesToKeyShards(t *testing.T) {
 		t.Fatalf("unselected shard lost its dirty flag: %+v", sh)
 	}
 }
+
+// TestManifestTornWriteAtomic: a torn write while creating the very
+// first MANIFEST.json must fail the open without leaving a corrupt
+// manifest at the final path — the next open starts clean.
+func TestManifestTornWriteAtomic(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "profiles.d")
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.DBSave, Kind: faults.TornWrite, Label: store.ManifestName})
+	if _, _, err := Open(ctx, path, store.Options{Shards: 4, Faults: fs}); !faults.Is(err) {
+		t.Fatalf("open with torn manifest write = %v, want injected error", err)
+	}
+	if _, err := os.Stat(filepath.Join(path, store.ManifestName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("final manifest path exists after torn write: %v", err)
+	}
+
+	// The failed creation left no poison: a clean open succeeds and
+	// pins its own shard count.
+	s := openShards(t, path, store.Options{Shards: 4})
+	if err := s.Merge(ctx, mkProfile("prog@ds", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openShards(t, path, store.Options{Shards: 16})
+	if got := len(s2.Stats().Shards); got != 4 {
+		t.Fatalf("recovered store has %d shards, want 4", got)
+	}
+}
+
+// TestManifestSaveFaultInjectable: the manifest write participates in
+// DBSave fault injection like any other persistence point.
+func TestManifestSaveFaultInjectable(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "profiles.d")
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.DBSave, Kind: faults.Error, Label: store.ManifestName})
+	if _, _, err := Open(ctx, path, store.Options{Shards: 4, Faults: fs}); !faults.Is(err) {
+		t.Fatalf("open with failing manifest write = %v, want injected error", err)
+	}
+}

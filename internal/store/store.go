@@ -86,6 +86,33 @@ type Store interface {
 	Stats() Stats
 }
 
+// Checkpointed is the optional interface a driver implements to host
+// write-ahead journal watermarks inside its own persistence unit. The
+// wal layer (internal/store/wal) requires it of the store it wraps:
+// the watermark must live *in the same file as the data it describes*
+// — written in the same atomic rename — because a checkpoint stored
+// separately from the data always leaves a crash window in which the
+// two disagree, and Profile.Merge is not idempotent, so replaying a
+// record the data already includes double-counts every branch.
+//
+// A save group is the driver's unit of atomic persistence: the single
+// database file for memstore (group ""), one shard for shardstore
+// (group = shard directory name). All three methods key by store key
+// and resolve the owning group internally.
+type Checkpointed interface {
+	// SaveGroup names the save group that persists key.
+	SaveGroup(key string) string
+	// WALCheckpoint returns key's group's durable-or-staged watermark:
+	// the highest journal sequence number whose effect the group's
+	// in-memory state includes. After Load it reflects what the
+	// persisted file recorded.
+	WALCheckpoint(key string) uint64
+	// StageWALCheckpoint records seq as included in key's group's
+	// in-memory state. The next Save of that group persists data and
+	// watermark together. Watermarks only move forward.
+	StageWALCheckpoint(key string, seq uint64)
+}
+
 // Stats describes a store for health endpoints and metrics.
 type Stats struct {
 	// Driver is the registered driver name ("mem", "shard").

@@ -1,0 +1,942 @@
+// Package wal is the write-ahead journal layer of the profile store:
+// a store.Store wrapper that appends every mutation (Merge, Put,
+// Delete) to a segmented, CRC-framed log on disk *before* applying it
+// to the wrapped driver, and replays unapplied records when the store
+// reopens. With it, "200 OK" can mean durable: an acknowledged ingest
+// survives a crash even when the wrapped driver's periodic Save never
+// ran — including the save breaker's degraded mode, whose outage data
+// previously lived purely in memory.
+//
+// # Layout and framing
+//
+//	<dir>/wal-00000001.seg
+//	<dir>/wal-00000002.seg        (active)
+//
+// Each segment is a sequence of frames:
+//
+//	u32le body length | u32le CRC-32 (IEEE) of body | body
+//
+// where the body is the compact JSON of one record {seq, op, key,
+// profile?}. Sequence numbers are assigned globally, monotonically,
+// at append time, and records land in the log in sequence order.
+//
+// # Why replay needs sequence numbers
+//
+// Profile.Merge is commutative but not idempotent — it adds counters —
+// so replaying a record whose effect the data files already include
+// would double-count every branch. The watermark that decides "already
+// included" therefore cannot live in a separate checkpoint file: a
+// crash between the data write and the checkpoint write would leave
+// the two disagreeing, and one direction of that disagreement is
+// silent double-counting. Instead the watermark is embedded in the
+// driver's own save unit (store.Checkpointed: the memstore file, or
+// one shardstore shard), written in the same atomic rename as the
+// profiles it describes. Replay skips a record iff its sequence number
+// is at or below the watermark its key's save group persisted.
+//
+// # Recovery
+//
+// Open scans the segments in order and stops at the first bad frame —
+// a torn tail from a crash mid-append — truncating the file there.
+// Records above their group's persisted watermark are re-applied and
+// become pending again; records at or below it are skipped. Replay
+// itself never saves and never truncates the log, so a crash *during*
+// replay restarts it from the same state: the staged watermarks were
+// never persisted, and re-applying is exactly as idempotent as the
+// first replay.
+//
+// # Truncation
+//
+// Save persists each touched save group through the wrapped driver
+// and, on success, drops that group's pending records at or below the
+// watermark the save just made durable. Segments whose records are all
+// persisted are deleted; when nothing at all is pending the whole log
+// resets. The journal therefore grows only while data outruns saves —
+// notably during a breaker-open outage, when every skipped save leaves
+// its records pending and the log is what makes the outage survivable.
+//
+// Fault injection: stages faults.JournalAppend (label = record key;
+// TornWrite rules write a partial frame, fsync it, and crash),
+// faults.JournalSync (label = active segment path),
+// faults.JournalTruncate (label = segment path) and
+// faults.JournalReplay (label = record key). See docs/ROBUSTNESS.md
+// § Durability contract.
+package wal
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"branchprof/internal/faults"
+	"branchprof/internal/ifprob"
+	"branchprof/internal/store"
+)
+
+// FsyncPolicy names when appended records are forced to the medium —
+// the durability an acknowledgement carries.
+type FsyncPolicy string
+
+const (
+	// FsyncRecord syncs inside every append: an acknowledged mutation
+	// is durable. The strongest and slowest policy.
+	FsyncRecord FsyncPolicy = "record"
+	// FsyncBatch leaves syncing to explicit Sync calls; the server
+	// syncs once per request (batch/stream window), so an ack covers
+	// the whole batch at one fsync.
+	FsyncBatch FsyncPolicy = "batch"
+	// FsyncInterval syncs on a background ticker: bounded data loss
+	// (at most one interval) at near-zero per-record cost.
+	FsyncInterval FsyncPolicy = "interval"
+)
+
+// Options configures Wrap.
+type Options struct {
+	// Fsync is the sync policy; empty means FsyncRecord.
+	Fsync FsyncPolicy
+	// Interval is the FsyncInterval ticker period; 0 means 100ms.
+	Interval time.Duration
+	// SegmentBytes rolls the active segment beyond this size; 0 means
+	// 4 MiB.
+	SegmentBytes int64
+	// Faults injects faults at the journal stages (chaos tests only).
+	Faults *faults.Set
+}
+
+const (
+	frameHeader     = 8
+	maxRecordBytes  = 64 << 20 // sanity bound on frame bodies
+	defSegmentBytes = 4 << 20
+	defInterval     = 100 * time.Millisecond
+	segPrefix       = "wal-"
+	segSuffix       = ".seg"
+)
+
+// record is one journaled mutation.
+type record struct {
+	Seq     uint64          `json:"seq"`
+	Op      string          `json:"op"` // "merge", "put", "delete"
+	Key     string          `json:"key"`
+	Profile *ifprob.Profile `json:"profile,omitempty"`
+}
+
+// group is the per-save-group journal bookkeeping. Its mutex is the
+// write-ahead atomicity lock: a mutation holds it from append through
+// inner apply to watermark staging, and Save holds it around the
+// wrapped driver's save of the group — so a save can never land
+// between an applied mutation and its staged watermark, which is the
+// window that would persist data with a stale watermark and
+// double-count on replay.
+type group struct {
+	mu      sync.Mutex
+	repKey  string              // any key of the group, for scoped inner saves
+	applied uint64              // highest seq applied to the group (s.mu-guarded)
+	pending map[uint64]struct{} // appended, not yet persisted (s.mu-guarded)
+}
+
+// Store is the journaled store. Construct with Wrap.
+type Store struct {
+	inner store.Store
+	cp    store.Checkpointed
+	dir   string
+	opts  Options
+
+	mu         sync.Mutex // segment file, seq, groups map, pending sets, stats
+	seq        uint64     // last assigned sequence number
+	active     *os.File
+	activePath string
+	activeSize int64
+	activeIdx  int  // active segment number
+	dirtyBytes bool // unsynced appends in the active segment
+	broken     error
+	groups     map[string]*group
+
+	appends   uint64
+	syncs     uint64
+	replayed  uint64
+	truncated uint64
+
+	stopTick chan struct{}
+	tickDone chan struct{}
+}
+
+// Stats reports the journal's shape for health endpoints and metrics.
+type Stats struct {
+	Dir       string
+	Policy    FsyncPolicy
+	Segments  int    // segment files on disk
+	Bytes     int64  // total log bytes on disk
+	Pending   int    // records appended but not yet persisted by a save
+	LastSeq   uint64 // last assigned sequence number
+	Appends   uint64 // records appended since open
+	Syncs     uint64 // fsyncs issued since open
+	Replayed  uint64 // records re-applied by the last open's replay
+	Truncated uint64 // segment files deleted since open
+	Broken    bool   // the log hit an unrecoverable write error
+}
+
+// Wrap opens the journal at dir around inner and replays any records
+// the wrapped store's watermarks say are not yet applied. inner must
+// implement store.Checkpointed (memstore and shardstore do); wrapping
+// anything else is a construction error, not a silent downgrade.
+// Returned warnings report torn tails truncated and records skipped
+// during replay.
+func Wrap(ctx context.Context, inner store.Store, dir string, opts Options) (*Store, []string, error) {
+	cp, ok := inner.(store.Checkpointed)
+	if !ok {
+		return nil, nil, fmt.Errorf("wal: store driver %q does not support checkpoints", inner.Stats().Driver)
+	}
+	if dir == "" {
+		return nil, nil, errors.New("wal: a journal needs a directory")
+	}
+	if opts.Fsync == "" {
+		opts.Fsync = FsyncRecord
+	}
+	switch opts.Fsync {
+	case FsyncRecord, FsyncBatch, FsyncInterval:
+	default:
+		return nil, nil, fmt.Errorf("wal: unknown fsync policy %q (want record, batch or interval)", opts.Fsync)
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defSegmentBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = defInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	w := &Store{
+		inner:  inner,
+		cp:     cp,
+		dir:    dir,
+		opts:   opts,
+		groups: make(map[string]*group),
+	}
+	warns, lastIdx, err := w.replay(ctx)
+	if err != nil {
+		return nil, warns, err
+	}
+	// Seed the sequence counter past everything the data files have
+	// seen, so a truncated log can never hand out a sequence number
+	// some persisted watermark already covers.
+	keys, err := inner.Keys(ctx)
+	if err != nil {
+		return nil, warns, fmt.Errorf("wal: listing keys: %w", err)
+	}
+	for _, key := range keys {
+		if cpSeq := cp.WALCheckpoint(key); cpSeq > w.seq {
+			w.seq = cpSeq
+		}
+	}
+	// Always start appending into a fresh segment: the previous tail
+	// may have been truncated at a torn frame, and appending after a
+	// repaired tail keeps every segment append-only from birth.
+	if err := w.openSegment(lastIdx + 1); err != nil {
+		return nil, warns, err
+	}
+	if opts.Fsync == FsyncInterval {
+		w.stopTick = make(chan struct{})
+		w.tickDone = make(chan struct{})
+		go w.tickLoop()
+	}
+	return w, warns, nil
+}
+
+// tickLoop drives the FsyncInterval policy.
+func (w *Store) tickLoop() {
+	defer close(w.tickDone)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopTick:
+			return
+		case <-t.C:
+			w.Sync(context.Background())
+		}
+	}
+}
+
+// segName names segment i.
+func segName(i int) string { return fmt.Sprintf("%s%08d%s", segPrefix, i, segSuffix) }
+
+// segIndex parses a segment file name, returning -1 for non-segments.
+func segIndex(name string) int {
+	var i int
+	if n, err := fmt.Sscanf(name, segPrefix+"%08d"+segSuffix, &i); n != 1 || err != nil {
+		return -1
+	}
+	return i
+}
+
+// segments lists the journal's segment files in index order.
+func segments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && segIndex(e.Name()) >= 0 {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// openSegment starts a new active segment numbered idx.
+func (w *Store) openSegment(idx int) error {
+	path := filepath.Join(w.dir, segName(idx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	w.active = f
+	w.activePath = path
+	w.activeSize = 0
+	w.activeIdx = idx
+	syncDir(w.dir) // make the new name durable
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it stick.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// groupFor returns (creating on first use) key's group bookkeeping.
+// Callers hold no locks.
+func (w *Store) groupFor(key string) *group {
+	name := w.cp.SaveGroup(key)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	g, ok := w.groups[name]
+	if !ok {
+		g = &group{repKey: key, pending: make(map[uint64]struct{})}
+		w.groups[name] = g
+	}
+	return g
+}
+
+// encodeFrame frames a record body for the log.
+func encodeFrame(body []byte) []byte {
+	buf := make([]byte, frameHeader+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
+	copy(buf[frameHeader:], body)
+	return buf
+}
+
+// append journals one record: assign the next sequence number, write
+// the frame, sync per policy, and mark the record pending for its
+// group. The caller holds g.mu (write-ahead atomicity); append takes
+// s.mu for the file and bookkeeping. On an I/O error the partial
+// frame is truncated away; if even that fails the log is broken and
+// every later append refuses, so nothing is ever acked into an
+// unparseable log.
+func (w *Store) append(g *group, rec *record) (uint64, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return 0, fmt.Errorf("wal: journal is broken: %w", w.broken)
+	}
+	if err := w.opts.Faults.Fire(faults.JournalAppend, rec.Key); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	rec.Seq = w.seq + 1
+	body, err = json.Marshal(rec) // re-encode with the real seq
+	if err != nil {
+		return 0, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	frame := encodeFrame(body)
+	if n := w.opts.Faults.Torn(faults.JournalAppend, rec.Key, len(frame)); n < len(frame) {
+		// Crash mid-append: the torn frame reaches the medium and the
+		// process dies. Mark the log broken first — after a real crash
+		// nothing else gets acknowledged either, and an append landing
+		// after a torn tail would be discarded by the next replay.
+		w.active.Write(frame[:n])
+		w.active.Sync()
+		w.broken = fmt.Errorf("torn append at seq %d", rec.Seq)
+		panic(&faults.CrashPanic{Stage: faults.JournalAppend, Label: rec.Key})
+	}
+	start := w.activeSize
+	if _, err := w.active.Write(frame); err != nil {
+		if terr := w.active.Truncate(start); terr != nil {
+			w.broken = fmt.Errorf("append failed (%v) and truncate-back failed: %w", err, terr)
+		}
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	w.activeSize += int64(len(frame))
+	w.seq = rec.Seq
+	w.appends++
+	w.dirtyBytes = true
+	if w.opts.Fsync == FsyncRecord {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	g.pending[rec.Seq] = struct{}{}
+	if w.activeSize >= w.opts.SegmentBytes {
+		w.rollLocked()
+	}
+	return rec.Seq, nil
+}
+
+// syncLocked forces buffered appends to the medium. Caller holds s.mu.
+func (w *Store) syncLocked() error {
+	if !w.dirtyBytes || w.active == nil {
+		return nil
+	}
+	if err := w.opts.Faults.Fire(faults.JournalSync, w.activePath); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := w.active.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	w.dirtyBytes = false
+	w.syncs++
+	return nil
+}
+
+// rollLocked closes the active segment and starts the next one.
+// Caller holds s.mu; errors leave the current segment active.
+func (w *Store) rollLocked() {
+	if err := w.syncLocked(); err != nil {
+		return
+	}
+	w.active.Close()
+	if err := w.openSegment(w.activeIdx + 1); err != nil {
+		w.broken = err
+	}
+}
+
+// Sync forces every acknowledged-but-buffered record to the medium —
+// the FsyncBatch commit point, called by the server once per ingest
+// request before acknowledging.
+func (w *Store) Sync(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+// stageApplied records that seq's effect is in key's group's memory
+// state, both in the driver's save unit and in the group bookkeeping.
+func (w *Store) stageApplied(g *group, key string, seq uint64) {
+	w.cp.StageWALCheckpoint(key, seq)
+	w.mu.Lock()
+	if seq > g.applied {
+		g.applied = seq
+	}
+	w.mu.Unlock()
+}
+
+// dropPending forgets the record: it will never be persisted (the
+// apply failed), and replay will deterministically skip it the same
+// way, so it must not hold truncation back.
+func (w *Store) dropPending(g *group, seq uint64) {
+	w.mu.Lock()
+	delete(g.pending, seq)
+	w.mu.Unlock()
+}
+
+// Merge implements store.Store: journal, then apply.
+func (w *Store) Merge(ctx context.Context, p *ifprob.Profile) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	g := w.groupFor(p.Program)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq, err := w.append(g, &record{Op: "merge", Key: p.Program, Profile: p})
+	if err != nil {
+		return err
+	}
+	if err := w.inner.Merge(ctx, p); err != nil {
+		w.dropPending(g, seq)
+		return err
+	}
+	w.stageApplied(g, p.Program, seq)
+	return nil
+}
+
+// Put implements store.Store: journal, then apply.
+func (w *Store) Put(ctx context.Context, p *ifprob.Profile) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	g := w.groupFor(p.Program)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq, err := w.append(g, &record{Op: "put", Key: p.Program, Profile: p})
+	if err != nil {
+		return err
+	}
+	if err := w.inner.Put(ctx, p); err != nil {
+		w.dropPending(g, seq)
+		return err
+	}
+	w.stageApplied(g, p.Program, seq)
+	return nil
+}
+
+// Delete implements store.Store: journal, then apply.
+func (w *Store) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	g := w.groupFor(key)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq, err := w.append(g, &record{Op: "delete", Key: key})
+	if err != nil {
+		return err
+	}
+	if err := w.inner.Delete(ctx, key); err != nil {
+		w.dropPending(g, seq)
+		return err
+	}
+	w.stageApplied(g, key, seq)
+	return nil
+}
+
+// Get implements store.Store (read passthrough).
+func (w *Store) Get(ctx context.Context, key string) (*ifprob.Profile, error) {
+	return w.inner.Get(ctx, key)
+}
+
+// Keys implements store.Store (read passthrough).
+func (w *Store) Keys(ctx context.Context) ([]string, error) { return w.inner.Keys(ctx) }
+
+// Snapshot implements store.Store (read passthrough).
+func (w *Store) Snapshot(ctx context.Context) (map[string]*ifprob.Profile, error) {
+	return w.inner.Snapshot(ctx)
+}
+
+// Save implements store.Store: persist each selected save group
+// through the wrapped driver, and drop the pending records each
+// successful group save made durable. Groups save one at a time so
+// every watermark drop is attributed to a save that actually landed —
+// a failing shard keeps exactly its own records pending. Afterwards,
+// fully persisted segments are deleted.
+func (w *Store) Save(ctx context.Context, keys ...string) error {
+	selected := make(map[string]*group)
+	if len(keys) > 0 {
+		for _, key := range keys {
+			selected[w.cp.SaveGroup(key)] = w.groupFor(key)
+		}
+	} else {
+		w.mu.Lock()
+		for name, g := range w.groups {
+			selected[name] = g
+		}
+		w.mu.Unlock()
+	}
+	names := make([]string, 0, len(selected))
+	for name := range selected {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var errs []error
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		g := selected[name]
+		if err := w.saveGroup(ctx, g); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	// Journal-backed degraded mode drains itself: groups with pending
+	// records the caller did not select — the backlog a failed or
+	// breaker-skipped save left behind — are retried opportunistically
+	// at every save point, so the log stops growing as soon as the disk
+	// heals instead of waiting for traffic to re-touch the sick shard.
+	// Retry failures are not the caller's: they stay out of the
+	// returned error (the records simply remain pending) and are
+	// visible through WALStats.Pending and the driver's breaker state.
+	if len(keys) > 0 {
+		var backlog []*group
+		w.mu.Lock()
+		for name, g := range w.groups {
+			if _, ok := selected[name]; !ok && len(g.pending) > 0 {
+				backlog = append(backlog, g)
+			}
+		}
+		w.mu.Unlock()
+		for _, g := range backlog {
+			if ctx.Err() != nil {
+				break
+			}
+			w.saveGroup(ctx, g) //nolint:errcheck // backlog retry: records stay pending
+		}
+	}
+	// A keyless Save is "persist everything": after the per-group
+	// passes, sweep the driver once for any dirtiness not owed to a
+	// journaled mutation (clean groups make this a cheap no-op).
+	if len(keys) == 0 && ctx.Err() == nil {
+		if err := w.inner.Save(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	w.truncate()
+	return errors.Join(errs...)
+}
+
+// saveGroup persists one group under its write-ahead atomicity lock.
+func (w *Store) saveGroup(ctx context.Context, g *group) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w.mu.Lock()
+	durable := g.applied
+	w.mu.Unlock()
+	if err := w.inner.Save(ctx, g.repKey); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	for seq := range g.pending {
+		if seq <= durable {
+			delete(g.pending, seq)
+		}
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// truncate deletes segments whose records are all persisted. The low
+// water mark is one below the lowest pending sequence number (or the
+// last assigned number when nothing is pending); a segment is safe to
+// delete when every record it can hold is at or below it. With no
+// pending records at all, the active segment is rolled too, resetting
+// the log. Crashing mid-truncate is harmless — replay skips whatever
+// the watermarks already cover.
+func (w *Store) truncate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	low := w.seq
+	for _, g := range w.groups {
+		for seq := range g.pending {
+			if seq-1 < low {
+				low = seq - 1
+			}
+		}
+	}
+	names, err := segments(w.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		if name == filepath.Base(w.activePath) {
+			// The active segment's records end at w.seq; reset it only
+			// when everything is persisted and it holds something.
+			if low == w.seq && w.activeSize > 0 {
+				path := filepath.Join(w.dir, name)
+				if err := w.opts.Faults.Fire(faults.JournalTruncate, path); err != nil {
+					return
+				}
+				w.active.Close()
+				os.Remove(path)
+				w.truncated++
+				if err := w.openSegment(w.activeIdx + 1); err != nil {
+					w.broken = err
+				}
+			}
+			continue
+		}
+		path := filepath.Join(w.dir, name)
+		maxSeq, ok := segmentMaxSeq(path)
+		if !ok || maxSeq > low {
+			continue
+		}
+		if err := w.opts.Faults.Fire(faults.JournalTruncate, path); err != nil {
+			return
+		}
+		if os.Remove(path) == nil {
+			w.truncated++
+		}
+	}
+	syncDir(w.dir)
+}
+
+// segmentMaxSeq scans a closed segment for its highest sequence
+// number. An empty or unreadable segment reports !ok and is left
+// alone.
+func segmentMaxSeq(path string) (uint64, bool) {
+	var maxSeq uint64
+	var any bool
+	scanSegment(path, func(_ int64, rec *record) bool {
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		any = true
+		return true
+	})
+	return maxSeq, any
+}
+
+// scanSegment walks a segment's well-formed frames in order, calling
+// fn with each record's file offset until fn returns false or the
+// first bad frame. It returns the offset where scanning stopped and
+// whether the remainder of the file (if any) was malformed.
+func scanSegment(path string, fn func(off int64, rec *record) bool) (stopOff int64, torn bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	r := &countReader{r: f}
+	for {
+		frameStart := r.n
+		var hdr [frameHeader]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return frameStart, !errors.Is(err, io.EOF)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecordBytes {
+			return frameStart, true
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return frameStart, true
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return frameStart, true
+		}
+		var rec record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return frameStart, true
+		}
+		if !fn(frameStart, &rec) {
+			return r.n, false
+		}
+	}
+}
+
+// countReader counts consumed bytes so scanSegment knows frame
+// offsets without seeking.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// replay applies every journaled record the data files do not already
+// include, in sequence order, stopping at the first bad frame (the
+// file is truncated there and later segments are dropped — they are
+// beyond the torn point). It returns the highest segment index seen,
+// so Open can start the next one.
+func (w *Store) replay(ctx context.Context) (warns []string, lastIdx int, err error) {
+	names, err := segments(w.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: scanning %s: %w", w.dir, err)
+	}
+	stopped := false
+	for _, name := range names {
+		if idx := segIndex(name); idx > lastIdx {
+			lastIdx = idx
+		}
+		if stopped {
+			// Everything after a torn frame is unreachable history;
+			// segments past it only exist if the directory was
+			// hand-assembled. Leave them for the audit tool.
+			continue
+		}
+		path := filepath.Join(w.dir, name)
+		var applyErr error
+		stopOff, torn := scanSegment(path, func(_ int64, rec *record) bool {
+			if err := ctx.Err(); err != nil {
+				applyErr = err
+				return false
+			}
+			if err := w.applyReplay(ctx, rec, &warns); err != nil {
+				applyErr = err
+				return false
+			}
+			return true
+		})
+		if applyErr != nil {
+			return warns, lastIdx, applyErr
+		}
+		if torn {
+			warns = append(warns, fmt.Sprintf("journal %s has a torn tail; truncated at byte %d", path, stopOff))
+			if terr := os.Truncate(path, stopOff); terr != nil {
+				return warns, lastIdx, fmt.Errorf("wal: truncating torn tail of %s: %w", path, terr)
+			}
+			stopped = true
+		}
+	}
+	return warns, lastIdx, nil
+}
+
+// applyReplay re-applies one record unless its group's persisted
+// watermark already covers it. Failures that would fail identically
+// every time (a conflicting merge) are skipped with a warning —
+// replay must converge, not wedge the store on one bad record.
+func (w *Store) applyReplay(ctx context.Context, rec *record, warns *[]string) error {
+	if err := w.opts.Faults.Fire(faults.JournalReplay, rec.Key); err != nil {
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	if rec.Seq <= w.cp.WALCheckpoint(rec.Key) {
+		return nil
+	}
+	var err error
+	switch rec.Op {
+	case "merge":
+		if rec.Profile == nil {
+			err = errors.New("merge record without profile")
+		} else {
+			err = w.inner.Merge(ctx, rec.Profile)
+		}
+	case "put":
+		if rec.Profile == nil {
+			err = errors.New("put record without profile")
+		} else {
+			err = w.inner.Put(ctx, rec.Profile)
+		}
+	case "delete":
+		err = w.inner.Delete(ctx, rec.Key)
+	default:
+		err = fmt.Errorf("unknown op %q", rec.Op)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		*warns = append(*warns, fmt.Sprintf("journal record %d (%s %s) skipped: %v", rec.Seq, rec.Op, rec.Key, err))
+		return nil
+	}
+	g := w.groupFor(rec.Key)
+	w.cp.StageWALCheckpoint(rec.Key, rec.Seq)
+	w.mu.Lock()
+	if rec.Seq > g.applied {
+		g.applied = rec.Seq
+	}
+	g.pending[rec.Seq] = struct{}{}
+	if rec.Seq > w.seq {
+		w.seq = rec.Seq
+	}
+	w.replayed++
+	w.mu.Unlock()
+	return nil
+}
+
+// Load implements store.Store: re-read the wrapped store from disk,
+// then replay the journal on top of it — the same recovery a reopen
+// performs. Not safe to run concurrently with mutations (the contract
+// every driver's Load shares).
+func (w *Store) Load(ctx context.Context) error {
+	if err := w.inner.Load(ctx); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	for _, g := range w.groups {
+		g.applied = 0
+		g.pending = make(map[uint64]struct{})
+	}
+	w.mu.Unlock()
+	if _, _, err := w.replay(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close implements store.Store: stop the sync ticker, sync and close
+// the active segment, and close the wrapped store. Pending records
+// stay in the log for the next open's replay — Close does not save,
+// per the Store contract.
+func (w *Store) Close(ctx context.Context) error {
+	if w.stopTick != nil {
+		close(w.stopTick)
+		<-w.tickDone
+		w.stopTick = nil
+	}
+	w.mu.Lock()
+	if w.active != nil {
+		w.syncLocked()
+		w.active.Close()
+		w.active = nil
+	}
+	w.mu.Unlock()
+	return w.inner.Close(ctx)
+}
+
+// Stats implements store.Store, reporting the wrapped driver's stats
+// under a "wal+" driver prefix (journal detail is in WALStats).
+func (w *Store) Stats() store.Stats {
+	st := w.inner.Stats()
+	st.Driver = "wal+" + st.Driver
+	return st
+}
+
+// WALStats reports the journal's own shape.
+func (w *Store) WALStats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := Stats{
+		Dir:       w.dir,
+		Policy:    w.opts.Fsync,
+		LastSeq:   w.seq,
+		Appends:   w.appends,
+		Syncs:     w.syncs,
+		Replayed:  w.replayed,
+		Truncated: w.truncated,
+		Broken:    w.broken != nil,
+	}
+	for _, g := range w.groups {
+		st.Pending += len(g.pending)
+	}
+	if names, err := segments(w.dir); err == nil {
+		st.Segments = len(names)
+		for _, name := range names {
+			if fi, err := os.Stat(filepath.Join(w.dir, name)); err == nil {
+				st.Bytes += fi.Size()
+			}
+		}
+	}
+	return st
+}
+
+// Policy reports the configured fsync policy (fixed at Wrap).
+func (w *Store) Policy() FsyncPolicy { return w.opts.Fsync }
+
+// Broken reports whether the journal can no longer accept appends (a
+// torn write poisoned the active segment's tail). Cheap, unlike
+// WALStats, which scans the segment directory.
+func (w *Store) Broken() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken != nil
+}
+
+// Inner exposes the wrapped store (tests and tooling).
+func (w *Store) Inner() store.Store { return w.inner }

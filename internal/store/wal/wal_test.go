@@ -1,0 +1,593 @@
+package wal_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"branchprof/internal/faults"
+	"branchprof/internal/ifprob"
+	"branchprof/internal/store"
+	"branchprof/internal/store/memstore"
+	"branchprof/internal/store/shardstore"
+	"branchprof/internal/store/wal"
+)
+
+func mkProfile(key, dataset string, taken, total []uint64) *ifprob.Profile {
+	return &ifprob.Profile{
+		Program: key,
+		Dataset: dataset,
+		Taken:   append([]uint64(nil), taken...),
+		Total:   append([]uint64(nil), total...),
+		Instrs:  100,
+	}
+}
+
+// drivers opens each checkpoint-capable driver for the matrix tests.
+var drivers = map[string]func(t *testing.T, dir string, fs *faults.Set) store.Store{
+	"mem": func(t *testing.T, dir string, fs *faults.Set) store.Store {
+		s, _, err := memstore.Open(context.Background(), filepath.Join(dir, "profiles.db"), store.Options{Faults: fs})
+		if err != nil {
+			t.Fatalf("open mem: %v", err)
+		}
+		return s
+	},
+	"shard": func(t *testing.T, dir string, fs *faults.Set) store.Store {
+		s, _, err := shardstore.Open(context.Background(), filepath.Join(dir, "profiles.d"),
+			store.Options{Shards: 4, Faults: fs})
+		if err != nil {
+			t.Fatalf("open shard: %v", err)
+		}
+		return s
+	},
+}
+
+// wrap journals inner at dir/wal.
+func wrap(t *testing.T, inner store.Store, dir string, opts wal.Options) (*wal.Store, []string) {
+	t.Helper()
+	w, warns, err := wal.Wrap(context.Background(), inner, filepath.Join(dir, "wal"), opts)
+	if err != nil {
+		t.Fatalf("wal.Wrap: %v", err)
+	}
+	return w, warns
+}
+
+// executed reads key's total executed-branch count, 0 when absent.
+func executed(t *testing.T, s store.Store, key string) uint64 {
+	t.Helper()
+	p, err := s.Get(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", key, err)
+	}
+	if p == nil {
+		return 0
+	}
+	return p.Executed()
+}
+
+// TestWALReplayRestoresUnsavedMutations is the core durability
+// property: acknowledged mutations that never reached a driver save
+// survive a crash (simulated by abandoning the store un-saved) via
+// journal replay.
+func TestWALReplayRestoresUnsavedMutations(t *testing.T) {
+	for name, open := range drivers {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			dir := t.TempDir()
+			w, _ := wrap(t, open(t, dir, nil), dir, wal.Options{})
+			for i, key := range []string{"a@d1", "b@d1", "c@d2"} {
+				p := mkProfile(key, "d", []uint64{uint64(i + 1)}, []uint64{uint64(i + 2)})
+				if err := w.Merge(ctx, p); err != nil {
+					t.Fatalf("Merge(%s): %v", key, err)
+				}
+			}
+			// Crash: no Save, no Close — the in-memory state is gone.
+			if err := w.Close(ctx); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			w2, warns := wrap(t, open(t, dir, nil), dir, wal.Options{})
+			if len(warns) != 0 {
+				t.Fatalf("reopen warnings: %v", warns)
+			}
+			if st := w2.WALStats(); st.Replayed != 3 {
+				t.Fatalf("Replayed = %d, want 3 (stats %+v)", st.Replayed, st)
+			}
+			for i, key := range []string{"a@d1", "b@d1", "c@d2"} {
+				if got, want := executed(t, w2, key), uint64(i+2); got != want {
+					t.Fatalf("after replay, %s executed = %d, want %d", key, got, want)
+				}
+			}
+			// The replayed records are pending again; a save persists
+			// and truncates them.
+			if err := w2.Save(ctx); err != nil {
+				t.Fatalf("Save after replay: %v", err)
+			}
+			if st := w2.WALStats(); st.Pending != 0 {
+				t.Fatalf("Pending after save = %d, want 0", st.Pending)
+			}
+			w2.Close(ctx)
+
+			// Third generation: nothing left to replay, data persisted.
+			w3, _ := wrap(t, open(t, dir, nil), dir, wal.Options{})
+			if st := w3.WALStats(); st.Replayed != 0 {
+				t.Fatalf("third open Replayed = %d, want 0", st.Replayed)
+			}
+			if got := executed(t, w3, "a@d1"); got != 2 {
+				t.Fatalf("persisted a@d1 executed = %d, want 2 (no double count)", got)
+			}
+			w3.Close(ctx)
+		})
+	}
+}
+
+// TestWALReplayIdempotentAfterPartialSave crashes between a save and
+// further ingest: replay must re-apply only what the save missed.
+func TestWALReplayIdempotentAfterPartialSave(t *testing.T) {
+	for name, open := range drivers {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			dir := t.TempDir()
+			key := "prog@ds"
+			w, _ := wrap(t, open(t, dir, nil), dir, wal.Options{})
+			merge := func(w *wal.Store) {
+				if err := w.Merge(ctx, mkProfile(key, "ds", []uint64{1}, []uint64{10})); err != nil {
+					t.Fatalf("Merge: %v", err)
+				}
+			}
+			merge(w)
+			merge(w)
+			if err := w.Save(ctx, key); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			merge(w) // acked, journaled, never saved
+			w.Close(ctx)
+
+			w2, _ := wrap(t, open(t, dir, nil), dir, wal.Options{})
+			defer w2.Close(ctx)
+			if st := w2.WALStats(); st.Replayed != 1 {
+				t.Fatalf("Replayed = %d, want 1 (only the unsaved merge)", st.Replayed)
+			}
+			if got := executed(t, w2, key); got != 30 {
+				t.Fatalf("executed = %d, want 30 (three merges, no double count)", got)
+			}
+		})
+	}
+}
+
+// TestWALTornTailTruncated hand-tears the log's tail: replay must
+// recover every complete frame and truncate the torn one.
+func TestWALTornTailTruncated(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	open := drivers["mem"]
+	w, _ := wrap(t, open(t, dir, nil), dir, wal.Options{})
+	for _, key := range []string{"a@x", "b@x"} {
+		if err := w.Merge(ctx, mkProfile(key, "x", []uint64{3}, []uint64{4})); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+	}
+	w.Close(ctx)
+
+	// Tear the tail: append half a plausible frame.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments found: %v (%v)", segs, err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, '{', '"'})
+	f.Close()
+
+	w2, warns := wrap(t, open(t, t.TempDir(), nil), dir, wal.Options{})
+	defer w2.Close(ctx)
+	if len(warns) != 1 || !strings.Contains(warns[0], "torn tail") {
+		t.Fatalf("warnings = %v, want one torn-tail warning", warns)
+	}
+	if got := executed(t, w2, "a@x"); got != 4 {
+		t.Fatalf("a@x executed = %d, want 4", got)
+	}
+	if got := executed(t, w2, "b@x"); got != 4 {
+		t.Fatalf("b@x executed = %d, want 4", got)
+	}
+	// The log keeps working after the repair.
+	if err := w2.Merge(ctx, mkProfile("c@x", "x", []uint64{1}, []uint64{2})); err != nil {
+		t.Fatalf("Merge after repair: %v", err)
+	}
+}
+
+// TestWALTornAppendFaultCrashes drives the torn-write crash failpoint:
+// the partial frame reaches the medium, the process "dies" (CrashPanic),
+// nothing after the torn record is acknowledged, and recovery keeps
+// exactly the acknowledged prefix.
+func TestWALTornAppendFaultCrashes(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	open := drivers["shard"]
+	fs := faults.NewSet(7, faults.Rule{Stage: faults.JournalAppend, Kind: faults.TornWrite, Nth: 2})
+	w, _ := wrap(t, open(t, dir, nil), dir, wal.Options{Faults: fs})
+
+	if err := w.Merge(ctx, mkProfile("a@x", "x", []uint64{5}, []uint64{9})); err != nil {
+		t.Fatalf("first merge: %v", err)
+	}
+	func() {
+		defer func() {
+			if v := recover(); !faults.IsCrash(v) {
+				t.Fatalf("recovered %v, want a CrashPanic", v)
+			}
+		}()
+		w.Merge(ctx, mkProfile("b@x", "x", []uint64{5}, []uint64{9}))
+		t.Fatal("second merge did not crash")
+	}()
+	// The journal is broken after the torn write — nothing else acks.
+	if err := w.Merge(ctx, mkProfile("c@x", "x", []uint64{1}, []uint64{1})); err == nil {
+		t.Fatal("merge after torn append succeeded; want broken-journal error")
+	}
+
+	w2, warns := wrap(t, open(t, dir, nil), dir, wal.Options{})
+	defer w2.Close(ctx)
+	if len(warns) != 1 || !strings.Contains(warns[0], "torn tail") {
+		t.Fatalf("warnings = %v, want one torn-tail warning", warns)
+	}
+	if got := executed(t, w2, "a@x"); got != 9 {
+		t.Fatalf("acked a@x executed = %d, want 9", got)
+	}
+	if got := executed(t, w2, "b@x"); got != 0 {
+		t.Fatalf("unacked b@x executed = %d, want 0", got)
+	}
+}
+
+// TestWALAppendErrorLeavesStoreClean: a clean append failure (Error
+// rule) rejects the mutation without touching the wrapped store.
+func TestWALAppendErrorLeavesStoreClean(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.JournalAppend, Kind: faults.Error})
+	w, _ := wrap(t, drivers["mem"](t, dir, nil), dir, wal.Options{Faults: fs})
+	defer w.Close(ctx)
+	err := w.Merge(ctx, mkProfile("a@x", "x", []uint64{1}, []uint64{2}))
+	if !faults.Is(err) {
+		t.Fatalf("Merge = %v, want injected error", err)
+	}
+	if got := executed(t, w, "a@x"); got != 0 {
+		t.Fatalf("store has %d executed after failed append, want 0", got)
+	}
+	if st := w.WALStats(); st.Pending != 0 {
+		t.Fatalf("Pending = %d after failed append, want 0", st.Pending)
+	}
+}
+
+// TestWALSaveTruncatesLog: once everything is persisted the log
+// resets, so steady-state disk use is bounded.
+func TestWALSaveTruncatesLog(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	w, _ := wrap(t, drivers["shard"](t, dir, nil), dir, wal.Options{SegmentBytes: 256})
+	defer w.Close(ctx)
+	for i := 0; i < 8; i++ {
+		key := []string{"a@x", "b@y", "c@z"}[i%3]
+		if err := w.Merge(ctx, mkProfile(key, "d", []uint64{1}, []uint64{2})); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+	}
+	pre := w.WALStats()
+	if pre.Segments < 2 {
+		t.Fatalf("expected rolled segments, got %d", pre.Segments)
+	}
+	if err := w.Save(ctx); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	post := w.WALStats()
+	if post.Pending != 0 || post.Bytes != 0 {
+		t.Fatalf("after save: pending %d, bytes %d; want 0, 0 (stats %+v)", post.Pending, post.Bytes, post)
+	}
+	if post.Truncated == 0 {
+		t.Fatal("no segments truncated")
+	}
+}
+
+// TestWALDegradedSaveKeepsJournal: a breaker-skipped or failed save
+// leaves its records pending, so outage data survives a crash — the
+// journal-backed degraded mode.
+func TestWALDegradedSaveKeepsJournal(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	key := "outage@ds"
+	// Every shard save fails: the store degrades, the journal holds.
+	fs := faults.NewSet(3, faults.Rule{Stage: faults.DBSave, Kind: faults.Error, Label: "shard-"})
+	w, _ := wrap(t, drivers["shard"](t, dir, fs), dir, wal.Options{})
+	if err := w.Merge(ctx, mkProfile(key, "ds", []uint64{2}, []uint64{6})); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if err := w.Save(ctx, key); err == nil {
+		t.Fatal("Save succeeded despite injected shard failure")
+	}
+	if st := w.WALStats(); st.Pending != 1 {
+		t.Fatalf("Pending = %d after failed save, want 1", st.Pending)
+	}
+	w.Close(ctx)
+
+	// Crash during the outage; the disk heals; reopen recovers.
+	w2, _ := wrap(t, drivers["shard"](t, dir, nil), dir, wal.Options{})
+	defer w2.Close(ctx)
+	if got := executed(t, w2, key); got != 6 {
+		t.Fatalf("outage data executed = %d, want 6", got)
+	}
+}
+
+// TestWALConflictSkippedOnReplay: a journaled record that can no
+// longer apply (conflicting site table) is skipped with a warning
+// instead of wedging recovery.
+func TestWALConflictSkippedOnReplay(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	key := "prog@ds"
+	w, _ := wrap(t, drivers["mem"](t, dir, nil), dir, wal.Options{})
+	if err := w.Merge(ctx, mkProfile(key, "ds", []uint64{1, 2}, []uint64{3, 4})); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	w.Close(ctx) // crash: record journaled, never saved
+
+	// Behind the journal's back, persist a conflicting shape (a
+	// different compilation) under the same key.
+	direct, _, err := memstore.Open(ctx, filepath.Join(dir, "profiles.db"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Put(ctx, mkProfile(key, "ds", []uint64{9}, []uint64{9})); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Save(ctx); err != nil {
+		t.Fatal(err)
+	}
+	direct.Close(ctx)
+
+	w2, warns := wrap(t, drivers["mem"](t, dir, nil), dir, wal.Options{})
+	defer w2.Close(ctx)
+	if len(warns) != 1 || !strings.Contains(warns[0], "skipped") {
+		t.Fatalf("warnings = %v, want one skip warning", warns)
+	}
+	p, err := w2.Get(ctx, key)
+	if err != nil || p == nil {
+		t.Fatalf("Get: %v, %v", p, err)
+	}
+	if p.Sites() != 1 {
+		t.Fatalf("store holds %d sites, want the direct write's 1", p.Sites())
+	}
+}
+
+// TestWALCrashDuringReplay: a crash mid-replay restarts recovery from
+// scratch with nothing double-applied — staged watermarks were never
+// persisted.
+func TestWALCrashDuringReplay(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	open := drivers["shard"]
+	w, _ := wrap(t, open(t, dir, nil), dir, wal.Options{})
+	for _, key := range []string{"a@x", "b@x", "c@x"} {
+		if err := w.Merge(ctx, mkProfile(key, "x", []uint64{1}, []uint64{5})); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+	}
+	w.Close(ctx)
+
+	fs := faults.NewSet(1, faults.Rule{Stage: faults.JournalReplay, Kind: faults.Crash, Nth: 2})
+	func() {
+		defer func() {
+			if v := recover(); !faults.IsCrash(v) {
+				t.Fatalf("recovered %v, want CrashPanic", v)
+			}
+		}()
+		wal.Wrap(ctx, open(t, dir, nil), filepath.Join(dir, "wal"), wal.Options{Faults: fs})
+		t.Fatal("Wrap survived the replay crash")
+	}()
+
+	w2, warns := wrap(t, open(t, dir, nil), dir, wal.Options{})
+	defer w2.Close(ctx)
+	if len(warns) != 0 {
+		t.Fatalf("clean reopen warnings: %v", warns)
+	}
+	for _, key := range []string{"a@x", "b@x", "c@x"} {
+		if got := executed(t, w2, key); got != 5 {
+			t.Fatalf("%s executed = %d, want 5 (exactly once)", key, got)
+		}
+	}
+}
+
+// TestWALFsyncPolicies exercises construction and the commit points of
+// each policy.
+func TestWALFsyncPolicies(t *testing.T) {
+	ctx := context.Background()
+	t.Run("record", func(t *testing.T) {
+		dir := t.TempDir()
+		w, _ := wrap(t, drivers["mem"](t, dir, nil), dir, wal.Options{Fsync: wal.FsyncRecord})
+		defer w.Close(ctx)
+		w.Merge(ctx, mkProfile("a@x", "x", []uint64{1}, []uint64{2}))
+		if st := w.WALStats(); st.Syncs == 0 {
+			t.Fatal("record policy performed no sync on append")
+		}
+	})
+	t.Run("batch", func(t *testing.T) {
+		dir := t.TempDir()
+		w, _ := wrap(t, drivers["mem"](t, dir, nil), dir, wal.Options{Fsync: wal.FsyncBatch})
+		defer w.Close(ctx)
+		w.Merge(ctx, mkProfile("a@x", "x", []uint64{1}, []uint64{2}))
+		if st := w.WALStats(); st.Syncs != 0 {
+			t.Fatalf("batch policy synced on append (%d syncs)", st.Syncs)
+		}
+		if err := w.Sync(ctx); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+		if st := w.WALStats(); st.Syncs != 1 {
+			t.Fatalf("Syncs = %d after explicit Sync, want 1", st.Syncs)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		dir := t.TempDir()
+		w, _ := wrap(t, drivers["mem"](t, dir, nil), dir,
+			wal.Options{Fsync: wal.FsyncInterval, Interval: time.Millisecond})
+		defer w.Close(ctx)
+		w.Merge(ctx, mkProfile("a@x", "x", []uint64{1}, []uint64{2}))
+		deadline := time.Now().Add(2 * time.Second)
+		for w.WALStats().Syncs == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("interval policy never synced")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	t.Run("bogus", func(t *testing.T) {
+		dir := t.TempDir()
+		inner := drivers["mem"](t, dir, nil)
+		if _, _, err := wal.Wrap(ctx, inner, filepath.Join(dir, "wal"), wal.Options{Fsync: "sometimes"}); err == nil {
+			t.Fatal("bogus fsync policy accepted")
+		}
+	})
+}
+
+// noCheckpoint hides memstore's Checkpointed methods behind the plain
+// interface, to prove Wrap refuses drivers it cannot checkpoint.
+type noCheckpoint struct{ store.Store }
+
+func TestWALWrapRequiresCheckpointed(t *testing.T) {
+	dir := t.TempDir()
+	inner := noCheckpoint{drivers["mem"](t, dir, nil)}
+	if _, _, err := wal.Wrap(context.Background(), inner, filepath.Join(dir, "wal"), wal.Options{}); err == nil {
+		t.Fatal("Wrap accepted a store without checkpoint support")
+	}
+}
+
+// TestWALAuditVerify exercises the offline segment audit: a healthy
+// log passes, a flipped byte in a non-final segment is a problem, and
+// an impossible watermark is flagged.
+func TestWALAuditVerify(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	w, _ := wrap(t, drivers["mem"](t, dir, nil), dir, wal.Options{SegmentBytes: 128})
+	for i := 0; i < 6; i++ {
+		if err := w.Merge(ctx, mkProfile("a@x", "x", []uint64{1}, []uint64{2})); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+	}
+	w.Close(ctx)
+	walDir := filepath.Join(dir, "wal")
+
+	a, err := wal.VerifySegments(walDir)
+	if err != nil {
+		t.Fatalf("VerifySegments: %v", err)
+	}
+	if len(a.Problems) != 0 || a.TornTail != "" {
+		t.Fatalf("healthy log audit: problems %v, torn %q", a.Problems, a.TornTail)
+	}
+	if a.Records != 6 || a.MinSeq != 1 || a.MaxSeq != 6 {
+		t.Fatalf("audit shape = %d records [%d,%d], want 6 [1,6]", a.Records, a.MinSeq, a.MaxSeq)
+	}
+	if p := a.CheckWatermark("shard-000", 3); p != "" {
+		t.Fatalf("valid watermark flagged: %s", p)
+	}
+	if p := a.CheckWatermark("shard-000", 99); p == "" {
+		t.Fatal("impossible watermark (99 > max 6) not flagged")
+	}
+
+	// Flip a byte in the first segment's first record body.
+	segs, _ := filepath.Glob(filepath.Join(walDir, "wal-*.seg"))
+	sort.Strings(segs)
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := wal.VerifySegments(walDir)
+	if err != nil {
+		t.Fatalf("VerifySegments (corrupt): %v", err)
+	}
+	if len(a2.Problems) == 0 {
+		t.Fatal("corrupt non-final segment produced no problems")
+	}
+}
+
+// TestWALDumpSegment smoke-tests the debug dump.
+func TestWALDumpSegment(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	w, _ := wrap(t, drivers["mem"](t, dir, nil), dir, wal.Options{})
+	w.Merge(ctx, mkProfile("a@x", "x", []uint64{1}, []uint64{2}))
+	w.Delete(ctx, "a@x")
+	w.Close(ctx)
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	sort.Strings(segs)
+	var sb strings.Builder
+	if err := wal.DumpSegment(&sb, segs[0]); err != nil {
+		t.Fatalf("DumpSegment: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"seq=1", "merge", "seq=2", "delete", "a@x", "end of segment"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if err := wal.DumpSegment(&sb, filepath.Join(dir, "nope.seg")); err == nil {
+		t.Fatal("dump of a missing segment succeeded")
+	}
+}
+
+// TestWALLoadReplays: Load re-reads the driver and replays the log on
+// top, same as a reopen.
+func TestWALLoadReplays(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	key := "prog@ds"
+	w, _ := wrap(t, drivers["shard"](t, dir, nil), dir, wal.Options{})
+	defer w.Close(ctx)
+	w.Merge(ctx, mkProfile(key, "ds", []uint64{1}, []uint64{7}))
+	if err := w.Save(ctx, key); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	w.Merge(ctx, mkProfile(key, "ds", []uint64{1}, []uint64{7})) // journaled only
+	if err := w.Load(ctx); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := executed(t, w, key); got != 14 {
+		t.Fatalf("after Load, executed = %d, want 14", got)
+	}
+}
+
+// TestWALErrorsPreserveDegraded: ErrDegraded from a breaker-skipped
+// shard save stays detectable through the journal's error joining.
+func TestWALErrorsPreserveDegraded(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	key := "prog@ds"
+	fs := faults.NewSet(3, faults.Rule{Stage: faults.DBSave, Kind: faults.Error, Label: "shard-"})
+	inner, _, err := shardstore.Open(ctx, filepath.Join(dir, "profiles.d"),
+		store.Options{Shards: 2, Faults: fs, BreakerThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := wrap(t, inner, dir, wal.Options{})
+	defer w.Close(ctx)
+	w.Merge(ctx, mkProfile(key, "ds", []uint64{1}, []uint64{2}))
+	if err := w.Save(ctx, key); err == nil {
+		t.Fatal("first save succeeded despite injected fault")
+	}
+	w.Merge(ctx, mkProfile(key, "ds", []uint64{1}, []uint64{2}))
+	err = w.Save(ctx, key) // breaker open now: skipped
+	if !errors.Is(err, store.ErrDegraded) {
+		t.Fatalf("second save error = %v, want ErrDegraded", err)
+	}
+}
