@@ -39,11 +39,20 @@
 #   make fuzz     10s smoke of each native fuzz target (compiler,
 #                 assembler, profile DB decoder, run-cache decoder,
 #                 VM differential); longer runs: make fuzz FUZZTIME=5m
-#   make bench    the cold vs warm cache benchmark pair, then the raw
+#   make gencheck the generated-code freshness gate: regenerating the
+#                 compiled workload bodies must leave the tree clean,
+#                 and the generated package (plus the generator) must
+#                 be vet-clean; part of `make verify`
+#   make bench    the paired interpreter/codegen comparison, then the
+#                 cold vs warm cache benchmark pair, the raw
 #                 interpreter benchmark and the predictor-zoo
 #                 simulation throughput, each appended to the
 #                 BENCH_VM.json trajectory (one entry per build;
 #                 see docs/PERF.md)
+#   make bench-codegen  the codegen speedup booking alone: BENCHPAIRS
+#                 alternating interpreter/codegen invocation pairs on
+#                 the li sievel workload, appended to BENCH_VM.json
+#                 with the interpreter lines embedded as the baseline
 #   make bench-server  cmd/loadgen drives a sharded branchprofd over
 #                 loopback — single vs batch vs streaming ingest — and
 #                 appends the result to the BENCH_SERVER.json trajectory;
@@ -59,11 +68,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 3
+BENCHPAIRS ?= 3
 BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: verify test vet race chaos obs chaos-server soak soak-cluster crash fuzz bench bench-server bench-smoke
+.PHONY: verify test vet race chaos obs chaos-server soak soak-cluster crash fuzz gencheck bench bench-codegen bench-server bench-smoke
 
-verify: test vet race chaos obs chaos-server soak soak-cluster crash fuzz bench-smoke
+verify: test vet gencheck race chaos obs chaos-server soak soak-cluster crash fuzz bench-smoke
 
 test:
 	$(GO) build ./...
@@ -71,6 +81,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# gencheck proves the committed generated workload bodies are fresh:
+# regenerating them must be a no-op against the working tree, and the
+# generated package must be vet-clean on its own.
+gencheck:
+	$(GO) generate ./internal/workloads/compiled
+	git diff --exit-code -- internal/workloads/compiled
+	$(GO) vet ./internal/workloads/compiled/ ./internal/vm/codegen/...
 
 race:
 	$(GO) test -race -short ./internal/engine/... ./internal/exp/... \
@@ -107,12 +125,30 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzCacheDecode -fuzztime $(FUZZTIME) ./internal/engine/
 	$(GO) test -run xxx -fuzz FuzzVMDifferential -fuzztime $(FUZZTIME) ./internal/vm/
 
-bench:
+bench: bench-codegen
 	$(GO) test -run xxx -bench 'BenchmarkSuiteCollect(Cold|Warm)' -benchtime 3x .
 	$(GO) test -run xxx -bench 'BenchmarkVMInterpreter$$' -benchtime 10x -count $(BENCHCOUNT) . \
 		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL) -o BENCH_VM.json
 	$(GO) test -run xxx -bench 'BenchmarkPredictorZoo$$' -benchtime 10x -count $(BENCHCOUNT) . \
 		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL)-predzoo -o BENCH_VM.json
+
+# bench-codegen books the interpreter → codegen speedup with the
+# paired protocol the PR 5 baseline used: BENCHPAIRS alternating
+# invocation pairs (interpreter, then codegen) so thermal and
+# scheduler drift land on both sides evenly; the interpreter lines
+# become the entry's embedded baseline and speedup_x is the geomean
+# ratio. One command, reproducible: make bench-codegen.
+bench-codegen:
+	@rm -f .bench-interp.tmp .bench-codegen.tmp
+	for i in $$(seq $(BENCHPAIRS)); do \
+		$(GO) test -run '^$$' -bench 'BenchmarkVMInterpreter$$' -benchtime 10x . | tee -a .bench-interp.tmp && \
+		$(GO) test -run '^$$' -bench 'BenchmarkVMCodegen$$' -benchtime 10x . | tee -a .bench-codegen.tmp || exit 1; \
+	done
+	$(GO) run ./cmd/benchjson -append -label $(BENCHLABEL)-codegen \
+		-baseline .bench-interp.tmp -o BENCH_VM.json \
+		-note "paired $(BENCHPAIRS)x alternating interpreter/codegen, li sievel" \
+		< .bench-codegen.tmp
+	@rm -f .bench-interp.tmp .bench-codegen.tmp
 
 bench-server:
 	$(GO) run ./cmd/loadgen -rounds $(BENCHCOUNT) \
@@ -127,4 +163,4 @@ bench-server:
 		| $(GO) run ./cmd/benchjson -append -label $(BENCHLABEL)-wal-interval -o BENCH_SERVER.json
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkVMInterpreter$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkVM(Interpreter|Codegen)$$' -benchtime 1x .

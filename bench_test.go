@@ -309,9 +309,11 @@ func BenchmarkCompileAllWorkloads(b *testing.B) {
 	}
 }
 
-// BenchmarkVMInterpreter measures raw interpreter speed on the li
-// sieve workload, reporting instructions per second.
-func BenchmarkVMInterpreter(b *testing.B) {
+// liSieve compiles the li workload and returns its pre-decoded image
+// with the sievel dataset — the fixture both VM-speed benchmarks
+// share so their numbers are a clean backend A/B.
+func liSieve(b *testing.B) (*vm.Image, []byte) {
+	b.Helper()
 	w, err := workloads.ByName("li")
 	if err != nil {
 		b.Fatal(err)
@@ -320,11 +322,51 @@ func BenchmarkVMInterpreter(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	input := w.Datasets[2].Gen() // sievel
+	return vm.Load(prog), w.Datasets[2].Gen() // sievel
+}
+
+// BenchmarkVMInterpreter measures raw interpreter speed on the li
+// sieve workload, reporting instructions per second. It pins the
+// interpreter explicitly: the test binary links the generated
+// workload bodies, so the default Run dispatch would silently measure
+// codegen instead.
+func BenchmarkVMInterpreter(b *testing.B) {
+	im, input := liSieve(b)
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
-		res, err := vm.Run(prog, input, nil)
+		res, err := im.RunInterpreter(input, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.Instrs
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "vm-instrs/s")
+}
+
+// BenchmarkVMCodegen measures the compiled-to-Go backend on the same
+// workload and dataset as BenchmarkVMInterpreter; `make bench-codegen`
+// pairs the two to book the speedup into BENCH_VM.json.
+func BenchmarkVMCodegen(b *testing.B) {
+	w, err := workloads.ByName("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if vm.CompiledFor(prog) == nil {
+		b.Fatal("no compiled body registered for li — run `go generate ./internal/workloads/compiled`")
+	}
+	if !vm.CompiledEnabled() {
+		b.Fatal("compiled backend disabled (BRANCHPROF_VM_BACKEND=interp?)")
+	}
+	im, input := vm.Load(prog), w.Datasets[2].Gen() // sievel
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := im.Run(input, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

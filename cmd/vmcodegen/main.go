@@ -1,0 +1,75 @@
+// Command vmcodegen regenerates the ahead-of-time compiled bodies of
+// the workload analogues (internal/workloads/compiled). For every
+// registered workload it compiles the MF source with the default
+// compiler options — the same configuration the experiment suite
+// uses — and emits one Go file via internal/vm/codegen, registered
+// under the program's content digest so vm.Load binds it at runtime.
+//
+// Run via go:generate (see internal/workloads/compiled/compiled.go);
+// `make gencheck` fails CI when the committed files are stale.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm/codegen"
+	"branchprof/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmcodegen: ")
+	out := flag.String("out", ".", "output directory for generated files")
+	pkg := flag.String("pkg", "compiled", "package name for generated files")
+	tag := flag.String("tag", "!branchprof_nocodegen", "build constraint for generated files (empty for none)")
+	flag.Parse()
+
+	for _, w := range workloads.All() {
+		prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+		if err != nil {
+			log.Fatalf("compile %s: %v", w.Name, err)
+		}
+		if err := codegen.Supported(prog); err != nil {
+			log.Printf("skip %s (interpreter only): %v", w.Name, err)
+			continue
+		}
+		digest := isa.ProgramDigest(prog)
+		src, err := codegen.Generate(prog, codegen.Options{
+			Package:  *pkg,
+			Symbol:   "wl" + sanitize(w.Name),
+			Digest:   digest,
+			BuildTag: *tag,
+			Note:     fmt.Sprintf("Workload %q compiled with default mfc options.", w.Name),
+		})
+		if err != nil {
+			log.Fatalf("generate %s: %v", w.Name, err)
+		}
+		path := filepath.Join(*out, "z_"+sanitize(w.Name)+"_gen.go")
+		if old, err := os.ReadFile(path); err == nil && bytes.Equal(old, src) {
+			continue
+		}
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		log.Printf("wrote %s (%d bytes)", path, len(src))
+	}
+}
+
+func sanitize(name string) string {
+	b := []byte(name)
+	for i, ch := range b {
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch >= '0' && ch <= '9':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

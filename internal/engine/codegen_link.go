@@ -1,0 +1,11 @@
+//go:build !branchprof_nocodegen
+
+package engine
+
+// The engine is the seam where the codegen backend enters the
+// process: importing the generated package registers every workload
+// analogue's compiled body with the vm backend registry, so images
+// the engine loads bind native code when the program digest matches
+// and fall back to the fast interpreter otherwise. Build with
+// -tags branchprof_nocodegen to run interpreter-only.
+import _ "branchprof/internal/workloads/compiled"

@@ -41,6 +41,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"branchprof/internal/faults"
@@ -94,6 +95,12 @@ type Engine struct {
 	reg        *obs.Registry
 	st         counters
 
+	// Pre-decoded image cache effectiveness, exported as the
+	// branchprof_engine_image_{hits,misses} gauges. A miss is a
+	// verify/pre-decode/fuse (and codegen-digest lookup) pass.
+	imageHits   atomic.Uint64
+	imageMisses atomic.Uint64
+
 	mu       sync.Mutex
 	inflight map[string]*call
 }
@@ -134,6 +141,12 @@ func New(opts Options) *Engine {
 	if opts.CacheDir != "" {
 		e.disk = &diskCache{dir: opts.CacheDir, faults: opts.Faults}
 	}
+	reg.GaugeFunc("branchprof_engine_image_hits",
+		"Pre-decoded VM image cache hits.",
+		func() float64 { return float64(e.imageHits.Load()) })
+	reg.GaugeFunc("branchprof_engine_image_misses",
+		"Pre-decoded VM image cache misses (image verified, pre-decoded and bound).",
+		func() float64 { return float64(e.imageMisses.Load()) })
 	return e
 }
 
@@ -662,9 +675,11 @@ func (e *Engine) image(prog *isa.Program) *vm.Image {
 	key := fmt.Sprintf("%p", prog)
 	if v, ok := e.images.get(key); ok {
 		if im := v.(*vm.Image); im.Program() == prog {
+			e.imageHits.Add(1)
 			return im
 		}
 	}
+	e.imageMisses.Add(1)
 	im := vm.Load(prog)
 	e.images.add(key, im)
 	return im

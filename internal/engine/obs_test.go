@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"branchprof/internal/mfc"
 	"branchprof/internal/obs"
 )
 
@@ -318,5 +319,51 @@ func TestObsStatsSnapshotInvariants(t *testing.T) {
 	st := e.Stats()
 	if st.Runs != 32 || st.Profiles != 32 || st.MemMisses != 32 {
 		t.Errorf("final stats = %+v", st)
+	}
+}
+
+// TestImageCacheGauges: the pre-decoded image cache must report its
+// effectiveness on the shared registry — first run of a program is a
+// miss (the image is built), repeat runs of the same program are hits.
+func TestImageCacheGauges(t *testing.T) {
+	var buf strings.Builder
+	e := obsEngine(&buf)
+	prog, err := e.Compile("loop", obsLoopSrc, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauge := func(name string) float64 {
+		var out strings.Builder
+		if err := e.Registry().WritePrometheus(&out); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				var v float64
+				if _, err := fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%g", &v); err != nil {
+					t.Fatalf("parsing %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("gauge %s not exported", name)
+		return 0
+	}
+	if h, m := gauge("branchprof_engine_image_hits"), gauge("branchprof_engine_image_misses"); h != 0 || m != 0 {
+		t.Fatalf("fresh engine reports image hits=%v misses=%v", h, m)
+	}
+	if _, err := e.Run(prog, "", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := gauge("branchprof_engine_image_hits"), gauge("branchprof_engine_image_misses"); h != 0 || m != 1 {
+		t.Fatalf("after first run: hits=%v misses=%v, want 0/1", h, m)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Run(prog, "", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, m := gauge("branchprof_engine_image_hits"), gauge("branchprof_engine_image_misses"); h != 3 || m != 1 {
+		t.Fatalf("after repeat runs: hits=%v misses=%v, want 3/1", h, m)
 	}
 }

@@ -93,15 +93,19 @@ func missRate(pr dynpred.Predictor) float64 {
 // VM with every predictor attached, measuring them on an identical
 // branch stream. Programs with several datasets also get the
 // sum-of-others static predictor; single-dataset programs reuse self.
+// Programs replay concurrently; each writes only its own row slot, so
+// the table order (and the first error reported) is identical to a
+// serial pass.
 func StaticVsDynamic(s *Suite) ([]DynRow, error) {
-	var rows []DynRow
-	for _, p := range s.Programs {
+	rows := make([]DynRow, len(s.Programs))
+	err := Engine().Parallel(len(s.Programs), func(i int) error {
+		p := s.Programs[i]
 		r := p.Runs[0]
 		preds, _, err := tracedPredictors(p, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, DynRow{
+		rows[i] = DynRow{
 			Program: p.Workload.Name, Dataset: r.Dataset,
 			SelfRate:     missRate(preds[0]),
 			OthersRate:   missRate(preds[1]),
@@ -110,7 +114,11 @@ func StaticVsDynamic(s *Suite) ([]DynRow, error) {
 			TwoLevelRate: missRate(preds[4]),
 			GShareRate:   missRate(preds[5]),
 			BiModeRate:   missRate(preds[6]),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -171,19 +179,26 @@ func schemeIPM(pr dynpred.Predictor, instrs uint64) SchemeIPM {
 // profile-fed static prediction and the hardware schemes — including
 // the history-based ones the paper predates — line up on the paper's
 // own axis.
+// Programs replay concurrently with one preassigned row slot each, so
+// output ordering matches the serial pass bit for bit.
 func InstrsPerMispredict(s *Suite) ([]SchemeIPMRow, error) {
-	var rows []SchemeIPMRow
-	for _, p := range s.Programs {
+	rows := make([]SchemeIPMRow, len(s.Programs))
+	err := Engine().Parallel(len(s.Programs), func(i int) error {
+		p := s.Programs[i]
 		r := p.Runs[0]
 		preds, res, err := tracedPredictors(p, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := SchemeIPMRow{Program: p.Workload.Name, Dataset: r.Dataset, Instrs: res.Instrs}
 		for _, pr := range preds {
 			row.Schemes = append(row.Schemes, schemeIPM(pr, res.Instrs))
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -245,13 +260,14 @@ type H2PRow struct {
 // by the best scheme's cost), following Lin & Tarsa's H2P framing:
 // the interesting branches are the ones history does not fix.
 func H2PStudy(s *Suite, n int) ([]H2PRow, error) {
-	var rows []H2PRow
-	for _, p := range s.Programs {
+	rows := make([]H2PRow, len(s.Programs))
+	perr := Engine().Parallel(len(s.Programs), func(i int) error {
+		p := s.Programs[i]
 		r := p.Runs[0]
 		rec := runlength.NewSites(len(p.Prog.Sites))
 		preds, res, err := tracedPredictors(p, r, rec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		schemes := make([]runlength.SchemeMisses, len(preds))
 		for i, pr := range preds {
@@ -275,7 +291,11 @@ func H2PStudy(s *Suite, n int) ([]H2PRow, error) {
 				Score:     e.Score,
 			})
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
 	}
 	return rows, nil
 }
@@ -317,29 +337,35 @@ type RunLengthRow struct {
 }
 
 // RunLengths replays each program's first dataset with a run-length
-// recorder under the self prediction.
+// recorder under the self prediction. Replays run concurrently; row
+// slots are preassigned so the summary order matches a serial pass.
 func RunLengths(s *Suite) ([]RunLengthRow, error) {
-	var rows []RunLengthRow
-	for _, p := range s.Programs {
+	rows := make([]RunLengthRow, len(s.Programs))
+	perr := Engine().Parallel(len(s.Programs), func(i int) error {
+		p := s.Programs[i]
 		r := p.Runs[0]
 		self, err := selfPrediction(p, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rec := runlength.New(self)
 		res, err := Engine().Run(p.Prog, "", p.InputFor(r), &vm.Config{Trace: rec})
 		if err != nil {
-			return nil, fmt.Errorf("exp: run-length replay of %s: %w", p.Workload.Name, err)
+			return fmt.Errorf("exp: run-length replay of %s: %w", p.Workload.Name, err)
 		}
 		// Close the distribution with the tail run (last break →
 		// program exit); without it that stretch silently vanishes.
 		rec.Finish(res.Instrs)
-		rows = append(rows, RunLengthRow{
+		rows[i] = RunLengthRow{
 			Program: p.Workload.Name,
 			Dataset: r.Dataset,
 			Stats:   rec.Summarize(),
 			Hist:    rec.Histogram(16),
-		})
+		}
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
 	}
 	return rows, nil
 }
@@ -378,20 +404,24 @@ type CoverageRow struct {
 // programs. The paper tried to correlate such measures with predictor
 // quality and reported failure ("nothing we tried seemed to correlate
 // well"); CoverageCorrelation quantifies that.
+// Programs are scored concurrently; each cell appends only to its own
+// per-program slice and the slices are flattened in program order, so
+// the pair ordering is byte-identical to a serial sweep.
 func Coverage(s *Suite) ([]CoverageRow, error) {
-	var rows []CoverageRow
-	for _, p := range s.Programs {
+	perProg := make([][]CoverageRow, len(s.Programs))
+	perr := Engine().Parallel(len(s.Programs), func(pi int) error {
+		p := s.Programs[pi]
 		if !p.Multi() {
-			continue
+			return nil
 		}
 		for i, target := range p.Runs {
 			self, err := selfPrediction(p, target)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			selfIPB, err := ipb(target, self)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for j, pred := range p.Runs {
 				if i == j {
@@ -399,11 +429,11 @@ func Coverage(s *Suite) ([]CoverageRow, error) {
 				}
 				pr, err := predict.FromProfile(pred.Prof, p.Prog.Sites, predict.LoopHeuristic)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				v, err := ipb(target, pr)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				var covered, executed uint64
 				for site, n := range target.Prof.Total {
@@ -416,7 +446,7 @@ func Coverage(s *Suite) ([]CoverageRow, error) {
 				if executed > 0 {
 					cov = float64(covered) / float64(executed)
 				}
-				rows = append(rows, CoverageRow{
+				perProg[pi] = append(perProg[pi], CoverageRow{
 					Program:   p.Workload.Name,
 					Predictor: pred.Dataset,
 					Target:    target.Dataset,
@@ -425,6 +455,14 @@ func Coverage(s *Suite) ([]CoverageRow, error) {
 				})
 			}
 		}
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	var rows []CoverageRow
+	for _, pr := range perProg {
+		rows = append(rows, pr...)
 	}
 	return rows, nil
 }

@@ -32,11 +32,13 @@ type TraceRow struct {
 
 // TraceStudy rebuilds every function's CFG from the compiled code,
 // attaches the run's exact counts, and runs trace selection under
-// each regime.
+// each regime. Programs are measured concurrently with preassigned
+// row slots, so the table order matches a serial pass exactly.
 func TraceStudy(s *Suite) ([]TraceRow, error) {
-	var rows []TraceRow
+	rows := make([]TraceRow, len(s.Programs))
 	eng := Engine()
-	for _, p := range s.Programs {
+	perr := eng.Parallel(len(s.Programs), func(pi int) error {
+		p := s.Programs[pi]
 		first := p.Runs[0]
 		out, err := eng.Execute(engine.Spec{
 			Name: p.Workload.Name, Source: p.Workload.Source,
@@ -44,7 +46,7 @@ func TraceStudy(s *Suite) ([]TraceRow, error) {
 			Config: vm.Config{PerPC: true},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("exp: trace study measuring %s: %w", p.Workload.Name, err)
+			return fmt.Errorf("exp: trace study measuring %s: %w", p.Workload.Name, err)
 		}
 		res := out.Res
 		heurDirs := make([]bool, len(p.Prog.Sites))
@@ -57,7 +59,7 @@ func TraceStudy(s *Suite) ([]TraceRow, error) {
 		for fi := range p.Prog.Funcs {
 			g, err := cfg.Build(p.Prog, fi)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			g.AttachRunCounts(p.Prog, fi, res.PerPC[fi], res.SiteTaken, res.SiteTotal)
 			for _, b := range g.Blocks {
@@ -76,7 +78,11 @@ func TraceStudy(s *Suite) ([]TraceRow, error) {
 		}
 		row.Heuristic = cfg.WeightedMeanLength(heurTraces)
 		row.Profile = cfg.WeightedMeanLength(profTraces)
-		rows = append(rows, row)
+		rows[pi] = row
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
 	}
 	return rows, nil
 }

@@ -1,0 +1,88 @@
+package isa
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"math"
+)
+
+// ProgramDigest returns a stable content hash covering every field of
+// the program that can influence execution: the full instruction
+// stream, function shapes, initial memory images, the site table size
+// and the source name (which appears verbatim in fuel/cancel error
+// text). Two programs with equal digests are observationally
+// identical to the VM, so the digest is the key under which
+// ahead-of-time compiled backends register themselves (vm.Backend):
+// a generated body may run in place of the interpreter exactly when
+// the program it was generated from hashes the same.
+//
+// The encoding is a fixed, explicit field walk — not an encoding/gob
+// or reflect-based serialization — so the digest cannot drift with
+// library versions. Changing it invalidates every registered
+// compiled form (they fail the lookup and fall back to the
+// interpreter), never correctness.
+func ProgramDigest(p *Program) string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	str("mf-program-v1")
+	str(p.Source)
+	i64(int64(p.Main))
+	i64(int64(p.IntMem))
+	i64(int64(p.FloatMem))
+	i64(int64(len(p.Sites)))
+
+	u64(uint64(len(p.IntData)))
+	for _, v := range p.IntData {
+		i64(v)
+	}
+	u64(uint64(len(p.FloatData)))
+	for _, v := range p.FloatData {
+		u64(math.Float64bits(v))
+	}
+
+	u64(uint64(len(p.Funcs)))
+	for i := range p.Funcs {
+		hashFunc(h, u64, i64, str, &p.Funcs[i])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func hashFunc(h hash.Hash, u64 func(uint64), i64 func(int64), str func(string), f *Func) {
+	str(f.Name)
+	i64(int64(f.Kind))
+	i64(int64(f.NumParams))
+	i64(int64(f.NumIRegs))
+	i64(int64(f.NumFRegs))
+	u64(uint64(len(f.FParams)))
+	for _, fp := range f.FParams {
+		if fp {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	u64(uint64(len(f.Code)))
+	for i := range f.Code {
+		in := &f.Code[i]
+		i64(int64(in.Op))
+		i64(int64(in.A))
+		i64(int64(in.B))
+		i64(int64(in.C))
+		i64(in.Imm)
+		u64(math.Float64bits(in.FImm))
+		i64(int64(in.Target))
+		i64(int64(in.Site))
+	}
+}

@@ -1,0 +1,75 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+func digestProg() *Program {
+	return &Program{
+		Source:    "d",
+		IntMem:    8,
+		FloatMem:  2,
+		IntData:   []int64{1, -2},
+		FloatData: []float64{3.5},
+		Sites:     []BranchSite{{ID: 0, Func: "main"}},
+		Funcs: []Func{{
+			Name: "main", Kind: FuncInt, NumIRegs: 4, NumFRegs: 2,
+			Code: []Instr{
+				{Op: OpLdi, C: 0, Imm: 7, Site: -1},
+				{Op: OpBr, A: 0, Target: 2, Site: 0},
+				{Op: OpRet, A: 0, Site: -1},
+			},
+		}},
+	}
+}
+
+// TestProgramDigestStable: the digest is deterministic — it keys the
+// compiled-body registry, so instability would silently unbind every
+// generated body.
+func TestProgramDigestStable(t *testing.T) {
+	a, b := ProgramDigest(digestProg()), ProgramDigest(digestProg())
+	if a != b {
+		t.Fatalf("digest not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("digest %q is not 64 hex chars", a)
+	}
+}
+
+// TestProgramDigestSensitive: any semantic field change must change
+// the digest, otherwise a stale generated body could bind to a
+// program it was not generated from.
+func TestProgramDigestSensitive(t *testing.T) {
+	base := ProgramDigest(digestProg())
+	muts := []struct {
+		name string
+		mut  func(p *Program)
+	}{
+		{"source", func(p *Program) { p.Source = "e" }},
+		{"intmem", func(p *Program) { p.IntMem = 9 }},
+		{"intdata", func(p *Program) { p.IntData[1] = -3 }},
+		{"floatdata-bits", func(p *Program) {
+			p.FloatData[0] = math.Float64frombits(math.Float64bits(p.FloatData[0]) ^ 1)
+		}},
+		{"site-count", func(p *Program) { p.Sites = append(p.Sites, BranchSite{ID: 1, Func: "main"}) }},
+		{"func-name", func(p *Program) { p.Funcs[0].Name = "m" }},
+		{"func-kind", func(p *Program) { p.Funcs[0].Kind = FuncVoid }},
+		{"nregs", func(p *Program) { p.Funcs[0].NumIRegs = 5 }},
+		{"imm", func(p *Program) { p.Funcs[0].Code[0].Imm = 8 }},
+		{"op", func(p *Program) { p.Funcs[0].Code[0].Op = OpMov }},
+		{"target", func(p *Program) { p.Funcs[0].Code[1].Target = 0 }},
+		{"fimm-bits", func(p *Program) { p.Funcs[0].Code[0].FImm = math.Float64frombits(1) }},
+		{"fparams", func(p *Program) { p.Funcs[0].FParams = []bool{true} }},
+		{"extra-func", func(p *Program) {
+			p.Funcs = append(p.Funcs, Func{Name: "g", Code: []Instr{{Op: OpRet, Site: -1}}})
+		}},
+	}
+	for _, m := range muts {
+		p := digestProg()
+		m.mut(p)
+		if d := ProgramDigest(p); d == base {
+			t.Errorf("%s: mutation did not change the digest", m.name)
+		}
+	}
+}

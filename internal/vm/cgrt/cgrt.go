@@ -1,0 +1,243 @@
+// Package cgrt is the runtime half of the ahead-of-time codegen
+// backend (internal/vm/codegen): the State a generated program body
+// threads through its calls, the trap/halt/fuel/cancel unwinding
+// machinery, and the Run wrapper that turns a generated body into a
+// vm.CompiledFunc with exactly the reference interpreter's observable
+// behaviour.
+//
+// Generated code keeps the hot state in locals (registers, the
+// instruction count n, the fuel and poll flags) and reaches into
+// State only on the slow paths: traps, polls, I/O and calls. All
+// abnormal exits — fuel exhaustion, cooperative cancellation, runtime
+// traps and halt — unwind the generated call stack with a typed
+// panic carrying the instruction count, which Run recovers into the
+// exact error values and Result fields ref.go produces.
+package cgrt
+
+import (
+	"fmt"
+	"math"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/vm"
+)
+
+// State carries a run's mutable machine state between generated
+// function bodies. Generated code hoists the hot fields into locals
+// at function entry; everything else is touched only on slow paths.
+type State struct {
+	P     *isa.Program
+	Res   *vm.Result
+	Imem  []int64
+	Fmem  []float64
+	Input []byte
+	InPos int
+
+	Fuel   uint64
+	Poll   bool
+	Done   <-chan struct{}
+	Sample func(stack []int32, instrs uint64)
+	Tr     vm.Tracer
+
+	// MaxDepth is the configured limit; Depth is the live frame
+	// count, starting at 1 for main exactly as the interpreter's
+	// frame slice does. Stack mirrors the frame function indices
+	// (outermost first) and is maintained only while sampling.
+	MaxDepth int
+	Depth    int
+	Stack    []int32
+
+	MaxOut   int
+	funcBase []int
+}
+
+// Typed unwinding payloads. Each carries the instruction count at the
+// moment the event fired so Run can stamp Result.Instrs exactly.
+type fuelStop struct{ n uint64 }
+type cancelStop struct{ n uint64 }
+type haltStop struct {
+	n    uint64
+	code int64
+}
+type trapStop struct {
+	fi, pc int32
+	n      uint64
+	msg    string
+}
+
+// Run executes body — a generated whole-program entry returning the
+// final instruction count and main's integer return value — and
+// reproduces the reference interpreter's result and error contract:
+// ErrFuel/ErrCancelled wrapped with the exact instruction count and
+// program source name, RuntimeError with function-relative and global
+// PCs for traps, ExitCode from halt or main's return.
+//
+// cfg must already have defaults applied (vm.Image.Run fills it
+// before dispatching to a compiled body).
+func Run(p *isa.Program, input []byte, c *vm.Config, body func(*State) (uint64, int64)) (res *vm.Result, err error) {
+	res = &vm.Result{
+		SiteTaken: make([]uint64, len(p.Sites)),
+		SiteTotal: make([]uint64, len(p.Sites)),
+	}
+	if c.PerPC {
+		res.PerPC = make([][]uint64, len(p.Funcs))
+		for i := range p.Funcs {
+			res.PerPC[i] = make([]uint64, len(p.Funcs[i].Code))
+		}
+	}
+	imem := make([]int64, p.IntMem)
+	copy(imem, p.IntData)
+	fmem := make([]float64, p.FloatMem)
+	copy(fmem, p.FloatData)
+	funcBase := make([]int, len(p.Funcs))
+	base := 0
+	for i := range p.Funcs {
+		funcBase[i] = base
+		base += len(p.Funcs[i].Code)
+	}
+
+	st := &State{
+		P: p, Res: res, Imem: imem, Fmem: fmem, Input: input,
+		Fuel: c.Fuel, Poll: c.Done != nil || c.Sample != nil,
+		Done: c.Done, Sample: c.Sample, Tr: c.Trace,
+		MaxDepth: c.MaxDepth, Depth: 1,
+		MaxOut: c.MaxOutput, funcBase: funcBase,
+	}
+	if c.Sample != nil {
+		st.Stack = append(make([]int32, 0, 64), int32(p.Main))
+	}
+
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case fuelStop:
+			res.Instrs = r.n
+			err = fmt.Errorf("%w after %d instructions in %s", vm.ErrFuel, r.n, p.Source)
+		case cancelStop:
+			res.Instrs = r.n
+			err = fmt.Errorf("%w after %d instructions in %s", vm.ErrCancelled, r.n, p.Source)
+		case haltStop:
+			res.Instrs = r.n
+			res.ExitCode = r.code
+			err = nil
+		case trapStop:
+			res.Instrs = r.n
+			err = &vm.RuntimeError{
+				Func:     p.Funcs[r.fi].Name,
+				PC:       int(r.pc),
+				GlobalPC: funcBase[r.fi] + int(r.pc),
+				Instrs:   r.n,
+				Msg:      r.msg,
+			}
+		default:
+			panic(r)
+		}
+	}()
+
+	n, exit := body(st)
+	res.Instrs = n
+	res.ExitCode = exit
+	return res, nil
+}
+
+// Instrumented reports whether the run observes per-instruction or
+// per-transfer events; generated bodies hoist the answer per call.
+func (st *State) Instrumented() bool { return st.Tr != nil || st.Res.PerPC != nil }
+
+// PerPCFor returns the per-pc counter row for function fi, or nil
+// when per-pc counting is off.
+func (st *State) PerPCFor(fi int) []uint64 {
+	if st.Res.PerPC == nil {
+		return nil
+	}
+	return st.Res.PerPC[fi]
+}
+
+// FuelStop aborts the run out of fuel after n instructions.
+func (st *State) FuelStop(n uint64) { panic(fuelStop{n}) }
+
+// PollCheck is the periodic cancellation/sampling poll, reached every
+// time n&4095 == 0 exactly as the interpreter's loop head does.
+func (st *State) PollCheck(n uint64) {
+	if st.Done != nil {
+		select {
+		case <-st.Done:
+			panic(cancelStop{n})
+		default:
+		}
+	}
+	if st.Sample != nil {
+		st.Sample(st.Stack, n)
+	}
+}
+
+// Halt ends the run with the given exit code after n instructions.
+func (st *State) Halt(n uint64, code int64) { panic(haltStop{n, code}) }
+
+// Trap aborts the run with a RuntimeError at pc of function fi.
+func (st *State) Trap(fi, pc int32, n uint64, msg string) {
+	panic(trapStop{fi: fi, pc: pc, n: n, msg: msg})
+}
+
+// TrapMem is Trap for the four memory bounds messages.
+func (st *State) TrapMem(fi, pc int32, n uint64, what string, addr int64, size int) {
+	st.Trap(fi, pc, n, fmt.Sprintf("%s address %d out of range [0,%d)", what, addr, size))
+}
+
+// TrapICall is Trap for an indirect call to an out-of-range index.
+func (st *State) TrapICall(fi, pc int32, n uint64, callee int) {
+	st.Trap(fi, pc, n, fmt.Sprintf("indirect call to bad function index %d", callee))
+}
+
+// Getc returns the next input byte, or -1 at end of input.
+func (st *State) Getc() int64 {
+	if st.InPos < len(st.Input) {
+		b := st.Input[st.InPos]
+		st.InPos++
+		return int64(b)
+	}
+	return -1
+}
+
+// Putc appends the low byte of v to the output, trapping once the
+// configured output limit is reached.
+func (st *State) Putc(fi, pc int32, n uint64, v int64) {
+	if len(st.Res.Output) >= st.MaxOut {
+		st.Trap(fi, pc, n, "output limit exceeded")
+	}
+	st.Res.Output = append(st.Res.Output, byte(v))
+}
+
+// UnsupportedICall aborts an indirect call whose argument staging
+// would escape the register frames. The interpreter's behaviour on
+// this path is depth-dependent (reads from the freshly zeroed callee
+// window, or a slab-bounds panic), so generated code cannot
+// reproduce it statically; it panics instead — the documented
+// codegen-mode-only delta. No workload or fuzzer-generated program
+// reaches this path; a program that does can be pinned to the
+// interpreter with BRANCHPROF_VM_BACKEND=interp.
+func (st *State) UnsupportedICall(fi, pc int32, callee int) {
+	panic(fmt.Sprintf("vm codegen: indirect call at %s+%d stages callee %s outside the register frames; interpreter behaviour is depth-dependent (run with BRANCHPROF_VM_BACKEND=interp)",
+		st.P.Funcs[fi].Name, pc, st.P.Funcs[callee].Name))
+}
+
+// BadResult reproduces the interpreter's index-out-of-range panic
+// when an indirect call's result register lies outside the caller's
+// frame. The panic index is frame-relative here where the
+// interpreter's is slab-relative; both are runtime range errors on
+// the same program point.
+func BadResult(reg int32) {
+	_ = []int64(nil)[reg]
+}
+
+// B2I is the comparison materialization ref.go uses.
+func B2I(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// F64 reconstructs a float immediate from its exact bit pattern, so
+// generated code round-trips every value including NaN payloads.
+func F64(bits uint64) float64 { return math.Float64frombits(bits) }

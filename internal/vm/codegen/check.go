@@ -1,0 +1,165 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+
+	"branchprof/internal/isa"
+)
+
+// paramCounts splits a function's parameter list the way the
+// interpreter's staging loop does: parameters at or beyond
+// len(FParams) are integers.
+func paramCounts(f *isa.Func) (ints, floats int) {
+	for pi := 0; pi < f.NumParams; pi++ {
+		if pi < len(f.FParams) && f.FParams[pi] {
+			floats++
+		} else {
+			ints++
+		}
+	}
+	return ints, floats
+}
+
+// stagedBeforeFloat returns how many integer parameters the
+// interpreter stages before hitting the first float parameter (all of
+// them when the function has none) — the reads an indirect call
+// performs before it either completes staging or traps.
+func stagedBeforeFloat(f *isa.Func) (ints int, hasFloat bool) {
+	for pi := 0; pi < f.NumParams; pi++ {
+		if pi < len(f.FParams) && f.FParams[pi] {
+			return ints, true
+		}
+		ints++
+	}
+	return ints, false
+}
+
+// regOK reports whether operand index x is a valid register of class
+// cl in function f.
+func regOK(f *isa.Func, cl isa.RegClass, x int32) bool {
+	switch cl {
+	case isa.RegInt:
+		return x >= 0 && int(x) < f.NumIRegs
+	case isa.RegFloat:
+		return x >= 0 && int(x) < f.NumFRegs
+	}
+	return true
+}
+
+// Supported reports whether p is inside the envelope the generator
+// compiles, returning a descriptive error when it is not. The
+// envelope is the fast interpreter's static verification plus every
+// condition whose violation the reference interpreter answers with a
+// Go panic rather than a defined trap (out-of-range operand register
+// indices, argument windows escaping the caller's frame, staged
+// parameters escaping the callee's frame): such programs keep their
+// exact behaviour by running on the interpreter instead. All 15
+// workload analogues and every program the differential fuzzer
+// generates are inside the envelope.
+func Supported(p *isa.Program) error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("codegen: no functions")
+	}
+	if p.Main < 0 || p.Main >= len(p.Funcs) {
+		return fmt.Errorf("codegen: main index %d out of range", p.Main)
+	}
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		if f.NumIRegs < 0 || f.NumFRegs < 0 {
+			return fmt.Errorf("codegen: %s: negative register count", f.Name)
+		}
+		ints, floats := paramCounts(f)
+		if ints > f.NumIRegs || floats > f.NumFRegs {
+			return fmt.Errorf("codegen: %s: parameters exceed register frame", f.Name)
+		}
+		code := f.Code
+		if len(code) == 0 || len(code) > math.MaxInt32/2 {
+			return fmt.Errorf("codegen: %s: bad code length %d", f.Name, len(code))
+		}
+		if !code[len(code)-1].Op.IsControl() {
+			return fmt.Errorf("codegen: %s: does not end in a control transfer", f.Name)
+		}
+		for pc := range code {
+			in := &code[pc]
+			if !in.Op.Valid() {
+				return fmt.Errorf("codegen: %s+%d: invalid op %d", f.Name, pc, in.Op)
+			}
+			m := in.Op.Meta()
+			// OpCall/OpICall overload A/B/C as windows, checked below.
+			if in.Op != isa.OpCall && in.Op != isa.OpICall {
+				if !regOK(f, m.A, in.A) || !regOK(f, m.B, in.B) || !regOK(f, m.C, in.C) {
+					return fmt.Errorf("codegen: %s+%d: operand register out of range", f.Name, pc)
+				}
+			}
+			if m.SelImm && !regOK(f, m.ImmReg, int32(in.Imm)) {
+				return fmt.Errorf("codegen: %s+%d: select register out of range", f.Name, pc)
+			}
+			switch in.Op {
+			case isa.OpBr:
+				if in.Target < 0 || int(in.Target) >= len(code) {
+					return fmt.Errorf("codegen: %s+%d: branch target out of range", f.Name, pc)
+				}
+				if in.Site < 0 || int(in.Site) >= len(p.Sites) {
+					return fmt.Errorf("codegen: %s+%d: branch site out of range", f.Name, pc)
+				}
+			case isa.OpJmp:
+				if in.Target < 0 || int(in.Target) >= len(code) {
+					return fmt.Errorf("codegen: %s+%d: jump target out of range", f.Name, pc)
+				}
+			case isa.OpRet:
+				switch f.Kind {
+				case isa.FuncInt:
+					if !regOK(f, isa.RegInt, in.A) {
+						return fmt.Errorf("codegen: %s+%d: return register out of range", f.Name, pc)
+					}
+				case isa.FuncFloat:
+					if !regOK(f, isa.RegFloat, in.A) {
+						return fmt.Errorf("codegen: %s+%d: return register out of range", f.Name, pc)
+					}
+				}
+			case isa.OpCall:
+				if in.Target < 0 || int(in.Target) >= len(p.Funcs) {
+					return fmt.Errorf("codegen: %s+%d: call target out of range", f.Name, pc)
+				}
+				g := &p.Funcs[in.Target]
+				gi, gf := paramCounts(g)
+				if in.A < 0 || int(in.A)+gi > f.NumIRegs {
+					return fmt.Errorf("codegen: %s+%d: int argument window out of range", f.Name, pc)
+				}
+				if in.B < 0 || int(in.B)+gf > f.NumFRegs {
+					return fmt.Errorf("codegen: %s+%d: float argument window out of range", f.Name, pc)
+				}
+				if in.C >= 0 && !resultRegOK(f, g.Kind, in.C) {
+					return fmt.Errorf("codegen: %s+%d: result register out of range", f.Name, pc)
+				}
+			case isa.OpICall:
+				// Per-callee staging and result-register issues are
+				// handled case by case in the generated dispatch
+				// switch (see codegen.go), because the callee is only
+				// known at runtime; here only the site's own operands
+				// must be sound.
+				if !regOK(f, isa.RegInt, in.A) {
+					return fmt.Errorf("codegen: %s+%d: callee register out of range", f.Name, pc)
+				}
+				if in.B < 0 {
+					return fmt.Errorf("codegen: %s+%d: int argument window out of range", f.Name, pc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// resultRegOK reports whether caller register c can receive a result
+// of the given callee kind (void callees never write a result, so any
+// c is fine).
+func resultRegOK(caller *isa.Func, kind isa.FuncKind, c int32) bool {
+	switch kind {
+	case isa.FuncInt:
+		return int(c) < caller.NumIRegs
+	case isa.FuncFloat:
+		return int(c) < caller.NumFRegs
+	}
+	return true
+}

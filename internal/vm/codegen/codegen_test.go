@@ -1,0 +1,144 @@
+package codegen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"branchprof/internal/isa"
+)
+
+func okProg() *isa.Program {
+	return &isa.Program{
+		Source: "t",
+		IntMem: 4,
+		Funcs: []isa.Func{{
+			Name: "main", Kind: isa.FuncInt, NumIRegs: 4,
+			Code: []isa.Instr{
+				{Op: isa.OpLdi, C: 0, Imm: 42, Site: -1},
+				{Op: isa.OpRet, A: 0, Site: -1},
+			},
+		}},
+	}
+}
+
+func TestSupportedAccepts(t *testing.T) {
+	if err := Supported(okProg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupportedDeclines: each condition whose violation the reference
+// interpreter answers with a Go panic (not a defined trap) must be
+// declined, so the program keeps its exact behaviour on the
+// interpreter instead of being compiled.
+func TestSupportedDeclines(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(p *isa.Program)
+		want string
+	}{
+		{"no-funcs", func(p *isa.Program) { p.Funcs = nil }, "no functions"},
+		{"bad-main", func(p *isa.Program) { p.Main = 3 }, "main index"},
+		{"no-terminator", func(p *isa.Program) {
+			p.Funcs[0].Code = []isa.Instr{{Op: isa.OpLdi, C: 0, Site: -1}}
+		}, "control transfer"},
+		{"operand-oob", func(p *isa.Program) {
+			p.Funcs[0].Code[0].C = 99
+		}, "operand register"},
+		{"branch-target-oob", func(p *isa.Program) {
+			p.Sites = []isa.BranchSite{{ID: 0, Func: "main"}}
+			p.Funcs[0].Code[0] = isa.Instr{Op: isa.OpBr, A: 0, Target: 9, Site: 0}
+		}, "branch target"},
+		{"branch-site-oob", func(p *isa.Program) {
+			p.Funcs[0].Code[0] = isa.Instr{Op: isa.OpBr, A: 0, Target: 1, Site: 5}
+		}, "branch site"},
+		{"call-target-oob", func(p *isa.Program) {
+			p.Funcs[0].Code[0] = isa.Instr{Op: isa.OpCall, Target: 7, C: -1, Site: -1}
+		}, "call target"},
+		{"call-window-oob", func(p *isa.Program) {
+			p.Funcs = append(p.Funcs, isa.Func{
+				Name: "g", Kind: isa.FuncVoid, NumParams: 2, NumIRegs: 4,
+				Code: []isa.Instr{{Op: isa.OpRet, Site: -1}},
+			})
+			p.Funcs[0].Code[0] = isa.Instr{Op: isa.OpCall, Target: 1, A: 3, C: -1, Site: -1}
+		}, "argument window"},
+		{"params-exceed-frame", func(p *isa.Program) {
+			p.Funcs[0].NumParams = 9
+		}, "parameters exceed"},
+		{"ret-reg-oob", func(p *isa.Program) {
+			p.Funcs[0].Code[1].A = 44
+		}, "return register"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := okProg()
+			tc.mut(p)
+			err := Supported(p)
+			if err == nil {
+				t.Fatalf("Supported accepted a %s program", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if _, gerr := Generate(p, Options{Package: "x", Symbol: "x"}); gerr == nil {
+				t.Fatalf("Generate accepted a %s program", tc.name)
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic: identical programs generate identical
+// bytes — the property behind the gencheck freshness gate.
+func TestGenerateDeterministic(t *testing.T) {
+	opts := Options{Package: "pkg", Symbol: "sym", Digest: "d", BuildTag: "!tag"}
+	a, err := Generate(okProg(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(okProg(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Generate is nondeterministic")
+	}
+	for _, want := range []string{
+		"package pkg", "//go:build !tag",
+		`vm.RegisterCompiled("d", symRun)`,
+		"func symMain(st *cgrt.State)",
+		"func sym_f0(", "func sym_f0t(",
+		"st.Instrumented()",
+	} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+	// The plain variant must not reference the tracer or per-pc rows.
+	plain := string(a[strings.Index(string(a), "func sym_f0("):strings.Index(string(a), "func sym_f0t(")])
+	for _, banned := range []string{"st.Tr", "PerPCFor", "pcc"} {
+		if strings.Contains(plain, banned) {
+			t.Errorf("plain variant references %q:\n%s", banned, plain)
+		}
+	}
+}
+
+// TestGenerateSkipsMathImport: a program whose only math-needing op is
+// dead code must not import math (it would not compile).
+func TestGenerateSkipsMathImport(t *testing.T) {
+	p := okProg()
+	p.Funcs[0].NumFRegs = 2
+	p.Funcs[0].Code = []isa.Instr{
+		{Op: isa.OpLdi, C: 0, Imm: 1, Site: -1},
+		{Op: isa.OpRet, A: 0, Site: -1},
+		{Op: isa.OpSqrt, A: 0, C: 1, Site: -1}, // unreachable
+		{Op: isa.OpRet, A: 0, Site: -1},
+	}
+	src, err := Generate(p, Options{Package: "x", Symbol: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(src), `"math"`) {
+		t.Fatal("dead math op forced the math import")
+	}
+}

@@ -1,0 +1,87 @@
+package vm
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/vm/codegen/difftest"
+)
+
+// The codegen leg of the differential fuzz suite. Generated Go code
+// must be compiled before it can run, so these comparisons happen in
+// a subprocess harness (internal/vm/codegen/difftest) rather than in
+// the fuzz executor: TestCodegenSeedDifferential batches a corpus of
+// generator-derived programs into one harness build and always runs;
+// setting BRANCHPROF_FUZZ_CODEGEN=1 additionally gives every
+// FuzzVMDifferential execution its own harness run (slow — one Go
+// build per input — so it is opt-in for fuzzing sessions hunting
+// codegen divergences specifically).
+
+var fuzzCodegen = os.Getenv("BRANCHPROF_FUZZ_CODEGEN") != ""
+
+// codegenCorpus derives a deterministic spread of fuzz-generator
+// programs: the fixed fuzz seeds plus xorshift-derived inputs, capped
+// and digest-deduplicated.
+func codegenCorpus() (progs []*isa.Program, inputs [][]byte) {
+	var datas [][]byte
+	datas = append(datas,
+		[]byte{2, 9, 30, 1, 2, 3, 35, 0, 4, 41, 1, 5, 44, 7, 0},
+		bytes.Repeat([]byte{31, 14, 45, 3}, 16),
+		[]byte{1, 12, 44, 0, 45, 1, 46, 2, 30, 5, 255, 255},
+	)
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() byte {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return byte(state)
+	}
+	for i := 0; i < 64; i++ {
+		d := make([]byte, 8+int(next())%48)
+		for j := range d {
+			d[j] = next()
+		}
+		datas = append(datas, d)
+	}
+	seen := make(map[string]bool)
+	for _, data := range datas {
+		prog := fuzzProgram(data)
+		if prog == nil {
+			continue
+		}
+		d := isa.ProgramDigest(prog)
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		var input []byte
+		if len(data) > 4 {
+			input = data[len(data)-4:]
+		}
+		progs = append(progs, prog)
+		inputs = append(inputs, input)
+		if len(progs) >= 24 {
+			break
+		}
+	}
+	return progs, inputs
+}
+
+// TestCodegenSeedDifferential compiles a corpus of fuzz-generator
+// programs with the codegen backend and demands interpreter/codegen
+// agreement on results, errors, traces, and fuel cuts — the always-on
+// half of the codegen fuzz leg.
+func TestCodegenSeedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess harness build")
+	}
+	progs, inputs := codegenCorpus()
+	if len(progs) < 8 {
+		t.Fatalf("corpus degenerated: only %d programs", len(progs))
+	}
+	if err := difftest.Compare(progs, inputs); err != nil {
+		t.Fatal(err)
+	}
+}

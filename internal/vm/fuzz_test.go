@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"branchprof/internal/isa"
+	"branchprof/internal/vm/codegen/difftest"
 )
 
 // FuzzVMDifferential generates structurally valid programs from the
@@ -215,6 +216,14 @@ func FuzzVMDifferential(f *testing.F) {
 				t.Fatalf("site %d mismatch: ref=%d/%d fast=%d/%d\nprogram:\n%s", i,
 					ref.SiteTaken[i], ref.SiteTotal[i], fast.SiteTaken[i], fast.SiteTotal[i],
 					isa.Disasm(prog))
+			}
+		}
+		// Opt-in codegen leg: compile this program with the codegen
+		// backend in a subprocess and compare against the interpreter
+		// (see codegen_diff_test.go for the always-on corpus variant).
+		if fuzzCodegen {
+			if err := difftest.Compare([]*isa.Program{prog}, [][]byte{input}); err != nil {
+				t.Fatalf("codegen leg: %v\nprogram:\n%s", err, isa.Disasm(prog))
 			}
 		}
 	})

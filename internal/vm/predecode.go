@@ -294,6 +294,12 @@ type Image struct {
 	blocks   [][]blockInfo
 	fmeta    []funcMeta
 
+	// compiled is the ahead-of-time generated body registered for
+	// this program (backend.go), bound once at Load; nil when none
+	// is registered. Run prefers it over the interpreter unless the
+	// backend is disabled.
+	compiled CompiledFunc
+
 	mu       sync.Mutex
 	variants [4]*variant
 
@@ -324,6 +330,7 @@ func Load(p *isa.Program) *Image {
 		im.fallback = true
 		return im
 	}
+	im.compiled = CompiledFor(p)
 	im.fmeta = make([]funcMeta, len(p.Funcs))
 	for fi := range p.Funcs {
 		f := &p.Funcs[fi]

@@ -26,7 +26,31 @@ func (im *Image) Run(input []byte, cfg *Config) (*Result, error) {
 	if im.fallback {
 		return runReference(im.prog, input, &c)
 	}
+	if im.compiled != nil && CompiledEnabled() {
+		return im.compiled(im.prog, input, &c)
+	}
+	return im.runFast(input, &c)
+}
 
+// RunInterpreter executes via the fast interpreter even when a
+// compiled body is registered for the program (benchmarks and the
+// codegen differential suite pin the backend this way). Fallback
+// images still use the reference interpreter, exactly as Run does.
+func (im *Image) RunInterpreter(input []byte, cfg *Config) (*Result, error) {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	c.fill()
+	if im.fallback {
+		return runReference(im.prog, input, &c)
+	}
+	return im.runFast(input, &c)
+}
+
+// runFast is the pre-decoded interpreter entry. cfg must be filled.
+func (im *Image) runFast(input []byte, cp *Config) (*Result, error) {
+	c := *cp
 	p := im.prog
 	res := &Result{
 		SiteTaken: make([]uint64, len(p.Sites)),

@@ -1,0 +1,151 @@
+package compiled
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"branchprof/internal/vm"
+)
+
+// Fuel and cancellation cadence for the codegen backend, mirroring the
+// vm package's fuel_cadence_test.go: generated code emits the fuel
+// check and the Done/Sample poll before every instruction, so every
+// event must land at exactly the reference counts — there is no
+// codegen-only cadence delta. (The one documented codegen-only
+// behavioural delta is the unsupported-icall panic; see docs/PERF.md.)
+
+// TestCodegenFuelExactAtCount: ErrFuel fires with Instrs equal to the
+// configured fuel, including at and around the 4096-instruction poll
+// boundary.
+func TestCodegenFuelExactAtCount(t *testing.T) {
+	prog, input := compileWorkload(t, "li")
+	im := loadCompiled(t, prog)
+	for _, fuel := range []uint64{1, 17, 4095, 4096, 4097, 100000} {
+		res, err := im.Run(input, &vm.Config{Fuel: fuel})
+		if !errors.Is(err, vm.ErrFuel) {
+			t.Fatalf("fuel=%d: err = %v, want ErrFuel", fuel, err)
+		}
+		if res.Instrs != fuel {
+			t.Errorf("fuel=%d: stopped after %d instructions", fuel, res.Instrs)
+		}
+		if want := fmt.Sprintf("after %d instructions", fuel); !strings.Contains(err.Error(), want) {
+			t.Errorf("fuel=%d: error %q does not report the exact count", fuel, err)
+		}
+	}
+}
+
+// TestCodegenSampleCadence: the Sample hook fires every 4096 retired
+// instructions with the same stamps and the same outermost-first call
+// stacks as the interpreter.
+func TestCodegenSampleCadence(t *testing.T) {
+	prog, input := compileWorkload(t, "li")
+	im := loadCompiled(t, prog)
+	type sample struct {
+		at    uint64
+		stack []int32
+	}
+	collect := func(runner func(*vm.Config) (*vm.Result, error)) []sample {
+		var out []sample
+		_, err := runner(&vm.Config{
+			Fuel: 1 << 20,
+			Sample: func(stack []int32, instrs uint64) {
+				out = append(out, sample{instrs, append([]int32(nil), stack...)})
+			},
+		})
+		if !errors.Is(err, vm.ErrFuel) {
+			t.Fatalf("err = %v, want ErrFuel", err)
+		}
+		return out
+	}
+	cg := collect(func(c *vm.Config) (*vm.Result, error) { return im.Run(input, c) })
+	interp := collect(func(c *vm.Config) (*vm.Result, error) { return im.RunInterpreter(input, c) })
+	if len(cg) < 100 {
+		t.Fatalf("only %d samples over %d instructions", len(cg), 1<<20)
+	}
+	if len(cg) != len(interp) {
+		t.Fatalf("sample count: interp=%d codegen=%d", len(interp), len(cg))
+	}
+	for i := range cg {
+		if cg[i].at%4096 != 0 {
+			t.Fatalf("sample %d at instruction %d, not a poll-cadence multiple", i, cg[i].at)
+		}
+		if cg[i].at != interp[i].at {
+			t.Fatalf("sample %d stamp: interp=%d codegen=%d", i, interp[i].at, cg[i].at)
+		}
+		if len(cg[i].stack) != len(interp[i].stack) {
+			t.Fatalf("sample %d stack depth: interp=%d codegen=%d",
+				i, len(interp[i].stack), len(cg[i].stack))
+		}
+		for j := range cg[i].stack {
+			if cg[i].stack[j] != interp[i].stack[j] {
+				t.Fatalf("sample %d stack[%d]: interp=%d codegen=%d",
+					i, j, interp[i].stack[j], cg[i].stack[j])
+			}
+		}
+	}
+}
+
+// TestCodegenCancelWithinPollWindow: closing Done from inside the
+// Sample hook pins the observation point; cancellation must land
+// within one 4096-instruction poll window, at the same instruction
+// count the interpreter reports.
+func TestCodegenCancelWithinPollWindow(t *testing.T) {
+	prog, input := compileWorkload(t, "li")
+	im := loadCompiled(t, prog)
+	run := func(runner func(*vm.Config) (*vm.Result, error)) (closeAt uint64, res *vm.Result, err error) {
+		done := make(chan struct{})
+		closed := false
+		res, err = runner(&vm.Config{
+			Done: done,
+			Sample: func(stack []int32, instrs uint64) {
+				if !closed && instrs >= 100000 {
+					closed = true
+					closeAt = instrs
+					close(done)
+				}
+			},
+		})
+		return closeAt, res, err
+	}
+	cAt, cRes, cErr := run(func(c *vm.Config) (*vm.Result, error) { return im.Run(input, c) })
+	iAt, iRes, iErr := run(func(c *vm.Config) (*vm.Result, error) { return im.RunInterpreter(input, c) })
+	for _, tc := range []struct {
+		name string
+		at   uint64
+		res  *vm.Result
+		err  error
+	}{{"codegen", cAt, cRes, cErr}, {"interp", iAt, iRes, iErr}} {
+		if !errors.Is(tc.err, vm.ErrCancelled) {
+			t.Fatalf("%s: err = %v, want ErrCancelled", tc.name, tc.err)
+		}
+		if tc.res.Instrs < tc.at || tc.res.Instrs-tc.at > 4096 {
+			t.Errorf("%s: closed at %d, cancelled at %d (window > 4096)",
+				tc.name, tc.at, tc.res.Instrs)
+		}
+	}
+	if cAt != iAt || cRes.Instrs != iRes.Instrs || cErr.Error() != iErr.Error() {
+		t.Errorf("cancellation diverged: codegen closed %d stopped %d (%v); interp closed %d stopped %d (%v)",
+			cAt, cRes.Instrs, cErr, iAt, iRes.Instrs, iErr)
+	}
+}
+
+// TestCodegenCancelPreClosed: a Done channel closed before the run is
+// observed at the very first poll point — zero instructions retired.
+func TestCodegenCancelPreClosed(t *testing.T) {
+	prog, input := compileWorkload(t, "li")
+	im := loadCompiled(t, prog)
+	done := make(chan struct{})
+	close(done)
+	res, err := im.Run(input, &vm.Config{Done: done})
+	if !errors.Is(err, vm.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if res.Instrs != 0 {
+		t.Errorf("pre-closed Done stopped after %d instructions, want 0", res.Instrs)
+	}
+	if !strings.Contains(err.Error(), "after 0 instructions") {
+		t.Errorf("error %q does not report immediate cancellation", err)
+	}
+}

@@ -1,0 +1,17 @@
+// Package compiled holds the ahead-of-time generated Go bodies of
+// the 15 workload analogues (internal/vm/codegen). Each generated
+// file registers its entry with vm.RegisterCompiled under the
+// program's content digest, so importing this package (internal/
+// engine blank-imports it) makes vm.Load bind native code for any
+// program whose digest matches — every other program keeps the fast
+// interpreter. Build with -tags branchprof_nocodegen to drop the
+// generated bodies entirely.
+//
+// Regenerate with `go generate ./internal/workloads/compiled` (or
+// `make generate`); `make gencheck` fails when the committed files
+// are stale. The files are verified bit-identical to the fast
+// interpreter by this package's differential tests, the fuel/cancel
+// cadence tests, and the codegen legs of the vm fuzz suite.
+package compiled
+
+//go:generate go run branchprof/cmd/vmcodegen -out .

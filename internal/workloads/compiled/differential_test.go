@@ -1,0 +1,262 @@
+package compiled
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"branchprof/internal/isa"
+	"branchprof/internal/mfc"
+	"branchprof/internal/vm"
+	"branchprof/internal/workloads"
+)
+
+// The generated bodies must be observationally identical to the fast
+// interpreter — which was itself verified bit-identical to the
+// reference interpreter — on every workload, every dataset, and every
+// configuration: same Result counters, same output bytes, same error
+// classification with exact trap messages and instruction counts.
+// These tests are the proof obligation behind SemanticsVersion
+// staying at 1 while Run dispatches to native code.
+
+// compileWorkload compiles a workload analogue and returns its program
+// together with its first dataset's input.
+func compileWorkload(t *testing.T, name string) (*isa.Program, []byte) {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, w.Datasets[0].Gen()
+}
+
+// loadCompiled loads an image and demands that a generated body is
+// actually bound to it — otherwise every comparison below would
+// vacuously pass on the interpreter-vs-interpreter fallback.
+func loadCompiled(t *testing.T, prog *isa.Program) *vm.Image {
+	t.Helper()
+	if vm.CompiledFor(prog) == nil {
+		t.Fatalf("%s: no compiled body registered for this program digest", prog.Source)
+	}
+	if !vm.CompiledEnabled() {
+		t.Fatalf("compiled backend disabled in test process")
+	}
+	return vm.Load(prog)
+}
+
+// cgCompare demands field-exact equality between an interpreter result
+// and a codegen result, mirroring the vm package's diffCompare.
+func cgCompare(t *testing.T, label string, interp, cg *vm.Result, interpErr, cgErr error) {
+	t.Helper()
+	if (interpErr == nil) != (cgErr == nil) {
+		t.Fatalf("%s: error mismatch: interp=%v codegen=%v", label, interpErr, cgErr)
+	}
+	if interpErr != nil && interpErr.Error() != cgErr.Error() {
+		t.Fatalf("%s: error text mismatch:\n  interp:  %v\n  codegen: %v", label, interpErr, cgErr)
+	}
+	if interp == nil || cg == nil {
+		if interp != cg {
+			t.Fatalf("%s: result nilness mismatch: interp=%v codegen=%v", label, interp, cg)
+		}
+		return
+	}
+	if interp.Instrs != cg.Instrs {
+		t.Errorf("%s: Instrs: interp=%d codegen=%d", label, interp.Instrs, cg.Instrs)
+	}
+	if interp.ExitCode != cg.ExitCode {
+		t.Errorf("%s: ExitCode: interp=%d codegen=%d", label, interp.ExitCode, cg.ExitCode)
+	}
+	if !bytes.Equal(interp.Output, cg.Output) {
+		t.Errorf("%s: Output differs (%d vs %d bytes)", label, len(interp.Output), len(cg.Output))
+	}
+	for i := range interp.SiteTaken {
+		if interp.SiteTaken[i] != cg.SiteTaken[i] || interp.SiteTotal[i] != cg.SiteTotal[i] {
+			t.Errorf("%s: site %d: interp=%d/%d codegen=%d/%d", label, i,
+				interp.SiteTaken[i], interp.SiteTotal[i], cg.SiteTaken[i], cg.SiteTotal[i])
+		}
+	}
+	if interp.Jumps != cg.Jumps {
+		t.Errorf("%s: Jumps: interp=%d codegen=%d", label, interp.Jumps, cg.Jumps)
+	}
+	if interp.DirectCalls != cg.DirectCalls || interp.DirectReturns != cg.DirectReturns {
+		t.Errorf("%s: direct calls/returns: interp=%d/%d codegen=%d/%d", label,
+			interp.DirectCalls, interp.DirectReturns, cg.DirectCalls, cg.DirectReturns)
+	}
+	if interp.IndirectCalls != cg.IndirectCalls || interp.IndirectReturns != cg.IndirectReturns {
+		t.Errorf("%s: indirect calls/returns: interp=%d/%d codegen=%d/%d", label,
+			interp.IndirectCalls, interp.IndirectReturns, cg.IndirectCalls, cg.IndirectReturns)
+	}
+	if interp.MaxDepth != cg.MaxDepth {
+		t.Errorf("%s: MaxDepth: interp=%d codegen=%d", label, interp.MaxDepth, cg.MaxDepth)
+	}
+	if (interp.PerPC == nil) != (cg.PerPC == nil) {
+		t.Fatalf("%s: PerPC nilness mismatch", label)
+	}
+	for fi := range interp.PerPC {
+		for pc := range interp.PerPC[fi] {
+			if interp.PerPC[fi][pc] != cg.PerPC[fi][pc] {
+				t.Errorf("%s: PerPC[%d][%d]: interp=%d codegen=%d", label, fi, pc,
+					interp.PerPC[fi][pc], cg.PerPC[fi][pc])
+			}
+		}
+	}
+}
+
+// TestCodegenRegisteredForAllWorkloads: every workload analogue must
+// have a generated body bound by digest — a silent fallback to the
+// interpreter here would invalidate the pr10-codegen benchmark entry.
+func TestCodegenRegisteredForAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vm.CompiledFor(prog) == nil {
+			t.Errorf("%s: no compiled body registered (stale generated files? run `go generate ./internal/workloads/compiled`)", w.Name)
+		}
+	}
+}
+
+// TestCodegenDifferentialWorkloads runs every dataset of every
+// workload through the interpreter and the generated body and demands
+// bit-identical results, in plain mode and (first dataset) PerPC mode.
+func TestCodegenDifferentialWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := mfc.Compile(w.Name, w.Source, mfc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			im := loadCompiled(t, prog)
+			for di, ds := range w.Datasets {
+				input := ds.Gen()
+				interp, interpErr := im.RunInterpreter(input, &vm.Config{})
+				cg, cgErr := im.Run(input, &vm.Config{})
+				cgCompare(t, ds.Name, interp, cg, interpErr, cgErr)
+				if di == 0 {
+					interpP, interpErrP := im.RunInterpreter(input, &vm.Config{PerPC: true})
+					cgP, cgErrP := im.Run(input, &vm.Config{PerPC: true})
+					cgCompare(t, ds.Name+"/perpc", interpP, cgP, interpErrP, cgErrP)
+				}
+			}
+		})
+	}
+}
+
+// diffTracer records the full event stream for stream-level comparison.
+type diffTracer struct {
+	events []string
+}
+
+func (d *diffTracer) Branch(site int32, taken bool, instrs uint64) {
+	d.events = append(d.events, fmt.Sprintf("br %d %v @%d", site, taken, instrs))
+}
+
+func (d *diffTracer) Transfer(kind vm.TransferKind, instrs uint64) {
+	d.events = append(d.events, fmt.Sprintf("xf %v @%d", kind, instrs))
+}
+
+// TestCodegenDifferentialTraced compares the complete control-transfer
+// event streams (order, kinds, sites, instruction stamps) between the
+// interpreter and the generated instrumented bodies. li exercises the
+// indirect-call dispatch switch; the others cover direct call/return
+// and jump stamping.
+func TestCodegenDifferentialTraced(t *testing.T) {
+	for _, name := range []string{"li", "eqntott", "tomcatv"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog, input := compileWorkload(t, name)
+			im := loadCompiled(t, prog)
+			interpTr, cgTr := &diffTracer{}, &diffTracer{}
+			interp, interpErr := im.RunInterpreter(input, &vm.Config{Trace: interpTr})
+			cg, cgErr := im.Run(input, &vm.Config{Trace: cgTr})
+			cgCompare(t, name, interp, cg, interpErr, cgErr)
+			if len(interpTr.events) != len(cgTr.events) {
+				t.Fatalf("event count: interp=%d codegen=%d", len(interpTr.events), len(cgTr.events))
+			}
+			for i := range interpTr.events {
+				if interpTr.events[i] != cgTr.events[i] {
+					t.Fatalf("event %d: interp=%q codegen=%q", i, interpTr.events[i], cgTr.events[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCodegenDifferentialFuelSweep proves the generated fuel check
+// fires at exactly the interpreter's instruction counts, including at
+// and around the 4096-instruction poll boundary, with every partial
+// counter identical.
+func TestCodegenDifferentialFuelSweep(t *testing.T) {
+	for _, name := range []string{"li", "tomcatv"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog, input := compileWorkload(t, name)
+			im := loadCompiled(t, prog)
+			full, err := im.Run(input, &vm.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := full.Instrs
+			fuels := []uint64{1, 2, 3, 7, 100, 4095, 4096, 4097, 8192,
+				n / 3, n / 2, n/2 + 1, n - 4097, n - 4096, n - 1, n, n + 1}
+			for _, fuel := range fuels {
+				if fuel == 0 || fuel > n+1 {
+					continue
+				}
+				interp, interpErr := im.RunInterpreter(input, &vm.Config{Fuel: fuel})
+				cg, cgErr := im.Run(input, &vm.Config{Fuel: fuel})
+				cgCompare(t, fmt.Sprintf("fuel=%d", fuel), interp, cg, interpErr, cgErr)
+			}
+		})
+	}
+}
+
+// TestCodegenDifferentialTracedUnderFuel crosses tracing with fuel
+// exhaustion: the partial event streams up to the cut must match
+// exactly, not just the final counters.
+func TestCodegenDifferentialTracedUnderFuel(t *testing.T) {
+	prog, input := compileWorkload(t, "li")
+	im := loadCompiled(t, prog)
+	for _, fuel := range []uint64{4096, 100000} {
+		interpTr, cgTr := &diffTracer{}, &diffTracer{}
+		interp, interpErr := im.RunInterpreter(input, &vm.Config{Fuel: fuel, Trace: interpTr})
+		cg, cgErr := im.Run(input, &vm.Config{Fuel: fuel, Trace: cgTr})
+		cgCompare(t, fmt.Sprintf("fuel=%d", fuel), interp, cg, interpErr, cgErr)
+		if len(interpTr.events) != len(cgTr.events) {
+			t.Fatalf("fuel=%d: event count: interp=%d codegen=%d", fuel, len(interpTr.events), len(cgTr.events))
+		}
+		for i := range interpTr.events {
+			if interpTr.events[i] != cgTr.events[i] {
+				t.Fatalf("fuel=%d event %d: interp=%q codegen=%q", fuel, i, interpTr.events[i], cgTr.events[i])
+			}
+		}
+	}
+}
+
+// TestCodegenBackendToggle: SetCompiledEnabled(false) must route Run
+// back to the interpreter without unregistering anything, and the
+// results must of course still agree.
+func TestCodegenBackendToggle(t *testing.T) {
+	prog, input := compileWorkload(t, "eqntott")
+	im := loadCompiled(t, prog)
+	on, _ := im.Run(input, &vm.Config{})
+	prev := vm.SetCompiledEnabled(false)
+	off, _ := im.Run(input, &vm.Config{})
+	vm.SetCompiledEnabled(prev)
+	if !prev {
+		t.Fatal("compiled backend was already disabled entering the test")
+	}
+	if vm.CompiledFor(prog) == nil {
+		t.Fatal("disabling dispatch unregistered the body")
+	}
+	cgCompare(t, "toggle", on, off, nil, nil)
+}
